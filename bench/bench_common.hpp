@@ -1,0 +1,45 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary regenerates one figure of the paper's evaluation
+// (§4): it builds the workload and system configuration the paper
+// describes (scaled to laptop-size, see EXPERIMENTS.md), runs it through
+// the real allocator/CP/device machinery, and prints the same series the
+// figure plots.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace wafl::bench {
+
+/// True when the environment asks for a fast smoke run (CI-friendly).
+inline bool fast_mode() {
+  const char* v = std::getenv("WAFL_BENCH_FAST");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+inline void print_title(const char* figure, const char* description) {
+  std::printf("\n");
+  std::printf(
+      "==============================================================="
+      "=================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf(
+      "==============================================================="
+      "=================\n");
+}
+
+inline void print_section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline void print_expectation(const char* text) {
+  std::printf("Paper expectation: %s\n", text);
+}
+
+inline double pct_delta(double ours, double base) {
+  return base == 0.0 ? 0.0 : (ours - base) / base * 100.0;
+}
+
+}  // namespace wafl::bench

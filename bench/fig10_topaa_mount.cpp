@@ -1,0 +1,174 @@
+// Figure 10 (§4.4): time to complete the first CP after mount, with and
+// without the TopAA metafiles, scaling (A) FlexVol size and (B) FlexVol
+// count.
+//
+// The gate on the first CP is getting the AA caches operational:
+//   - TopAA path: read 1 block per RAID group + 2 per FlexVol and seed
+//     the caches — constant work per file system;
+//   - scan path: linearly walk every bitmap-metafile block of the
+//     aggregate and of every volume, recompute all AA scores, and build
+//     the caches — work linear in capacity.
+//
+// Reported time = modeled metafile read I/O (counted blocks x per-read
+// latency) + measured CPU seconds of the gate + the first CP itself.
+// Normalized columns reproduce the paper's presentation.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+#include "wafl/consistency_point.hpp"
+#include "wafl/mount.hpp"
+
+namespace wafl {
+namespace {
+
+/// Modeled latency of one 4 KiB metafile-block read during mount (mostly
+/// sequential reads on HDD aggregates).
+constexpr double kMetaReadMs = 0.20;
+
+struct MountTiming {
+  double topaa_ms = 0.0;
+  double scan_ms = 0.0;
+};
+
+Aggregate make_aggregate(std::size_t vol_count, std::uint64_t vol_blocks) {
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  // Size the aggregate to hold all volumes comfortably.
+  const std::uint64_t needed = vol_count * vol_blocks * 2;
+  std::uint64_t device_blocks = 65'536;
+  while (device_blocks * 8 < needed) device_blocks *= 2;
+  rg.device_blocks = device_blocks;
+  rg.media.type = MediaType::kHdd;
+  rg.aa_stripes = 4096;
+  cfg.raid_groups = {rg, rg};
+  return Aggregate(cfg, /*rng_seed=*/12);
+}
+
+/// Builds a file system with `vol_count` volumes of `vol_blocks` logical
+/// blocks, writes data through real CPs (so bitmaps and TopAA exist on
+/// media), then measures both mount paths.
+MountTiming measure(std::size_t vol_count, std::uint64_t vol_blocks) {
+  Aggregate agg = make_aggregate(vol_count, vol_blocks);
+  for (std::size_t v = 0; v < vol_count; ++v) {
+    FlexVolConfig vol;
+    vol.file_blocks = vol_blocks;
+    vol.vvbn_blocks =
+        (vol_blocks + kFlatAaBlocks - 1) / kFlatAaBlocks * kFlatAaBlocks +
+        kFlatAaBlocks;
+    agg.add_volume(vol);
+  }
+
+  // Populate each volume to ~40% through normal CPs.
+  std::vector<DirtyBlock> dirty;
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    const std::uint64_t fill = vol_blocks * 4 / 10;
+    for (std::uint64_t l = 0; l < fill; ++l) {
+      dirty.push_back({v, l});
+      if (dirty.size() == 49'152) {
+        ConsistencyPoint::run(agg, dirty);
+        dirty.clear();
+      }
+    }
+  }
+  if (!dirty.empty()) {
+    ConsistencyPoint::run(agg, dirty);
+    dirty.clear();
+  }
+
+  ThreadPool pool(2);
+  MountTiming timing;
+
+  // "Failover": mount via TopAA, then run the first CP.
+  {
+    const MountReport r = mount_all(agg, /*use_topaa=*/true, &pool);
+    for (std::uint64_t l = 0; l < 1000; ++l) {
+      dirty.push_back({0, l});
+    }
+    ConsistencyPoint::run(agg, dirty);
+    dirty.clear();
+    timing.topaa_ms = static_cast<double>(r.gate_block_reads) * kMetaReadMs +
+                      r.gate_cpu_seconds * 1e3;
+    // Background completion happens after the first CP; not charged.
+    complete_background(agg, &pool);
+  }
+
+  // Same system, scan path.
+  {
+    const MountReport r = mount_all(agg, /*use_topaa=*/false, &pool);
+    for (std::uint64_t l = 0; l < 1000; ++l) {
+      dirty.push_back({0, l});
+    }
+    ConsistencyPoint::run(agg, dirty);
+    dirty.clear();
+    timing.scan_ms = static_cast<double>(r.gate_block_reads) * kMetaReadMs +
+                     r.gate_cpu_seconds * 1e3;
+  }
+  return timing;
+}
+
+void print_series(const char* title, const char* xlabel,
+                  const std::vector<std::uint64_t>& xs,
+                  const std::vector<MountTiming>& ts) {
+  bench::print_section(title);
+  double norm = 0.0;
+  for (const MountTiming& t : ts) {
+    norm = std::max(norm, t.scan_ms);
+  }
+  std::printf("%16s %14s %14s %12s %12s\n", xlabel, "with TopAA ms",
+              "no TopAA ms", "with (norm)", "without (norm)");
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%16llu %14.2f %14.2f %12.3f %12.3f\n",
+                static_cast<unsigned long long>(xs[i]), ts[i].topaa_ms,
+                ts[i].scan_ms, ts[i].topaa_ms / norm, ts[i].scan_ms / norm);
+  }
+}
+
+}  // namespace
+}  // namespace wafl
+
+int main() {
+  using namespace wafl;
+  const bool fast = bench::fast_mode();
+  bench::print_title("Figure 10",
+                     "time gated on AA-cache readiness for the first CP "
+                     "after mount, with and without TopAA metafiles");
+  bench::print_expectation(
+      "with TopAA: flat, independent of volume size and count; without: "
+      "grows linearly with capacity (the bitmap walk).");
+
+  // (A) fixed volume count, growing volume size.
+  {
+    const std::size_t vols = fast ? 4 : 12;
+    const std::vector<std::uint64_t> sizes =
+        fast ? std::vector<std::uint64_t>{65'536, 262'144}
+             : std::vector<std::uint64_t>{32'768, 65'536, 131'072, 262'144,
+                                          524'288};
+    std::vector<MountTiming> ts;
+    ts.reserve(sizes.size());
+    for (const std::uint64_t s : sizes) {
+      ts.push_back(measure(vols, s));
+    }
+    print_series("(A) scaling FlexVol size (12 volumes)",
+                 "vol blocks", sizes, ts);
+  }
+
+  // (B) fixed volume size, growing volume count.
+  {
+    const std::uint64_t size = 65'536;
+    const std::vector<std::uint64_t> counts =
+        fast ? std::vector<std::uint64_t>{4, 16}
+             : std::vector<std::uint64_t>{4, 8, 16, 32, 64};
+    std::vector<MountTiming> ts;
+    ts.reserve(counts.size());
+    for (const std::uint64_t c : counts) {
+      ts.push_back(measure(static_cast<std::size_t>(c), size));
+    }
+    print_series("(B) scaling FlexVol count (64 Ki-block volumes)",
+                 "volumes", counts, ts);
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Figure 7 (§4.2): write distribution across differently aged RAID groups
+// under an OLTP-style workload.
+//
+// Four all-HDD RAID groups; RG0 and RG1 are pre-aged "until a random 50%
+// of [their] blocks were used", RG2 and RG3 are fresh.  The paper's two
+// key results:
+//   1. blocks are evenly distributed across disks with the same
+//      fragmentation level, and
+//   2. more blocks go to the newer, emptier groups, while the tetris rate
+//      is only marginally higher on the aged groups (their tetrises carry
+//      fewer blocks).
+#include <array>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/latency_sim.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+#include "wafl/aggregate.hpp"
+
+namespace wafl {
+namespace {
+
+constexpr std::uint32_t kDataPerRg = 4;
+
+Aggregate make_aggregate(bool fast) {
+  // The §4.2 scenario built the way customers build it: the aggregate
+  // starts with two RAID groups that age in service, then grows by two
+  // fresh groups (§3.1's RAID-group growth).
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = kDataPerRg;
+  rg.parity_devices = 1;
+  rg.device_blocks = fast ? 32'768 : 65'536;
+  rg.media.type = MediaType::kHdd;
+  rg.aa_stripes = 4096;  // the historical HDD default (§3.2.1)
+  cfg.raid_groups = {rg, rg};
+  // §3.3.1's fragmentation bias: stop writing to a group whose best AA is
+  // mostly full while healthier groups exist.
+  cfg.rg_skip_free_fraction = 0.1;
+  Aggregate agg(cfg, /*rng_seed=*/42);
+
+  // Age the original groups to 50% random occupancy, then add capacity.
+  Rng aging_rng(7);
+  agg.seed_rg_occupancy(0, 0.5, aging_rng);
+  agg.seed_rg_occupancy(1, 0.5, aging_rng);
+  agg.add_raid_group(rg);
+  agg.add_raid_group(rg);
+  return agg;
+}
+
+}  // namespace
+}  // namespace wafl
+
+int main() {
+  using namespace wafl;
+  const bool fast = bench::fast_mode();
+  bench::print_title("Figure 7",
+                     "per-disk and per-RAID-group write rates with "
+                     "imbalanced aging (OLTP workload, all-HDD)");
+  bench::print_expectation(
+      "even split among equally aged disks; clearly more blocks/s to the "
+      "fresh groups (RG2/RG3); tetris rates comparable, marginally more "
+      "tetrises per block on the aged groups.");
+
+  Aggregate agg = make_aggregate(fast);
+
+  FlexVolConfig vol;
+  // The LUN lives in the remaining space: half the aggregate.
+  vol.file_blocks = agg.free_blocks() * 6 / 10;
+  vol.vvbn_blocks =
+      (vol.file_blocks / kFlatAaBlocks + 2) * kFlatAaBlocks;
+  agg.add_volume(vol);
+
+  // Database working set: write it once so updates have blocks to free.
+  {
+    std::vector<DirtyBlock> fill;
+    for (std::uint64_t l = 0; l < vol.file_blocks; ++l) {
+      fill.push_back({0, l});
+      if (fill.size() == 32'768) {
+        ConsistencyPoint::run(agg, fill);
+        fill.clear();
+      }
+    }
+    if (!fill.empty()) ConsistencyPoint::run(agg, fill);
+  }
+
+  // OLTP: random 8 KiB updates mixed with random reads (query+update mix).
+  RandomOverwriteWorkload workload({0}, vol.file_blocks,
+                                   /*blocks_per_op=*/2, /*zipf_theta=*/0.8);
+  SimConfig sim_cfg;
+  sim_cfg.cp_trigger_blocks = 16'384;
+  sim_cfg.dirty_high_watermark = 49'152;
+  sim_cfg.blocks_per_op = 2;
+  sim_cfg.read_fraction = 0.4;
+  sim_cfg.seed = 3;
+  LatencySimulator sim(agg, workload, sim_cfg);
+
+  // Warm up into steady state, then measure with fresh counters.
+  const double seconds = fast ? 1.0 : 4.0;
+  sim.run(/*offered=*/fast ? 20'000 : 68'000, /*sim_seconds=*/1.0);
+  for (RaidGroupId rg = 0; rg < 4; ++rg) {
+    agg.raid_group(rg).reset_stats();
+  }
+  const LoadPoint p = sim.run(fast ? 20'000 : 68'000, seconds);
+
+  std::printf("\nAchieved %.0f ops/s (offered %.0f), %llu CPs\n",
+              p.achieved_ops_per_sec, p.offered_ops_per_sec,
+              static_cast<unsigned long long>(p.cps));
+
+  bench::print_section("blocks written per second, per data disk");
+  std::printf("%6s %10s %6s %14s\n", "RG", "aged?", "disk", "blocks/s");
+  for (RaidGroupId rg = 0; rg < 4; ++rg) {
+    const auto& stats = agg.raid_group(rg).stats();
+    for (DeviceId d = 0; d < kDataPerRg; ++d) {
+      std::printf("%6u %10s %6u %14.0f\n", rg, rg < 2 ? "aged-50%" : "fresh",
+                  d,
+                  static_cast<double>(stats.data_blocks_per_device[d]) /
+                      seconds);
+    }
+  }
+
+  bench::print_section("tetrises written per second, per RAID group");
+  std::printf("%6s %10s %12s %12s %16s %13s\n", "RG", "aged?", "tetris/s",
+              "blocks/s", "blocks/tetris", "full-stripe%");
+  double aged_blocks = 0, fresh_blocks = 0;
+  double aged_tetris = 0, fresh_tetris = 0;
+  for (RaidGroupId rg = 0; rg < 4; ++rg) {
+    const auto& stats = agg.raid_group(rg).stats();
+    const double tps =
+        static_cast<double>(stats.tetrises_written) / seconds;
+    const double bps =
+        static_cast<double>(stats.data_blocks_written) / seconds;
+    std::printf("%6u %10s %12.1f %12.0f %16.1f %13.1f\n", rg,
+                rg < 2 ? "aged-50%" : "fresh", tps, bps,
+                stats.tetrises_written == 0
+                    ? 0.0
+                    : static_cast<double>(stats.data_blocks_written) /
+                          static_cast<double>(stats.tetrises_written),
+                stats.full_stripe_fraction() * 100.0);
+    (rg < 2 ? aged_blocks : fresh_blocks) += bps;
+    (rg < 2 ? aged_tetris : fresh_tetris) += tps;
+  }
+
+  bench::print_section("summary");
+  std::printf(
+      "fresh groups receive %.2fx the blocks/s of aged groups "
+      "(paper: clearly more)\n",
+      aged_blocks == 0 ? 0.0 : fresh_blocks / aged_blocks);
+  std::printf(
+      "aged groups run %.2fx the tetrises per block of fresh groups "
+      "(paper: marginally higher)\n",
+      (aged_blocks == 0 || fresh_tetris == 0)
+          ? 0.0
+          : (aged_tetris / aged_blocks) / (fresh_tetris / fresh_blocks));
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Figure 9 (§4.3): AA sizing on SMR drives with AZCS checksum regions —
+// sequential writes to an unaged file system with the HDD-sized AA versus
+// an AA larger than the shingle zone and aligned to the AZCS region
+// period (Figure 4 C).
+//
+// The unaligned AA cuts AZCS regions at every AA boundary: the region's
+// checksum block is forced out early when the allocator jumps to the next
+// checked-out AA, and rewritten (behind the SMR zone's high-water mark,
+// an out-of-place update) when a later AA fills the region's remainder.
+// The aligned AA never splits a region, so every checksum block is written
+// exactly once, in sequence.
+//
+// Paper: +7% drive throughput, −11% latency for the aligned sizing.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "device/azcs.hpp"
+#include "sim/latency_sim.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+#include "wafl/aggregate.hpp"
+
+namespace wafl {
+namespace {
+
+// Per-device data blocks: a common multiple of both AA sizes under test
+// (4096 = 2^12 and 32256 = 2^9 * 63 stripes -> lcm = 2^12 * 63).
+constexpr std::uint64_t kDeviceDataBlocks = 258'048;
+
+struct ConfigResult {
+  const char* name;
+  std::uint32_t aa_stripes;
+  std::vector<LoadPoint> points;
+  std::uint64_t checksum_flushes = 0;
+  std::uint64_t checksum_rewrites = 0;
+  std::uint64_t oop_updates = 0;
+};
+
+ConfigResult run_config(const char* name, std::uint32_t aa_stripes) {
+  const bool fast = bench::fast_mode();
+
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = kDeviceDataBlocks;
+  rg.media.type = MediaType::kSmr;
+  rg.media.azcs = true;  // 4 KiB-sector drives: zone checksums (§3.2.4)
+  rg.aa_stripes = aa_stripes;
+  cfg.raid_groups = {rg};
+  Aggregate agg(cfg, /*rng_seed=*/77);
+
+  // A pinch of pre-existing occupancy makes AA scores distinct, so the
+  // max-heap's pick order scatters across the device the way a production
+  // heap does (perfectly fresh systems would coincidentally pick adjacent
+  // AAs under our deterministic tie-break).
+  Rng seed_rng(5);
+  agg.seed_rg_occupancy(0, 0.001, seed_rng);
+
+  FlexVolConfig vol;
+  vol.file_blocks = agg.free_blocks() * 9 / 10;
+  vol.vvbn_blocks = (vol.file_blocks / kFlatAaBlocks + 2) * kFlatAaBlocks;
+  agg.add_volume(vol);
+
+  // §4.3: "sequential writes to an unaged file system".
+  SequentialWorkload workload({0}, vol.file_blocks, /*blocks_per_op=*/2);
+  SimConfig sim_cfg;
+  sim_cfg.cp_trigger_blocks = 24'576;
+  sim_cfg.dirty_high_watermark = 65'536;
+  sim_cfg.blocks_per_op = 2;
+  sim_cfg.seed = 31;
+  LatencySimulator sim(agg, workload, sim_cfg);
+
+  const std::vector<std::size_t> clients =
+      fast ? std::vector<std::size_t>{16, 256}
+           : std::vector<std::size_t>{16, 64, 256};
+  const double seconds = fast ? 0.5 : 2.0;
+
+  ConfigResult result{name, aa_stripes, {}, 0, 0, 0};
+  std::printf("\n[%s: %u stripes per AA]\n", name, aa_stripes);
+  std::printf("%8s %10s %10s %9s %9s %7s\n", "clients", "achieved/s",
+              "MiB/s", "mean ms", "p99 ms", "WA");
+  for (const std::size_t n : clients) {
+    const LoadPoint p = sim.run_closed(n, seconds);
+    std::printf("%8zu %10.0f %10.1f %9.3f %9.3f %7.3f\n", n,
+                p.achieved_ops_per_sec,
+                p.achieved_ops_per_sec * 2 * 4096 / (1024.0 * 1024.0),
+                p.mean_latency_ms, p.p99_latency_ms, p.write_amplification);
+    result.points.push_back(p);
+  }
+
+  for (DeviceId d = 0; d < rg.data_devices; ++d) {
+    const auto& dev = dynamic_cast<const AzcsDevice&>(
+        agg.data_device(0, d));
+    result.checksum_flushes += dev.checksum_flushes();
+    result.checksum_rewrites += dev.checksum_rewrites();
+    const auto& smr = dynamic_cast<const SmrModel&>(
+        const_cast<AzcsDevice&>(dev).raw());
+    result.oop_updates += smr.cache_update_events();
+  }
+  return result;
+}
+
+const LoadPoint& peak(const ConfigResult& r) { return r.points.back(); }
+
+}  // namespace
+}  // namespace wafl
+
+int main() {
+  using namespace wafl;
+  bench::print_title("Figure 9",
+                     "SMR + AZCS AA sizing: HDD-sized AA vs zone-multiple, "
+                     "AZCS-aligned AA (sequential writes, unaged)");
+  bench::print_expectation(
+      "aligned sizing avoids random checksum-block writes at AA switches: "
+      "~7% more drive throughput, ~11% less latency.");
+
+  const ConfigResult small_aa =
+      run_config("Small AA (HDD default, unaligned)", 4096);
+  const ConfigResult large_aa =
+      run_config("Large AA (zone multiple, AZCS aligned)", 32'256);
+
+  bench::print_section("device-level checksum behaviour");
+  std::printf("%-40s %14s %14s %14s\n", "config", "csum flushes",
+              "csum rewrites", "oop updates");
+  for (const ConfigResult* r : {&small_aa, &large_aa}) {
+    std::printf("%-40s %14llu %14llu %14llu\n", r->name,
+                static_cast<unsigned long long>(r->checksum_flushes),
+                static_cast<unsigned long long>(r->checksum_rewrites),
+                static_cast<unsigned long long>(r->oop_updates));
+  }
+
+  const LoadPoint& ps = peak(small_aa);
+  const LoadPoint& pl = peak(large_aa);
+  bench::print_section("paper-style deltas (aligned vs unaligned), peak");
+  std::printf(
+      "throughput %+.1f%% (paper: +7%%), latency %+.1f%% (paper: -11%%)\n",
+      bench::pct_delta(pl.achieved_ops_per_sec, ps.achieved_ops_per_sec),
+      bench::pct_delta(pl.mean_latency_ms, ps.mean_latency_ms));
+  return 0;
+}

@@ -1,0 +1,280 @@
+// Microbenchmarks of the AA-cache data structures (google-benchmark).
+//
+// Supports §4.1.2's claim that "only about 0.002% of the total CPU cycles
+// was spent maintaining each of the RAID-aware and RAID-agnostic AA
+// caches": per-CP cache maintenance is a handful of sub-microsecond
+// operations, vs ~300 µs of WAFL CPU per client operation.
+//
+// Also contrasts the HBPS against the two obvious alternatives the paper
+// rejects: a full max-heap over every AA (exact but linear memory) and a
+// full sort (exact order, but O(n log n) per rebuild).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/hbps.hpp"
+#include "core/max_heap_cache.hpp"
+#include "core/scoreboard.hpp"
+#include "util/rng.hpp"
+#include "wafl/consistency_point.hpp"
+
+namespace wafl {
+namespace {
+
+std::vector<AaScore> random_scores(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AaScore> scores(n);
+  for (auto& s : scores) {
+    s = static_cast<AaScore>(rng.below(kFlatAaBlocks + 1));
+  }
+  return scores;
+}
+
+AaScoreBoard board_from(const std::vector<AaScore>& scores) {
+  const AaLayout layout = AaLayout::flat(
+      0, static_cast<std::uint64_t>(scores.size()) * kFlatAaBlocks);
+  AaScoreBoard board(layout);
+  // Push each AA down to its target score via batched deltas.
+  for (AaId aa = 0; aa < scores.size(); ++aa) {
+    const std::uint32_t consume = kFlatAaBlocks - scores[aa];
+    for (std::uint32_t i = 0; i < consume; i += 4096) {
+      // note_alloc is per-VBN; emulate in chunks for setup speed by using
+      // rescan-equivalent: direct deltas are not exposed, so use the VBN
+      // API sparsely and accept approximate scores (irrelevant here).
+      board.note_alloc(layout.aa_begin(aa) + i);
+    }
+  }
+  board.apply_cp_deltas();
+  return board;
+}
+
+// --- Build costs -----------------------------------------------------------
+
+void BM_MaxHeap_Build(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto scores = random_scores(n, 1);
+  const AaScoreBoard board = board_from(scores);
+  MaxHeapAaCache cache(static_cast<AaId>(n));
+  for (auto _ : state) {
+    cache.build(board);
+    benchmark::DoNotOptimize(cache.peek_best_score());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MaxHeap_Build)->Arg(1024)->Arg(32768)->Arg(1048576);
+
+void BM_Hbps_Build(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto scores = random_scores(n, 2);
+  const AaScoreBoard board = board_from(scores);
+  Hbps cache;
+  for (auto _ : state) {
+    cache.build(board);
+    benchmark::DoNotOptimize(cache.peek_best_score());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Hbps_Build)->Arg(1024)->Arg(32768)->Arg(1048576);
+
+void BM_FullSort_Baseline(benchmark::State& state) {
+  // The strawman the HBPS replaces: fully sorting all AA scores.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto scores = random_scores(n, 3);
+  for (auto _ : state) {
+    auto copy = scores;
+    std::sort(copy.begin(), copy.end(), std::greater<>());
+    benchmark::DoNotOptimize(copy.front());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FullSort_Baseline)->Arg(1024)->Arg(32768)->Arg(1048576);
+
+// --- Steady-state maintenance (the per-CP cost §4.1.2 measures) -------------
+
+void BM_MaxHeap_TakeInsert(benchmark::State& state) {
+  const std::size_t n = 1048576;
+  const auto scores = random_scores(n, 4);
+  const AaScoreBoard board = board_from(scores);
+  MaxHeapAaCache cache(static_cast<AaId>(n));
+  cache.build(board);
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto pick = cache.take_best();
+    cache.insert(pick->aa, static_cast<AaScore>(rng.below(32769)));
+  }
+}
+BENCHMARK(BM_MaxHeap_TakeInsert);
+
+void BM_MaxHeap_UpdateScore(benchmark::State& state) {
+  const std::size_t n = 1048576;
+  auto scores = random_scores(n, 6);
+  const AaScoreBoard board = board_from(scores);
+  MaxHeapAaCache cache(static_cast<AaId>(n));
+  cache.build(board);
+  // Track the heap's own view of scores to generate valid updates.
+  scores.clear();
+  Rng rng(7);
+  std::vector<AaScore> view(n);
+  for (AaId aa = 0; aa < n; ++aa) view[aa] = board.score(aa);
+  AaId aa = 0;
+  for (auto _ : state) {
+    aa = static_cast<AaId>((aa + 9973) % n);
+    const auto next = static_cast<AaScore>(rng.below(32769));
+    cache.update_score(aa, view[aa], next);
+    view[aa] = next;
+  }
+}
+BENCHMARK(BM_MaxHeap_UpdateScore);
+
+void BM_Hbps_TakeInsert(benchmark::State& state) {
+  const std::size_t n = 1048576;
+  const auto scores = random_scores(n, 8);
+  const AaScoreBoard board = board_from(scores);
+  Hbps cache;
+  cache.build(board);
+  Rng rng(9);
+  for (auto _ : state) {
+    const auto pick = cache.take_best();
+    cache.insert(pick->aa, static_cast<AaScore>(rng.below(32769)));
+  }
+}
+BENCHMARK(BM_Hbps_TakeInsert);
+
+void BM_Hbps_UpdateScore(benchmark::State& state) {
+  const std::size_t n = 1048576;
+  const auto scores = random_scores(n, 10);
+  const AaScoreBoard board = board_from(scores);
+  Hbps cache;
+  cache.build(board);
+  std::vector<AaScore> view(n);
+  for (AaId aa = 0; aa < n; ++aa) view[aa] = board.score(aa);
+  Rng rng(11);
+  AaId aa = 0;
+  for (auto _ : state) {
+    aa = static_cast<AaId>((aa + 9973) % n);
+    const auto next = static_cast<AaScore>(rng.below(32769));
+    cache.update_score(aa, view[aa], next);
+    view[aa] = next;
+  }
+}
+BENCHMARK(BM_Hbps_UpdateScore);
+
+void BM_Hbps_SaveLoad(benchmark::State& state) {
+  const std::size_t n = 65536;
+  const auto scores = random_scores(n, 12);
+  const AaScoreBoard board = board_from(scores);
+  Hbps cache;
+  cache.build(board);
+  alignas(8) std::byte hist_page[Hbps::kPageBytes];
+  alignas(8) std::byte list_page[Hbps::kPageBytes];
+  for (auto _ : state) {
+    cache.save(hist_page, list_page);
+    auto loaded = Hbps::load(hist_page, list_page);
+    benchmark::DoNotOptimize(loaded->size());
+  }
+}
+BENCHMARK(BM_Hbps_SaveLoad);
+
+void BM_ScoreBoard_ApplyDeltas(benchmark::State& state) {
+  // The CP-boundary batch: ~4096 AAs with pending deltas, applied in one
+  // pass.  Alternating alloc/free batches keep scores bounded.
+  const std::size_t n = 1048576;
+  const AaLayout layout = AaLayout::flat(
+      0, static_cast<std::uint64_t>(n) * kFlatAaBlocks);
+  AaScoreBoard board(layout);
+  Rng rng(13);
+  std::vector<AaId> touched;
+  bool freeing = false;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (!freeing) {
+      touched.clear();
+      for (int i = 0; i < 4096; ++i) {
+        const auto aa = static_cast<AaId>(rng.below(n));
+        board.note_alloc(layout.aa_begin(aa));
+        touched.push_back(aa);
+      }
+    } else {
+      for (const AaId aa : touched) {
+        board.note_free(layout.aa_begin(aa));
+      }
+    }
+    freeing = !freeing;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(board.apply_cp_deltas().size());
+  }
+}
+BENCHMARK(BM_ScoreBoard_ApplyDeltas);
+
+// --- The §2 sizing claim -----------------------------------------------------
+//
+// "the WAFL write allocator has to find and allocate at least 1 GiB/s
+//  worth of free blocks to sustain a 1 GiB/s client overwrite workload;
+//  this translates to finding 256k free blocks per second."
+//
+// Measures end-to-end CP allocation throughput (dual VBN assignment,
+// bitmap updates, tetris assembly, cache maintenance) in blocks/second on
+// an aged aggregate.  The items_per_second counter is the number to
+// compare against 256k.
+
+void BM_Cp_AllocateBlocks(benchmark::State& state) {
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = 131'072;
+  rg.media.type = MediaType::kHdd;
+  rg.aa_stripes = 2048;
+  cfg.raid_groups = {rg, rg};
+  Aggregate agg(cfg, 77);
+  FlexVolConfig vol;
+  vol.file_blocks = 600'000;
+  vol.vvbn_blocks = 24ull * kFlatAaBlocks;
+  agg.add_volume(vol);
+
+  // Fill 60% so steady-state CPs both allocate and free.
+  std::vector<DirtyBlock> dirty;
+  for (std::uint64_t l = 0; l < 360'000; ++l) {
+    dirty.push_back({0, l});
+    if (dirty.size() == 49'152) {
+      ConsistencyPoint::run(agg, dirty);
+      dirty.clear();
+    }
+  }
+  if (!dirty.empty()) ConsistencyPoint::run(agg, dirty);
+
+  const std::uint64_t cp_blocks = 16'384;
+  std::uint64_t cursor = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    dirty.clear();
+    for (std::uint64_t i = 0; i < cp_blocks; ++i) {
+      dirty.push_back({0, (cursor + i * 7) % 360'000});
+    }
+    std::sort(dirty.begin(), dirty.end(),
+              [](const DirtyBlock& a, const DirtyBlock& b) {
+                return a.logical < b.logical;
+              });
+    dirty.erase(std::unique(dirty.begin(), dirty.end(),
+                            [](const DirtyBlock& a, const DirtyBlock& b) {
+                              return a.logical == b.logical;
+                            }),
+                dirty.end());
+    cursor += 131;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        ConsistencyPoint::run(agg, dirty).blocks_written);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(dirty.size()));
+  }
+}
+BENCHMARK(BM_Cp_AllocateBlocks)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wafl
+
+BENCHMARK_MAIN();

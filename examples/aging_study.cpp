@@ -1,0 +1,91 @@
+// Aging study: fragment a file system with skewed random overwrites and
+// inspect the per-AA free-space distribution the AA caches exploit.
+//
+// This is the §2.2/§4.1 premise made visible: aging does NOT leave free
+// space uniformly distributed, so "pick the emptiest AA" beats "pick any
+// AA" by a wide margin (the paper's 61% vs 46% chosen free space).
+//
+//   ./build/examples/aging_study
+#include <array>
+#include <cstdio>
+
+#include "sim/aging.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace wafl;
+
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = 128 * 1024;
+  rg.media.type = MediaType::kHdd;
+  rg.aa_stripes = 2048;
+  cfg.raid_groups = {rg};
+  Aggregate agg(cfg, 1);
+
+  FlexVolConfig vol;
+  vol.file_blocks = agg.total_blocks() * 9 / 10;
+  vol.vvbn_blocks =
+      (vol.file_blocks / kFlatAaBlocks + 2) * kFlatAaBlocks;
+  agg.add_volume(vol);
+
+  std::printf("aging: fill to 55%%, then 2 passes of Zipf(0.9) random "
+              "overwrites through the real allocator...\n");
+  AgingConfig aging;
+  aging.fill_fraction = 0.55;
+  aging.overwrite_passes = 2.0;
+  aging.zipf_theta = 0.9;
+  const AgingReport report =
+      age_filesystem(agg, std::array{VolumeId{0}}, aging);
+  std::printf("  %llu blocks filled, %llu overwritten, %llu CPs\n\n",
+              static_cast<unsigned long long>(report.blocks_filled),
+              static_cast<unsigned long long>(report.blocks_overwritten),
+              static_cast<unsigned long long>(report.cps_run));
+
+  // Free-fraction distribution across the RAID group's AAs.
+  const auto& board = agg.rg_scoreboard(0);
+  const auto& layout = agg.rg_layout(0);
+  Histogram hist(0.0, 1.0, 10);
+  RunningStat stat;
+  for (AaId aa = 0; aa < board.aa_count(); ++aa) {
+    const double f = static_cast<double>(board.score(aa)) /
+                     static_cast<double>(layout.aa_capacity(aa));
+    hist.add(f);
+    stat.add(f);
+  }
+
+  std::printf("physical AA free-space distribution (%u AAs):\n",
+              board.aa_count());
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    std::printf("  %3.0f%%-%3.0f%% free |", hist.bin_low(b) * 100,
+                hist.bin_high(b) * 100);
+    const auto stars = static_cast<int>(
+        60.0 * static_cast<double>(hist.bin_count(b)) /
+        static_cast<double>(hist.total()));
+    for (int i = 0; i < stars; ++i) std::printf("*");
+    std::printf(" %llu\n",
+                static_cast<unsigned long long>(hist.bin_count(b)));
+  }
+  std::printf("\nmean free %.1f%%, stddev %.1f%%, best AA %.1f%% free\n",
+              stat.mean() * 100, stat.stddev() * 100, stat.max() * 100);
+  std::printf("-> a random pick averages %.1f%%; the max-heap always "
+              "returns %.1f%% (the §4.1.1 effect)\n",
+              stat.mean() * 100, stat.max() * 100);
+
+  // The same, for the volume's virtual AAs / HBPS.
+  const auto& vboard = agg.volume(0).scoreboard();
+  RunningStat vstat;
+  for (AaId aa = 0; aa < vboard.aa_count(); ++aa) {
+    vstat.add(static_cast<double>(vboard.score(aa)) /
+              static_cast<double>(agg.volume(0).layout().aa_capacity(aa)));
+  }
+  std::printf("\nvirtual AAs: mean free %.1f%%, best %.1f%% — the HBPS "
+              "returns one within %.2f%% of the best using two 4 KiB "
+              "pages\n",
+              vstat.mean() * 100, vstat.max() * 100,
+              100.0 * agg.volume(0).cache().config().bin_width /
+                  agg.volume(0).cache().config().max_score);
+  return 0;
+}

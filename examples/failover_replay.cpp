@@ -1,0 +1,91 @@
+// Failover walkthrough: what the TopAA metafile buys when a node takes
+// over its partner's aggregates (§3.4), including the corruption fallback.
+//
+//   ./build/examples/failover_replay
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "sim/aging.hpp"
+#include "util/thread_pool.hpp"
+#include "wafl/consistency_point.hpp"
+#include "wafl/mount.hpp"
+
+int main() {
+  using namespace wafl;
+
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = 128 * 1024;
+  rg.media.type = MediaType::kHdd;
+  cfg.raid_groups = {rg, rg};
+  Aggregate agg(cfg, 11);
+
+  FlexVolConfig vol;
+  vol.file_blocks = 256 * 1024;
+  vol.vvbn_blocks = (vol.file_blocks / kFlatAaBlocks + 2) * kFlatAaBlocks;
+  agg.add_volume(vol);
+  agg.add_volume(vol);
+
+  std::printf("writing history so bitmaps and TopAA metafiles exist on "
+              "media...\n");
+  AgingConfig aging;
+  aging.fill_fraction = 0.5;
+  aging.overwrite_passes = 0.5;
+  age_filesystem(agg, std::array{VolumeId{0}, VolumeId{1}}, aging);
+
+  ThreadPool pool(2);
+
+  // --- Takeover with TopAA -------------------------------------------------
+  const MountReport fast = mount_all(agg, /*use_topaa=*/true, &pool);
+  std::printf("\n[takeover with TopAA]\n");
+  std::printf("  metafile blocks read to gate the first CP: %llu "
+              "(constant: 1/RAID group + 2/volume)\n",
+              static_cast<unsigned long long>(fast.gate_block_reads));
+  std::printf("  RAID groups seeded: %zu, volumes seeded: %zu\n",
+              fast.rgs_seeded, fast.vols_seeded);
+
+  // First CP runs from the seeds; the full caches rebuild in background.
+  std::vector<DirtyBlock> dirty;
+  for (std::uint64_t l = 0; l < 4096; ++l) dirty.push_back({0, l});
+  const CpStats first = ConsistencyPoint::run(agg, dirty);
+  std::printf("  first CP: %llu blocks written from seeded caches\n",
+              static_cast<unsigned long long>(first.blocks_written));
+  const std::uint64_t bg = complete_background(agg, &pool);
+  std::printf("  background rebuild read %llu metafile blocks off the "
+              "client-visible path\n",
+              static_cast<unsigned long long>(bg));
+
+  // --- Takeover without TopAA ---------------------------------------------
+  const MountReport slow = mount_all(agg, /*use_topaa=*/false, &pool);
+  std::printf("\n[takeover without TopAA]\n");
+  std::printf("  metafile blocks read to gate the first CP: %llu "
+              "(the full bitmap walk)\n",
+              static_cast<unsigned long long>(slow.gate_block_reads));
+  std::printf("  -> %.0fx more gating I/O than the TopAA path\n",
+              static_cast<double>(slow.gate_block_reads) /
+                  static_cast<double>(fast.gate_block_reads));
+
+  // --- Damaged TopAA: detected, never trusted ------------------------------
+  // Run a CP so fresh TopAA metafiles exist, then corrupt one on "media".
+  dirty.clear();
+  for (std::uint64_t l = 0; l < 1024; ++l) dirty.push_back({1, l});
+  ConsistencyPoint::run(agg, dirty);
+  const std::uint64_t vol1_topaa =
+      agg.volume(1).store().capacity_blocks() -
+      TopAaFile::kRaidAgnosticBlocks;
+  agg.volume(1).store().corrupt(vol1_topaa, /*bit_index=*/12345);
+
+  const MountReport mixed = mount_all(agg, /*use_topaa=*/true, &pool);
+  std::printf("\n[takeover with one damaged TopAA block]\n");
+  std::printf("  volumes seeded from TopAA: %zu of %zu — the damaged one "
+              "failed its checksum and fell back to the bitmap scan\n",
+              mixed.vols_seeded, agg.volume_count());
+  std::printf("  gate reads: %llu (TopAA blocks plus one volume's full "
+              "bitmap)\n",
+              static_cast<unsigned long long>(mixed.gate_block_reads));
+  std::printf("\na damaged TopAA can cost time, never correctness.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: build a small two-RAID-group aggregate with one FlexVol,
+// write and overwrite data through consistency points, and watch the AA
+// caches steer allocation.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "wafl/consistency_point.hpp"
+#include "wafl/mount.hpp"
+
+int main() {
+  using namespace wafl;
+
+  // --- 1. An aggregate: 2 RAID groups of 4 data + 1 parity HDDs. ---------
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = 64 * 1024;  // 256 MiB per device
+  rg.media.type = MediaType::kHdd;
+  cfg.raid_groups = {rg, rg};
+  Aggregate agg(cfg, /*rng_seed=*/1);
+  std::printf("aggregate: %zu RAID groups, %llu blocks (%.1f GiB)\n",
+              agg.raid_group_count(),
+              static_cast<unsigned long long>(agg.total_blocks()),
+              static_cast<double>(agg.total_blocks()) * 4096 /
+                  (1024.0 * 1024.0 * 1024.0));
+  std::printf("RAID AA size: %u blocks -> %u AAs per group "
+              "(max-heap cache, §3.3.1)\n",
+              agg.rg_layout(0).aa_blocks(), agg.rg_layout(0).aa_count());
+
+  // --- 2. A FlexVol with a 256 MiB logical file. --------------------------
+  FlexVolConfig vol_cfg;
+  vol_cfg.file_blocks = 64 * 1024;
+  vol_cfg.vvbn_blocks = 4ull * kFlatAaBlocks;
+  FlexVol& vol = agg.add_volume(vol_cfg);
+  std::printf("volume: %llu-block file, %u virtual AAs (HBPS cache, "
+              "§3.3.2)\n\n",
+              static_cast<unsigned long long>(vol.file_blocks()),
+              vol.layout().aa_count());
+
+  // --- 3. Write the file, then overwrite part of it (COW). ---------------
+  std::vector<DirtyBlock> dirty;
+  for (std::uint64_t l = 0; l < vol_cfg.file_blocks; ++l) {
+    dirty.push_back({vol.id(), l});
+  }
+  CpStats fill = ConsistencyPoint::run(agg, dirty);
+  std::printf("fill CP : %llu blocks written, %llu tetrises, "
+              "%.1f%% full stripes\n",
+              static_cast<unsigned long long>(fill.blocks_written),
+              static_cast<unsigned long long>(fill.tetrises),
+              100.0 * static_cast<double>(fill.full_stripes) /
+                  static_cast<double>(fill.full_stripes +
+                                      fill.partial_stripes));
+
+  dirty.clear();
+  for (std::uint64_t l = 0; l < 20'000; l += 2) {
+    dirty.push_back({vol.id(), l});
+  }
+  const CpStats overwrite = ConsistencyPoint::run(agg, dirty);
+  std::printf("overwrite CP: %llu written, %llu freed (copy-on-write), "
+              "chosen physical AAs averaged %.0f%% free\n",
+              static_cast<unsigned long long>(overwrite.blocks_written),
+              static_cast<unsigned long long>(overwrite.blocks_freed),
+              overwrite.agg_pick_free_frac.mean() * 100.0);
+
+  // --- 4. Failover: remount from the TopAA metafiles (§3.4). -------------
+  const MountReport mount = mount_all(agg, /*use_topaa=*/true);
+  std::printf("\nremount via TopAA: %llu metafile blocks read "
+              "(scan path would read %llu)\n",
+              static_cast<unsigned long long>(mount.gate_block_reads),
+              static_cast<unsigned long long>(
+                  agg.activemap().metafile().metafile_blocks() +
+                  vol.activemap().metafile().metafile_blocks()));
+
+  dirty.clear();
+  for (std::uint64_t l = 1; l < 2'000; l += 2) {
+    dirty.push_back({vol.id(), l});
+  }
+  const CpStats first = ConsistencyPoint::run(agg, dirty);
+  std::printf("first CP after mount: %llu blocks written from seeded "
+              "caches\n",
+              static_cast<unsigned long long>(first.blocks_written));
+  return 0;
+}

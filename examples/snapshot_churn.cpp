@@ -1,0 +1,102 @@
+// Snapshot churn: COW snapshots, their deletion, and why that helps the
+// AA cache (§4.1.1: "the freeing of blocks due to other internal
+// activity, such as snapshot deletion, further adds to this
+// nonuniformity").
+//
+//   ./build/examples/snapshot_churn
+#include <cstdio>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "wafl/consistency_point.hpp"
+
+namespace {
+
+wafl::Aggregate make_aggregate() {
+  wafl::AggregateConfig cfg;
+  wafl::RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = 128 * 1024;
+  rg.media.type = wafl::MediaType::kHdd;
+  rg.aa_stripes = 2048;
+  cfg.raid_groups = {rg};
+  return wafl::Aggregate(cfg, 19);
+}
+
+double aa_free_stddev(const wafl::Aggregate& agg) {
+  wafl::RunningStat stat;
+  const auto& board = agg.rg_scoreboard(0);
+  const auto& layout = agg.rg_layout(0);
+  for (wafl::AaId aa = 0; aa < board.aa_count(); ++aa) {
+    stat.add(static_cast<double>(board.score(aa)) /
+             static_cast<double>(layout.aa_capacity(aa)));
+  }
+  return stat.stddev();
+}
+
+}  // namespace
+
+int main() {
+  using namespace wafl;
+  Aggregate agg = make_aggregate();
+  FlexVolConfig vcfg;
+  vcfg.file_blocks = 256 * 1024;
+  vcfg.vvbn_blocks = 20ull * kFlatAaBlocks;
+  vcfg.aa_blocks = kFlatAaBlocks;
+  FlexVol& vol = agg.add_volume(vcfg);
+
+  auto cp = [&](std::uint64_t lo, std::uint64_t hi) {
+    std::vector<DirtyBlock> dirty;
+    for (std::uint64_t l = lo; l < hi; ++l) dirty.push_back({0, l});
+    return ConsistencyPoint::run(agg, dirty);
+  };
+
+  std::printf("writing a 1 GiB working set...\n");
+  cp(0, 200'000);
+  std::printf("per-AA free-space stddev: %.3f (freshly written)\n\n",
+              aa_free_stddev(agg));
+
+  // Hourly-snapshot lifecycle: snapshot, modify, eventually delete.
+  std::printf("snapshot lifecycle: create -> overwrite 60K blocks -> "
+              "delete oldest, x4\n");
+  std::vector<SnapId> snaps;
+  for (int hour = 0; hour < 4; ++hour) {
+    snaps.push_back(vol.create_snapshot());
+    const auto lo = static_cast<std::uint64_t>(hour) * 30'000;
+    cp(lo, lo + 60'000);
+    std::printf(
+        "  hour %d: %zu snapshots, %llu blocks held beyond the live file\n",
+        hour, vol.snapshot_count(),
+        static_cast<unsigned long long>(
+            (agg.total_blocks() - agg.free_blocks()) - 200'000));
+    if (snaps.size() > 2) {
+      vol.delete_snapshot(snaps[snaps.size() - 3]);
+      std::printf("    deleted oldest -> %llu delayed frees queued\n",
+                  static_cast<unsigned long long>(
+                      vol.pending_delayed_frees()));
+    }
+  }
+
+  // Delete the rest; CPs absorb the reclamation a few regions at a time.
+  for (std::size_t i = snaps.size() - 2; i < snaps.size(); ++i) {
+    vol.delete_snapshot(snaps[i]);
+  }
+  std::printf("\nall snapshots deleted: %llu delayed frees pending\n",
+              static_cast<unsigned long long>(vol.pending_delayed_frees()));
+  int cps = 0;
+  while (vol.pending_delayed_frees() > 0) {
+    cp(250'000 + static_cast<std::uint64_t>(cps),
+       250'000 + static_cast<std::uint64_t>(cps) + 1);
+    ++cps;
+  }
+  std::printf("reclaimed by %d ordinary CPs (richest regions first, "
+              "bounded work per CP)\n",
+              cps);
+  std::printf("\nper-AA free-space stddev after snapshot churn: %.3f\n",
+              aa_free_stddev(agg));
+  std::printf(
+      "-> bulk snapshot frees cluster by write-time locality, deepening "
+      "the\n   non-uniformity the AA cache exploits (§4.1.1).\n");
+  return 0;
+}

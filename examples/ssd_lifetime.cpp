@@ -1,0 +1,90 @@
+// SSD lifetime study: how allocation-area size changes the write
+// amplification an SSD's flash translation layer produces — and therefore
+// device lifetime (§3.2.2: "SSDs come with a program/erase-cycles rating
+// ... minimizing write amplification is critical to maximizing device
+// lifetime").
+//
+// Sweeps AA size from a fraction of the erase block to several erase
+// blocks and reports steady-state WA plus the implied lifetime multiple.
+//
+//   ./build/examples/ssd_lifetime
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "sim/aging.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace wafl;
+
+  constexpr std::uint32_t kEraseBlockPages = 8192;  // 32 MiB erase unit
+  const std::vector<std::uint32_t> aa_stripes = {2048, 4096, 8192, 16384,
+                                                 32768};
+
+  std::printf("AA size sweep on a 4+1 all-SSD RAID group aged to 80%%:\n");
+  std::printf("%14s %16s %10s %18s\n", "AA stripes", "AA/erase-block",
+              "stable WA", "relative lifetime");
+
+  double base_wa = 0.0;
+  for (const std::uint32_t stripes : aa_stripes) {
+    AggregateConfig cfg;
+    RaidGroupConfig rg;
+    rg.data_devices = 4;
+    rg.parity_devices = 1;
+    rg.device_blocks = 131'072;
+    rg.media.type = MediaType::kSsd;
+    rg.media.ssd.pages_per_erase_block = kEraseBlockPages;
+    rg.aa_stripes = stripes;
+    cfg.raid_groups = {rg};
+    Aggregate agg(cfg, 3);
+
+    FlexVolConfig vol;
+    vol.file_blocks = agg.total_blocks();
+    vol.vvbn_blocks =
+        (vol.file_blocks / kFlatAaBlocks + 2) * kFlatAaBlocks;
+    agg.add_volume(vol);
+
+    AgingConfig aging;
+    aging.fill_fraction = 0.80;
+    aging.overwrite_passes = 0.5;
+    aging.zipf_theta = 0.8;
+    age_filesystem(agg, std::array{VolumeId{0}}, aging);
+
+    // Steady-state churn with fresh wear counters.
+    agg.reset_wear_windows();
+    Rng rng(9);
+    RandomOverwriteWorkload wl(
+        {0},
+        static_cast<std::uint64_t>(0.8 *
+                                   static_cast<double>(vol.file_blocks)),
+        1, 0.8);
+    std::vector<DirtyBlock> batch;
+    for (int cp = 0; cp < 12; ++cp) {
+      batch.clear();
+      std::vector<std::uint8_t> seen(vol.file_blocks, 0);
+      while (batch.size() < 24'576) {
+        const DirtyBlock db = wl.next_write(rng);
+        if (seen[db.logical] == 0) {
+          seen[db.logical] = 1;
+          batch.push_back(db);
+        }
+      }
+      ConsistencyPoint::run(agg, batch);
+    }
+
+    const double wa = agg.mean_write_amplification();
+    if (base_wa == 0.0) base_wa = wa;
+    std::printf("%14u %16.2f %10.2f %17.2fx\n", stripes,
+                static_cast<double>(stripes) / kEraseBlockPages, wa,
+                base_wa / wa);
+  }
+
+  std::printf(
+      "\nAAs spanning whole erase blocks let the emptiest-AA policy "
+      "rewrite\nwhole blocks at once, so the FTL relocates little — the "
+      "§3.2.2 design\npoint that let NetApp ship lower-overprovisioning "
+      "SSDs.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "bitmap/bitmap.hpp"
+
+#include <bit>
+
+namespace wafl {
+
+std::uint64_t Bitmap::count_set(std::uint64_t begin, std::uint64_t end) const {
+  WAFL_ASSERT(begin <= end && end <= nbits_);
+  if (begin == end) return 0;
+
+  const std::uint64_t first_word = begin >> 6;
+  const std::uint64_t last_word = (end - 1) >> 6;
+
+  if (first_word == last_word) {
+    std::uint64_t w = words_[first_word];
+    w >>= (begin & 63);
+    const std::uint64_t span_bits = end - begin;
+    if (span_bits < 64) w &= (std::uint64_t{1} << span_bits) - 1;
+    return static_cast<std::uint64_t>(std::popcount(w));
+  }
+
+  std::uint64_t total = 0;
+  // Head partial word.
+  total += static_cast<std::uint64_t>(
+      std::popcount(words_[first_word] >> (begin & 63)));
+  // Middle full words.
+  for (std::uint64_t w = first_word + 1; w < last_word; ++w) {
+    total += static_cast<std::uint64_t>(std::popcount(words_[w]));
+  }
+  // Tail partial word.
+  const std::uint64_t tail_bits = ((end - 1) & 63) + 1;
+  std::uint64_t tail = words_[last_word];
+  if (tail_bits < 64) tail &= (std::uint64_t{1} << tail_bits) - 1;
+  total += static_cast<std::uint64_t>(std::popcount(tail));
+  return total;
+}
+
+std::uint64_t Bitmap::find_first_clear(std::uint64_t begin,
+                                       std::uint64_t end) const {
+  WAFL_ASSERT(begin <= end && end <= nbits_);
+  std::uint64_t i = begin;
+  while (i < end) {
+    const std::uint64_t word_idx = i >> 6;
+    // Invert so clear bits become set, mask off bits below i.
+    std::uint64_t w = ~words_[word_idx] & ~((std::uint64_t{1} << (i & 63)) - 1);
+    if (w != 0) {
+      const std::uint64_t bit =
+          (word_idx << 6) +
+          static_cast<std::uint64_t>(std::countr_zero(w));
+      return bit < end ? bit : end;
+    }
+    i = (word_idx + 1) << 6;
+  }
+  return end;
+}
+
+std::uint64_t Bitmap::find_first_set(std::uint64_t begin,
+                                     std::uint64_t end) const {
+  WAFL_ASSERT(begin <= end && end <= nbits_);
+  std::uint64_t i = begin;
+  while (i < end) {
+    const std::uint64_t word_idx = i >> 6;
+    std::uint64_t w = words_[word_idx] & ~((std::uint64_t{1} << (i & 63)) - 1);
+    if (w != 0) {
+      const std::uint64_t bit =
+          (word_idx << 6) +
+          static_cast<std::uint64_t>(std::countr_zero(w));
+      return bit < end ? bit : end;
+    }
+    i = (word_idx + 1) << 6;
+  }
+  return end;
+}
+
+std::uint64_t Bitmap::clear_run_length(std::uint64_t begin,
+                                       std::uint64_t end) const {
+  const std::uint64_t next_set = find_first_set(begin, end);
+  return next_set - begin;
+}
+
+}  // namespace wafl

@@ -1,0 +1,191 @@
+#include "bitmap/bitmap_metafile.hpp"
+
+#include <cstring>
+
+#include "util/thread_pool.hpp"
+
+namespace wafl {
+
+namespace {
+constexpr std::uint64_t kWordsPerBlock = kBitsPerBitmapBlock / 64;
+}  // namespace
+
+BitmapMetafile::BitmapMetafile(std::uint64_t nbits, BlockStore* store,
+                               std::uint64_t store_base_block)
+    : bits_(nbits),
+      free_per_block_((nbits + kBitsPerBitmapBlock - 1) / kBitsPerBitmapBlock),
+      total_free_(nbits),
+      dirty_flag_(free_per_block_.size(), false),
+      store_(store),
+      store_base_(store_base_block) {
+  // All bits start clear (free); the last block may cover fewer bits.
+  for (std::uint64_t b = 0; b < free_per_block_.size(); ++b) {
+    const std::uint64_t lo = b * kBitsPerBitmapBlock;
+    const std::uint64_t hi = std::min<std::uint64_t>(
+        lo + kBitsPerBitmapBlock, nbits);
+    free_per_block_[b] = static_cast<std::uint32_t>(hi - lo);
+  }
+}
+
+void BitmapMetafile::set_allocated(Vbn v) {
+  WAFL_ASSERT_MSG(!bits_.test(v), "double allocation");
+  bits_.set(v);
+  const std::uint64_t b = v / kBitsPerBitmapBlock;
+  WAFL_ASSERT(free_per_block_[b] > 0);
+  --free_per_block_[b];
+  --total_free_;
+  mark_dirty(b);
+}
+
+void BitmapMetafile::set_free(Vbn v) {
+  WAFL_ASSERT_MSG(bits_.test(v), "freeing a free block");
+  bits_.clear(v);
+  const std::uint64_t b = v / kBitsPerBitmapBlock;
+  ++free_per_block_[b];
+  ++total_free_;
+  mark_dirty(b);
+}
+
+std::uint64_t BitmapMetafile::free_in_range(Vbn begin, Vbn end) const {
+  WAFL_ASSERT(begin <= end && end <= bits_.size());
+  // Fast path: block-aligned range answered from the summary.
+  if (begin % kBitsPerBitmapBlock == 0 && end % kBitsPerBitmapBlock == 0) {
+    std::uint64_t total = 0;
+    for (std::uint64_t b = begin / kBitsPerBitmapBlock;
+         b < end / kBitsPerBitmapBlock; ++b) {
+      total += free_per_block_[b];
+    }
+    return total;
+  }
+  return bits_.count_clear(begin, end);
+}
+
+void BitmapMetafile::begin_cp() {
+  for (const std::uint64_t b : dirty_list_) {
+    dirty_flag_[b] = false;
+  }
+  dirty_list_.clear();
+}
+
+std::uint64_t BitmapMetafile::flush() {
+  const std::uint64_t flushed = dirty_list_.size();
+  if (store_ != nullptr) {
+    alignas(8) std::byte buf[kBlockSize];
+    for (const std::uint64_t b : dirty_list_) {
+      serialize_block(b, buf);
+      store_->write(store_base_ + b, buf);
+    }
+  }
+  begin_cp();
+  return flushed;
+}
+
+void BitmapMetafile::load_all(ThreadPool* pool) {
+  // Read serialized blocks into the word array, then recompute summaries.
+  auto load_block = [this](std::size_t b) {
+    alignas(8) std::byte buf[kBlockSize];
+    store_->read(store_base_ + b, buf);
+    const std::uint64_t lo_bit = b * kBitsPerBitmapBlock;
+    const std::uint64_t hi_bit =
+        std::min<std::uint64_t>(lo_bit + kBitsPerBitmapBlock, bits_.size());
+    std::uint64_t word[1];
+    for (std::uint64_t i = 0; i < kWordsPerBlock; ++i) {
+      const std::uint64_t bit0 = lo_bit + i * 64;
+      if (bit0 >= hi_bit) break;
+      std::memcpy(word, buf + i * 8, 8);
+      for (std::uint64_t j = 0; j < 64 && bit0 + j < hi_bit; ++j) {
+        const bool want = (word[0] >> j) & 1u;
+        if (want != bits_.test(bit0 + j)) {
+          if (want) {
+            bits_.set(bit0 + j);
+          } else {
+            bits_.clear(bit0 + j);
+          }
+        }
+      }
+    }
+    free_per_block_[b] =
+        static_cast<std::uint32_t>(bits_.count_clear(lo_bit, hi_bit));
+  };
+
+  WAFL_ASSERT_MSG(store_ != nullptr, "load_all without a backing store");
+  // BlockStore reads mutate shared I/O counters, so the store walk itself is
+  // serial; per-block summary recomputation dominates and parallelizes, but
+  // with interleaved reads that is unsafe.  Parallelize only the summary
+  // recount pass.
+  if (pool == nullptr) {
+    for (std::uint64_t b = 0; b < free_per_block_.size(); ++b) {
+      load_block(static_cast<std::size_t>(b));
+    }
+  } else {
+    for (std::uint64_t b = 0; b < free_per_block_.size(); ++b) {
+      load_block(static_cast<std::size_t>(b));
+    }
+    // Recount summaries in parallel (idempotent over loaded bits).
+    pool->parallel_for(0, free_per_block_.size(), [this](std::size_t b) {
+      const std::uint64_t lo = b * kBitsPerBitmapBlock;
+      const std::uint64_t hi = std::min<std::uint64_t>(
+          lo + kBitsPerBitmapBlock, bits_.size());
+      free_per_block_[b] =
+          static_cast<std::uint32_t>(bits_.count_clear(lo, hi));
+    });
+  }
+  total_free_ = 0;
+  for (const std::uint32_t f : free_per_block_) total_free_ += f;
+  begin_cp();
+}
+
+void BitmapMetafile::grow(std::uint64_t new_nbits) {
+  WAFL_ASSERT(new_nbits >= bits_.size());
+  const std::uint64_t old_nbits = bits_.size();
+  bits_.grow(new_nbits);
+  const std::uint64_t new_blocks =
+      (new_nbits + kBitsPerBitmapBlock - 1) / kBitsPerBitmapBlock;
+  // The previously-last block may have been partial; its free count gains
+  // the bits the growth added to it.
+  if (!free_per_block_.empty()) {
+    const std::uint64_t last = free_per_block_.size() - 1;
+    const std::uint64_t old_hi = old_nbits;
+    const std::uint64_t last_hi =
+        std::min<std::uint64_t>((last + 1) * kBitsPerBitmapBlock, new_nbits);
+    if (last_hi > old_hi) {
+      free_per_block_[last] += static_cast<std::uint32_t>(last_hi - old_hi);
+      total_free_ += last_hi - old_hi;
+      mark_dirty(last);
+    }
+  }
+  for (std::uint64_t b = free_per_block_.size(); b < new_blocks; ++b) {
+    const std::uint64_t lo = b * kBitsPerBitmapBlock;
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(lo + kBitsPerBitmapBlock, new_nbits);
+    free_per_block_.push_back(static_cast<std::uint32_t>(hi - lo));
+    dirty_flag_.push_back(false);
+    total_free_ += hi - lo;
+  }
+}
+
+void BitmapMetafile::mark_dirty(std::uint64_t block) {
+  if (!dirty_flag_[block]) {
+    dirty_flag_[block] = true;
+    dirty_list_.push_back(block);
+  }
+}
+
+void BitmapMetafile::serialize_block(std::uint64_t block,
+                                     std::span<std::byte> out) const {
+  WAFL_ASSERT(out.size() == kBlockSize);
+  const auto& words = bits_.words();
+  const std::uint64_t first_word = block * kWordsPerBlock;
+  const std::uint64_t have =
+      first_word < words.size()
+          ? std::min<std::uint64_t>(kWordsPerBlock, words.size() - first_word)
+          : 0;
+  if (have > 0) {
+    std::memcpy(out.data(), words.data() + first_word, have * 8);
+  }
+  if (have < kWordsPerBlock) {
+    std::memset(out.data() + have * 8, 0, (kWordsPerBlock - have) * 8);
+  }
+}
+
+}  // namespace wafl

@@ -1,0 +1,68 @@
+// Common interface of the two allocation-area caches (§3.3).
+//
+// An AA cache provides the write allocator with the emptiest (or
+// near-emptiest) allocation areas.  The allocator *checks out* an AA with
+// take_best(), fills its free blocks sequentially, and the CP boundary
+// checks it back in with insert() at its new score.  AAs that change score
+// while resident in the cache (blocks freed or allocated behind the
+// allocator's back) are re-keyed with update_score().
+//
+// Two implementations exist, matching the paper:
+//   - MaxHeapAaCache (§3.3.1): tracks ALL AAs of a RAID group, exact best.
+//   - Hbps            (§3.3.2): histogram-based partial sort, bounded
+//     memory, best within one bin width.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/scoreboard.hpp"
+#include "util/types.hpp"
+
+namespace wafl {
+
+/// An AA handed to the write allocator, with the score it had when taken.
+struct AaPick {
+  AaId aa;
+  AaScore score;
+
+  friend bool operator==(const AaPick&, const AaPick&) = default;
+};
+
+class AaCache {
+ public:
+  virtual ~AaCache() = default;
+
+  /// Removes and returns the best-scoring AA available, or nullopt when the
+  /// cache has none to give.
+  virtual std::optional<AaPick> take_best() = 0;
+
+  /// Score of the current best AA without taking it — the write allocator
+  /// uses this as the RAID group's fragmentation indicator (§3.3.1).
+  virtual std::optional<AaScore> peek_best_score() const = 0;
+
+  /// Adds (or re-adds after checkout) an AA at the given score.
+  virtual void insert(AaId aa, AaScore score) = 0;
+
+  /// Re-keys a resident AA whose score changed old_score -> new_score.
+  /// No-op if the AA is not resident (e.g., HBPS tracks it only in the
+  /// histogram).
+  virtual void update_score(AaId aa, AaScore old_score,
+                            AaScore new_score) = 0;
+
+  /// AAs currently resident (not checked out).
+  virtual std::size_t size() const noexcept = 0;
+
+  /// Structural invariant check (test hook).
+  virtual bool validate() const = 0;
+
+  /// Applies a CP boundary's batch of score changes (§3.3's rebalance).
+  void apply_changes(std::span<const ScoreChange> changes) {
+    for (const ScoreChange& c : changes) {
+      update_score(c.aa, c.old_score, c.new_score);
+    }
+  }
+};
+
+}  // namespace wafl

@@ -1,0 +1,98 @@
+// Allocation-area topology (§3.1).
+//
+// WAFL defines fixed-size regions of the block-number space, called
+// allocation areas (AAs), and tracks the availability of free space within
+// each region.  Two topologies exist, but both reduce to contiguous VBN
+// ranges:
+//
+//  - RAID-aware: an AA is a set of consecutive stripes (Figure 2/3).  With
+//    this library's VBN mapping (see raid_geometry.hpp), S consecutive
+//    stripes are exactly S × data_devices consecutive VBNs, so the AA is a
+//    contiguous VBN range whose size is aa_stripes × data_devices.
+//
+//  - RAID-agnostic (FlexVols, object stores): an AA is a set of consecutive
+//    VBNs, sized to match bitmap-metafile-block alignment (32 Ki VBNs by
+//    default, §3.2.1).
+//
+// AaLayout is the pure geometry: VBN ↔ AA mapping over a half-open VBN
+// range [base, base + blocks).  The last AA may be short if the range is
+// not a multiple of the AA size.
+#pragma once
+
+#include <cstdint>
+
+#include "raid/raid_geometry.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace wafl {
+
+class AaLayout {
+ public:
+  /// Flat (RAID-agnostic) layout: AAs of `aa_blocks` consecutive VBNs over
+  /// [base, base + total_blocks).
+  static AaLayout flat(Vbn base, std::uint64_t total_blocks,
+                       std::uint32_t aa_blocks = kFlatAaBlocks) {
+    return AaLayout(base, total_blocks, aa_blocks);
+  }
+
+  /// RAID-aware layout: AAs of `aa_stripes` consecutive stripes over the
+  /// whole group, whose VBN range starts at `base`.
+  static AaLayout raid(Vbn base, const RaidGeometry& geom,
+                       std::uint32_t aa_stripes = kDefaultRaidAaStripes) {
+    WAFL_ASSERT_MSG(aa_stripes % kTetrisStripes == 0,
+                    "AA size must be whole tetrises");
+    const std::uint64_t aa_blocks =
+        static_cast<std::uint64_t>(aa_stripes) * geom.data_devices();
+    WAFL_ASSERT_MSG(aa_blocks <= 0xFFFFFFFFull, "AA too large");
+    return AaLayout(base, geom.data_blocks(),
+                    static_cast<std::uint32_t>(aa_blocks));
+  }
+
+  Vbn base() const noexcept { return base_; }
+  std::uint64_t total_blocks() const noexcept { return total_blocks_; }
+  std::uint32_t aa_blocks() const noexcept { return aa_blocks_; }
+
+  AaId aa_count() const noexcept {
+    return static_cast<AaId>((total_blocks_ + aa_blocks_ - 1) / aa_blocks_);
+  }
+
+  AaId aa_of(Vbn v) const noexcept {
+    WAFL_ASSERT(v >= base_ && v < base_ + total_blocks_);
+    return static_cast<AaId>((v - base_) / aa_blocks_);
+  }
+
+  Vbn aa_begin(AaId aa) const noexcept {
+    WAFL_ASSERT(aa < aa_count());
+    return base_ + static_cast<std::uint64_t>(aa) * aa_blocks_;
+  }
+
+  Vbn aa_end(AaId aa) const noexcept {
+    WAFL_ASSERT(aa < aa_count());
+    const Vbn end = base_ + static_cast<std::uint64_t>(aa + 1) * aa_blocks_;
+    const Vbn limit = base_ + total_blocks_;
+    return end < limit ? end : limit;
+  }
+
+  /// Blocks in this AA (== aa_blocks() except possibly for the last AA).
+  std::uint32_t aa_capacity(AaId aa) const noexcept {
+    return static_cast<std::uint32_t>(aa_end(aa) - aa_begin(aa));
+  }
+
+  /// The best possible score any AA in this layout can have.
+  AaScore max_score() const noexcept { return aa_blocks_; }
+
+ private:
+  AaLayout(Vbn base, std::uint64_t total_blocks, std::uint32_t aa_blocks)
+      : base_(base), total_blocks_(total_blocks), aa_blocks_(aa_blocks) {
+    WAFL_ASSERT(aa_blocks > 0);
+    WAFL_ASSERT(total_blocks > 0);
+  }
+
+  Vbn base_;
+  std::uint64_t total_blocks_;
+  std::uint32_t aa_blocks_;
+};
+
+}  // namespace wafl

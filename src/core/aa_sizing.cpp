@@ -1,0 +1,62 @@
+#include "core/aa_sizing.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace wafl {
+namespace {
+
+/// Smallest multiple of `align` that is >= value (value, align > 0).
+std::uint64_t round_up(std::uint64_t value, std::uint64_t align) {
+  WAFL_ASSERT(align > 0);
+  return (value + align - 1) / align * align;
+}
+
+}  // namespace
+
+std::uint32_t choose_raid_aa_stripes(const MediaGeometry& media) {
+  switch (media.type) {
+    case MediaType::kHdd:
+      return kDefaultRaidAaStripes;
+
+    case MediaType::kSsd: {
+      // Per-device span (== aa_stripes blocks on each device) should cover
+      // several erase blocks; fall back to the default when the erase-block
+      // size is unknown.
+      if (media.erase_block_blocks == 0) return kDefaultRaidAaStripes;
+      const std::uint64_t span = round_up(
+          media.erase_block_blocks * kSsdAaEraseBlockMultiple,
+          kTetrisStripes);
+      return static_cast<std::uint32_t>(
+          std::max<std::uint64_t>(span, kDefaultRaidAaStripes));
+    }
+
+    case MediaType::kSmr: {
+      if (media.zone_blocks == 0) return kDefaultRaidAaStripes;
+      std::uint64_t target = media.zone_blocks * kSmrAaZoneMultiple;
+      // Alignment unit: tetrises always; plus the AZCS data period (63
+      // data blocks per region) when zone checksums are in use, so AA
+      // boundaries coincide with region boundaries (Figure 4 C).
+      std::uint64_t align = kTetrisStripes;
+      if (media.azcs) {
+        align = std::lcm<std::uint64_t>(align, kAzcsDataBlocksPerRegion);
+      }
+      const std::uint64_t span =
+          round_up(std::max<std::uint64_t>(target, kDefaultRaidAaStripes),
+                   align);
+      return static_cast<std::uint32_t>(span);
+    }
+
+    case MediaType::kObjectStore:
+      // Native redundancy, no RAID geometry: AAs are 32 Ki consecutive
+      // VBNs matching one bitmap-metafile block (§3.2.1).  Object-store
+      // pools have a single 'device', so stripes == blocks.
+      return kFlatAaBlocks;
+  }
+  return kDefaultRaidAaStripes;
+}
+
+std::uint32_t choose_flat_aa_blocks() { return kFlatAaBlocks; }
+
+}  // namespace wafl

@@ -1,0 +1,51 @@
+// Media-aware allocation-area sizing policy (§3.2).
+//
+// Smaller AAs differentiate free-space quality at finer granularity; larger
+// AAs cost less memory and match media erase/shingle units.  The rules:
+//
+//  - HDD RAID groups: the historical default of 4 Ki stripes (§3.2.1).
+//  - SSD RAID groups: an AA whose *per-device* span covers several erase
+//    blocks, so the allocator's pick-emptiest-then-fill behaviour writes
+//    whole erase blocks and minimizes FTL relocation (§3.2.2, Figure 4 B).
+//  - SMR RAID groups: an AA whose per-device span is much larger than the
+//    shingle zone (§3.2.3); when AZCS is in use, additionally aligned to a
+//    multiple of the AZCS region's 63-data-block period so checksum blocks
+//    are always written sequentially with their region (§3.2.4, Figure 4 C).
+//  - No RAID geometry (FlexVols, object stores): 32 Ki consecutive VBNs,
+//    matching one bitmap-metafile block (§3.2.1).
+//
+// Every RAID AA size is also a multiple of the 64-stripe tetris so write
+// windows never straddle AAs.
+#pragma once
+
+#include <cstdint>
+
+#include "device/device.hpp"
+#include "util/units.hpp"
+
+namespace wafl {
+
+/// The media facts the sizing policy consumes.
+struct MediaGeometry {
+  MediaType type = MediaType::kHdd;
+  /// SSD: erase-block size in 4 KiB blocks (0 if unknown).
+  std::uint64_t erase_block_blocks = 0;
+  /// SMR: shingle-zone size in 4 KiB blocks (0 if unknown).
+  std::uint64_t zone_blocks = 0;
+  /// True when the device uses AZCS checksum regions (§3.2.4).
+  bool azcs = false;
+};
+
+/// How many erase blocks / shingle zones a media-tuned AA spans per device.
+inline constexpr std::uint32_t kSsdAaEraseBlockMultiple = 2;
+inline constexpr std::uint32_t kSmrAaZoneMultiple = 2;
+
+/// Chooses the AA size, in stripes, for a RAID group of the given media.
+/// The result is always a positive multiple of kTetrisStripes.
+std::uint32_t choose_raid_aa_stripes(const MediaGeometry& media);
+
+/// Chooses the AA size, in blocks, for a RAID-agnostic VBN range
+/// (a FlexVol's virtual VBNs, or physical storage with native redundancy).
+std::uint32_t choose_flat_aa_blocks();
+
+}  // namespace wafl

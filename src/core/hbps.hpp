@@ -1,0 +1,165 @@
+// Histogram-based partial sort (HBPS) — the paper's novel RAID-agnostic AA
+// cache (§3.3.2, Figure 5).
+//
+// The structure uses two 4 KiB pages regardless of how many AAs it tracks:
+//
+//   Page 1 (histogram): for each score bin (ranges of 1 Ki over the
+//     [0, 32 Ki] score space → 32 bins), the COUNT of AAs whose score falls
+//     in the bin, plus the INDEX of the bin's first entry in the list page
+//     (valid only for the best bins, whose AAs are listed).
+//
+//   Page 2 (list): up to 1,000 AA ids from the best bins, grouped by bin,
+//     best bin first, UNSORTED within a bin ("partial sort").
+//
+// Guarantees and costs, as the paper states them:
+//   - take_best() returns an AA whose score is within one bin width of the
+//     true maximum (≤ 3.125 % of 32 Ki for the default geometry);
+//   - a score moving between bins is O(1) histogram work, and list
+//     maintenance moves at most ONE entry per listed bin (the segmented-
+//     array shuffle of §3.3.2);
+//   - when the allocator consumes AAs faster than frees replenish the list,
+//     needs_replenish() turns true and a background scan rebuilds the list
+//     from the scoreboard / bitmap metafiles.
+//
+// Because only ids are stored (1,000 × 4 B fits one page), HBPS does not
+// know exact scores; take_best()'s returned score is the bin's upper bound
+// (callers needing the exact value consult the scoreboard).  The in-memory
+// form adds a small id→slot index for O(1) membership tests; it is
+// transient acceleration and is NOT part of the persisted two pages.
+//
+// HBPS is generic over the score space (max_score / bin_width / capacity)
+// because WAFL reuses it wherever millions of items need close-to-optimal
+// ordering in bounded memory — e.g., delayed-free scores.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/aa_cache.hpp"
+#include "core/scoreboard.hpp"
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace wafl {
+
+class Hbps final : public AaCache {
+ public:
+  struct Config {
+    AaScore max_score = kFlatAaBlocks;          // best possible score
+    std::uint32_t bin_width = kHbpsBinWidth;    // score range per bin
+    std::uint32_t list_capacity = kHbpsListCapacity;
+  };
+
+  Hbps() : Hbps(Config{}) {}
+  explicit Hbps(Config cfg);
+
+  const Config& config() const noexcept { return cfg_; }
+  std::uint32_t bin_count() const noexcept {
+    return static_cast<std::uint32_t>(hist_.size());
+  }
+
+  /// Bin index for a score: bin 0 holds the best scores.
+  std::uint32_t bin_of(AaScore score) const noexcept;
+
+  /// Upper bound of the scores bin `b` covers.
+  AaScore bin_upper_bound(std::uint32_t b) const noexcept;
+
+  /// (Re)builds histogram and list from a scoreboard, skipping AAs that are
+  /// currently checked out.  This is the background-scan path.
+  void build(const AaScoreBoard& board);
+
+  /// Same, from raw scores indexed by id — for uses beyond AA tracking
+  /// (e.g. delayed-free scores, §3.3.2).
+  void build(std::span<const AaScore> scores);
+
+  // --- AaCache ------------------------------------------------------------
+  std::optional<AaPick> take_best() override;
+  std::optional<AaScore> peek_best_score() const override;
+  void insert(AaId aa, AaScore score) override;
+  void update_score(AaId aa, AaScore old_score, AaScore new_score) override;
+  /// Resident AAs (histogram total), listed or not.
+  std::size_t size() const noexcept override { return tracked_; }
+
+  /// True when the background scan should refill the list (§3.3.2's
+  /// replenish).  Two triggers:
+  ///   - the allocator consumed AAs faster than frees re-listed them and
+  ///     the list ran dry while the histogram still tracks AAs; or
+  ///   - the list's best bin is worse than the histogram's best bin: AAs
+  ///     that arrived while the list was full of equally-good entries were
+  ///     skipped, and the list has since drained past their range — they
+  ///     are stranded until a scan re-admits them.
+  bool needs_replenish() const noexcept {
+    if (tracked_ == 0) return false;
+    if (list_.empty()) return true;
+    return best_listed_bin() > best_histogram_bin();
+  }
+
+  /// First histogram bin with a nonzero count (kNoSegment if none) —
+  /// exposed for tests.
+  std::int32_t best_histogram_bin() const noexcept;
+
+  // --- Persistence (§3.4: the RAID-agnostic TopAA metafile embeds these
+  // two pages directly) ----------------------------------------------------
+  static constexpr std::size_t kPageBytes = kBlockSize;
+
+  /// Serializes into the histogram page and the list page (each exactly
+  /// kPageBytes).  Each page carries a CRC-32C in its trailing 4 bytes.
+  void save(std::span<std::byte> histogram_page,
+            std::span<std::byte> list_page) const;
+
+  /// Rebuilds an Hbps from two pages; nullopt when either CRC or any
+  /// structural check fails (the caller then falls back to a bitmap scan).
+  static std::optional<Hbps> load(std::span<const std::byte> histogram_page,
+                                  std::span<const std::byte> list_page);
+
+  // --- Introspection (tests) ----------------------------------------------
+  std::uint32_t histogram_count(std::uint32_t bin) const {
+    return hist_[bin];
+  }
+  std::uint32_t listed_count(std::uint32_t bin) const {
+    return list_count_[bin];
+  }
+  std::size_t list_size() const noexcept { return list_.size(); }
+  bool is_listed(AaId aa) const noexcept { return slot_of_.contains(aa); }
+  bool is_checked_out(AaId aa) const noexcept {
+    return checked_out_.contains(aa);
+  }
+  /// Full structural invariant check — test hook.
+  bool validate() const override;
+
+ private:
+  static constexpr std::int32_t kNoSegment = -1;
+
+  /// Worst (highest-index) bin that currently has listed entries, or
+  /// kNoSegment when the list is empty.
+  std::int32_t worst_listed_bin() const noexcept;
+  std::int32_t best_listed_bin() const noexcept;
+
+  /// Inserts `aa` into bin `b`'s list segment if it qualifies (room in the
+  /// list, or better than the worst listed bin).
+  void maybe_list(AaId aa, std::uint32_t b);
+
+  /// Removes the listed entry at absolute slot `i` (bin `b`), compacting
+  /// lower segments with one move per bin.
+  void unlist_at(std::uint32_t i, std::uint32_t b);
+
+  /// Drops the last entry of the worst listed bin.
+  void drop_worst();
+
+  void move_entry(std::uint32_t from, std::uint32_t to);
+
+  Config cfg_;
+  std::vector<std::uint32_t> hist_;        // all resident AAs, per bin
+  std::vector<std::int32_t> list_first_;   // per bin: first slot or -1
+  std::vector<std::uint32_t> list_count_;  // per bin: listed entries
+  std::vector<AaId> list_;                 // segmented by bin, best first
+  std::unordered_map<AaId, std::uint32_t> slot_of_;  // transient index
+  std::unordered_set<AaId> checked_out_;
+  std::size_t tracked_ = 0;  // resident AAs (sum of hist_)
+};
+
+}  // namespace wafl

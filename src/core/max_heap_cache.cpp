@@ -1,0 +1,142 @@
+#include "core/max_heap_cache.hpp"
+
+#include <algorithm>
+
+namespace wafl {
+
+MaxHeapAaCache::MaxHeapAaCache(AaId aa_universe)
+    : pos_(aa_universe, kAbsent) {
+  heap_.reserve(aa_universe);
+}
+
+void MaxHeapAaCache::build(const AaScoreBoard& board) {
+  heap_.clear();
+  std::fill(pos_.begin(), pos_.end(), kAbsent);
+  WAFL_ASSERT(board.aa_count() <= pos_.size());
+  for (AaId aa = 0; aa < board.aa_count(); ++aa) {
+    heap_.push_back({board.score(aa), aa});
+  }
+  // Floyd heap construction: O(n).
+  for (std::size_t i = heap_.size(); i-- > 0;) {
+    sift_down(i);
+  }
+  // sift_down only wrote pos_ for moved entries; fix up the rest.
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    pos_[heap_[i].aa] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void MaxHeapAaCache::seed(std::span<const AaPick> picks) {
+  heap_.clear();
+  std::fill(pos_.begin(), pos_.end(), kAbsent);
+  for (const AaPick& p : picks) {
+    insert(p.aa, p.score);
+  }
+}
+
+bool MaxHeapAaCache::remove(AaId aa) {
+  if (!contains(aa)) return false;
+  remove_at(pos_[aa]);
+  return true;
+}
+
+std::optional<AaPick> MaxHeapAaCache::take_best() {
+  if (heap_.empty()) return std::nullopt;
+  const Entry e = heap_[0];
+  remove_at(0);
+  return AaPick{e.aa, e.score};
+}
+
+std::optional<AaScore> MaxHeapAaCache::peek_best_score() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_[0].score;
+}
+
+void MaxHeapAaCache::insert(AaId aa, AaScore score) {
+  WAFL_ASSERT(aa < pos_.size());
+  WAFL_ASSERT_MSG(pos_[aa] == kAbsent, "AA already resident");
+  heap_.push_back({score, aa});
+  pos_[aa] = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+}
+
+void MaxHeapAaCache::update_score(AaId aa, AaScore old_score,
+                                  AaScore new_score) {
+  WAFL_ASSERT(aa < pos_.size());
+  const std::uint32_t i = pos_[aa];
+  if (i == kAbsent) return;  // checked out; will re-key on insert
+  WAFL_ASSERT(heap_[i].score == old_score);
+  heap_[i].score = new_score;
+  if (new_score > old_score) {
+    sift_up(i);
+  } else if (new_score < old_score) {
+    sift_down(i);
+  }
+}
+
+std::vector<AaPick> MaxHeapAaCache::top(std::size_t n) const {
+  // Partial selection on a copy; n is small (TopAA persists 512).
+  std::vector<Entry> copy = heap_;
+  n = std::min(n, copy.size());
+  std::partial_sort(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(n),
+                    copy.end(), better);
+  std::vector<AaPick> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({copy[i].aa, copy[i].score});
+  }
+  return out;
+}
+
+bool MaxHeapAaCache::validate() const {
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    const std::size_t parent = (i - 1) / 2;
+    if (better(heap_[i], heap_[parent])) return false;
+  }
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (pos_[heap_[i].aa] != i) return false;
+  }
+  return true;
+}
+
+void MaxHeapAaCache::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!better(e, heap_[parent])) break;
+    place(i, heap_[parent]);
+    i = parent;
+  }
+  place(i, e);
+}
+
+void MaxHeapAaCache::sift_down(std::size_t i) {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && better(heap_[child + 1], heap_[child])) {
+      ++child;
+    }
+    if (!better(heap_[child], e)) break;
+    place(i, heap_[child]);
+    i = child;
+  }
+  place(i, e);
+}
+
+void MaxHeapAaCache::remove_at(std::size_t i) {
+  WAFL_ASSERT(i < heap_.size());
+  pos_[heap_[i].aa] = kAbsent;
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (i == heap_.size()) return;
+  heap_[i] = last;
+  pos_[last.aa] = static_cast<std::uint32_t>(i);
+  // The displaced entry may need to move either way.
+  sift_up(i);
+  sift_down(pos_[last.aa]);
+}
+
+}  // namespace wafl

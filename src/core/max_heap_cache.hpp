@@ -1,0 +1,88 @@
+// RAID-aware AA cache: an indexed in-memory max-heap of ALL allocation
+// areas in a RAID group, keyed by AA score (§3.3.1).
+//
+// "This is an in-memory max-heap of all AAs in a RAID group sorted by
+//  score.  The max-heap is rebalanced at the end of each CP after updating
+//  the scores of AAs in which VBNs were allocated or freed."
+//
+// The heap stores (score, aa) pairs; a position index gives O(log n)
+// re-keying per changed AA at the CP boundary, so the rebalance cost is
+// O(changed · log n) rather than O(n).  Ties break toward the lower AA id
+// so behaviour is deterministic.
+//
+// Memory is ~8 bytes per AA plus 4 bytes of position index: ~1 MiB per
+// million AAs, matching the paper's 16 TiB-device example.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/aa_cache.hpp"
+#include "core/scoreboard.hpp"
+#include "util/assert.hpp"
+
+namespace wafl {
+
+class MaxHeapAaCache final : public AaCache {
+ public:
+  /// Creates an empty cache able to track AAs with ids below `aa_universe`.
+  explicit MaxHeapAaCache(AaId aa_universe);
+
+  /// Builds the full heap from a scoreboard in O(n).
+  void build(const AaScoreBoard& board);
+
+  /// Seeds the heap from a partial set of (aa, score) pairs — the TopAA
+  /// mount path (§3.4).  Previously held entries are discarded.
+  void seed(std::span<const AaPick> picks);
+
+  std::optional<AaPick> take_best() override;
+  std::optional<AaScore> peek_best_score() const override;
+  void insert(AaId aa, AaScore score) override;
+  void update_score(AaId aa, AaScore old_score, AaScore new_score) override;
+  std::size_t size() const noexcept override { return heap_.size(); }
+
+  bool contains(AaId aa) const noexcept {
+    return aa < pos_.size() && pos_[aa] != kAbsent;
+  }
+
+  /// Checks out a specific AA (the segment cleaner's pick, §3.3.1).
+  /// Returns false when the AA is not resident.
+  bool remove(AaId aa);
+
+  /// Copies out the best `n` entries in descending score order without
+  /// disturbing the heap — used to persist the TopAA metafile (§3.4).
+  std::vector<AaPick> top(std::size_t n) const;
+
+  /// Heap-order invariant check — test hook, O(n).
+  bool validate() const override;
+
+ private:
+  struct Entry {
+    AaScore score;
+    AaId aa;
+  };
+
+  /// True when a ranks strictly better than b (higher score; lower id as
+  /// the deterministic tie break).
+  static bool better(const Entry& a, const Entry& b) noexcept {
+    if (a.score != b.score) return a.score > b.score;
+    return a.aa < b.aa;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void place(std::size_t i, Entry e) {
+    heap_[i] = e;
+    pos_[e.aa] = static_cast<std::uint32_t>(i);
+  }
+  void remove_at(std::size_t i);
+
+  static constexpr std::uint32_t kAbsent = 0xFFFFFFFFu;
+
+  std::vector<Entry> heap_;
+  std::vector<std::uint32_t> pos_;  // aa -> heap index, kAbsent if not held
+};
+
+}  // namespace wafl

@@ -1,0 +1,109 @@
+#include "core/topaa.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/checksum.hpp"
+#include "util/units.hpp"
+
+namespace wafl {
+namespace {
+
+constexpr std::uint32_t kTopAaMagic = 0x544F5041;  // "TOPA"
+constexpr std::uint32_t kTopAaVersion = 1;
+
+/// The CRC lives inside the header (computed with the crc field zeroed), so
+/// header + 510 entries fill the 4 KiB block exactly.
+struct TopAaHeader {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint32_t count;
+  std::uint32_t crc;
+};
+
+struct PersistedPick {
+  AaId aa;
+  AaScore score;
+};
+
+static_assert(sizeof(TopAaHeader) +
+                      kTopAaRaidAwareEntries * sizeof(PersistedPick) <=
+                  kBlockSize,
+              "picks plus header must fit one 4 KiB block");
+
+std::uint32_t block_crc(const std::byte* block) {
+  // CRC over the block with the header's crc field treated as zero.
+  alignas(8) std::byte copy[kBlockSize];
+  std::memcpy(copy, block, kBlockSize);
+  std::memset(copy + offsetof(TopAaHeader, crc), 0, 4);
+  return crc32c(std::span<const std::byte>(copy, kBlockSize));
+}
+
+}  // namespace
+
+void TopAaFile::save_raid_aware(std::span<const AaPick> best) {
+  const auto count = static_cast<std::uint32_t>(
+      std::min<std::size_t>(best.size(), kTopAaRaidAwareEntries));
+
+  alignas(8) std::byte block[kBlockSize];
+  std::memset(block, 0, sizeof(block));
+  TopAaHeader hdr{kTopAaMagic, kTopAaVersion, count, 0};
+  std::memcpy(block, &hdr, sizeof(hdr));
+  std::byte* p = block + sizeof(hdr);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const PersistedPick pp{best[i].aa, best[i].score};
+    std::memcpy(p, &pp, sizeof(pp));
+    p += sizeof(pp);
+  }
+  hdr.crc = block_crc(block);
+  std::memcpy(block, &hdr, sizeof(hdr));
+  store_->write(base_, block);
+}
+
+std::optional<std::vector<AaPick>> TopAaFile::load_raid_aware() {
+  alignas(8) std::byte block[kBlockSize];
+  store_->read(base_, block);
+
+  TopAaHeader hdr{};
+  std::memcpy(&hdr, block, sizeof(hdr));
+  if (hdr.crc != block_crc(block)) return std::nullopt;
+  if (hdr.magic != kTopAaMagic || hdr.version != kTopAaVersion ||
+      hdr.count > kTopAaRaidAwareEntries) {
+    return std::nullopt;
+  }
+
+  std::vector<AaPick> out;
+  out.reserve(hdr.count);
+  const std::byte* p = block + sizeof(hdr);
+  AaScore prev = 0;
+  for (std::uint32_t i = 0; i < hdr.count; ++i) {
+    PersistedPick pp{};
+    std::memcpy(&pp, p, sizeof(pp));
+    p += sizeof(pp);
+    // Entries are persisted best-first; a rising score means corruption
+    // that happened to keep the CRC valid is impossible, but a logic bug
+    // writing the file is not — reject rather than seed a bad cache.
+    if (i > 0 && pp.score > prev) return std::nullopt;
+    prev = pp.score;
+    out.push_back({pp.aa, pp.score});
+  }
+  return out;
+}
+
+void TopAaFile::save_raid_agnostic(const Hbps& hbps) {
+  alignas(8) std::byte hist_page[kBlockSize];
+  alignas(8) std::byte list_page[kBlockSize];
+  hbps.save(hist_page, list_page);
+  store_->write(base_, hist_page);
+  store_->write(base_ + 1, list_page);
+}
+
+std::optional<Hbps> TopAaFile::load_raid_agnostic() {
+  alignas(8) std::byte hist_page[kBlockSize];
+  alignas(8) std::byte list_page[kBlockSize];
+  store_->read(base_, hist_page);
+  store_->read(base_ + 1, list_page);
+  return Hbps::load(hist_page, list_page);
+}
+
+}  // namespace wafl

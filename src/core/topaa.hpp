@@ -1,0 +1,64 @@
+// The TopAA metafile (§3.4): persists AA-cache state so that mount after a
+// failover or reboot can start write allocation immediately instead of
+// first walking the bitmap metafiles.
+//
+//  - RAID-aware form: one 4 KiB block per RAID group holding the 512 best
+//    (AA, score) pairs.  It seeds the max-heap with high-quality AAs; the
+//    full heap is rebuilt in the background while CPs proceed from the
+//    seed.
+//
+//  - RAID-agnostic form: two 4 KiB blocks per FlexVol / flat range into
+//    which the HBPS's histogram and list pages are embedded directly, so
+//    the cache is ready the moment the blocks are read.
+//
+// Every block carries a CRC-32C.  A failed checksum or structural check
+// makes load return nullopt and the caller falls back to the bitmap-scan
+// rebuild — a damaged TopAA can cost time but never correctness
+// (cf. WAFL's metadata-protection and WAFL-Iron repair discussion).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/aa_cache.hpp"
+#include "core/hbps.hpp"
+#include "storage/block_store.hpp"
+#include "util/types.hpp"
+
+namespace wafl {
+
+class TopAaFile {
+ public:
+  /// Binds the metafile to `blocks` consecutive blocks of `store` starting
+  /// at `base_block`.  RAID-aware use needs 1 block; RAID-agnostic needs 2.
+  TopAaFile(BlockStore& store, std::uint64_t base_block)
+      : store_(&store), base_(base_block) {}
+
+  // --- RAID-aware form -----------------------------------------------------
+
+  /// Persists up to kTopAaRaidAwareEntries best picks (descending score)
+  /// into one block.
+  void save_raid_aware(std::span<const AaPick> best);
+
+  /// Loads the persisted picks; nullopt on checksum/structure failure.
+  std::optional<std::vector<AaPick>> load_raid_aware();
+
+  // --- RAID-agnostic form --------------------------------------------------
+
+  /// Persists the HBPS's two pages into two blocks.
+  void save_raid_agnostic(const Hbps& hbps);
+
+  /// Reconstructs the HBPS; nullopt on checksum/structure failure.
+  std::optional<Hbps> load_raid_agnostic();
+
+  static constexpr std::uint64_t kRaidAwareBlocks = 1;
+  static constexpr std::uint64_t kRaidAgnosticBlocks = 2;
+
+ private:
+  BlockStore* store_;
+  std::uint64_t base_;
+};
+
+}  // namespace wafl

@@ -1,0 +1,141 @@
+#include "device/azcs.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wafl {
+
+AzcsDevice::AzcsDevice(std::unique_ptr<DeviceModel> raw)
+    : raw_(std::move(raw)),
+      data_capacity_(raw_->capacity_blocks() / kAzcsRegionBlocks *
+                     kAzcsDataBlocksPerRegion),
+      counted_(data_capacity_) {
+  WAFL_ASSERT(raw_ != nullptr);
+  const std::uint64_t regions = raw_->capacity_blocks() / kAzcsRegionBlocks;
+  checksum_written_.assign(regions, false);
+  region_fill_.assign(regions, 0);
+}
+
+void AzcsDevice::note_checksum_write(std::uint64_t region) {
+  ++checksum_writes_;
+  if (checksum_written_[region]) {
+    ++checksum_rewrites_;
+  }
+  checksum_written_[region] = true;
+}
+
+void AzcsDevice::flush_pending(std::vector<WriteRun>* physical) {
+  if (pending_region_ < 0) return;
+  const auto region = static_cast<std::uint64_t>(pending_region_);
+  pending_region_ = -1;
+  const Dbn csum = checksum_block_of_region(region);
+  note_checksum_write(region);
+  ++checksum_flushes_;
+  if (physical != nullptr) {
+    physical->push_back({csum, 1});
+  } else {
+    const WriteRun run{csum, 1};
+    raw_->write_batch(std::span<const WriteRun>(&run, 1), 0);
+  }
+}
+
+SimTime AzcsDevice::write_batch(std::span<const WriteRun> runs,
+                                std::uint64_t read_blocks) {
+  std::vector<WriteRun> physical;
+  physical.reserve(runs.size() * 2 + 1);
+
+  auto push = [&physical](Dbn start, std::uint32_t length) {
+    if (!physical.empty() &&
+        physical.back().start + physical.back().length == start) {
+      physical.back().length += length;
+    } else {
+      physical.push_back({start, length});
+    }
+  };
+
+  for (const WriteRun& run : runs) {
+    WAFL_ASSERT(run.start + run.length <= data_capacity_);
+    const Dbn phys_start = data_to_physical(run.start);
+
+    // A dirty checksum buffer survives only a perfectly contiguous
+    // continuation; any jump forces it to media first (Figure 4 (B)).
+    if (pending_region_ >= 0 &&
+        !(stream_open_ && phys_start == expected_next_phys_ &&
+          run.start / kAzcsDataBlocksPerRegion ==
+              static_cast<std::uint64_t>(pending_region_))) {
+      flush_pending(&physical);
+    }
+
+    Dbn pos = run.start;
+    std::uint32_t remaining = run.length;
+    while (remaining > 0) {
+      const std::uint64_t region = pos / kAzcsDataBlocksPerRegion;
+      const std::uint64_t region_off = pos % kAzcsDataBlocksPerRegion;
+      const auto span = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          remaining, kAzcsDataBlocksPerRegion - region_off));
+
+      push(data_to_physical(pos), span);
+      for (std::uint32_t i = 0; i < span; ++i) {
+        if (!counted_.test(pos + i)) {
+          counted_.set(pos + i);
+          ++region_fill_[region];
+        }
+      }
+      WAFL_ASSERT(region_fill_[region] <= kAzcsDataBlocksPerRegion);
+
+      if (region_fill_[region] == kAzcsDataBlocksPerRegion) {
+        // Region complete: its checksum block follows in sequence.
+        push(checksum_block_of_region(region), 1);
+        note_checksum_write(region);
+        if (pending_region_ == static_cast<std::int64_t>(region)) {
+          pending_region_ = -1;
+        }
+      } else {
+        // Incomplete region: hold the checksum buffer dirty.  Only the
+        // final segment of a run can be incomplete (interior segments
+        // always run to their region's end).
+        pending_region_ = static_cast<std::int64_t>(region);
+      }
+
+      pos += span;
+      remaining -= span;
+    }
+    expected_next_phys_ =
+        run.start + run.length < data_capacity_
+            ? data_to_physical(run.start + run.length)
+            : 0;
+    stream_open_ = run.start + run.length < data_capacity_;
+  }
+
+  return raw_->write_batch(physical, read_blocks);
+}
+
+SimTime AzcsDevice::read_random(std::uint64_t blocks) {
+  return raw_->read_random(blocks);
+}
+
+void AzcsDevice::invalidate(Dbn dbn) {
+  WAFL_ASSERT(dbn < data_capacity_);
+  const std::uint64_t region = dbn / kAzcsDataBlocksPerRegion;
+  if (counted_.test(dbn)) {
+    counted_.clear(dbn);
+    WAFL_ASSERT(region_fill_[region] > 0);
+    --region_fill_[region];
+    if (region_fill_[region] == 0) {
+      // Fully dead region: a future fill is a fresh fill, and any dirty
+      // checksum buffer for it is moot.
+      checksum_written_[region] = false;
+      if (pending_region_ == static_cast<std::int64_t>(region)) {
+        pending_region_ = -1;
+      }
+    } else if (pending_region_ == static_cast<std::int64_t>(region)) {
+      // Live blocks remain and their identifiers must reach media even
+      // though the fill pattern changed: write the checksum block now.
+      flush_pending(nullptr);
+    }
+  }
+  raw_->invalidate(data_to_physical(dbn));
+}
+
+}  // namespace wafl

@@ -1,0 +1,118 @@
+// Advanced zone checksums (AZCS) layout (§3.2.4).
+//
+// On devices whose sector size aligns exactly to 4 KiB there is no spare
+// room for WAFL's 64-byte per-block identifier, so 63 consecutive data
+// blocks share the 64th block of their region as a checksum block.
+//
+// AzcsDevice decorates a raw DeviceModel:
+//
+//  - file-system dbns ("data dbns") are remapped past the checksum slots,
+//    so the decorated device exposes 63/64 of the raw capacity;
+//  - a region completed within the write stream gets its checksum block
+//    appended in place — a purely sequential continuation;
+//  - a region left incomplete keeps its checksum block buffered (WAFL
+//    holds the dirty checksum buffer) for as long as the write stream
+//    continues contiguously.  The moment the stream jumps elsewhere — an
+//    allocation-area switch whose boundary cuts through a region, Figure
+//    4 (B) — the buffered checksum block must be written out, and when the
+//    region's remainder is filled later the checksum block is written
+//    AGAIN, this time behind the SMR zone's high-water mark where it costs
+//    an out-of-place update.  AA sizes aligned to the 63-data-block period
+//    (Figure 4 (C)) never split a region across AAs, so neither write
+//    happens.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bitmap/bitmap.hpp"
+#include "device/device.hpp"
+#include "util/units.hpp"
+
+namespace wafl {
+
+class AzcsDevice final : public DeviceModel {
+ public:
+  /// Takes ownership of the raw device.  Exposed capacity is the raw
+  /// capacity times 63/64 (rounded down to whole regions).
+  explicit AzcsDevice(std::unique_ptr<DeviceModel> raw);
+
+  MediaType media_type() const noexcept override {
+    return raw_->media_type();
+  }
+  std::uint64_t capacity_blocks() const noexcept override {
+    return data_capacity_;
+  }
+
+  using DeviceModel::write_batch;
+  SimTime write_batch(std::span<const WriteRun> runs,
+                      std::uint64_t read_blocks) override;
+  SimTime read_random(std::uint64_t blocks) override;
+  void invalidate(Dbn dbn) override;
+  double write_amplification() const noexcept override {
+    return raw_->write_amplification();
+  }
+  void reset_wear_window() override { raw_->reset_wear_window(); }
+
+  /// Physical (raw-device) dbn that stores data dbn `d`.
+  Dbn data_to_physical(Dbn d) const noexcept {
+    const std::uint64_t region = d / kAzcsDataBlocksPerRegion;
+    const std::uint64_t off = d % kAzcsDataBlocksPerRegion;
+    return region * kAzcsRegionBlocks + off;
+  }
+
+  /// Physical dbn of the checksum block protecting data dbn `d`.
+  Dbn checksum_block_of_data(Dbn d) const noexcept {
+    return checksum_block_of_region(d / kAzcsDataBlocksPerRegion);
+  }
+  Dbn checksum_block_of_region(std::uint64_t region) const noexcept {
+    return region * kAzcsRegionBlocks + kAzcsDataBlocksPerRegion;
+  }
+
+  // --- Introspection -------------------------------------------------------
+  /// Total checksum-block writes issued to the raw device.
+  std::uint64_t checksum_writes() const noexcept { return checksum_writes_; }
+  /// Checksum blocks written EARLY because the stream jumped away from an
+  /// incomplete region (the Figure 4 (B) cost trigger).
+  std::uint64_t checksum_flushes() const noexcept {
+    return checksum_flushes_;
+  }
+  /// Checksum blocks written more than once for one region fill.
+  std::uint64_t checksum_rewrites() const noexcept {
+    return checksum_rewrites_;
+  }
+  bool has_pending_region() const noexcept { return pending_region_ >= 0; }
+
+  DeviceModel& raw() noexcept { return *raw_; }
+
+ private:
+  /// Appends the pending region's checksum-block write to `physical` (or
+  /// submits it directly when called outside a batch).
+  void flush_pending(std::vector<WriteRun>* physical);
+
+  void note_checksum_write(std::uint64_t region);
+
+  std::unique_ptr<DeviceModel> raw_;
+  std::uint64_t data_capacity_;
+  /// True once a region's checksum block has been written at least once
+  /// since the region last became empty.
+  std::vector<bool> checksum_written_;
+  /// Distinct data blocks holding data, per region (detects completion).
+  /// In-place rewrites (RAID parity blocks) do not re-count.
+  std::vector<std::uint16_t> region_fill_;
+  /// Which data dbns are counted in region_fill_.
+  Bitmap counted_;
+
+  /// Region whose checksum buffer is dirty but unwritten (-1: none).
+  std::int64_t pending_region_ = -1;
+  /// Physical dbn the contiguous stream would continue at.
+  Dbn expected_next_phys_ = 0;
+  bool stream_open_ = false;
+
+  std::uint64_t checksum_writes_ = 0;
+  std::uint64_t checksum_flushes_ = 0;
+  std::uint64_t checksum_rewrites_ = 0;
+};
+
+}  // namespace wafl

@@ -1,0 +1,25 @@
+#include "device/device.hpp"
+
+namespace wafl {
+
+const char* media_type_name(MediaType t) noexcept {
+  switch (t) {
+    case MediaType::kHdd:
+      return "HDD";
+    case MediaType::kSsd:
+      return "SSD";
+    case MediaType::kSmr:
+      return "SMR";
+    case MediaType::kObjectStore:
+      return "ObjectStore";
+  }
+  return "unknown";
+}
+
+void DeviceModel::invalidate(Dbn /*dbn*/) {}
+
+double DeviceModel::write_amplification() const noexcept { return 1.0; }
+
+void DeviceModel::reset_wear_window() {}
+
+}  // namespace wafl

@@ -1,0 +1,74 @@
+// Storage device model interface.
+//
+// Device models are *mechanistic* simulators, not fitted curves: each model
+// maintains the internal state the corresponding media really has (seek
+// position for HDDs, a flash translation layer for SSDs, shingle-zone write
+// pointers for SMR) and derives service time from the work that state
+// implies.  This is what lets AA sizing/selection change measured
+// performance the same way it does on real media (paper §3.2, §4).
+//
+// The unit of submission is a batch of write runs — the per-device side of
+// one tetris — plus any parity-computation reads charged to this device.
+// Time is returned in nanoseconds of device busy time; the simulation layer
+// owns queueing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "raid/tetris.hpp"
+#include "util/types.hpp"
+
+namespace wafl {
+
+enum class MediaType {
+  kHdd,
+  kSsd,
+  kSmr,
+  kObjectStore,
+};
+
+/// Converts a MediaType to a short human-readable name.
+const char* media_type_name(MediaType t) noexcept;
+
+class DeviceModel {
+ public:
+  virtual ~DeviceModel() = default;
+
+  virtual MediaType media_type() const noexcept = 0;
+
+  /// Capacity of the device in 4 KiB blocks.
+  virtual std::uint64_t capacity_blocks() const noexcept = 0;
+
+  /// Services a batch of write runs plus `read_blocks` parity reads; returns
+  /// the device busy time in nanoseconds.
+  virtual SimTime write_batch(std::span<const WriteRun> runs,
+                              std::uint64_t read_blocks) = 0;
+
+  /// Convenience overload for literal batches:
+  /// `dev.write_batch({{0, 64}, {128, 8}})`.
+  SimTime write_batch(std::initializer_list<WriteRun> runs,
+                      std::uint64_t read_blocks = 0) {
+    return write_batch(
+        std::span<const WriteRun>(runs.begin(), runs.size()), read_blocks);
+  }
+
+  /// Services `blocks` random single-block reads (client read path); returns
+  /// busy time in nanoseconds.
+  virtual SimTime read_random(std::uint64_t blocks) = 0;
+
+  /// Hint that a block's contents are dead (file-system free).  Media with
+  /// a translation layer use this to invalidate the mapped physical block,
+  /// like an ATA TRIM / SCSI UNMAP.  Default: ignored.
+  virtual void invalidate(Dbn dbn);
+
+  /// Ratio of media-level block writes to host block writes since the last
+  /// reset_wear_window().  1.0 for media without a translation layer.
+  virtual double write_amplification() const noexcept;
+
+  /// Resets the measurement window used by write_amplification().
+  virtual void reset_wear_window();
+};
+
+}  // namespace wafl

@@ -1,0 +1,46 @@
+#include "device/hdd.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wafl {
+
+SimTime HddModel::seek_time(Dbn from, Dbn to) const noexcept {
+  if (from == to) return 0;
+  const std::uint64_t dist = from < to ? to - from : from - to;
+  // Positioning time grows with the square root of seek distance up to the
+  // average seek at ~1/3 stroke — the standard first-order disk model.
+  const double frac = std::min(
+      1.0, static_cast<double>(dist) / (static_cast<double>(capacity_) / 3.0));
+  const double t = static_cast<double>(params_.min_seek_ns) +
+                   std::sqrt(frac) * static_cast<double>(params_.avg_seek_ns -
+                                                         params_.min_seek_ns);
+  return static_cast<SimTime>(t);
+}
+
+SimTime HddModel::write_batch(std::span<const WriteRun> runs,
+                              std::uint64_t read_blocks) {
+  SimTime total = 0;
+  for (const WriteRun& run : runs) {
+    WAFL_ASSERT(run.start + run.length <= capacity_);
+    if (run.start != head_) {
+      total += seek_time(head_, run.start);
+      ++seeks_;
+    }
+    total += static_cast<SimTime>(run.length) * params_.block_transfer_ns;
+    head_ = run.start + run.length;
+    blocks_written_ += run.length;
+  }
+  // Parity-computation reads are near the write window: charge a short
+  // positioning delay plus transfer each (they interleave with writes).
+  total += read_blocks * (params_.min_seek_ns + params_.block_transfer_ns);
+  return total;
+}
+
+SimTime HddModel::read_random(std::uint64_t blocks) {
+  // Random reads pay a full average seek each.
+  return blocks * (params_.avg_seek_ns + params_.block_transfer_ns);
+}
+
+}  // namespace wafl

@@ -1,0 +1,56 @@
+// Hard disk drive model: positioning time plus sequential transfer.
+//
+// The model keeps the head position (last accessed dbn).  A write run that
+// continues from the current position costs only transfer time; any jump
+// costs a positioning delay that grows mildly with distance (short seeks
+// are cheaper than full-stroke seeks).  This is the property the paper's
+// long write chains exploit (§2.4): many short chains to fragmented free
+// space cost many positioning delays, while a few long chains amortize them
+// away.
+#pragma once
+
+#include <cstdint>
+
+#include "device/device.hpp"
+
+namespace wafl {
+
+struct HddParams {
+  /// Average positioning time for a random seek (ns).  7.2K RPM class.
+  SimTime avg_seek_ns = 6'000'000;
+  /// Minimum positioning time (track-to-track + settle) for tiny jumps.
+  SimTime min_seek_ns = 500'000;
+  /// Transfer time per 4 KiB block (ns).  ~200 MiB/s media rate.
+  SimTime block_transfer_ns = 19'500;
+};
+
+class HddModel final : public DeviceModel {
+ public:
+  HddModel(std::uint64_t capacity_blocks, HddParams params = {})
+      : capacity_(capacity_blocks), params_(params) {}
+
+  MediaType media_type() const noexcept override { return MediaType::kHdd; }
+  std::uint64_t capacity_blocks() const noexcept override {
+    return capacity_;
+  }
+
+  using DeviceModel::write_batch;
+  SimTime write_batch(std::span<const WriteRun> runs,
+                      std::uint64_t read_blocks) override;
+  SimTime read_random(std::uint64_t blocks) override;
+
+  /// Positioning cost of moving the head from `from` to `to`.
+  SimTime seek_time(Dbn from, Dbn to) const noexcept;
+
+  std::uint64_t seeks_performed() const noexcept { return seeks_; }
+  std::uint64_t blocks_written() const noexcept { return blocks_written_; }
+
+ private:
+  std::uint64_t capacity_;
+  HddParams params_;
+  Dbn head_ = 0;
+  std::uint64_t seeks_ = 0;
+  std::uint64_t blocks_written_ = 0;
+};
+
+}  // namespace wafl

@@ -1,0 +1,74 @@
+// Object-store model: storage with native redundancy and no RAID layout
+// (§2.1's Fabric Pool case, §3.1's RAID-agnostic target).
+//
+// Writes are absorbed as object PUTs: a fixed per-request latency plus a
+// size-proportional transfer term.  There is no geometry to exploit, so
+// the only lever the write allocator has is colocation — fewer, larger
+// contiguous runs mean fewer PUTs (§2.5's analysis that VBN-range
+// colocation matters even without RAID).
+#pragma once
+
+#include <cstdint>
+
+#include "device/device.hpp"
+
+namespace wafl {
+
+struct ObjectStoreParams {
+  /// Per-PUT request overhead (ns).  On-premises object store class.
+  SimTime put_overhead_ns = 2'000'000;
+  /// Transfer time per 4 KiB block (ns). ~500 MiB/s aggregate.
+  SimTime block_transfer_ns = 7'800;
+  /// Per-GET overhead (ns).
+  SimTime get_overhead_ns = 4'000'000;
+  /// Largest contiguous run absorbed by one PUT, in blocks (4 MiB objects).
+  std::uint32_t max_put_blocks = 1024;
+};
+
+class ObjectStoreModel final : public DeviceModel {
+ public:
+  ObjectStoreModel(std::uint64_t capacity_blocks,
+                   ObjectStoreParams params = {})
+      : capacity_(capacity_blocks), params_(params) {}
+
+  MediaType media_type() const noexcept override {
+    return MediaType::kObjectStore;
+  }
+  std::uint64_t capacity_blocks() const noexcept override {
+    return capacity_;
+  }
+
+  using DeviceModel::write_batch;
+  SimTime write_batch(std::span<const WriteRun> runs,
+                      std::uint64_t read_blocks) override {
+    SimTime total = 0;
+    for (const WriteRun& run : runs) {
+      WAFL_ASSERT(run.start + run.length <= capacity_);
+      // One PUT per max_put_blocks chunk of the run.
+      const std::uint64_t puts =
+          (run.length + params_.max_put_blocks - 1) / params_.max_put_blocks;
+      total += puts * params_.put_overhead_ns +
+               static_cast<SimTime>(run.length) * params_.block_transfer_ns;
+      puts_ += puts;
+      blocks_put_ += run.length;
+    }
+    total += read_blocks *
+             (params_.get_overhead_ns + params_.block_transfer_ns);
+    return total;
+  }
+
+  SimTime read_random(std::uint64_t blocks) override {
+    return blocks * (params_.get_overhead_ns + params_.block_transfer_ns);
+  }
+
+  std::uint64_t puts_issued() const noexcept { return puts_; }
+  std::uint64_t blocks_put() const noexcept { return blocks_put_; }
+
+ private:
+  std::uint64_t capacity_;
+  ObjectStoreParams params_;
+  std::uint64_t puts_ = 0;
+  std::uint64_t blocks_put_ = 0;
+};
+
+}  // namespace wafl

@@ -1,0 +1,89 @@
+#include "device/smr.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wafl {
+
+SmrModel::SmrModel(std::uint64_t capacity_blocks, SmrParams params)
+    : capacity_(capacity_blocks),
+      params_(params),
+      zone_high_((capacity_blocks + params.zone_blocks - 1) /
+                     params.zone_blocks,
+                 0) {
+  WAFL_ASSERT(capacity_blocks > 0);
+  WAFL_ASSERT(params_.zone_blocks > 0);
+  WAFL_ASSERT(params_.cleaning_write_factor >= 1);
+}
+
+SimTime SmrModel::write_batch(std::span<const WriteRun> runs,
+                              std::uint64_t read_blocks) {
+  SimTime total = 0;
+  for (const WriteRun& run : runs) {
+    WAFL_ASSERT(run.start + run.length <= capacity_);
+    if (run.start != head_) {
+      total += params_.seek_ns;
+      ++seeks_;
+    }
+
+    // A run may span zones; process zone by zone.
+    Dbn pos = run.start;
+    std::uint32_t remaining = run.length;
+    while (remaining > 0) {
+      const std::uint64_t zone = pos / params_.zone_blocks;
+      const std::uint64_t zone_base = zone * params_.zone_blocks;
+      const std::uint64_t zone_end = zone_base + params_.zone_blocks;
+      const auto span = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(remaining, zone_end - pos));
+      const std::uint64_t off = pos - zone_base;
+      std::uint64_t& high = zone_high_[zone];
+
+      if (off < high) {
+        // Behind the shingle high-water mark: the drive absorbs the write
+        // out of place (media cache) and pays for the eventual cleaning
+        // fold as amortized extra media writes.
+        const std::uint64_t overlap =
+            std::min<std::uint64_t>(span, high - off);
+        ++oop_events_;
+        oop_blocks_ += overlap;
+        window_cleaning_ +=
+            overlap * (params_.cleaning_write_factor - 1);
+        total += overlap * params_.block_transfer_ns *
+                 params_.cleaning_write_factor;
+        // Any tail of the span beyond the old high mark is a plain append.
+        const std::uint64_t tail = span - overlap;
+        total += tail * params_.block_transfer_ns;
+        high = std::max<std::uint64_t>(high, off + span);
+        window_host_ += span;
+      } else {
+        high = off + span;
+        total += static_cast<SimTime>(span) * params_.block_transfer_ns;
+        window_host_ += span;
+      }
+      pos += span;
+      remaining -= span;
+    }
+    head_ = run.start + run.length;
+  }
+  // Parity reads (if this disk sits in a RAID group): near-position reads.
+  total += read_blocks * (params_.block_transfer_ns + params_.seek_ns / 8);
+  return total;
+}
+
+SimTime SmrModel::read_random(std::uint64_t blocks) {
+  return blocks * (params_.seek_ns + params_.block_transfer_ns);
+}
+
+double SmrModel::write_amplification() const noexcept {
+  if (window_host_ == 0) return 1.0;
+  return static_cast<double>(window_host_ + window_cleaning_) /
+         static_cast<double>(window_host_);
+}
+
+void SmrModel::reset_wear_window() {
+  window_host_ = 0;
+  window_cleaning_ = 0;
+}
+
+}  // namespace wafl

@@ -1,0 +1,115 @@
+// Solid-state drive model with a page-mapped flash translation layer.
+//
+// The FTL is the real mechanism, not a fitted curve (§3.2.2):
+//   - logical blocks map to flash pages through an L2P table;
+//   - pages group into erase blocks; writes append to an open erase block;
+//   - overwrites invalidate the old page;
+//   - when free erase blocks run low, greedy garbage collection picks the
+//     erase block with the fewest valid pages, relocates those pages, and
+//     erases it.
+//
+// Write amplification — (host programs + GC relocation programs) / host
+// programs — therefore *emerges* from the write pattern: directing writes
+// at mostly-empty erase blocks (what large, erase-block-aligned AAs plus
+// the AA cache achieve) leaves few valid pages for GC to relocate, while
+// scattering writes leaves many.  The paper's measured effects (WA 1.77 →
+// 1.46 in §4.1.1, halved WA in §4.3) reproduce through this code path.
+//
+// Over-provisioning: the device exposes `capacity_blocks` but owns
+// capacity * (1 + op_fraction) pages, like real enterprise SSDs (§3.2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace wafl {
+
+struct SsdParams {
+  /// Pages per erase block.  1024 × 4 KiB = 4 MiB erase block.
+  std::uint32_t pages_per_erase_block = 1024;
+  /// Over-provisioned fraction of physical capacity (0.07 = 7 %).
+  double op_fraction = 0.07;
+  /// Free erase blocks GC tries to maintain.
+  std::uint32_t gc_reserve_blocks = 4;
+  /// Page program time (ns per 4 KiB page, effective with internal
+  /// parallelism).
+  SimTime program_ns = 10'000;
+  /// Page read time (ns).
+  SimTime read_ns = 5'000;
+  /// Erase-block erase time (ns).
+  SimTime erase_ns = 2'000'000;
+};
+
+class SsdModel final : public DeviceModel {
+ public:
+  SsdModel(std::uint64_t capacity_blocks, SsdParams params = {});
+
+  MediaType media_type() const noexcept override { return MediaType::kSsd; }
+  std::uint64_t capacity_blocks() const noexcept override {
+    return capacity_;
+  }
+
+  using DeviceModel::write_batch;
+  SimTime write_batch(std::span<const WriteRun> runs,
+                      std::uint64_t read_blocks) override;
+  SimTime read_random(std::uint64_t blocks) override;
+  void invalidate(Dbn dbn) override;
+
+  double write_amplification() const noexcept override;
+  void reset_wear_window() override;
+
+  // --- Introspection (tests, benches) -------------------------------------
+  std::uint64_t host_programs() const noexcept { return host_programs_; }
+  std::uint64_t gc_relocations() const noexcept { return gc_programs_; }
+  std::uint64_t erases() const noexcept { return erases_; }
+  std::uint64_t physical_pages() const noexcept { return p2l_.size(); }
+  std::uint32_t erase_block_count() const noexcept {
+    return static_cast<std::uint32_t>(valid_count_.size());
+  }
+  /// Valid (live) pages currently mapped.
+  std::uint64_t valid_pages() const noexcept { return mapped_pages_; }
+
+ private:
+  static constexpr std::uint32_t kUnmapped = 0xFFFFFFFFu;
+
+  /// Programs logical block `lbn` into the next free page, garbage
+  /// collecting first if required.  Updates maps and counters.
+  void program(std::uint32_t lbn, bool is_gc);
+
+  /// Takes the next free page slot in the open erase block, opening a new
+  /// one from the free list when exhausted.
+  std::uint32_t take_page();
+
+  /// Relocates all valid pages out of the fullest-dead erase block, then
+  /// erases it.
+  void garbage_collect();
+
+  void unmap_page(std::uint32_t ppn);
+
+  std::uint64_t capacity_;
+  SsdParams params_;
+
+  std::vector<std::uint32_t> l2p_;          // logical block -> physical page
+  std::vector<std::uint32_t> p2l_;          // physical page -> logical block
+  std::vector<std::uint32_t> valid_count_;  // per erase block
+  std::vector<bool> is_free_eb_;
+  std::vector<std::uint32_t> free_ebs_;
+
+  std::uint32_t open_eb_ = 0;
+  std::uint32_t open_fill_ = 0;
+  bool gc_active_ = false;
+  std::uint64_t mapped_pages_ = 0;
+
+  std::uint64_t host_programs_ = 0;
+  std::uint64_t gc_programs_ = 0;
+  std::uint64_t gc_reads_ = 0;
+  std::uint64_t erases_ = 0;
+
+  // Wear-measurement window.
+  std::uint64_t window_host_ = 0;
+  std::uint64_t window_gc_ = 0;
+};
+
+}  // namespace wafl

@@ -1,0 +1,129 @@
+#include "device/ssd_block_mapped.hpp"
+
+#include "util/assert.hpp"
+
+namespace wafl {
+
+BlockMappedSsdModel::BlockMappedSsdModel(std::uint64_t capacity_blocks,
+                                         SsdParams params)
+    : capacity_(capacity_blocks),
+      params_(params),
+      groups_((capacity_blocks + params.pages_per_erase_block - 1) /
+              params.pages_per_erase_block),
+      valid_(capacity_blocks),
+      written_(capacity_blocks),
+      materialized_(groups_, false) {
+  WAFL_ASSERT(capacity_blocks > 0);
+  WAFL_ASSERT(params_.pages_per_erase_block > 0);
+}
+
+void BlockMappedSsdModel::close_open_group() {
+  if (open_group_ < 0) return;
+  const auto g = static_cast<std::uint64_t>(open_group_);
+  const std::uint64_t lo = group_base(g);
+  const std::uint64_t hi =
+      std::min<std::uint64_t>(lo + params_.pages_per_erase_block, capacity_);
+
+  // Live blocks of the group that the stream did not rewrite must move
+  // into the replacement block before the old block can be erased.
+  std::uint64_t relocated = 0;
+  for (std::uint64_t b = valid_.find_first_set(lo, hi); b < hi;
+       b = valid_.find_first_set(b + 1, hi)) {
+    if (!written_.test(b)) {
+      ++relocated;
+    }
+  }
+  const bool had_block = materialized_[g];
+  merge_programs_ += relocated;
+  merge_reads_ += relocated;
+  window_merge_ += relocated;
+  ++merges_;
+  if (had_block) {
+    ++erases_;  // the group's previous physical block is reclaimed
+  }
+  materialized_[g] = true;
+
+  pending_merge_time_ += relocated * (params_.program_ns + params_.read_ns) +
+                         (had_block ? params_.erase_ns : 0);
+
+  // Clear the written mask for the group.
+  for (std::uint64_t b = written_.find_first_set(lo, hi); b < hi;
+       b = written_.find_first_set(b + 1, hi)) {
+    written_.clear(b);
+  }
+  open_group_ = -1;
+  open_written_ = 0;
+}
+
+SimTime BlockMappedSsdModel::write_batch(std::span<const WriteRun> runs,
+                                         std::uint64_t read_blocks) {
+  pending_merge_time_ = 0;
+  std::uint64_t programs = 0;
+
+  for (const WriteRun& run : runs) {
+    WAFL_ASSERT(run.start + run.length <= capacity_);
+    Dbn pos = run.start;
+    std::uint32_t remaining = run.length;
+    while (remaining > 0) {
+      const std::uint64_t g = pos / params_.pages_per_erase_block;
+      if (open_group_ >= 0 && open_group_ != static_cast<std::int64_t>(g)) {
+        close_open_group();
+      }
+      open_group_ = static_cast<std::int64_t>(g);
+
+      const std::uint64_t group_end =
+          std::min<std::uint64_t>(group_base(g + 1), capacity_);
+      const auto span = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(remaining, group_end - pos));
+      for (std::uint32_t i = 0; i < span; ++i) {
+        const Dbn b = pos + i;
+        if (!written_.test(b)) {
+          written_.set(b);
+          ++open_written_;
+        }
+        if (!valid_.test(b)) {
+          valid_.set(b);
+        }
+        ++programs;
+      }
+      pos += span;
+      remaining -= span;
+      // A completely rewritten group needs no merge; close it so the next
+      // visit starts a fresh replacement cycle.
+      if (open_written_ == group_end - group_base(g)) {
+        close_open_group();
+      }
+    }
+  }
+
+  host_programs_ += programs;
+  window_host_ += programs;
+  return programs * params_.program_ns + read_blocks * params_.read_ns +
+         pending_merge_time_;
+}
+
+SimTime BlockMappedSsdModel::read_random(std::uint64_t blocks) {
+  return blocks * params_.read_ns;
+}
+
+void BlockMappedSsdModel::invalidate(Dbn dbn) {
+  WAFL_ASSERT(dbn < capacity_);
+  if (valid_.test(dbn)) {
+    valid_.clear(dbn);
+  }
+  // A freed block written into the still-open replacement needs no merge
+  // relocation; clearing valid above already guarantees that.
+}
+
+double BlockMappedSsdModel::write_amplification() const noexcept {
+  if (window_host_ == 0) return 1.0;
+  return static_cast<double>(window_host_ + window_merge_) /
+         static_cast<double>(window_host_);
+}
+
+void BlockMappedSsdModel::reset_wear_window() {
+  window_host_ = 0;
+  window_merge_ = 0;
+}
+
+}  // namespace wafl

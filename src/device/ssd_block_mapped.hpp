@@ -1,0 +1,100 @@
+// Block-mapped SSD model (replacement-block FTL).
+//
+// Enterprise SSDs of the paper's era fold sequential write streams into
+// whole erase blocks: the LBA space is divided into erase-block-sized
+// groups, a stream writing into group g fills a fresh replacement block,
+// and when the stream LEAVES the group the FTL must complete ("merge") the
+// replacement by relocating whatever live data of the group was not
+// rewritten.  This is precisely the behaviour the paper's §3.2.2 argument
+// assumes (Figure 4 A/B):
+//
+//   - an AA smaller than the erase block ends its stream mid-group, so the
+//     merge relocates the untouched remainder;
+//   - AAs spanning whole erase blocks, chosen emptiest-first by the AA
+//     cache, leave only the group's few live blocks to relocate —
+//     write amplification approaches 1 / (free fraction of the chosen AA).
+//
+// The sibling SsdModel implements a page-mapped log-structured FTL; the
+// two are interchangeable via MediaConfig (and compared head-to-head in
+// the ablation bench).
+//
+// Cost/accounting model only — like all device models here it tracks real
+// mechanism state (per-group valid bitmaps, the open replacement block)
+// but not data contents.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/bitmap.hpp"
+#include "device/device.hpp"
+#include "device/ssd.hpp"
+
+namespace wafl {
+
+class BlockMappedSsdModel final : public DeviceModel {
+ public:
+  /// Reuses SsdParams; op_fraction and gc_reserve_blocks do not apply to
+  /// the replacement-block scheme and are ignored.
+  BlockMappedSsdModel(std::uint64_t capacity_blocks, SsdParams params = {});
+
+  MediaType media_type() const noexcept override { return MediaType::kSsd; }
+  std::uint64_t capacity_blocks() const noexcept override {
+    return capacity_;
+  }
+
+  using DeviceModel::write_batch;
+  SimTime write_batch(std::span<const WriteRun> runs,
+                      std::uint64_t read_blocks) override;
+  SimTime read_random(std::uint64_t blocks) override;
+  void invalidate(Dbn dbn) override;
+
+  double write_amplification() const noexcept override;
+  void reset_wear_window() override;
+
+  // --- Introspection -------------------------------------------------------
+  std::uint64_t host_programs() const noexcept { return host_programs_; }
+  /// Pages relocated by merges (the FTL's own writes).
+  std::uint64_t merge_relocations() const noexcept { return merge_programs_; }
+  std::uint64_t merges() const noexcept { return merges_; }
+  std::uint64_t erases() const noexcept { return erases_; }
+  std::uint64_t group_count() const noexcept { return groups_; }
+  /// Live blocks the device currently holds.
+  std::uint64_t valid_blocks() const noexcept { return valid_.count_set(0, capacity_); }
+  bool has_open_group() const noexcept { return open_group_ >= 0; }
+
+ private:
+  /// Completes the open replacement block: relocates the group's live
+  /// blocks that this stream did not rewrite, then retires the old block.
+  void close_open_group();
+
+  std::uint64_t group_base(std::uint64_t g) const noexcept {
+    return g * params_.pages_per_erase_block;
+  }
+
+  std::uint64_t capacity_;
+  SsdParams params_;
+  std::uint64_t groups_;
+
+  Bitmap valid_;    // per-LBA live bit
+  Bitmap written_;  // per-LBA written-into-open-replacement bit
+  /// True once a group has ever held data (so its merge costs an erase).
+  std::vector<bool> materialized_;
+  std::int64_t open_group_ = -1;
+  std::uint64_t open_written_ = 0;
+
+  std::uint64_t host_programs_ = 0;
+  std::uint64_t merge_programs_ = 0;
+  std::uint64_t merge_reads_ = 0;
+  std::uint64_t merges_ = 0;
+  std::uint64_t erases_ = 0;
+
+  // Wear window.
+  std::uint64_t window_host_ = 0;
+  std::uint64_t window_merge_ = 0;
+
+  // Time accumulated by merges triggered inside the current batch.
+  SimTime pending_merge_time_ = 0;
+};
+
+}  // namespace wafl

@@ -1,0 +1,117 @@
+// RAID group geometry and the physical-VBN ↔ (device, dbn) mapping.
+//
+// A RAID group is D data devices plus P parity devices (Figure 2 of the
+// paper shows 3+1; production groups are wider, often with double parity).
+// A *stripe* is one block per device sharing a parity relationship; a
+// *tetris* — the unit of write I/O from WAFL to a RAID group — is 64
+// consecutive stripes (§4.2).
+//
+// VBN ordering.  WAFL maintains the mapping of physical VBN ranges to
+// storage devices (§3.1) so that (a) an allocation area — a set of
+// consecutive stripes — occupies one contiguous VBN range (Figure 3), and
+// (b) consecutive VBNs within a tetris land on consecutive blocks of one
+// device, producing long write chains (§2.4).  We realize both with
+// tetris-major, then device-major, then block ordering:
+//
+//   local_vbn = (tetris * D + device) * 64 + (dbn mod 64)
+//
+// so VBNs 0..63 are device 0's first 64 blocks, VBNs 64..127 are device 1's
+// first 64 blocks, ..., and after D*64 VBNs the next tetris begins.  An AA
+// of S stripes (S a multiple of 64) is exactly S*D consecutive VBNs.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace wafl {
+
+/// Location of one data block inside a RAID group.
+struct BlockLocation {
+  DeviceId device;
+  Dbn dbn;
+
+  friend bool operator==(const BlockLocation&,
+                         const BlockLocation&) = default;
+};
+
+class RaidGeometry {
+ public:
+  /// `device_blocks` must be a multiple of the tetris depth so tetris
+  /// windows never straddle the end of a device.
+  RaidGeometry(std::uint32_t data_devices, std::uint32_t parity_devices,
+               std::uint64_t device_blocks)
+      : data_devices_(data_devices),
+        parity_devices_(parity_devices),
+        device_blocks_(device_blocks) {
+    WAFL_ASSERT(data_devices >= 1);
+    WAFL_ASSERT(device_blocks % kTetrisStripes == 0);
+  }
+
+  std::uint32_t data_devices() const noexcept { return data_devices_; }
+  std::uint32_t parity_devices() const noexcept { return parity_devices_; }
+  std::uint32_t total_devices() const noexcept {
+    return data_devices_ + parity_devices_;
+  }
+
+  /// Blocks per device == stripes in the group.
+  std::uint64_t device_blocks() const noexcept { return device_blocks_; }
+  std::uint64_t stripes() const noexcept { return device_blocks_; }
+
+  /// Data blocks addressable in this group (the group's VBN range size).
+  std::uint64_t data_blocks() const noexcept {
+    return device_blocks_ * data_devices_;
+  }
+
+  std::uint64_t tetrises() const noexcept {
+    return device_blocks_ / kTetrisStripes;
+  }
+
+  /// Blocks of the group-local VBN space covered by one tetris.
+  std::uint64_t blocks_per_tetris() const noexcept {
+    return static_cast<std::uint64_t>(kTetrisStripes) * data_devices_;
+  }
+
+  /// Maps a group-local VBN to its device and device block number.
+  BlockLocation to_location(Vbn local_vbn) const noexcept {
+    WAFL_ASSERT(local_vbn < data_blocks());
+    const std::uint64_t chunk = local_vbn / kTetrisStripes;
+    const auto offset = static_cast<std::uint32_t>(local_vbn % kTetrisStripes);
+    const auto device = static_cast<DeviceId>(chunk % data_devices_);
+    const std::uint64_t tetris = chunk / data_devices_;
+    return {device, tetris * kTetrisStripes + offset};
+  }
+
+  /// Inverse of to_location().
+  Vbn to_vbn(BlockLocation loc) const noexcept {
+    WAFL_ASSERT(loc.device < data_devices_ && loc.dbn < device_blocks_);
+    const std::uint64_t tetris = loc.dbn / kTetrisStripes;
+    const std::uint64_t offset = loc.dbn % kTetrisStripes;
+    return (tetris * data_devices_ + loc.device) * kTetrisStripes + offset;
+  }
+
+  /// Stripe containing a group-local VBN.
+  StripeId stripe_of(Vbn local_vbn) const noexcept {
+    return to_location(local_vbn).dbn;
+  }
+
+  /// Tetris window containing a group-local VBN.
+  std::uint64_t tetris_of(Vbn local_vbn) const noexcept {
+    return local_vbn / blocks_per_tetris();
+  }
+
+  /// First group-local VBN of tetris window `t`.
+  Vbn tetris_base_vbn(std::uint64_t t) const noexcept {
+    WAFL_ASSERT(t < tetrises());
+    return t * blocks_per_tetris();
+  }
+
+ private:
+  std::uint32_t data_devices_;
+  std::uint32_t parity_devices_;
+  std::uint64_t device_blocks_;
+};
+
+}  // namespace wafl

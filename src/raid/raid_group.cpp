@@ -1,0 +1,32 @@
+#include "raid/raid_group.hpp"
+
+namespace wafl {
+
+void RaidGroupStats::accumulate(const TetrisWrite& tw) {
+  WAFL_ASSERT(tw.device_runs.size() == data_blocks_per_device.size());
+  WAFL_ASSERT(tw.parity_runs.size() == parity_blocks_per_device.size());
+  for (std::size_t d = 0; d < tw.device_runs.size(); ++d) {
+    for (const WriteRun& run : tw.device_runs[d]) {
+      data_blocks_per_device[d] += run.length;
+    }
+  }
+  for (std::size_t p = 0; p < tw.parity_runs.size(); ++p) {
+    for (const WriteRun& run : tw.parity_runs[p]) {
+      parity_blocks_per_device[p] += run.length;
+    }
+  }
+  ++tetrises_written;
+  full_stripes += tw.full_stripes;
+  partial_stripes += tw.partial_stripes;
+  parity_read_blocks += tw.parity_read_blocks;
+  data_blocks_written += tw.data_blocks_written;
+}
+
+void RaidGroup::reset_stats() {
+  RaidGroupStats fresh;
+  fresh.data_blocks_per_device.resize(geometry_.data_devices(), 0);
+  fresh.parity_blocks_per_device.resize(geometry_.parity_devices(), 0);
+  stats_ = fresh;
+}
+
+}  // namespace wafl

@@ -1,0 +1,64 @@
+// RaidGroup: geometry plus cumulative write accounting.
+//
+// The write allocator treats each RAID group as an independent target with
+// its own AA cache (§3.3.1) and its own devices.  This class carries the
+// geometry and the running counters that the paper's Figure 7 reports:
+// blocks written per device and tetrises written per group.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raid/raid_geometry.hpp"
+#include "raid/tetris.hpp"
+#include "util/types.hpp"
+
+namespace wafl {
+
+/// Cumulative per-RAID-group write statistics (Figure 7's series).
+struct RaidGroupStats {
+  std::vector<std::uint64_t> data_blocks_per_device;
+  std::vector<std::uint64_t> parity_blocks_per_device;
+  std::uint64_t tetrises_written = 0;
+  std::uint64_t full_stripes = 0;
+  std::uint64_t partial_stripes = 0;
+  std::uint64_t parity_read_blocks = 0;
+  std::uint64_t data_blocks_written = 0;
+
+  void accumulate(const TetrisWrite& tw);
+
+  double full_stripe_fraction() const noexcept {
+    const std::uint64_t touched = full_stripes + partial_stripes;
+    return touched == 0
+               ? 0.0
+               : static_cast<double>(full_stripes) /
+                     static_cast<double>(touched);
+  }
+};
+
+class RaidGroup {
+ public:
+  RaidGroup(RaidGroupId id, RaidGeometry geometry)
+      : id_(id),
+        geometry_(geometry),
+        builder_(geometry_) {
+    stats_.data_blocks_per_device.resize(geometry_.data_devices(), 0);
+    stats_.parity_blocks_per_device.resize(geometry_.parity_devices(), 0);
+  }
+
+  RaidGroupId id() const noexcept { return id_; }
+  const RaidGeometry& geometry() const noexcept { return geometry_; }
+  const TetrisBuilder& builder() const noexcept { return builder_; }
+
+  RaidGroupStats& stats() noexcept { return stats_; }
+  const RaidGroupStats& stats() const noexcept { return stats_; }
+  void reset_stats();
+
+ private:
+  RaidGroupId id_;
+  RaidGeometry geometry_;
+  TetrisBuilder builder_;
+  RaidGroupStats stats_;
+};
+
+}  // namespace wafl

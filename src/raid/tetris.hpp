@@ -1,0 +1,168 @@
+// Tetris write assembly and full/partial stripe accounting.
+//
+// WAFL sends writes to a RAID group in tetrises of 64 consecutive stripes
+// (§4.2).  Within a tetris, each stripe is either:
+//   - a *full stripe write* — every data block of the stripe is written in
+//     this tetris, so parity is computed purely from the new data (§2.3);
+//   - a *partial stripe write* — some data blocks of the stripe hold
+//     pre-existing data that is not rewritten (COW never overwrites in
+//     place), so RAID must read blocks to compute parity; or
+//   - untouched — no blocks written.
+//
+// TetrisBuilder turns a set of written group-local VBNs within one tetris
+// window, together with the pre-write occupancy, into:
+//   - per-device write runs (contiguous dbn chains, §2.4),
+//   - parity-device writes (one parity block per written stripe), and
+//   - parity-computation reads, charged with the cheaper of the two
+//     standard schemes per stripe: recompute (read the unwritten data
+//     blocks) or read-modify-write (read old data under the writes plus the
+//     old parity).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "raid/raid_geometry.hpp"
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace wafl {
+
+/// A run of consecutive device blocks written in one chain.
+struct WriteRun {
+  Dbn start;
+  std::uint32_t length;
+
+  friend bool operator==(const WriteRun&, const WriteRun&) = default;
+};
+
+/// The physical I/O plan for one tetris on one RAID group.
+struct TetrisWrite {
+  std::uint64_t tetris = 0;
+
+  /// Data-device write runs, indexed by device [0, data_devices).
+  std::vector<std::vector<WriteRun>> device_runs;
+
+  /// Parity-device write runs, indexed by device [0, parity_devices).
+  /// Parity blocks are written for every touched stripe.
+  std::vector<std::vector<WriteRun>> parity_runs;
+
+  /// Blocks RAID must read to compute parity (across the group).
+  std::uint64_t parity_read_blocks = 0;
+
+  std::uint32_t full_stripes = 0;
+  std::uint32_t partial_stripes = 0;
+  std::uint32_t untouched_stripes = 0;
+  std::uint64_t data_blocks_written = 0;
+  std::uint64_t parity_blocks_written = 0;
+
+  std::uint64_t touched_stripes() const noexcept {
+    return full_stripes + partial_stripes;
+  }
+
+  /// Total write chains across all devices — the I/O count WAFL tries to
+  /// minimize with long chains (§2.4).
+  std::uint64_t total_chains() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& runs : device_runs) n += runs.size();
+    for (const auto& runs : parity_runs) n += runs.size();
+    return n;
+  }
+};
+
+class TetrisBuilder {
+ public:
+  explicit TetrisBuilder(const RaidGeometry& geom) : geom_(&geom) {}
+
+  /// Builds the I/O plan for writing `written_vbns` (group-local VBNs, all
+  /// within tetris window `tetris`, strictly ascending) given `in_use`,
+  /// which answers whether a group-local VBN held live data before this CP.
+  ///
+  /// `in_use` must reflect pre-write occupancy: a VBN being written now
+  /// must not be reported in use (COW guarantees this — writes only target
+  /// free blocks).
+  template <typename InUseFn>
+  TetrisWrite build(std::uint64_t tetris, std::span<const Vbn> written_vbns,
+                    InUseFn&& in_use) const {
+    const std::uint32_t d = geom_->data_devices();
+    const Vbn base = geom_->tetris_base_vbn(tetris);
+    const Dbn dbn_base = tetris * kTetrisStripes;
+
+    TetrisWrite out;
+    out.tetris = tetris;
+    out.device_runs.resize(d);
+    out.parity_runs.resize(geom_->parity_devices());
+
+    // Per-stripe counts within this 64-stripe window.
+    std::uint32_t written_in_stripe[kTetrisStripes] = {};
+    std::uint32_t in_use_in_stripe[kTetrisStripes] = {};
+
+    // Group written VBNs into per-device runs and tally stripes.
+    for (const Vbn v : written_vbns) {
+      WAFL_ASSERT(geom_->tetris_of(v) == tetris);
+      WAFL_ASSERT_MSG(!in_use(v), "writing an in-use block");
+      const BlockLocation loc = geom_->to_location(v);
+      const auto stripe_off = static_cast<std::uint32_t>(loc.dbn - dbn_base);
+      ++written_in_stripe[stripe_off];
+      auto& runs = out.device_runs[loc.device];
+      if (!runs.empty() &&
+          runs.back().start + runs.back().length == loc.dbn) {
+        ++runs.back().length;
+      } else {
+        runs.push_back({loc.dbn, 1});
+      }
+      ++out.data_blocks_written;
+    }
+
+    // Tally pre-existing occupancy per stripe (blocks not written now).
+    const Vbn window_end = base + geom_->blocks_per_tetris();
+    for (Vbn v = base; v < window_end; ++v) {
+      if (in_use(v)) {
+        const BlockLocation loc = geom_->to_location(v);
+        ++in_use_in_stripe[loc.dbn - dbn_base];
+      }
+    }
+
+    // Classify stripes and charge parity I/O.
+    const std::uint32_t p = geom_->parity_devices();
+    for (std::uint32_t s = 0; s < kTetrisStripes; ++s) {
+      const std::uint32_t w = written_in_stripe[s];
+      const std::uint32_t u = in_use_in_stripe[s];
+      if (w == 0) {
+        ++out.untouched_stripes;
+        continue;
+      }
+      if (u == 0 && w == d) {
+        ++out.full_stripes;
+      } else {
+        ++out.partial_stripes;
+        // Cheaper of the two standard schemes: read-modify-write reads the
+        // old contents of the written blocks plus the old parity (w + p —
+        // parity covers free blocks' on-media contents too), while
+        // recompute reads every block of the stripe that is not being
+        // written (d - w).
+        out.parity_read_blocks += std::min(w + p, d - w);
+      }
+      // Parity written for every touched stripe, one block per parity
+      // device.
+      const Dbn pdbn = dbn_base + s;
+      for (std::uint32_t pd = 0; pd < p; ++pd) {
+        auto& runs = out.parity_runs[pd];
+        if (!runs.empty() &&
+            runs.back().start + runs.back().length == pdbn) {
+          ++runs.back().length;
+        } else {
+          runs.push_back({pdbn, 1});
+        }
+        ++out.parity_blocks_written;
+      }
+    }
+    return out;
+  }
+
+ private:
+  const RaidGeometry* geom_;
+};
+
+}  // namespace wafl

@@ -1,0 +1,65 @@
+#include "sim/aging.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace wafl {
+
+AgingReport age_filesystem(Aggregate& agg, std::span<const VolumeId> vols,
+                           const AgingConfig& cfg) {
+  AgingReport report;
+  Rng rng(cfg.seed);
+
+  // Phase 1: sequential fill of each volume to the target fraction.
+  std::vector<DirtyBlock> batch;
+  batch.reserve(cfg.cp_blocks);
+  auto flush_batch = [&]() {
+    if (batch.empty()) return;
+    ConsistencyPoint::run(agg, batch);
+    batch.clear();
+    ++report.cps_run;
+  };
+
+  std::vector<std::uint64_t> filled(vols.size(), 0);
+  for (std::size_t i = 0; i < vols.size(); ++i) {
+    const FlexVol& vol = agg.volume(vols[i]);
+    filled[i] = static_cast<std::uint64_t>(
+        cfg.fill_fraction * static_cast<double>(vol.file_blocks()));
+    for (std::uint64_t l = 0; l < filled[i]; ++l) {
+      batch.push_back({vols[i], l});
+      if (batch.size() >= cfg.cp_blocks) flush_batch();
+      ++report.blocks_filled;
+    }
+  }
+  flush_batch();
+
+  // Phase 2: skewed random overwrites of the filled span.  Dedup within a
+  // CP (WAFL coalesces repeated overwrites of a block in memory).
+  for (std::size_t i = 0; i < vols.size(); ++i) {
+    if (filled[i] == 0) continue;
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        cfg.overwrite_passes * static_cast<double>(filled[i]));
+    RandomOverwriteWorkload wl({vols[i]}, filled[i], 1, cfg.zipf_theta);
+    std::unordered_set<std::uint64_t> in_batch;
+    std::uint64_t done = 0;
+    while (done < target) {
+      const DirtyBlock db = wl.next_write(rng);
+      ++done;
+      if (!in_batch.insert(db.logical).second) continue;
+      batch.push_back(db);
+      ++report.blocks_overwritten;
+      if (batch.size() >= cfg.cp_blocks) {
+        flush_batch();
+        in_batch.clear();
+      }
+    }
+    flush_batch();
+    in_batch.clear();
+  }
+  return report;
+}
+
+}  // namespace wafl

@@ -1,0 +1,42 @@
+// File-system aging harness (§4.1: "the aggregate was filled up to 55% and
+// was thoroughly fragmented by applying heavy random write traffic for a
+// long period of time").
+//
+// Aging runs through the REAL allocator and CP machinery, so the resulting
+// free-space distribution is produced by the same mechanisms that produce
+// it in production: COW overwrites free the old copy wherever it was last
+// written, and hot/cold skew concentrates the churn.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "wafl/aggregate.hpp"
+
+namespace wafl {
+
+struct AgingConfig {
+  /// Fraction of each volume's logical file to fill (sequentially).
+  double fill_fraction = 0.55;
+  /// Random-overwrite volume, as a multiple of the filled block count.
+  double overwrite_passes = 2.0;
+  /// Hot/cold skew of the overwrite targets (0 = uniform).
+  double zipf_theta = 0.9;
+  /// Dirty blocks folded into each aging CP.
+  std::uint64_t cp_blocks = 65536;
+  std::uint64_t seed = 42;
+};
+
+/// Aging summary for reporting.
+struct AgingReport {
+  std::uint64_t blocks_filled = 0;
+  std::uint64_t blocks_overwritten = 0;
+  std::uint64_t cps_run = 0;
+};
+
+/// Fills, then fragments, the given volumes.  All volumes share the
+/// aggregate, so the aggregate's physical space fragments accordingly.
+AgingReport age_filesystem(Aggregate& agg, std::span<const VolumeId> vols,
+                           const AgingConfig& cfg);
+
+}  // namespace wafl

@@ -1,0 +1,66 @@
+// CPU cost model for the storage server.
+//
+// The simulator derives operation and CP service times from counted work,
+// never from per-configuration constants — AA selection quality must change
+// performance only through the work it actually saves:
+//   - fewer bitmap bits scanned per allocation (emptier AAs),
+//   - fewer distinct metafile blocks dirtied and flushed (colocation, §2.5),
+//   - fewer AA switches (cache consults),
+//   - and, on the storage side (not here), fuller stripes, longer chains,
+//     and less FTL relocation.
+//
+// The constants approximate a midrange controller of the paper's era
+// (§4.1: ~300 µs of WAFL CPU per client op, 20 cores).  Absolute values
+// shift curves; shapes and orderings come from the counters.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+#include "wafl/cp_stats.hpp"
+
+namespace wafl {
+
+struct CostModel {
+  /// Usable CPU cores working in parallel.
+  double cpu_cores = 20.0;
+
+  /// Per-op admission CPU (protocol decode, WAFL message, buffer setup).
+  SimTime op_admission_ns = 120'000;
+
+  /// CP CPU per data block written (buffer writeback, checksums, RAID prep).
+  SimTime per_block_ns = 20'000;
+  /// CP CPU per distinct bitmap-metafile block dirtied (read-modify-update
+  /// plus CP write processing of that metafile block).
+  SimTime per_meta_block_ns = 60'000;
+  /// CP CPU per metafile block flushed (allocation + I/O issue for it).
+  SimTime per_flush_block_ns = 20'000;
+  /// CPU per bitmap bit examined during free-block search.
+  SimTime per_bit_scanned_ns = 6;
+  /// CPU per AA checkout (cache consult, cursor setup).
+  SimTime per_aa_switch_ns = 25'000;
+  /// CPU per tetris assembled and dispatched to RAID.
+  SimTime per_tetris_ns = 30'000;
+
+  /// Extra storage time per metafile block flushed (metafiles are written
+  /// to the same devices as data; modeled as a flat per-block charge).
+  SimTime meta_flush_storage_ns = 12'000;
+
+  /// Total CP-side CPU implied by a CP's counters.
+  SimTime cp_cpu_ns(const CpStats& s) const noexcept {
+    const std::uint64_t switches =
+        s.vol_pick_free_frac.count() + s.agg_pick_free_frac.count();
+    return s.blocks_written * per_block_ns +
+           (s.vol_meta_blocks + s.agg_meta_blocks) * per_meta_block_ns +
+           s.meta_flush_blocks * per_flush_block_ns +
+           (s.vol_bits_scanned + s.agg_bits_scanned) * per_bit_scanned_ns +
+           switches * per_aa_switch_ns + s.tetrises * per_tetris_ns;
+  }
+
+  /// Storage time of a CP: slowest device plus the metafile-flush charge.
+  SimTime cp_storage_ns(const CpStats& s) const noexcept {
+    return s.storage_time_ns + s.meta_flush_blocks * meta_flush_storage_ns;
+  }
+};
+
+}  // namespace wafl

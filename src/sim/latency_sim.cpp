@@ -1,0 +1,287 @@
+#include "sim/latency_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace wafl {
+namespace {
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+constexpr double kNsPerMs = 1e6;
+constexpr double kNsPerSec = 1e9;
+}  // namespace
+
+LatencySimulator::LatencySimulator(Aggregate& agg, Workload& workload,
+                                   SimConfig cfg)
+    : agg_(agg), workload_(workload), cfg_(cfg), rng_(cfg.seed) {
+  dirty_flags_.resize(agg.volume_count());
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    dirty_flags_[v].assign(agg.volume(v).file_blocks(), 0);
+  }
+}
+
+void LatencySimulator::mark_dirty(const DirtyBlock& first_block) {
+  for (std::uint32_t k = 0; k < cfg_.blocks_per_op; ++k) {
+    const std::uint64_t l = first_block.logical + k;
+    auto& flags = dirty_flags_[first_block.vol];
+    if (l >= flags.size()) break;
+    if (flags[l] == 0) {
+      flags[l] = 1;
+      dirty_list_.push_back({first_block.vol, l});
+    }
+  }
+}
+
+SimTime LatencySimulator::stats_cpu(const CpStats& stats) const {
+  return static_cast<SimTime>(static_cast<double>(cfg_.cost.cp_cpu_ns(stats)) /
+                              cfg_.cost.cpu_cores);
+}
+
+double LatencySimulator::storage_utilization(SimTime now) const {
+  if (now == 0) return 0.0;
+  return std::min(
+      0.95, static_cast<double>(storage_busy_) / static_cast<double>(now));
+}
+
+SimTime LatencySimulator::read_device_ns(SimTime now) {
+  SimTime device_ns = 0;
+  const DirtyBlock target = workload_.next_read(rng_);
+  const FlexVol& vol = agg_.volume(target.vol);
+  if (target.logical < vol.file_blocks() && vol.is_mapped(target.logical)) {
+    const Vbn pvbn = vol.pvbn_of(target.logical);
+    for (RaidGroupId rg = 0; rg < agg_.raid_group_count(); ++rg) {
+      const Vbn base = agg_.rg_base(rg);
+      const std::uint64_t span = agg_.raid_group(rg).geometry().data_blocks();
+      if (pvbn >= base && pvbn < base + span) {
+        const BlockLocation loc =
+            agg_.raid_group(rg).geometry().to_location(pvbn - base);
+        device_ns =
+            agg_.data_device(rg, loc.device).read_random(cfg_.blocks_per_op);
+        break;
+      }
+    }
+  }
+  // Reads queue behind the CP write stream on the same spindles/dies:
+  // M/M/1-style inflation with measured storage utilization.
+  const double rho = storage_utilization(now);
+  return static_cast<SimTime>(static_cast<double>(device_ns) / (1.0 - rho));
+}
+
+SimTime LatencySimulator::jittered_rtt() {
+  // Clients do not reissue in lockstep: +-50% uniform jitter around the
+  // configured RTT (mean preserved) breaks closed-loop convoys.
+  const SimTime rtt = cfg_.client_rtt_ns;
+  if (rtt == 0) return 0;
+  return rtt / 2 + rng_.below(rtt + 1);
+}
+
+void LatencySimulator::admit_write(SimTime now, SimTime arrival) {
+  const SimTime start = std::max(now, cpu_free_);
+  const auto service = static_cast<SimTime>(
+      static_cast<double>(cfg_.cost.op_admission_ns) / cfg_.cost.cpu_cores);
+  cpu_free_ = start + service;
+  cpu_spent_ += cfg_.cost.op_admission_ns;
+  latencies_ms_.add(
+      static_cast<double>(cpu_free_ - arrival + cfg_.client_rtt_ns) /
+      kNsPerMs);
+  ++completed_;
+  mark_dirty(workload_.next_write(rng_));
+}
+
+void LatencySimulator::do_read(SimTime now) {
+  const SimTime start = std::max(now, cpu_free_);
+  const auto service = static_cast<SimTime>(
+      static_cast<double>(cfg_.cost.op_admission_ns) / cfg_.cost.cpu_cores);
+  cpu_free_ = start + service;
+  cpu_spent_ += cfg_.cost.op_admission_ns;
+  const SimTime device_ns = read_device_ns(now);
+  latencies_ms_.add(static_cast<double>((cpu_free_ - now) + device_ns +
+                                        cfg_.client_rtt_ns) /
+                    kNsPerMs);
+  ++completed_;
+}
+
+void LatencySimulator::maybe_start_cp(SimTime now) {
+  if (cp_inflight_ || dirty_list_.size() < cfg_.cp_trigger_blocks) return;
+
+  // Snapshot the dirty set and run the CP's allocation synchronously; its
+  // simulated duration comes from the cost model and device models.
+  std::vector<DirtyBlock> snapshot;
+  snapshot.swap(dirty_list_);
+  for (const DirtyBlock& db : snapshot) {
+    dirty_flags_[db.vol][db.logical] = 0;
+  }
+  cp_inflight_blocks_ = snapshot.size();
+
+  CpStats stats = ConsistencyPoint::run(agg_, snapshot);
+  stats.ops = snapshot.size() / cfg_.blocks_per_op;
+
+  const SimTime cp_cpu = stats_cpu(stats);
+  cpu_free_ = std::max(cpu_free_, now) + cp_cpu;
+  cpu_spent_ += cfg_.cost.cp_cpu_ns(stats);
+  const SimTime storage = cfg_.cost.cp_storage_ns(stats);
+  storage_busy_ += storage;
+  cp_done_ = std::max(now + storage, cpu_free_);
+  cp_inflight_ = true;
+  ++cps_;
+  cp_totals_.merge(stats);
+}
+
+void LatencySimulator::complete_cp(SimTime now) {
+  cp_inflight_ = false;
+  cp_done_ = kNever;
+  cp_inflight_blocks_ = 0;
+  // Throttled writes drain while room exists below the watermark.
+  while (!blocked_.empty() &&
+         dirty_list_.size() + cp_inflight_blocks_ <
+             cfg_.dirty_high_watermark) {
+    const BlockedOp op = blocked_.front();
+    blocked_.pop_front();
+    admit_write(now, op.arrival);
+    if (op.client != kNoClient) {
+      // The client's op just completed; it issues again after the RTT.
+      ready_heap_.push_back({cpu_free_ + jittered_rtt(), op.client});
+      std::push_heap(ready_heap_.begin(), ready_heap_.end(),
+                     std::greater<>());
+    }
+  }
+  maybe_start_cp(now);
+}
+
+void LatencySimulator::reset_run_accumulators() {
+  latencies_ms_.clear();
+  completed_ = 0;
+  cps_ = 0;
+  cpu_spent_ = 0;
+  storage_busy_ = 0;
+  cp_totals_ = CpStats{};
+  agg_.reset_wear_windows();
+  // A CP left in flight by a previous run completes immediately on the
+  // new clock; throttled writes from the previous measurement are dropped
+  // so they cannot pollute this point's completions or latencies.
+  cp_done_ = cp_inflight_ ? 0 : kNever;
+  cpu_free_ = 0;
+  blocked_.clear();
+  ready_heap_.clear();
+}
+
+LoadPoint LatencySimulator::finish_point(double offered,
+                                         double sim_seconds) {
+  // Ops still throttled at the horizon have waited this long without
+  // completing; folding that waiting time in (as a lower bound on their
+  // final latency) avoids survivorship bias at deep saturation.
+  const auto horizon = static_cast<SimTime>(sim_seconds * kNsPerSec);
+  for (const BlockedOp& op : blocked_) {
+    latencies_ms_.add(static_cast<double>(horizon - op.arrival) / kNsPerMs);
+  }
+  LoadPoint point;
+  point.offered_ops_per_sec = offered;
+  point.achieved_ops_per_sec = static_cast<double>(completed_) / sim_seconds;
+  point.mean_latency_ms = latencies_ms_.mean();
+  point.p50_latency_ms = latencies_ms_.percentile(50);
+  point.p99_latency_ms = latencies_ms_.percentile(99);
+  point.cpu_us_per_op =
+      completed_ == 0 ? 0.0
+                      : static_cast<double>(cpu_spent_) / 1e3 /
+                            static_cast<double>(completed_);
+  point.write_amplification = agg_.mean_write_amplification();
+  point.mean_vol_pick_free = cp_totals_.vol_pick_free_frac.mean();
+  point.mean_agg_pick_free = cp_totals_.agg_pick_free_frac.mean();
+  point.ops_completed = completed_;
+  point.cps = cps_;
+  point.cp_totals = cp_totals_;
+  return point;
+}
+
+LoadPoint LatencySimulator::run(double offered_ops_per_sec,
+                                double sim_seconds) {
+  reset_run_accumulators();
+  const auto horizon = static_cast<SimTime>(sim_seconds * kNsPerSec);
+  const double mean_gap_ns = kNsPerSec / offered_ops_per_sec;
+
+  SimTime now = 0;
+  auto next_arrival = static_cast<SimTime>(rng_.exponential(mean_gap_ns));
+
+  for (;;) {
+    const SimTime t = std::min(next_arrival, cp_done_);
+    if (t > horizon) break;
+    now = t;
+
+    if (cp_done_ <= next_arrival) {
+      complete_cp(now);
+      continue;
+    }
+
+    next_arrival = now + static_cast<SimTime>(rng_.exponential(mean_gap_ns));
+    if (cfg_.read_fraction > 0.0 && rng_.chance(cfg_.read_fraction)) {
+      do_read(now);
+    } else if (dirty_list_.size() + cp_inflight_blocks_ >=
+               cfg_.dirty_high_watermark) {
+      blocked_.push_back({now, kNoClient});
+    } else {
+      admit_write(now, now);
+    }
+    maybe_start_cp(now);
+  }
+  return finish_point(offered_ops_per_sec, sim_seconds);
+}
+
+LoadPoint LatencySimulator::run_closed(std::size_t clients,
+                                       double sim_seconds) {
+  WAFL_ASSERT(clients > 0);
+  reset_run_accumulators();
+  const auto horizon = static_cast<SimTime>(sim_seconds * kNsPerSec);
+
+  // All clients issue their first op at staggered start times to avoid a
+  // synchronized burst.
+  for (std::size_t c = 0; c < clients; ++c) {
+    ready_heap_.push_back(
+        {static_cast<SimTime>(rng_.below(1'000'000)), c});
+  }
+  std::make_heap(ready_heap_.begin(), ready_heap_.end(), std::greater<>());
+
+  auto schedule = [this](SimTime t, std::size_t client) {
+    ready_heap_.push_back({t, client});
+    std::push_heap(ready_heap_.begin(), ready_heap_.end(), std::greater<>());
+  };
+
+  SimTime now = 0;
+  for (;;) {
+    const SimTime next_issue =
+        ready_heap_.empty() ? kNever : ready_heap_.front().first;
+    const SimTime t = std::min(next_issue, cp_done_);
+    if (t > horizon) break;
+    now = t;
+
+    if (cp_done_ <= next_issue) {
+      complete_cp(now);
+      continue;
+    }
+
+    std::pop_heap(ready_heap_.begin(), ready_heap_.end(), std::greater<>());
+    const std::size_t client = ready_heap_.back().second;
+    ready_heap_.pop_back();
+
+    if (cfg_.read_fraction > 0.0 && rng_.chance(cfg_.read_fraction)) {
+      const SimTime start = std::max(now, cpu_free_);
+      const auto service = static_cast<SimTime>(
+          static_cast<double>(cfg_.cost.op_admission_ns) /
+          cfg_.cost.cpu_cores);
+      cpu_free_ = start + service;
+      cpu_spent_ += cfg_.cost.op_admission_ns;
+      const SimTime done = cpu_free_ + read_device_ns(now) + jittered_rtt();
+      latencies_ms_.add(static_cast<double>(done - now) / kNsPerMs);
+      ++completed_;
+      schedule(done, client);
+    } else if (dirty_list_.size() + cp_inflight_blocks_ >=
+               cfg_.dirty_high_watermark) {
+      blocked_.push_back({now, client});  // reissues when the CP drains it
+    } else {
+      admit_write(now, now);
+      schedule(cpu_free_ + jittered_rtt(), client);
+    }
+    maybe_start_cp(now);
+  }
+  return finish_point(/*offered=*/0.0, sim_seconds);
+}
+
+}  // namespace wafl

@@ -1,0 +1,151 @@
+// Discrete-event latency/throughput simulator (the §4 measurement rig).
+//
+// Open-loop clients issue operations with Poisson interarrivals at a given
+// offered rate.  Modifying ops are admitted through a shared CPU (FIFO at
+// the cost model's aggregate core rate), dirty the target blocks, and
+// acknowledge — WAFL logs to NVRAM, so op latency excludes the flush.  The
+// flush happens in consistency points:
+//
+//   - a CP starts once enough dirty blocks accumulate and no CP is
+//     running; its CPU work contends with op admission and its storage
+//     time comes from the device models via the real allocator;
+//   - while a CP is in flight, newly dirtied blocks accumulate for the
+//     next one (WAFL's back-to-back CP behaviour);
+//   - when unflushed blocks exceed the high watermark, incoming writes
+//     block until the CP completes — this throttling is what turns an
+//     oversubscribed offered load into the hockey-stick latency curve of
+//     Figures 6/8/9.
+//
+// Everything performance-relevant is *derived*: AA quality changes bitmap
+// search work, metafile-block touches, stripe fullness, chain lengths, and
+// FTL relocation, and those change the admission and drain rates.
+//
+// Reads charge their device time inflated by the measured storage
+// utilization (M/M/1-style queueing against the CP write stream) rather
+// than queueing against individual writes.
+//
+// run_closed() adds the paper's actual measurement mode: a fixed client
+// population, each with one outstanding op and a jittered client RTT,
+// reissuing on completion — throughput saturates at service capacity and
+// latency follows Little's law instead of diverging.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "wafl/aggregate.hpp"
+
+namespace wafl {
+
+struct SimConfig {
+  CostModel cost{};
+  /// Dirty blocks that trigger a CP.
+  std::uint64_t cp_trigger_blocks = 49'152;
+  /// Unflushed blocks (accumulating + in-flight) beyond which writes block.
+  std::uint64_t dirty_high_watermark = 131'072;
+  /// Blocks per client op (2 => the paper's 8 KiB ops).
+  std::uint32_t blocks_per_op = 2;
+  /// Fraction of ops that are reads (OLTP-style mixes).
+  double read_fraction = 0.0;
+  /// Client-side round trip (network + host stack) added to every op —
+  /// the paper's clients talk Fibre Channel to the server.  Affects
+  /// closed-loop pacing and reported latencies.
+  SimTime client_rtt_ns = 150'000;
+  std::uint64_t seed = 7;
+};
+
+/// One point of a latency-vs-throughput curve.
+struct LoadPoint {
+  double offered_ops_per_sec = 0.0;
+  double achieved_ops_per_sec = 0.0;
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  /// Total CPU (admission + CP) per completed op.
+  double cpu_us_per_op = 0.0;
+  /// Mean write amplification across translation-layer media this point.
+  double write_amplification = 1.0;
+  /// Mean free fraction of the AAs the allocator checked out.
+  double mean_vol_pick_free = 0.0;
+  double mean_agg_pick_free = 0.0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t cps = 0;
+  /// Merged CP counters for deeper reporting.
+  CpStats cp_totals;
+};
+
+class LatencySimulator {
+ public:
+  LatencySimulator(Aggregate& agg, Workload& workload, SimConfig cfg);
+
+  /// Simulates `sim_seconds` of the given offered load (open loop:
+  /// Poisson arrivals) and reports the point.  State (file system,
+  /// devices) carries across calls, so a rising ladder measures a
+  /// continuously-aging system, like a real load sweep.
+  LoadPoint run(double offered_ops_per_sec, double sim_seconds);
+
+  /// Closed-loop variant, the way the paper's load ladder works (§4.1): a
+  /// fixed population of clients, each with one op outstanding, issue the
+  /// next op the moment the previous completes.  Throughput saturates at
+  /// the service capacity and latency grows with the population (Little's
+  /// law) instead of diverging.  offered_ops_per_sec is reported as 0.
+  LoadPoint run_closed(std::size_t clients, double sim_seconds);
+
+ private:
+  void mark_dirty(const DirtyBlock& first_block);
+  /// CP CPU time divided across the cores.
+  SimTime stats_cpu(const CpStats& stats) const;
+  /// Storage utilization so far in this run (busy fraction of the slowest
+  /// device path), used to queue-penalize reads.
+  double storage_utilization(SimTime now) const;
+  /// Device time for one read op, including the utilization queueing
+  /// factor.
+  SimTime read_device_ns(SimTime now);
+  /// Client RTT with anti-convoy jitter (closed loop).
+  SimTime jittered_rtt();
+  void reset_run_accumulators();
+  LoadPoint finish_point(double offered, double sim_seconds);
+  void admit_write(SimTime now, SimTime arrival);
+  void do_read(SimTime now);
+  void maybe_start_cp(SimTime now);
+  void complete_cp(SimTime now);
+
+  Aggregate& agg_;
+  Workload& workload_;
+  SimConfig cfg_;
+  Rng rng_;
+
+  // Per-volume dirty flags, sized on first touch.
+  std::vector<std::vector<std::uint8_t>> dirty_flags_;
+  std::vector<DirtyBlock> dirty_list_;
+
+  SimTime cpu_free_ = 0;
+  bool cp_inflight_ = false;
+  SimTime cp_done_ = 0;
+  std::uint64_t cp_inflight_blocks_ = 0;
+  /// Throttled writes: arrival time and (closed loop only) client id;
+  /// open-loop entries carry client == kNoClient.
+  struct BlockedOp {
+    SimTime arrival;
+    std::size_t client;
+  };
+  static constexpr std::size_t kNoClient = ~std::size_t{0};
+  std::deque<BlockedOp> blocked_;
+  /// Closed loop: clients becoming ready to issue (time-ordered heap).
+  std::vector<std::pair<SimTime, std::size_t>> ready_heap_;
+  SimTime storage_busy_ = 0;
+
+  // Per-run accumulators (reset in run()).
+  LatencyRecorder latencies_ms_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t cps_ = 0;
+  SimTime cpu_spent_ = 0;
+  CpStats cp_totals_;
+};
+
+}  // namespace wafl

@@ -1,0 +1,70 @@
+#include "sim/workload.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace wafl {
+namespace {
+
+/// Picks a multiplier coprime with n so that rank -> (rank * a) % n is a
+/// bijection scattering Zipf-hot ranks across the whole file.
+std::uint64_t coprime_scatter(std::uint64_t n) {
+  std::uint64_t a = 2654435761ULL % n;  // Knuth's multiplicative constant
+  if (a == 0) a = 1;
+  while (std::gcd(a, n) != 1) {
+    ++a;
+  }
+  return a;
+}
+
+}  // namespace
+
+RandomOverwriteWorkload::RandomOverwriteWorkload(std::vector<VolumeId> vols,
+                                                 std::uint64_t span_blocks,
+                                                 std::uint32_t blocks_per_op,
+                                                 double zipf_theta)
+    : vols_(std::move(vols)),
+      span_ops_(span_blocks / blocks_per_op),
+      blocks_per_op_(blocks_per_op) {
+  WAFL_ASSERT(!vols_.empty());
+  WAFL_ASSERT(span_ops_ > 0);
+  if (zipf_theta > 0.0) {
+    zipf_ = std::make_unique<ZipfSampler>(span_ops_, zipf_theta);
+  }
+  scatter_ = coprime_scatter(span_ops_);
+}
+
+DirtyBlock RandomOverwriteWorkload::next_write(Rng& rng) {
+  const VolumeId vol = vols_[rng.below(vols_.size())];
+  std::uint64_t op_slot;
+  if (zipf_ != nullptr) {
+    const std::uint64_t rank = zipf_->sample(rng);
+    op_slot = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(rank) * scatter_) % span_ops_);
+  } else {
+    op_slot = rng.below(span_ops_);
+  }
+  return {vol, op_slot * blocks_per_op_};
+}
+
+SequentialWorkload::SequentialWorkload(std::vector<VolumeId> vols,
+                                       std::uint64_t span_blocks,
+                                       std::uint32_t blocks_per_op)
+    : vols_(std::move(vols)),
+      span_ops_(span_blocks / blocks_per_op),
+      blocks_per_op_(blocks_per_op),
+      cursor_(vols_.size(), 0) {
+  WAFL_ASSERT(!vols_.empty());
+  WAFL_ASSERT(span_ops_ > 0);
+}
+
+DirtyBlock SequentialWorkload::next_write(Rng& /*rng*/) {
+  const std::size_t v = next_vol_;
+  next_vol_ = (next_vol_ + 1) % vols_.size();
+  const std::uint64_t slot = cursor_[v];
+  cursor_[v] = (cursor_[v] + 1) % span_ops_;
+  return {vols_[v], slot * blocks_per_op_};
+}
+
+}  // namespace wafl

@@ -1,0 +1,71 @@
+// Workload generators (§4's evaluation scenarios).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "wafl/consistency_point.hpp"
+
+namespace wafl {
+
+/// Produces the target of each client operation.  Operations address the
+/// logical file of one FlexVol; an op covers `blocks_per_op` consecutive
+/// logical blocks starting at the returned block.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Target of the next modifying (write/overwrite) op.
+  virtual DirtyBlock next_write(Rng& rng) = 0;
+
+  /// Target of the next read op; defaults to the write distribution.
+  virtual DirtyBlock next_read(Rng& rng) { return next_write(rng); }
+};
+
+/// Random overwrites of already-written data — the paper's worst-case
+/// fragmentation workload (§4.1: "Random overwrites create worst-case
+/// fragmentation in a COW file system").
+///
+/// With `zipf_theta` > 0 the target distribution is skewed hot/cold, which
+/// is what makes per-AA free space non-uniform as the system ages — the
+/// non-uniformity the AA caches exploit.  Ranks map to logical offsets via
+/// a fixed pseudo-random bijection so hot blocks scatter across the file.
+class RandomOverwriteWorkload final : public Workload {
+ public:
+  /// Overwrites target logical blocks [0, span_blocks) of each listed
+  /// volume, aligned to `blocks_per_op`.
+  RandomOverwriteWorkload(std::vector<VolumeId> vols,
+                          std::uint64_t span_blocks,
+                          std::uint32_t blocks_per_op, double zipf_theta);
+
+  DirtyBlock next_write(Rng& rng) override;
+
+ private:
+  std::vector<VolumeId> vols_;
+  std::uint64_t span_ops_;  // span in op-sized units
+  std::uint32_t blocks_per_op_;
+  std::unique_ptr<ZipfSampler> zipf_;  // null => uniform
+  std::uint64_t scatter_;              // multiplier of the rank bijection
+};
+
+/// Sequential writes — §4.3's SMR experiment ("sequential writes to an
+/// unaged file system").  Each volume has an append cursor that wraps.
+class SequentialWorkload final : public Workload {
+ public:
+  SequentialWorkload(std::vector<VolumeId> vols, std::uint64_t span_blocks,
+                     std::uint32_t blocks_per_op);
+
+  DirtyBlock next_write(Rng& rng) override;
+
+ private:
+  std::vector<VolumeId> vols_;
+  std::uint64_t span_ops_;
+  std::uint32_t blocks_per_op_;
+  std::vector<std::uint64_t> cursor_;  // per volume, in op units
+  std::size_t next_vol_ = 0;
+};
+
+}  // namespace wafl

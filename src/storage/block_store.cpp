@@ -1,0 +1,42 @@
+#include "storage/block_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace wafl {
+
+void BlockStore::write(std::uint64_t block_no,
+                       std::span<const std::byte> data) {
+  WAFL_ASSERT_MSG(block_no < capacity_, "block write out of range");
+  WAFL_ASSERT(data.size() == kBlockSize);
+  auto it = blocks_.find(block_no);
+  if (it == blocks_.end()) {
+    it = blocks_.emplace(block_no, std::make_unique<Block>()).first;
+  }
+  std::memcpy(it->second->data(), data.data(), kBlockSize);
+  ++stats_.block_writes;
+}
+
+void BlockStore::read(std::uint64_t block_no, std::span<std::byte> out) {
+  WAFL_ASSERT_MSG(block_no < capacity_, "block read out of range");
+  WAFL_ASSERT(out.size() == kBlockSize);
+  const auto it = blocks_.find(block_no);
+  if (it == blocks_.end()) {
+    std::memset(out.data(), 0, kBlockSize);
+  } else {
+    std::memcpy(out.data(), it->second->data(), kBlockSize);
+  }
+  ++stats_.block_reads;
+}
+
+void BlockStore::corrupt(std::uint64_t block_no, std::size_t bit_index) {
+  WAFL_ASSERT(bit_index < kBlockSize * 8);
+  const auto it = blocks_.find(block_no);
+  WAFL_ASSERT_MSG(it != blocks_.end(), "corrupting an unwritten block");
+  auto& byte = (*it->second)[bit_index / 8];
+  byte ^= static_cast<std::byte>(1u << (bit_index % 8));
+}
+
+}  // namespace wafl

@@ -1,0 +1,81 @@
+// A 4 KiB-block store with I/O accounting.
+//
+// Metafiles (bitmap metafiles, the TopAA metafile) are persisted as arrays
+// of 4 KiB blocks.  BlockStore models that persistence layer: it stores
+// block payloads sparsely (only blocks that have been written occupy
+// memory) and counts reads and writes so that higher layers can attribute
+// I/O cost — e.g., mount-time cost with and without TopAA metafiles
+// (paper §4.4) is derived directly from these counters.
+//
+// BlockStore is a correctness substrate, not a performance model: timing
+// is assigned by the simulation layer from the counters.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace wafl {
+
+/// Running I/O counters for one BlockStore.
+struct IoStats {
+  std::uint64_t block_reads = 0;
+  std::uint64_t block_writes = 0;
+
+  std::uint64_t total() const noexcept { return block_reads + block_writes; }
+};
+
+class BlockStore {
+ public:
+  using Block = std::array<std::byte, kBlockSize>;
+
+  /// Creates a store addressing `capacity_blocks` blocks.  No memory is
+  /// consumed until blocks are written.
+  explicit BlockStore(std::uint64_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  std::uint64_t capacity_blocks() const noexcept { return capacity_; }
+
+  /// Raises the addressable capacity (storage growth); existing contents
+  /// are untouched.
+  void grow(std::uint64_t new_capacity_blocks) {
+    WAFL_ASSERT(new_capacity_blocks >= capacity_);
+    capacity_ = new_capacity_blocks;
+  }
+
+  /// Writes one block.  `data` must be exactly kBlockSize bytes.
+  void write(std::uint64_t block_no, std::span<const std::byte> data);
+
+  /// Reads one block into `out` (exactly kBlockSize bytes).  A block that
+  /// has never been written reads as zeroes, like a sparse file.
+  void read(std::uint64_t block_no, std::span<std::byte> out);
+
+  /// True if the block has been written at least once.
+  bool is_materialized(std::uint64_t block_no) const noexcept {
+    return blocks_.contains(block_no);
+  }
+
+  /// Deliberately corrupts a stored block by flipping one bit — failure
+  /// injection for checksum/fallback paths (TopAA repair, §3.4).
+  void corrupt(std::uint64_t block_no, std::size_t bit_index);
+
+  const IoStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = IoStats{}; }
+
+  /// Number of materialized (written-at-least-once) blocks.
+  std::size_t materialized_blocks() const noexcept { return blocks_.size(); }
+
+ private:
+  std::uint64_t capacity_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Block>> blocks_;
+  IoStats stats_;
+};
+
+}  // namespace wafl

@@ -1,0 +1,28 @@
+// Always-on invariant checking.
+//
+// Storage metadata code must fail fast on broken invariants rather than
+// silently corrupting state (cf. WAFL's in-memory metadata protection).
+// WAFL_ASSERT is active in all build types, unlike <cassert>.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wafl::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "waflfree: assertion failed: %s (%s:%d)%s%s\n", expr,
+               file, line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace wafl::detail
+
+#define WAFL_ASSERT(expr)                                                   \
+  ((expr) ? static_cast<void>(0)                                            \
+          : ::wafl::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define WAFL_ASSERT_MSG(expr, msg)                                          \
+  ((expr) ? static_cast<void>(0)                                            \
+          : ::wafl::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))

@@ -1,0 +1,135 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic behaviour in the library (workloads, aging, arrival
+// processes) flows through Rng so that every experiment is reproducible from
+// a seed.  The generator is xoshiro256**, which is fast, has a 2^256-1
+// period, and passes BigCrush; we avoid <random> engines because their
+// cross-platform output is not guaranteed for all distributions.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wafl {
+
+class Rng {
+ public:
+  /// Seeds the state via splitmix64 so that nearby seeds give unrelated
+  /// streams.
+  explicit Rng(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    WAFL_ASSERT(bound != 0);
+    // Lemire's nearly-divisionless bounded generation (debiased).
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    WAFL_ASSERT(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean (Poisson
+  /// interarrival times).
+  double exponential(double mean) noexcept {
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Zipf-distributed sampler over {0, 1, ..., n-1} with exponent `theta`.
+///
+/// Used to model hot/cold skew in overwrite workloads: production aging
+/// (§4.1) produces non-uniform free space because client overwrites target
+/// some data far more often than the rest.  Sampling uses the precomputed
+/// CDF with binary search — O(log n) per sample, exact.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta) : cdf_(n) {
+    WAFL_ASSERT(n > 0);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  std::uint64_t sample(Rng& rng) const noexcept {
+    const double u = rng.uniform();
+    // First index whose CDF value exceeds u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::uint64_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace wafl

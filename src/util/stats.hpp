@@ -1,0 +1,143 @@
+// Statistics accumulators used by the simulation harness and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wafl {
+
+/// Online mean / min / max / variance accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = (n_ == 1) ? x : std::min(min_, x);
+    max_ = (n_ == 1) ? x : std::max(max_, x);
+  }
+
+  /// Folds another accumulator into this one (parallel-variance combine).
+  void merge(const RunningStat& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double d = o.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(o.n_);
+    const double nt = na + nb;
+    mean_ += d * nb / nt;
+    m2_ += o.m2_ + d * d * na * nb / nt;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Reservoir-free latency recorder: stores all samples (simulations here
+/// produce at most a few million) and answers percentile queries.
+class LatencyRecorder {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  double mean() const noexcept {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  /// p in [0, 100].  Sorts lazily on demand.
+  double percentile(double p) {
+    WAFL_ASSERT(p >= 0.0 && p <= 100.0);
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
+  }
+
+  void clear() noexcept {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
+/// bins.  Used for free-space-distribution reporting in examples/benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    WAFL_ASSERT(hi > lo && bins > 0);
+  }
+
+  void add(double x) noexcept {
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<std::ptrdiff_t>(
+        t * static_cast<double>(counts_.size()));
+    bin = std::clamp<std::ptrdiff_t>(
+        bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+  }
+
+  std::uint64_t bin_count(std::size_t bin) const {
+    WAFL_ASSERT(bin < counts_.size());
+    return counts_[bin];
+  }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_low(std::size_t bin) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                     static_cast<double>(counts_.size());
+  }
+  double bin_high(std::size_t bin) const noexcept { return bin_low(bin + 1); }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wafl

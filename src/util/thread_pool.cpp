@@ -1,0 +1,103 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/assert.hpp"
+
+namespace wafl {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  WAFL_ASSERT(task != nullptr);
+  {
+    std::lock_guard lock(mu_);
+    WAFL_ASSERT_MSG(!stop_, "submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::min(n, workers_.size() + 1);
+  const std::size_t chunk = (n + parts - 1) / parts;
+
+  std::atomic<std::size_t> remaining{parts};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  auto run_chunk = [&](std::size_t part) {
+    const std::size_t lo = begin + part * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lk(done_mu);
+      done_cv.notify_one();
+    }
+  };
+
+  // Workers take parts [1, parts); the caller runs part 0 itself so a
+  // single-threaded pool still makes progress while the queue is busy.
+  for (std::size_t p = 1; p < parts; ++p) {
+    submit([&, p] { run_chunk(p); });
+  }
+  run_chunk(0);
+
+  std::unique_lock lk(done_mu);
+  done_cv.wait(lk, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stop_ must be set; drain is complete.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        cv_idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace wafl

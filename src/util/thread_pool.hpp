@@ -1,0 +1,62 @@
+// A small fixed-size thread pool for background and data-parallel work.
+//
+// The paper's system performs several kinds of concurrent work:
+//   - background rebuild of AA caches after mount (§3.4) while client
+//     operations are already being served from the TopAA seed,
+//   - background replenishment of the HBPS list by walking bitmap metafiles
+//     (§3.3.2), and
+//   - per-RAID-group / per-volume CP work that is independent and can be
+//     sharded (cf. "Scalable Write Allocation in the WAFL File System").
+//
+// The pool provides fire-and-forget submission plus a blocking
+// parallel_for over an index range (static chunking — the workloads here
+// are uniform bitmap scans, so dynamic scheduling buys nothing).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wafl {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for every i in [begin, end) across the pool, blocking until
+  /// all iterations complete.  The calling thread participates.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wafl

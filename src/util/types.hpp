@@ -1,0 +1,54 @@
+// Core identifier and unit types shared across the waflfree library.
+//
+// WAFL addresses storage in fixed 4 KiB blocks.  Two distinct block-number
+// spaces exist (see §2.1 of the paper):
+//   - physical VBNs address blocks of an aggregate and map (via RAID
+//     geometry) to a (device, device-block) pair, and
+//   - virtual VBNs address blocks within one FlexVol volume.
+// Both spaces are plain 64-bit indices; the aliases below exist to keep
+// signatures self-describing.  Identifiers that index small dense tables
+// (devices, RAID groups, allocation areas) are 32-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wafl {
+
+/// Volume block number: index of a 4 KiB block in either the aggregate's
+/// physical space or a FlexVol's virtual space (context decides which).
+using Vbn = std::uint64_t;
+
+/// Block number local to a single storage device (disk block number).
+using Dbn = std::uint64_t;
+
+/// Index of an allocation area within one AA layout (one RAID group's VBN
+/// range, or one flat VBN range).
+using AaId = std::uint32_t;
+
+/// Free-block count of an allocation area ("AA score", §3.3).  The score of
+/// an empty AA equals the AA size in blocks; a full AA scores 0.
+using AaScore = std::uint32_t;
+
+/// Index of a device within a RAID group.
+using DeviceId = std::uint32_t;
+
+/// Index of a RAID group within an aggregate.
+using RaidGroupId = std::uint32_t;
+
+/// Index of a FlexVol within an aggregate.
+using VolumeId = std::uint32_t;
+
+/// Stripe index within one RAID group (all devices share stripe numbering).
+using StripeId = std::uint64_t;
+
+/// Simulated time in nanoseconds (discrete-event clock).
+using SimTime = std::uint64_t;
+
+/// Sentinel for "no VBN".
+inline constexpr Vbn kInvalidVbn = std::numeric_limits<Vbn>::max();
+
+/// Sentinel for "no AA".
+inline constexpr AaId kInvalidAaId = std::numeric_limits<AaId>::max();
+
+}  // namespace wafl

@@ -1,0 +1,49 @@
+// Size units and the fixed layout constants the paper specifies.
+#pragma once
+
+#include <cstdint>
+
+namespace wafl {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+inline constexpr std::uint64_t TiB = 1024ULL * GiB;
+
+/// WAFL addresses its storage in 4 KiB blocks (§2).
+inline constexpr std::uint32_t kBlockSize = 4096;
+
+/// One 4 KiB bitmap-metafile block holds 32 Ki bits, one per VBN (§3.2.1).
+inline constexpr std::uint32_t kBitsPerBitmapBlock = kBlockSize * 8;  // 32768
+
+/// Default allocation-area size for HDD RAID groups: 4 Ki stripes (§3.2.1).
+inline constexpr std::uint32_t kDefaultRaidAaStripes = 4096;
+
+/// Allocation-area size in the absence of RAID geometry: 32 Ki consecutive
+/// VBNs, matching the alignment of one bitmap-metafile block (§3.2.1).
+inline constexpr std::uint32_t kFlatAaBlocks = kBitsPerBitmapBlock;
+
+/// HBPS histogram: the score space [0, 32 Ki] is divided into bins covering
+/// ranges of 1 Ki (§3.3.2), giving 32 bins.
+inline constexpr std::uint32_t kHbpsBinWidth = 1024;
+inline constexpr std::uint32_t kHbpsBinCount = kFlatAaBlocks / kHbpsBinWidth;
+
+/// The HBPS list page stores 1,000 AAs from the top score ranges (§3.3.2).
+inline constexpr std::uint32_t kHbpsListCapacity = 1000;
+
+/// The RAID-aware TopAA metafile block seeds the max-heap with the best AAs
+/// and their scores (§3.4).  The paper quotes 512 entries filling the 4 KiB
+/// block; our on-media format spends 16 bytes on a header (magic, version,
+/// count, CRC-32C) so 510 × (4 B id + 4 B score) entries fill the rest.
+inline constexpr std::uint32_t kTopAaRaidAwareEntries = 510;
+
+/// A tetris — the unit of write I/O from WAFL to a RAID group — is composed
+/// of 64 consecutive stripes (§4.2).
+inline constexpr std::uint32_t kTetrisStripes = 64;
+
+/// An AZCS region: 63 consecutive data blocks use the 64th as a shared
+/// checksum block (§3.2.4).
+inline constexpr std::uint32_t kAzcsRegionBlocks = 64;
+inline constexpr std::uint32_t kAzcsDataBlocksPerRegion = kAzcsRegionBlocks - 1;
+
+}  // namespace wafl

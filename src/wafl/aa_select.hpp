@@ -1,0 +1,31 @@
+// Allocation-area selection policy.
+//
+// The paper's evaluation (§4.1) compares the AA caches against a baseline
+// in which "randomly selected AAs" guide the allocator.  Both FlexVols and
+// RAID groups therefore support two policies:
+//   - kCache:  consult the AA cache (max-heap or HBPS) for the emptiest AA;
+//   - kRandom: pick a random AA that still has free blocks — the disabled-
+//     cache baseline of Figure 6.
+#pragma once
+
+#include <cstdint>
+
+#include "core/scoreboard.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace wafl {
+
+enum class AaSelectPolicy {
+  kCache,
+  kRandom,
+};
+
+/// Uniformly picks an AA with a nonzero score, excluding `exclude` (the AA
+/// a cursor is already filling).  Falls back to a linear scan when random
+/// probing keeps missing (nearly full file system).  Returns kInvalidAaId
+/// when no AA has free space.
+AaId pick_random_nonempty_aa(const AaScoreBoard& board, Rng& rng,
+                             AaId exclude = kInvalidAaId);
+
+}  // namespace wafl

@@ -1,0 +1,110 @@
+#include "wafl/consistency_point.hpp"
+
+#include <algorithm>
+
+#include "util/thread_pool.hpp"
+
+namespace wafl {
+namespace {
+
+/// One volume's slice of the CP: vvbn allocation + remapping over a
+/// contiguous run of the (vol-sorted) dirty list.  Everything it touches
+/// is either volume-local or a disjoint element of the aggregate's owner
+/// table, so slices for different volumes run concurrently.
+struct VolumeSlice {
+  VolumeId vol;
+  std::size_t begin = 0;  // index into the sorted dirty list / pvbns
+  std::size_t end = 0;
+  CpStats stats;                 // merged into the CP's stats afterwards
+  std::vector<Vbn> freed_pvbns;  // applied serially afterwards
+};
+
+void run_slice(Aggregate& agg, std::span<const DirtyBlock> dirty,
+               std::span<const Vbn> pvbns, VolumeSlice& slice) {
+  FlexVol& vol = agg.volume(slice.vol);
+  for (std::size_t i = slice.begin; i < slice.end; ++i) {
+    const DirtyBlock& db = dirty[i];
+    const Vbn vvbn = vol.allocate_vvbn(slice.stats);
+    const Vbn pvbn = pvbns[i];
+    const Vbn freed_pvbn = vol.remap(db.logical, vvbn, pvbn);
+    agg.set_owner(pvbn, slice.vol, vvbn);
+    if (freed_pvbn != kInvalidVbn) {
+      slice.freed_pvbns.push_back(freed_pvbn);
+    }
+  }
+}
+
+}  // namespace
+
+CpStats ConsistencyPoint::run(Aggregate& agg,
+                              std::span<const DirtyBlock> dirty,
+                              ThreadPool* pool) {
+  CpStats stats;
+  agg.begin_cp();
+
+  // Group the dirty list by volume (stable, preserving per-volume order)
+  // so each volume's work is one contiguous slice.
+  std::vector<DirtyBlock> sorted(dirty.begin(), dirty.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const DirtyBlock& a, const DirtyBlock& b) {
+                     return a.vol < b.vol;
+                   });
+
+  // Phase 1: physical allocation in write order — the allocator walks
+  // tetris windows round-robin across RAID groups.
+  std::vector<Vbn> pvbns;
+  pvbns.reserve(sorted.size());
+  const bool ok = agg.allocate_pvbns(sorted.size(), pvbns, stats);
+  WAFL_ASSERT_MSG(ok, "aggregate out of space during CP");
+
+  // Phase 2: per-volume virtual allocation and remapping — parallel
+  // across volumes when a pool is supplied [10].
+  std::vector<VolumeSlice> slices;
+  for (std::size_t i = 0; i < sorted.size();) {
+    VolumeSlice slice;
+    slice.vol = sorted[i].vol;
+    slice.begin = i;
+    while (i < sorted.size() && sorted[i].vol == slice.vol) ++i;
+    slice.end = i;
+    slices.push_back(std::move(slice));
+  }
+  if (pool != nullptr && slices.size() > 1) {
+    pool->parallel_for(0, slices.size(), [&](std::size_t k) {
+      run_slice(agg, sorted, pvbns, slices[k]);
+    });
+  } else {
+    for (VolumeSlice& slice : slices) {
+      run_slice(agg, sorted, pvbns, slice);
+    }
+  }
+  for (VolumeSlice& slice : slices) {
+    stats.merge(slice.stats);
+    for (const Vbn freed_pvbn : slice.freed_pvbns) {
+      agg.clear_owner(freed_pvbn);
+      agg.defer_free_pvbn(freed_pvbn);
+    }
+  }
+
+  // Phase 2b: reclaim a bounded slice of any pending delayed frees
+  // (snapshot-deletion debt) — richest regions first, a few regions per
+  // CP, so bulk deletions amortize across CPs instead of stalling one.
+  std::vector<Vbn> reclaimed_pvbns;
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    agg.volume(v).process_delayed_frees(kDelayedFreeRegionsPerCp,
+                                        reclaimed_pvbns);
+  }
+  for (const Vbn pvbn : reclaimed_pvbns) {
+    agg.clear_owner(pvbn);
+    agg.defer_free_pvbn(pvbn);
+  }
+
+  // Phase 3: the CP boundary — apply frees, rebalance caches, flush
+  // metafiles, persist TopAA, account device time.
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    agg.volume(v).finish_cp(stats);
+  }
+  agg.finish_cp(stats);
+  return stats;
+}
+
+}  // namespace wafl

@@ -1,0 +1,56 @@
+// Consistency point: WAFL's atomic flush of a batch of modifications
+// (§2.1).
+//
+// The CP is where every paper mechanism meets:
+//   - each dirty logical block gets BOTH a new virtual VBN (FlexVol,
+//     HBPS-guided, §3.3.2) and a new physical VBN (aggregate, max-heap-
+//     guided tetris fill, §3.3.1);
+//   - the overwritten blocks' old VBNs are freed in one batch at the CP
+//     boundary, producing the score deltas that rebalance the caches;
+//   - the physical writes stream to the device models as tetrises, which
+//     yields stripe/chain/FTL behaviour;
+//   - bitmap metafiles are flushed (their dirty-block counts are the
+//     colocation cost §2.5 cares about) and TopAA metafiles are persisted
+//     (§3.4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wafl/aggregate.hpp"
+#include "wafl/cp_stats.hpp"
+
+namespace wafl {
+
+class ThreadPool;
+
+/// One dirty user block awaiting write-out.
+struct DirtyBlock {
+  VolumeId vol;
+  std::uint64_t logical;
+};
+
+class ConsistencyPoint {
+ public:
+  /// Delayed-free regions reclaimed per volume per CP (bounds the extra
+  /// metafile-block traffic a snapshot deletion adds to any one CP).
+  static constexpr std::size_t kDelayedFreeRegionsPerCp = 4;
+
+  /// Runs one CP over `dirty` (already coalesced: at most one entry per
+  /// (vol, logical) pair).  Returns the CP's counters; `ops` is left 0 for
+  /// the caller to fill (the CP does not know how blocks group into client
+  /// operations).
+  ///
+  /// With a thread pool, the per-volume phase (virtual VBN allocation and
+  /// remapping) runs in parallel across volumes — the direction of the
+  /// paper's companion work, "Scalable Write Allocation in the WAFL File
+  /// System" [10]: volumes own disjoint state, so a multi-volume CP
+  /// shards naturally.  Physical allocation and the CP boundary remain
+  /// serialized on the shared aggregate structures.  The result is
+  /// bit-identical to the serial path.
+  static CpStats run(Aggregate& agg, std::span<const DirtyBlock> dirty,
+                     ThreadPool* pool = nullptr);
+};
+
+}  // namespace wafl

@@ -1,0 +1,77 @@
+// Per-consistency-point statistics.
+//
+// These counters are the raw material for both the simulation's cost model
+// (CPU time scales with ops, blocks, and metafile-block touches; storage
+// time comes from the device models) and the paper's reported metrics
+// (chosen-AA free fractions, stripe fullness, write amplification inputs).
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace wafl {
+
+struct CpStats {
+  /// Modifying operations folded into this CP.
+  std::uint64_t ops = 0;
+  /// Data blocks written (== pvbns allocated).
+  std::uint64_t blocks_written = 0;
+  /// Blocks freed by client overwrites in this CP.
+  std::uint64_t blocks_freed = 0;
+
+  /// Distinct FlexVol bitmap-metafile blocks dirtied (all volumes).
+  std::uint64_t vol_meta_blocks = 0;
+  /// Distinct aggregate bitmap-metafile blocks dirtied.
+  std::uint64_t agg_meta_blocks = 0;
+  /// Metafile blocks flushed to storage at the CP boundary.
+  std::uint64_t meta_flush_blocks = 0;
+
+  /// RAID write accounting, summed over all tetrises of the CP.
+  std::uint64_t tetrises = 0;
+  std::uint64_t full_stripes = 0;
+  std::uint64_t partial_stripes = 0;
+  std::uint64_t parity_read_blocks = 0;
+  std::uint64_t write_chains = 0;
+
+  /// Device busy time of the slowest device (devices run in parallel).
+  SimTime storage_time_ns = 0;
+
+  /// AA checkout quality: free fraction (score / capacity) of each AA the
+  /// allocator took during the CP.
+  RunningStat vol_pick_free_frac;
+  RunningStat agg_pick_free_frac;
+
+  /// HBPS list refills triggered by allocation outrunning frees (§3.3.2).
+  std::uint64_t hbps_replenishes = 0;
+
+  /// Bitmap bits examined while searching for free blocks.  This is the
+  /// mechanistic CPU cost of allocation: filling an AA that is f% free
+  /// examines ~1/f bits per block allocated, so emptier chosen AAs mean
+  /// less search work (§2.5 / §4.1.2's computational-overhead reduction).
+  std::uint64_t vol_bits_scanned = 0;
+  std::uint64_t agg_bits_scanned = 0;
+
+  void merge(const CpStats& other) {
+    ops += other.ops;
+    blocks_written += other.blocks_written;
+    blocks_freed += other.blocks_freed;
+    vol_meta_blocks += other.vol_meta_blocks;
+    agg_meta_blocks += other.agg_meta_blocks;
+    meta_flush_blocks += other.meta_flush_blocks;
+    tetrises += other.tetrises;
+    full_stripes += other.full_stripes;
+    partial_stripes += other.partial_stripes;
+    parity_read_blocks += other.parity_read_blocks;
+    write_chains += other.write_chains;
+    storage_time_ns += other.storage_time_ns;
+    hbps_replenishes += other.hbps_replenishes;
+    vol_bits_scanned += other.vol_bits_scanned;
+    agg_bits_scanned += other.agg_bits_scanned;
+    vol_pick_free_frac.merge(other.vol_pick_free_frac);
+    agg_pick_free_frac.merge(other.agg_pick_free_frac);
+  }
+};
+
+}  // namespace wafl

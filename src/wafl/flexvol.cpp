@@ -1,0 +1,317 @@
+#include "wafl/flexvol.hpp"
+
+#include <algorithm>
+
+namespace wafl {
+namespace {
+
+std::uint64_t bitmap_blocks_for(std::uint64_t nbits) {
+  return (nbits + kBitsPerBitmapBlock - 1) / kBitsPerBitmapBlock;
+}
+
+}  // namespace
+
+AaId pick_random_nonempty_aa(const AaScoreBoard& board, Rng& rng,
+                             AaId exclude) {
+  const AaId n = board.aa_count();
+  WAFL_ASSERT(n > 0);
+  // Random probing succeeds quickly unless nearly everything is full.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto aa = static_cast<AaId>(rng.below(n));
+    if (aa != exclude && board.score(aa) > 0) return aa;
+  }
+  // Deterministic fallback: linear scan from a random start.
+  const auto start = static_cast<AaId>(rng.below(n));
+  for (AaId i = 0; i < n; ++i) {
+    const AaId aa = (start + i) % n;
+    if (aa != exclude && board.score(aa) > 0) return aa;
+  }
+  return kInvalidAaId;
+}
+
+FlexVol::FlexVol(VolumeId id, const FlexVolConfig& cfg, std::uint64_t rng_seed)
+    : id_(id),
+      cfg_(cfg),
+      rng_(rng_seed),
+      store_(bitmap_blocks_for(cfg.vvbn_blocks) +
+             TopAaFile::kRaidAgnosticBlocks),
+      topaa_base_(bitmap_blocks_for(cfg.vvbn_blocks)),
+      activemap_(cfg.vvbn_blocks, &store_, 0),
+      layout_(AaLayout::flat(0, cfg.vvbn_blocks, cfg.aa_blocks)),
+      board_(layout_),
+      cache_(Hbps::Config{/*max_score=*/cfg.aa_blocks,
+                          /*bin_width=*/std::max<std::uint32_t>(
+                              1, cfg.aa_blocks / kHbpsBinCount),
+                          /*list_capacity=*/kHbpsListCapacity}),
+      block_map_(cfg.file_blocks, kInvalidVbn),
+      container_map_(cfg.vvbn_blocks, kInvalidVbn),
+      snap_held_(cfg.vvbn_blocks),
+      delayed_(cfg.vvbn_blocks, cfg.aa_blocks) {
+  WAFL_ASSERT(cfg.vvbn_blocks > 0);
+  WAFL_ASSERT(cfg.file_blocks <= cfg.vvbn_blocks);
+  if (cfg_.policy == AaSelectPolicy::kCache) {
+    cache_.build(board_);
+  }
+}
+
+bool FlexVol::ensure_cursor(CpStats& stats) {
+  // Cache/board scores only change at CP boundaries (§3.3), so every
+  // candidate is validated against the live activemap before the cursor
+  // commits — an AA consumed earlier in this same CP must be skipped.
+  auto live_free = [this](AaId aa) {
+    return activemap_.metafile().free_in_range(layout_.aa_begin(aa),
+                                               layout_.aa_end(aa));
+  };
+
+  int random_attempts = 0;
+  for (;;) {
+    if (cursor_aa_ != kInvalidAaId) return true;
+
+    AaId aa = kInvalidAaId;
+    if (cfg_.policy == AaSelectPolicy::kCache) {
+      if (cache_.needs_replenish()) {
+        // §3.3.2: the background scan refills the list when the allocator
+        // consumes AAs faster than frees replenish them, or when AAs from
+        // better score ranges are stranded outside the list.
+        cache_.build(board_);
+        ++stats.hbps_replenishes;
+      }
+      const auto pick = cache_.take_best();
+      if (!pick.has_value()) return false;
+      aa = pick->aa;
+      if (live_free(aa) == 0) {
+        // Stale cache entry (full AA behind coarse bins, or consumed this
+        // CP): keep it out until the boundary re-scores it.
+        retired_.push_back(aa);
+        continue;
+      }
+    } else {
+      if (random_attempts++ < 64) {
+        aa = pick_random_nonempty_aa(board_, rng_);
+        if (aa == kInvalidAaId || live_free(aa) == 0) continue;
+      } else {
+        aa = kInvalidAaId;
+        for (AaId i = 0; i < layout_.aa_count(); ++i) {
+          if (live_free(i) > 0) {
+            aa = i;
+            break;
+          }
+        }
+        if (aa == kInvalidAaId) return false;
+      }
+    }
+
+    stats.vol_pick_free_frac.add(static_cast<double>(board_.score(aa)) /
+                                 static_cast<double>(layout_.aa_capacity(aa)));
+    cursor_aa_ = aa;
+    cursor_pos_ = layout_.aa_begin(aa);
+    return true;
+  }
+}
+
+void FlexVol::retire_cursor() {
+  WAFL_ASSERT(cursor_aa_ != kInvalidAaId);
+  if (cfg_.policy == AaSelectPolicy::kCache) {
+    retired_.push_back(cursor_aa_);
+  }
+  cursor_aa_ = kInvalidAaId;
+}
+
+Vbn FlexVol::allocate_vvbn(CpStats& stats) {
+  for (;;) {
+    const bool ok = ensure_cursor(stats);
+    WAFL_ASSERT_MSG(ok, "FlexVol out of space");
+    const Vbn end = layout_.aa_end(cursor_aa_);
+    const Vbn v = activemap_.metafile().find_free(cursor_pos_, end);
+    stats.vol_bits_scanned += (v == end ? end : v + 1) - cursor_pos_;
+    if (v == end) {
+      retire_cursor();
+      continue;
+    }
+    cursor_pos_ = v + 1;
+    activemap_.allocate(v);
+    board_.note_alloc(v);
+    if (cursor_pos_ == end) {
+      retire_cursor();
+    }
+    return v;
+  }
+}
+
+Vbn FlexVol::remap(std::uint64_t l, Vbn vvbn, Vbn pvbn) {
+  WAFL_ASSERT(l < cfg_.file_blocks);
+  WAFL_ASSERT(container_map_[vvbn] == kInvalidVbn);
+  Vbn freed_pvbn = kInvalidVbn;
+  const Vbn old_vvbn = block_map_[l];
+  if (old_vvbn != kInvalidVbn && !snap_held_.test(old_vvbn)) {
+    freed_pvbn = container_map_[old_vvbn];
+    container_map_[old_vvbn] = kInvalidVbn;
+    activemap_.defer_free(old_vvbn);
+    board_.note_free(old_vvbn);
+  }
+  // A snapshot-held old block stays allocated and mapped; it is reclaimed
+  // (as a delayed free) when its last holding snapshot is deleted.
+  block_map_[l] = vvbn;
+  container_map_[vvbn] = pvbn;
+  return freed_pvbn;
+}
+
+Vbn FlexVol::relocate(Vbn vvbn, Vbn new_pvbn) {
+  WAFL_ASSERT(vvbn < cfg_.vvbn_blocks);
+  WAFL_ASSERT_MSG(container_map_[vvbn] != kInvalidVbn,
+                  "relocating an unmapped vvbn");
+  const Vbn old_pvbn = container_map_[vvbn];
+  container_map_[vvbn] = new_pvbn;
+  return old_pvbn;
+}
+
+SnapId FlexVol::create_snapshot() {
+  Snapshot snap;
+  snap.id = next_snap_id_++;
+  snap.block_map = block_map_;
+  for (const Vbn v : snap.block_map) {
+    if (v != kInvalidVbn) {
+      snap_held_.set(v);
+    }
+  }
+  snapshots_.push_back(std::move(snap));
+  return snapshots_.back().id;
+}
+
+Vbn FlexVol::snapshot_vvbn_of(SnapId id, std::uint64_t l) const {
+  WAFL_ASSERT(l < cfg_.file_blocks);
+  for (const Snapshot& snap : snapshots_) {
+    if (snap.id == id) return snap.block_map[l];
+  }
+  WAFL_ASSERT_MSG(false, "no such snapshot");
+  return kInvalidVbn;
+}
+
+void FlexVol::delete_snapshot(SnapId id) {
+  const auto it = std::find_if(
+      snapshots_.begin(), snapshots_.end(),
+      [id](const Snapshot& snap) { return snap.id == id; });
+  WAFL_ASSERT_MSG(it != snapshots_.end(), "no such snapshot");
+  const Snapshot deleted = std::move(*it);
+  snapshots_.erase(it);
+
+  // Still-held = union of the remaining snapshots' references.
+  Bitmap still_held(cfg_.vvbn_blocks);
+  for (const Snapshot& snap : snapshots_) {
+    for (const Vbn v : snap.block_map) {
+      if (v != kInvalidVbn) still_held.set(v);
+    }
+  }
+  // Active = the live file's current references.
+  Bitmap active(cfg_.vvbn_blocks);
+  for (const Vbn v : block_map_) {
+    if (v != kInvalidVbn) active.set(v);
+  }
+
+  // Blocks only the deleted snapshot referenced become delayed frees —
+  // logged per region and reclaimed richest-region-first (§3.3.2's
+  // delayed-free use of the HBPS), not freed in one giant burst.
+  for (const Vbn v : deleted.block_map) {
+    if (v == kInvalidVbn || !snap_held_.test(v)) continue;
+    if (still_held.test(v)) continue;
+    snap_held_.clear(v);
+    if (!active.test(v)) {
+      delayed_.log_free(v);
+    }
+  }
+}
+
+std::uint64_t FlexVol::process_delayed_frees(std::size_t max_regions,
+                                             std::vector<Vbn>& freed_pvbns) {
+  std::uint64_t reclaimed = 0;
+  for (std::size_t i = 0; i < max_regions; ++i) {
+    const auto drain = delayed_.drain_richest();
+    if (!drain.has_value()) break;
+    for (const Vbn vvbn : drain->vbns) {
+      const Vbn pvbn = container_map_[vvbn];
+      WAFL_ASSERT(pvbn != kInvalidVbn);
+      container_map_[vvbn] = kInvalidVbn;
+      activemap_.defer_free(vvbn);
+      board_.note_free(vvbn);
+      freed_pvbns.push_back(pvbn);
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+void FlexVol::finish_cp(CpStats& stats) {
+  // A volume untouched by this CP has nothing to apply, flush, or persist.
+  if (activemap_.metafile().dirty_blocks() == 0 &&
+      activemap_.pending_frees() == 0 && retired_.empty()) {
+    return;
+  }
+
+  // Frees are counted once, at the aggregate (vvbn and pvbn frees are 1:1
+  // for overwrites).
+  activemap_.apply_deferred_frees();
+
+  const auto changes = board_.apply_cp_deltas();
+  if (cfg_.policy == AaSelectPolicy::kCache) {
+    cache_.apply_changes(changes);
+    for (const AaId aa : retired_) {
+      cache_.insert(aa, board_.score(aa));
+    }
+    retired_.clear();
+    if (cache_.needs_replenish()) {
+      cache_.build(board_);
+      ++stats.hbps_replenishes;
+    }
+  }
+
+  stats.vol_meta_blocks += activemap_.metafile().dirty_blocks();
+  const std::uint64_t flushed = activemap_.metafile().flush();
+  stats.meta_flush_blocks += flushed;
+
+  if (cfg_.policy == AaSelectPolicy::kCache) {
+    TopAaFile topaa(store_, topaa_base_);
+    if (cursor_aa_ != kInvalidAaId) {
+      // The persisted structure must account for EVERY AA: the cursor's
+      // checked-out AA would otherwise be orphaned after a mount (the
+      // cursor does not survive a failover, §3.4).
+      Hbps snapshot = cache_;
+      snapshot.insert(cursor_aa_, board_.score(cursor_aa_));
+      topaa.save_raid_agnostic(snapshot);
+    } else {
+      topaa.save_raid_agnostic(cache_);
+    }
+    stats.meta_flush_blocks += TopAaFile::kRaidAgnosticBlocks;
+  }
+}
+
+bool FlexVol::mount_from_topaa() {
+  TopAaFile topaa(store_, topaa_base_);
+  auto loaded = topaa.load_raid_agnostic();
+  if (!loaded.has_value()) {
+    scan_rebuild();
+    return false;
+  }
+  cache_ = std::move(*loaded);
+  cursor_aa_ = kInvalidAaId;
+  retired_.clear();
+  return true;
+}
+
+void FlexVol::rebuild_scoreboard() {
+  // Linear walk of the bitmap metafile (§3.4): read every block back from
+  // the store, then recompute per-AA scores.
+  activemap_.metafile().load_all();
+  board_ = AaScoreBoard(layout_, activemap_.metafile());
+}
+
+void FlexVol::scan_rebuild() {
+  rebuild_scoreboard();
+  cursor_aa_ = kInvalidAaId;
+  retired_.clear();
+  if (cfg_.policy == AaSelectPolicy::kCache) {
+    cache_ = Hbps(cache_.config());
+    cache_.build(board_);
+  }
+}
+
+}  // namespace wafl

@@ -1,0 +1,148 @@
+#include "wafl/iron.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace wafl {
+namespace {
+
+/// Recomputes the true top-K (descending score, ascending id on ties) from
+/// a freshly scanned scoreboard.
+std::vector<AaPick> recompute_top(const AaScoreBoard& board, std::size_t k) {
+  std::vector<AaPick> all;
+  all.reserve(board.aa_count());
+  for (AaId aa = 0; aa < board.aa_count(); ++aa) {
+    all.push_back({aa, board.score(aa)});
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                    all.end(), [](const AaPick& a, const AaPick& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.aa < b.aa;
+                    });
+  all.resize(k);
+  return all;
+}
+
+/// A persisted heap-form TopAA is acceptable when every entry carries the
+/// block's true score and no omitted AA scores strictly higher than the
+/// worst persisted entry (ties are interchangeable).
+bool raid_aware_content_ok(const std::vector<AaPick>& persisted,
+                           const AaScoreBoard& fresh) {
+  if (persisted.size() !=
+      std::min<std::size_t>(kTopAaRaidAwareEntries, fresh.aa_count())) {
+    return false;
+  }
+  std::unordered_set<AaId> in_file;
+  AaScore worst = persisted.empty() ? 0 : persisted.back().score;
+  for (const AaPick& p : persisted) {
+    if (p.aa >= fresh.aa_count()) return false;
+    if (fresh.score(p.aa) != p.score) return false;
+    if (!in_file.insert(p.aa).second) return false;  // duplicate entry
+  }
+  for (AaId aa = 0; aa < fresh.aa_count(); ++aa) {
+    if (!in_file.contains(aa) && fresh.score(aa) > worst) {
+      return false;  // a better AA was omitted
+    }
+  }
+  return true;
+}
+
+/// A persisted HBPS is acceptable when its histogram matches the bin
+/// counts recomputed from the bitmaps exactly (the list is, by design,
+/// any valid subset of the best bins, so only counts are checkable).
+bool raid_agnostic_content_ok(const Hbps& persisted,
+                              const AaScoreBoard& fresh) {
+  if (persisted.size() != fresh.aa_count()) return false;
+  std::vector<std::uint32_t> counts(persisted.bin_count(), 0);
+  for (AaId aa = 0; aa < fresh.aa_count(); ++aa) {
+    ++counts[persisted.bin_of(std::min(fresh.score(aa),
+                                       persisted.config().max_score))];
+  }
+  for (std::uint32_t b = 0; b < persisted.bin_count(); ++b) {
+    if (persisted.histogram_count(b) != counts[b]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+IronReport iron_check_topaa(Aggregate& agg) {
+  IronReport report;
+
+  // --- RAID groups / pools ---------------------------------------------------
+  for (RaidGroupId rg = 0; rg < agg.raid_group_count(); ++rg) {
+    ++report.rg_checked;
+    const AaLayout& layout = agg.rg_layout(rg);
+    const AaScoreBoard fresh(layout, agg.activemap().metafile());
+    TopAaFile file(agg.topaa_store(), agg.rg_topaa_block(rg));
+
+    bool rewrite = false;
+    if (agg.rg_is_raid_agnostic(rg)) {
+      auto loaded = file.load_raid_agnostic();
+      if (!loaded.has_value()) {
+        ++report.rg_unreadable;
+        rewrite = true;
+      } else if (!raid_agnostic_content_ok(*loaded, fresh)) {
+        ++report.rg_stale;
+        rewrite = true;
+      }
+      if (rewrite) {
+        Hbps rebuilt(Hbps::Config{
+            layout.aa_blocks(),
+            std::max<std::uint32_t>(1, layout.aa_blocks() / kHbpsBinCount),
+            kHbpsListCapacity});
+        rebuilt.build(fresh);
+        file.save_raid_agnostic(rebuilt);
+      }
+    } else {
+      const auto loaded = file.load_raid_aware();
+      if (!loaded.has_value()) {
+        ++report.rg_unreadable;
+        rewrite = true;
+      } else if (!raid_aware_content_ok(*loaded, fresh)) {
+        ++report.rg_stale;
+        rewrite = true;
+      }
+      if (rewrite) {
+        file.save_raid_aware(
+            recompute_top(fresh, kTopAaRaidAwareEntries));
+      }
+    }
+    if (rewrite) ++report.rg_rewritten;
+  }
+
+  // --- Volumes -----------------------------------------------------------------
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    ++report.vol_checked;
+    FlexVol& vol = agg.volume(v);
+    const AaScoreBoard fresh(vol.layout(), vol.activemap().metafile());
+    const std::uint64_t base =
+        vol.store().capacity_blocks() - TopAaFile::kRaidAgnosticBlocks;
+    TopAaFile file(vol.store(), base);
+
+    bool rewrite = false;
+    auto loaded = file.load_raid_agnostic();
+    if (!loaded.has_value()) {
+      ++report.vol_unreadable;
+      rewrite = true;
+    } else if (!raid_agnostic_content_ok(*loaded, fresh)) {
+      ++report.vol_stale;
+      rewrite = true;
+    }
+    if (rewrite) {
+      Hbps rebuilt(Hbps::Config{
+          vol.layout().aa_blocks(),
+          std::max<std::uint32_t>(1,
+                                  vol.layout().aa_blocks() / kHbpsBinCount),
+          kHbpsListCapacity});
+      rebuilt.build(fresh);
+      file.save_raid_agnostic(rebuilt);
+      ++report.vol_rewritten;
+    }
+  }
+  return report;
+}
+
+}  // namespace wafl

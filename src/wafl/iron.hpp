@@ -1,0 +1,45 @@
+// Iron: online verification and repair of the TopAA metafiles (§3.4).
+//
+// "In rare cases, if the metafile blocks are damaged in the physical media
+//  and RAID is unable to reconstruct them ..., the online WAFL repair
+//  tool — WAFL Iron — is used to recompute and recover them."
+//
+// The TopAA metafiles are pure caches: every byte is recomputable from the
+// bitmap metafiles.  Iron walks each RAID group's and each volume's TopAA
+// blocks, cross-checks them against freshly recomputed AA scores, and
+// rewrites any block that is unreadable (checksum failure) or stale
+// (scores that disagree with the bitmaps — e.g. left behind by a torn
+// update).  Must run quiescent (between CPs, no allocator cursors held by
+// a cleaner).
+#pragma once
+
+#include <cstdint>
+
+#include "wafl/aggregate.hpp"
+
+namespace wafl {
+
+struct IronReport {
+  std::size_t rg_checked = 0;
+  /// Groups whose TopAA block failed its checksum / structure check.
+  std::size_t rg_unreadable = 0;
+  /// Groups whose TopAA content disagreed with the bitmaps.
+  std::size_t rg_stale = 0;
+  std::size_t rg_rewritten = 0;
+
+  std::size_t vol_checked = 0;
+  std::size_t vol_unreadable = 0;
+  std::size_t vol_stale = 0;
+  std::size_t vol_rewritten = 0;
+
+  bool clean() const noexcept {
+    return rg_rewritten == 0 && vol_rewritten == 0;
+  }
+};
+
+/// Verifies every TopAA metafile against scores recomputed from the bitmap
+/// metafiles, rewriting damaged or stale blocks.  Returns what it found.
+/// Read-only when everything checks out.
+IronReport iron_check_topaa(Aggregate& agg);
+
+}  // namespace wafl

@@ -1,0 +1,68 @@
+#include "wafl/media_config.hpp"
+
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace wafl {
+
+std::unique_ptr<DeviceModel> make_device(const MediaConfig& cfg,
+                                         std::uint64_t capacity_blocks) {
+  if (cfg.azcs) {
+    // The AZCS wrapper exposes 63 data blocks per 64 raw blocks; size the
+    // raw media so the DATA capacity matches what the caller asked for.
+    capacity_blocks = (capacity_blocks + kAzcsDataBlocksPerRegion - 1) /
+                      kAzcsDataBlocksPerRegion * kAzcsRegionBlocks;
+  }
+  std::unique_ptr<DeviceModel> dev;
+  switch (cfg.type) {
+    case MediaType::kHdd:
+      dev = std::make_unique<HddModel>(capacity_blocks, cfg.hdd);
+      break;
+    case MediaType::kSsd:
+      if (cfg.ssd_ftl == SsdFtl::kBlockMapped) {
+        dev = std::make_unique<BlockMappedSsdModel>(capacity_blocks,
+                                                    cfg.ssd);
+      } else {
+        dev = std::make_unique<SsdModel>(capacity_blocks, cfg.ssd);
+      }
+      break;
+    case MediaType::kSmr:
+      dev = std::make_unique<SmrModel>(capacity_blocks, cfg.smr);
+      break;
+    case MediaType::kObjectStore:
+      dev = std::make_unique<ObjectStoreModel>(capacity_blocks,
+                                               cfg.object_store);
+      break;
+  }
+  WAFL_ASSERT(dev != nullptr);
+  if (cfg.azcs) {
+    dev = std::make_unique<AzcsDevice>(std::move(dev));
+  }
+  return dev;
+}
+
+MediaGeometry media_geometry(const MediaConfig& cfg) {
+  MediaGeometry g;
+  g.type = cfg.type;
+  g.azcs = cfg.azcs;
+  switch (cfg.type) {
+    case MediaType::kSsd:
+      g.erase_block_blocks = cfg.ssd.pages_per_erase_block;
+      break;
+    case MediaType::kSmr:
+      g.zone_blocks = cfg.smr.zone_blocks;
+      if (cfg.azcs) {
+        // The file system addresses data blocks; 63 of every 64 physical
+        // blocks are data, so a physical zone covers fewer data blocks.
+        g.zone_blocks =
+            g.zone_blocks * kAzcsDataBlocksPerRegion / kAzcsRegionBlocks;
+      }
+      break;
+    case MediaType::kHdd:
+    case MediaType::kObjectStore:
+      break;
+  }
+  return g;
+}
+
+}  // namespace wafl

@@ -1,0 +1,49 @@
+// Media configuration and device construction for WAFL file systems.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/aa_sizing.hpp"
+#include "device/azcs.hpp"
+#include "device/device.hpp"
+#include "device/hdd.hpp"
+#include "device/object_store.hpp"
+#include "device/smr.hpp"
+#include "device/ssd.hpp"
+#include "device/ssd_block_mapped.hpp"
+
+namespace wafl {
+
+/// Which FTL scheme an SSD uses (see ssd.hpp / ssd_block_mapped.hpp).
+enum class SsdFtl {
+  /// Replacement-block FTL, the paper-era enterprise behaviour (default).
+  kBlockMapped,
+  /// Page-mapped log-structured FTL with greedy GC.
+  kPageMapped,
+};
+
+/// Everything needed to instantiate one storage device and size its AAs.
+struct MediaConfig {
+  MediaType type = MediaType::kHdd;
+  HddParams hdd{};
+  SsdParams ssd{};
+  SsdFtl ssd_ftl = SsdFtl::kBlockMapped;
+  SmrParams smr{};
+  ObjectStoreParams object_store{};
+  /// Wrap the device in an AZCS checksum-region layout (§3.2.4).
+  bool azcs = false;
+};
+
+/// Creates a device of `capacity_blocks` 4 KiB blocks.  With azcs set, the
+/// capacity is the raw media size and the returned device exposes the
+/// (smaller) data capacity.
+std::unique_ptr<DeviceModel> make_device(const MediaConfig& cfg,
+                                         std::uint64_t capacity_blocks);
+
+/// The sizing-policy view of a MediaConfig.  For AZCS-wrapped devices the
+/// zone size is converted to data-block units, since allocation areas are
+/// defined over the data-block space the file system sees.
+MediaGeometry media_geometry(const MediaConfig& cfg);
+
+}  // namespace wafl

@@ -1,0 +1,61 @@
+#include "wafl/mount.hpp"
+
+#include <chrono>
+
+#include "util/thread_pool.hpp"
+
+namespace wafl {
+namespace {
+
+std::uint64_t total_reads(Aggregate& agg) {
+  std::uint64_t reads = agg.meta_store().stats().block_reads +
+                        agg.topaa_store().stats().block_reads;
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    reads += agg.volume(v).store().stats().block_reads;
+  }
+  return reads;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+}  // namespace
+
+MountReport mount_all(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
+  MountReport report;
+  report.used_topaa = use_topaa;
+
+  const std::uint64_t reads0 = total_reads(agg);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (use_topaa) {
+    report.rgs_seeded = agg.mount_from_topaa();
+    for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+      if (agg.volume(v).mount_from_topaa()) {
+        ++report.vols_seeded;
+      }
+    }
+  } else {
+    agg.scan_rebuild(pool);
+    for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+      agg.volume(v).scan_rebuild();
+    }
+  }
+
+  report.gate_cpu_seconds = seconds_since(t0);
+  report.gate_block_reads = total_reads(agg) - reads0;
+  return report;
+}
+
+std::uint64_t complete_background(Aggregate& agg, ThreadPool* pool) {
+  const std::uint64_t reads0 = total_reads(agg);
+  agg.scan_rebuild(pool);
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    agg.volume(v).scan_rebuild();
+  }
+  return total_reads(agg) - reads0;
+}
+
+}  // namespace wafl

@@ -1,0 +1,53 @@
+// Mount orchestration and timing (§3.4, Figure 10).
+//
+// After a failover or reboot, write allocation — and therefore the first
+// CP, which gates the restoration of client access — cannot begin until
+// the AA caches are operational.  Two paths exist:
+//
+//   - TopAA path: read each RAID group's one-block TopAA metafile and each
+//     FlexVol's two-block HBPS metafile; seed the caches.  Work is
+//     constant per file system, independent of size.  The full caches are
+//     then completed in the background (complete_background()).
+//
+//   - Scan path: linearly walk every bitmap metafile block, recompute all
+//     AA scores, and build the caches from scratch.  Work is linear in
+//     file-system size.
+//
+// mount_all() executes the chosen path and reports what it cost: metafile
+// blocks read (the I/O term — the dominant cost on real systems, modeled
+// by the caller from a per-read latency) and measured CPU seconds (the
+// popcount/build term, measured for real).
+#pragma once
+
+#include <cstdint>
+
+#include "wafl/aggregate.hpp"
+
+namespace wafl {
+
+class ThreadPool;
+
+struct MountReport {
+  bool used_topaa = false;
+  /// Metafile blocks read while gating the first CP.
+  std::uint64_t gate_block_reads = 0;
+  /// Wall-clock CPU seconds spent in the gating phase (measured).
+  double gate_cpu_seconds = 0.0;
+  /// RAID groups successfully seeded from TopAA (TopAA path only).
+  std::size_t rgs_seeded = 0;
+  /// FlexVols successfully seeded from TopAA (TopAA path only).
+  std::size_t vols_seeded = 0;
+};
+
+/// Brings every AA cache in the aggregate (and its FlexVols) to an
+/// operational state via the requested path.  The pool, when given,
+/// parallelizes the scan path's bitmap walks.
+MountReport mount_all(Aggregate& agg, bool use_topaa,
+                      ThreadPool* pool = nullptr);
+
+/// After a TopAA mount: completes the caches in the background (full
+/// bitmap walk + cache rebuild) — the work the TopAA path deferred off the
+/// client-visible mount gate.  Returns the metafile blocks it read.
+std::uint64_t complete_background(Aggregate& agg, ThreadPool* pool = nullptr);
+
+}  // namespace wafl

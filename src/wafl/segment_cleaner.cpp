@@ -1,0 +1,128 @@
+#include "wafl/segment_cleaner.hpp"
+
+namespace wafl {
+namespace {
+
+/// The group's best cleaning candidate: highest-scoring AA that is not
+/// already empty, not yet cleaned, free enough to be worth the I/O, and
+/// resident in the heap (not an allocator cursor).
+AaId pick_candidate(const Aggregate& agg, RaidGroupId rg,
+                    const std::unordered_set<AaId>& cleaned,
+                    double min_free_fraction) {
+  const AaScoreBoard& board = agg.rg_scoreboard(rg);
+  const AaLayout& layout = agg.rg_layout(rg);
+  AaId best = kInvalidAaId;
+  AaScore best_score = 0;
+  for (AaId aa = 0; aa < board.aa_count(); ++aa) {
+    const AaScore score = board.score(aa);
+    const AaScore capacity = layout.aa_capacity(aa);
+    if (score == capacity) continue;  // already empty
+    if (cleaned.contains(aa)) continue;
+    if (static_cast<double>(score) <
+        min_free_fraction * static_cast<double>(capacity)) {
+      continue;
+    }
+    if (!agg.rg_heap(rg).contains(aa)) continue;  // checked out elsewhere
+    if (best == kInvalidAaId || score > best_score) {
+      best = aa;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::uint32_t empty_aa_count(const Aggregate& agg, RaidGroupId rg) {
+  const AaScoreBoard& board = agg.rg_scoreboard(rg);
+  const AaLayout& layout = agg.rg_layout(rg);
+  std::uint32_t empties = 0;
+  for (AaId aa = 0; aa < board.aa_count(); ++aa) {
+    if (board.score(aa) == layout.aa_capacity(aa)) ++empties;
+  }
+  return empties;
+}
+
+}  // namespace
+
+std::int64_t SegmentCleaner::clean_one(Aggregate& agg, RaidGroupId rg,
+                                       AaId aa, CpStats& stats) {
+  const AaLayout& layout = agg.rg_layout(rg);
+  const Vbn begin = layout.aa_begin(aa);
+  const Vbn end = layout.aa_end(aa);
+
+  // Collect the AA's live blocks and verify they are all relocatable.
+  std::vector<Vbn> live;
+  for (Vbn v = begin; v < end; ++v) {
+    if (!agg.activemap().is_allocated(v)) continue;
+    if (!agg.owner_of(v).has_value()) {
+      return -1;  // unowned data (aging seeds): cannot relocate safely
+    }
+    live.push_back(v);
+  }
+
+  // Relocate through the normal allocator; the source AA is checked out,
+  // so the new locations land in other AAs.  Cleaning must not start
+  // without relocation headroom — a partial failure would leak blocks.
+  std::vector<Vbn> targets;
+  targets.reserve(live.size());
+  const bool ok = agg.allocate_pvbns(live.size(), targets, stats);
+  WAFL_ASSERT_MSG(ok, "segment cleaner ran out of relocation space");
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const auto owner = *agg.owner_of(live[i]);
+    const Vbn old = agg.volume(owner.vol).relocate(owner.vvbn, targets[i]);
+    WAFL_ASSERT(old == live[i]);
+    agg.set_owner(targets[i], owner.vol, owner.vvbn);
+    agg.clear_owner(live[i]);
+    agg.defer_free_pvbn(live[i]);
+  }
+  return static_cast<std::int64_t>(live.size());
+}
+
+CleanerReport SegmentCleaner::run(Aggregate& agg) {
+  CleanerReport report;
+  if (cleaned_.size() < agg.raid_group_count()) {
+    cleaned_.resize(agg.raid_group_count());
+  }
+
+  agg.begin_cp();
+  std::uint64_t budget = cfg_.relocation_budget;
+
+  for (RaidGroupId rg = 0; rg < agg.raid_group_count(); ++rg) {
+    if (agg.rg_is_raid_agnostic(rg)) continue;  // heap-managed groups only
+    while (budget > 0 &&
+           empty_aa_count(agg, rg) < cfg_.empty_pool_target) {
+      const AaId aa = pick_candidate(agg, rg, cleaned_[rg],
+                                     cfg_.min_free_fraction);
+      if (aa == kInvalidAaId) break;
+
+      const AaLayout& layout = agg.rg_layout(rg);
+      const std::uint64_t live_blocks =
+          layout.aa_capacity(aa) - agg.rg_scoreboard(rg).score(aa);
+      if (live_blocks > budget) break;  // not affordable this pass
+      if (live_blocks > agg.free_blocks() / 2) break;  // no headroom
+
+      if (!agg.checkout_aa(rg, aa)) break;
+      const std::int64_t moved = clean_one(agg, rg, aa, report.cp);
+      agg.checkin_aa(rg, aa);
+      if (moved < 0) {
+        // Unmovable content: remember so we stop retrying it.
+        cleaned_[rg].insert(aa);
+        ++report.aas_skipped_unowned;
+        continue;
+      }
+      cleaned_[rg].insert(aa);
+      ++report.aas_cleaned;
+      report.blocks_relocated += static_cast<std::uint64_t>(moved);
+      budget -= static_cast<std::uint64_t>(moved);
+    }
+  }
+
+  // The cleaning pass commits as its own CP: frees apply, caches rebalance,
+  // metafiles flush.
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    agg.volume(v).finish_cp(report.cp);
+  }
+  agg.finish_cp(report.cp);
+  return report;
+}
+
+}  // namespace wafl

@@ -1,0 +1,77 @@
+// Segment cleaner: just-in-time free-space defragmentation (§3.3.1).
+//
+// "WAFL improves AA scores through a process similar to segment cleaning,
+//  in which the content of all in-use blocks in an entire allocation area
+//  is relocated elsewhere on storage in order to generate completely empty
+//  AAs.  Each AA near the top of the max-heap goes through this cleaning
+//  process once, thereby ensuring a small pool of cleaned AAs.  Cleaning
+//  AAs with the best scores implies the relocation of the fewest in-use
+//  blocks, so just-in-time cleaning of AAs provided by the AA cache yields
+//  the best return on investment."
+//
+// The cleaner consults each RAID group's max-heap for its best not-yet-
+// cleaned AA, relocates that AA's live blocks through the normal write
+// allocator (the moves land in OTHER AAs because the source is checked
+// out), and rewrites the owning volumes' container maps — virtual VBNs
+// and the logical file never change.  The freed source blocks apply at
+// the CP boundary, returning the AA to the heap with a perfect score.
+//
+// Blocks without a registered owner (e.g. seeded by the aging hooks)
+// cannot be relocated; an AA containing any is skipped.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "wafl/aggregate.hpp"
+
+namespace wafl {
+
+struct CleanerConfig {
+  /// Upper bound on live blocks relocated per run() call (the cleaner's
+  /// I/O budget per CP interval).
+  std::uint64_t relocation_budget = 16'384;
+  /// Cleaned-AA pool target per RAID group: stop cleaning a group once
+  /// this many of its AAs are completely empty.
+  std::uint32_t empty_pool_target = 4;
+  /// Never clean an AA whose free fraction is below this — relocating a
+  /// mostly-full AA is a poor return on investment.
+  double min_free_fraction = 0.5;
+};
+
+struct CleanerReport {
+  std::uint64_t aas_cleaned = 0;
+  std::uint64_t blocks_relocated = 0;
+  std::uint64_t aas_skipped_unowned = 0;
+  /// CP counters of the cleaning CP (device time, stripes, ...).
+  CpStats cp;
+};
+
+class SegmentCleaner {
+ public:
+  explicit SegmentCleaner(CleanerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Runs one cleaning pass over every RAID group, as its own CP.  Safe
+  /// to interleave with client CPs (call between ConsistencyPoint::run
+  /// invocations).
+  CleanerReport run(Aggregate& agg);
+
+  /// AAs already cleaned once ("each AA ... goes through this cleaning
+  /// process once"), per RAID group.
+  std::size_t cleaned_count(RaidGroupId rg) const {
+    return rg < cleaned_.size() ? cleaned_[rg].size() : 0;
+  }
+
+ private:
+  /// Relocates every owned live block of `aa` in group `rg`.  Returns the
+  /// number of blocks moved, or -1 if the AA contains unowned blocks and
+  /// was left untouched.
+  std::int64_t clean_one(Aggregate& agg, RaidGroupId rg, AaId aa,
+                         CpStats& stats);
+
+  CleanerConfig cfg_;
+  std::vector<std::unordered_set<AaId>> cleaned_;
+};
+
+}  // namespace wafl

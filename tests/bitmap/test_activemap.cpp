@@ -1,0 +1,75 @@
+#include "bitmap/activemap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wafl {
+namespace {
+
+TEST(Activemap, AllocateIsImmediate) {
+  Activemap am(1000);
+  EXPECT_FALSE(am.is_allocated(10));
+  am.allocate(10);
+  EXPECT_TRUE(am.is_allocated(10));
+  EXPECT_EQ(am.total_free(), 999u);
+}
+
+TEST(Activemap, DeferredFreeAppliesAtBoundary) {
+  Activemap am(1000);
+  am.allocate(1);
+  am.allocate(2);
+  am.defer_free(1);
+  // Deferred: the bit stays set until the CP boundary, so the block cannot
+  // be reused within the same CP (COW safety).
+  EXPECT_TRUE(am.is_allocated(1));
+  EXPECT_EQ(am.pending_frees(), 1u);
+  EXPECT_EQ(am.apply_deferred_frees(), 1u);
+  EXPECT_FALSE(am.is_allocated(1));
+  EXPECT_TRUE(am.is_allocated(2));
+  EXPECT_EQ(am.pending_frees(), 0u);
+}
+
+TEST(Activemap, LastAppliedFreesExposesBatch) {
+  Activemap am(100);
+  am.allocate(3);
+  am.allocate(4);
+  am.defer_free(3);
+  am.defer_free(4);
+  am.apply_deferred_frees();
+  const auto frees = am.last_applied_frees();
+  ASSERT_EQ(frees.size(), 2u);
+  EXPECT_EQ(frees[0], 3u);
+  EXPECT_EQ(frees[1], 4u);
+}
+
+TEST(Activemap, ApplyWithNothingPending) {
+  Activemap am(100);
+  EXPECT_EQ(am.apply_deferred_frees(), 0u);
+  EXPECT_TRUE(am.last_applied_frees().empty());
+}
+
+TEST(Activemap, MultipleCpCycles) {
+  Activemap am(100);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const Vbn v = static_cast<Vbn>(cycle);
+    am.allocate(v);
+    am.defer_free(v);
+    EXPECT_EQ(am.apply_deferred_frees(), 1u);
+    EXPECT_EQ(am.total_free(), 100u);
+  }
+}
+
+TEST(ActivemapDeathTest, DeferFreeOfFreeBlockAsserts) {
+  Activemap am(100);
+  EXPECT_DEATH(am.defer_free(5), "free block");
+}
+
+TEST(ActivemapDeathTest, ReuseWithinCpAsserts) {
+  Activemap am(100);
+  am.allocate(5);
+  am.defer_free(5);
+  // Still allocated until the boundary: re-allocating must trip.
+  EXPECT_DEATH(am.allocate(5), "double allocation");
+}
+
+}  // namespace
+}  // namespace wafl

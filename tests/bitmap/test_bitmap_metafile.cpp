@@ -1,0 +1,164 @@
+#include "bitmap/bitmap_metafile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wafl {
+namespace {
+
+constexpr std::uint64_t kTwoBlocks = 2 * kBitsPerBitmapBlock;
+
+TEST(BitmapMetafile, InitialSummaries) {
+  BitmapMetafile mf(kTwoBlocks + 100);
+  EXPECT_EQ(mf.metafile_blocks(), 3u);
+  EXPECT_EQ(mf.block_free_count(0), kBitsPerBitmapBlock);
+  EXPECT_EQ(mf.block_free_count(1), kBitsPerBitmapBlock);
+  EXPECT_EQ(mf.block_free_count(2), 100u);
+  EXPECT_EQ(mf.total_free(), kTwoBlocks + 100);
+}
+
+TEST(BitmapMetafile, AllocFreeUpdatesSummary) {
+  BitmapMetafile mf(kTwoBlocks);
+  mf.set_allocated(5);
+  mf.set_allocated(kBitsPerBitmapBlock + 7);
+  EXPECT_EQ(mf.block_free_count(0), kBitsPerBitmapBlock - 1);
+  EXPECT_EQ(mf.block_free_count(1), kBitsPerBitmapBlock - 1);
+  EXPECT_EQ(mf.total_free(), kTwoBlocks - 2);
+  mf.set_free(5);
+  EXPECT_EQ(mf.block_free_count(0), kBitsPerBitmapBlock);
+  EXPECT_EQ(mf.total_free(), kTwoBlocks - 1);
+}
+
+TEST(BitmapMetafile, FreeInRangeAlignedUsesSummary) {
+  BitmapMetafile mf(kTwoBlocks);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    mf.set_allocated(i);
+  }
+  EXPECT_EQ(mf.free_in_range(0, kBitsPerBitmapBlock),
+            kBitsPerBitmapBlock - 10);
+  EXPECT_EQ(mf.free_in_range(0, kTwoBlocks), kTwoBlocks - 10);
+  // Unaligned ranges take the popcount path; results must agree.
+  EXPECT_EQ(mf.free_in_range(0, 10), 0u);
+  EXPECT_EQ(mf.free_in_range(5, 15), 5u);
+}
+
+TEST(BitmapMetafile, DirtyTrackingPerBlock) {
+  BitmapMetafile mf(kTwoBlocks);
+  EXPECT_EQ(mf.dirty_blocks(), 0u);
+  mf.set_allocated(0);
+  mf.set_allocated(1);
+  mf.set_allocated(2);
+  EXPECT_EQ(mf.dirty_blocks(), 1u);  // same metafile block
+  mf.set_allocated(kBitsPerBitmapBlock);
+  EXPECT_EQ(mf.dirty_blocks(), 2u);
+  mf.begin_cp();
+  EXPECT_EQ(mf.dirty_blocks(), 0u);
+  mf.set_free(1);
+  EXPECT_EQ(mf.dirty_blocks(), 1u);
+}
+
+TEST(BitmapMetafile, FlushWritesOnlyDirtyBlocks) {
+  BlockStore store(4);
+  BitmapMetafile mf(kTwoBlocks, &store, 0);
+  mf.set_allocated(3);
+  const std::uint64_t flushed = mf.flush();
+  EXPECT_EQ(flushed, 1u);
+  EXPECT_EQ(store.stats().block_writes, 1u);
+  EXPECT_TRUE(store.is_materialized(0));
+  EXPECT_FALSE(store.is_materialized(1));
+  EXPECT_EQ(mf.dirty_blocks(), 0u);
+}
+
+TEST(BitmapMetafile, FlushLoadRoundTrip) {
+  BlockStore store(8);
+  Rng rng(5);
+  BitmapMetafile mf(kTwoBlocks + 500, &store, 0);
+  std::vector<Vbn> allocated;
+  for (int i = 0; i < 3000; ++i) {
+    const Vbn v = rng.below(kTwoBlocks + 500);
+    if (!mf.test(v)) {
+      mf.set_allocated(v);
+      allocated.push_back(v);
+    }
+  }
+  mf.flush();
+
+  BitmapMetafile reloaded(kTwoBlocks + 500, &store, 0);
+  reloaded.load_all();
+  EXPECT_EQ(reloaded.total_free(), mf.total_free());
+  for (const Vbn v : allocated) {
+    EXPECT_TRUE(reloaded.test(v));
+  }
+  for (std::uint64_t b = 0; b < mf.metafile_blocks(); ++b) {
+    EXPECT_EQ(reloaded.block_free_count(b), mf.block_free_count(b));
+  }
+}
+
+TEST(BitmapMetafile, LoadAllCountsReads) {
+  BlockStore store(8);
+  BitmapMetafile mf(kTwoBlocks, &store, 0);
+  mf.set_allocated(0);
+  mf.flush();
+  store.reset_stats();
+
+  BitmapMetafile reloaded(kTwoBlocks, &store, 0);
+  reloaded.load_all();
+  // The mount-path scan reads EVERY metafile block (§3.4's linear walk).
+  EXPECT_EQ(store.stats().block_reads, reloaded.metafile_blocks());
+}
+
+TEST(BitmapMetafile, LoadAllParallelMatchesSerial) {
+  BlockStore store(8);
+  Rng rng(17);
+  BitmapMetafile mf(kTwoBlocks + 123, &store, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const Vbn v = rng.below(kTwoBlocks + 123);
+    if (!mf.test(v)) mf.set_allocated(v);
+  }
+  mf.flush();
+
+  BitmapMetafile serial(kTwoBlocks + 123, &store, 0);
+  serial.load_all();
+  ThreadPool pool(3);
+  BitmapMetafile parallel(kTwoBlocks + 123, &store, 0);
+  parallel.load_all(&pool);
+  EXPECT_EQ(serial.total_free(), parallel.total_free());
+  for (std::uint64_t b = 0; b < serial.metafile_blocks(); ++b) {
+    EXPECT_EQ(serial.block_free_count(b), parallel.block_free_count(b));
+  }
+}
+
+TEST(BitmapMetafile, FindFree) {
+  BitmapMetafile mf(1000);
+  for (Vbn v = 0; v < 100; ++v) {
+    mf.set_allocated(v);
+  }
+  EXPECT_EQ(mf.find_free(0, 1000), 100u);
+  EXPECT_EQ(mf.find_free(0, 100), 100u);
+  EXPECT_EQ(mf.find_free(500, 1000), 500u);
+}
+
+TEST(BitmapMetafile, StoreBaseOffset) {
+  BlockStore store(10);
+  BitmapMetafile mf(kBitsPerBitmapBlock, &store, /*store_base_block=*/5);
+  mf.set_allocated(0);
+  mf.flush();
+  EXPECT_TRUE(store.is_materialized(5));
+  EXPECT_FALSE(store.is_materialized(0));
+}
+
+TEST(BitmapMetafileDeathTest, DoubleAllocationAsserts) {
+  BitmapMetafile mf(100);
+  mf.set_allocated(1);
+  EXPECT_DEATH(mf.set_allocated(1), "double allocation");
+}
+
+TEST(BitmapMetafileDeathTest, FreeingFreeBlockAsserts) {
+  BitmapMetafile mf(100);
+  EXPECT_DEATH(mf.set_free(1), "freeing a free block");
+}
+
+}  // namespace
+}  // namespace wafl

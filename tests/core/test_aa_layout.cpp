@@ -1,0 +1,85 @@
+#include "core/aa_layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wafl {
+namespace {
+
+TEST(AaLayout, FlatBasics) {
+  const AaLayout l = AaLayout::flat(0, 10 * kFlatAaBlocks);
+  EXPECT_EQ(l.aa_count(), 10u);
+  EXPECT_EQ(l.aa_blocks(), kFlatAaBlocks);
+  EXPECT_EQ(l.aa_begin(0), 0u);
+  EXPECT_EQ(l.aa_end(0), kFlatAaBlocks);
+  EXPECT_EQ(l.aa_begin(9), 9ull * kFlatAaBlocks);
+  EXPECT_EQ(l.aa_of(0), 0u);
+  EXPECT_EQ(l.aa_of(kFlatAaBlocks - 1), 0u);
+  EXPECT_EQ(l.aa_of(kFlatAaBlocks), 1u);
+  EXPECT_EQ(l.max_score(), kFlatAaBlocks);
+}
+
+TEST(AaLayout, FlatWithBase) {
+  const AaLayout l = AaLayout::flat(1000, 2048, 1024);
+  EXPECT_EQ(l.aa_count(), 2u);
+  EXPECT_EQ(l.aa_begin(0), 1000u);
+  EXPECT_EQ(l.aa_begin(1), 2024u);
+  EXPECT_EQ(l.aa_of(1000), 0u);
+  EXPECT_EQ(l.aa_of(2024), 1u);
+  EXPECT_EQ(l.aa_of(3047), 1u);
+}
+
+TEST(AaLayout, ShortLastAa) {
+  const AaLayout l = AaLayout::flat(0, 2500, 1024);
+  EXPECT_EQ(l.aa_count(), 3u);
+  EXPECT_EQ(l.aa_capacity(0), 1024u);
+  EXPECT_EQ(l.aa_capacity(1), 1024u);
+  EXPECT_EQ(l.aa_capacity(2), 452u);
+  EXPECT_EQ(l.aa_end(2), 2500u);
+}
+
+TEST(AaLayout, EveryVbnMapsIntoItsAa) {
+  const AaLayout l = AaLayout::flat(50, 5000, 512);
+  for (Vbn v = 50; v < 5050; v += 7) {
+    const AaId aa = l.aa_of(v);
+    EXPECT_GE(v, l.aa_begin(aa));
+    EXPECT_LT(v, l.aa_end(aa));
+  }
+}
+
+TEST(AaLayout, RaidLayoutSizesFromStripes) {
+  const RaidGeometry g(6, 1, 16384);
+  const AaLayout l = AaLayout::raid(0, g, 4096);
+  // 4096 stripes x 6 data devices per AA; 16384/4096 = 4 AAs.
+  EXPECT_EQ(l.aa_blocks(), 4096u * 6u);
+  EXPECT_EQ(l.aa_count(), 4u);
+  EXPECT_EQ(l.total_blocks(), g.data_blocks());
+}
+
+TEST(AaLayout, RaidAaIsConsecutiveStripes) {
+  const RaidGeometry g(3, 1, 1024);
+  const AaLayout l = AaLayout::raid(0, g, 256);
+  // AA k must cover stripes [k*256, (k+1)*256) exactly (Figure 3).
+  for (AaId aa = 0; aa < l.aa_count(); ++aa) {
+    for (Vbn v = l.aa_begin(aa); v < l.aa_end(aa); ++v) {
+      const StripeId s = g.stripe_of(v);
+      EXPECT_GE(s, static_cast<StripeId>(aa) * 256);
+      EXPECT_LT(s, static_cast<StripeId>(aa + 1) * 256);
+    }
+  }
+}
+
+TEST(AaLayout, RaidLayoutWithBase) {
+  const RaidGeometry g(2, 1, 512);
+  const AaLayout l = AaLayout::raid(7777, g, 128);
+  EXPECT_EQ(l.base(), 7777u);
+  EXPECT_EQ(l.aa_begin(0), 7777u);
+  EXPECT_EQ(l.aa_of(7777), 0u);
+}
+
+TEST(AaLayoutDeathTest, RaidAaMustBeWholeTetrises) {
+  const RaidGeometry g(2, 1, 512);
+  EXPECT_DEATH(AaLayout::raid(0, g, 100), "whole tetrises");
+}
+
+}  // namespace
+}  // namespace wafl

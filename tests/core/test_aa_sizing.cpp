@@ -1,0 +1,82 @@
+#include "core/aa_sizing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wafl {
+namespace {
+
+TEST(AaSizing, HddUsesHistoricalDefault) {
+  MediaGeometry m;
+  m.type = MediaType::kHdd;
+  EXPECT_EQ(choose_raid_aa_stripes(m), kDefaultRaidAaStripes);
+}
+
+TEST(AaSizing, SsdCoversSeveralEraseBlocks) {
+  MediaGeometry m;
+  m.type = MediaType::kSsd;
+  m.erase_block_blocks = 16384;  // 64 MiB erase blocks
+  const std::uint32_t stripes = choose_raid_aa_stripes(m);
+  // Per-device span covers the configured multiple of erase blocks.
+  EXPECT_GE(stripes, kSsdAaEraseBlockMultiple * 16384u);
+  EXPECT_EQ(stripes % kTetrisStripes, 0u);
+}
+
+TEST(AaSizing, SsdUnknownEraseBlockFallsBack) {
+  MediaGeometry m;
+  m.type = MediaType::kSsd;
+  m.erase_block_blocks = 0;
+  EXPECT_EQ(choose_raid_aa_stripes(m), kDefaultRaidAaStripes);
+}
+
+TEST(AaSizing, SsdTinyEraseBlockStillAtLeastDefault) {
+  MediaGeometry m;
+  m.type = MediaType::kSsd;
+  m.erase_block_blocks = 64;  // smaller than the default AA
+  EXPECT_EQ(choose_raid_aa_stripes(m), kDefaultRaidAaStripes);
+}
+
+TEST(AaSizing, SmrLargerThanZone) {
+  MediaGeometry m;
+  m.type = MediaType::kSmr;
+  m.zone_blocks = 16384;
+  const std::uint32_t stripes = choose_raid_aa_stripes(m);
+  EXPECT_GE(stripes, kSmrAaZoneMultiple * 16384u);
+  EXPECT_EQ(stripes % kTetrisStripes, 0u);
+}
+
+TEST(AaSizing, SmrWithAzcsAlignsToRegionPeriod) {
+  MediaGeometry m;
+  m.type = MediaType::kSmr;
+  m.zone_blocks = 16128;  // a zone in data-block units
+  m.azcs = true;
+  const std::uint32_t stripes = choose_raid_aa_stripes(m);
+  // Figure 4 (C): aligned to both the tetris and the 63-data-block AZCS
+  // region period, and still larger than the zone multiple.
+  EXPECT_EQ(stripes % kTetrisStripes, 0u);
+  EXPECT_EQ(stripes % kAzcsDataBlocksPerRegion, 0u);
+  EXPECT_GE(stripes, kSmrAaZoneMultiple * 16128u);
+}
+
+TEST(AaSizing, SmrUnknownZoneFallsBack) {
+  MediaGeometry m;
+  m.type = MediaType::kSmr;
+  m.zone_blocks = 0;
+  EXPECT_EQ(choose_raid_aa_stripes(m), kDefaultRaidAaStripes);
+}
+
+TEST(AaSizing, FlatMatchesBitmapBlockAlignment) {
+  // One flat AA == one 4 KiB bitmap-metafile block of 32 Ki bits (§3.2.1).
+  EXPECT_EQ(choose_flat_aa_blocks(), kFlatAaBlocks);
+  EXPECT_EQ(kFlatAaBlocks, kBitsPerBitmapBlock);
+}
+
+TEST(AaSizing, SsdSizingMonotoneInEraseBlock) {
+  MediaGeometry a, b;
+  a.type = b.type = MediaType::kSsd;
+  a.erase_block_blocks = 8192;
+  b.erase_block_blocks = 32768;
+  EXPECT_LE(choose_raid_aa_stripes(a), choose_raid_aa_stripes(b));
+}
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,360 @@
+#include "core/hbps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wafl {
+namespace {
+
+Hbps::Config small_config() {
+  // 0..1024 score space, 16 bins of 64, list of 20 entries.
+  return Hbps::Config{1024, 64, 20};
+}
+
+TEST(Hbps, DefaultGeometryMatchesPaper) {
+  Hbps h;
+  EXPECT_EQ(h.bin_count(), 32u);
+  EXPECT_EQ(h.config().max_score, 32768u);
+  EXPECT_EQ(h.config().bin_width, 1024u);
+  EXPECT_EQ(h.config().list_capacity, 1000u);
+  // The error guarantee: one bin width over the max score = 3.125%.
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(h.config().bin_width) / h.config().max_score,
+      0.03125);
+}
+
+TEST(Hbps, BinOfMapsPaperRanges) {
+  Hbps h;
+  EXPECT_EQ(h.bin_of(32768), 0u);  // best scores -> first bin
+  EXPECT_EQ(h.bin_of(31745), 0u);
+  EXPECT_EQ(h.bin_of(31744), 1u);
+  EXPECT_EQ(h.bin_of(1), 31u);
+  EXPECT_EQ(h.bin_of(0), 31u);  // full AAs share the worst bin
+  EXPECT_EQ(h.bin_upper_bound(0), 32768u);
+  EXPECT_EQ(h.bin_upper_bound(1), 31744u);
+}
+
+TEST(Hbps, InsertAndTakeBest) {
+  Hbps h(small_config());
+  h.insert(1, 100);
+  h.insert(2, 900);
+  h.insert(3, 500);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_TRUE(h.validate());
+
+  const auto best = h.take_best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->aa, 2u);
+  EXPECT_TRUE(h.is_checked_out(2));
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.take_best()->aa, 3u);
+  EXPECT_EQ(h.take_best()->aa, 1u);
+  EXPECT_EQ(h.take_best(), std::nullopt);
+}
+
+TEST(Hbps, TakeBestScoreIsBinUpperBound) {
+  Hbps h(small_config());
+  h.insert(7, 950);  // bin of 950 with width 64: (1024-950)/64 = 1
+  const auto pick = h.take_best();
+  EXPECT_EQ(pick->score, h.bin_upper_bound(1));
+}
+
+TEST(Hbps, CheckinAfterCheckout) {
+  Hbps h(small_config());
+  h.insert(1, 1000);
+  const auto pick = h.take_best();
+  EXPECT_EQ(h.size(), 0u);
+  h.insert(pick->aa, 3);  // consumed: re-enters near-full
+  EXPECT_FALSE(h.is_checked_out(1));
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.histogram_count(h.bin_of(3)), 1u);
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(Hbps, UpdateScoreMovesBins) {
+  Hbps h(small_config());
+  h.insert(1, 100);
+  const std::uint32_t b0 = h.bin_of(100);
+  const std::uint32_t b1 = h.bin_of(1000);
+  h.update_score(1, 100, 1000);
+  EXPECT_EQ(h.histogram_count(b0), 0u);
+  EXPECT_EQ(h.histogram_count(b1), 1u);
+  EXPECT_EQ(h.take_best()->aa, 1u);
+}
+
+TEST(Hbps, UpdateWithinSameBinIsNoop) {
+  Hbps h(small_config());
+  h.insert(1, 1000);
+  h.insert(2, 1001);
+  ASSERT_EQ(h.bin_of(1000), h.bin_of(1001));
+  h.update_score(1, 1000, 1002);
+  EXPECT_TRUE(h.validate());
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(Hbps, UpdateOnCheckedOutIsDeferred) {
+  Hbps h(small_config());
+  h.insert(1, 1000);
+  h.take_best();
+  h.update_score(1, 1000, 3);  // must be ignored (re-keys on insert)
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(Hbps, ListOverflowKeepsBestAndExactCounts) {
+  Hbps h(small_config());  // capacity 20
+  // 30 AAs in a middling bin; then 5 in the best bin.
+  for (AaId aa = 0; aa < 30; ++aa) {
+    h.insert(aa, 500);
+  }
+  EXPECT_EQ(h.list_size(), 20u);
+  EXPECT_EQ(h.histogram_count(h.bin_of(500)), 30u);  // counts stay exact
+  for (AaId aa = 100; aa < 105; ++aa) {
+    h.insert(aa, 1020);  // better bin: must displace listed mid-bin AAs
+  }
+  EXPECT_EQ(h.list_size(), 20u);
+  EXPECT_TRUE(h.validate());
+  // The best five takes are the bin-0 AAs.
+  for (int i = 0; i < 5; ++i) {
+    const auto pick = h.take_best();
+    EXPECT_GE(pick->aa, 100u);
+  }
+  EXPECT_LT(h.take_best()->aa, 30u);
+}
+
+TEST(Hbps, InsertIntoWorseBinThanWorstListedSkipsList) {
+  Hbps h(small_config());
+  for (AaId aa = 0; aa < 20; ++aa) {
+    h.insert(aa, 1000);  // fill the list from bin 0
+  }
+  h.insert(50, 10);  // far worse: tracked in histogram only
+  EXPECT_EQ(h.list_size(), 20u);
+  EXPECT_FALSE(h.is_listed(50));
+  EXPECT_EQ(h.histogram_count(h.bin_of(10)), 1u);
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(Hbps, UnlistedAaPromotedByFrees) {
+  Hbps h(small_config());
+  for (AaId aa = 0; aa < 20; ++aa) {
+    h.insert(aa, 500);
+  }
+  h.insert(99, 10);  // unlisted
+  EXPECT_FALSE(h.is_listed(99));
+  h.update_score(99, 10, 1020);  // frees push it into the best bin
+  EXPECT_TRUE(h.is_listed(99));
+  EXPECT_EQ(h.take_best()->aa, 99u);
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(Hbps, NeedsReplenishWhenListDrainsButHistogramTracks) {
+  Hbps h(small_config());
+  for (AaId aa = 0; aa < 25; ++aa) {
+    h.insert(aa, 900);  // 20 listed, 5 histogram-only
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(h.take_best().has_value());
+  }
+  EXPECT_EQ(h.take_best(), std::nullopt);  // list empty
+  EXPECT_TRUE(h.needs_replenish());
+  EXPECT_EQ(h.size(), 5u);  // still tracked
+}
+
+TEST(Hbps, BuildFromScoreboardListsBestBins) {
+  const AaLayout l = AaLayout::flat(0, 64 * 1024, 1024);
+  AaScoreBoard board(l);  // all 64 AAs at score 1024
+  // Make AA scores distinct-ish: consume i blocks from AA i.
+  for (AaId aa = 0; aa < 64; ++aa) {
+    for (AaId i = 0; i < aa * 16; ++i) {
+      board.note_alloc(l.aa_begin(aa) + i);
+    }
+  }
+  board.apply_cp_deltas();
+
+  Hbps h(small_config());
+  h.build(board);
+  EXPECT_EQ(h.size(), 64u);
+  EXPECT_TRUE(h.validate());
+  // Best AA is aa 0 (fully free).
+  EXPECT_EQ(h.take_best()->aa, 0u);
+}
+
+TEST(Hbps, BuildSkipsCheckedOut) {
+  const AaLayout l = AaLayout::flat(0, 4 * 1024, 1024);
+  AaScoreBoard board(l);
+  Hbps h(small_config());
+  h.build(board);
+  const auto pick = h.take_best();
+  h.build(board);  // rebuild while one AA is checked out
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_TRUE(h.is_checked_out(pick->aa));
+  EXPECT_TRUE(h.validate());
+}
+
+// The paper's headline guarantee: the returned AA's true score is within
+// one bin width of the true maximum (3.125% of 32 Ki by default).
+TEST(Hbps, ErrorBoundPropertyUnderChurn) {
+  Hbps::Config cfg{1024, 64, 50};
+  Hbps h(cfg);
+  std::map<AaId, AaScore> truth;
+  Rng rng(42);
+
+  for (AaId aa = 0; aa < 200; ++aa) {
+    const auto s = static_cast<AaScore>(rng.below(1025));
+    h.insert(aa, s);
+    truth[aa] = s;
+  }
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::uint64_t action = rng.below(4);
+    if (action == 0) {
+      const auto pick = h.take_best();
+      if (pick.has_value()) {
+        const AaScore true_best =
+            std::max_element(truth.begin(), truth.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.second < b.second;
+                             })
+                ->second;
+        // Guarantee holds only while the list is non-empty beforehand,
+        // which take_best() success implies.
+        EXPECT_GE(static_cast<std::uint64_t>(truth[pick->aa]) + cfg.bin_width,
+                  true_best);
+        // Check back in at a mutated score.
+        const auto s = static_cast<AaScore>(rng.below(1025));
+        truth[pick->aa] = s;
+        h.insert(pick->aa, s);
+      }
+    } else {
+      auto it = truth.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.below(truth.size())));
+      const auto s = static_cast<AaScore>(rng.below(1025));
+      h.update_score(it->first, it->second, s);
+      it->second = s;
+    }
+    if (step % 250 == 0) {
+      ASSERT_TRUE(h.validate());
+    }
+  }
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(Hbps, SaveLoadRoundTrip) {
+  Hbps h(small_config());
+  Rng rng(9);
+  for (AaId aa = 0; aa < 60; ++aa) {
+    h.insert(aa, static_cast<AaScore>(rng.below(1025)));
+  }
+  std::array<std::byte, Hbps::kPageBytes> hist_page{}, list_page{};
+  h.save(hist_page, list_page);
+
+  const auto loaded = Hbps::load(hist_page, list_page);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->validate());
+  EXPECT_EQ(loaded->size(), h.size());
+  EXPECT_EQ(loaded->list_size(), h.list_size());
+  for (std::uint32_t b = 0; b < h.bin_count(); ++b) {
+    EXPECT_EQ(loaded->histogram_count(b), h.histogram_count(b));
+    EXPECT_EQ(loaded->listed_count(b), h.listed_count(b));
+  }
+  // Both must serve the same sequence of picks.
+  Hbps copy = *loaded;
+  for (;;) {
+    const auto a = h.take_best();
+    const auto b = copy.take_best();
+    EXPECT_EQ(a, b);
+    if (!a.has_value()) break;
+  }
+}
+
+TEST(Hbps, LoadRejectsCorruptPages) {
+  Hbps h(small_config());
+  h.insert(1, 500);
+  std::array<std::byte, Hbps::kPageBytes> hist_page{}, list_page{};
+  h.save(hist_page, list_page);
+
+  auto bad_hist = hist_page;
+  bad_hist[100] ^= std::byte{0x40};
+  EXPECT_EQ(Hbps::load(bad_hist, list_page), std::nullopt);
+
+  auto bad_list = list_page;
+  bad_list[0] ^= std::byte{0x01};
+  EXPECT_EQ(Hbps::load(hist_page, bad_list), std::nullopt);
+
+  // Untouched pages still load.
+  EXPECT_TRUE(Hbps::load(hist_page, list_page).has_value());
+}
+
+TEST(Hbps, LoadRejectsWrongSizes) {
+  std::array<std::byte, 100> tiny{};
+  std::array<std::byte, Hbps::kPageBytes> page{};
+  EXPECT_EQ(Hbps::load(tiny, page), std::nullopt);
+  EXPECT_EQ(Hbps::load(page, tiny), std::nullopt);
+}
+
+TEST(Hbps, EmptySaveLoad) {
+  Hbps h(small_config());
+  std::array<std::byte, Hbps::kPageBytes> hist_page{}, list_page{};
+  h.save(hist_page, list_page);
+  auto loaded = Hbps::load(hist_page, list_page);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->take_best(), std::nullopt);
+}
+
+TEST(Hbps, PagesAreExactlyTwo4KiBPages) {
+  // §3.3.2: "this AA cache uses exactly two pages of memory".
+  EXPECT_EQ(Hbps::kPageBytes, 4096u);
+  // And 1,000 four-byte ids fit the list page with its CRC.
+  EXPECT_LE(kHbpsListCapacity * sizeof(AaId) + 4, Hbps::kPageBytes);
+}
+
+}  // namespace
+}  // namespace wafl
+
+namespace wafl {
+namespace {
+
+TEST(Hbps, NeedsReplenishWhenBetterAasAreStranded) {
+  // Fill the list from one bin, strand an equally-good AA outside it, then
+  // drain the listed bin: the stranded AA's bin is now better than
+  // anything listed, so the structure must ask for a background scan.
+  Hbps h(Hbps::Config{1024, 64, 4});
+  for (AaId aa = 0; aa < 4; ++aa) {
+    h.insert(aa, 1000);  // bin 0, fills the 4-entry list
+  }
+  h.insert(99, 1001);  // bin 0 too: skipped (not strictly better)
+  EXPECT_FALSE(h.is_listed(99));
+  EXPECT_FALSE(h.needs_replenish());  // bin 0 is still listed
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(h.take_best().has_value());
+  }
+  // List empty, AA 99 stranded in bin 0.
+  EXPECT_TRUE(h.needs_replenish());
+
+  // A worse listed AA alone must also trip the check.
+  h.insert(50, 10);  // bin 15..: listed (list empty => admitted)
+  EXPECT_TRUE(h.is_listed(50));
+  EXPECT_TRUE(h.needs_replenish());  // 99 (bin 0) still stranded
+}
+
+TEST(Hbps, BestHistogramBinTracksContents) {
+  Hbps h(Hbps::Config{1024, 64, 8});
+  EXPECT_EQ(h.best_histogram_bin(), -1);
+  h.insert(1, 100);
+  const auto low_bin = static_cast<std::int32_t>(h.bin_of(100));
+  EXPECT_EQ(h.best_histogram_bin(), low_bin);
+  h.insert(2, 1000);
+  EXPECT_EQ(h.best_histogram_bin(), 0);
+  h.update_score(2, 1000, 100);
+  EXPECT_EQ(h.best_histogram_bin(), low_bin);
+}
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,150 @@
+// Parameterized property sweep over HBPS geometries (§3.3.2).
+//
+// For every (max_score, bin_width, list_capacity) combination, a random
+// churn of inserts, takes, and score moves must preserve the structural
+// invariants, the exact histogram counts, and the error-bound guarantee.
+#include "core/hbps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace wafl {
+namespace {
+
+using HbpsGeometry =
+    std::tuple<AaScore /*max*/, std::uint32_t /*bin*/, std::uint32_t /*cap*/>;
+
+class HbpsGeometrySweep : public ::testing::TestWithParam<HbpsGeometry> {
+ protected:
+  Hbps::Config config() const {
+    const auto& [max_score, bin_width, capacity] = GetParam();
+    return Hbps::Config{max_score, bin_width, capacity};
+  }
+};
+
+TEST_P(HbpsGeometrySweep, BinRangesPartitionScoreSpace) {
+  Hbps h(config());
+  const auto& cfg = h.config();
+  // Every score maps to exactly one bin, bins are monotone in score, and
+  // the upper bound of bin b sits one width above bin b+1's.
+  std::uint32_t prev_bin = h.bin_of(cfg.max_score);
+  EXPECT_EQ(prev_bin, 0u);
+  for (AaScore s = cfg.max_score; s-- > 0;) {
+    const std::uint32_t b = h.bin_of(s);
+    EXPECT_GE(b, prev_bin);
+    EXPECT_LE(b, prev_bin + 1);
+    EXPECT_LT(b, h.bin_count());
+    // The score must not exceed its bin's upper bound.
+    EXPECT_LE(s, h.bin_upper_bound(b));
+    prev_bin = b;
+  }
+}
+
+TEST_P(HbpsGeometrySweep, ChurnPreservesInvariantsAndErrorBound) {
+  const Hbps::Config cfg = config();
+  Hbps h(cfg);
+  std::map<AaId, AaScore> truth;
+  Rng rng(77);
+
+  const AaId universe = 300;
+  for (AaId aa = 0; aa < universe; ++aa) {
+    const auto s = static_cast<AaScore>(rng.below(cfg.max_score + 1));
+    h.insert(aa, s);
+    truth[aa] = s;
+  }
+  ASSERT_TRUE(h.validate());
+  ASSERT_EQ(h.size(), universe);
+
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.chance(0.4)) {
+      // The §3.3.2 guarantee is "the highest score within [one bin width],
+      // by picking an AA from the highest populated range IN THE CACHE":
+      // when the list holds every AA the bound is global; with a smaller
+      // list it holds relative to the listed AAs (the background replenish
+      // is what keeps the list fresh in production).
+      AaScore bound = 0;
+      for (const auto& [aa, s] : truth) {
+        if (cfg.list_capacity >= universe || h.is_listed(aa)) {
+          bound = std::max(bound, s);
+        }
+      }
+      const auto pick = h.take_best();
+      if (pick.has_value()) {
+        EXPECT_GE(static_cast<std::uint64_t>(truth[pick->aa]) +
+                      cfg.bin_width,
+                  bound);
+        const auto s = static_cast<AaScore>(rng.below(cfg.max_score + 1));
+        truth[pick->aa] = s;
+        h.insert(pick->aa, s);
+      }
+    } else {
+      auto it = truth.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.below(truth.size())));
+      const auto s = static_cast<AaScore>(rng.below(cfg.max_score + 1));
+      h.update_score(it->first, it->second, s);
+      it->second = s;
+    }
+  }
+  ASSERT_TRUE(h.validate());
+
+  // Histogram counts are exact per bin.
+  std::vector<std::uint32_t> expect_hist(h.bin_count(), 0);
+  for (const auto& [aa, s] : truth) {
+    ++expect_hist[h.bin_of(s)];
+  }
+  for (std::uint32_t b = 0; b < h.bin_count(); ++b) {
+    EXPECT_EQ(h.histogram_count(b), expect_hist[b]) << "bin " << b;
+  }
+}
+
+TEST_P(HbpsGeometrySweep, PersistenceRoundTripAfterChurn) {
+  const Hbps::Config cfg = config();
+  Hbps h(cfg);
+  Rng rng(5);
+  for (AaId aa = 0; aa < 200; ++aa) {
+    h.insert(aa, static_cast<AaScore>(rng.below(cfg.max_score + 1)));
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto pick = h.take_best();
+    if (!pick.has_value()) break;
+    h.insert(pick->aa, static_cast<AaScore>(rng.below(cfg.max_score + 1)));
+  }
+
+  std::array<std::byte, Hbps::kPageBytes> pg1{}, pg2{};
+  h.save(pg1, pg2);
+  auto loaded = Hbps::load(pg1, pg2);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->validate());
+  for (;;) {
+    const auto a = h.take_best();
+    const auto b = loaded->take_best();
+    ASSERT_EQ(a, b);
+    if (!a.has_value()) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HbpsGeometrySweep,
+    ::testing::Values(
+        // The paper's default: 32 Ki score space, 1 Ki bins, 1000 entries.
+        HbpsGeometry{32768, 1024, 1000},
+        // Coarser and finer bins around the default.
+        HbpsGeometry{32768, 4096, 1000}, HbpsGeometry{32768, 256, 1000},
+        // Tiny list: heavy displacement traffic.
+        HbpsGeometry{32768, 1024, 8},
+        // Small score spaces (sub-bitmap-block AAs).
+        HbpsGeometry{1024, 64, 50}, HbpsGeometry{1024, 1024, 16},
+        // Degenerate-ish: bin width 1 (exact bins), capacity 1.
+        HbpsGeometry{256, 1, 64}, HbpsGeometry{256, 32, 1}),
+    [](const ::testing::TestParamInfo<HbpsGeometry>& param_info) {
+      return "max" + std::to_string(std::get<0>(param_info.param)) + "_bin" +
+             std::to_string(std::get<1>(param_info.param)) + "_cap" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,207 @@
+#include "core/max_heap_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wafl {
+namespace {
+
+AaScoreBoard make_board(const std::vector<AaScore>& scores) {
+  // A flat layout with AA size >= all scores; we then force the scores via
+  // deltas would be clumsy, so build directly and note_alloc down.
+  const std::uint32_t aa_blocks = 32768;
+  const AaLayout l =
+      AaLayout::flat(0, static_cast<std::uint64_t>(scores.size()) * aa_blocks,
+                     aa_blocks);
+  AaScoreBoard board(l);
+  for (AaId aa = 0; aa < scores.size(); ++aa) {
+    const std::uint32_t to_consume = aa_blocks - scores[aa];
+    for (std::uint32_t i = 0; i < to_consume; ++i) {
+      board.note_alloc(l.aa_begin(aa) + i);
+    }
+  }
+  board.apply_cp_deltas();
+  return board;
+}
+
+TEST(MaxHeapAaCache, BuildAndTakeInDescendingOrder) {
+  const std::vector<AaScore> scores = {5, 100, 42, 7, 99, 100, 0};
+  AaScoreBoard board = make_board(scores);
+  MaxHeapAaCache cache(static_cast<AaId>(scores.size()));
+  cache.build(board);
+  EXPECT_TRUE(cache.validate());
+  EXPECT_EQ(cache.size(), scores.size());
+
+  std::vector<AaScore> taken;
+  while (auto pick = cache.take_best()) {
+    taken.push_back(pick->score);
+  }
+  std::vector<AaScore> expect = scores;
+  std::sort(expect.rbegin(), expect.rend());
+  EXPECT_EQ(taken, expect);
+}
+
+TEST(MaxHeapAaCache, TieBreaksTowardLowerId) {
+  AaScoreBoard board = make_board({50, 50, 50});
+  MaxHeapAaCache cache(3);
+  cache.build(board);
+  EXPECT_EQ(cache.take_best()->aa, 0u);
+  EXPECT_EQ(cache.take_best()->aa, 1u);
+  EXPECT_EQ(cache.take_best()->aa, 2u);
+}
+
+TEST(MaxHeapAaCache, PeekDoesNotRemove) {
+  AaScoreBoard board = make_board({10, 30, 20});
+  MaxHeapAaCache cache(3);
+  cache.build(board);
+  EXPECT_EQ(cache.peek_best_score(), 30u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.take_best()->score, 30u);
+  EXPECT_EQ(cache.peek_best_score(), 20u);
+}
+
+TEST(MaxHeapAaCache, InsertAfterCheckout) {
+  AaScoreBoard board = make_board({10, 30, 20});
+  MaxHeapAaCache cache(3);
+  cache.build(board);
+  const AaPick p = *cache.take_best();
+  EXPECT_FALSE(cache.contains(p.aa));
+  cache.insert(p.aa, 5);  // returns emptied
+  EXPECT_TRUE(cache.contains(p.aa));
+  EXPECT_TRUE(cache.validate());
+  EXPECT_EQ(cache.peek_best_score(), 20u);
+}
+
+TEST(MaxHeapAaCache, UpdateScoreRekeysBothDirections) {
+  AaScoreBoard board = make_board({10, 30, 20});
+  MaxHeapAaCache cache(3);
+  cache.build(board);
+  cache.update_score(0, 10, 100);  // up
+  EXPECT_EQ(cache.peek_best_score(), 100u);
+  EXPECT_EQ(cache.take_best()->aa, 0u);
+  cache.update_score(1, 30, 1);  // down
+  EXPECT_EQ(cache.take_best()->aa, 2u);
+  EXPECT_TRUE(cache.validate());
+}
+
+TEST(MaxHeapAaCache, UpdateScoreOnCheckedOutIsNoop) {
+  AaScoreBoard board = make_board({10, 30, 20});
+  MaxHeapAaCache cache(3);
+  cache.build(board);
+  const AaPick p = *cache.take_best();  // aa 1
+  cache.update_score(p.aa, 30, 7);      // not resident: ignored
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.validate());
+}
+
+TEST(MaxHeapAaCache, ApplyChangesBatch) {
+  AaScoreBoard board = make_board({10, 30, 20, 40});
+  MaxHeapAaCache cache(4);
+  cache.build(board);
+  const std::vector<ScoreChange> changes = {{0, 10, 35}, {3, 40, 5}};
+  cache.apply_changes(changes);
+  EXPECT_EQ(cache.take_best(), (AaPick{0, 35}));
+  EXPECT_EQ(cache.take_best(), (AaPick{1, 30}));
+  EXPECT_EQ(cache.take_best(), (AaPick{2, 20}));
+  EXPECT_EQ(cache.take_best(), (AaPick{3, 5}));
+}
+
+TEST(MaxHeapAaCache, TopReturnsBestWithoutDisturbing) {
+  const std::vector<AaScore> scores = {5, 100, 42, 7, 99, 88, 0, 63};
+  AaScoreBoard board = make_board(scores);
+  MaxHeapAaCache cache(static_cast<AaId>(scores.size()));
+  cache.build(board);
+  const auto top3 = cache.top(3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0], (AaPick{1, 100}));
+  EXPECT_EQ(top3[1], (AaPick{4, 99}));
+  EXPECT_EQ(top3[2], (AaPick{5, 88}));
+  EXPECT_EQ(cache.size(), scores.size());
+  EXPECT_TRUE(cache.validate());
+  // Asking for more than exists truncates.
+  EXPECT_EQ(cache.top(100).size(), scores.size());
+}
+
+TEST(MaxHeapAaCache, SeedReplacesContents) {
+  AaScoreBoard board = make_board({10, 30, 20});
+  MaxHeapAaCache cache(10);
+  cache.build(board);
+  const std::vector<AaPick> picks = {{7, 500}, {8, 400}};
+  cache.seed(picks);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.take_best(), (AaPick{7, 500}));
+  EXPECT_EQ(cache.take_best(), (AaPick{8, 400}));
+  EXPECT_EQ(cache.take_best(), std::nullopt);
+}
+
+TEST(MaxHeapAaCache, EmptyCacheBehaviour) {
+  MaxHeapAaCache cache(5);
+  EXPECT_EQ(cache.take_best(), std::nullopt);
+  EXPECT_EQ(cache.peek_best_score(), std::nullopt);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.validate());
+}
+
+TEST(MaxHeapAaCache, RandomizedAgainstMultimap) {
+  // Property sweep: the heap must always return the exact maximum, under a
+  // random mix of inserts, takes, and re-keys.
+  const AaId universe = 200;
+  MaxHeapAaCache cache(universe);
+  std::map<AaId, AaScore> reference;
+  Rng rng(1234);
+
+  for (AaId aa = 0; aa < 50; ++aa) {
+    const auto s = static_cast<AaScore>(rng.below(1000));
+    cache.insert(aa, s);
+    reference[aa] = s;
+  }
+
+  for (int step = 0; step < 5000; ++step) {
+    const std::uint64_t action = rng.below(3);
+    if (action == 0 && !reference.empty()) {
+      // take_best must match the reference max (lowest id on ties).
+      auto best = reference.begin();
+      for (auto it = reference.begin(); it != reference.end(); ++it) {
+        if (it->second > best->second) best = it;
+      }
+      const auto pick = cache.take_best();
+      ASSERT_TRUE(pick.has_value());
+      EXPECT_EQ(pick->score, best->second);
+      EXPECT_EQ(pick->aa, best->first);
+      reference.erase(best);
+    } else if (action == 1) {
+      const auto aa = static_cast<AaId>(rng.below(universe));
+      if (!reference.contains(aa)) {
+        const auto s = static_cast<AaScore>(rng.below(1000));
+        cache.insert(aa, s);
+        reference[aa] = s;
+      }
+    } else if (!reference.empty()) {
+      auto it = reference.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.below(reference.size())));
+      const auto s = static_cast<AaScore>(rng.below(1000));
+      cache.update_score(it->first, it->second, s);
+      it->second = s;
+    }
+    if (step % 500 == 0) {
+      ASSERT_TRUE(cache.validate());
+    }
+  }
+  EXPECT_EQ(cache.size(), reference.size());
+  EXPECT_TRUE(cache.validate());
+}
+
+TEST(MaxHeapAaCacheDeathTest, DoubleInsertAsserts) {
+  MaxHeapAaCache cache(5);
+  cache.insert(1, 10);
+  EXPECT_DEATH(cache.insert(1, 20), "already resident");
+}
+
+}  // namespace
+}  // namespace wafl

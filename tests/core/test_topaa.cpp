@@ -1,0 +1,136 @@
+#include "core/topaa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace wafl {
+namespace {
+
+TEST(TopAaFile, RaidAwareRoundTrip) {
+  BlockStore store(4);
+  TopAaFile file(store, 0);
+  std::vector<AaPick> best;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    best.push_back({i, 1000 - i});  // descending scores
+  }
+  file.save_raid_aware(best);
+  const auto loaded = file.load_raid_aware();
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ((*loaded)[i], best[i]);
+  }
+}
+
+TEST(TopAaFile, RaidAwareTruncatesToCapacity) {
+  BlockStore store(4);
+  TopAaFile file(store, 0);
+  std::vector<AaPick> best;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    best.push_back({i, 100000 - i});
+  }
+  file.save_raid_aware(best);
+  const auto loaded = file.load_raid_aware();
+  ASSERT_TRUE(loaded.has_value());
+  // One 4 KiB block holds kTopAaRaidAwareEntries picks (§3.4).
+  EXPECT_EQ(loaded->size(), kTopAaRaidAwareEntries);
+  EXPECT_EQ((*loaded)[0], best[0]);
+}
+
+TEST(TopAaFile, EmptySave) {
+  BlockStore store(4);
+  TopAaFile file(store, 0);
+  file.save_raid_aware(std::vector<AaPick>{});
+  const auto loaded = file.load_raid_aware();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(TopAaFile, UnwrittenBlockFailsLoad) {
+  BlockStore store(4);
+  TopAaFile file(store, 2);
+  EXPECT_EQ(file.load_raid_aware(), std::nullopt);
+}
+
+TEST(TopAaFile, CorruptionDetected) {
+  BlockStore store(4);
+  TopAaFile file(store, 0);
+  std::vector<AaPick> best = {{1, 50}, {2, 40}};
+  file.save_raid_aware(best);
+  // Flip one media bit: the checksum must catch it and mount must fall
+  // back to the scan path rather than seed a wrong cache (§3.4).
+  store.corrupt(0, 777);
+  EXPECT_EQ(file.load_raid_aware(), std::nullopt);
+}
+
+TEST(TopAaFile, RejectsNonDescendingScores) {
+  // A structurally valid but logically broken file (ascending scores)
+  // must be rejected: defense against writer bugs.
+  BlockStore store(4);
+  TopAaFile file(store, 0);
+  const std::vector<AaPick> bad = {{1, 10}, {2, 40}};
+  file.save_raid_aware(bad);
+  EXPECT_EQ(file.load_raid_aware(), std::nullopt);
+}
+
+TEST(TopAaFile, RaidAgnosticRoundTrip) {
+  BlockStore store(4);
+  TopAaFile file(store, 1);
+  Hbps hbps;
+  Rng rng(5);
+  for (AaId aa = 0; aa < 500; ++aa) {
+    hbps.insert(aa, static_cast<AaScore>(rng.below(32769)));
+  }
+  file.save_raid_agnostic(hbps);
+  EXPECT_TRUE(store.is_materialized(1));
+  EXPECT_TRUE(store.is_materialized(2));
+
+  auto loaded = file.load_raid_agnostic();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->validate());
+  EXPECT_EQ(loaded->size(), hbps.size());
+  // Identical pick sequences.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(loaded->take_best(), hbps.take_best());
+  }
+}
+
+TEST(TopAaFile, RaidAgnosticCorruptionFallsBack) {
+  BlockStore store(4);
+  TopAaFile file(store, 0);
+  Hbps hbps;
+  hbps.insert(1, 30000);
+  file.save_raid_agnostic(hbps);
+  store.corrupt(1, 12345);  // damage the list page
+  EXPECT_EQ(file.load_raid_agnostic(), std::nullopt);
+}
+
+TEST(TopAaFile, SaveCountsWrites) {
+  BlockStore store(4);
+  TopAaFile file(store, 0);
+  const std::vector<AaPick> one = {{1, 2}};
+  file.save_raid_aware(one);
+  EXPECT_EQ(store.stats().block_writes, TopAaFile::kRaidAwareBlocks);
+  store.reset_stats();
+  Hbps hbps;
+  file.save_raid_agnostic(hbps);
+  EXPECT_EQ(store.stats().block_writes, TopAaFile::kRaidAgnosticBlocks);
+}
+
+TEST(TopAaFile, LoadCountsReads) {
+  BlockStore store(4);
+  TopAaFile file(store, 0);
+  Hbps hbps;
+  file.save_raid_agnostic(hbps);
+  store.reset_stats();
+  file.load_raid_agnostic();
+  // The §3.4 point: the mount gate reads a CONSTANT number of blocks.
+  EXPECT_EQ(store.stats().block_reads, TopAaFile::kRaidAgnosticBlocks);
+}
+
+}  // namespace
+}  // namespace wafl

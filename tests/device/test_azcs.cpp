@@ -1,0 +1,139 @@
+#include "device/azcs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/smr.hpp"
+
+namespace wafl {
+namespace {
+
+std::unique_ptr<SmrModel> raw_smr(std::uint64_t cap = 64 * 64) {
+  SmrParams p;
+  p.zone_blocks = 512;
+  return std::make_unique<SmrModel>(cap, p);
+}
+
+TEST(AzcsDevice, CapacityIs63Of64) {
+  AzcsDevice dev(raw_smr(64 * 64));
+  EXPECT_EQ(dev.capacity_blocks(), 63u * 64u);
+  EXPECT_EQ(dev.media_type(), MediaType::kSmr);
+}
+
+TEST(AzcsDevice, MappingSkipsChecksumSlots) {
+  AzcsDevice dev(raw_smr());
+  EXPECT_EQ(dev.data_to_physical(0), 0u);
+  EXPECT_EQ(dev.data_to_physical(62), 62u);
+  EXPECT_EQ(dev.data_to_physical(63), 64u);  // skips physical 63
+  EXPECT_EQ(dev.data_to_physical(125), 126u);
+  EXPECT_EQ(dev.data_to_physical(126), 128u);
+  EXPECT_EQ(dev.checksum_block_of_data(0), 63u);
+  EXPECT_EQ(dev.checksum_block_of_data(62), 63u);
+  EXPECT_EQ(dev.checksum_block_of_data(63), 127u);
+}
+
+TEST(AzcsDevice, FullRegionWriteIsOneSequentialRun) {
+  auto raw = raw_smr();
+  SmrModel* smr = raw.get();
+  AzcsDevice dev(std::move(raw));
+
+  // Writing data blocks 0..62 appends the checksum block at physical 63:
+  // a single 64-block sequential run, no seeks, no out-of-place updates.
+  dev.write_batch({{0, 63}});
+  EXPECT_EQ(dev.checksum_writes(), 1u);
+  EXPECT_EQ(dev.checksum_rewrites(), 0u);
+  EXPECT_EQ(dev.checksum_flushes(), 0u);
+  EXPECT_EQ(smr->seeks_performed(), 0u);
+  EXPECT_EQ(smr->cache_update_events(), 0u);
+  EXPECT_EQ(smr->zone_high(0), 64u);
+}
+
+TEST(AzcsDevice, MultiRegionSweepStaysSequential) {
+  auto raw = raw_smr();
+  SmrModel* smr = raw.get();
+  AzcsDevice dev(std::move(raw));
+
+  dev.write_batch({{0, 63 * 4}});  // four whole regions
+  EXPECT_EQ(dev.checksum_writes(), 4u);
+  EXPECT_EQ(dev.checksum_rewrites(), 0u);
+  EXPECT_EQ(smr->seeks_performed(), 0u);
+  EXPECT_EQ(smr->cache_update_events(), 0u);
+}
+
+TEST(AzcsDevice, ContiguousBatchesKeepChecksumBuffered) {
+  // Tetris-sized batches that continue each other exactly behave like one
+  // long sweep: the straddled region's checksum block stays buffered and
+  // is written once, in sequence, when the region completes.
+  auto raw = raw_smr();
+  SmrModel* smr = raw.get();
+  AzcsDevice dev(std::move(raw));
+
+  dev.write_batch({{0, 64}});  // ends 1 block into region 1
+  EXPECT_TRUE(dev.has_pending_region());
+  dev.write_batch({{64, 64}});  // continues seamlessly
+  dev.write_batch({{128, 61}});  // completes region 2 exactly (189 = 63*3)
+  EXPECT_EQ(dev.checksum_writes(), 3u);
+  EXPECT_EQ(dev.checksum_flushes(), 0u);
+  EXPECT_EQ(dev.checksum_rewrites(), 0u);
+  EXPECT_EQ(smr->seeks_performed(), 0u);
+  EXPECT_EQ(smr->cache_update_events(), 0u);
+  EXPECT_FALSE(dev.has_pending_region());
+}
+
+TEST(AzcsDevice, JumpFlushesPendingChecksumAndLaterRewrites) {
+  // The Figure 4 (B) pathology: an AA boundary cuts through a region.  The
+  // stream jumps away mid-region, forcing the checksum block out early;
+  // filling the remainder later rewrites it behind the SMR high-water
+  // mark, which costs an out-of-place update.
+  auto raw = raw_smr(64 * 64 * 4);
+  SmrModel* smr = raw.get();
+  AzcsDevice dev(std::move(raw));
+
+  dev.write_batch({{0, 40}});  // stops mid-region 0
+  EXPECT_TRUE(dev.has_pending_region());
+  EXPECT_EQ(dev.checksum_writes(), 0u);  // still buffered
+
+  dev.write_batch({{1000, 26}});  // jump: flush forced
+  EXPECT_EQ(dev.checksum_flushes(), 1u);
+  EXPECT_GE(dev.checksum_writes(), 1u);
+
+  dev.write_batch({{40, 23}});  // complete region 0 much later
+  EXPECT_EQ(dev.checksum_rewrites(), 1u);
+  EXPECT_GT(smr->cache_update_events(), 0u);  // rewrite was behind the mark
+}
+
+TEST(AzcsDevice, InvalidateResetsEmptyRegion) {
+  auto raw = raw_smr();
+  AzcsDevice dev(std::move(raw));
+  dev.write_batch({{0, 63}});
+  EXPECT_EQ(dev.checksum_rewrites(), 0u);
+  for (Dbn d = 0; d < 63; ++d) {
+    dev.invalidate(d);
+  }
+  // Region fully invalidated: a fresh fill is NOT a rewrite.
+  dev.write_batch({{0, 63}});
+  EXPECT_EQ(dev.checksum_rewrites(), 0u);
+}
+
+TEST(AzcsDevice, InvalidateInPendingRegionFlushesIfLiveBlocksRemain) {
+  auto raw = raw_smr();
+  AzcsDevice dev(std::move(raw));
+  dev.write_batch({{0, 40}});
+  EXPECT_TRUE(dev.has_pending_region());
+  dev.invalidate(5);  // 39 live blocks remain: identifiers must persist
+  EXPECT_FALSE(dev.has_pending_region());
+  EXPECT_EQ(dev.checksum_flushes(), 1u);
+}
+
+TEST(AzcsDevice, WriteAmplificationDelegates) {
+  auto raw = raw_smr();
+  AzcsDevice dev(std::move(raw));
+  dev.write_batch({{0, 40}});
+  dev.write_batch({{1000, 26}});  // flush
+  dev.write_batch({{40, 23}});    // rewrite behind the mark
+  EXPECT_GT(dev.write_amplification(), 1.0);
+  dev.reset_wear_window();
+  EXPECT_DOUBLE_EQ(dev.write_amplification(), 1.0);
+}
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,84 @@
+#include "device/hdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wafl {
+namespace {
+
+TEST(HddModel, Metadata) {
+  HddModel hdd(100000);
+  EXPECT_EQ(hdd.media_type(), MediaType::kHdd);
+  EXPECT_EQ(hdd.capacity_blocks(), 100000u);
+  EXPECT_DOUBLE_EQ(hdd.write_amplification(), 1.0);
+}
+
+TEST(HddModel, SeekTimeProperties) {
+  HddParams p;
+  HddModel hdd(1'000'000, p);
+  EXPECT_EQ(hdd.seek_time(10, 10), 0u);
+  // Short seeks cost at least the minimum, less than the average.
+  const SimTime short_seek = hdd.seek_time(0, 1);
+  EXPECT_GE(short_seek, p.min_seek_ns);
+  EXPECT_LT(short_seek, p.avg_seek_ns);
+  // Longer seeks cost more, capped near full-stroke.
+  const SimTime mid = hdd.seek_time(0, 100'000);
+  const SimTime full = hdd.seek_time(0, 999'999);
+  EXPECT_GT(mid, short_seek);
+  EXPECT_GT(full, mid);
+  EXPECT_LE(full, p.min_seek_ns + p.avg_seek_ns);
+  // Symmetric.
+  EXPECT_EQ(hdd.seek_time(0, 5000), hdd.seek_time(5000, 0));
+}
+
+TEST(HddModel, SequentialContinuationSkipsSeek) {
+  HddParams p;
+  HddModel hdd(1'000'000, p);
+  const std::vector<WriteRun> first = {{0, 64}};
+  hdd.write_batch(first, 0);
+  EXPECT_EQ(hdd.seeks_performed(), 0u);  // head starts at 0
+
+  // Continues exactly where the head is: pure transfer.
+  const std::vector<WriteRun> cont = {{64, 64}};
+  const SimTime t = hdd.write_batch(cont, 0);
+  EXPECT_EQ(hdd.seeks_performed(), 0u);
+  EXPECT_EQ(t, 64u * p.block_transfer_ns);
+}
+
+TEST(HddModel, OneLongChainBeatsManyShortChains) {
+  HddParams p;
+  HddModel a(1'000'000, p);
+  HddModel b(1'000'000, p);
+
+  // Same 256 blocks: one chain vs 16 scattered chains.
+  const std::vector<WriteRun> chain = {{1000, 256}};
+  std::vector<WriteRun> scattered;
+  for (int i = 0; i < 16; ++i) {
+    scattered.push_back({static_cast<Dbn>(1000 + i * 50'000), 16});
+  }
+  const SimTime t_chain = a.write_batch(chain, 0);
+  const SimTime t_scattered = b.write_batch(scattered, 0);
+  EXPECT_LT(t_chain * 5, t_scattered);  // long chains win big (§2.4)
+  EXPECT_EQ(b.seeks_performed(), 16u);
+  EXPECT_EQ(a.blocks_written(), 256u);
+  EXPECT_EQ(b.blocks_written(), 256u);
+}
+
+TEST(HddModel, ParityReadsCharged) {
+  HddParams p;
+  HddModel hdd(1'000'000, p);
+  const SimTime t0 = hdd.write_batch({}, 0);
+  const SimTime t10 = hdd.write_batch({}, 10);
+  EXPECT_EQ(t0, 0u);
+  EXPECT_EQ(t10, 10u * (p.min_seek_ns + p.block_transfer_ns));
+}
+
+TEST(HddModel, RandomReadsCostFullSeeks) {
+  HddParams p;
+  HddModel hdd(1'000'000, p);
+  EXPECT_EQ(hdd.read_random(4), 4u * (p.avg_seek_ns + p.block_transfer_ns));
+}
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,58 @@
+#include "device/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wafl {
+namespace {
+
+TEST(ObjectStoreModel, Metadata) {
+  ObjectStoreModel os(1'000'000);
+  EXPECT_EQ(os.media_type(), MediaType::kObjectStore);
+  EXPECT_EQ(os.capacity_blocks(), 1'000'000u);
+  EXPECT_DOUBLE_EQ(os.write_amplification(), 1.0);
+}
+
+TEST(ObjectStoreModel, OnePutPerRunChunk) {
+  ObjectStoreParams p;
+  p.max_put_blocks = 100;
+  ObjectStoreModel os(10'000, p);
+  os.write_batch({{0, 100}}, 0);
+  EXPECT_EQ(os.puts_issued(), 1u);
+  os.write_batch({{100, 250}}, 0);
+  EXPECT_EQ(os.puts_issued(), 1u + 3u);  // 250 blocks => 3 PUTs
+  EXPECT_EQ(os.blocks_put(), 350u);
+}
+
+TEST(ObjectStoreModel, ColocationReducesPuts) {
+  ObjectStoreParams p;
+  ObjectStoreModel contiguous(100'000, p);
+  ObjectStoreModel scattered(100'000, p);
+
+  contiguous.write_batch({{0, 1024}}, 0);
+  std::vector<WriteRun> many;
+  for (int i = 0; i < 64; ++i) {
+    many.push_back({static_cast<Dbn>(i * 1000), 16});
+  }
+  scattered.write_batch(many, 0);
+
+  EXPECT_EQ(contiguous.blocks_put(), scattered.blocks_put());
+  EXPECT_LT(contiguous.puts_issued(), scattered.puts_issued());
+}
+
+TEST(ObjectStoreModel, TimeScalesWithPutsAndBlocks) {
+  ObjectStoreParams p;
+  ObjectStoreModel os(10'000, p);
+  const SimTime one = os.write_batch({{0, 1}}, 0);
+  EXPECT_EQ(one, p.put_overhead_ns + p.block_transfer_ns);
+  const SimTime reads = os.write_batch({}, 2);
+  EXPECT_EQ(reads, 2u * (p.get_overhead_ns + p.block_transfer_ns));
+}
+
+TEST(ObjectStoreModel, RandomReadCost) {
+  ObjectStoreParams p;
+  ObjectStoreModel os(10'000, p);
+  EXPECT_EQ(os.read_random(3), 3u * (p.get_overhead_ns + p.block_transfer_ns));
+}
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,114 @@
+#include "device/smr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wafl {
+namespace {
+
+SmrParams small_zones() {
+  SmrParams p;
+  p.zone_blocks = 256;
+  return p;
+}
+
+TEST(SmrModel, Construction) {
+  SmrModel smr(4096, small_zones());
+  EXPECT_EQ(smr.media_type(), MediaType::kSmr);
+  EXPECT_EQ(smr.capacity_blocks(), 4096u);
+  EXPECT_EQ(smr.zone_count(), 16u);
+  EXPECT_DOUBLE_EQ(smr.write_amplification(), 1.0);
+}
+
+TEST(SmrModel, SequentialAppendIsCheap) {
+  SmrParams p = small_zones();
+  SmrModel smr(4096, p);
+  const SimTime t = smr.write_batch({{0, 256}});
+  EXPECT_EQ(t, 256u * p.block_transfer_ns);  // starts at head position 0
+  EXPECT_EQ(smr.cache_update_events(), 0u);
+  EXPECT_EQ(smr.zone_high(0), 256u);
+}
+
+TEST(SmrModel, RunSpanningZonesAdvancesBothHighMarks) {
+  SmrModel smr(4096, small_zones());
+  smr.write_batch({{200, 112}});  // crosses the zone-0/zone-1 boundary
+  EXPECT_EQ(smr.zone_high(0), 256u);
+  EXPECT_EQ(smr.zone_high(1), 56u);
+  EXPECT_EQ(smr.cache_update_events(), 0u);
+}
+
+TEST(SmrModel, RewriteBehindHighMarkIsOutOfPlace) {
+  SmrParams p = small_zones();
+  SmrModel smr(4096, p);
+  smr.write_batch({{0, 100}});
+  EXPECT_EQ(smr.cache_update_events(), 0u);
+
+  // Rewriting block 50 lands behind the shingle high-water mark: the
+  // drive absorbs it out of place and pays cleaning amplification.
+  const SimTime t = smr.write_batch({{50, 1}});
+  EXPECT_EQ(smr.cache_update_events(), 1u);
+  EXPECT_EQ(smr.cache_update_blocks(), 1u);
+  EXPECT_EQ(t, p.seek_ns + p.block_transfer_ns * p.cleaning_write_factor);
+  EXPECT_GT(smr.write_amplification(), 1.0);
+  // Out-of-place: the zone's high mark is unchanged.
+  EXPECT_EQ(smr.zone_high(0), 100u);
+}
+
+TEST(SmrModel, OverlapRunPartiallyBehindHighMark) {
+  SmrParams p = small_zones();
+  SmrModel smr(4096, p);
+  smr.write_batch({{0, 100}});
+  // Run [90, 120): 10 blocks behind the mark (out of place), 20 appended.
+  smr.write_batch({{90, 30}});
+  EXPECT_EQ(smr.cache_update_events(), 1u);
+  EXPECT_EQ(smr.cache_update_blocks(), 10u);
+  EXPECT_EQ(smr.zone_high(0), 120u);
+}
+
+TEST(SmrModel, ForwardJumpWithinZoneIsSafe) {
+  SmrModel smr(4096, small_zones());
+  smr.write_batch({{0, 10}});
+  smr.write_batch({{100, 10}});  // ahead of high mark: nothing shingled
+  EXPECT_EQ(smr.cache_update_events(), 0u);
+  EXPECT_EQ(smr.zone_high(0), 110u);
+  EXPECT_EQ(smr.seeks_performed(), 1u);  // the jump cost a seek
+}
+
+TEST(SmrModel, IndependentZones) {
+  SmrModel smr(4096, small_zones());
+  smr.write_batch({{0, 256}});   // fill zone 0
+  smr.write_batch({{256, 10}});  // append in zone 1
+  EXPECT_EQ(smr.cache_update_events(), 0u);
+  // Rewriting in zone 1 does not care about zone 0's fill.
+  smr.write_batch({{256, 5}});
+  EXPECT_EQ(smr.cache_update_events(), 1u);
+  EXPECT_EQ(smr.cache_update_blocks(), 5u);
+}
+
+TEST(SmrModel, SeekChargedOnDiscontiguousRuns) {
+  SmrModel smr(4096, small_zones());
+  smr.write_batch({{0, 64}});
+  EXPECT_EQ(smr.seeks_performed(), 0u);
+  smr.write_batch({{64, 64}});  // continues: no seek
+  EXPECT_EQ(smr.seeks_performed(), 0u);
+  smr.write_batch({{1024, 64}});  // jump: seek
+  EXPECT_EQ(smr.seeks_performed(), 1u);
+}
+
+TEST(SmrModel, WearWindowResets) {
+  SmrModel smr(4096, small_zones());
+  smr.write_batch({{0, 100}});
+  smr.write_batch({{0, 100}});  // full overlap rewrite
+  EXPECT_GT(smr.write_amplification(), 1.0);
+  smr.reset_wear_window();
+  EXPECT_DOUBLE_EQ(smr.write_amplification(), 1.0);
+}
+
+TEST(SmrModel, ParityReadCharge) {
+  SmrParams p = small_zones();
+  SmrModel smr(4096, p);
+  const SimTime t = smr.write_batch({}, 8);
+  EXPECT_EQ(t, 8u * (p.block_transfer_ns + p.seek_ns / 8));
+}
+
+}  // namespace
+}  // namespace wafl

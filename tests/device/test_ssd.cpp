@@ -1,0 +1,150 @@
+#include "device/ssd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wafl {
+namespace {
+
+SsdParams small_params() {
+  SsdParams p;
+  p.pages_per_erase_block = 64;
+  p.op_fraction = 0.10;
+  p.gc_reserve_blocks = 3;
+  return p;
+}
+
+TEST(SsdModel, Construction) {
+  SsdModel ssd(10'000, small_params());
+  EXPECT_EQ(ssd.media_type(), MediaType::kSsd);
+  EXPECT_EQ(ssd.capacity_blocks(), 10'000u);
+  // Over-provisioned physical space.
+  EXPECT_GT(ssd.physical_pages(), 10'000u);
+  EXPECT_DOUBLE_EQ(ssd.write_amplification(), 1.0);
+  EXPECT_EQ(ssd.valid_pages(), 0u);
+}
+
+TEST(SsdModel, SequentialFillHasUnitWriteAmp) {
+  SsdModel ssd(10'000, small_params());
+  for (Dbn start = 0; start < 10'000; start += 500) {
+    const std::vector<WriteRun> runs = {{start, 500}};
+    ssd.write_batch(runs, 0);
+  }
+  EXPECT_EQ(ssd.host_programs(), 10'000u);
+  EXPECT_EQ(ssd.valid_pages(), 10'000u);
+  // First fill of an empty drive relocates nothing.
+  EXPECT_EQ(ssd.gc_relocations(), 0u);
+  EXPECT_DOUBLE_EQ(ssd.write_amplification(), 1.0);
+}
+
+TEST(SsdModel, OverwritesInvalidateOldPages) {
+  SsdModel ssd(1'000, small_params());
+  const std::vector<WriteRun> runs = {{0, 100}};
+  ssd.write_batch(runs, 0);
+  EXPECT_EQ(ssd.valid_pages(), 100u);
+  ssd.write_batch(runs, 0);  // overwrite the same LBAs
+  EXPECT_EQ(ssd.valid_pages(), 100u);
+  EXPECT_EQ(ssd.host_programs(), 200u);
+}
+
+TEST(SsdModel, RandomChurnForcesGcAndWriteAmp) {
+  SsdModel ssd(8'192, small_params());
+  // Fill completely, then random-overwrite far more than the OP headroom.
+  ssd.write_batch({{0, 8'192}}, 0);
+  Rng rng(3);
+  for (int i = 0; i < 40'000; ++i) {
+    const Dbn d = rng.below(8'192);
+    ssd.write_batch({{d, 1}}, 0);
+  }
+  EXPECT_GT(ssd.gc_relocations(), 0u);
+  EXPECT_GT(ssd.erases(), 0u);
+  EXPECT_GT(ssd.write_amplification(), 1.2);
+  // The FTL never loses data: every LBA still mapped exactly once.
+  EXPECT_EQ(ssd.valid_pages(), 8'192u);
+}
+
+TEST(SsdModel, TrimReducesGcWork) {
+  // Two identical drives; one gets invalidate() (file-system frees), which
+  // must reduce relocation work.
+  const std::uint64_t cap = 8'192;
+  SsdModel with_trim(cap, small_params());
+  SsdModel without_trim(cap, small_params());
+  with_trim.write_batch({{0, cap}}, 0);
+  without_trim.write_batch({{0, cap}}, 0);
+
+  Rng rng(11);
+  for (int round = 0; round < 8; ++round) {
+    for (std::uint64_t i = 0; i < cap / 2; ++i) {
+      const Dbn d = rng.below(cap);
+      with_trim.invalidate(d);
+      with_trim.write_batch({{d, 1}}, 0);
+      without_trim.write_batch({{d, 1}}, 0);
+    }
+  }
+  EXPECT_LE(with_trim.gc_relocations(), without_trim.gc_relocations());
+}
+
+TEST(SsdModel, SequentialOverwriteCheaperThanRandom) {
+  // The §3.2.2 effect in miniature: rewriting whole erase blocks leaves no
+  // valid pages for GC to move; scattered rewrites strand valid pages.
+  const std::uint64_t cap = 8'192;
+  SsdModel seq(cap, small_params());
+  SsdModel rnd(cap, small_params());
+  seq.write_batch({{0, cap}}, 0);
+  rnd.write_batch({{0, cap}}, 0);
+  seq.reset_wear_window();
+  rnd.reset_wear_window();
+
+  Rng rng(7);
+  // Equal volume: 4 full drive-writes.
+  for (int pass = 0; pass < 4; ++pass) {
+    for (Dbn start = 0; start < cap; start += 64) {
+      seq.write_batch({{start, 64}}, 0);  // erase-block aligned sweeps
+    }
+    for (std::uint64_t i = 0; i < cap / 64; ++i) {
+      // Same count of 64-block writes but at scattered unaligned offsets.
+      const Dbn start = rng.below(cap - 64);
+      rnd.write_batch({{start, 64}}, 0);
+    }
+  }
+  EXPECT_LT(seq.write_amplification(), rnd.write_amplification());
+}
+
+TEST(SsdModel, WearWindowResets) {
+  SsdModel ssd(8'192, small_params());
+  ssd.write_batch({{0, 8'192}}, 0);
+  Rng rng(5);
+  for (int i = 0; i < 20'000; ++i) {
+    ssd.write_batch({{rng.below(8'192), 1}}, 0);
+  }
+  EXPECT_GT(ssd.write_amplification(), 1.0);
+  ssd.reset_wear_window();
+  EXPECT_DOUBLE_EQ(ssd.write_amplification(), 1.0);
+}
+
+TEST(SsdModel, WriteTimeScalesWithPrograms) {
+  SsdParams p = small_params();
+  SsdModel ssd(8'192, p);
+  const SimTime t1 = ssd.write_batch({{0, 10}}, 0);
+  EXPECT_EQ(t1, 10u * p.program_ns);
+  const SimTime t2 = ssd.write_batch({{100, 100}}, 0);
+  EXPECT_EQ(t2, 100u * p.program_ns);
+}
+
+TEST(SsdModel, ReadTime) {
+  SsdParams p = small_params();
+  SsdModel ssd(1'000, p);
+  EXPECT_EQ(ssd.read_random(7), 7u * p.read_ns);
+}
+
+TEST(SsdModel, InvalidateUnmappedIsNoop) {
+  SsdModel ssd(1'000, small_params());
+  ssd.invalidate(500);
+  EXPECT_EQ(ssd.valid_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,138 @@
+#include "device/ssd_block_mapped.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wafl {
+namespace {
+
+SsdParams params_64() {
+  SsdParams p;
+  p.pages_per_erase_block = 64;
+  return p;
+}
+
+TEST(BlockMappedSsd, Construction) {
+  BlockMappedSsdModel ssd(1024, params_64());
+  EXPECT_EQ(ssd.media_type(), MediaType::kSsd);
+  EXPECT_EQ(ssd.capacity_blocks(), 1024u);
+  EXPECT_EQ(ssd.group_count(), 16u);
+  EXPECT_DOUBLE_EQ(ssd.write_amplification(), 1.0);
+  EXPECT_FALSE(ssd.has_open_group());
+}
+
+TEST(BlockMappedSsd, WholeGroupSweepsNeverRelocate) {
+  BlockMappedSsdModel ssd(1024, params_64());
+  // Fill the drive in erase-block-sized sequential sweeps, twice.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (Dbn g = 0; g < 16; ++g) {
+      ssd.write_batch({{g * 64, 64}});
+    }
+  }
+  // Each group is fully rewritten before the stream leaves it: the merge
+  // has nothing to relocate (Figure 4 B's ideal).
+  EXPECT_EQ(ssd.merge_relocations(), 0u);
+  EXPECT_DOUBLE_EQ(ssd.write_amplification(), 1.0);
+  EXPECT_EQ(ssd.host_programs(), 2048u);
+}
+
+TEST(BlockMappedSsd, PartialGroupStreamRelocatesRemainder) {
+  BlockMappedSsdModel ssd(1024, params_64());
+  ssd.write_batch({{0, 64}});  // group 0 fully valid
+  // Rewrite only half of group 0, then leave for group 5: the merge must
+  // move the untouched 32 live blocks (Figure 4 A's partial erase block).
+  ssd.write_batch({{0, 32}});
+  EXPECT_EQ(ssd.merge_relocations(), 0u);  // still open
+  ssd.write_batch({{5 * 64, 64}});         // stream leaves group 0
+  EXPECT_EQ(ssd.merge_relocations(), 32u);
+  EXPECT_GT(ssd.write_amplification(), 1.0);
+}
+
+TEST(BlockMappedSsd, RelocationSkipsInvalidatedBlocks) {
+  BlockMappedSsdModel ssd(1024, params_64());
+  ssd.write_batch({{0, 64}});
+  // Free 20 of the group's blocks (file-system TRIM at the CP boundary).
+  for (Dbn b = 10; b < 30; ++b) {
+    ssd.invalidate(b);
+  }
+  ssd.write_batch({{0, 8}});         // rewrite a little
+  ssd.write_batch({{5 * 64, 1}});    // leave: merge
+  // Untouched live blocks: 64 - 20 invalid - 8 rewritten (blocks 0..7 are
+  // outside the invalidated range) = 36.
+  EXPECT_EQ(ssd.merge_relocations(), 36u);
+}
+
+TEST(BlockMappedSsd, WriteAmpApproachesInverseFreeFraction) {
+  // Stream-rewriting groups that are 75% free relocates ~25% per group:
+  // WA -> 1 / 0.75.  This is the §3.2.2 relationship the AA cache exploits.
+  BlockMappedSsdModel ssd(4096, params_64());
+  ssd.write_batch({{0, 4096}});  // all valid
+  // Free 75% of every group (every block except each fourth).
+  for (Dbn b = 0; b < 4096; ++b) {
+    if (b % 4 != 0) ssd.invalidate(b);
+  }
+  ssd.reset_wear_window();
+  // Rewrite the free space group by group: the allocator writes the free
+  // blocks (3 of each 4), the merge relocates the kept fourth.
+  for (Dbn g = 0; g < 64; ++g) {
+    const Dbn base = g * 64;
+    std::vector<WriteRun> runs;
+    for (Dbn b = base; b < base + 64; ++b) {
+      if (b % 4 != 0) {
+        if (!runs.empty() &&
+            runs.back().start + runs.back().length == b) {
+          ++runs.back().length;
+        } else {
+          runs.push_back({b, 1});
+        }
+      }
+    }
+    ssd.write_batch(std::span<const WriteRun>(runs.data(), runs.size()), 0);
+  }
+  ssd.write_batch({{0, 1}});  // close the last group
+  EXPECT_NEAR(ssd.write_amplification(), 4.0 / 3.0, 0.05);
+}
+
+TEST(BlockMappedSsd, ErasesCountedOncePerReclaimedBlock) {
+  BlockMappedSsdModel ssd(1024, params_64());
+  ssd.write_batch({{0, 64}});
+  ssd.write_batch({{64, 64}});  // closes group 0: first write, no erase
+  EXPECT_EQ(ssd.erases(), 0u);
+  ssd.write_batch({{0, 64}});   // closes group 1 (same: fresh)
+  ssd.write_batch({{64, 1}});   // closes group 0 again: now an erase
+  EXPECT_EQ(ssd.erases(), 1u);
+}
+
+TEST(BlockMappedSsd, TimeIncludesMergeWork) {
+  SsdParams p = params_64();
+  BlockMappedSsdModel ssd(1024, p);
+  ssd.write_batch({{0, 64}});
+  ssd.write_batch({{0, 16}});  // reopen group 0 partially
+  const SimTime t = ssd.write_batch({{5 * 64, 4}});
+  // 4 programs + merge of 48 untouched blocks (read+program) + erase.
+  EXPECT_EQ(t, 4u * p.program_ns +
+                   48u * (p.program_ns + p.read_ns) + p.erase_ns);
+}
+
+TEST(BlockMappedSsd, RunSpanningGroupsClosesEachOnCompletion) {
+  BlockMappedSsdModel ssd(1024, params_64());
+  ssd.write_batch({{0, 256}});  // four whole groups in one run
+  EXPECT_EQ(ssd.merge_relocations(), 0u);
+  EXPECT_EQ(ssd.merges(), 4u);  // every group completed and closed
+  EXPECT_FALSE(ssd.has_open_group());
+  ssd.write_batch({{256, 10}});  // partial fifth group stays open
+  EXPECT_TRUE(ssd.has_open_group());
+}
+
+TEST(BlockMappedSsd, ValidBlocksTracked) {
+  BlockMappedSsdModel ssd(1024, params_64());
+  ssd.write_batch({{0, 100}});
+  EXPECT_EQ(ssd.valid_blocks(), 100u);
+  ssd.invalidate(5);
+  ssd.invalidate(6);
+  EXPECT_EQ(ssd.valid_blocks(), 98u);
+  ssd.write_batch({{5, 1}});  // rewrite one freed block
+  EXPECT_EQ(ssd.valid_blocks(), 99u);
+}
+
+}  // namespace
+}  // namespace wafl

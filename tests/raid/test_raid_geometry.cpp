@@ -1,0 +1,111 @@
+#include "raid/raid_geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wafl {
+namespace {
+
+TEST(RaidGeometry, BasicDerivedQuantities) {
+  const RaidGeometry g(6, 1, 4096);
+  EXPECT_EQ(g.data_devices(), 6u);
+  EXPECT_EQ(g.parity_devices(), 1u);
+  EXPECT_EQ(g.total_devices(), 7u);
+  EXPECT_EQ(g.stripes(), 4096u);
+  EXPECT_EQ(g.data_blocks(), 6u * 4096u);
+  EXPECT_EQ(g.tetrises(), 64u);
+  EXPECT_EQ(g.blocks_per_tetris(), 6u * 64u);
+}
+
+TEST(RaidGeometry, FirstTetrisLayout) {
+  // VBNs 0..63 on device 0, 64..127 on device 1, etc. (tetris-major
+  // device-major ordering).
+  const RaidGeometry g(3, 1, 256);
+  EXPECT_EQ(g.to_location(0), (BlockLocation{0, 0}));
+  EXPECT_EQ(g.to_location(63), (BlockLocation{0, 63}));
+  EXPECT_EQ(g.to_location(64), (BlockLocation{1, 0}));
+  EXPECT_EQ(g.to_location(191), (BlockLocation{2, 63}));
+  // Next tetris: device 0, dbn 64.
+  EXPECT_EQ(g.to_location(192), (BlockLocation{0, 64}));
+}
+
+TEST(RaidGeometry, RoundTripAllBlocksSmallGroup) {
+  const RaidGeometry g(4, 2, 192);
+  for (Vbn v = 0; v < g.data_blocks(); ++v) {
+    const BlockLocation loc = g.to_location(v);
+    EXPECT_LT(loc.device, g.data_devices());
+    EXPECT_LT(loc.dbn, g.device_blocks());
+    EXPECT_EQ(g.to_vbn(loc), v);
+  }
+}
+
+TEST(RaidGeometry, RoundTripFromLocations) {
+  const RaidGeometry g(5, 1, 128);
+  for (DeviceId d = 0; d < g.data_devices(); ++d) {
+    for (Dbn dbn = 0; dbn < g.device_blocks(); ++dbn) {
+      const Vbn v = g.to_vbn({d, dbn});
+      EXPECT_LT(v, g.data_blocks());
+      EXPECT_EQ(g.to_location(v), (BlockLocation{d, dbn}));
+    }
+  }
+}
+
+TEST(RaidGeometry, MappingIsBijective) {
+  const RaidGeometry g(3, 1, 192);
+  std::vector<bool> seen(g.data_blocks(), false);
+  for (DeviceId d = 0; d < 3; ++d) {
+    for (Dbn dbn = 0; dbn < 192; ++dbn) {
+      const Vbn v = g.to_vbn({d, dbn});
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(RaidGeometry, ConsecutiveVbnsAreDeviceChains) {
+  // Within a 64-block chunk, consecutive VBNs are consecutive dbns on one
+  // device — the long-write-chain property (§2.4).
+  const RaidGeometry g(4, 1, 256);
+  for (Vbn v = 0; v + 1 < g.data_blocks(); ++v) {
+    const BlockLocation a = g.to_location(v);
+    const BlockLocation b = g.to_location(v + 1);
+    if ((v + 1) % kTetrisStripes != 0) {
+      EXPECT_EQ(a.device, b.device);
+      EXPECT_EQ(a.dbn + 1, b.dbn);
+    }
+  }
+}
+
+TEST(RaidGeometry, StripeAndTetrisOf) {
+  const RaidGeometry g(3, 1, 256);
+  EXPECT_EQ(g.stripe_of(0), 0u);
+  EXPECT_EQ(g.stripe_of(63), 63u);
+  EXPECT_EQ(g.stripe_of(64), 0u);  // device 1, dbn 0 => stripe 0
+  EXPECT_EQ(g.tetris_of(0), 0u);
+  EXPECT_EQ(g.tetris_of(3 * 64 - 1), 0u);
+  EXPECT_EQ(g.tetris_of(3 * 64), 1u);
+  EXPECT_EQ(g.tetris_base_vbn(1), 3u * 64u);
+}
+
+TEST(RaidGeometry, AaIsContiguousVbnRange) {
+  // S consecutive stripes (a multiple of the tetris depth) are exactly
+  // S * data_devices consecutive VBNs — the Figure 3 property.
+  const RaidGeometry g(3, 1, 512);
+  const std::uint32_t aa_stripes = 128;
+  const std::uint64_t aa_blocks = aa_stripes * g.data_devices();
+  // All blocks of AA 1 (VBNs [aa_blocks, 2*aa_blocks)) must sit in stripes
+  // [128, 256).
+  for (Vbn v = aa_blocks; v < 2 * aa_blocks; ++v) {
+    const StripeId s = g.stripe_of(v);
+    EXPECT_GE(s, 128u);
+    EXPECT_LT(s, 256u);
+  }
+}
+
+TEST(RaidGeometryDeathTest, NonTetrisAlignedDeviceAsserts) {
+  EXPECT_DEATH(RaidGeometry(4, 1, 100), "");
+}
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,165 @@
+#include "raid/tetris.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "raid/raid_group.hpp"
+
+namespace wafl {
+namespace {
+
+/// Occupancy helper: a set of in-use group-local VBNs.
+struct Occupancy {
+  std::unordered_set<Vbn> used;
+  bool operator()(Vbn v) const { return used.contains(v); }
+};
+
+TEST(TetrisBuilder, EmptyWindowFullStripes) {
+  // Writing every block of an empty tetris => 64 full stripes, no reads.
+  const RaidGeometry g(3, 1, 128);
+  TetrisBuilder builder(g);
+  std::vector<Vbn> writes;
+  for (Vbn v = 0; v < g.blocks_per_tetris(); ++v) {
+    writes.push_back(v);
+  }
+  const TetrisWrite tw = builder.build(0, writes, Occupancy{});
+  EXPECT_EQ(tw.full_stripes, 64u);
+  EXPECT_EQ(tw.partial_stripes, 0u);
+  EXPECT_EQ(tw.untouched_stripes, 0u);
+  EXPECT_EQ(tw.parity_read_blocks, 0u);
+  EXPECT_EQ(tw.data_blocks_written, g.blocks_per_tetris());
+  EXPECT_EQ(tw.parity_blocks_written, 64u);
+  // One maximal chain per data device plus one on the parity device.
+  EXPECT_EQ(tw.total_chains(), 4u);
+  ASSERT_EQ(tw.device_runs.size(), 3u);
+  for (const auto& runs : tw.device_runs) {
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0], (WriteRun{0, 64}));
+  }
+  ASSERT_EQ(tw.parity_runs.size(), 1u);
+  EXPECT_EQ(tw.parity_runs[0][0], (WriteRun{0, 64}));
+}
+
+TEST(TetrisBuilder, SingleBlockIsPartialStripe) {
+  const RaidGeometry g(4, 1, 128);
+  TetrisBuilder builder(g);
+  const std::vector<Vbn> writes = {0};
+  const TetrisWrite tw = builder.build(0, writes, Occupancy{});
+  EXPECT_EQ(tw.full_stripes, 0u);
+  EXPECT_EQ(tw.partial_stripes, 1u);
+  EXPECT_EQ(tw.untouched_stripes, 63u);
+  // min(w + p, d - w) = min(1 + 1, 4 - 1) = 2 reads.
+  EXPECT_EQ(tw.parity_read_blocks, 2u);
+  EXPECT_EQ(tw.parity_blocks_written, 1u);
+}
+
+TEST(TetrisBuilder, StripeWithResidentDataIsPartial) {
+  // Stripe 0 has an in-use block on device 2; writing the other blocks is
+  // a partial stripe even though every free block is filled.
+  const RaidGeometry g(3, 1, 128);
+  TetrisBuilder builder(g);
+  Occupancy occ;
+  occ.used.insert(g.to_vbn({2, 0}));  // device 2, stripe 0
+
+  std::vector<Vbn> writes = {g.to_vbn({0, 0}), g.to_vbn({1, 0})};
+  std::sort(writes.begin(), writes.end());
+  const TetrisWrite tw = builder.build(0, writes, occ);
+  EXPECT_EQ(tw.full_stripes, 0u);
+  EXPECT_EQ(tw.partial_stripes, 1u);
+  // min(w + p, d - w) = min(2 + 1, 3 - 2) = 1 read.
+  EXPECT_EQ(tw.parity_read_blocks, 1u);
+}
+
+TEST(TetrisBuilder, MixedFullAndPartial) {
+  const RaidGeometry g(2, 1, 128);
+  TetrisBuilder builder(g);
+  Occupancy occ;
+  occ.used.insert(g.to_vbn({1, 5}));  // stripe 5 partially occupied
+
+  // Write every free block of the window.
+  std::vector<Vbn> writes;
+  for (Vbn v = 0; v < g.blocks_per_tetris(); ++v) {
+    if (!occ(v)) writes.push_back(v);
+  }
+  const TetrisWrite tw = builder.build(0, writes, occ);
+  EXPECT_EQ(tw.full_stripes, 63u);
+  EXPECT_EQ(tw.partial_stripes, 1u);
+  EXPECT_EQ(tw.untouched_stripes, 0u);
+  // Device 1 has a hole at dbn 5: two chains there, one on device 0.
+  ASSERT_EQ(tw.device_runs[1].size(), 2u);
+  EXPECT_EQ(tw.device_runs[1][0], (WriteRun{0, 5}));
+  EXPECT_EQ(tw.device_runs[1][1], (WriteRun{6, 58}));
+  EXPECT_EQ(tw.device_runs[0].size(), 1u);
+}
+
+TEST(TetrisBuilder, SecondTetrisWindowOffsets) {
+  const RaidGeometry g(3, 1, 256);
+  TetrisBuilder builder(g);
+  const Vbn base = g.tetris_base_vbn(2);
+  std::vector<Vbn> writes;
+  for (Vbn v = base; v < base + 64; ++v) {  // device 0's chunk of tetris 2
+    writes.push_back(v);
+  }
+  const TetrisWrite tw = builder.build(2, writes, Occupancy{});
+  ASSERT_EQ(tw.device_runs[0].size(), 1u);
+  EXPECT_EQ(tw.device_runs[0][0], (WriteRun{128, 64}));
+  EXPECT_TRUE(tw.device_runs[1].empty());
+  // Parity runs live in the same dbn window.
+  EXPECT_EQ(tw.parity_runs[0][0], (WriteRun{128, 64}));
+}
+
+TEST(TetrisBuilder, DualParityWritesBothDevices) {
+  const RaidGeometry g(4, 2, 128);
+  TetrisBuilder builder(g);
+  const std::vector<Vbn> writes = {0, 1};
+  const TetrisWrite tw = builder.build(0, writes, Occupancy{});
+  EXPECT_EQ(tw.parity_blocks_written, 4u);  // 2 stripes x 2 parity devices
+  ASSERT_EQ(tw.parity_runs.size(), 2u);
+  EXPECT_EQ(tw.parity_runs[0][0], (WriteRun{0, 2}));
+  EXPECT_EQ(tw.parity_runs[1][0], (WriteRun{0, 2}));
+  // Per stripe: w=1, min(1 + 2, 4 - 1) = 3 reads, 2 stripes => 6.
+  EXPECT_EQ(tw.parity_read_blocks, 6u);
+}
+
+TEST(TetrisBuilder, NoWrites) {
+  const RaidGeometry g(3, 1, 128);
+  TetrisBuilder builder(g);
+  const TetrisWrite tw = builder.build(0, {}, Occupancy{});
+  EXPECT_EQ(tw.touched_stripes(), 0u);
+  EXPECT_EQ(tw.untouched_stripes, 64u);
+  EXPECT_EQ(tw.total_chains(), 0u);
+}
+
+TEST(RaidGroupStats, AccumulateTracksPerDevice) {
+  const RaidGeometry g(3, 1, 128);
+  RaidGroup rg(0, g);
+  TetrisBuilder builder(g);
+  std::vector<Vbn> writes;
+  for (Vbn v = 0; v < 64; ++v) writes.push_back(v);  // device 0 only
+  const TetrisWrite tw = builder.build(0, writes, Occupancy{});
+  rg.stats().accumulate(tw);
+  EXPECT_EQ(rg.stats().data_blocks_per_device[0], 64u);
+  EXPECT_EQ(rg.stats().data_blocks_per_device[1], 0u);
+  EXPECT_EQ(rg.stats().parity_blocks_per_device[0], 64u);
+  EXPECT_EQ(rg.stats().tetrises_written, 1u);
+  EXPECT_EQ(rg.stats().partial_stripes, 64u);
+  EXPECT_DOUBLE_EQ(rg.stats().full_stripe_fraction(), 0.0);
+
+  rg.reset_stats();
+  EXPECT_EQ(rg.stats().tetrises_written, 0u);
+  EXPECT_EQ(rg.stats().data_blocks_per_device.size(), 3u);
+}
+
+TEST(TetrisBuilderDeathTest, WritingInUseBlockAsserts) {
+  const RaidGeometry g(3, 1, 128);
+  TetrisBuilder builder(g);
+  Occupancy occ;
+  occ.used.insert(0);
+  const std::vector<Vbn> writes = {0};
+  EXPECT_DEATH(builder.build(0, writes, occ), "in-use");
+}
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,73 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wafl {
+namespace {
+
+TEST(CostModel, CpCpuSumsTheCountedWork) {
+  CostModel cost;
+  CpStats s;
+  s.blocks_written = 10;
+  s.vol_meta_blocks = 2;
+  s.agg_meta_blocks = 3;
+  s.meta_flush_blocks = 5;
+  s.vol_bits_scanned = 100;
+  s.agg_bits_scanned = 200;
+  s.tetrises = 4;
+  s.vol_pick_free_frac.add(0.5);  // 1 switch
+  s.agg_pick_free_frac.add(0.5);  // 1 switch
+
+  const SimTime expect = 10 * cost.per_block_ns +
+                         (2 + 3) * cost.per_meta_block_ns +
+                         5 * cost.per_flush_block_ns +
+                         300 * cost.per_bit_scanned_ns +
+                         2 * cost.per_aa_switch_ns + 4 * cost.per_tetris_ns;
+  EXPECT_EQ(cost.cp_cpu_ns(s), expect);
+}
+
+TEST(CostModel, EmptyCpCostsNothing) {
+  CostModel cost;
+  EXPECT_EQ(cost.cp_cpu_ns(CpStats{}), 0u);
+  EXPECT_EQ(cost.cp_storage_ns(CpStats{}), 0u);
+}
+
+TEST(CostModel, StorageAddsMetaFlushCharge) {
+  CostModel cost;
+  CpStats s;
+  s.storage_time_ns = 1'000'000;
+  s.meta_flush_blocks = 10;
+  EXPECT_EQ(cost.cp_storage_ns(s),
+            1'000'000u + 10 * cost.meta_flush_storage_ns);
+}
+
+TEST(CostModel, MoreWorkCostsMore) {
+  CostModel cost;
+  CpStats small, big;
+  small.blocks_written = 100;
+  big.blocks_written = 100;
+  big.vol_meta_blocks = 50;
+  big.agg_bits_scanned = 100'000;
+  EXPECT_GT(cost.cp_cpu_ns(big), cost.cp_cpu_ns(small));
+}
+
+TEST(CpStats, MergeAccumulatesEverything) {
+  CpStats a, b;
+  a.blocks_written = 1;
+  a.tetrises = 2;
+  a.vol_bits_scanned = 3;
+  a.vol_pick_free_frac.add(0.25);
+  b.blocks_written = 10;
+  b.tetrises = 20;
+  b.vol_bits_scanned = 30;
+  b.vol_pick_free_frac.add(0.75);
+  a.merge(b);
+  EXPECT_EQ(a.blocks_written, 11u);
+  EXPECT_EQ(a.tetrises, 22u);
+  EXPECT_EQ(a.vol_bits_scanned, 33u);
+  EXPECT_EQ(a.vol_pick_free_frac.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.vol_pick_free_frac.mean(), 0.5);
+}
+
+}  // namespace
+}  // namespace wafl

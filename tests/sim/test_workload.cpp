@@ -1,0 +1,91 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace wafl {
+namespace {
+
+TEST(RandomOverwriteWorkload, TargetsAlignedAndInRange) {
+  RandomOverwriteWorkload wl({0, 1}, 10'000, 2, 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const DirtyBlock db = wl.next_write(rng);
+    EXPECT_LT(db.vol, 2u);
+    EXPECT_LT(db.logical, 10'000u);
+    EXPECT_EQ(db.logical % 2, 0u);
+  }
+}
+
+TEST(RandomOverwriteWorkload, UniformCoversSpan) {
+  RandomOverwriteWorkload wl({0}, 100, 1, 0.0);
+  Rng rng(2);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20'000; ++i) {
+    ++counts[wl.next_write(rng).logical];
+  }
+  EXPECT_EQ(counts.size(), 100u);  // every slot hit
+}
+
+TEST(RandomOverwriteWorkload, ZipfSkewsAndScatters) {
+  RandomOverwriteWorkload wl({0}, 10'000, 1, 1.0);
+  Rng rng(3);
+  std::map<std::uint64_t, int> counts;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[wl.next_write(rng).logical];
+  }
+  // Skew: the hottest single block gets far more than uniform share.
+  int hottest = 0;
+  for (const auto& [block, c] : counts) {
+    hottest = std::max(hottest, c);
+  }
+  EXPECT_GT(hottest, 20 * n / 10'000);
+  // Scatter: hot blocks are not clustered at the start of the file — the
+  // top-20 hot blocks should spread across the span.
+  std::vector<std::pair<int, std::uint64_t>> by_heat;
+  for (const auto& [block, c] : counts) {
+    by_heat.push_back({c, block});
+  }
+  std::sort(by_heat.rbegin(), by_heat.rend());
+  std::uint64_t in_first_tenth = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (by_heat[static_cast<std::size_t>(i)].second < 1000) ++in_first_tenth;
+  }
+  EXPECT_LT(in_first_tenth, 10u);
+}
+
+TEST(RandomOverwriteWorkload, DeterministicAcrossRuns) {
+  RandomOverwriteWorkload wl1({0}, 1000, 2, 0.8);
+  RandomOverwriteWorkload wl2({0}, 1000, 2, 0.8);
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    const DirtyBlock x = wl1.next_write(a);
+    const DirtyBlock y = wl2.next_write(b);
+    EXPECT_EQ(x.vol, y.vol);
+    EXPECT_EQ(x.logical, y.logical);
+  }
+}
+
+TEST(SequentialWorkload, RoundRobinsVolumesAndAdvances) {
+  SequentialWorkload wl({0, 1}, 100, 2);
+  Rng rng(1);
+  EXPECT_EQ(wl.next_write(rng).vol, 0u);
+  EXPECT_EQ(wl.next_write(rng).vol, 1u);
+  const DirtyBlock third = wl.next_write(rng);
+  EXPECT_EQ(third.vol, 0u);
+  EXPECT_EQ(third.logical, 2u);  // advanced by one op (2 blocks)
+}
+
+TEST(SequentialWorkload, WrapsAtSpanEnd) {
+  SequentialWorkload wl({0}, 6, 2);  // 3 op slots
+  Rng rng(1);
+  EXPECT_EQ(wl.next_write(rng).logical, 0u);
+  EXPECT_EQ(wl.next_write(rng).logical, 2u);
+  EXPECT_EQ(wl.next_write(rng).logical, 4u);
+  EXPECT_EQ(wl.next_write(rng).logical, 0u);  // wrapped
+}
+
+}  // namespace
+}  // namespace wafl

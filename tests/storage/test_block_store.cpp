@@ -1,0 +1,103 @@
+#include "storage/block_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/units.hpp"
+
+namespace wafl {
+namespace {
+
+using Block = std::array<std::byte, kBlockSize>;
+
+Block make_block(std::uint8_t fill) {
+  Block b;
+  b.fill(static_cast<std::byte>(fill));
+  return b;
+}
+
+TEST(BlockStore, ReadBackWhatWasWritten) {
+  BlockStore store(16);
+  const Block in = make_block(0xAB);
+  store.write(3, in);
+  Block out{};
+  store.read(3, out);
+  EXPECT_EQ(out, in);
+}
+
+TEST(BlockStore, UnwrittenBlocksReadAsZero) {
+  BlockStore store(16);
+  Block out = make_block(0xFF);
+  store.read(7, out);
+  EXPECT_EQ(out, make_block(0x00));
+}
+
+TEST(BlockStore, OverwriteReplacesContents) {
+  BlockStore store(16);
+  store.write(0, make_block(0x11));
+  store.write(0, make_block(0x22));
+  Block out{};
+  store.read(0, out);
+  EXPECT_EQ(out, make_block(0x22));
+}
+
+TEST(BlockStore, CountsReadsAndWrites) {
+  BlockStore store(16);
+  Block buf{};
+  store.write(1, make_block(1));
+  store.write(2, make_block(2));
+  store.read(1, buf);
+  EXPECT_EQ(store.stats().block_writes, 2u);
+  EXPECT_EQ(store.stats().block_reads, 1u);
+  EXPECT_EQ(store.stats().total(), 3u);
+  store.reset_stats();
+  EXPECT_EQ(store.stats().total(), 0u);
+}
+
+TEST(BlockStore, SparseMaterialization) {
+  BlockStore store(1'000'000);
+  EXPECT_EQ(store.materialized_blocks(), 0u);
+  store.write(999'999, make_block(5));
+  EXPECT_EQ(store.materialized_blocks(), 1u);
+  EXPECT_TRUE(store.is_materialized(999'999));
+  EXPECT_FALSE(store.is_materialized(0));
+}
+
+TEST(BlockStore, CorruptFlipsExactlyOneBit) {
+  BlockStore store(4);
+  store.write(2, make_block(0x00));
+  store.corrupt(2, 12345);
+  Block out{};
+  store.read(2, out);
+  int set_bits = 0;
+  for (const std::byte b : out) {
+    set_bits += __builtin_popcount(static_cast<unsigned>(b));
+  }
+  EXPECT_EQ(set_bits, 1);
+  EXPECT_EQ(out[12345 / 8], static_cast<std::byte>(1u << (12345 % 8)));
+}
+
+TEST(BlockStore, CorruptTwiceRestores) {
+  BlockStore store(4);
+  store.write(0, make_block(0x3C));
+  store.corrupt(0, 99);
+  store.corrupt(0, 99);
+  Block out{};
+  store.read(0, out);
+  EXPECT_EQ(out, make_block(0x3C));
+}
+
+TEST(BlockStoreDeathTest, OutOfRangeWriteAsserts) {
+  BlockStore store(4);
+  const Block b = make_block(0);
+  EXPECT_DEATH(store.write(4, b), "out of range");
+}
+
+TEST(BlockStoreDeathTest, CorruptUnwrittenAsserts) {
+  BlockStore store(4);
+  EXPECT_DEATH(store.corrupt(1, 0), "unwritten");
+}
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,61 @@
+#include "util/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace wafl {
+namespace {
+
+std::uint32_t crc_of(std::string_view s) {
+  return crc32c(s.data(), s.size());
+}
+
+TEST(Crc32c, KnownVectors) {
+  // Standard CRC-32C test vectors (RFC 3720 appendix / common suites).
+  EXPECT_EQ(crc_of(""), 0x00000000u);
+  EXPECT_EQ(crc_of("a"), 0xC1D04330u);
+  EXPECT_EQ(crc_of("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32c, AllZeros32Bytes) {
+  const std::vector<std::byte> zeros(32, std::byte{0});
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32c, SensitiveToSingleBitFlip) {
+  std::vector<std::byte> buf(4096, std::byte{0x5A});
+  const std::uint32_t before = crc32c(buf);
+  buf[1000] ^= std::byte{0x01};
+  EXPECT_NE(crc32c(buf), before);
+}
+
+TEST(Crc32c, SensitiveToPosition) {
+  std::vector<std::byte> a(64, std::byte{0});
+  std::vector<std::byte> b(64, std::byte{0});
+  a[0] = std::byte{1};
+  b[1] = std::byte{1};
+  EXPECT_NE(crc32c(a), crc32c(b));
+}
+
+TEST(Crc32c, SeedChaining) {
+  // CRC of the concatenation equals CRC of part2 seeded with CRC(part1).
+  const std::string_view part1 = "12345";
+  const std::string_view part2 = "6789";
+  const std::uint32_t c1 = crc32c(part1.data(), part1.size());
+  const std::uint32_t chained = crc32c(part2.data(), part2.size(), c1);
+  EXPECT_EQ(chained, crc_of("123456789"));
+}
+
+TEST(Crc32c, SpanAndPointerOverloadsAgree) {
+  std::vector<std::byte> buf(128);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>(i * 7);
+  }
+  EXPECT_EQ(crc32c(buf), crc32c(buf.data(), buf.size()));
+}
+
+}  // namespace
+}  // namespace wafl

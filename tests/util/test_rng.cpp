@@ -1,0 +1,150 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace wafl {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(17);
+  std::array<int, 10> buckets{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++buckets[rng.below(10)];
+  }
+  for (const int c : buckets) {
+    EXPECT_NEAR(c, n / 10, n / 100);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(5.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(ZipfSampler, UniformWhenThetaZero) {
+  ZipfSampler z(100, 0.0);
+  Rng rng(29);
+  std::vector<int> counts(100, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[z.sample(rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 100, n / 200);
+  }
+}
+
+TEST(ZipfSampler, SkewConcentratesOnLowRanks) {
+  ZipfSampler z(1000, 1.0);
+  Rng rng(31);
+  std::uint64_t top10 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (z.sample(rng) < 10) ++top10;
+  }
+  // With theta=1 over 1000 items, the top 10 ranks carry ~39% of the mass.
+  EXPECT_GT(top10, static_cast<std::uint64_t>(0.3 * n));
+  EXPECT_LT(top10, static_cast<std::uint64_t>(0.5 * n));
+}
+
+TEST(ZipfSampler, AllRanksReachable) {
+  ZipfSampler z(4, 2.0);
+  Rng rng(37);
+  std::array<bool, 4> seen{};
+  for (int i = 0; i < 100000; ++i) {
+    seen[z.sample(rng)] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(ZipfSampler, SingleItem) {
+  ZipfSampler z(1, 1.0);
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(z.sample(rng), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace wafl

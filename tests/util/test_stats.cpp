@@ -1,0 +1,112 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wafl {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence) {
+  RunningStat s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of the classic sequence: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i * 0.37 - 5.0;
+    all.add(v);
+    (i < 37 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean_before = a.mean();
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+
+  RunningStat c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(LatencyRecorder, PercentilesOfUniformRamp) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 100; ++i) {
+    r.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_DOUBLE_EQ(r.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile(100), 100.0);
+  EXPECT_NEAR(r.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(r.percentile(99), 99.01, 0.1);
+  EXPECT_NEAR(r.mean(), 50.5, 1e-9);
+}
+
+TEST(LatencyRecorder, AddAfterPercentileResorts) {
+  LatencyRecorder r;
+  r.add(10.0);
+  EXPECT_DOUBLE_EQ(r.percentile(50), 10.0);
+  r.add(0.0);
+  EXPECT_DOUBLE_EQ(r.percentile(0), 0.0);
+}
+
+TEST(LatencyRecorder, EmptyIsZero) {
+  LatencyRecorder r;
+  EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(r.percentile(99), 0.0);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);    // bin 0
+  h.add(0.999);  // bin 0
+  h.add(5.0);    // bin 5
+  h.add(9.999);  // bin 9
+  h.add(-3.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 9
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bin_count(0), 3u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(5), 6.0);
+}
+
+}  // namespace
+}  // namespace wafl

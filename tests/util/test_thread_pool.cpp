@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace wafl {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, [](std::size_t) { FAIL(); });
+  pool.parallel_for(7, 3, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(3);
+  std::atomic<int> hits{0};
+  pool.parallel_for(41, 42, [&](std::size_t i) {
+    EXPECT_EQ(i, 41u);
+    hits.fetch_add(1);
+  });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWithSingleThreadPool) {
+  ThreadPool pool(1);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(0, 100, [&](std::size_t i) {
+    sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, ParallelForMoreItemsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(0, 10000, [&](std::size_t i) {
+    sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 10000ull * 9999 / 2);
+}
+
+TEST(ThreadPool, SequentialParallelForCalls) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(0, 100, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPool, ThreadCountDefaultsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // No wait_idle: destruction must still run everything already queued.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace wafl

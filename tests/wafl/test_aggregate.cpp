@@ -1,0 +1,296 @@
+#include "wafl/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wafl {
+namespace {
+
+AggregateConfig two_rg_hdd(AaSelectPolicy policy = AaSelectPolicy::kCache) {
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 3;
+  rg.parity_devices = 1;
+  rg.device_blocks = 16 * 1024;
+  rg.media.type = MediaType::kHdd;
+  rg.aa_stripes = 1024;  // 16 AAs of 3072 blocks per group
+  cfg.raid_groups = {rg, rg};
+  cfg.policy = policy;
+  return cfg;
+}
+
+TEST(Aggregate, GeometrySetup) {
+  Aggregate agg(two_rg_hdd(), 1);
+  EXPECT_EQ(agg.raid_group_count(), 2u);
+  EXPECT_EQ(agg.total_blocks(), 2u * 3u * 16u * 1024u);
+  EXPECT_EQ(agg.free_blocks(), agg.total_blocks());
+  EXPECT_EQ(agg.rg_base(0), 0u);
+  EXPECT_EQ(agg.rg_base(1), 3u * 16u * 1024u);
+  EXPECT_EQ(agg.rg_layout(0).aa_count(), 16u);
+  EXPECT_EQ(agg.rg_cache(0).size(), 16u);
+}
+
+TEST(Aggregate, AaSizingPolicyAppliedWhenNotOverridden) {
+  AggregateConfig cfg = two_rg_hdd();
+  cfg.raid_groups[0].aa_stripes.reset();
+  cfg.raid_groups[1].aa_stripes.reset();
+  // Default HDD sizing: 4096 stripes => 16384/4096 = 4 AAs per group.
+  Aggregate agg(cfg, 1);
+  EXPECT_EQ(agg.rg_layout(0).aa_count(), 4u);
+  EXPECT_EQ(agg.rg_layout(0).aa_blocks(), 4096u * 3u);
+}
+
+TEST(Aggregate, AllocatesUniquePvbns) {
+  Aggregate agg(two_rg_hdd(), 1);
+  agg.begin_cp();
+  CpStats stats;
+  std::vector<Vbn> out;
+  ASSERT_TRUE(agg.allocate_pvbns(10'000, out, stats));
+  ASSERT_EQ(out.size(), 10'000u);
+  std::set<Vbn> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), out.size());
+  for (const Vbn v : out) {
+    EXPECT_LT(v, agg.total_blocks());
+  }
+}
+
+TEST(Aggregate, RoundRobinSpreadsAcrossGroups) {
+  Aggregate agg(two_rg_hdd(), 1);
+  agg.begin_cp();
+  CpStats stats;
+  std::vector<Vbn> out;
+  ASSERT_TRUE(agg.allocate_pvbns(6000, out, stats));
+  CpStats finish;
+  agg.finish_cp(finish);
+
+  const auto& s0 = agg.raid_group(0).stats();
+  const auto& s1 = agg.raid_group(1).stats();
+  EXPECT_GT(s0.data_blocks_written, 0u);
+  EXPECT_GT(s1.data_blocks_written, 0u);
+  // On an empty aggregate, the split is essentially even.
+  const auto hi = std::max(s0.data_blocks_written, s1.data_blocks_written);
+  const auto lo = std::min(s0.data_blocks_written, s1.data_blocks_written);
+  EXPECT_LT(hi - lo, 400u);
+}
+
+TEST(Aggregate, EmptyAggregateWritesFullStripes) {
+  Aggregate agg(two_rg_hdd(), 1);
+  agg.begin_cp();
+  CpStats stats;
+  std::vector<Vbn> out;
+  // Exactly 10 tetrises worth per group.
+  const std::uint64_t blocks = 2 * 10 * 64 * 3;
+  ASSERT_TRUE(agg.allocate_pvbns(blocks, out, stats));
+  CpStats finish;
+  agg.finish_cp(finish);
+  CpStats total = stats;
+  total.merge(finish);
+  EXPECT_GT(total.full_stripes, 0u);
+  EXPECT_EQ(total.partial_stripes, 0u);
+  EXPECT_EQ(total.parity_read_blocks, 0u);
+  EXPECT_EQ(total.blocks_written, blocks);
+}
+
+TEST(Aggregate, BlocksMarkedAllocatedAfterFinish) {
+  Aggregate agg(two_rg_hdd(), 1);
+  agg.begin_cp();
+  CpStats stats;
+  std::vector<Vbn> out;
+  ASSERT_TRUE(agg.allocate_pvbns(100, out, stats));
+  CpStats finish;
+  agg.finish_cp(finish);
+  for (const Vbn v : out) {
+    EXPECT_TRUE(agg.activemap().is_allocated(v));
+  }
+  EXPECT_EQ(agg.free_blocks(), agg.total_blocks() - 100);
+}
+
+TEST(Aggregate, DeferredFreesApplyAtFinish) {
+  Aggregate agg(two_rg_hdd(), 1);
+  agg.begin_cp();
+  CpStats stats;
+  std::vector<Vbn> out;
+  ASSERT_TRUE(agg.allocate_pvbns(100, out, stats));
+  CpStats finish;
+  agg.finish_cp(finish);
+
+  agg.begin_cp();
+  for (int i = 0; i < 50; ++i) {
+    agg.defer_free_pvbn(out[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(agg.free_blocks(), agg.total_blocks() - 100);  // not yet
+  CpStats finish2;
+  agg.finish_cp(finish2);
+  EXPECT_EQ(agg.free_blocks(), agg.total_blocks() - 50);
+  EXPECT_EQ(finish2.blocks_freed, 50u);
+}
+
+TEST(Aggregate, ScoreboardsAndHeapsStayConsistent) {
+  Aggregate agg(two_rg_hdd(), 1);
+  for (int cp = 0; cp < 5; ++cp) {
+    agg.begin_cp();
+    CpStats stats;
+    std::vector<Vbn> out;
+    ASSERT_TRUE(agg.allocate_pvbns(3000, out, stats));
+    // Free some of what we just wrote next CP.
+    CpStats finish;
+    agg.finish_cp(finish);
+    agg.begin_cp();
+    for (std::size_t i = 0; i < out.size(); i += 2) {
+      agg.defer_free_pvbn(out[i]);
+    }
+    CpStats finish2;
+    agg.finish_cp(finish2);
+  }
+  for (RaidGroupId rg = 0; rg < 2; ++rg) {
+    EXPECT_TRUE(agg.rg_cache(rg).validate());
+    // The scoreboard's total must match the activemap's view of the RG
+    // range.
+    const auto& layout = agg.rg_layout(rg);
+    const std::uint64_t free_in_rg =
+        agg.activemap().metafile().free_in_range(
+            layout.base(), layout.base() + layout.total_blocks());
+    EXPECT_EQ(agg.rg_scoreboard(rg).total_free(), free_in_rg);
+  }
+}
+
+TEST(Aggregate, SkipThresholdBiasesAwayFromFragmentedGroup) {
+  AggregateConfig cfg = two_rg_hdd();
+  cfg.rg_skip_free_fraction = 0.4;
+  Aggregate agg(cfg, 1);
+
+  // Nearly fill the whole aggregate so no pristine AA remains anywhere.
+  agg.begin_cp();
+  CpStats stats;
+  std::vector<Vbn> all;
+  ASSERT_TRUE(agg.allocate_pvbns(agg.total_blocks() * 95 / 100, all, stats));
+  CpStats f1;
+  agg.finish_cp(f1);
+  agg.begin_cp();
+  // Free every second block of RG1's range only: RG1 AAs become ~50% free
+  // while RG0 AAs stay nearly full (well under the 40% threshold).
+  for (const Vbn v : all) {
+    if (v >= agg.rg_base(1) && (v % 2 == 0)) {
+      agg.defer_free_pvbn(v);
+    }
+  }
+  CpStats f2;
+  agg.finish_cp(f2);
+
+  agg.raid_group(0).reset_stats();
+  agg.raid_group(1).reset_stats();
+  agg.begin_cp();
+  std::vector<Vbn> out;
+  CpStats s3;
+  ASSERT_TRUE(agg.allocate_pvbns(20'000, out, s3));
+  CpStats f3;
+  agg.finish_cp(f3);
+  // RG0's in-flight cursor AA may still drain, but fresh checkouts avoid
+  // the fragmented group: the healthy group takes the vast majority.
+  const std::uint64_t rg0 = agg.raid_group(0).stats().data_blocks_written;
+  const std::uint64_t rg1 = agg.raid_group(1).stats().data_blocks_written;
+  EXPECT_GT(rg1, 4 * rg0);
+  EXPECT_GT(rg1, 15'000u);
+}
+
+TEST(Aggregate, ForcedProgressWhenAllGroupsFragmented) {
+  AggregateConfig cfg = two_rg_hdd();
+  cfg.rg_skip_free_fraction = 0.99;  // everything below threshold
+  Aggregate agg(cfg, 1);
+  agg.begin_cp();
+  CpStats stats;
+  std::vector<Vbn> out;
+  // Consume a little so no AA is pristine.
+  ASSERT_TRUE(agg.allocate_pvbns(100, out, stats));
+  CpStats f;
+  agg.finish_cp(f);
+
+  agg.begin_cp();
+  std::vector<Vbn> out2;
+  CpStats s2;
+  // All groups under threshold: the allocator must still make progress.
+  EXPECT_TRUE(agg.allocate_pvbns(1000, out2, s2));
+  EXPECT_EQ(out2.size(), 1000u);
+}
+
+TEST(Aggregate, OutOfSpaceReturnsFalse) {
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 2;
+  rg.parity_devices = 1;
+  rg.device_blocks = 128;
+  rg.media.type = MediaType::kHdd;
+  rg.aa_stripes = 64;
+  cfg.raid_groups = {rg};
+  Aggregate agg(cfg, 1);
+  agg.begin_cp();
+  CpStats stats;
+  std::vector<Vbn> out;
+  EXPECT_FALSE(agg.allocate_pvbns(1000, out, stats));
+  EXPECT_EQ(out.size(), 256u);  // everything there was
+}
+
+TEST(Aggregate, SsdDevicesGetTrimOnFree) {
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 2;
+  rg.parity_devices = 1;
+  rg.device_blocks = 4096;
+  rg.media.type = MediaType::kSsd;
+  rg.media.ssd.pages_per_erase_block = 64;
+  rg.media.ssd_ftl = SsdFtl::kPageMapped;
+  rg.aa_stripes = 512;
+  cfg.raid_groups = {rg};
+  Aggregate agg(cfg, 1);
+
+  agg.begin_cp();
+  CpStats stats;
+  std::vector<Vbn> out;
+  ASSERT_TRUE(agg.allocate_pvbns(1000, out, stats));
+  CpStats f;
+  agg.finish_cp(f);
+
+  auto& ssd = dynamic_cast<SsdModel&>(agg.data_device(0, 0));
+  const std::uint64_t valid_before = ssd.valid_pages();
+  EXPECT_GT(valid_before, 0u);
+
+  agg.begin_cp();
+  for (const Vbn v : out) {
+    agg.defer_free_pvbn(v);
+  }
+  CpStats f2;
+  agg.finish_cp(f2);
+  EXPECT_LT(ssd.valid_pages(), valid_before);
+  EXPECT_EQ(ssd.valid_pages(), 0u);
+}
+
+TEST(Aggregate, RandomPolicyAllocatesCorrectly) {
+  Aggregate agg(two_rg_hdd(AaSelectPolicy::kRandom), 7);
+  agg.begin_cp();
+  CpStats stats;
+  std::vector<Vbn> out;
+  ASSERT_TRUE(agg.allocate_pvbns(5000, out, stats));
+  std::set<Vbn> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), out.size());
+  CpStats f;
+  agg.finish_cp(f);
+  EXPECT_EQ(agg.free_blocks(), agg.total_blocks() - 5000);
+}
+
+TEST(Aggregate, VolumesShareThePhysicalPool) {
+  Aggregate agg(two_rg_hdd(), 1);
+  FlexVolConfig vcfg;
+  vcfg.vvbn_blocks = 8192;
+  vcfg.file_blocks = 4096;
+  vcfg.aa_blocks = 1024;
+  FlexVol& v0 = agg.add_volume(vcfg);
+  FlexVol& v1 = agg.add_volume(vcfg);
+  EXPECT_EQ(agg.volume_count(), 2u);
+  EXPECT_EQ(v0.id(), 0u);
+  EXPECT_EQ(v1.id(), 1u);
+  EXPECT_NE(&agg.volume(0), &agg.volume(1));
+}
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,123 @@
+// Parameterized end-to-end sweep: the full CP machinery must uphold its
+// invariants for every combination of AA-selection policy, media type,
+// and RAID-group count.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "wafl/consistency_point.hpp"
+
+namespace wafl {
+namespace {
+
+using Combo =
+    std::tuple<AaSelectPolicy, MediaType, std::uint32_t /*raid groups*/>;
+
+class AllocatorSweep : public ::testing::TestWithParam<Combo> {
+ protected:
+  std::unique_ptr<Aggregate> make() const {
+    const auto& [policy, media, rg_count] = GetParam();
+    AggregateConfig cfg;
+    RaidGroupConfig rg;
+    rg.data_devices = 3;
+    rg.parity_devices = 1;
+    rg.device_blocks = 16 * 1024;
+    rg.media.type = media;
+    if (media == MediaType::kSsd) {
+      rg.media.ssd.pages_per_erase_block = 1024;
+    }
+    if (media == MediaType::kSmr) {
+      rg.media.smr.zone_blocks = 4096;
+      rg.media.azcs = true;
+    }
+    rg.aa_stripes = 1024;
+    cfg.raid_groups.assign(rg_count, rg);
+    cfg.policy = policy;
+    auto agg = std::make_unique<Aggregate>(cfg, 99);
+
+    FlexVolConfig vol;
+    vol.file_blocks = agg->total_blocks() / 2;
+    vol.vvbn_blocks =
+        (vol.file_blocks / kFlatAaBlocks + 2) * kFlatAaBlocks;
+    vol.aa_blocks = kFlatAaBlocks;
+    vol.policy = policy;
+    agg->add_volume(vol);
+    return agg;
+  }
+
+  static std::vector<DirtyBlock> range(std::uint64_t lo, std::uint64_t hi) {
+    std::vector<DirtyBlock> out;
+    for (std::uint64_t l = lo; l < hi; ++l) out.push_back({0, l});
+    return out;
+  }
+};
+
+TEST_P(AllocatorSweep, WriteOverwriteCycleHoldsInvariants) {
+  auto agg = make();
+  const FlexVol& vol = agg->volume(0);
+  const std::uint64_t file = vol.file_blocks();
+
+  // Fill 60%, then three overwrite waves.
+  ConsistencyPoint::run(*agg, range(0, file * 6 / 10));
+  for (int wave = 0; wave < 3; ++wave) {
+    const std::uint64_t lo = static_cast<std::uint64_t>(wave) * 997;
+    ConsistencyPoint::run(*agg, range(lo, lo + file / 4));
+
+    // Accounting invariants after every CP.
+    ASSERT_EQ(vol.scoreboard().total_free(), vol.free_blocks());
+    for (RaidGroupId rg = 0; rg < agg->raid_group_count(); ++rg) {
+      const auto& layout = agg->rg_layout(rg);
+      ASSERT_EQ(agg->rg_scoreboard(rg).total_free(),
+                agg->activemap().metafile().free_in_range(
+                    layout.base(), layout.base() + layout.total_blocks()));
+    }
+  }
+
+  // Mapping invariants: unique live vvbns/pvbns, coherent ownership.
+  std::set<Vbn> vvbns, pvbns;
+  std::uint64_t mapped = 0;
+  for (std::uint64_t l = 0; l < file; ++l) {
+    if (!vol.is_mapped(l)) continue;
+    ++mapped;
+    ASSERT_TRUE(vvbns.insert(vol.vvbn_of(l)).second);
+    const Vbn p = vol.pvbn_of(l);
+    ASSERT_TRUE(pvbns.insert(p).second);
+    ASSERT_TRUE(agg->activemap().is_allocated(p));
+    const auto owner = agg->owner_of(p);
+    ASSERT_TRUE(owner.has_value());
+    ASSERT_EQ(owner->vvbn, vol.vvbn_of(l));
+  }
+  EXPECT_EQ(agg->total_blocks() - agg->free_blocks(), mapped);
+}
+
+TEST_P(AllocatorSweep, EveryRaidGroupReceivesWrites) {
+  auto agg = make();
+  ConsistencyPoint::run(*agg, range(0, agg->volume(0).file_blocks() / 2));
+  for (RaidGroupId rg = 0; rg < agg->raid_group_count(); ++rg) {
+    EXPECT_GT(agg->raid_group(rg).stats().data_blocks_written, 0u)
+        << "RAID group " << rg << " was never written";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, AllocatorSweep,
+    ::testing::Combine(::testing::Values(AaSelectPolicy::kCache,
+                                         AaSelectPolicy::kRandom),
+                       ::testing::Values(MediaType::kHdd, MediaType::kSsd,
+                                         MediaType::kSmr),
+                       ::testing::Values(1u, 3u)),
+    [](const ::testing::TestParamInfo<Combo>& param_info) {
+      std::string name = std::get<0>(param_info.param) ==
+                                 AaSelectPolicy::kCache
+                             ? "cache"
+                             : "random";
+      name += "_";
+      name += media_type_name(std::get<1>(param_info.param));
+      name += "_rg" + std::to_string(std::get<2>(param_info.param));
+      return name;
+    });
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,223 @@
+#include "wafl/flexvol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wafl {
+namespace {
+
+FlexVolConfig small_vol(AaSelectPolicy policy = AaSelectPolicy::kCache) {
+  FlexVolConfig cfg;
+  cfg.vvbn_blocks = 16 * 1024;
+  cfg.file_blocks = 8 * 1024;
+  cfg.aa_blocks = 1024;  // 16 AAs
+  cfg.policy = policy;
+  return cfg;
+}
+
+TEST(FlexVol, FreshVolumeAllFree) {
+  FlexVol vol(0, small_vol(), 1);
+  EXPECT_EQ(vol.free_blocks(), 16u * 1024u);
+  EXPECT_EQ(vol.layout().aa_count(), 16u);
+  EXPECT_FALSE(vol.is_mapped(0));
+  EXPECT_EQ(vol.cache().size(), 16u);
+}
+
+TEST(FlexVol, AllocatesSequentiallyWithinAa) {
+  FlexVol vol(0, small_vol(), 1);
+  CpStats stats;
+  const Vbn a = vol.allocate_vvbn(stats);
+  const Vbn b = vol.allocate_vvbn(stats);
+  const Vbn c = vol.allocate_vvbn(stats);
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(c, b + 1);
+  EXPECT_TRUE(vol.activemap().is_allocated(a));
+  EXPECT_EQ(stats.vol_pick_free_frac.count(), 1u);  // one AA checkout
+  EXPECT_DOUBLE_EQ(stats.vol_pick_free_frac.mean(), 1.0);  // empty AA
+}
+
+TEST(FlexVol, NeverAllocatesSameVbnTwice) {
+  FlexVol vol(0, small_vol(), 1);
+  CpStats stats;
+  std::set<Vbn> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const Vbn v = vol.allocate_vvbn(stats);
+    EXPECT_TRUE(seen.insert(v).second) << "duplicate vvbn " << v;
+  }
+}
+
+TEST(FlexVol, RemapTracksBothMaps) {
+  FlexVol vol(0, small_vol(), 1);
+  CpStats stats;
+  const Vbn vvbn = vol.allocate_vvbn(stats);
+  const Vbn freed = vol.remap(5, vvbn, /*pvbn=*/777);
+  EXPECT_EQ(freed, kInvalidVbn);  // first write frees nothing
+  EXPECT_TRUE(vol.is_mapped(5));
+  EXPECT_EQ(vol.vvbn_of(5), vvbn);
+  EXPECT_EQ(vol.pvbn_of(5), 777u);
+
+  const Vbn vvbn2 = vol.allocate_vvbn(stats);
+  const Vbn freed2 = vol.remap(5, vvbn2, 888);
+  EXPECT_EQ(freed2, 777u);  // overwrite frees the old physical block
+  EXPECT_EQ(vol.vvbn_of(5), vvbn2);
+  EXPECT_EQ(vol.pvbn_of(5), 888u);
+}
+
+TEST(FlexVol, OverwriteFreesOldVvbnAtCpBoundary) {
+  FlexVol vol(0, small_vol(), 1);
+  CpStats stats;
+  const Vbn vvbn = vol.allocate_vvbn(stats);
+  vol.remap(0, vvbn, 1);
+  const Vbn vvbn2 = vol.allocate_vvbn(stats);
+  vol.remap(0, vvbn2, 2);
+  // Old vvbn still held until finish_cp (COW safety).
+  EXPECT_TRUE(vol.activemap().is_allocated(vvbn));
+  vol.finish_cp(stats);
+  EXPECT_FALSE(vol.activemap().is_allocated(vvbn));
+  EXPECT_TRUE(vol.activemap().is_allocated(vvbn2));
+}
+
+TEST(FlexVol, FinishCpKeepsCacheAndScoresConsistent) {
+  FlexVol vol(0, small_vol(), 1);
+  CpStats stats;
+  for (std::uint64_t l = 0; l < 3000; ++l) {
+    const Vbn vvbn = vol.allocate_vvbn(stats);
+    vol.remap(l, vvbn, l + 10);
+  }
+  vol.finish_cp(stats);
+  EXPECT_TRUE(vol.cache().validate());
+  EXPECT_EQ(vol.scoreboard().total_free(), vol.free_blocks());
+  // 3000 blocks consumed.
+  EXPECT_EQ(vol.free_blocks(), 16u * 1024u - 3000u);
+}
+
+TEST(FlexVol, CacheModeFillsEmptiestFirstAfterAging) {
+  FlexVol vol(0, small_vol(), 1);
+  CpStats stats;
+  // Fill the whole file once.
+  for (std::uint64_t l = 0; l < 8 * 1024; ++l) {
+    vol.remap(l, vol.allocate_vvbn(stats), l);
+  }
+  vol.finish_cp(stats);
+  // Overwrite a clustered range so one region frees up massively.
+  for (std::uint64_t l = 0; l < 900; ++l) {
+    vol.remap(l, vol.allocate_vvbn(stats), l);
+  }
+  vol.finish_cp(stats);
+
+  // The allocator first drains the AA its cursor is already filling; the
+  // next fresh checkout must then come from the best populated score range.
+  CpStats fresh;
+  Vbn v = vol.allocate_vvbn(fresh);
+  const AaId cursor_before = vol.layout().aa_of(v);
+  AaId chosen = cursor_before;
+  while (chosen == cursor_before) {
+    v = vol.allocate_vvbn(fresh);
+    chosen = vol.layout().aa_of(v);
+  }
+  AaScore best = 0;
+  for (AaId aa = 0; aa < vol.scoreboard().aa_count(); ++aa) {
+    if (aa == chosen || aa == cursor_before) continue;
+    best = std::max(best, vol.scoreboard().score(aa));
+  }
+  // HBPS guarantee: within one bin width of the true best.
+  const std::uint32_t bin_width = vol.cache().config().bin_width;
+  EXPECT_GE(vol.scoreboard().score(chosen) + bin_width, best);
+}
+
+TEST(FlexVol, RandomPolicyStillCorrect) {
+  FlexVol vol(0, small_vol(AaSelectPolicy::kRandom), 99);
+  CpStats stats;
+  std::set<Vbn> seen;
+  for (std::uint64_t l = 0; l < 4000; ++l) {
+    const Vbn vvbn = vol.allocate_vvbn(stats);
+    EXPECT_TRUE(seen.insert(vvbn).second);
+    vol.remap(l, vvbn, l);
+  }
+  vol.finish_cp(stats);
+  EXPECT_EQ(vol.free_blocks(), 16u * 1024u - 4000u);
+}
+
+TEST(FlexVol, MetafileTouchAccounting) {
+  FlexVol vol(0, small_vol(), 1);
+  CpStats stats;
+  // 100 colocated allocations touch exactly one 32 Ki-bit metafile block.
+  for (std::uint64_t l = 0; l < 100; ++l) {
+    vol.remap(l, vol.allocate_vvbn(stats), l);
+  }
+  vol.finish_cp(stats);
+  EXPECT_EQ(stats.vol_meta_blocks, 1u);
+  EXPECT_GE(stats.meta_flush_blocks, 1u);
+}
+
+TEST(FlexVol, TopAaPersistedEachActiveCp) {
+  FlexVol vol(0, small_vol(), 1);
+  CpStats stats;
+  vol.remap(0, vol.allocate_vvbn(stats), 0);
+  vol.finish_cp(stats);
+  TopAaFile topaa(vol.store(),
+                  vol.store().capacity_blocks() -
+                      TopAaFile::kRaidAgnosticBlocks);
+  EXPECT_TRUE(topaa.load_raid_agnostic().has_value());
+}
+
+TEST(FlexVol, IdleCpIsFree) {
+  FlexVol vol(0, small_vol(), 1);
+  CpStats stats;
+  vol.finish_cp(stats);
+  EXPECT_EQ(stats.meta_flush_blocks, 0u);
+  EXPECT_EQ(stats.vol_meta_blocks, 0u);
+}
+
+TEST(FlexVol, MountFromTopAaRestoresCache) {
+  FlexVol vol(0, small_vol(), 1);
+  CpStats stats;
+  for (std::uint64_t l = 0; l < 2000; ++l) {
+    vol.remap(l, vol.allocate_vvbn(stats), l);
+  }
+  vol.finish_cp(stats);
+
+  vol.store().reset_stats();
+  EXPECT_TRUE(vol.mount_from_topaa());
+  // Constant-cost gate: exactly the two TopAA blocks.
+  EXPECT_EQ(vol.store().stats().block_reads, TopAaFile::kRaidAgnosticBlocks);
+  EXPECT_TRUE(vol.cache().validate());
+}
+
+TEST(FlexVol, MountFallsBackOnCorruptTopAa) {
+  FlexVol vol(0, small_vol(), 1);
+  CpStats stats;
+  vol.remap(0, vol.allocate_vvbn(stats), 0);
+  vol.finish_cp(stats);
+  const std::uint64_t topaa_block =
+      vol.store().capacity_blocks() - TopAaFile::kRaidAgnosticBlocks;
+  vol.store().corrupt(topaa_block, 5);
+  vol.store().reset_stats();
+  EXPECT_FALSE(vol.mount_from_topaa());
+  // Fallback read the whole bitmap metafile.
+  EXPECT_GT(vol.store().stats().block_reads,
+            TopAaFile::kRaidAgnosticBlocks);
+  // And the rebuilt state still allocates correctly.
+  CpStats fresh;
+  const Vbn v = vol.allocate_vvbn(fresh);
+  EXPECT_TRUE(vol.activemap().is_allocated(v));
+}
+
+TEST(FlexVol, ScanRebuildMatchesLiveState) {
+  FlexVol vol(0, small_vol(), 1);
+  CpStats stats;
+  for (std::uint64_t l = 0; l < 1500; ++l) {
+    vol.remap(l, vol.allocate_vvbn(stats), l);
+  }
+  vol.finish_cp(stats);
+  const std::uint64_t free_before = vol.free_blocks();
+
+  vol.scan_rebuild();
+  EXPECT_EQ(vol.free_blocks(), free_before);
+  EXPECT_EQ(vol.scoreboard().total_free(), free_before);
+  EXPECT_TRUE(vol.cache().validate());
+}
+
+}  // namespace
+}  // namespace wafl

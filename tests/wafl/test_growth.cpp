@@ -1,0 +1,151 @@
+// RAID-group growth (§3.1: "On RAID group creation and growth, WAFL
+// maintains the mapping of physical VBN ranges to storage devices") — the
+// mechanism behind §4.2's imbalanced-age aggregates.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "wafl/consistency_point.hpp"
+#include "wafl/mount.hpp"
+
+namespace wafl {
+namespace {
+
+RaidGroupConfig hdd_group(std::uint64_t device_blocks) {
+  RaidGroupConfig rg;
+  rg.data_devices = 3;
+  rg.parity_devices = 1;
+  rg.device_blocks = device_blocks;
+  rg.media.type = MediaType::kHdd;
+  rg.aa_stripes = 1024;
+  return rg;
+}
+
+std::vector<DirtyBlock> range(std::uint64_t lo, std::uint64_t hi) {
+  std::vector<DirtyBlock> out;
+  for (std::uint64_t l = lo; l < hi; ++l) out.push_back({0, l});
+  return out;
+}
+
+TEST(Growth, AddsCapacityAndVbnRange) {
+  AggregateConfig cfg;
+  cfg.raid_groups = {hdd_group(16 * 1024)};
+  Aggregate agg(cfg, 1);
+  const std::uint64_t before = agg.total_blocks();
+
+  const RaidGroupId rg = agg.add_raid_group(hdd_group(32 * 1024));
+  EXPECT_EQ(rg, 1u);
+  EXPECT_EQ(agg.raid_group_count(), 2u);
+  EXPECT_EQ(agg.total_blocks(), before + 3u * 32 * 1024);
+  EXPECT_EQ(agg.free_blocks(), agg.total_blocks());
+  // The new group's VBN range starts where the old space ended.
+  EXPECT_EQ(agg.rg_base(1), before);
+  EXPECT_EQ(agg.rg_cache(1).size(), agg.rg_layout(1).aa_count());
+}
+
+TEST(Growth, WritesSpreadOntoTheNewGroup) {
+  AggregateConfig cfg;
+  cfg.raid_groups = {hdd_group(16 * 1024)};
+  Aggregate agg(cfg, 1);
+  FlexVolConfig vol;
+  vol.file_blocks = 80'000;
+  vol.vvbn_blocks = 4ull * kFlatAaBlocks;
+  agg.add_volume(vol);
+  // Nearly fill the original group (49,152 blocks) before growing — the
+  // §4.2 scenario: capacity added because the old shelf ran low.
+  ConsistencyPoint::run(agg, range(0, 40'000));
+
+  agg.add_raid_group(hdd_group(16 * 1024));
+  agg.raid_group(0).reset_stats();
+  ConsistencyPoint::run(agg, range(40'000, 70'000));
+  // Both groups take writes, but the old group has only ~9 K free blocks,
+  // so the fresh group absorbs the bulk.
+  const auto rg0 = agg.raid_group(0).stats().data_blocks_written;
+  const auto rg1 = agg.raid_group(1).stats().data_blocks_written;
+  EXPECT_GT(rg0, 0u);
+  EXPECT_GT(rg1, 2 * rg0);
+}
+
+TEST(Growth, GrownAggregateSurvivesOverwritesAndInvariants) {
+  AggregateConfig cfg;
+  cfg.raid_groups = {hdd_group(16 * 1024)};
+  Aggregate agg(cfg, 2);
+  FlexVolConfig vol;
+  vol.file_blocks = 100'000;
+  vol.vvbn_blocks = 6ull * kFlatAaBlocks;
+  agg.add_volume(vol);
+  ConsistencyPoint::run(agg, range(0, 40'000));
+
+  agg.add_raid_group(hdd_group(32 * 1024));
+  agg.add_raid_group(hdd_group(16 * 1024));
+  ConsistencyPoint::run(agg, range(20'000, 90'000));
+  ConsistencyPoint::run(agg, range(0, 50'000));
+
+  const FlexVol& v = agg.volume(0);
+  std::set<Vbn> pvbns;
+  std::uint64_t mapped = 0;
+  for (std::uint64_t l = 0; l < v.file_blocks(); ++l) {
+    if (!v.is_mapped(l)) continue;
+    ++mapped;
+    const Vbn p = v.pvbn_of(l);
+    ASSERT_TRUE(pvbns.insert(p).second);
+    ASSERT_TRUE(agg.activemap().is_allocated(p));
+  }
+  EXPECT_EQ(agg.total_blocks() - agg.free_blocks(), mapped);
+  for (RaidGroupId rg = 0; rg < agg.raid_group_count(); ++rg) {
+    const auto& layout = agg.rg_layout(rg);
+    ASSERT_EQ(agg.rg_scoreboard(rg).total_free(),
+              agg.activemap().metafile().free_in_range(
+                  layout.base(), layout.base() + layout.total_blocks()));
+    ASSERT_TRUE(agg.rg_cache(rg).validate());
+  }
+}
+
+TEST(Growth, MountAfterGrowthCoversNewGroup) {
+  AggregateConfig cfg;
+  cfg.raid_groups = {hdd_group(16 * 1024)};
+  Aggregate agg(cfg, 3);
+  FlexVolConfig vol;
+  vol.file_blocks = 60'000;
+  vol.vvbn_blocks = 3ull * kFlatAaBlocks;
+  agg.add_volume(vol);
+  ConsistencyPoint::run(agg, range(0, 20'000));
+
+  agg.add_raid_group(hdd_group(16 * 1024));
+  ConsistencyPoint::run(agg, range(20'000, 40'000));
+
+  // TopAA seeds both groups; the scan path covers the grown bitmap.
+  const MountReport fast = mount_all(agg, /*use_topaa=*/true);
+  EXPECT_EQ(fast.rgs_seeded, 2u);
+  const MountReport slow = mount_all(agg, /*use_topaa=*/false);
+  EXPECT_EQ(slow.gate_block_reads,
+            agg.activemap().metafile().metafile_blocks() +
+                agg.volume(0).activemap().metafile().metafile_blocks());
+
+  const CpStats stats = ConsistencyPoint::run(agg, range(40'000, 42'000));
+  EXPECT_EQ(stats.blocks_written, 2000u);
+}
+
+TEST(Growth, GrowWithObjectStorePool) {
+  AggregateConfig cfg;
+  cfg.raid_groups = {hdd_group(16 * 1024)};
+  Aggregate agg(cfg, 4);
+  RaidGroupConfig pool;
+  pool.data_devices = 1;
+  pool.parity_devices = 0;
+  pool.device_blocks = 2 * kFlatAaBlocks;
+  pool.media.type = MediaType::kObjectStore;
+  const RaidGroupId rg = agg.add_raid_group(pool);
+  EXPECT_TRUE(agg.rg_is_raid_agnostic(rg));
+
+  FlexVolConfig vol;
+  vol.file_blocks = 80'000;
+  vol.vvbn_blocks = 3ull * kFlatAaBlocks;
+  agg.add_volume(vol);
+  ConsistencyPoint::run(agg, range(0, 70'000));
+  EXPECT_GT(agg.raid_group(rg).stats().data_blocks_written, 0u);
+}
+
+}  // namespace
+}  // namespace wafl

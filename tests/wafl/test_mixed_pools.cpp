@@ -1,0 +1,163 @@
+// Object-store pools and mixed-media aggregates (§2.1's Fabric Pool and
+// Flash Pool configurations).
+//
+// Physical storage with native redundancy gets flat 32 Ki-VBN AAs managed
+// by the bounded-memory HBPS and persisted in the two-block RAID-agnostic
+// TopAA form (§3.1, §3.3.2, §3.4); RAID groups keep the max-heap.  Both
+// kinds coexist in one aggregate.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "device/object_store.hpp"
+#include "wafl/consistency_point.hpp"
+#include "wafl/mount.hpp"
+
+namespace wafl {
+namespace {
+
+RaidGroupConfig object_pool(std::uint64_t blocks) {
+  RaidGroupConfig rg;
+  rg.data_devices = 1;
+  rg.parity_devices = 0;
+  rg.device_blocks = blocks;
+  rg.media.type = MediaType::kObjectStore;
+  return rg;
+}
+
+RaidGroupConfig ssd_group(std::uint64_t device_blocks) {
+  RaidGroupConfig rg;
+  rg.data_devices = 3;
+  rg.parity_devices = 1;
+  rg.device_blocks = device_blocks;
+  rg.media.type = MediaType::kSsd;
+  rg.media.ssd.pages_per_erase_block = 1024;
+  rg.aa_stripes = 2048;
+  return rg;
+}
+
+std::vector<DirtyBlock> range(std::uint64_t lo, std::uint64_t hi) {
+  std::vector<DirtyBlock> out;
+  for (std::uint64_t l = lo; l < hi; ++l) out.push_back({0, l});
+  return out;
+}
+
+TEST(ObjectStorePool, UsesFlatAasAndHbps) {
+  AggregateConfig cfg;
+  cfg.raid_groups = {object_pool(4 * kFlatAaBlocks)};
+  Aggregate agg(cfg, 1);
+  EXPECT_TRUE(agg.rg_is_raid_agnostic(0));
+  // §3.2.1: AA = 32 Ki consecutive VBNs in the absence of RAID geometry.
+  EXPECT_EQ(agg.rg_layout(0).aa_blocks(), kFlatAaBlocks);
+  EXPECT_EQ(agg.rg_layout(0).aa_count(), 4u);
+  EXPECT_EQ(agg.rg_cache(0).size(), 4u);
+}
+
+TEST(ObjectStorePool, WritesFlowAndAccountCorrectly) {
+  AggregateConfig cfg;
+  cfg.raid_groups = {object_pool(8 * kFlatAaBlocks)};
+  Aggregate agg(cfg, 1);
+  FlexVolConfig vol;
+  vol.file_blocks = 100'000;
+  vol.vvbn_blocks = 4ull * kFlatAaBlocks;
+  agg.add_volume(vol);
+
+  const CpStats stats = ConsistencyPoint::run(agg, range(0, 50'000));
+  EXPECT_EQ(stats.blocks_written, 50'000u);
+  // No RAID: no parity I/O at all.
+  EXPECT_EQ(stats.parity_read_blocks, 0u);
+  EXPECT_EQ(agg.free_blocks(), agg.total_blocks() - 50'000);
+  // Colocation shows up as large PUTs: one per 64-block tetris window
+  // rather than per block.
+  const auto& os = dynamic_cast<const ObjectStoreModel&>(
+      agg.data_device(0, 0));
+  EXPECT_EQ(os.blocks_put(), 50'000u);
+  EXPECT_LE(os.puts_issued(), 50'000u / 64 + 16);
+  EXPECT_TRUE(agg.rg_cache(0).validate());
+}
+
+TEST(ObjectStorePool, OverwritesAndInvariants) {
+  AggregateConfig cfg;
+  cfg.raid_groups = {object_pool(8 * kFlatAaBlocks)};
+  Aggregate agg(cfg, 1);
+  FlexVolConfig vol;
+  vol.file_blocks = 120'000;
+  vol.vvbn_blocks = 5ull * kFlatAaBlocks;
+  agg.add_volume(vol);
+
+  ConsistencyPoint::run(agg, range(0, 100'000));
+  const CpStats stats = ConsistencyPoint::run(agg, range(20'000, 60'000));
+  EXPECT_EQ(stats.blocks_freed, 40'000u);
+  EXPECT_EQ(agg.free_blocks(), agg.total_blocks() - 100'000);
+  EXPECT_EQ(agg.rg_scoreboard(0).total_free(), agg.free_blocks());
+}
+
+TEST(ObjectStorePool, TopAaRoundTripsThroughMount) {
+  AggregateConfig cfg;
+  cfg.raid_groups = {object_pool(8 * kFlatAaBlocks)};
+  Aggregate agg(cfg, 1);
+  FlexVolConfig vol;
+  vol.file_blocks = 80'000;
+  vol.vvbn_blocks = 3ull * kFlatAaBlocks;
+  agg.add_volume(vol);
+  ConsistencyPoint::run(agg, range(0, 60'000));
+
+  agg.topaa_store().reset_stats();
+  const MountReport r = mount_all(agg, /*use_topaa=*/true);
+  EXPECT_EQ(r.rgs_seeded, 1u);
+  // The pool's gate is the two-block RAID-agnostic form.
+  EXPECT_EQ(agg.topaa_store().stats().block_reads,
+            TopAaFile::kRaidAgnosticBlocks);
+
+  // First CP from the seeded HBPS.
+  const CpStats stats = ConsistencyPoint::run(agg, range(60'000, 62'000));
+  EXPECT_EQ(stats.blocks_written, 2000u);
+  EXPECT_TRUE(agg.rg_cache(0).validate());
+}
+
+TEST(FlashPoolStyle, MixedSsdAndObjectStoreAggregate) {
+  // A Fabric Pool-like aggregate: one SSD RAID group plus an object-store
+  // pool, each with its own cache form, sharing one physical VBN space.
+  AggregateConfig cfg;
+  cfg.raid_groups = {ssd_group(32 * 1024), object_pool(4 * kFlatAaBlocks)};
+  Aggregate agg(cfg, 5);
+  EXPECT_FALSE(agg.rg_is_raid_agnostic(0));
+  EXPECT_TRUE(agg.rg_is_raid_agnostic(1));
+
+  FlexVolConfig vol;
+  vol.file_blocks = 120'000;
+  vol.vvbn_blocks = 5ull * kFlatAaBlocks;
+  agg.add_volume(vol);
+
+  ConsistencyPoint::run(agg, range(0, 100'000));
+  // Both pools took writes.
+  EXPECT_GT(agg.raid_group(0).stats().data_blocks_written, 0u);
+  EXPECT_GT(agg.raid_group(1).stats().data_blocks_written, 0u);
+
+  // Overwrite churn; invariants per pool.
+  ConsistencyPoint::run(agg, range(10'000, 50'000));
+  for (RaidGroupId rg = 0; rg < 2; ++rg) {
+    const auto& layout = agg.rg_layout(rg);
+    ASSERT_EQ(agg.rg_scoreboard(rg).total_free(),
+              agg.activemap().metafile().free_in_range(
+                  layout.base(), layout.base() + layout.total_blocks()));
+    ASSERT_TRUE(agg.rg_cache(rg).validate());
+  }
+
+  // Mount both forms from their TopAA slots.
+  const MountReport r = mount_all(agg, /*use_topaa=*/true);
+  EXPECT_EQ(r.rgs_seeded, 2u);
+  const CpStats stats = ConsistencyPoint::run(agg, range(100'000, 102'000));
+  EXPECT_EQ(stats.blocks_written, 2000u);
+}
+
+TEST(FlashPoolStyle, CleanerSkipsHbpsPools) {
+  AggregateConfig cfg;
+  cfg.raid_groups = {object_pool(4 * kFlatAaBlocks)};
+  Aggregate agg(cfg, 7);
+  EXPECT_FALSE(agg.checkout_aa(0, 0));  // HBPS pools are not heap-cleanable
+}
+
+}  // namespace
+}  // namespace wafl

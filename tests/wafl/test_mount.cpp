@@ -1,0 +1,143 @@
+#include "wafl/mount.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hpp"
+#include "wafl/consistency_point.hpp"
+
+namespace wafl {
+namespace {
+
+struct Rig {
+  Rig() : agg(make_config(), 3) {
+    FlexVolConfig vcfg;
+    vcfg.vvbn_blocks = 64 * 1024;
+    vcfg.file_blocks = 32 * 1024;
+    vcfg.aa_blocks = 4096;
+    agg.add_volume(vcfg);
+    agg.add_volume(vcfg);
+    // Write through a few CPs so there is real state on "media".
+    std::vector<DirtyBlock> dirty;
+    for (VolumeId v = 0; v < 2; ++v) {
+      dirty.clear();
+      for (std::uint64_t l = 0; l < 10'000; ++l) {
+        dirty.push_back({v, l});
+      }
+      ConsistencyPoint::run(agg, dirty);
+      dirty.clear();
+      for (std::uint64_t l = 2'000; l < 6'000; ++l) {
+        dirty.push_back({v, l});
+      }
+      ConsistencyPoint::run(agg, dirty);
+    }
+  }
+
+  static AggregateConfig make_config() {
+    AggregateConfig cfg;
+    RaidGroupConfig rg;
+    rg.data_devices = 4;
+    rg.parity_devices = 1;
+    rg.device_blocks = 32 * 1024;
+    rg.media.type = MediaType::kHdd;
+    rg.aa_stripes = 2048;
+    cfg.raid_groups = {rg, rg};
+    return cfg;
+  }
+
+  Aggregate agg;
+};
+
+TEST(Mount, TopAaGateIsConstantSized) {
+  Rig rig;
+  const MountReport r = mount_all(rig.agg, /*use_topaa=*/true);
+  EXPECT_TRUE(r.used_topaa);
+  EXPECT_EQ(r.rgs_seeded, 2u);
+  EXPECT_EQ(r.vols_seeded, 2u);
+  // 1 block per RAID group + 2 per volume — independent of capacity
+  // (§3.4 / Figure 10's flat line).
+  EXPECT_EQ(r.gate_block_reads,
+            2 * TopAaFile::kRaidAwareBlocks +
+                2 * TopAaFile::kRaidAgnosticBlocks);
+}
+
+TEST(Mount, ScanGateReadsEveryBitmapBlock) {
+  Rig rig;
+  const MountReport r = mount_all(rig.agg, /*use_topaa=*/false);
+  EXPECT_FALSE(r.used_topaa);
+  const std::uint64_t agg_bitmap_blocks =
+      rig.agg.activemap().metafile().metafile_blocks();
+  const std::uint64_t vol_bitmap_blocks =
+      rig.agg.volume(0).activemap().metafile().metafile_blocks();
+  EXPECT_EQ(r.gate_block_reads, agg_bitmap_blocks + 2 * vol_bitmap_blocks);
+  EXPECT_GT(r.gate_block_reads,
+            2 * TopAaFile::kRaidAwareBlocks +
+                2 * TopAaFile::kRaidAgnosticBlocks);
+}
+
+TEST(Mount, SeededCachesSustainAllocation) {
+  Rig rig;
+  mount_all(rig.agg, /*use_topaa=*/true);
+  // The first CP must proceed correctly from the seeded caches alone.
+  std::vector<DirtyBlock> dirty;
+  for (std::uint64_t l = 0; l < 3000; ++l) {
+    dirty.push_back({0, l});
+  }
+  const CpStats stats = ConsistencyPoint::run(rig.agg, dirty);
+  EXPECT_EQ(stats.blocks_written, 3000u);
+  const FlexVol& vol = rig.agg.volume(0);
+  EXPECT_EQ(vol.scoreboard().total_free(), vol.free_blocks());
+}
+
+TEST(Mount, BackgroundCompletionRestoresFullCaches) {
+  Rig rig;
+  mount_all(rig.agg, /*use_topaa=*/true);
+  // Seeded heap holds at most kTopAaRaidAwareEntries per group.
+  EXPECT_LE(rig.agg.rg_cache(0).size(),
+            static_cast<std::size_t>(kTopAaRaidAwareEntries));
+  ThreadPool pool(2);
+  complete_background(rig.agg, &pool);
+  // Full heap again: every AA of the group.
+  EXPECT_EQ(rig.agg.rg_cache(0).size(), rig.agg.rg_layout(0).aa_count());
+  EXPECT_TRUE(rig.agg.rg_cache(0).validate());
+}
+
+TEST(Mount, ScanAndTopAaAgreeOnBestAa) {
+  Rig rig;
+  mount_all(rig.agg, /*use_topaa=*/true);
+  const auto seeded_best = rig.agg.rg_cache(0).peek_best_score();
+  complete_background(rig.agg);
+  const auto full_best = rig.agg.rg_cache(0).peek_best_score();
+  ASSERT_TRUE(seeded_best.has_value());
+  ASSERT_TRUE(full_best.has_value());
+  // The TopAA file holds the best AAs, so the seeded best equals the
+  // rebuilt best.
+  EXPECT_EQ(*seeded_best, *full_best);
+}
+
+TEST(Mount, CorruptRgTopAaFallsBackPerGroup) {
+  Rig rig;
+  // Damage RG1's TopAA block (each group owns a two-block slot in the
+  // TopAA store).
+  rig.agg.topaa_store().corrupt(rig.agg.rg_topaa_block(1), 3);
+  const MountReport r = mount_all(rig.agg, /*use_topaa=*/true);
+  EXPECT_EQ(r.rgs_seeded, 1u);  // RG0 fine, RG1 fell back
+  // Both groups still operational.
+  EXPECT_GT(rig.agg.rg_cache(0).size(), 0u);
+  EXPECT_GT(rig.agg.rg_cache(1).size(), 0u);
+}
+
+TEST(Mount, ScanPathParallelMatchesSerial) {
+  Rig serial_rig, parallel_rig;
+  mount_all(serial_rig.agg, false);
+  ThreadPool pool(3);
+  mount_all(parallel_rig.agg, false, &pool);
+  for (RaidGroupId rg = 0; rg < 2; ++rg) {
+    EXPECT_EQ(serial_rig.agg.rg_cache(rg).peek_best_score(),
+              parallel_rig.agg.rg_cache(rg).peek_best_score());
+    EXPECT_EQ(serial_rig.agg.rg_scoreboard(rg).total_free(),
+              parallel_rig.agg.rg_scoreboard(rg).total_free());
+  }
+}
+
+}  // namespace
+}  // namespace wafl

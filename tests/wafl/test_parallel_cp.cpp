@@ -1,0 +1,142 @@
+// Parallel per-volume CP processing (the companion-work [10] direction):
+// the parallel path must be bit-identical to the serial path and uphold
+// every invariant under concurrent volume slices.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "wafl/consistency_point.hpp"
+
+namespace wafl {
+namespace {
+
+constexpr std::size_t kVols = 6;
+
+std::unique_ptr<Aggregate> make_agg() {
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = 64 * 1024;
+  rg.media.type = MediaType::kHdd;
+  rg.aa_stripes = 2048;
+  cfg.raid_groups = {rg, rg};
+  auto agg = std::make_unique<Aggregate>(cfg, 9);
+  for (std::size_t v = 0; v < kVols; ++v) {
+    FlexVolConfig vol;
+    vol.file_blocks = 40'000;
+    vol.vvbn_blocks = 3ull * kFlatAaBlocks;
+    vol.aa_blocks = 8192;
+    agg->add_volume(vol);
+  }
+  return agg;
+}
+
+std::vector<DirtyBlock> mixed_batch(Rng& rng, std::uint64_t per_vol) {
+  std::vector<DirtyBlock> out;
+  for (VolumeId v = 0; v < kVols; ++v) {
+    // Interleave volumes deliberately: the CP groups them itself.
+    for (std::uint64_t i = 0; i < per_vol; ++i) {
+      out.push_back({v, rng.below(30'000)});
+    }
+  }
+  // Coalesce duplicates per (vol, logical).
+  std::sort(out.begin(), out.end(),
+            [](const DirtyBlock& a, const DirtyBlock& b) {
+              return a.vol != b.vol ? a.vol < b.vol : a.logical < b.logical;
+            });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const DirtyBlock& a, const DirtyBlock& b) {
+                          return a.vol == b.vol && a.logical == b.logical;
+                        }),
+            out.end());
+  return out;
+}
+
+TEST(ParallelCp, MatchesSerialExactly) {
+  auto serial = make_agg();
+  auto parallel = make_agg();
+  ThreadPool pool(4);
+  Rng rng_a(55), rng_b(55);
+
+  for (int cp = 0; cp < 8; ++cp) {
+    const auto batch_a = mixed_batch(rng_a, 3'000);
+    const auto batch_b = mixed_batch(rng_b, 3'000);
+    ASSERT_EQ(batch_a.size(), batch_b.size());
+    const CpStats s = ConsistencyPoint::run(*serial, batch_a);
+    const CpStats p = ConsistencyPoint::run(*parallel, batch_b, &pool);
+    ASSERT_EQ(s.blocks_written, p.blocks_written);
+    ASSERT_EQ(s.blocks_freed, p.blocks_freed);
+    ASSERT_EQ(s.vol_meta_blocks, p.vol_meta_blocks);
+    ASSERT_EQ(s.agg_meta_blocks, p.agg_meta_blocks);
+    ASSERT_EQ(s.vol_bits_scanned, p.vol_bits_scanned);
+  }
+
+  // Bit-identical file-system state.
+  ASSERT_EQ(serial->free_blocks(), parallel->free_blocks());
+  for (VolumeId v = 0; v < kVols; ++v) {
+    const FlexVol& a = serial->volume(v);
+    const FlexVol& b = parallel->volume(v);
+    ASSERT_EQ(a.free_blocks(), b.free_blocks());
+    for (std::uint64_t l = 0; l < a.file_blocks(); ++l) {
+      ASSERT_EQ(a.is_mapped(l), b.is_mapped(l));
+      if (a.is_mapped(l)) {
+        ASSERT_EQ(a.vvbn_of(l), b.vvbn_of(l));
+        ASSERT_EQ(a.pvbn_of(l), b.pvbn_of(l));
+      }
+    }
+  }
+}
+
+TEST(ParallelCp, InvariantsUnderChurn) {
+  auto agg = make_agg();
+  ThreadPool pool(4);
+  Rng rng(77);
+  for (int cp = 0; cp < 12; ++cp) {
+    ConsistencyPoint::run(*agg, mixed_batch(rng, 2'000), &pool);
+    for (VolumeId v = 0; v < kVols; ++v) {
+      const FlexVol& vol = agg->volume(v);
+      ASSERT_EQ(vol.scoreboard().total_free(), vol.free_blocks());
+      ASSERT_TRUE(vol.cache().validate());
+    }
+    for (RaidGroupId rg = 0; rg < agg->raid_group_count(); ++rg) {
+      ASSERT_TRUE(agg->rg_cache(rg).validate());
+    }
+  }
+  // Ownership coherent across all volumes.
+  std::uint64_t owned = 0;
+  for (Vbn p = 0; p < agg->total_blocks(); ++p) {
+    if (const auto owner = agg->owner_of(p)) {
+      ++owned;
+      ASSERT_EQ(agg->volume(owner->vol).pvbn_of_vvbn(owner->vvbn),
+                p);
+    }
+  }
+  EXPECT_EQ(owned, agg->total_blocks() - agg->free_blocks());
+}
+
+TEST(ParallelCp, SingleVolumeFallsBackToSerialPath) {
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 3;
+  rg.parity_devices = 1;
+  rg.device_blocks = 16 * 1024;
+  rg.media.type = MediaType::kHdd;
+  rg.aa_stripes = 1024;
+  cfg.raid_groups = {rg};
+  Aggregate agg(cfg, 2);
+  FlexVolConfig vol;
+  vol.file_blocks = 20'000;
+  vol.vvbn_blocks = kFlatAaBlocks;
+  agg.add_volume(vol);
+  ThreadPool pool(2);
+  std::vector<DirtyBlock> dirty;
+  for (std::uint64_t l = 0; l < 10'000; ++l) dirty.push_back({0, l});
+  const CpStats stats = ConsistencyPoint::run(agg, dirty, &pool);
+  EXPECT_EQ(stats.blocks_written, 10'000u);
+}
+
+}  // namespace
+}  // namespace wafl

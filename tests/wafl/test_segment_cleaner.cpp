@@ -1,0 +1,206 @@
+#include "wafl/segment_cleaner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wafl/consistency_point.hpp"
+
+namespace wafl {
+namespace {
+
+struct Rig {
+  Rig() : agg(make_config(), 4) {
+    FlexVolConfig vcfg;
+    vcfg.vvbn_blocks = 128 * 1024;
+    vcfg.file_blocks = 96 * 1024;
+    vcfg.aa_blocks = 8192;
+    agg.add_volume(vcfg);
+  }
+
+  static AggregateConfig make_config() {
+    AggregateConfig cfg;
+    RaidGroupConfig rg;
+    rg.data_devices = 4;
+    rg.parity_devices = 1;
+    rg.device_blocks = 64 * 1024;
+    rg.media.type = MediaType::kHdd;
+    rg.aa_stripes = 1024;  // 32 AAs of 4096 blocks
+    cfg.raid_groups = {rg};
+    return cfg;
+  }
+
+  std::vector<DirtyBlock> range(std::uint64_t lo, std::uint64_t hi) {
+    std::vector<DirtyBlock> out;
+    for (std::uint64_t l = lo; l < hi; ++l) out.push_back({0, l});
+    return out;
+  }
+
+  /// Writes then punches holes: leaves AAs ~75% free.
+  void fragment() {
+    ConsistencyPoint::run(agg, range(0, 80'000));
+    // Overwrite 3 of every 4 blocks so the old copies free up, spread
+    // across the whole span.  Split into two CPs so allocations never
+    // outrun the deferred frees' headroom.
+    std::vector<DirtyBlock> d;
+    for (std::uint64_t l = 0; l < 40'000; ++l) {
+      if (l % 4 != 0) d.push_back({0, l});
+    }
+    ConsistencyPoint::run(agg, d);
+    d.clear();
+    for (std::uint64_t l = 40'000; l < 80'000; ++l) {
+      if (l % 4 != 0) d.push_back({0, l});
+    }
+    ConsistencyPoint::run(agg, d);
+  }
+
+  Aggregate agg;
+};
+
+TEST(SegmentCleaner, GeneratesEmptyAas) {
+  Rig rig;
+  rig.fragment();
+
+  auto count_empty = [&] {
+    std::uint32_t n = 0;
+    const auto& board = rig.agg.rg_scoreboard(0);
+    const auto& layout = rig.agg.rg_layout(0);
+    for (AaId aa = 0; aa < board.aa_count(); ++aa) {
+      if (board.score(aa) == layout.aa_capacity(aa)) ++n;
+    }
+    return n;
+  };
+  const std::uint32_t before = count_empty();
+
+  CleanerConfig ccfg;
+  ccfg.relocation_budget = 8192;
+  ccfg.empty_pool_target = before + 2;
+  SegmentCleaner cleaner(ccfg);
+  const CleanerReport report = cleaner.run(rig.agg);
+  EXPECT_GT(report.aas_cleaned, 0u);
+  EXPECT_GT(report.blocks_relocated, 0u);
+  EXPECT_GE(count_empty(), before + 2);
+  EXPECT_TRUE(rig.agg.rg_cache(0).validate());
+}
+
+TEST(SegmentCleaner, DataRemainsReachableAfterCleaning) {
+  Rig rig;
+  rig.fragment();
+
+  // Remember every logical mapping before cleaning.
+  const FlexVol& vol = rig.agg.volume(0);
+  std::vector<Vbn> vvbn_before(80'000);
+  for (std::uint64_t l = 0; l < 80'000; ++l) {
+    vvbn_before[l] = vol.vvbn_of(l);
+  }
+
+  CleanerConfig ccfg;
+  ccfg.empty_pool_target = 1000;  // clean as much as the budget allows
+  SegmentCleaner cleaner(ccfg);
+  const CleanerReport report = cleaner.run(rig.agg);
+  EXPECT_GT(report.blocks_relocated, 0u);
+
+  // Virtual mappings unchanged; physical mappings all live and unique.
+  std::set<Vbn> pvbns;
+  for (std::uint64_t l = 0; l < 80'000; ++l) {
+    ASSERT_EQ(vol.vvbn_of(l), vvbn_before[l]);
+    const Vbn p = vol.pvbn_of(l);
+    ASSERT_TRUE(rig.agg.activemap().is_allocated(p));
+    ASSERT_TRUE(pvbns.insert(p).second);
+    // Ownership stays coherent with the maps.
+    const auto owner = rig.agg.owner_of(p);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(owner->vol, 0u);
+    EXPECT_EQ(owner->vvbn, vol.vvbn_of(l));
+  }
+  // Global accounting: live blocks unchanged by cleaning.
+  EXPECT_EQ(rig.agg.total_blocks() - rig.agg.free_blocks(), 80'000u);
+}
+
+TEST(SegmentCleaner, RespectsBudget) {
+  Rig rig;
+  rig.fragment();
+  CleanerConfig ccfg;
+  ccfg.relocation_budget = 1500;
+  ccfg.empty_pool_target = 1000;  // unbounded pool: budget is the limit
+  SegmentCleaner cleaner(ccfg);
+  const CleanerReport report = cleaner.run(rig.agg);
+  EXPECT_LE(report.blocks_relocated, 1500u);
+}
+
+TEST(SegmentCleaner, CleansEachAaOnce) {
+  Rig rig;
+  rig.fragment();
+  CleanerConfig ccfg;
+  ccfg.empty_pool_target = 1000;
+  ccfg.relocation_budget = 4096;
+  SegmentCleaner cleaner(ccfg);
+  const CleanerReport first = cleaner.run(rig.agg);
+  EXPECT_GT(first.aas_cleaned, 0u);
+  const std::size_t cleaned_after_first = cleaner.cleaned_count(0);
+
+  // Without new fragmentation, a second pass cleans different AAs (or
+  // nothing) — never the same AA twice.
+  const CleanerReport second = cleaner.run(rig.agg);
+  EXPECT_GE(cleaner.cleaned_count(0),
+            cleaned_after_first + second.aas_cleaned);
+}
+
+TEST(SegmentCleaner, SkipsMostlyFullAas) {
+  Rig rig;
+  // Dense data: every AA ~97% full — cleaning would be all relocation.
+  ConsistencyPoint::run(rig.agg, rig.range(0, 96'000));
+  CleanerConfig ccfg;
+  ccfg.min_free_fraction = 0.5;
+  ccfg.empty_pool_target = 1000;
+  SegmentCleaner cleaner(ccfg);
+  const CleanerReport report = cleaner.run(rig.agg);
+  EXPECT_EQ(report.aas_cleaned, 0u);
+  EXPECT_EQ(report.blocks_relocated, 0u);
+}
+
+TEST(SegmentCleaner, SkipsUnownedBlocks) {
+  Rig rig;
+  Rng rng(6);
+  rig.agg.seed_rg_occupancy(0, 0.3, rng);  // unowned data everywhere
+  SegmentCleaner cleaner;
+  const CleanerReport report = cleaner.run(rig.agg);
+  EXPECT_EQ(report.aas_cleaned, 0u);
+  EXPECT_GT(report.aas_skipped_unowned, 0u);
+}
+
+TEST(SegmentCleaner, ImprovesSubsequentStripeFullness) {
+  Rig rig;
+  rig.fragment();
+
+  // Consume most remaining pristine space so the allocator must use
+  // fragmented AAs...
+  auto fill_rest = [&](std::uint64_t lo) {
+    ConsistencyPoint::run(rig.agg, rig.range(lo, lo + 8'000));
+  };
+  fill_rest(80'000);
+
+  // ...then measure a write burst with and without prior cleaning.
+  Rig cleaned_rig;
+  cleaned_rig.fragment();
+  ConsistencyPoint::run(cleaned_rig.agg, cleaned_rig.range(80'000, 88'000));
+  CleanerConfig ccfg;
+  ccfg.relocation_budget = 32'768;
+  ccfg.empty_pool_target = 6;
+  SegmentCleaner cleaner(ccfg);
+  cleaner.run(cleaned_rig.agg);
+
+  const CpStats dirty_burst =
+      ConsistencyPoint::run(rig.agg, rig.range(88'000, 92'000));
+  const CpStats clean_burst = ConsistencyPoint::run(
+      cleaned_rig.agg, cleaned_rig.range(88'000, 92'000));
+
+  const auto fullness = [](const CpStats& s) {
+    return static_cast<double>(s.full_stripes) /
+           static_cast<double>(s.full_stripes + s.partial_stripes);
+  };
+  EXPECT_GE(fullness(clean_burst) + 1e-9, fullness(dirty_burst));
+}
+
+}  // namespace
+}  // namespace wafl

@@ -1,0 +1,192 @@
+// Snapshots and delayed-free reclamation (§1/§2.2 COW snapshots; §3.3.2's
+// delayed-free use of the HBPS; §4.1.1's "freeing of blocks due to other
+// internal activity, such as snapshot deletion").
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "wafl/consistency_point.hpp"
+
+namespace wafl {
+namespace {
+
+struct Rig {
+  Rig() : agg(make_config(), 21) {
+    FlexVolConfig vcfg;
+    vcfg.vvbn_blocks = 128 * 1024;
+    vcfg.file_blocks = 64 * 1024;
+    vcfg.aa_blocks = 8192;
+    agg.add_volume(vcfg);
+  }
+
+  static AggregateConfig make_config() {
+    AggregateConfig cfg;
+    RaidGroupConfig rg;
+    rg.data_devices = 4;
+    rg.parity_devices = 1;
+    rg.device_blocks = 64 * 1024;
+    rg.media.type = MediaType::kHdd;
+    rg.aa_stripes = 2048;
+    cfg.raid_groups = {rg};
+    return cfg;
+  }
+
+  std::vector<DirtyBlock> range(std::uint64_t lo, std::uint64_t hi) {
+    std::vector<DirtyBlock> out;
+    for (std::uint64_t l = lo; l < hi; ++l) out.push_back({0, l});
+    return out;
+  }
+
+  CpStats cp(std::uint64_t lo, std::uint64_t hi) {
+    return ConsistencyPoint::run(agg, range(lo, hi));
+  }
+
+  Aggregate agg;
+};
+
+TEST(Snapshots, OverwritesDoNotFreeHeldBlocks) {
+  Rig rig;
+  rig.cp(0, 20'000);
+  const std::uint64_t used_before =
+      rig.agg.total_blocks() - rig.agg.free_blocks();
+
+  FlexVol& vol = rig.agg.volume(0);
+  const SnapId snap = vol.create_snapshot();
+  EXPECT_EQ(vol.snapshot_count(), 1u);
+
+  const CpStats stats = rig.cp(0, 10'000);
+  // COW under a snapshot: nothing freed, 10 K new blocks live alongside
+  // the held old copies.
+  EXPECT_EQ(stats.blocks_freed, 0u);
+  EXPECT_EQ(rig.agg.total_blocks() - rig.agg.free_blocks(),
+            used_before + 10'000);
+
+  // The snapshot still sees the frozen image.
+  for (std::uint64_t l = 0; l < 10'000; l += 537) {
+    const Vbn old_vvbn = vol.snapshot_vvbn_of(snap, l);
+    ASSERT_NE(old_vvbn, kInvalidVbn);
+    ASSERT_NE(old_vvbn, vol.vvbn_of(l));  // live file moved on
+    ASSERT_TRUE(vol.activemap().is_allocated(old_vvbn));
+  }
+}
+
+TEST(Snapshots, DeletionLogsDelayedFreesAndCpsReclaimThem) {
+  Rig rig;
+  rig.cp(0, 20'000);
+  FlexVol& vol = rig.agg.volume(0);
+  const SnapId snap = vol.create_snapshot();
+  rig.cp(0, 10'000);  // 10 K held copies now exist
+
+  vol.delete_snapshot(snap);
+  // Overwritten blocks' old copies (10 K) are now delayed frees; the 10 K
+  // unchanged blocks stay live and free nothing.
+  EXPECT_EQ(vol.pending_delayed_frees(), 10'000u);
+
+  // Subsequent CPs drain the debt a few regions at a time.
+  std::uint64_t cps = 0;
+  while (vol.pending_delayed_frees() > 0) {
+    rig.cp(30'000 + cps * 10, 30'000 + cps * 10 + 10);
+    ++cps;
+    ASSERT_LT(cps, 100u);
+  }
+  EXPECT_GT(cps, 0u);
+  // All space accounted for: 20 K live + 10 K+ small writes.
+  const std::uint64_t live = 20'000 + cps * 10;
+  EXPECT_EQ(rig.agg.total_blocks() - rig.agg.free_blocks(), live);
+  EXPECT_EQ(vol.scoreboard().total_free(), vol.free_blocks());
+  EXPECT_TRUE(vol.cache().validate());
+}
+
+TEST(Snapshots, SharedBlocksSurviveUntilLastSnapshotDies) {
+  Rig rig;
+  rig.cp(0, 5'000);
+  FlexVol& vol = rig.agg.volume(0);
+  const SnapId s1 = vol.create_snapshot();
+  const SnapId s2 = vol.create_snapshot();  // same image, both hold
+  rig.cp(0, 5'000);                         // old copies held by s1 AND s2
+
+  vol.delete_snapshot(s1);
+  EXPECT_EQ(vol.pending_delayed_frees(), 0u);  // s2 still holds everything
+  vol.delete_snapshot(s2);
+  EXPECT_EQ(vol.pending_delayed_frees(), 5'000u);
+}
+
+TEST(Snapshots, ActiveBlocksNeverBecomeDelayedFrees) {
+  Rig rig;
+  rig.cp(0, 8'000);
+  FlexVol& vol = rig.agg.volume(0);
+  const SnapId snap = vol.create_snapshot();
+  // No overwrites: the live file still references every snapshotted block.
+  vol.delete_snapshot(snap);
+  EXPECT_EQ(vol.pending_delayed_frees(), 0u);
+  // Everything still readable.
+  for (std::uint64_t l = 0; l < 8'000; l += 769) {
+    ASSERT_TRUE(vol.is_mapped(l));
+    ASSERT_TRUE(vol.activemap().is_allocated(vol.vvbn_of(l)));
+  }
+}
+
+TEST(Snapshots, ReclaimedPhysicalBlocksReturnToAggregate) {
+  Rig rig;
+  rig.cp(0, 16'000);
+  FlexVol& vol = rig.agg.volume(0);
+  const SnapId snap = vol.create_snapshot();
+
+  // Capture the held pvbns before overwriting.
+  std::set<Vbn> held_pvbns;
+  for (std::uint64_t l = 0; l < 16'000; ++l) {
+    held_pvbns.insert(vol.pvbn_of(l));
+  }
+  rig.cp(0, 16'000);
+  vol.delete_snapshot(snap);
+  while (vol.pending_delayed_frees() > 0) {
+    rig.cp(20'000, 20'001);
+  }
+  // Every held physical block is free again and unowned.
+  for (const Vbn p : held_pvbns) {
+    ASSERT_FALSE(rig.agg.activemap().is_allocated(p));
+    ASSERT_FALSE(rig.agg.owner_of(p).has_value());
+  }
+}
+
+TEST(Snapshots, ChurnUnderSnapshotKeepsInvariants) {
+  Rig rig;
+  rig.cp(0, 30'000);
+  FlexVol& vol = rig.agg.volume(0);
+  std::vector<SnapId> snaps;
+  for (int round = 0; round < 6; ++round) {
+    snaps.push_back(vol.create_snapshot());
+    rig.cp(static_cast<std::uint64_t>(round) * 4'000,
+           static_cast<std::uint64_t>(round) * 4'000 + 6'000);
+    if (round % 2 == 1) {
+      vol.delete_snapshot(snaps[static_cast<std::size_t>(round) / 2]);
+    }
+    ASSERT_EQ(vol.scoreboard().total_free(), vol.free_blocks());
+    ASSERT_TRUE(vol.cache().validate());
+  }
+  for (std::size_t i = 3; i < snaps.size(); ++i) {
+    vol.delete_snapshot(snaps[i]);
+  }
+  while (vol.pending_delayed_frees() > 0) {
+    rig.cp(40'000, 40'002);
+  }
+  // Final coherence: live mappings unique, accounting exact.
+  std::set<Vbn> vvbns;
+  std::uint64_t mapped = 0;
+  for (std::uint64_t l = 0; l < vol.file_blocks(); ++l) {
+    if (!vol.is_mapped(l)) continue;
+    ++mapped;
+    ASSERT_TRUE(vvbns.insert(vol.vvbn_of(l)).second);
+  }
+  EXPECT_EQ(vol.config().vvbn_blocks - vol.free_blocks(), mapped);
+}
+
+TEST(SnapshotsDeathTest, DeletingUnknownSnapshotAsserts) {
+  Rig rig;
+  rig.cp(0, 100);
+  EXPECT_DEATH(rig.agg.volume(0).delete_snapshot(42), "no such snapshot");
+}
+
+}  // namespace
+}  // namespace wafl
