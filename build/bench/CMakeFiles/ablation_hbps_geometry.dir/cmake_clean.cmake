@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hbps_geometry.dir/ablation_hbps_geometry.cpp.o"
+  "CMakeFiles/ablation_hbps_geometry.dir/ablation_hbps_geometry.cpp.o.d"
+  "ablation_hbps_geometry"
+  "ablation_hbps_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hbps_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_topaa_mount.dir/fig10_topaa_mount.cpp.o"
+  "CMakeFiles/fig10_topaa_mount.dir/fig10_topaa_mount.cpp.o.d"
+  "fig10_topaa_mount"
+  "fig10_topaa_mount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_topaa_mount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

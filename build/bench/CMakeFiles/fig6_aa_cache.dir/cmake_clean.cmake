@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_aa_cache.dir/fig6_aa_cache.cpp.o"
+  "CMakeFiles/fig6_aa_cache.dir/fig6_aa_cache.cpp.o.d"
+  "fig6_aa_cache"
+  "fig6_aa_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_aa_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

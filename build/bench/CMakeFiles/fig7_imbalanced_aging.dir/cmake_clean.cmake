@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_imbalanced_aging.dir/fig7_imbalanced_aging.cpp.o"
+  "CMakeFiles/fig7_imbalanced_aging.dir/fig7_imbalanced_aging.cpp.o.d"
+  "fig7_imbalanced_aging"
+  "fig7_imbalanced_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_imbalanced_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

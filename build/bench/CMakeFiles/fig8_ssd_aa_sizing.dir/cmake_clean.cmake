@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ssd_aa_sizing.dir/fig8_ssd_aa_sizing.cpp.o"
+  "CMakeFiles/fig8_ssd_aa_sizing.dir/fig8_ssd_aa_sizing.cpp.o.d"
+  "fig8_ssd_aa_sizing"
+  "fig8_ssd_aa_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ssd_aa_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

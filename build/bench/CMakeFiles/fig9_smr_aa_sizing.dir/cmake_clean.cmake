@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_smr_aa_sizing.dir/fig9_smr_aa_sizing.cpp.o"
+  "CMakeFiles/fig9_smr_aa_sizing.dir/fig9_smr_aa_sizing.cpp.o.d"
+  "fig9_smr_aa_sizing"
+  "fig9_smr_aa_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_smr_aa_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

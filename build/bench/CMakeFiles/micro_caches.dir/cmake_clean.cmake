@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_caches.dir/micro_caches.cpp.o"
+  "CMakeFiles/micro_caches.dir/micro_caches.cpp.o.d"
+  "micro_caches"
+  "micro_caches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

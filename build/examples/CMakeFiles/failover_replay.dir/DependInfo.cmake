@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/failover_replay.cpp" "examples/CMakeFiles/failover_replay.dir/failover_replay.cpp.o" "gcc" "examples/CMakeFiles/failover_replay.dir/failover_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wafl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wafl/CMakeFiles/wafl_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wafl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/wafl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/wafl_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wafl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/wafl_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wafl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

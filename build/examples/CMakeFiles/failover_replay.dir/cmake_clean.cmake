@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_replay.dir/failover_replay.cpp.o"
+  "CMakeFiles/failover_replay.dir/failover_replay.cpp.o.d"
+  "failover_replay"
+  "failover_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_churn.dir/snapshot_churn.cpp.o"
+  "CMakeFiles/snapshot_churn.dir/snapshot_churn.cpp.o.d"
+  "snapshot_churn"
+  "snapshot_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

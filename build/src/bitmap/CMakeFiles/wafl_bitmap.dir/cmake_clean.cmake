@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafl_bitmap.dir/bitmap.cpp.o"
+  "CMakeFiles/wafl_bitmap.dir/bitmap.cpp.o.d"
+  "CMakeFiles/wafl_bitmap.dir/bitmap_metafile.cpp.o"
+  "CMakeFiles/wafl_bitmap.dir/bitmap_metafile.cpp.o.d"
+  "libwafl_bitmap.a"
+  "libwafl_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafl_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

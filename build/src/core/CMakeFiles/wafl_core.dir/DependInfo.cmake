@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aa_sizing.cpp" "src/core/CMakeFiles/wafl_core.dir/aa_sizing.cpp.o" "gcc" "src/core/CMakeFiles/wafl_core.dir/aa_sizing.cpp.o.d"
+  "/root/repo/src/core/hbps.cpp" "src/core/CMakeFiles/wafl_core.dir/hbps.cpp.o" "gcc" "src/core/CMakeFiles/wafl_core.dir/hbps.cpp.o.d"
+  "/root/repo/src/core/max_heap_cache.cpp" "src/core/CMakeFiles/wafl_core.dir/max_heap_cache.cpp.o" "gcc" "src/core/CMakeFiles/wafl_core.dir/max_heap_cache.cpp.o.d"
+  "/root/repo/src/core/scoreboard.cpp" "src/core/CMakeFiles/wafl_core.dir/scoreboard.cpp.o" "gcc" "src/core/CMakeFiles/wafl_core.dir/scoreboard.cpp.o.d"
+  "/root/repo/src/core/topaa.cpp" "src/core/CMakeFiles/wafl_core.dir/topaa.cpp.o" "gcc" "src/core/CMakeFiles/wafl_core.dir/topaa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wafl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wafl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/wafl_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/wafl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/wafl_raid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafl_core.dir/aa_sizing.cpp.o"
+  "CMakeFiles/wafl_core.dir/aa_sizing.cpp.o.d"
+  "CMakeFiles/wafl_core.dir/hbps.cpp.o"
+  "CMakeFiles/wafl_core.dir/hbps.cpp.o.d"
+  "CMakeFiles/wafl_core.dir/max_heap_cache.cpp.o"
+  "CMakeFiles/wafl_core.dir/max_heap_cache.cpp.o.d"
+  "CMakeFiles/wafl_core.dir/scoreboard.cpp.o"
+  "CMakeFiles/wafl_core.dir/scoreboard.cpp.o.d"
+  "CMakeFiles/wafl_core.dir/topaa.cpp.o"
+  "CMakeFiles/wafl_core.dir/topaa.cpp.o.d"
+  "libwafl_core.a"
+  "libwafl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/azcs.cpp" "src/device/CMakeFiles/wafl_device.dir/azcs.cpp.o" "gcc" "src/device/CMakeFiles/wafl_device.dir/azcs.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/device/CMakeFiles/wafl_device.dir/device.cpp.o" "gcc" "src/device/CMakeFiles/wafl_device.dir/device.cpp.o.d"
+  "/root/repo/src/device/hdd.cpp" "src/device/CMakeFiles/wafl_device.dir/hdd.cpp.o" "gcc" "src/device/CMakeFiles/wafl_device.dir/hdd.cpp.o.d"
+  "/root/repo/src/device/smr.cpp" "src/device/CMakeFiles/wafl_device.dir/smr.cpp.o" "gcc" "src/device/CMakeFiles/wafl_device.dir/smr.cpp.o.d"
+  "/root/repo/src/device/ssd.cpp" "src/device/CMakeFiles/wafl_device.dir/ssd.cpp.o" "gcc" "src/device/CMakeFiles/wafl_device.dir/ssd.cpp.o.d"
+  "/root/repo/src/device/ssd_block_mapped.cpp" "src/device/CMakeFiles/wafl_device.dir/ssd_block_mapped.cpp.o" "gcc" "src/device/CMakeFiles/wafl_device.dir/ssd_block_mapped.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wafl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/wafl_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/wafl_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wafl_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

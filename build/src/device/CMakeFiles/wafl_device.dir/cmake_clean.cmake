@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafl_device.dir/azcs.cpp.o"
+  "CMakeFiles/wafl_device.dir/azcs.cpp.o.d"
+  "CMakeFiles/wafl_device.dir/device.cpp.o"
+  "CMakeFiles/wafl_device.dir/device.cpp.o.d"
+  "CMakeFiles/wafl_device.dir/hdd.cpp.o"
+  "CMakeFiles/wafl_device.dir/hdd.cpp.o.d"
+  "CMakeFiles/wafl_device.dir/smr.cpp.o"
+  "CMakeFiles/wafl_device.dir/smr.cpp.o.d"
+  "CMakeFiles/wafl_device.dir/ssd.cpp.o"
+  "CMakeFiles/wafl_device.dir/ssd.cpp.o.d"
+  "CMakeFiles/wafl_device.dir/ssd_block_mapped.cpp.o"
+  "CMakeFiles/wafl_device.dir/ssd_block_mapped.cpp.o.d"
+  "libwafl_device.a"
+  "libwafl_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafl_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafl_raid.dir/raid_group.cpp.o"
+  "CMakeFiles/wafl_raid.dir/raid_group.cpp.o.d"
+  "libwafl_raid.a"
+  "libwafl_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafl_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

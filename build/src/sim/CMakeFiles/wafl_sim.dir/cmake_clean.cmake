@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafl_sim.dir/aging.cpp.o"
+  "CMakeFiles/wafl_sim.dir/aging.cpp.o.d"
+  "CMakeFiles/wafl_sim.dir/latency_sim.cpp.o"
+  "CMakeFiles/wafl_sim.dir/latency_sim.cpp.o.d"
+  "CMakeFiles/wafl_sim.dir/workload.cpp.o"
+  "CMakeFiles/wafl_sim.dir/workload.cpp.o.d"
+  "libwafl_sim.a"
+  "libwafl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

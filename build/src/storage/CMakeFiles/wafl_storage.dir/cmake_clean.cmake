@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafl_storage.dir/block_store.cpp.o"
+  "CMakeFiles/wafl_storage.dir/block_store.cpp.o.d"
+  "libwafl_storage.a"
+  "libwafl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

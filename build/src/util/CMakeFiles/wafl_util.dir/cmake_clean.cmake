@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafl_util.dir/checksum.cpp.o"
+  "CMakeFiles/wafl_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/wafl_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/wafl_util.dir/thread_pool.cpp.o.d"
+  "libwafl_util.a"
+  "libwafl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwafl_util.a"
+)

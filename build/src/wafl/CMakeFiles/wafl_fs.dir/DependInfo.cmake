@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wafl/aggregate.cpp" "src/wafl/CMakeFiles/wafl_fs.dir/aggregate.cpp.o" "gcc" "src/wafl/CMakeFiles/wafl_fs.dir/aggregate.cpp.o.d"
+  "/root/repo/src/wafl/consistency_point.cpp" "src/wafl/CMakeFiles/wafl_fs.dir/consistency_point.cpp.o" "gcc" "src/wafl/CMakeFiles/wafl_fs.dir/consistency_point.cpp.o.d"
+  "/root/repo/src/wafl/delayed_free.cpp" "src/wafl/CMakeFiles/wafl_fs.dir/delayed_free.cpp.o" "gcc" "src/wafl/CMakeFiles/wafl_fs.dir/delayed_free.cpp.o.d"
+  "/root/repo/src/wafl/flexvol.cpp" "src/wafl/CMakeFiles/wafl_fs.dir/flexvol.cpp.o" "gcc" "src/wafl/CMakeFiles/wafl_fs.dir/flexvol.cpp.o.d"
+  "/root/repo/src/wafl/iron.cpp" "src/wafl/CMakeFiles/wafl_fs.dir/iron.cpp.o" "gcc" "src/wafl/CMakeFiles/wafl_fs.dir/iron.cpp.o.d"
+  "/root/repo/src/wafl/media_config.cpp" "src/wafl/CMakeFiles/wafl_fs.dir/media_config.cpp.o" "gcc" "src/wafl/CMakeFiles/wafl_fs.dir/media_config.cpp.o.d"
+  "/root/repo/src/wafl/mount.cpp" "src/wafl/CMakeFiles/wafl_fs.dir/mount.cpp.o" "gcc" "src/wafl/CMakeFiles/wafl_fs.dir/mount.cpp.o.d"
+  "/root/repo/src/wafl/segment_cleaner.cpp" "src/wafl/CMakeFiles/wafl_fs.dir/segment_cleaner.cpp.o" "gcc" "src/wafl/CMakeFiles/wafl_fs.dir/segment_cleaner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wafl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wafl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/wafl_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/wafl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/wafl_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wafl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

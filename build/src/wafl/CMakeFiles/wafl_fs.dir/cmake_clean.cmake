@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafl_fs.dir/aggregate.cpp.o"
+  "CMakeFiles/wafl_fs.dir/aggregate.cpp.o.d"
+  "CMakeFiles/wafl_fs.dir/consistency_point.cpp.o"
+  "CMakeFiles/wafl_fs.dir/consistency_point.cpp.o.d"
+  "CMakeFiles/wafl_fs.dir/delayed_free.cpp.o"
+  "CMakeFiles/wafl_fs.dir/delayed_free.cpp.o.d"
+  "CMakeFiles/wafl_fs.dir/flexvol.cpp.o"
+  "CMakeFiles/wafl_fs.dir/flexvol.cpp.o.d"
+  "CMakeFiles/wafl_fs.dir/iron.cpp.o"
+  "CMakeFiles/wafl_fs.dir/iron.cpp.o.d"
+  "CMakeFiles/wafl_fs.dir/media_config.cpp.o"
+  "CMakeFiles/wafl_fs.dir/media_config.cpp.o.d"
+  "CMakeFiles/wafl_fs.dir/mount.cpp.o"
+  "CMakeFiles/wafl_fs.dir/mount.cpp.o.d"
+  "CMakeFiles/wafl_fs.dir/segment_cleaner.cpp.o"
+  "CMakeFiles/wafl_fs.dir/segment_cleaner.cpp.o.d"
+  "libwafl_fs.a"
+  "libwafl_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafl_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

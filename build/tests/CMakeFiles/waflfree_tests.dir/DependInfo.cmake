@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bitmap/test_activemap.cpp" "tests/CMakeFiles/waflfree_tests.dir/bitmap/test_activemap.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/bitmap/test_activemap.cpp.o.d"
+  "/root/repo/tests/bitmap/test_bitmap.cpp" "tests/CMakeFiles/waflfree_tests.dir/bitmap/test_bitmap.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/bitmap/test_bitmap.cpp.o.d"
+  "/root/repo/tests/bitmap/test_bitmap_metafile.cpp" "tests/CMakeFiles/waflfree_tests.dir/bitmap/test_bitmap_metafile.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/bitmap/test_bitmap_metafile.cpp.o.d"
+  "/root/repo/tests/bitmap/test_growth_bitmap.cpp" "tests/CMakeFiles/waflfree_tests.dir/bitmap/test_growth_bitmap.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/bitmap/test_growth_bitmap.cpp.o.d"
+  "/root/repo/tests/core/test_aa_layout.cpp" "tests/CMakeFiles/waflfree_tests.dir/core/test_aa_layout.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/core/test_aa_layout.cpp.o.d"
+  "/root/repo/tests/core/test_aa_sizing.cpp" "tests/CMakeFiles/waflfree_tests.dir/core/test_aa_sizing.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/core/test_aa_sizing.cpp.o.d"
+  "/root/repo/tests/core/test_hbps.cpp" "tests/CMakeFiles/waflfree_tests.dir/core/test_hbps.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/core/test_hbps.cpp.o.d"
+  "/root/repo/tests/core/test_hbps_param.cpp" "tests/CMakeFiles/waflfree_tests.dir/core/test_hbps_param.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/core/test_hbps_param.cpp.o.d"
+  "/root/repo/tests/core/test_max_heap_cache.cpp" "tests/CMakeFiles/waflfree_tests.dir/core/test_max_heap_cache.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/core/test_max_heap_cache.cpp.o.d"
+  "/root/repo/tests/core/test_scoreboard.cpp" "tests/CMakeFiles/waflfree_tests.dir/core/test_scoreboard.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/core/test_scoreboard.cpp.o.d"
+  "/root/repo/tests/core/test_topaa.cpp" "tests/CMakeFiles/waflfree_tests.dir/core/test_topaa.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/core/test_topaa.cpp.o.d"
+  "/root/repo/tests/device/test_azcs.cpp" "tests/CMakeFiles/waflfree_tests.dir/device/test_azcs.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/device/test_azcs.cpp.o.d"
+  "/root/repo/tests/device/test_hdd.cpp" "tests/CMakeFiles/waflfree_tests.dir/device/test_hdd.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/device/test_hdd.cpp.o.d"
+  "/root/repo/tests/device/test_object_store.cpp" "tests/CMakeFiles/waflfree_tests.dir/device/test_object_store.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/device/test_object_store.cpp.o.d"
+  "/root/repo/tests/device/test_smr.cpp" "tests/CMakeFiles/waflfree_tests.dir/device/test_smr.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/device/test_smr.cpp.o.d"
+  "/root/repo/tests/device/test_ssd.cpp" "tests/CMakeFiles/waflfree_tests.dir/device/test_ssd.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/device/test_ssd.cpp.o.d"
+  "/root/repo/tests/device/test_ssd_block_mapped.cpp" "tests/CMakeFiles/waflfree_tests.dir/device/test_ssd_block_mapped.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/device/test_ssd_block_mapped.cpp.o.d"
+  "/root/repo/tests/raid/test_geometry_param.cpp" "tests/CMakeFiles/waflfree_tests.dir/raid/test_geometry_param.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/raid/test_geometry_param.cpp.o.d"
+  "/root/repo/tests/raid/test_raid_geometry.cpp" "tests/CMakeFiles/waflfree_tests.dir/raid/test_raid_geometry.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/raid/test_raid_geometry.cpp.o.d"
+  "/root/repo/tests/raid/test_tetris.cpp" "tests/CMakeFiles/waflfree_tests.dir/raid/test_tetris.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/raid/test_tetris.cpp.o.d"
+  "/root/repo/tests/sim/test_aging.cpp" "tests/CMakeFiles/waflfree_tests.dir/sim/test_aging.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/sim/test_aging.cpp.o.d"
+  "/root/repo/tests/sim/test_cost_model.cpp" "tests/CMakeFiles/waflfree_tests.dir/sim/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/sim/test_cost_model.cpp.o.d"
+  "/root/repo/tests/sim/test_latency_sim.cpp" "tests/CMakeFiles/waflfree_tests.dir/sim/test_latency_sim.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/sim/test_latency_sim.cpp.o.d"
+  "/root/repo/tests/sim/test_workload.cpp" "tests/CMakeFiles/waflfree_tests.dir/sim/test_workload.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/sim/test_workload.cpp.o.d"
+  "/root/repo/tests/storage/test_block_store.cpp" "tests/CMakeFiles/waflfree_tests.dir/storage/test_block_store.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/storage/test_block_store.cpp.o.d"
+  "/root/repo/tests/util/test_checksum.cpp" "tests/CMakeFiles/waflfree_tests.dir/util/test_checksum.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/util/test_checksum.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/waflfree_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/waflfree_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/CMakeFiles/waflfree_tests.dir/util/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/util/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/wafl/test_aggregate.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_aggregate.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_aggregate.cpp.o.d"
+  "/root/repo/tests/wafl/test_allocator_param.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_allocator_param.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_allocator_param.cpp.o.d"
+  "/root/repo/tests/wafl/test_consistency_point.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_consistency_point.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_consistency_point.cpp.o.d"
+  "/root/repo/tests/wafl/test_delayed_free.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_delayed_free.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_delayed_free.cpp.o.d"
+  "/root/repo/tests/wafl/test_flexvol.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_flexvol.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_flexvol.cpp.o.d"
+  "/root/repo/tests/wafl/test_growth.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_growth.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_growth.cpp.o.d"
+  "/root/repo/tests/wafl/test_iron.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_iron.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_iron.cpp.o.d"
+  "/root/repo/tests/wafl/test_media_config.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_media_config.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_media_config.cpp.o.d"
+  "/root/repo/tests/wafl/test_mixed_pools.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_mixed_pools.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_mixed_pools.cpp.o.d"
+  "/root/repo/tests/wafl/test_mount.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_mount.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_mount.cpp.o.d"
+  "/root/repo/tests/wafl/test_parallel_cp.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_parallel_cp.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_parallel_cp.cpp.o.d"
+  "/root/repo/tests/wafl/test_segment_cleaner.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_segment_cleaner.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_segment_cleaner.cpp.o.d"
+  "/root/repo/tests/wafl/test_snapshots.cpp" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_snapshots.cpp.o" "gcc" "tests/CMakeFiles/waflfree_tests.dir/wafl/test_snapshots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wafl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wafl/CMakeFiles/wafl_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wafl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/wafl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/wafl_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wafl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/wafl_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wafl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
