@@ -11,6 +11,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/obs.hpp"
+
 namespace wafl::bench {
 
 /// True when the environment asks for a fast smoke run (CI-friendly).
@@ -40,6 +42,25 @@ inline void print_expectation(const char* text) {
 
 inline double pct_delta(double ours, double base) {
   return base == 0.0 ? 0.0 : (ours - base) / base * 100.0;
+}
+
+/// Writes the global obs registry as JSON to `<figure>.metrics.json` in the
+/// working directory, making figure runs comparable run-over-run.  A no-op
+/// (beyond an empty snapshot) when obs is compiled out.
+inline void dump_metrics(const char* figure) {
+  if constexpr (!obs::kEnabled) {
+    return;
+  }
+  const std::string path = std::string(figure) + ".metrics.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string json = obs::to_json(obs::registry());
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\n[obs] metrics snapshot written to %s\n", path.c_str());
 }
 
 }  // namespace wafl::bench

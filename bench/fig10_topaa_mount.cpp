@@ -170,5 +170,6 @@ int main() {
     print_series("(B) scaling FlexVol count (64 Ki-block volumes)",
                  "volumes", counts, ts);
   }
+  wafl::bench::dump_metrics("fig10_topaa_mount");
   return 0;
 }

@@ -183,5 +183,6 @@ int main() {
       "Chosen virtual AA free%%:  cache=%.1f vs random=%.1f (paper: 78 vs "
       "61)\n",
       pb.mean_vol_pick_free * 100.0, pa.mean_vol_pick_free * 100.0);
+  wafl::bench::dump_metrics("fig6_aa_cache");
   return 0;
 }

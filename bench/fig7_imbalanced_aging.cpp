@@ -153,5 +153,6 @@ int main() {
       (aged_blocks == 0 || fresh_tetris == 0)
           ? 0.0
           : (aged_tetris / aged_blocks) / (fresh_tetris / fresh_blocks));
+  wafl::bench::dump_metrics("fig7_imbalanced_aging");
   return 0;
 }

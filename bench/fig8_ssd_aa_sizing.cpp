@@ -130,5 +130,6 @@ int main() {
               ps.write_amplification == 0.0
                   ? 0.0
                   : pl.write_amplification / ps.write_amplification);
+  wafl::bench::dump_metrics("fig8_ssd_aa_sizing");
   return 0;
 }

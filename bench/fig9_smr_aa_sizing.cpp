@@ -138,5 +138,6 @@ int main() {
       "throughput %+.1f%% (paper: +7%%), latency %+.1f%% (paper: -11%%)\n",
       bench::pct_delta(pl.achieved_ops_per_sec, ps.achieved_ops_per_sec),
       bench::pct_delta(pl.mean_latency_ms, ps.mean_latency_ms));
+  wafl::bench::dump_metrics("fig9_smr_aa_sizing");
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "wafl/consistency_point.hpp"
 #include "wafl/mount.hpp"
 
@@ -83,5 +84,13 @@ int main() {
   std::printf("first CP after mount: %llu blocks written from seeded "
               "caches\n",
               static_cast<unsigned long long>(first.blocks_written));
+
+  // --- 5. Everything above was also metered by wafl::obs. -----------------
+  if constexpr (obs::kEnabled) {
+    std::printf("\nend-of-run obs snapshot (JSON):\n%s",
+                obs::to_json(obs::registry()).c_str());
+  } else {
+    std::printf("\n(obs instrumentation compiled out)\n");
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/checksum.hpp"
 
@@ -131,6 +132,11 @@ void Hbps::update_score(AaId aa, AaScore old_score, AaScore new_score) {
   const std::uint32_t b0 = bin_of(old_score);
   const std::uint32_t b1 = bin_of(new_score);
   if (b0 == b1) return;  // same bin: nothing moves (partial sort)
+  WAFL_OBS({
+    static obs::Counter& rebins = obs::registry().counter("wafl.hbps.rebins");
+    rebins.inc();
+    obs::trace().emit(obs::EventType::kHbpsRebin, 0, aa, b0, b1);
+  });
   WAFL_ASSERT(hist_[b0] > 0);
   --hist_[b0];
   ++hist_[b1];

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace wafl {
 
 MaxHeapAaCache::MaxHeapAaCache(AaId aa_universe)
@@ -66,6 +68,10 @@ void MaxHeapAaCache::update_score(AaId aa, AaScore old_score,
   const std::uint32_t i = pos_[aa];
   if (i == kAbsent) return;  // checked out; will re-key on insert
   WAFL_ASSERT(heap_[i].score == old_score);
+  WAFL_OBS({
+    static obs::Counter& rekeys = obs::registry().counter("wafl.heap.rekeys");
+    rekeys.inc();
+  });
   heap_[i].score = new_score;
   if (new_score > old_score) {
     sift_up(i);

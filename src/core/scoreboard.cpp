@@ -1,5 +1,6 @@
 #include "core/scoreboard.hpp"
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wafl {
@@ -58,6 +59,11 @@ std::span<const ScoreChange> AaScoreBoard::apply_cp_deltas() {
     changes_.push_back({aa, old_score, new_score});
   }
   dirty_.clear();
+  WAFL_OBS({
+    static obs::Counter& changed =
+        obs::registry().counter("wafl.scoreboard.cp_changed_aas");
+    changed.add(changes_.size());
+  });
   return changes_;
 }
 

@@ -1,0 +1,291 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace wafl::obs {
+
+namespace {
+
+/// Shortest stable rendering of a double that survives both JSON parsers
+/// and Prometheus scrapers ("12", "0.4375", "1.234568e+09").
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string fmt_i64(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; dotted wafl names map
+/// onto underscores ("wafl.cp.blocks_written" -> "wafl_cp_blocks_written").
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& ch : out) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    if (!ok) ch = '_';
+  }
+  return out;
+}
+
+/// "{rg="0"}" or "" — optionally with an extra le="..." pair merged in.
+std::string prom_labels(const std::string& labels, const std::string& le = {}) {
+  if (labels.empty() && le.empty()) return {};
+  std::string out = "{";
+  out += labels;
+  if (!le.empty()) {
+    if (!labels.empty()) out += ',';
+    out += "le=\"";
+    out += le;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void prom_type_line(std::string& out, const std::string& name,
+                    const char* type, std::string& last_typed) {
+  if (last_typed == name) return;  // one TYPE line per family
+  last_typed = name;
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+/// Shared cumulative-bucket rendering for both histogram kinds.
+/// `n_bins`, `bin_count(i)`, `bin_hi(i)` abstract over the geometry.
+template <typename CountFn, typename HiFn>
+void prom_histogram(std::string& out, const std::string& name,
+                    const std::string& labels, std::uint32_t n_bins,
+                    CountFn bin_count, HiFn bin_hi, double sum,
+                    std::uint64_t count) {
+  std::uint64_t cum = 0;
+  for (std::uint32_t i = 0; i < n_bins; ++i) {
+    const std::uint64_t c = bin_count(i);
+    if (c == 0) continue;
+    cum += c;
+    out += name;
+    out += "_bucket";
+    out += prom_labels(labels, fmt_double(bin_hi(i)));
+    out += ' ';
+    out += fmt_u64(cum);
+    out += '\n';
+  }
+  out += name;
+  out += "_bucket";
+  out += prom_labels(labels, "+Inf");
+  out += ' ';
+  out += fmt_u64(count);
+  out += '\n';
+  out += name;
+  out += "_sum";
+  out += prom_labels(labels);
+  out += ' ';
+  out += fmt_double(sum);
+  out += '\n';
+  out += name;
+  out += "_count";
+  out += prom_labels(labels);
+  out += ' ';
+  out += fmt_u64(count);
+  out += '\n';
+}
+
+/// JSON string escaping for the (printable-ASCII) names and label strings
+/// we generate; control characters degrade to \u00XX.
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+template <typename CountFn, typename LoFn, typename HiFn>
+void json_buckets(std::string& out, std::uint32_t n_bins, CountFn bin_count,
+                  LoFn bin_lo, HiFn bin_hi) {
+  out += "\"buckets\": [";
+  bool first = true;
+  for (std::uint32_t i = 0; i < n_bins; ++i) {
+    const std::uint64_t c = bin_count(i);
+    if (c == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"lo\": ";
+    out += fmt_double(bin_lo(i));
+    out += ", \"hi\": ";
+    out += fmt_double(bin_hi(i));
+    out += ", \"count\": ";
+    out += fmt_u64(c);
+    out += '}';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& reg) {
+  std::string out;
+  std::string last_typed;
+  for (const Registry::Entry& e : reg.entries()) {
+    const std::string name = prom_name(e.name);
+    switch (e.kind) {
+      case Registry::Kind::kCounter:
+        prom_type_line(out, name, "counter", last_typed);
+        out += name;
+        out += prom_labels(e.labels);
+        out += ' ';
+        out += fmt_u64(e.counter->value());
+        out += '\n';
+        break;
+      case Registry::Kind::kGauge:
+        prom_type_line(out, name, "gauge", last_typed);
+        out += name;
+        out += prom_labels(e.labels);
+        out += ' ';
+        out += fmt_i64(e.gauge->value());
+        out += '\n';
+        break;
+      case Registry::Kind::kLogHistogram: {
+        prom_type_line(out, name, "histogram", last_typed);
+        const LogHistogram& h = *e.log_hist;
+        prom_histogram(
+            out, name, e.labels, LogHistogram::kBuckets,
+            [&h](std::uint32_t i) { return h.bucket_count(i); },
+            [](std::uint32_t i) { return LogHistogram::bucket_hi(i); },
+            h.sum(), h.count());
+        break;
+      }
+      case Registry::Kind::kLinearHistogram: {
+        prom_type_line(out, name, "histogram", last_typed);
+        const LinearHistogram& h = *e.linear_hist;
+        prom_histogram(
+            out, name, e.labels, h.bins(),
+            [&h](std::uint32_t i) { return h.bucket_count(i); },
+            [&h](std::uint32_t i) { return h.bucket_hi(i); }, h.sum(),
+            h.count());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Registry& reg) {
+  const std::vector<Registry::Entry> entries = reg.entries();
+  std::string counters, gauges, hists;
+  for (const Registry::Entry& e : entries) {
+    switch (e.kind) {
+      case Registry::Kind::kCounter:
+        if (!counters.empty()) counters += ",\n";
+        counters += "    {\"name\": " + json_str(e.name) +
+                    ", \"labels\": " + json_str(e.labels) +
+                    ", \"value\": " + fmt_u64(e.counter->value()) + "}";
+        break;
+      case Registry::Kind::kGauge:
+        if (!gauges.empty()) gauges += ",\n";
+        gauges += "    {\"name\": " + json_str(e.name) +
+                  ", \"labels\": " + json_str(e.labels) +
+                  ", \"value\": " + fmt_i64(e.gauge->value()) + "}";
+        break;
+      case Registry::Kind::kLogHistogram:
+      case Registry::Kind::kLinearHistogram: {
+        if (!hists.empty()) hists += ",\n";
+        std::string h = "    {\"name\": " + json_str(e.name) +
+                        ", \"labels\": " + json_str(e.labels);
+        if (e.kind == Registry::Kind::kLogHistogram) {
+          const LogHistogram& lh = *e.log_hist;
+          h += ", \"kind\": \"log\"";
+          h += ", \"count\": " + fmt_u64(lh.count());
+          h += ", \"sum\": " + fmt_double(lh.sum());
+          h += ", \"mean\": " + fmt_double(lh.mean());
+          h += ", \"min\": " + fmt_double(lh.min());
+          h += ", \"max\": " + fmt_double(lh.max());
+          h += ", \"p50\": " + fmt_double(lh.percentile(50.0));
+          h += ", \"p90\": " + fmt_double(lh.percentile(90.0));
+          h += ", \"p99\": " + fmt_double(lh.percentile(99.0));
+          h += ", ";
+          json_buckets(
+              h, LogHistogram::kBuckets,
+              [&lh](std::uint32_t i) { return lh.bucket_count(i); },
+              [](std::uint32_t i) { return LogHistogram::bucket_lo(i); },
+              [](std::uint32_t i) { return LogHistogram::bucket_hi(i); });
+        } else {
+          const LinearHistogram& lh = *e.linear_hist;
+          h += ", \"kind\": \"linear\"";
+          h += ", \"count\": " + fmt_u64(lh.count());
+          h += ", \"sum\": " + fmt_double(lh.sum());
+          h += ", \"mean\": " + fmt_double(lh.mean());
+          h += ", \"p50\": " + fmt_double(lh.percentile(50.0));
+          h += ", \"p90\": " + fmt_double(lh.percentile(90.0));
+          h += ", \"p99\": " + fmt_double(lh.percentile(99.0));
+          h += ", ";
+          json_buckets(
+              h, lh.bins(),
+              [&lh](std::uint32_t i) { return lh.bucket_count(i); },
+              [&lh](std::uint32_t i) { return lh.bucket_lo(i); },
+              [&lh](std::uint32_t i) { return lh.bucket_hi(i); });
+        }
+        h += '}';
+        hists += h;
+        break;
+      }
+    }
+  }
+  std::string out = "{\n  \"counters\": [\n";
+  out += counters;
+  out += "\n  ],\n  \"gauges\": [\n";
+  out += gauges;
+  out += "\n  ],\n  \"histograms\": [\n";
+  out += hists;
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string trace_to_json(const TraceRing& ring) {
+  std::string out = "[\n";
+  bool first = true;
+  for (const TraceEvent& e : ring.snapshot()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"seq\": " + fmt_u64(e.seq) + ", \"t_ns\": " + fmt_u64(e.t_ns) +
+           ", \"type\": " + json_str(std::string(event_type_name(e.type))) +
+           ", \"a\": " + fmt_u64(e.a) + ", \"b\": " + fmt_u64(e.b) +
+           ", \"c\": " + fmt_u64(e.c) + ", \"d\": " + fmt_u64(e.d) + "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace wafl::obs

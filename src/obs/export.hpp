@@ -1,0 +1,28 @@
+// Exporters: Prometheus text exposition and JSON snapshots.
+//
+// Both render a Registry::entries() snapshot, so output order is stable
+// (sorted by name then labels) and suitable for golden tests.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wafl::obs {
+
+/// Prometheus text exposition format (version 0.0.4).  Dotted metric
+/// names become underscore-separated; histograms render cumulative
+/// `_bucket{le="..."}` series for their non-empty buckets plus `+Inf`,
+/// `_sum`, and `_count`.
+std::string to_prometheus(const Registry& reg);
+
+/// Pretty-printed JSON snapshot: {"counters": [...], "gauges": [...],
+/// "histograms": [...]}.  Histogram entries carry summary stats
+/// (count/sum/mean/p50/p90/p99) plus their non-empty buckets.
+std::string to_json(const Registry& reg);
+
+/// JSON array of the ring's current events, oldest first.
+std::string trace_to_json(const TraceRing& ring);
+
+}  // namespace wafl::obs

@@ -1,0 +1,282 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wafl::obs {
+
+// --- Counter ----------------------------------------------------------------
+
+std::size_t Counter::shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+// --- LogHistogram -----------------------------------------------------------
+
+void LogHistogram::add_d(std::atomic<double>& a, double d) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void LogHistogram::min_d(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void LogHistogram::max_d(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint32_t LogHistogram::bucket_of(double v) noexcept {
+  if (!(v >= 1.0)) return 0;  // [0, 1) plus NaN / negatives
+  int exp = 0;
+  const double frac2 = std::frexp(v, &exp);  // v = frac2 * 2^exp, frac2 in [0.5,1)
+  const auto octave = static_cast<std::uint32_t>(exp - 1);  // floor(log2 v)
+  if (octave >= kOctaves) return kBuckets - 1;
+  // frac2*2 is in [1, 2): linear position within the octave.
+  const auto sub = std::min<std::uint32_t>(
+      kSubBuckets - 1,
+      static_cast<std::uint32_t>((frac2 * 2.0 - 1.0) *
+                                 static_cast<double>(kSubBuckets)));
+  return octave * kSubBuckets + sub;
+}
+
+double LogHistogram::bucket_lo(std::uint32_t i) noexcept {
+  if (i == 0) return 0.0;
+  const std::uint32_t octave = i / kSubBuckets;
+  const std::uint32_t sub = i % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) /
+                              static_cast<double>(kSubBuckets),
+                    static_cast<int>(octave));
+}
+
+double LogHistogram::bucket_hi(std::uint32_t i) noexcept {
+  const std::uint32_t octave = i / kSubBuckets;
+  const std::uint32_t sub = i % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) /
+                              static_cast<double>(kSubBuckets),
+                    static_cast<int>(octave));
+}
+
+void LogHistogram::record(double v) noexcept {
+  if (!(v >= 0.0)) v = 0.0;
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  add_d(sum_, v);
+  min_d(min_, v);
+  max_d(max_, v);
+}
+
+double LogHistogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 1-based, matching "p% of samples are <= x".
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  const std::uint64_t rank = std::max<std::uint64_t>(1, target);
+  std::uint64_t cum = 0;
+  for (std::uint32_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = bucket_count(i);
+    if (c == 0) continue;
+    if (cum + c >= rank) {
+      const double lo = bucket_lo(i);
+      const double hi = bucket_hi(i);
+      const double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(c);
+      const double v = lo + (hi - lo) * frac;
+      return std::clamp(v, min(), max());
+    }
+    cum += c;
+  }
+  return max();
+}
+
+void LogHistogram::merge(const LogHistogram& o) noexcept {
+  const std::uint64_t on = o.count();
+  if (on == 0) return;
+  for (std::uint32_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = o.bucket_count(i);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(on, std::memory_order_relaxed);
+  add_d(sum_, o.sum());
+  min_d(min_, o.min());
+  max_d(max_, o.max());
+}
+
+void LogHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// --- LinearHistogram --------------------------------------------------------
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::uint32_t bins)
+    : lo_(lo), hi_(hi), buckets_(bins) {
+  WAFL_ASSERT(hi > lo && bins > 0);
+}
+
+void LinearHistogram::record(double v) noexcept {
+  const double t = (v - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::int64_t>(t * static_cast<double>(buckets_.size()));
+  bin = std::clamp<std::int64_t>(
+      bin, 0, static_cast<std::int64_t>(buckets_.size()) - 1);
+  buckets_[static_cast<std::size_t>(bin)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double LinearHistogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double LinearHistogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  const std::uint64_t rank = std::max<std::uint64_t>(1, target);
+  std::uint64_t cum = 0;
+  for (std::uint32_t i = 0; i < bins(); ++i) {
+    const std::uint64_t c = bucket_count(i);
+    if (c == 0) continue;
+    if (cum + c >= rank) {
+      const double frac =
+          static_cast<double>(rank - cum) / static_cast<double>(c);
+      return bucket_lo(i) + (bucket_hi(i) - bucket_lo(i)) * frac;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
+void LinearHistogram::merge(const LinearHistogram& o) noexcept {
+  WAFL_ASSERT(o.lo_ == lo_ && o.hi_ == hi_ && o.bins() == bins());
+  for (std::uint32_t i = 0; i < bins(); ++i) {
+    const std::uint64_t c = o.bucket_count(i);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(o.count(), std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  const double add = o.sum();
+  while (!sum_.compare_exchange_weak(cur, cur + add,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void LinearHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry::Metric& Registry::get_or_create(std::string_view name,
+                                          std::string_view labels, Kind kind,
+                                          double lo, double hi,
+                                          std::uint32_t bins) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      metrics_.try_emplace(Key{std::string(name), std::string(labels)});
+  Metric& m = it->second;
+  if (inserted) {
+    m.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        m.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        m.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kLogHistogram:
+        m.log_hist = std::make_unique<LogHistogram>();
+        break;
+      case Kind::kLinearHistogram:
+        m.linear_hist = std::make_unique<LinearHistogram>(lo, hi, bins);
+        break;
+    }
+  }
+  WAFL_ASSERT_MSG(m.kind == kind, "metric re-registered with another kind");
+  return m;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view labels) {
+  return *get_or_create(name, labels, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view labels) {
+  return *get_or_create(name, labels, Kind::kGauge).gauge;
+}
+
+LogHistogram& Registry::histogram(std::string_view name,
+                                  std::string_view labels) {
+  return *get_or_create(name, labels, Kind::kLogHistogram).log_hist;
+}
+
+LinearHistogram& Registry::linear_histogram(std::string_view name, double lo,
+                                            double hi, std::uint32_t bins,
+                                            std::string_view labels) {
+  return *get_or_create(name, labels, Kind::kLinearHistogram, lo, hi, bins)
+              .linear_hist;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, m] : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        m.counter->reset();
+        break;
+      case Kind::kGauge:
+        m.gauge->reset();
+        break;
+      case Kind::kLogHistogram:
+        m.log_hist->reset();
+        break;
+      case Kind::kLinearHistogram:
+        m.linear_hist->reset();
+        break;
+    }
+  }
+}
+
+std::vector<Registry::Entry> Registry::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(metrics_.size());
+  for (const auto& [key, m] : metrics_) {
+    Entry e;
+    e.name = key.first;
+    e.labels = key.second;
+    e.kind = m.kind;
+    e.counter = m.counter.get();
+    e.gauge = m.gauge.get();
+    e.log_hist = m.log_hist.get();
+    e.linear_hist = m.linear_hist.get();
+    out.push_back(std::move(e));
+  }
+  return out;  // std::map iterates sorted by (name, labels)
+}
+
+}  // namespace wafl::obs

@@ -1,0 +1,266 @@
+// wafl::obs metrics — counters, gauges, and histograms with cheap
+// concurrent accumulation and a merge() path mirroring RunningStat::merge.
+//
+// Design constraints, in priority order:
+//   1. Hot-path cost: an increment must be a relaxed atomic add on a slot
+//      other threads are unlikely to share.  Counters stripe across
+//      cache-line-padded shards keyed by thread; histograms use relaxed
+//      per-bucket adds (distinct latencies land on distinct lines).
+//   2. Bounded memory, const queries: LogHistogram answers percentile()
+//      from O(bins) bucket counts without storing samples — unlike
+//      util/stats.hpp's LatencyRecorder, which keeps every sample and
+//      sorts on (mutating) query.
+//   3. Thread-local accumulate-then-merge: workers that want zero shared
+//      traffic own a local histogram and merge() it in afterwards, the
+//      same pattern CpStats uses for parallel CP volume slices.
+//
+// All metric objects are immovable once registered; the Registry hands out
+// stable references so call sites can cache them.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wafl::obs {
+
+/// Monotonic counter, striped over cache-line-padded shards so concurrent
+/// writers from different threads rarely contend on one line.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t d) noexcept {
+    shards_[shard_index()].v.fetch_add(d, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  /// Merged total across all shards.
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Folds another counter's total into this one.
+  void merge(const Counter& o) noexcept { add(o.value()); }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) {
+      s.v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static constexpr std::size_t kShards = 8;
+
+  /// Threads are assigned shards round-robin on first use; the assignment
+  /// is thread-local, so steady-state adds touch one private-ish line.
+  static std::size_t shard_index() noexcept;
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-value gauge (signed: depths and deltas go down as well as up).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed histogram for latency-like values (non-negative, huge
+/// dynamic range).  Buckets are log-linear: each power-of-two octave is
+/// split into kSubBuckets linear sub-buckets, bounding the relative error
+/// of percentile() by 1/(2*kSubBuckets) ≈ 6%.  Queries are const and cost
+/// O(bins); memory is O(bins) regardless of sample count.
+class LogHistogram {
+ public:
+  static constexpr std::uint32_t kSubBuckets = 8;
+  static constexpr std::uint32_t kOctaves = 64;
+  static constexpr std::uint32_t kBuckets = kSubBuckets * kOctaves;
+
+  LogHistogram() = default;
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  /// Records one sample.  Negative and NaN values clamp to 0.
+  void record(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return load_d(sum_); }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  double min() const noexcept { return count() == 0 ? 0.0 : load_d(min_); }
+  double max() const noexcept { return count() == 0 ? 0.0 : load_d(max_); }
+
+  /// p in [0, 100].  Const: walks the bucket counts and interpolates
+  /// linearly inside the bucket holding the rank.
+  double percentile(double p) const noexcept;
+
+  /// Folds another histogram into this one (parallel accumulate-then-merge,
+  /// mirroring RunningStat::merge).
+  void merge(const LogHistogram& o) noexcept;
+
+  void reset() noexcept;
+
+  std::uint64_t bucket_count(std::uint32_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive lower / exclusive upper value bound of bucket i.
+  static double bucket_lo(std::uint32_t i) noexcept;
+  static double bucket_hi(std::uint32_t i) noexcept;
+  static std::uint32_t bucket_of(double v) noexcept;
+
+ private:
+  static double load_d(const std::atomic<double>& a) noexcept {
+    return a.load(std::memory_order_relaxed);
+  }
+  static void add_d(std::atomic<double>& a, double d) noexcept;
+  static void min_d(std::atomic<double>& a, double v) noexcept;
+  static void max_d(std::atomic<double>& a, double v) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Extrema use +/-inf sentinels so concurrent first samples race safely.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Fixed-bin linear histogram over [lo, hi) — for bounded-domain values
+/// like free fractions, where log buckets would be uselessly coarse.
+/// Out-of-range samples clamp to the edge bins (like util Histogram), but
+/// accumulation is concurrent and queries are const.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::uint32_t bins);
+  LinearHistogram(const LinearHistogram&) = delete;
+  LinearHistogram& operator=(const LinearHistogram&) = delete;
+
+  void record(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept;
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  double percentile(double p) const noexcept;
+
+  /// Folds another histogram with identical geometry into this one.
+  void merge(const LinearHistogram& o) noexcept;
+
+  void reset() noexcept;
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::uint32_t bins() const noexcept {
+    return static_cast<std::uint32_t>(buckets_.size());
+  }
+  std::uint64_t bucket_count(std::uint32_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double bucket_lo(std::uint32_t i) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(buckets_.size());
+  }
+  double bucket_hi(std::uint32_t i) const noexcept {
+    return bucket_lo(i + 1);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Hierarchical metric registry.  Names are dotted paths
+/// ("wafl.cp.blocks_written"); an optional label string ('rg="0",dev="1"')
+/// distinguishes instances of one metric family.  get-or-create is
+/// mutex-guarded; the returned references stay valid for the registry's
+/// lifetime, so hot paths resolve once and cache the handle.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name, std::string_view labels = {});
+  Gauge& gauge(std::string_view name, std::string_view labels = {});
+  LogHistogram& histogram(std::string_view name, std::string_view labels = {});
+  LinearHistogram& linear_histogram(std::string_view name, double lo,
+                                    double hi, std::uint32_t bins,
+                                    std::string_view labels = {});
+
+  /// Zeroes every registered metric in place (registrations and handed-out
+  /// references survive) — bench/test isolation.
+  void reset();
+
+  enum class Kind { kCounter, kGauge, kLogHistogram, kLinearHistogram };
+
+  /// One registered metric, for exporters.  Exactly one pointer is set.
+  struct Entry {
+    std::string name;
+    std::string labels;
+    Kind kind;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const LogHistogram* log_hist = nullptr;
+    const LinearHistogram* linear_hist = nullptr;
+  };
+
+  /// Snapshot of all registrations, sorted by (name, labels).
+  std::vector<Entry> entries() const;
+
+ private:
+  struct Metric {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LogHistogram> log_hist;
+    std::unique_ptr<LinearHistogram> linear_hist;
+  };
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+
+  Metric& get_or_create(std::string_view name, std::string_view labels,
+                        Kind kind, double lo = 0.0, double hi = 0.0,
+                        std::uint32_t bins = 0);
+
+  mutable std::mutex mu_;
+  std::map<Key, Metric> metrics_;
+};
+
+}  // namespace wafl::obs

@@ -1,0 +1,20 @@
+#include "obs/obs.hpp"
+
+namespace wafl::obs {
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+TraceRing& trace() {
+  static TraceRing t;
+  return t;
+}
+
+void reset_all() {
+  registry().reset();
+  trace().clear();
+}
+
+}  // namespace wafl::obs

@@ -1,0 +1,45 @@
+// wafl::obs — umbrella header: compile-time gate, global registry/trace
+// singletons, and the WAFL_OBS() instrumentation macro.
+//
+// Gating strategy: the obs *library* is always compiled (its unit tests
+// run in both configurations), but instrumentation call sites wrap
+// themselves in WAFL_OBS(...), which expands to `if constexpr (kEnabled)`.
+// Both branches always typecheck — so the OFF configuration cannot rot —
+// yet with WAFL_OBS_ENABLED=0 the instrumentation is dead code the
+// compiler deletes outright.
+#pragma once
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/trace.hpp"
+
+#ifndef WAFL_OBS_ENABLED
+#define WAFL_OBS_ENABLED 1
+#endif
+
+namespace wafl::obs {
+
+inline constexpr bool kEnabled = WAFL_OBS_ENABLED != 0;
+
+/// Process-global metrics registry.  Handles from it are stable; hot
+/// paths resolve their metrics once and cache the references.
+Registry& registry();
+
+/// Process-global event trace ring.
+TraceRing& trace();
+
+/// Zeroes the global registry and clears the trace — test/bench isolation.
+void reset_all();
+
+}  // namespace wafl::obs
+
+/// Instrumentation gate: statements inside compile in every configuration
+/// but only execute (and survive dead-code elimination) when obs is on.
+///   WAFL_OBS(obs::registry().counter("wafl.cp.ops").add(n));
+#define WAFL_OBS(...)                        \
+  do {                                       \
+    if constexpr (::wafl::obs::kEnabled) {   \
+      __VA_ARGS__;                           \
+    }                                        \
+  } while (0)

@@ -1,0 +1,54 @@
+// RAII timing hooks feeding obs histograms.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace wafl::obs {
+
+/// Monotonic wall time in nanoseconds (steady_clock).
+inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Records the scope's wall duration (ns) into a LogHistogram on
+/// destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LogHistogram& h) noexcept
+      : hist_(h), start_ns_(monotonic_ns()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    hist_.record(static_cast<double>(monotonic_ns() - start_ns_));
+  }
+
+ private:
+  LogHistogram& hist_;
+  std::uint64_t start_ns_;
+};
+
+/// Multi-phase stopwatch: lap() returns the ns since the previous lap (or
+/// construction) and restarts the interval — one timer spans a whole CP
+/// with a lap per phase.
+class PhaseTimer {
+ public:
+  PhaseTimer() noexcept : last_ns_(monotonic_ns()) {}
+
+  std::uint64_t lap() noexcept {
+    const std::uint64_t now = monotonic_ns();
+    const std::uint64_t d = now - last_ns_;
+    last_ns_ = now;
+    return d;
+  }
+
+ private:
+  std::uint64_t last_ns_;
+};
+
+}  // namespace wafl::obs

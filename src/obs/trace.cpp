@@ -1,0 +1,88 @@
+#include "obs/trace.hpp"
+
+#include "obs/scoped_timer.hpp"
+#include "util/assert.hpp"
+
+namespace wafl::obs {
+
+std::string_view event_type_name(EventType t) noexcept {
+  switch (t) {
+    case EventType::kCpBegin:
+      return "cp_begin";
+    case EventType::kCpEnd:
+      return "cp_end";
+    case EventType::kAaCheckout:
+      return "aa_checkout";
+    case EventType::kAaPutback:
+      return "aa_putback";
+    case EventType::kHbpsReplenish:
+      return "hbps_replenish";
+    case EventType::kHbpsRebin:
+      return "hbps_rebin";
+    case EventType::kHeapRebalance:
+      return "heap_rebalance";
+    case EventType::kTetris:
+      return "tetris";
+    case EventType::kDeviceIo:
+      return "device_io";
+    case EventType::kSsdGc:
+      return "ssd_gc";
+    case EventType::kCleanerPass:
+      return "cleaner_pass";
+    case EventType::kTopAaMount:
+      return "topaa_mount";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity)
+    : ring_(round_up_pow2(capacity == 0 ? 1 : capacity)) {}
+
+void TraceRing::emit(EventType type, std::uint32_t a, std::uint64_t b,
+                     std::uint64_t c, std::uint64_t d) {
+  const std::uint64_t now = monotonic_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent& e = ring_[next_seq_ & (ring_.size() - 1)];
+  e.seq = next_seq_++;
+  e.t_ns = now;
+  e.type = type;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  e.d = d;
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  const std::uint64_t n = next_seq_;
+  const std::uint64_t cap = ring_.size();
+  const std::uint64_t first = n > cap ? n - cap : 0;
+  out.reserve(static_cast<std::size_t>(n - first));
+  for (std::uint64_t s = first; s < n; ++s) {
+    out.push_back(ring_[s & (cap - 1)]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+void TraceRing::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_seq_ = 0;
+}
+
+}  // namespace wafl::obs

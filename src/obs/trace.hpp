@@ -1,0 +1,80 @@
+// wafl::obs trace — bounded ring buffer of structured events.
+//
+// The trace answers "what happened around this CP?" where metrics only
+// answer "how much, in total".  Events are fixed-size PODs (no strings,
+// no allocation on emit); the ring keeps the most recent `capacity`
+// events and overwrites the oldest, so a long run costs O(capacity)
+// memory no matter how many CPs it executes.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace wafl::obs {
+
+/// Event taxonomy.  One enumerator per structurally distinct occurrence in
+/// the allocation / CP / device pipeline; payload field meaning is
+/// documented per type below (a is a small id, b/c/d carry magnitudes).
+enum class EventType : std::uint8_t {
+  kCpBegin,        // a=cp number       b=dirty ops queued
+  kCpEnd,          // a=cp number       b=blocks written  c=blocks freed  d=duration ns
+  kAaCheckout,     // a=rg/vol id       b=AA id           c=score (free blocks)  d=capacity
+  kAaPutback,      // a=rg/vol id       b=AA id           c=score at putback
+  kHbpsReplenish,  // a=rg/vol id       b=AAs re-sorted into bins
+  kHbpsRebin,      // a=0 (unowned)     b=AA id           c=old bin  d=new bin
+  kHeapRebalance,  // a=rg/vol id       b=scores re-keyed this CP
+  kTetris,         // a=rg id           b=stripes         c=blocks written  d=parity reads
+  kDeviceIo,       // a=rg id           b=device index    c=busy ns this CP
+  kSsdGc,          // a=0 (unowned)     b=pages relocated c=erases total
+  kCleanerPass,    // a=cp number       b=AAs cleaned     c=blocks relocated
+  kTopAaMount,     // a=used_topaa(0/1) b=rgs seeded      c=vols seeded  d=gate block reads
+};
+
+/// Short stable name for dumps and tests ("cp_begin", "aa_checkout", ...).
+std::string_view event_type_name(EventType t) noexcept;
+
+/// One trace record.  `seq` increments monotonically per-emit and never
+/// wraps, so consumers can both order events and detect how many were
+/// overwritten (`emitted - size`).
+struct TraceEvent {
+  std::uint64_t seq = 0;
+  std::uint64_t t_ns = 0;  // monotonic_ns() at emit
+  EventType type = EventType::kCpBegin;
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint64_t d = 0;
+};
+
+/// Mutex-guarded ring.  Emission is a lock + two stores — cheap relative
+/// to the CP-boundary and device-completion call sites it instruments
+/// (the per-block hot loop emits no events).
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two (masked indexing).
+  explicit TraceRing(std::size_t capacity = 4096);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void emit(EventType type, std::uint32_t a = 0, std::uint64_t b = 0,
+            std::uint64_t c = 0, std::uint64_t d = 0);
+
+  /// Events currently held, oldest first (≤ capacity of the most recent).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Total events ever emitted (≥ snapshot().size()).
+  std::uint64_t emitted() const;
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace wafl::obs

@@ -80,9 +80,8 @@ void LatencySimulator::admit_write(SimTime now, SimTime arrival) {
       static_cast<double>(cfg_.cost.op_admission_ns) / cfg_.cost.cpu_cores);
   cpu_free_ = start + service;
   cpu_spent_ += cfg_.cost.op_admission_ns;
-  latencies_ms_.add(
-      static_cast<double>(cpu_free_ - arrival + cfg_.client_rtt_ns) /
-      kNsPerMs);
+  latencies_ns_.record(
+      static_cast<double>(cpu_free_ - arrival + cfg_.client_rtt_ns));
   ++completed_;
   mark_dirty(workload_.next_write(rng_));
 }
@@ -94,9 +93,8 @@ void LatencySimulator::do_read(SimTime now) {
   cpu_free_ = start + service;
   cpu_spent_ += cfg_.cost.op_admission_ns;
   const SimTime device_ns = read_device_ns(now);
-  latencies_ms_.add(static_cast<double>((cpu_free_ - now) + device_ns +
-                                        cfg_.client_rtt_ns) /
-                    kNsPerMs);
+  latencies_ns_.record(static_cast<double>((cpu_free_ - now) + device_ns +
+                                           cfg_.client_rtt_ns));
   ++completed_;
 }
 
@@ -148,7 +146,7 @@ void LatencySimulator::complete_cp(SimTime now) {
 }
 
 void LatencySimulator::reset_run_accumulators() {
-  latencies_ms_.clear();
+  latencies_ns_.reset();
   completed_ = 0;
   cps_ = 0;
   cpu_spent_ = 0;
@@ -171,14 +169,14 @@ LoadPoint LatencySimulator::finish_point(double offered,
   // final latency) avoids survivorship bias at deep saturation.
   const auto horizon = static_cast<SimTime>(sim_seconds * kNsPerSec);
   for (const BlockedOp& op : blocked_) {
-    latencies_ms_.add(static_cast<double>(horizon - op.arrival) / kNsPerMs);
+    latencies_ns_.record(static_cast<double>(horizon - op.arrival));
   }
   LoadPoint point;
   point.offered_ops_per_sec = offered;
   point.achieved_ops_per_sec = static_cast<double>(completed_) / sim_seconds;
-  point.mean_latency_ms = latencies_ms_.mean();
-  point.p50_latency_ms = latencies_ms_.percentile(50);
-  point.p99_latency_ms = latencies_ms_.percentile(99);
+  point.mean_latency_ms = latencies_ns_.mean() / kNsPerMs;
+  point.p50_latency_ms = latencies_ns_.percentile(50) / kNsPerMs;
+  point.p99_latency_ms = latencies_ns_.percentile(99) / kNsPerMs;
   point.cpu_us_per_op =
       completed_ == 0 ? 0.0
                       : static_cast<double>(cpu_spent_) / 1e3 /
@@ -269,7 +267,7 @@ LoadPoint LatencySimulator::run_closed(std::size_t clients,
       cpu_free_ = start + service;
       cpu_spent_ += cfg_.cost.op_admission_ns;
       const SimTime done = cpu_free_ + read_device_ns(now) + jittered_rtt();
-      latencies_ms_.add(static_cast<double>(done - now) / kNsPerMs);
+      latencies_ns_.record(static_cast<double>(done - now));
       ++completed_;
       schedule(done, client);
     } else if (dirty_list_.size() + cp_inflight_blocks_ >=

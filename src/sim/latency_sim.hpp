@@ -34,6 +34,7 @@
 #include <deque>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/workload.hpp"
 #include "util/rng.hpp"
@@ -140,8 +141,12 @@ class LatencySimulator {
   std::vector<std::pair<SimTime, std::size_t>> ready_heap_;
   SimTime storage_busy_ = 0;
 
-  // Per-run accumulators (reset in run()).
-  LatencyRecorder latencies_ms_;
+  // Per-run accumulators (reset in run()).  Latencies go into a bounded
+  // log-bucketed histogram (recorded in ns for sub-bucket resolution at
+  // sub-millisecond latencies) instead of an every-sample LatencyRecorder:
+  // a long sweep completes millions of ops and percentile() stays O(bins)
+  // and const.
+  obs::LogHistogram latencies_ns_;
   std::uint64_t completed_ = 0;
   std::uint64_t cps_ = 0;
   SimTime cpu_spent_ = 0;

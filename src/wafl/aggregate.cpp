@@ -1,7 +1,9 @@
 #include "wafl/aggregate.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wafl {
@@ -235,6 +237,13 @@ bool Aggregate::ensure_rg_cursor(RgState& rg, CpStats& stats, bool force) {
       if (rg.hbps != nullptr && rg.hbps->needs_replenish()) {
         // §3.3.2's background scan, for HBPS-managed pools.
         rg.hbps->build(rg.board);
+        WAFL_OBS({
+          static obs::Counter& replenishes =
+              obs::registry().counter("wafl.hbps.replenishes");
+          replenishes.inc();
+          obs::trace().emit(obs::EventType::kHbpsReplenish, rg.raid.id(),
+                            rg.layout.aa_count());
+        });
       }
       const auto best = rg.cache->peek_best_score();
       if (!best.has_value()) return false;
@@ -263,9 +272,19 @@ bool Aggregate::ensure_rg_cursor(RgState& rg, CpStats& stats, bool force) {
       }
     }
 
-    stats.agg_pick_free_frac.add(
-        static_cast<double>(rg.board.score(aa)) /
-        static_cast<double>(rg.layout.aa_capacity(aa)));
+    const double free_frac = static_cast<double>(rg.board.score(aa)) /
+                             static_cast<double>(rg.layout.aa_capacity(aa));
+    stats.agg_pick_free_frac.add(free_frac);
+    WAFL_OBS({
+      static obs::Counter& checkouts =
+          obs::registry().counter("wafl.agg.aa_checkouts");
+      static obs::LinearHistogram& free_hist = obs::registry().linear_histogram(
+          "wafl.agg.aa_checkout_free_frac", 0.0, 1.0, 64);
+      checkouts.inc();
+      free_hist.record(free_frac);
+      obs::trace().emit(obs::EventType::kAaCheckout, rg.raid.id(), aa,
+                        rg.board.score(aa), rg.layout.aa_capacity(aa));
+    });
     rg.cursor_aa = aa;
     rg.cursor_pos = rg.layout.aa_begin(aa);
     return true;
@@ -385,6 +404,9 @@ void Aggregate::emit_window(RgState& rg, CpStats& stats) {
   stats.parity_read_blocks += tw.parity_read_blocks;
   stats.write_chains += tw.total_chains();
   stats.blocks_written += tw.data_blocks_written;
+  WAFL_OBS(obs::trace().emit(obs::EventType::kTetris, rg.raid.id(),
+                             tw.full_stripes + tw.partial_stripes,
+                             tw.data_blocks_written, tw.parity_read_blocks));
 
   // Submit to the device models.  Parity-computation reads are spread
   // evenly across the group's devices.
@@ -451,8 +473,22 @@ void Aggregate::finish_cp(CpStats& stats) {
     const auto changes = rg.board.apply_cp_deltas();
     if (cfg_.policy == AaSelectPolicy::kCache) {
       rg.cache->apply_changes(changes);
+      WAFL_OBS({
+        static obs::Counter& cp_rekeys =
+            obs::registry().counter("wafl.heap.cp_rekeys");
+        cp_rekeys.add(changes.size());
+        obs::trace().emit(obs::EventType::kHeapRebalance, rg.raid.id(),
+                          changes.size());
+      });
       for (const AaId aa : rg.retired) {
         rg.cache->insert(aa, rg.board.score(aa));
+        WAFL_OBS({
+          static obs::Counter& putbacks =
+              obs::registry().counter("wafl.agg.aa_putbacks");
+          putbacks.inc();
+          obs::trace().emit(obs::EventType::kAaPutback, rg.raid.id(), aa,
+                            rg.board.score(aa));
+        });
       }
       rg.retired.clear();
     }
@@ -507,6 +543,25 @@ void Aggregate::finish_cp(CpStats& stats) {
     }
   }
   stats.storage_time_ns = std::max(stats.storage_time_ns, slowest);
+
+  // Per-device busy-time fold + completion events (devices in a sim CP
+  // "complete" at the boundary).
+  WAFL_OBS({
+    for (const auto& rgp : rgs_) {
+      const RgState& rg = *rgp;
+      for (std::size_t d = 0; d < rg.device_busy.size(); ++d) {
+        const SimTime busy = rg.device_busy[d];
+        if (busy == 0) continue;
+        const std::string labels = "rg=\"" + std::to_string(rg.raid.id()) +
+                                   "\",dev=\"" + std::to_string(d) + "\"";
+        obs::registry()
+            .counter("wafl.device.busy_ns", labels)
+            .add(static_cast<std::uint64_t>(busy));
+        obs::trace().emit(obs::EventType::kDeviceIo, rg.raid.id(), d,
+                          static_cast<std::uint64_t>(busy));
+      }
+    }
+  });
 }
 
 std::size_t Aggregate::mount_from_topaa() {

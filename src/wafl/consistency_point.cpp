@@ -2,10 +2,72 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wafl {
 namespace {
+
+/// Handles for the CP-boundary metric fold, resolved once.  The hot
+/// allocation loop never touches the registry: per-block accounting rides
+/// on CpStats exactly as before, and this fold turns one CP's stats into
+/// one batch of counter adds.
+struct CpMetrics {
+  obs::Counter& count;
+  obs::Counter& ops;
+  obs::Counter& blocks_written;
+  obs::Counter& blocks_freed;
+  obs::Counter& vol_meta_blocks;
+  obs::Counter& agg_meta_blocks;
+  obs::Counter& meta_flush_blocks;
+  obs::Counter& tetrises;
+  obs::Counter& full_stripes;
+  obs::Counter& partial_stripes;
+  obs::Counter& parity_read_blocks;
+  obs::Counter& write_chains;
+  obs::Counter& vol_bits_scanned;
+  obs::Counter& agg_bits_scanned;
+  // Incremented at the replenish sites themselves (aggregate pools don't
+  // route through CpStats); resolved here only so the metric is registered
+  // — and therefore exported — from the first CP even if it never fires.
+  obs::Counter& hbps_replenishes;
+  obs::LogHistogram& storage_time_ns;
+  obs::LogHistogram& phase_sort_ns;
+  obs::LogHistogram& phase_alloc_ns;
+  obs::LogHistogram& phase_volumes_ns;
+  obs::LogHistogram& phase_delayed_free_ns;
+  obs::LogHistogram& phase_boundary_ns;
+  obs::LogHistogram& total_ns;
+};
+
+CpMetrics& cp_metrics() {
+  obs::Registry& r = obs::registry();
+  static CpMetrics m{
+      r.counter("wafl.cp.count"),
+      r.counter("wafl.cp.ops"),
+      r.counter("wafl.cp.blocks_written"),
+      r.counter("wafl.cp.blocks_freed"),
+      r.counter("wafl.cp.vol_meta_blocks"),
+      r.counter("wafl.cp.agg_meta_blocks"),
+      r.counter("wafl.cp.meta_flush_blocks"),
+      r.counter("wafl.cp.tetrises"),
+      r.counter("wafl.cp.full_stripes"),
+      r.counter("wafl.cp.partial_stripes"),
+      r.counter("wafl.cp.parity_read_blocks"),
+      r.counter("wafl.cp.write_chains"),
+      r.counter("wafl.vol.bits_scanned"),
+      r.counter("wafl.agg.bits_scanned"),
+      r.counter("wafl.hbps.replenishes"),
+      r.histogram("wafl.cp.storage_time_ns"),
+      r.histogram("wafl.cp.phase.sort_ns"),
+      r.histogram("wafl.cp.phase.alloc_ns"),
+      r.histogram("wafl.cp.phase.volumes_ns"),
+      r.histogram("wafl.cp.phase.delayed_free_ns"),
+      r.histogram("wafl.cp.phase.boundary_ns"),
+      r.histogram("wafl.cp.phase.total_ns"),
+  };
+  return m;
+}
 
 /// One volume's slice of the CP: vvbn allocation + remapping over a
 /// contiguous run of the (vol-sorted) dirty list.  Everything it touches
@@ -40,6 +102,14 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
                               std::span<const DirtyBlock> dirty,
                               ThreadPool* pool) {
   CpStats stats;
+  obs::PhaseTimer phase_timer;
+  const std::uint64_t cp_start_ns = obs::monotonic_ns();
+  std::uint32_t cp_no = 0;
+  WAFL_OBS({
+    cp_metrics().count.inc();
+    cp_no = static_cast<std::uint32_t>(cp_metrics().count.value());
+    obs::trace().emit(obs::EventType::kCpBegin, cp_no, dirty.size());
+  });
   agg.begin_cp();
 
   // Group the dirty list by volume (stable, preserving per-volume order)
@@ -49,6 +119,8 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
                    [](const DirtyBlock& a, const DirtyBlock& b) {
                      return a.vol < b.vol;
                    });
+  WAFL_OBS(cp_metrics().phase_sort_ns.record(
+      static_cast<double>(phase_timer.lap())));
 
   // Phase 1: physical allocation in write order — the allocator walks
   // tetris windows round-robin across RAID groups.
@@ -56,6 +128,8 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
   pvbns.reserve(sorted.size());
   const bool ok = agg.allocate_pvbns(sorted.size(), pvbns, stats);
   WAFL_ASSERT_MSG(ok, "aggregate out of space during CP");
+  WAFL_OBS(cp_metrics().phase_alloc_ns.record(
+      static_cast<double>(phase_timer.lap())));
 
   // Phase 2: per-volume virtual allocation and remapping — parallel
   // across volumes when a pool is supplied [10].
@@ -84,6 +158,8 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
       agg.defer_free_pvbn(freed_pvbn);
     }
   }
+  WAFL_OBS(cp_metrics().phase_volumes_ns.record(
+      static_cast<double>(phase_timer.lap())));
 
   // Phase 2b: reclaim a bounded slice of any pending delayed frees
   // (snapshot-deletion debt) — richest regions first, a few regions per
@@ -97,6 +173,8 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
     agg.clear_owner(pvbn);
     agg.defer_free_pvbn(pvbn);
   }
+  WAFL_OBS(cp_metrics().phase_delayed_free_ns.record(
+      static_cast<double>(phase_timer.lap())));
 
   // Phase 3: the CP boundary — apply frees, rebalance caches, flush
   // metafiles, persist TopAA, account device time.
@@ -104,6 +182,31 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
     agg.volume(v).finish_cp(stats);
   }
   agg.finish_cp(stats);
+
+  // Fold this CP's stats into the global registry (one batch of adds per
+  // CP) and close out the trace.
+  WAFL_OBS({
+    CpMetrics& m = cp_metrics();
+    m.phase_boundary_ns.record(static_cast<double>(phase_timer.lap()));
+    const std::uint64_t dur_ns = obs::monotonic_ns() - cp_start_ns;
+    m.total_ns.record(static_cast<double>(dur_ns));
+    m.ops.add(stats.ops);
+    m.blocks_written.add(stats.blocks_written);
+    m.blocks_freed.add(stats.blocks_freed);
+    m.vol_meta_blocks.add(stats.vol_meta_blocks);
+    m.agg_meta_blocks.add(stats.agg_meta_blocks);
+    m.meta_flush_blocks.add(stats.meta_flush_blocks);
+    m.tetrises.add(stats.tetrises);
+    m.full_stripes.add(stats.full_stripes);
+    m.partial_stripes.add(stats.partial_stripes);
+    m.parity_read_blocks.add(stats.parity_read_blocks);
+    m.write_chains.add(stats.write_chains);
+    m.vol_bits_scanned.add(stats.vol_bits_scanned);
+    m.agg_bits_scanned.add(stats.agg_bits_scanned);
+    m.storage_time_ns.record(static_cast<double>(stats.storage_time_ns));
+    obs::trace().emit(obs::EventType::kCpEnd, cp_no, stats.blocks_written,
+                      stats.blocks_freed, dur_ns);
+  });
   return stats;
 }
 

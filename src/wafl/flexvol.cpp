@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace wafl {
 namespace {
 
@@ -75,6 +77,13 @@ bool FlexVol::ensure_cursor(CpStats& stats) {
         // better score ranges are stranded outside the list.
         cache_.build(board_);
         ++stats.hbps_replenishes;
+        WAFL_OBS({
+          static obs::Counter& replenishes =
+              obs::registry().counter("wafl.hbps.replenishes");
+          replenishes.inc();
+          obs::trace().emit(obs::EventType::kHbpsReplenish, id_,
+                            layout_.aa_count());
+        });
       }
       const auto pick = cache_.take_best();
       if (!pick.has_value()) return false;
@@ -101,8 +110,19 @@ bool FlexVol::ensure_cursor(CpStats& stats) {
       }
     }
 
-    stats.vol_pick_free_frac.add(static_cast<double>(board_.score(aa)) /
-                                 static_cast<double>(layout_.aa_capacity(aa)));
+    const double free_frac = static_cast<double>(board_.score(aa)) /
+                             static_cast<double>(layout_.aa_capacity(aa));
+    stats.vol_pick_free_frac.add(free_frac);
+    WAFL_OBS({
+      static obs::Counter& checkouts =
+          obs::registry().counter("wafl.vol.aa_checkouts");
+      static obs::LinearHistogram& free_hist = obs::registry().linear_histogram(
+          "wafl.vol.aa_checkout_free_frac", 0.0, 1.0, 64);
+      checkouts.inc();
+      free_hist.record(free_frac);
+      obs::trace().emit(obs::EventType::kAaCheckout, id_, aa, board_.score(aa),
+                        layout_.aa_capacity(aa));
+    });
     cursor_aa_ = aa;
     cursor_pos_ = layout_.aa_begin(aa);
     return true;
@@ -256,11 +276,25 @@ void FlexVol::finish_cp(CpStats& stats) {
     cache_.apply_changes(changes);
     for (const AaId aa : retired_) {
       cache_.insert(aa, board_.score(aa));
+      WAFL_OBS({
+        static obs::Counter& putbacks =
+            obs::registry().counter("wafl.vol.aa_putbacks");
+        putbacks.inc();
+        obs::trace().emit(obs::EventType::kAaPutback, id_, aa,
+                          board_.score(aa));
+      });
     }
     retired_.clear();
     if (cache_.needs_replenish()) {
       cache_.build(board_);
       ++stats.hbps_replenishes;
+      WAFL_OBS({
+        static obs::Counter& replenishes =
+            obs::registry().counter("wafl.hbps.replenishes");
+        replenishes.inc();
+        obs::trace().emit(obs::EventType::kHbpsReplenish, id_,
+                          layout_.aa_count());
+      });
     }
   }
 

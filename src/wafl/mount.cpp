@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wafl {
@@ -46,6 +47,17 @@ MountReport mount_all(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
 
   report.gate_cpu_seconds = seconds_since(t0);
   report.gate_block_reads = total_reads(agg) - reads0;
+
+  WAFL_OBS({
+    obs::Registry& reg = obs::registry();
+    reg.counter("wafl.mount.count").inc();
+    reg.counter("wafl.mount.rgs_seeded").add(report.rgs_seeded);
+    reg.counter("wafl.mount.vols_seeded").add(report.vols_seeded);
+    reg.counter("wafl.mount.gate_block_reads").add(report.gate_block_reads);
+    obs::trace().emit(obs::EventType::kTopAaMount,
+                      report.used_topaa ? 1u : 0u, report.rgs_seeded,
+                      report.vols_seeded, report.gate_block_reads);
+  });
   return report;
 }
 

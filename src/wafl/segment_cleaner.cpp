@@ -1,5 +1,7 @@
 #include "wafl/segment_cleaner.hpp"
 
+#include "obs/obs.hpp"
+
 namespace wafl {
 namespace {
 
@@ -122,6 +124,18 @@ CleanerReport SegmentCleaner::run(Aggregate& agg) {
     agg.volume(v).finish_cp(report.cp);
   }
   agg.finish_cp(report.cp);
+
+  WAFL_OBS({
+    obs::Registry& reg = obs::registry();
+    reg.counter("wafl.cleaner.passes").inc();
+    reg.counter("wafl.cleaner.aas_cleaned").add(report.aas_cleaned);
+    reg.counter("wafl.cleaner.blocks_relocated")
+        .add(report.blocks_relocated);
+    obs::trace().emit(
+        obs::EventType::kCleanerPass,
+        static_cast<std::uint32_t>(reg.counter("wafl.cleaner.passes").value()),
+        report.aas_cleaned, report.blocks_relocated);
+  });
   return report;
 }
 

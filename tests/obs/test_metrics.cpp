@@ -1,0 +1,274 @@
+// Unit tests for the wafl::obs metric primitives and registry.  These use
+// LOCAL Registry/metric instances (not the process-global singleton) so
+// they are independent of whatever instrumentation other tests trigger,
+// and they run identically in WAFL_OBS_ENABLED=ON and OFF builds — the
+// obs library itself is always compiled.
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace wafl::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, CrossThreadTotalIsExact) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, MergeFoldsTotals) {
+  Counter a;
+  Counter b;
+  a.add(10);
+  b.add(32);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 42u);
+  EXPECT_EQ(b.value(), 32u);  // merge reads, never mutates, the source
+}
+
+TEST(Gauge, SetAddAndNegative) {
+  Gauge g;
+  g.set(7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(LogHistogram, EmptyReportsZeros) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(LogHistogram, BasicStats) {
+  LogHistogram h;
+  h.record(1.0);
+  h.record(100.0);
+  h.record(10'000.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10'101.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10'000.0);
+}
+
+TEST(LogHistogram, FirstSampleSetsBothExtrema) {
+  LogHistogram h;
+  h.record(5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+}
+
+TEST(LogHistogram, NegativeAndNanClampToZero) {
+  LogHistogram h;
+  h.record(-12.0);
+  h.record(std::nan(""));
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(LogHistogram, BucketBoundsRoundTrip) {
+  // Every sampled value must land in a bucket whose [lo, hi) covers it.
+  for (const double v : {0.0, 0.5, 1.0, 3.0, 1000.0, 1e9, 1e15}) {
+    const std::uint32_t i = LogHistogram::bucket_of(v);
+    EXPECT_LE(LogHistogram::bucket_lo(i), v) << "v=" << v;
+    EXPECT_GT(LogHistogram::bucket_hi(i), v) << "v=" << v;
+  }
+}
+
+TEST(LogHistogram, PercentileBracketsAndOrdering) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const double p50 = h.percentile(50.0);
+  const double p90 = h.percentile(90.0);
+  const double p99 = h.percentile(99.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Log-linear buckets with 8 sub-buckets bound relative error ≈ 6%.
+  EXPECT_NEAR(p50, 500.0, 500.0 * 0.10);
+  EXPECT_NEAR(p99, 990.0, 990.0 * 0.10);
+  EXPECT_GE(h.percentile(0.0), h.min());
+  EXPECT_LE(h.percentile(100.0), h.max());
+}
+
+TEST(LogHistogram, MergeMatchesCombinedRecording) {
+  LogHistogram a;
+  LogHistogram b;
+  LogHistogram combined;
+  for (int i = 1; i <= 100; ++i) {
+    a.record(static_cast<double>(i));
+    combined.record(static_cast<double>(i));
+  }
+  for (int i = 500; i <= 600; ++i) {
+    b.record(static_cast<double>(i));
+    combined.record(static_cast<double>(i));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.percentile(90.0), combined.percentile(90.0));
+}
+
+TEST(LogHistogram, ResetRestoresEmptyState) {
+  LogHistogram h;
+  h.record(3.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  h.record(8.0);  // extrema sentinels must have been re-armed
+  EXPECT_DOUBLE_EQ(h.min(), 8.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+}
+
+TEST(LinearHistogram, ClampsToEdgeBins) {
+  LinearHistogram h(0.0, 1.0, 10);
+  h.record(-0.5);
+  h.record(0.05);
+  h.record(0.95);
+  h.record(2.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(9), 2u);
+}
+
+TEST(LinearHistogram, PercentileInterpolatesWithinBin) {
+  LinearHistogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.percentile(50.0), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(90.0), 90.0, 1.5);
+}
+
+TEST(Registry, GetOrCreateReturnsSameInstance) {
+  Registry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Registry, LabelsDistinguishInstances) {
+  Registry reg;
+  Counter& d0 = reg.counter("dev.busy", "rg=\"0\",dev=\"0\"");
+  Counter& d1 = reg.counter("dev.busy", "rg=\"0\",dev=\"1\"");
+  EXPECT_NE(&d0, &d1);
+  d0.add(5);
+  EXPECT_EQ(d1.value(), 0u);
+}
+
+TEST(Registry, EntriesAreSortedAndComplete) {
+  Registry reg;
+  reg.counter("b.count");
+  reg.gauge("a.gauge");
+  reg.histogram("c.hist");
+  reg.linear_histogram("a.frac", 0.0, 1.0, 8);
+  const std::vector<Registry::Entry> entries = reg.entries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].name, "a.frac");
+  EXPECT_EQ(entries[1].name, "a.gauge");
+  EXPECT_EQ(entries[2].name, "b.count");
+  EXPECT_EQ(entries[3].name, "c.hist");
+}
+
+TEST(Registry, ResetZeroesInPlaceKeepingHandles) {
+  Registry reg;
+  Counter& c = reg.counter("n");
+  LogHistogram& h = reg.histogram("h");
+  c.add(9);
+  h.record(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.inc();  // handle still live and usable
+  EXPECT_EQ(reg.counter("n").value(), 1u);
+}
+
+TEST(Export, PrometheusRendersCounterGaugeHistogram) {
+  Registry reg;
+  reg.counter("wafl.cp.count").add(3);
+  reg.gauge("wafl.depth").set(-2);
+  LogHistogram& h = reg.histogram("wafl.cp.total_ns");
+  h.record(100.0);
+  h.record(200.0);
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE wafl_cp_count counter"), std::string::npos);
+  EXPECT_NE(text.find("wafl_cp_count 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wafl_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("wafl_depth -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wafl_cp_total_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("wafl_cp_total_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("wafl_cp_total_ns_sum 300"), std::string::npos);
+  EXPECT_NE(text.find("wafl_cp_total_ns_count 2"), std::string::npos);
+}
+
+TEST(Export, PrometheusBucketsAreCumulative) {
+  Registry reg;
+  LogHistogram& h = reg.histogram("lat");
+  h.record(1.0);    // bucket [1, 1.125)
+  h.record(1000.0);  // a much later bucket
+  const std::string text = to_prometheus(reg);
+  // The +Inf bucket must equal the total count, and the earlier non-empty
+  // bucket line must carry the running total (1), not the bucket count.
+  EXPECT_NE(text.find("lat_bucket{le=\"1.125\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 2"), std::string::npos);
+}
+
+TEST(Export, PrometheusLabelsRendered) {
+  Registry reg;
+  reg.counter("dev.busy", "rg=\"1\",dev=\"2\"").add(7);
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("dev_busy{rg=\"1\",dev=\"2\"} 7"), std::string::npos);
+}
+
+TEST(Export, JsonIsStableAndCarriesSummaryStats) {
+  Registry reg;
+  reg.counter("wafl.cp.count").add(2);
+  LinearHistogram& h = reg.linear_histogram("frac", 0.0, 1.0, 4);
+  h.record(0.1);
+  h.record(0.9);
+  const std::string a = to_json(reg);
+  const std::string b = to_json(reg);
+  EXPECT_EQ(a, b);  // entries() sorts; output must be deterministic
+  EXPECT_NE(a.find("\"name\": \"wafl.cp.count\""), std::string::npos);
+  EXPECT_NE(a.find("\"value\": 2"), std::string::npos);
+  EXPECT_NE(a.find("\"kind\": \"linear\""), std::string::npos);
+  EXPECT_NE(a.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(a.find("\"p50\""), std::string::npos);
+  EXPECT_NE(a.find("\"p99\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wafl::obs

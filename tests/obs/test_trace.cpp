@@ -1,0 +1,139 @@
+// Unit tests for the wafl::obs trace ring, plus an end-to-end check that
+// a real consistency point leaves a well-ordered event trail in the
+// process-global trace (the latter only runs when obs is compiled in).
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+#include "wafl/aggregate.hpp"
+#include "wafl/consistency_point.hpp"
+
+namespace wafl::obs {
+namespace {
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(1).capacity(), 1u);
+  EXPECT_EQ(TraceRing(5).capacity(), 8u);
+  EXPECT_EQ(TraceRing(4096).capacity(), 4096u);
+}
+
+TEST(TraceRing, KeepsMostRecentEventsInSeqOrder) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ring.emit(EventType::kDeviceIo, /*a=*/0, /*b=*/i);
+  }
+  EXPECT_EQ(ring.emitted(), 20u);
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The 8 survivors are the last 8 emits (seq 12..19), oldest first, and
+  // seq never wraps even though the ring storage did.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 12 + i);
+    EXPECT_EQ(events[i].b, 12 + i);
+  }
+}
+
+TEST(TraceRing, SnapshotBeforeWraparoundIsComplete) {
+  TraceRing ring(16);
+  ring.emit(EventType::kCpBegin, 1, 100);
+  ring.emit(EventType::kCpEnd, 1, 90, 10, 5000);
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, EventType::kCpBegin);
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[0].b, 100u);
+  EXPECT_EQ(events[1].type, EventType::kCpEnd);
+  EXPECT_EQ(events[1].c, 10u);
+  EXPECT_EQ(events[1].d, 5000u);
+}
+
+TEST(TraceRing, ClearIsAFullReset) {
+  TraceRing ring(8);
+  ring.emit(EventType::kSsdGc);
+  ring.emit(EventType::kSsdGc);
+  ring.clear();
+  EXPECT_TRUE(ring.snapshot().empty());
+  EXPECT_EQ(ring.emitted(), 0u);  // isolation semantics: seq restarts too
+  ring.emit(EventType::kSsdGc);
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 0u);
+}
+
+TEST(TraceRing, EventTypeNamesAreStable) {
+  EXPECT_EQ(event_type_name(EventType::kCpBegin), "cp_begin");
+  EXPECT_EQ(event_type_name(EventType::kCpEnd), "cp_end");
+  EXPECT_EQ(event_type_name(EventType::kAaCheckout), "aa_checkout");
+  EXPECT_EQ(event_type_name(EventType::kHbpsReplenish), "hbps_replenish");
+  EXPECT_EQ(event_type_name(EventType::kTopAaMount), "topaa_mount");
+}
+
+TEST(TraceRing, JsonExportNamesEvents) {
+  TraceRing ring(8);
+  ring.emit(EventType::kTetris, 3, 7, 256, 2);
+  const std::string json = trace_to_json(ring);
+  EXPECT_NE(json.find("\"type\": \"tetris\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"c\": 256"), std::string::npos);
+}
+
+// End-to-end: running a CP through a real aggregate must leave cp_begin
+// before cp_end in the global trace, with checkout events in between and
+// consistent payloads.  Skipped when instrumentation is compiled out.
+TEST(TraceIntegration, ConsistencyPointLeavesOrderedTrail) {
+  if (!kEnabled) GTEST_SKIP() << "obs instrumentation compiled out";
+
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = 16 * 1024;
+  rg.media.type = MediaType::kHdd;
+  cfg.raid_groups = {rg};
+  Aggregate agg(cfg, /*rng_seed=*/7);
+
+  FlexVolConfig vol_cfg;
+  vol_cfg.file_blocks = 8 * 1024;
+  vol_cfg.vvbn_blocks = 2ull * kFlatAaBlocks;
+  FlexVol& vol = agg.add_volume(vol_cfg);
+
+  trace().clear();
+  std::vector<DirtyBlock> dirty;
+  for (std::uint64_t l = 0; l < 4'000; ++l) dirty.push_back({vol.id(), l});
+  const CpStats stats = ConsistencyPoint::run(agg, dirty);
+
+  const std::vector<TraceEvent> events = trace().snapshot();
+  ASSERT_FALSE(events.empty());
+
+  std::size_t begin_at = events.size();
+  std::size_t end_at = events.size();
+  std::uint64_t checkouts = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type == EventType::kCpBegin && begin_at == events.size()) {
+      begin_at = i;
+    }
+    if (events[i].type == EventType::kCpEnd) end_at = i;
+    if (events[i].type == EventType::kAaCheckout) ++checkouts;
+  }
+  ASSERT_LT(begin_at, events.size()) << "no cp_begin event";
+  ASSERT_LT(end_at, events.size()) << "no cp_end event";
+  EXPECT_LT(begin_at, end_at);
+  EXPECT_GT(checkouts, 0u) << "CP wrote blocks but checked out no AAs";
+
+  // cp_end payload mirrors the CpStats the caller saw.
+  EXPECT_EQ(events[end_at].b, stats.blocks_written);
+  EXPECT_EQ(events[end_at].c, stats.blocks_freed);
+  EXPECT_GT(events[end_at].d, 0u);  // wall-clock duration
+
+  // Timestamps are monotone non-decreasing in emit order.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].t_ns, events[i].t_ns);
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+}
+
+}  // namespace
+}  // namespace wafl::obs

@@ -1,0 +1,107 @@
+// CpStats::merge round-trip: merging per-slice stats must equal the stats
+// of the combined run, including the RunningStat (Chan et al.) fields the
+// parallel-CP volume slices rely on.
+#include <gtest/gtest.h>
+
+#include "wafl/cp_stats.hpp"
+
+namespace wafl {
+namespace {
+
+CpStats make_stats(std::uint64_t base) {
+  CpStats s;
+  s.ops = base + 1;
+  s.blocks_written = base + 2;
+  s.blocks_freed = base + 3;
+  s.vol_meta_blocks = base + 4;
+  s.agg_meta_blocks = base + 5;
+  s.meta_flush_blocks = base + 6;
+  s.tetrises = base + 7;
+  s.full_stripes = base + 8;
+  s.partial_stripes = base + 9;
+  s.parity_read_blocks = base + 10;
+  s.write_chains = base + 11;
+  s.storage_time_ns = static_cast<SimTime>(base + 12);
+  s.hbps_replenishes = base + 13;
+  s.vol_bits_scanned = base + 14;
+  s.agg_bits_scanned = base + 15;
+  return s;
+}
+
+TEST(CpStats, MergeSumsEveryCounterField) {
+  CpStats a = make_stats(100);
+  const CpStats b = make_stats(1000);
+  a.merge(b);
+  EXPECT_EQ(a.ops, 1102u);
+  EXPECT_EQ(a.blocks_written, 1104u);
+  EXPECT_EQ(a.blocks_freed, 1106u);
+  EXPECT_EQ(a.vol_meta_blocks, 1108u);
+  EXPECT_EQ(a.agg_meta_blocks, 1110u);
+  EXPECT_EQ(a.meta_flush_blocks, 1112u);
+  EXPECT_EQ(a.tetrises, 1114u);
+  EXPECT_EQ(a.full_stripes, 1116u);
+  EXPECT_EQ(a.partial_stripes, 1118u);
+  EXPECT_EQ(a.parity_read_blocks, 1120u);
+  EXPECT_EQ(a.write_chains, 1122u);
+  EXPECT_EQ(a.storage_time_ns, static_cast<SimTime>(1124));
+  EXPECT_EQ(a.hbps_replenishes, 1126u);
+  EXPECT_EQ(a.vol_bits_scanned, 1128u);
+  EXPECT_EQ(a.agg_bits_scanned, 1130u);
+}
+
+TEST(CpStats, MergeCombinesRunningStatsExactly) {
+  // Split one sample stream across two slices; the merged accumulator
+  // must agree with a single accumulator that saw everything.
+  CpStats slice_a;
+  CpStats slice_b;
+  CpStats whole;
+  for (int i = 0; i < 50; ++i) {
+    const double v = 0.01 * static_cast<double>(i);
+    slice_a.vol_pick_free_frac.add(v);
+    slice_a.agg_pick_free_frac.add(1.0 - v);
+    whole.vol_pick_free_frac.add(v);
+    whole.agg_pick_free_frac.add(1.0 - v);
+  }
+  for (int i = 50; i < 80; ++i) {
+    const double v = 0.01 * static_cast<double>(i);
+    slice_b.vol_pick_free_frac.add(v);
+    slice_b.agg_pick_free_frac.add(1.0 - v);
+    whole.vol_pick_free_frac.add(v);
+    whole.agg_pick_free_frac.add(1.0 - v);
+  }
+  slice_a.merge(slice_b);
+
+  EXPECT_EQ(slice_a.vol_pick_free_frac.count(),
+            whole.vol_pick_free_frac.count());
+  EXPECT_NEAR(slice_a.vol_pick_free_frac.mean(),
+              whole.vol_pick_free_frac.mean(), 1e-12);
+  EXPECT_NEAR(slice_a.vol_pick_free_frac.variance(),
+              whole.vol_pick_free_frac.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(slice_a.vol_pick_free_frac.min(),
+                   whole.vol_pick_free_frac.min());
+  EXPECT_DOUBLE_EQ(slice_a.vol_pick_free_frac.max(),
+                   whole.vol_pick_free_frac.max());
+  EXPECT_NEAR(slice_a.agg_pick_free_frac.mean(),
+              whole.agg_pick_free_frac.mean(), 1e-12);
+}
+
+TEST(CpStats, MergeWithEmptyIsIdentity) {
+  CpStats a = make_stats(5);
+  a.vol_pick_free_frac.add(0.5);
+  const CpStats before = a;  // copy for comparison
+  const CpStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.ops, before.ops);
+  EXPECT_EQ(a.blocks_written, before.blocks_written);
+  EXPECT_EQ(a.vol_pick_free_frac.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.vol_pick_free_frac.mean(), 0.5);
+
+  // And the symmetric case: empty.merge(a) adopts a's accumulator.
+  CpStats fresh;
+  fresh.merge(before);
+  EXPECT_EQ(fresh.ops, before.ops);
+  EXPECT_DOUBLE_EQ(fresh.vol_pick_free_frac.mean(), 0.5);
+}
+
+}  // namespace
+}  // namespace wafl
