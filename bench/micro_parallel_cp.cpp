@@ -1,0 +1,216 @@
+// Scaling of the parallelized physical CP boundary.
+//
+// WriteAllocator::finish_cp partitions the CP's deferred frees per RAID
+// group serially, fans the group-disjoint half of the boundary (free
+// application + device invalidation, score-delta folds, cache re-admits,
+// TopAA image builds) across a thread pool, and keeps the shared half
+// (bitmap-metafile accounting and flush, TopAA commits, stats folds)
+// serial.  This bench measures finish-CP wall time over a many-group
+// aggregate at worker counts {serial, 1, 2, 4, 8}: the parallel runs must
+// stay bit-identical (checked against the serial run's CpStats) while the
+// boundary time drops with workers until the serial tail dominates
+// (Amdahl).  The headline `finish_cp_ms[w=N]=` lines are
+// machine-parseable.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "wafl/consistency_point.hpp"
+
+namespace wafl {
+namespace {
+
+struct Shape {
+  std::size_t raid_groups;
+  std::uint64_t device_blocks;
+  std::size_t vols;
+  std::uint64_t file_blocks;
+  std::uint64_t writes_per_cp;
+  int cps;
+};
+
+Shape shape() {
+  if (bench::fast_mode()) {
+    return {4, 32 * 1024, 4, 10'000, 8'000, 3};
+  }
+  return {8, 128 * 1024, 8, 60'000, 100'000, 6};
+}
+
+std::unique_ptr<Aggregate> make_agg(const Shape& s) {
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = s.device_blocks;
+  // SSD: invalidation does real FTL bookkeeping per freed block, so the
+  // fanned-out half of the boundary carries its production weight (on
+  // HDD, invalidate is nearly free and dispatch overhead dominates).
+  rg.media.type = MediaType::kSsd;
+  rg.media.ssd.pages_per_erase_block = 1024;
+  rg.aa_stripes = 2048;
+  AggregateConfig cfg;
+  cfg.raid_groups.assign(s.raid_groups, rg);
+  auto agg = std::make_unique<Aggregate>(cfg, 20180813);
+  for (std::size_t v = 0; v < s.vols; ++v) {
+    FlexVolConfig vol;
+    vol.file_blocks = s.file_blocks;
+    vol.vvbn_blocks = 8ull * kFlatAaBlocks;
+    vol.aa_blocks = 8192;
+    agg->add_volume(vol);
+  }
+  return agg;
+}
+
+std::vector<DirtyBlock> batch(const Shape& s, Rng& rng) {
+  // Overwrite-heavy so the boundary has real free work to partition.
+  std::vector<DirtyBlock> out;
+  for (std::uint64_t i = 0; i < s.writes_per_cp; ++i) {
+    out.push_back({static_cast<VolumeId>(rng.below(s.vols)),
+                   rng.below(s.file_blocks)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DirtyBlock& a, const DirtyBlock& b) {
+              return a.vol != b.vol ? a.vol < b.vol : a.logical < b.logical;
+            });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const DirtyBlock& a, const DirtyBlock& b) {
+                          return a.vol == b.vol && a.logical == b.logical;
+                        }),
+            out.end());
+  return out;
+}
+
+struct RunResult {
+  double boundary_ms = 0.0;  // finish_cp wall time, summed over the CPs
+  CpStats totals;
+};
+
+/// Runs the workload with `workers` pool threads (0 = fully serial CP),
+/// timing only the aggregate finish-CP slice of each CP.  The volume phase
+/// runs serially in every configuration so the measured delta is the
+/// boundary's own scaling, not [10]-style per-volume sharding.
+RunResult run(const Shape& s, std::size_t workers) {
+  auto agg = make_agg(s);
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 0) pool = std::make_unique<ThreadPool>(workers);
+  Rng rng(4242);
+  RunResult r;
+  // CP -1 is an untimed prefill of every logical block, so the timed CPs
+  // are pure overwrites and the boundary's free-side work (the fanned-out
+  // half) carries its steady-state weight.
+  for (int cp = -1; cp < s.cps; ++cp) {
+    std::vector<DirtyBlock> dirty;
+    if (cp < 0) {
+      for (VolumeId v = 0; v < s.vols; ++v) {
+        for (std::uint64_t l = 0; l < s.file_blocks; ++l) {
+          dirty.push_back({v, l});
+        }
+      }
+    } else {
+      dirty = batch(s, rng);
+    }
+
+    // Inline the ConsistencyPoint phases so the clock brackets only
+    // Aggregate::finish_cp; CP semantics are unchanged (allocation and
+    // remapping happen exactly as ConsistencyPoint::run orders them).
+    CpStats stats;
+    agg->begin_cp();
+    std::vector<Vbn> vvbns, pvbns;
+    std::size_t at = 0;
+    while (at < dirty.size()) {
+      const VolumeId vol = dirty[at].vol;
+      std::size_t end = at;
+      while (end < dirty.size() && dirty[end].vol == vol) ++end;
+      FlexVol& fv = agg->volume(vol);
+      vvbns.clear();
+      pvbns.clear();
+      for (std::size_t i = at; i < end; ++i) {
+        vvbns.push_back(fv.allocate_vvbn(stats));
+      }
+      const bool ok = agg->allocate_pvbns(end - at, pvbns, stats);
+      if (!ok) {
+        std::fprintf(stderr, "aggregate out of space\n");
+        std::exit(1);
+      }
+      for (std::size_t i = at; i < end; ++i) {
+        const Vbn freed = fv.remap(dirty[i].logical, vvbns[i - at],
+                                   pvbns[i - at]);
+        agg->set_owner(pvbns[i - at], vol, vvbns[i - at]);
+        if (freed != kInvalidVbn) {
+          agg->clear_owner(freed);
+          agg->defer_free_pvbn(freed);
+        }
+      }
+      stats.blocks_written += end - at;
+      at = end;
+    }
+    for (VolumeId v = 0; v < agg->volume_count(); ++v) {
+      agg->volume(v).finish_cp(stats);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    agg->finish_cp(stats, pool.get());
+    if (cp >= 0) {
+      r.boundary_ms +=
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      r.totals.merge(stats);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace wafl
+
+int main() {
+  using namespace wafl;
+  const auto s = shape();
+  bench::print_title("micro_parallel_cp",
+                     "finish-CP boundary wall time vs worker count");
+  std::printf(
+      "shape: %zu RAID groups x (4+1) x %llu blocks, %zu vols, "
+      "%llu writes/CP, %d CPs%s\n",
+      s.raid_groups, static_cast<unsigned long long>(s.device_blocks),
+      s.vols, static_cast<unsigned long long>(s.writes_per_cp), s.cps,
+      bench::fast_mode() ? " (fast mode)" : "");
+  bench::print_expectation(
+      "boundary time falls with workers while every run stays "
+      "bit-identical; the serial metafile flush bounds the speedup");
+
+  const RunResult serial = run(s, 0);
+  std::printf("finish_cp_ms[w=serial]=%.2f  (freed=%llu, flushed=%llu)\n",
+              serial.boundary_ms,
+              static_cast<unsigned long long>(serial.totals.blocks_freed),
+              static_cast<unsigned long long>(
+                  serial.totals.meta_flush_blocks));
+
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    const RunResult r = run(s, workers);
+    const bool identical =
+        r.totals.blocks_written == serial.totals.blocks_written &&
+        r.totals.blocks_freed == serial.totals.blocks_freed &&
+        r.totals.agg_meta_blocks == serial.totals.agg_meta_blocks &&
+        r.totals.meta_flush_blocks == serial.totals.meta_flush_blocks &&
+        r.totals.storage_time_ns == serial.totals.storage_time_ns;
+    std::printf("finish_cp_ms[w=%zu]=%.2f  speedup=%.2fx  identical=%s\n",
+                workers, r.boundary_ms, serial.boundary_ms / r.boundary_ms,
+                identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "determinism violation at %zu workers — parallel CP "
+                   "diverged from serial\n",
+                   workers);
+      return 1;
+    }
+  }
+
+  bench::dump_metrics("micro_parallel_cp");
+  return 0;
+}

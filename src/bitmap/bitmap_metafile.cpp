@@ -46,6 +46,16 @@ void BitmapMetafile::set_free(Vbn v) {
   mark_dirty(b);
 }
 
+void BitmapMetafile::account_frees(std::span<const Vbn> freed) {
+  for (const Vbn v : freed) {
+    WAFL_ASSERT_MSG(!bits_.test(v), "accounting an uncleared free");
+    const std::uint64_t b = v / kBitsPerBitmapBlock;
+    ++free_per_block_[b];
+    ++total_free_;
+    mark_dirty(b);
+  }
+}
+
 std::uint64_t BitmapMetafile::free_in_range(Vbn begin, Vbn end) const {
   WAFL_ASSERT(begin <= end && end <= bits_.size());
   // Fast path: block-aligned range answered from the summary.

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bitmap/bitmap.hpp"
@@ -48,6 +49,22 @@ class BitmapMetafile {
 
   /// Marks VBN free.  Asserts the bit was allocated.
   void set_free(Vbn v);
+
+  /// Clears the bit for `v` WITHOUT updating the free-count summary or
+  /// the dirty set; the caller must pass the same VBNs to account_frees()
+  /// before the next query or flush.  Splitting the two lets bit clears
+  /// run concurrently for VBNs in disjoint 64-bit words (the per-RAID-
+  /// group CP boundary — group ranges are multiples of kTetrisStripes, so
+  /// they never share a word) while the shared summary stays serial.
+  /// Asserts the bit was allocated.
+  void clear_unaccounted(Vbn v) {
+    WAFL_ASSERT_MSG(bits_.test(v), "freeing a free block");
+    bits_.clear(v);
+  }
+
+  /// Serial companion to clear_unaccounted(): folds already-cleared VBNs
+  /// into the per-block free counts, the total, and the dirty set.
+  void account_frees(std::span<const Vbn> freed);
 
   /// Free (clear) bits in [begin, end); answered from the summary when the
   /// range is block-aligned, else by popcount.

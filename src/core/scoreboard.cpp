@@ -1,6 +1,5 @@
 #include "core/scoreboard.hpp"
 
-#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wafl {
@@ -59,11 +58,9 @@ std::span<const ScoreChange> AaScoreBoard::apply_cp_deltas() {
     changes_.push_back({aa, old_score, new_score});
   }
   dirty_.clear();
-  WAFL_OBS({
-    static obs::Counter& changed =
-        obs::registry().counter("wafl.scoreboard.cp_changed_aas");
-    changed.add(changes_.size());
-  });
+  // Deliberately obs-free: this fold runs concurrently per RAID group at
+  // the CP boundary, and callers (RgAllocator, FlexVol) count the changed
+  // AAs through their own cached, per-owner-labelled handles.
   return changes_;
 }
 

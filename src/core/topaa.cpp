@@ -41,12 +41,13 @@ std::uint32_t block_crc(const std::byte* block) {
 
 }  // namespace
 
-void TopAaFile::save_raid_aware(std::span<const AaPick> best) {
+TopAaImage TopAaFile::encode_raid_aware(std::span<const AaPick> best) {
   const auto count = static_cast<std::uint32_t>(
       std::min<std::size_t>(best.size(), kTopAaRaidAwareEntries));
 
-  alignas(8) std::byte block[kBlockSize];
-  std::memset(block, 0, sizeof(block));
+  TopAaImage image;
+  image.nblocks = kRaidAwareBlocks;
+  std::byte* block = image.blocks[0].data();
   TopAaHeader hdr{kTopAaMagic, kTopAaVersion, count, 0};
   std::memcpy(block, &hdr, sizeof(hdr));
   std::byte* p = block + sizeof(hdr);
@@ -57,7 +58,25 @@ void TopAaFile::save_raid_aware(std::span<const AaPick> best) {
   }
   hdr.crc = block_crc(block);
   std::memcpy(block, &hdr, sizeof(hdr));
-  store_->write(base_, block);
+  return image;
+}
+
+TopAaImage TopAaFile::encode_raid_agnostic(const Hbps& hbps) {
+  TopAaImage image;
+  image.nblocks = kRaidAgnosticBlocks;
+  hbps.save(image.blocks[0], image.blocks[1]);
+  return image;
+}
+
+void TopAaFile::commit(const TopAaImage& image) {
+  WAFL_ASSERT(image.nblocks >= 1 && image.nblocks <= image.blocks.size());
+  for (std::uint64_t b = 0; b < image.nblocks; ++b) {
+    store_->write(base_ + b, image.blocks[b]);
+  }
+}
+
+void TopAaFile::save_raid_aware(std::span<const AaPick> best) {
+  commit(encode_raid_aware(best));
 }
 
 std::optional<std::vector<AaPick>> TopAaFile::load_raid_aware() {
@@ -91,11 +110,7 @@ std::optional<std::vector<AaPick>> TopAaFile::load_raid_aware() {
 }
 
 void TopAaFile::save_raid_agnostic(const Hbps& hbps) {
-  alignas(8) std::byte hist_page[kBlockSize];
-  alignas(8) std::byte list_page[kBlockSize];
-  hbps.save(hist_page, list_page);
-  store_->write(base_, hist_page);
-  store_->write(base_ + 1, list_page);
+  commit(encode_raid_agnostic(hbps));
 }
 
 std::optional<Hbps> TopAaFile::load_raid_agnostic() {

@@ -17,6 +17,7 @@
 // (cf. WAFL's metadata-protection and WAFL-Iron repair discussion).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -26,8 +27,20 @@
 #include "core/hbps.hpp"
 #include "storage/block_store.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace wafl {
+
+/// A staged TopAA write: the fully-encoded (checksummed) block bytes of a
+/// save, built without touching the store.  Encoding is a pure function of
+/// the cache state, so per-RAID-group images can be built concurrently at
+/// the CP boundary; TopAaFile::commit serializes the store writes (the
+/// BlockStore is not thread-safe).
+struct TopAaImage {
+  /// kRaidAwareBlocks or kRaidAgnosticBlocks worth of valid blocks.
+  std::uint64_t nblocks = 0;
+  std::array<std::array<std::byte, kBlockSize>, 2> blocks{};
+};
 
 class TopAaFile {
  public:
@@ -35,6 +48,18 @@ class TopAaFile {
   /// at `base_block`.  RAID-aware use needs 1 block; RAID-agnostic needs 2.
   TopAaFile(BlockStore& store, std::uint64_t base_block)
       : store_(&store), base_(base_block) {}
+
+  // --- Staged encode / commit ----------------------------------------------
+
+  /// Encodes up to kTopAaRaidAwareEntries best picks (descending score)
+  /// into a one-block image.  Pure; store-free.
+  static TopAaImage encode_raid_aware(std::span<const AaPick> best);
+
+  /// Encodes the HBPS's two pages into a two-block image.  Pure.
+  static TopAaImage encode_raid_agnostic(const Hbps& hbps);
+
+  /// Writes a staged image to this file's blocks.
+  void commit(const TopAaImage& image);
 
   // --- RAID-aware form -----------------------------------------------------
 

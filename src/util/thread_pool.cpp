@@ -75,6 +75,43 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   done_cv.wait(lk, [&] { return remaining.load(std::memory_order_acquire) == 0; });
 }
 
+void ThreadPool::parallel_for_dynamic(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::min(n, workers_.size() + 1);
+
+  std::atomic<std::size_t> next{begin};
+  std::atomic<std::size_t> remaining{parts};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  auto run = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) break;
+      fn(i);
+    }
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lk(done_mu);
+      done_cv.notify_one();
+    }
+  };
+
+  // As in parallel_for: the caller runs one part itself so a busy pool
+  // still makes progress.
+  for (std::size_t p = 1; p < parts; ++p) {
+    submit([&] { run(); });
+  }
+  run();
+
+  std::unique_lock lk(done_mu);
+  done_cv.wait(lk, [&] {
+    return remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

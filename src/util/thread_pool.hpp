@@ -45,6 +45,15 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Like parallel_for, but dynamically scheduled: workers pull one index
+  /// at a time from a shared counter, so a few expensive iterations do not
+  /// serialize behind a static chunk assignment.  Use for coarse, uneven
+  /// work (per-RAID-group CP-boundary work varies with each group's free
+  /// batch and AA churn); the per-index atomic costs more than static
+  /// chunking for fine uniform loops.  The calling thread participates.
+  void parallel_for_dynamic(std::size_t begin, std::size_t end,
+                            const std::function<void(std::size_t)>& fn);
+
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
  private:

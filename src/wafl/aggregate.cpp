@@ -1,9 +1,5 @@
 #include "wafl/aggregate.hpp"
 
-#include <algorithm>
-#include <string>
-
-#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wafl {
@@ -23,47 +19,6 @@ std::uint64_t sum_data_blocks(const AggregateConfig& cfg) {
 
 }  // namespace
 
-Aggregate::RgState::RgState(RaidGroupId id, RaidGeometry geom, Vbn base_vbn,
-                            std::uint32_t aa_stripes_, double skip_fraction,
-                            bool raid_agnostic)
-    : raid(id, geom),
-      base(base_vbn),
-      aa_stripes(aa_stripes_),
-      layout(AaLayout::raid(base_vbn, geom, aa_stripes_)),
-      board(layout) {
-  skip_threshold = static_cast<AaScore>(
-      skip_fraction * static_cast<double>(layout.aa_blocks()));
-  device_busy.assign(geom.total_devices(), 0);
-  if (raid_agnostic) {
-    // Object-store pool (§3.3.2): bounded-memory HBPS over flat AAs.
-    auto h = std::make_unique<Hbps>(Hbps::Config{
-        layout.aa_blocks(),
-        std::max<std::uint32_t>(1, layout.aa_blocks() / kHbpsBinCount),
-        kHbpsListCapacity});
-    hbps = h.get();
-    cache = std::move(h);
-  } else {
-    // RAID group (§3.3.1): exact max-heap over every AA.
-    auto h = std::make_unique<MaxHeapAaCache>(layout.aa_count());
-    heap = h.get();
-    cache = std::move(h);
-  }
-}
-
-void Aggregate::RgState::build_cache() {
-  if (hbps != nullptr) {
-    hbps->build(board);
-  } else {
-    heap->build(board);
-  }
-}
-
-const MaxHeapAaCache& Aggregate::rg_heap(RaidGroupId rg) const {
-  const RgState& state = *rgs_.at(rg);
-  WAFL_ASSERT_MSG(state.heap != nullptr, "group has no max-heap (HBPS pool)");
-  return *state.heap;
-}
-
 Aggregate::Aggregate(const AggregateConfig& cfg, std::uint64_t rng_seed)
     : cfg_(cfg),
       rng_(rng_seed),
@@ -71,65 +26,31 @@ Aggregate::Aggregate(const AggregateConfig& cfg, std::uint64_t rng_seed)
       meta_store_(bitmap_blocks_for(sum_data_blocks(cfg))),
       topaa_store_(cfg.raid_groups.size() * TopAaFile::kRaidAgnosticBlocks),
       activemap_(sum_data_blocks(cfg), &meta_store_, 0),
+      walloc_(cfg.policy, cfg.rg_skip_free_fraction, rng_, activemap_,
+              topaa_store_),
       owner_(sum_data_blocks(cfg), kNoOwner) {
   WAFL_ASSERT(!cfg.raid_groups.empty());
   Vbn base = 0;
-  RaidGroupId id = 0;
   for (const RaidGroupConfig& rgc : cfg.raid_groups) {
-    append_raid_group(rgc, id, base);
+    walloc_.add_group(rgc, base);
     base += static_cast<Vbn>(rgc.device_blocks) * rgc.data_devices;
-    ++id;
   }
-}
-
-void Aggregate::append_raid_group(const RaidGroupConfig& rgc, RaidGroupId id,
-                                  Vbn base) {
-  WAFL_ASSERT(rgc.device_blocks % kTetrisStripes == 0);
-  const bool raid_agnostic = rgc.media.type == MediaType::kObjectStore;
-  if (raid_agnostic) {
-    // Native redundancy: no RAID geometry (§3.1) — one logical device,
-    // no parity, flat consecutive-VBN AAs.
-    WAFL_ASSERT_MSG(rgc.data_devices == 1 && rgc.parity_devices == 0,
-                    "object-store pools are 1 device, 0 parity");
-  }
-  const RaidGeometry geom(rgc.data_devices, rgc.parity_devices,
-                          rgc.device_blocks);
-  const std::uint32_t aa_stripes = rgc.aa_stripes.value_or(
-      choose_raid_aa_stripes(media_geometry(rgc.media)));
-  WAFL_ASSERT_MSG(geom.stripes() % aa_stripes == 0,
-                  "device size must be a whole number of AAs");
-  auto rg = std::make_unique<RgState>(id, geom, base, aa_stripes,
-                                      cfg_.rg_skip_free_fraction,
-                                      raid_agnostic);
-  for (std::uint32_t d = 0; d < rgc.data_devices; ++d) {
-    rg->data_devices.push_back(make_device(rgc.media, rgc.device_blocks));
-  }
-  for (std::uint32_t p = 0; p < rgc.parity_devices; ++p) {
-    rg->parity_devices.push_back(make_device(rgc.media, rgc.device_blocks));
-  }
-  if (cfg_.policy == AaSelectPolicy::kCache) {
-    rg->build_cache();
-  }
-  rgs_.push_back(std::move(rg));
 }
 
 RaidGroupId Aggregate::add_raid_group(const RaidGroupConfig& rgc) {
   // Quiescence: growth happens between CPs, like adding a shelf.
   WAFL_ASSERT_MSG(activemap_.pending_frees() == 0,
                   "add_raid_group during a CP");
-  for (const auto& rg : rgs_) {
-    WAFL_ASSERT_MSG(rg->window_writes.empty(),
-                    "add_raid_group with open tetris windows");
-  }
-  const auto id = static_cast<RaidGroupId>(rgs_.size());
+  WAFL_ASSERT_MSG(walloc_.windows_idle(),
+                  "add_raid_group with open tetris windows");
   const Vbn base = total_blocks_;
   total_blocks_ += static_cast<Vbn>(rgc.device_blocks) * rgc.data_devices;
   activemap_.grow(total_blocks_);
   meta_store_.grow(bitmap_blocks_for(total_blocks_));
-  topaa_store_.grow((id + 1ull) * TopAaFile::kRaidAgnosticBlocks);
+  topaa_store_.grow((walloc_.group_count() + 1ull) *
+                    TopAaFile::kRaidAgnosticBlocks);
   owner_.resize(total_blocks_, kNoOwner);
-  append_raid_group(rgc, id, base);
-  return id;
+  return walloc_.add_group(rgc, base);
 }
 
 FlexVol& Aggregate::add_volume(const FlexVolConfig& vcfg) {
@@ -141,11 +62,13 @@ FlexVol& Aggregate::add_volume(const FlexVolConfig& vcfg) {
 double Aggregate::mean_write_amplification() const {
   double sum = 0.0;
   std::size_t n = 0;
-  for (const auto& rg : rgs_) {
-    for (const auto& dev : rg->data_devices) {
-      if (dev->media_type() == MediaType::kSsd ||
-          dev->media_type() == MediaType::kSmr) {
-        sum += dev->write_amplification();
+  for (RaidGroupId rg = 0; rg < walloc_.group_count(); ++rg) {
+    const RgAllocator& group = walloc_.group(rg);
+    for (DeviceId d = 0; d < group.raid().geometry().data_devices(); ++d) {
+      const DeviceModel& dev = group.data_device(d);
+      if (dev.media_type() == MediaType::kSsd ||
+          dev.media_type() == MediaType::kSmr) {
+        sum += dev.write_amplification();
         ++n;
       }
     }
@@ -154,9 +77,15 @@ double Aggregate::mean_write_amplification() const {
 }
 
 void Aggregate::reset_wear_windows() {
-  for (const auto& rg : rgs_) {
-    for (const auto& dev : rg->data_devices) dev->reset_wear_window();
-    for (const auto& dev : rg->parity_devices) dev->reset_wear_window();
+  for (RaidGroupId rg = 0; rg < walloc_.group_count(); ++rg) {
+    RgAllocator& group = walloc_.group(rg);
+    const RaidGeometry& geom = group.raid().geometry();
+    for (DeviceId d = 0; d < geom.data_devices(); ++d) {
+      group.data_device(d).reset_wear_window();
+    }
+    for (DeviceId p = 0; p < geom.parity_devices(); ++p) {
+      group.parity_device(p).reset_wear_window();
+    }
   }
 }
 
@@ -177,444 +106,6 @@ std::optional<Aggregate::BlockOwner> Aggregate::owner_of(Vbn pvbn) const {
   if (packed == kNoOwner) return std::nullopt;
   return BlockOwner{static_cast<VolumeId>(packed >> 48),
                     packed & ((1ull << 48) - 1)};
-}
-
-bool Aggregate::checkout_aa(RaidGroupId rg, AaId aa) {
-  WAFL_ASSERT_MSG(cfg_.policy == AaSelectPolicy::kCache,
-                  "checkout_aa requires the cache policy");
-  RgState& state = *rgs_.at(rg);
-  if (state.heap == nullptr) return false;  // HBPS pools are not cleaned
-  return state.heap->remove(aa);
-}
-
-void Aggregate::checkin_aa(RaidGroupId rg, AaId aa) {
-  RgState& state = *rgs_.at(rg);
-  state.cache->insert(aa, state.board.score(aa));
-}
-
-void Aggregate::seed_rg_occupancy(RaidGroupId rg_id, double fraction,
-                                  Rng& rng) {
-  RgState& rg = *rgs_.at(rg_id);
-  WAFL_ASSERT_MSG(rg.window_writes.empty() && rg.cursor_aa == kInvalidAaId,
-                  "seed_rg_occupancy during a CP");
-  WAFL_ASSERT(fraction >= 0.0 && fraction <= 1.0);
-  const Vbn begin = rg.base;
-  const Vbn end = rg.base + rg.raid.geometry().data_blocks();
-  for (Vbn v = begin; v < end; ++v) {
-    if (!activemap_.is_allocated(v) && rng.chance(fraction)) {
-      activemap_.allocate(v);
-    }
-  }
-  activemap_.metafile().begin_cp();  // discard the artificial dirty set
-  rg.board = AaScoreBoard(rg.layout, activemap_.metafile());
-  if (cfg_.policy == AaSelectPolicy::kCache) {
-    rg.build_cache();
-  }
-}
-
-void Aggregate::begin_cp() {
-  for (const auto& rg : rgs_) {
-    std::fill(rg->device_busy.begin(), rg->device_busy.end(), 0);
-  }
-}
-
-std::uint64_t Aggregate::live_aa_free(const RgState& rg, AaId aa) const {
-  return activemap_.metafile().free_in_range(rg.layout.aa_begin(aa),
-                                             rg.layout.aa_end(aa));
-}
-
-bool Aggregate::ensure_rg_cursor(RgState& rg, CpStats& stats, bool force) {
-  // Candidate selection consults the cache (or random choice), whose
-  // scores are only updated at CP boundaries (§3.3); a candidate may have
-  // been consumed earlier in THIS CP, so each pick is validated against
-  // the live activemap before the cursor commits to it.
-  int random_attempts = 0;
-  for (;;) {
-    if (rg.cursor_aa != kInvalidAaId) return true;
-
-    AaId aa = kInvalidAaId;
-    if (cfg_.policy == AaSelectPolicy::kCache) {
-      if (rg.hbps != nullptr && rg.hbps->needs_replenish()) {
-        // §3.3.2's background scan, for HBPS-managed pools.
-        rg.hbps->build(rg.board);
-        WAFL_OBS({
-          static obs::Counter& replenishes =
-              obs::registry().counter("wafl.hbps.replenishes");
-          replenishes.inc();
-          obs::trace().emit(obs::EventType::kHbpsReplenish, rg.raid.id(),
-                            rg.layout.aa_count());
-        });
-      }
-      const auto best = rg.cache->peek_best_score();
-      if (!best.has_value()) return false;
-      if (!force && *best < rg.skip_threshold) return false;
-      aa = rg.cache->take_best()->aa;
-      if (live_aa_free(rg, aa) == 0) {
-        // Stale entry (consumed this CP, or empty since last CP): keep it
-        // out of rotation until the boundary re-scores it.
-        rg.retired.push_back(aa);
-        continue;
-      }
-    } else {
-      if (random_attempts++ < 64) {
-        aa = static_cast<AaId>(rng_.below(rg.layout.aa_count()));
-        if (live_aa_free(rg, aa) == 0) continue;
-      } else {
-        // Random probing keeps missing: linear sweep by live free count.
-        aa = kInvalidAaId;
-        for (AaId i = 0; i < rg.layout.aa_count(); ++i) {
-          if (live_aa_free(rg, i) > 0) {
-            aa = i;
-            break;
-          }
-        }
-        if (aa == kInvalidAaId) return false;
-      }
-    }
-
-    const double free_frac = static_cast<double>(rg.board.score(aa)) /
-                             static_cast<double>(rg.layout.aa_capacity(aa));
-    stats.agg_pick_free_frac.add(free_frac);
-    WAFL_OBS({
-      static obs::Counter& checkouts =
-          obs::registry().counter("wafl.agg.aa_checkouts");
-      static obs::LinearHistogram& free_hist = obs::registry().linear_histogram(
-          "wafl.agg.aa_checkout_free_frac", 0.0, 1.0, 64);
-      checkouts.inc();
-      free_hist.record(free_frac);
-      obs::trace().emit(obs::EventType::kAaCheckout, rg.raid.id(), aa,
-                        rg.board.score(aa), rg.layout.aa_capacity(aa));
-    });
-    rg.cursor_aa = aa;
-    rg.cursor_pos = rg.layout.aa_begin(aa);
-    return true;
-  }
-}
-
-std::uint64_t Aggregate::fill_window(RgState& rg, std::uint64_t need,
-                                     std::vector<Vbn>& out, CpStats& stats,
-                                     bool force) {
-  const BitmapMetafile& map = activemap_.metafile();
-  const RaidGeometry& geom = rg.raid.geometry();
-  const std::uint64_t bpt = geom.blocks_per_tetris();
-
-  for (;;) {
-    if (!ensure_rg_cursor(rg, stats, force)) return 0;
-    const Vbn aa_end = rg.layout.aa_end(rg.cursor_aa);
-
-    if (rg.window_writes.empty()) {
-      // No tetris is open: jump straight to the AA's next free block so a
-      // run of fully-consumed windows costs one bitmap scan, not one turn
-      // per window.
-      const Vbn v = map.find_free(rg.cursor_pos, aa_end);
-      stats.agg_bits_scanned +=
-          (v == aa_end ? aa_end : v + 1) - rg.cursor_pos;
-      if (v == aa_end) {
-        if (cfg_.policy == AaSelectPolicy::kCache) {
-          rg.retired.push_back(rg.cursor_aa);
-        }
-        rg.cursor_aa = kInvalidAaId;
-        continue;
-      }
-      rg.cursor_pos = v;
-    }
-
-    const std::uint64_t local = rg.cursor_pos - rg.base;
-    const Vbn window_end =
-        std::min<Vbn>(rg.base + (local / bpt + 1) * bpt, aa_end);
-
-    std::uint64_t taken = 0;
-    while (taken < need) {
-      const Vbn v = map.find_free(rg.cursor_pos, window_end);
-      stats.agg_bits_scanned += (v == window_end ? window_end : v + 1) -
-                                rg.cursor_pos;
-      if (v == window_end) {
-        rg.cursor_pos = window_end;
-        break;
-      }
-      rg.cursor_pos = v + 1;
-      out.push_back(v);
-      rg.window_writes.push_back(v);
-      ++taken;
-    }
-
-    if (rg.cursor_pos == window_end) {
-      // Window exhausted: write it out and advance (possibly off the AA).
-      emit_window(rg, stats);
-      if (window_end == aa_end) {
-        if (cfg_.policy == AaSelectPolicy::kCache) {
-          rg.retired.push_back(rg.cursor_aa);
-        }
-        rg.cursor_aa = kInvalidAaId;
-      }
-    }
-    if (taken > 0) return taken;
-    // Otherwise the open window had no free blocks left (a previous turn
-    // drained it): it has been emitted above; try again from a fresh jump.
-  }
-}
-
-bool Aggregate::allocate_pvbns(std::uint64_t n, std::vector<Vbn>& out,
-                               CpStats& stats) {
-  std::uint64_t remaining = n;
-  bool force = false;
-  while (remaining > 0) {
-    std::uint64_t round_total = 0;
-    for (std::size_t i = 0; i < rgs_.size() && remaining > 0; ++i) {
-      RgState& rg = *rgs_[rr_next_];
-      rr_next_ = (rr_next_ + 1) % rgs_.size();
-      const std::uint64_t got = fill_window(rg, remaining, out, stats, force);
-      remaining -= got;
-      round_total += got;
-    }
-    if (round_total == 0) {
-      if (!force) {
-        // Every group declined under the fragmentation threshold; the
-        // allocator must still make progress (§3.3.1's "resume").
-        force = true;
-        continue;
-      }
-      return false;  // genuinely out of space
-    }
-    force = false;
-  }
-  return true;
-}
-
-void Aggregate::emit_window(RgState& rg, CpStats& stats) {
-  if (rg.window_writes.empty()) return;
-
-  const RaidGeometry& geom = rg.raid.geometry();
-  // Convert to group-local VBNs (ascending by construction).
-  std::vector<Vbn> local;
-  local.reserve(rg.window_writes.size());
-  for (const Vbn v : rg.window_writes) {
-    local.push_back(v - rg.base);
-  }
-  const std::uint64_t tetris = geom.tetris_of(local.front());
-  WAFL_ASSERT(geom.tetris_of(local.back()) == tetris);
-
-  const TetrisWrite tw = rg.raid.builder().build(
-      tetris, local, [&](Vbn lv) { return activemap_.metafile().test(rg.base + lv); });
-  rg.raid.stats().accumulate(tw);
-
-  ++stats.tetrises;
-  stats.full_stripes += tw.full_stripes;
-  stats.partial_stripes += tw.partial_stripes;
-  stats.parity_read_blocks += tw.parity_read_blocks;
-  stats.write_chains += tw.total_chains();
-  stats.blocks_written += tw.data_blocks_written;
-  WAFL_OBS(obs::trace().emit(obs::EventType::kTetris, rg.raid.id(),
-                             tw.full_stripes + tw.partial_stripes,
-                             tw.data_blocks_written, tw.parity_read_blocks));
-
-  // Submit to the device models.  Parity-computation reads are spread
-  // evenly across the group's devices.
-  const std::uint32_t ndev = geom.total_devices();
-  const std::uint64_t read_share = tw.parity_read_blocks / ndev;
-  std::uint64_t read_extra = tw.parity_read_blocks % ndev;
-  for (std::uint32_t d = 0; d < geom.data_devices(); ++d) {
-    const std::uint64_t reads = read_share + (read_extra > 0 ? 1 : 0);
-    if (read_extra > 0) --read_extra;
-    rg.device_busy[d] +=
-        rg.data_devices[d]->write_batch(tw.device_runs[d], reads);
-  }
-  for (std::uint32_t p = 0; p < geom.parity_devices(); ++p) {
-    const std::uint64_t reads = read_share + (read_extra > 0 ? 1 : 0);
-    if (read_extra > 0) --read_extra;
-    rg.device_busy[geom.data_devices() + p] +=
-        rg.parity_devices[p]->write_batch(tw.parity_runs[p], reads);
-  }
-
-  // Mark the window's blocks allocated only now: the tetris classification
-  // above must see pre-CP occupancy.
-  for (const Vbn v : rg.window_writes) {
-    activemap_.allocate(v);
-    rg.board.note_alloc(v);
-  }
-  rg.window_writes.clear();
-}
-
-void Aggregate::defer_free_pvbn(Vbn v) {
-  activemap_.defer_free(v);
-  rgs_[rg_of_pvbn(v)]->board.note_free(v);
-}
-
-RaidGroupId Aggregate::rg_of_pvbn(Vbn v) const {
-  WAFL_ASSERT(v < total_blocks_);
-  for (std::size_t i = 0; i < rgs_.size(); ++i) {
-    const RgState& rg = *rgs_[i];
-    if (v < rg.base + rg.raid.geometry().data_blocks()) {
-      return static_cast<RaidGroupId>(i);
-    }
-  }
-  WAFL_ASSERT_MSG(false, "pvbn beyond all RAID groups");
-  return 0;
-}
-
-void Aggregate::finish_cp(CpStats& stats) {
-  // Flush any windows the CP left open; the next CP will reopen them and
-  // pay the partial-stripe cost of the blocks written now.
-  for (const auto& rg : rgs_) {
-    emit_window(*rg, stats);
-  }
-
-  // Apply the batched frees and tell translation-layer media (TRIM).
-  stats.blocks_freed += activemap_.apply_deferred_frees();
-  for (const Vbn v : activemap_.last_applied_frees()) {
-    RgState& rg = *rgs_[rg_of_pvbn(v)];
-    const BlockLocation loc = rg.raid.geometry().to_location(v - rg.base);
-    rg.data_devices[loc.device]->invalidate(loc.dbn);
-  }
-
-  // CP-boundary rebalance (§3.3.1) and retired-AA re-admission.
-  for (const auto& rgp : rgs_) {
-    RgState& rg = *rgp;
-    const auto changes = rg.board.apply_cp_deltas();
-    if (cfg_.policy == AaSelectPolicy::kCache) {
-      rg.cache->apply_changes(changes);
-      WAFL_OBS({
-        static obs::Counter& cp_rekeys =
-            obs::registry().counter("wafl.heap.cp_rekeys");
-        cp_rekeys.add(changes.size());
-        obs::trace().emit(obs::EventType::kHeapRebalance, rg.raid.id(),
-                          changes.size());
-      });
-      for (const AaId aa : rg.retired) {
-        rg.cache->insert(aa, rg.board.score(aa));
-        WAFL_OBS({
-          static obs::Counter& putbacks =
-              obs::registry().counter("wafl.agg.aa_putbacks");
-          putbacks.inc();
-          obs::trace().emit(obs::EventType::kAaPutback, rg.raid.id(), aa,
-                            rg.board.score(aa));
-        });
-      }
-      rg.retired.clear();
-    }
-  }
-
-  stats.agg_meta_blocks += activemap_.metafile().dirty_blocks();
-  stats.meta_flush_blocks += activemap_.metafile().flush();
-
-  if (cfg_.policy == AaSelectPolicy::kCache) {
-    for (std::size_t i = 0; i < rgs_.size(); ++i) {
-      RgState& rg = *rgs_[i];
-      TopAaFile topaa(topaa_store_,
-                      i * TopAaFile::kRaidAgnosticBlocks);
-      if (rg.heap != nullptr) {
-        // The persisted top set must include the allocator cursor's
-        // checked-out AA (cursors do not survive failover, §3.4) — merge
-        // it back before truncating to the block's capacity.
-        auto best = rg.heap->top(kTopAaRaidAwareEntries);
-        if (rg.cursor_aa != kInvalidAaId) {
-          best.push_back({rg.cursor_aa, rg.board.score(rg.cursor_aa)});
-          std::sort(best.begin(), best.end(),
-                    [](const AaPick& a, const AaPick& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.aa < b.aa;
-                    });
-          if (best.size() > kTopAaRaidAwareEntries) {
-            best.resize(kTopAaRaidAwareEntries);
-          }
-        }
-        topaa.save_raid_aware(best);
-        stats.meta_flush_blocks += TopAaFile::kRaidAwareBlocks;
-      } else {
-        // The persisted HBPS must account for the cursor's checked-out AA
-        // (cursors do not survive failover, §3.4).
-        if (rg.cursor_aa != kInvalidAaId) {
-          Hbps snapshot = *rg.hbps;
-          snapshot.insert(rg.cursor_aa, rg.board.score(rg.cursor_aa));
-          topaa.save_raid_agnostic(snapshot);
-        } else {
-          topaa.save_raid_agnostic(*rg.hbps);
-        }
-        stats.meta_flush_blocks += TopAaFile::kRaidAgnosticBlocks;
-      }
-    }
-  }
-
-  // Devices operate in parallel; the CP's storage time is the slowest one.
-  SimTime slowest = 0;
-  for (const auto& rg : rgs_) {
-    for (const SimTime t : rg->device_busy) {
-      slowest = std::max(slowest, t);
-    }
-  }
-  stats.storage_time_ns = std::max(stats.storage_time_ns, slowest);
-
-  // Per-device busy-time fold + completion events (devices in a sim CP
-  // "complete" at the boundary).
-  WAFL_OBS({
-    for (const auto& rgp : rgs_) {
-      const RgState& rg = *rgp;
-      for (std::size_t d = 0; d < rg.device_busy.size(); ++d) {
-        const SimTime busy = rg.device_busy[d];
-        if (busy == 0) continue;
-        const std::string labels = "rg=\"" + std::to_string(rg.raid.id()) +
-                                   "\",dev=\"" + std::to_string(d) + "\"";
-        obs::registry()
-            .counter("wafl.device.busy_ns", labels)
-            .add(static_cast<std::uint64_t>(busy));
-        obs::trace().emit(obs::EventType::kDeviceIo, rg.raid.id(), d,
-                          static_cast<std::uint64_t>(busy));
-      }
-    }
-  });
-}
-
-std::size_t Aggregate::mount_from_topaa() {
-  std::size_t seeded = 0;
-  for (std::size_t i = 0; i < rgs_.size(); ++i) {
-    RgState& rg = *rgs_[i];
-    TopAaFile topaa(topaa_store_,
-                    i * TopAaFile::kRaidAgnosticBlocks);
-    rg.cursor_aa = kInvalidAaId;
-    rg.window_writes.clear();
-    rg.retired.clear();
-    bool ok = false;
-    if (rg.heap != nullptr) {
-      const auto picks = topaa.load_raid_aware();
-      if (picks.has_value()) {
-        rg.heap->seed(*picks);
-        ok = true;
-      }
-    } else {
-      auto loaded = topaa.load_raid_agnostic();
-      if (loaded.has_value()) {
-        *rg.hbps = std::move(*loaded);
-        ok = true;
-      }
-    }
-    if (ok) {
-      ++seeded;
-    } else {
-      // Damaged/missing TopAA: rebuild this group the slow way.
-      rg.board = AaScoreBoard(rg.layout, activemap_.metafile());
-      rg.build_cache();
-    }
-  }
-  return seeded;
-}
-
-void Aggregate::scan_rebuild(ThreadPool* pool) {
-  activemap_.metafile().load_all(pool);
-  auto rebuild_one = [this](std::size_t i) {
-    RgState& rg = *rgs_[i];
-    rg.board = AaScoreBoard(rg.layout, activemap_.metafile());
-    rg.cursor_aa = kInvalidAaId;
-    rg.window_writes.clear();
-    rg.retired.clear();
-    if (cfg_.policy == AaSelectPolicy::kCache) {
-      rg.build_cache();
-    }
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(0, rgs_.size(), rebuild_one);
-  } else {
-    for (std::size_t i = 0; i < rgs_.size(); ++i) rebuild_one(i);
-  }
 }
 
 }  // namespace wafl

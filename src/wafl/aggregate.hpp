@@ -1,28 +1,22 @@
 // Aggregate: the shared pool of physical storage hosting FlexVols (§2.1).
 //
 // The aggregate's physical VBN space is the concatenation of its RAID
-// groups' ranges.  Each RAID group carries its own allocation-area layout
-// (media-sized, §3.2), scoreboard, and AA cache, plus per-device media
-// models.  Per §3.3, the cache form follows the storage's redundancy:
-// RAID groups get the max-heap over all AAs (§3.3.1); object-store pools
-// — "underlying storage with native resiliency and redundancy" — get the
-// two-page HBPS over flat 32 Ki-VBN AAs (§3.3.2), persisted as the
-// two-block RAID-agnostic TopAA form.
+// groups' ranges.  Since the WriteAllocator extraction, this class owns
+// only what is genuinely aggregate-wide:
 //
-// Physical allocation works the way the paper's write allocator does:
-//   - WAFL "attempts to write to all RAID groups available in an aggregate
-//     in order to maximize the total write throughput" — the allocator
-//     round-robins tetris windows across eligible RAID groups;
-//   - within a group it fills the checked-out AA's free blocks in
-//     sequential VBN order, one 64-stripe tetris window at a time;
-//   - a group whose best AA score falls below a threshold is skipped while
-//     other groups remain eligible (§3.3.1's stop/resume fragmentation
-//     bias) — this produces Figure 7's aging-proportional write balance,
-//     and, because fragmented windows simply carry fewer free blocks, the
-//     bias also emerges naturally per tetris;
-//   - completed windows become TetrisWrites: full/partial stripe
-//     classification, parity I/O, and per-device write runs submitted to
-//     the device models.
+//  - the volumes and the physical-block ownership table (the container-map
+//    back-pointer the segment cleaner needs);
+//  - the activemap and its bitmap-metafile store;
+//  - the TopAA store (per-group slots, kept separate from the bitmap area
+//    so RAID-group growth can extend the bitmaps in place);
+//  - growth (§3.1) and aging/wear bookkeeping.
+//
+// Everything physical-allocation-shaped — per-group geometry, devices,
+// scoreboards, AA caches, tetris windows, the round-robin rotation and
+// §3.3.1 skip bias, the CP boundary's free/rebalance/persist machinery —
+// lives in wafl/write_allocator.{hpp,cpp}; the CP-side methods here
+// delegate to it.  The group accessors (rg_layout etc.) are re-exports
+// kept for tests, benches, and the mount/cleaner call sites.
 #pragma once
 
 #include <cstdint>
@@ -31,31 +25,15 @@
 #include <vector>
 
 #include "bitmap/activemap.hpp"
-#include "core/hbps.hpp"
-#include "core/max_heap_cache.hpp"
-#include "core/scoreboard.hpp"
-#include "core/topaa.hpp"
-#include "raid/raid_group.hpp"
 #include "storage/block_store.hpp"
 #include "util/rng.hpp"
-#include "wafl/aa_select.hpp"
 #include "wafl/cp_stats.hpp"
 #include "wafl/flexvol.hpp"
-#include "wafl/media_config.hpp"
+#include "wafl/write_allocator.hpp"
 
 namespace wafl {
 
 class ThreadPool;
-
-struct RaidGroupConfig {
-  std::uint32_t data_devices = 4;
-  std::uint32_t parity_devices = 1;
-  /// Data blocks per device (must be a multiple of kTetrisStripes).
-  std::uint64_t device_blocks = 0;
-  MediaConfig media{};
-  /// AA size override in stripes; by default the §3.2 sizing policy runs.
-  std::optional<std::uint32_t> aa_stripes{};
-};
 
 struct AggregateConfig {
   std::vector<RaidGroupConfig> raid_groups;
@@ -75,47 +53,56 @@ class Aggregate {
   const FlexVol& volume(VolumeId id) const { return *volumes_.at(id); }
   std::size_t volume_count() const noexcept { return volumes_.size(); }
 
-  // --- Geometry --------------------------------------------------------------
-  std::size_t raid_group_count() const noexcept { return rgs_.size(); }
+  // --- The write-allocation engine -------------------------------------------
+  WriteAllocator& write_allocator() noexcept { return walloc_; }
+  const WriteAllocator& write_allocator() const noexcept { return walloc_; }
+
+  // --- Geometry (re-exports of per-group engine state) -----------------------
+  std::size_t raid_group_count() const noexcept {
+    return walloc_.group_count();
+  }
   std::uint64_t total_blocks() const noexcept { return total_blocks_; }
   std::uint64_t free_blocks() const noexcept {
     return activemap_.total_free();
   }
   const RaidGroup& raid_group(RaidGroupId rg) const {
-    return rgs_.at(rg)->raid;
+    return walloc_.group(rg).raid();
   }
-  RaidGroup& raid_group(RaidGroupId rg) { return rgs_.at(rg)->raid; }
-  Vbn rg_base(RaidGroupId rg) const { return rgs_.at(rg)->base; }
+  RaidGroup& raid_group(RaidGroupId rg) { return walloc_.group(rg).raid(); }
+  Vbn rg_base(RaidGroupId rg) const { return walloc_.group(rg).base(); }
   const AaLayout& rg_layout(RaidGroupId rg) const {
-    return rgs_.at(rg)->layout;
+    return walloc_.group(rg).layout();
   }
   const AaScoreBoard& rg_scoreboard(RaidGroupId rg) const {
-    return rgs_.at(rg)->board;
+    return walloc_.group(rg).board();
   }
-  const AaCache& rg_cache(RaidGroupId rg) const { return *rgs_.at(rg)->cache; }
+  const AaCache& rg_cache(RaidGroupId rg) const {
+    return walloc_.group(rg).cache();
+  }
   /// The group's heap, for RAID groups only (asserts otherwise).
-  const MaxHeapAaCache& rg_heap(RaidGroupId rg) const;
+  const MaxHeapAaCache& rg_heap(RaidGroupId rg) const {
+    return walloc_.group(rg).heap();
+  }
   /// True when the group is an object-store pool using the HBPS (§3.3.2).
   bool rg_is_raid_agnostic(RaidGroupId rg) const {
-    return rgs_.at(rg)->hbps != nullptr;
+    return walloc_.group(rg).raid_agnostic();
   }
   DeviceModel& data_device(RaidGroupId rg, DeviceId d) {
-    return *rgs_.at(rg)->data_devices.at(d);
+    return walloc_.group(rg).data_device(d);
   }
   DeviceModel& parity_device(RaidGroupId rg, DeviceId d) {
-    return *rgs_.at(rg)->parity_devices.at(d);
+    return walloc_.group(rg).parity_device(d);
   }
 
   const Activemap& activemap() const noexcept { return activemap_; }
   /// Store holding the aggregate's bitmap-metafile blocks.
   BlockStore& meta_store() noexcept { return meta_store_; }
-  /// Store holding the per-group TopAA slots (kept separate from the
-  /// bitmap area so RAID-group growth can extend the bitmaps in place).
+  /// Store holding the per-group TopAA slots.
   BlockStore& topaa_store() noexcept { return topaa_store_; }
   /// First block of the group's TopAA slot in topaa_store() (each group
   /// owns a two-block slot; the heap form uses only the first block).
   std::uint64_t rg_topaa_block(RaidGroupId rg) const {
-    WAFL_ASSERT(rg < rgs_.size());
+    WAFL_ASSERT(rg < walloc_.group_count());
     return rg * TopAaFile::kRaidAgnosticBlocks;
   }
 
@@ -134,7 +121,9 @@ class Aggregate {
   /// churn "until a random 50% of its blocks were used") and rebuilds the
   /// group's scoreboard and cache.  Must be called while no CP is in
   /// flight.  The seeded blocks belong to no volume and are never freed.
-  void seed_rg_occupancy(RaidGroupId rg, double fraction, Rng& rng);
+  void seed_rg_occupancy(RaidGroupId rg, double fraction, Rng& rng) {
+    walloc_.seed_occupancy(rg, fraction, rng);
+  }
 
   // --- Physical-block ownership (the container-map back-pointer WAFL keeps
   // via its container files; needed by the segment cleaner to relocate
@@ -160,106 +149,63 @@ class Aggregate {
   /// cannot target it while the cleaner relocates its blocks.  Returns
   /// false when the AA is already out (allocator cursor, or another
   /// checkout).  Requires the cache policy.
-  bool checkout_aa(RaidGroupId rg, AaId aa);
+  bool checkout_aa(RaidGroupId rg, AaId aa) {
+    return walloc_.checkout_aa(rg, aa);
+  }
 
   /// Returns a checked-out AA to the heap at its current scoreboard
   /// score.  Safe mid-CP: pending deltas re-key it at the CP boundary.
-  void checkin_aa(RaidGroupId rg, AaId aa);
+  void checkin_aa(RaidGroupId rg, AaId aa) { walloc_.checkin_aa(rg, aa); }
 
   // --- CP-side allocation ------------------------------------------------------
 
   /// Starts a CP interval: clears per-CP device busy accounting.
-  void begin_cp();
+  void begin_cp() { walloc_.begin_cp(); }
 
   /// Allocates `n` physical VBNs in write order, appending to `out`.
   /// Returns false when the aggregate cannot supply them (out of space).
-  bool allocate_pvbns(std::uint64_t n, std::vector<Vbn>& out, CpStats& stats);
+  bool allocate_pvbns(std::uint64_t n, std::vector<Vbn>& out, CpStats& stats) {
+    return walloc_.allocate(n, out, stats);
+  }
 
   /// Defers the free of a physical VBN to the CP boundary.
-  void defer_free_pvbn(Vbn v);
+  void defer_free_pvbn(Vbn v) {
+    activemap_.defer_free(v);
+    walloc_.note_free(v);
+  }
 
-  /// Flushes open tetris windows, applies deferred frees (with device
-  /// invalidation), folds score deltas into the heaps, re-admits retired
-  /// AAs, flushes the bitmap metafile, and persists per-group TopAA blocks.
-  void finish_cp(CpStats& stats);
+  /// The CP boundary: flushes open tetris windows, applies deferred frees
+  /// (with device invalidation), folds score deltas into the caches,
+  /// re-admits retired AAs, flushes the bitmap metafile, and persists
+  /// per-group TopAA blocks.  With a pool, the group-disjoint work fans
+  /// out across groups; results are bit-identical to the serial path (see
+  /// write_allocator.hpp for the determinism argument).
+  void finish_cp(CpStats& stats, ThreadPool* pool = nullptr) {
+    walloc_.finish_cp(stats, pool);
+  }
 
   // --- Mount (§3.4) --------------------------------------------------------------
 
   /// Seeds every RAID group's heap from its TopAA block.  Groups whose
   /// block is damaged fall back to a scoreboard scan.  Returns the number
   /// of groups seeded from TopAA.
-  std::size_t mount_from_topaa();
+  std::size_t mount_from_topaa() { return walloc_.mount_from_topaa(); }
 
   /// Reads the bitmap metafile back from the store and rebuilds all
   /// scoreboards (and full heaps); parallelized across groups when a pool
   /// is supplied.  This is both the no-TopAA mount path and the background
   /// completion after a TopAA seed.
-  void scan_rebuild(ThreadPool* pool = nullptr);
+  void scan_rebuild(ThreadPool* pool = nullptr) { walloc_.scan_rebuild(pool); }
 
  private:
-  struct RgState {
-    RgState(RaidGroupId id, RaidGeometry geom, Vbn base_vbn,
-            std::uint32_t aa_stripes_, double skip_fraction,
-            bool raid_agnostic);
-
-    RaidGroup raid;
-    Vbn base;
-    std::uint32_t aa_stripes;
-    AaScore skip_threshold;  // best-AA score below this => skip the group
-    std::vector<std::unique_ptr<DeviceModel>> data_devices;
-    std::vector<std::unique_ptr<DeviceModel>> parity_devices;
-    AaLayout layout;
-    AaScoreBoard board;
-    /// Exactly one of these is set: heap for RAID groups, hbps for
-    /// object-store pools (then `cache` aliases it).
-    MaxHeapAaCache* heap = nullptr;
-    Hbps* hbps = nullptr;
-    std::unique_ptr<AaCache> cache;
-    /// Rebuilds the cache from the scoreboard (heap or HBPS form).
-    void build_cache();
-
-    AaId cursor_aa = kInvalidAaId;
-    Vbn cursor_pos = 0;  // absolute pvbn
-    std::vector<Vbn> window_writes;
-    std::vector<AaId> retired;
-    std::vector<SimTime> device_busy;  // data then parity, this CP
-  };
-
-  /// Creates and registers one group's state (shared by the constructor
-  /// and add_raid_group).
-  void append_raid_group(const RaidGroupConfig& rgc, RaidGroupId id,
-                         Vbn base);
-
-  /// Free blocks an AA has RIGHT NOW (activemap view, which unlike the
-  /// scoreboard reflects this CP's own allocations).
-  std::uint64_t live_aa_free(const RgState& rg, AaId aa) const;
-
-  /// Ensures `rg` has an AA checked out; honors the skip threshold unless
-  /// `force`.  Returns false when the group cannot allocate now.
-  bool ensure_rg_cursor(RgState& rg, CpStats& stats, bool force);
-
-  /// Allocates up to `need` pvbns from rg's current tetris window.
-  std::uint64_t fill_window(RgState& rg, std::uint64_t need,
-                            std::vector<Vbn>& out, CpStats& stats,
-                            bool force);
-
-  /// Builds and submits the TetrisWrite for rg's open window, then marks
-  /// the window's blocks allocated.
-  void emit_window(RgState& rg, CpStats& stats);
-
-  RaidGroupId rg_of_pvbn(Vbn v) const;
-
   AggregateConfig cfg_;
   Rng rng_;
   std::uint64_t total_blocks_ = 0;
 
-  std::vector<std::unique_ptr<RgState>> rgs_;
-  /// Round-robin pointer for tetris distribution across groups.
-  std::size_t rr_next_ = 0;
-
   BlockStore meta_store_;
   BlockStore topaa_store_;
   Activemap activemap_;
+  WriteAllocator walloc_;
 
   /// pvbn -> packed owner (vol in the top 16 bits, vvbn below;
   /// kNoOwner when unowned).

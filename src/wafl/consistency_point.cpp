@@ -177,11 +177,13 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
       static_cast<double>(phase_timer.lap())));
 
   // Phase 3: the CP boundary — apply frees, rebalance caches, flush
-  // metafiles, persist TopAA, account device time.
+  // metafiles, persist TopAA, account device time.  The aggregate side
+  // fans the group-disjoint work out across the pool (bit-identical to
+  // serial; see write_allocator.hpp).
   for (VolumeId v = 0; v < agg.volume_count(); ++v) {
     agg.volume(v).finish_cp(stats);
   }
-  agg.finish_cp(stats);
+  agg.finish_cp(stats, pool);
 
   // Fold this CP's stats into the global registry (one batch of adds per
   // CP) and close out the trace.

@@ -46,9 +46,13 @@ class ConsistencyPoint {
   /// remapping) runs in parallel across volumes — the direction of the
   /// paper's companion work, "Scalable Write Allocation in the WAFL File
   /// System" [10]: volumes own disjoint state, so a multi-volume CP
-  /// shards naturally.  Physical allocation and the CP boundary remain
-  /// serialized on the shared aggregate structures.  The result is
-  /// bit-identical to the serial path.
+  /// shards naturally.  Physical allocation stays serialized on the
+  /// shared aggregate structures, but the CP boundary's per-RAID-group
+  /// half (free application, device invalidation, score folds, cache
+  /// re-admission, TopAA image builds) fans out across groups via
+  /// WriteAllocator::finish_cp; bitmap-metafile accounting and flush and
+  /// the TopAA commits remain serial.  The result is bit-identical to
+  /// the serial path at any worker count.
   static CpStats run(Aggregate& agg, std::span<const DirtyBlock> dirty,
                      ThreadPool* pool = nullptr);
 };

@@ -54,6 +54,21 @@ FlexVol::FlexVol(VolumeId id, const FlexVolConfig& cfg, std::uint64_t rng_seed)
   if (cfg_.policy == AaSelectPolicy::kCache) {
     cache_.build(board_);
   }
+  resolve_metrics();
+}
+
+void FlexVol::resolve_metrics() {
+  WAFL_OBS({
+    obs::Registry& reg = obs::registry();
+    const std::string vol = "vol=\"" + std::to_string(id_) + "\"";
+    metrics_.checkouts = &reg.counter("wafl.vol.aa_checkouts", vol);
+    metrics_.checkout_free_frac = &reg.linear_histogram(
+        "wafl.vol.aa_checkout_free_frac", 0.0, 1.0, 64, vol);
+    metrics_.putbacks = &reg.counter("wafl.vol.aa_putbacks", vol);
+    metrics_.scoreboard_changed =
+        &reg.counter("wafl.scoreboard.cp_changed_aas", vol);
+    metrics_.hbps_replenishes = &reg.counter("wafl.hbps.replenishes", vol);
+  });
 }
 
 bool FlexVol::ensure_cursor(CpStats& stats) {
@@ -78,9 +93,7 @@ bool FlexVol::ensure_cursor(CpStats& stats) {
         cache_.build(board_);
         ++stats.hbps_replenishes;
         WAFL_OBS({
-          static obs::Counter& replenishes =
-              obs::registry().counter("wafl.hbps.replenishes");
-          replenishes.inc();
+          metrics_.hbps_replenishes->inc();
           obs::trace().emit(obs::EventType::kHbpsReplenish, id_,
                             layout_.aa_count());
         });
@@ -114,12 +127,8 @@ bool FlexVol::ensure_cursor(CpStats& stats) {
                              static_cast<double>(layout_.aa_capacity(aa));
     stats.vol_pick_free_frac.add(free_frac);
     WAFL_OBS({
-      static obs::Counter& checkouts =
-          obs::registry().counter("wafl.vol.aa_checkouts");
-      static obs::LinearHistogram& free_hist = obs::registry().linear_histogram(
-          "wafl.vol.aa_checkout_free_frac", 0.0, 1.0, 64);
-      checkouts.inc();
-      free_hist.record(free_frac);
+      metrics_.checkouts->inc();
+      metrics_.checkout_free_frac->record(free_frac);
       obs::trace().emit(obs::EventType::kAaCheckout, id_, aa, board_.score(aa),
                         layout_.aa_capacity(aa));
     });
@@ -272,14 +281,13 @@ void FlexVol::finish_cp(CpStats& stats) {
   activemap_.apply_deferred_frees();
 
   const auto changes = board_.apply_cp_deltas();
+  WAFL_OBS(metrics_.scoreboard_changed->add(changes.size()));
   if (cfg_.policy == AaSelectPolicy::kCache) {
     cache_.apply_changes(changes);
     for (const AaId aa : retired_) {
       cache_.insert(aa, board_.score(aa));
       WAFL_OBS({
-        static obs::Counter& putbacks =
-            obs::registry().counter("wafl.vol.aa_putbacks");
-        putbacks.inc();
+        metrics_.putbacks->inc();
         obs::trace().emit(obs::EventType::kAaPutback, id_, aa,
                           board_.score(aa));
       });
@@ -289,9 +297,7 @@ void FlexVol::finish_cp(CpStats& stats) {
       cache_.build(board_);
       ++stats.hbps_replenishes;
       WAFL_OBS({
-        static obs::Counter& replenishes =
-            obs::registry().counter("wafl.hbps.replenishes");
-        replenishes.inc();
+        metrics_.hbps_replenishes->inc();
         obs::trace().emit(obs::EventType::kHbpsReplenish, id_,
                           layout_.aa_count());
       });

@@ -22,6 +22,7 @@
 
 #include "bitmap/activemap.hpp"
 #include "core/hbps.hpp"
+#include "obs/obs.hpp"
 #include "core/scoreboard.hpp"
 #include "core/topaa.hpp"
 #include "storage/block_store.hpp"
@@ -196,6 +197,19 @@ class FlexVol {
   Bitmap snap_held_;
   /// Bulk frees from snapshot deletion, reclaimed region by region.
   DelayedFreeLog delayed_;
+
+  /// Obs handles resolved once at construction, labelled vol="<id>" (a
+  /// registry lookup per event would hash the name on every allocation).
+  /// Null when obs is compiled out.
+  struct Metrics {
+    obs::Counter* checkouts = nullptr;
+    obs::LinearHistogram* checkout_free_frac = nullptr;
+    obs::Counter* putbacks = nullptr;
+    obs::Counter* scoreboard_changed = nullptr;
+    obs::Counter* hbps_replenishes = nullptr;
+  };
+  void resolve_metrics();
+  Metrics metrics_{};
 };
 
 }  // namespace wafl

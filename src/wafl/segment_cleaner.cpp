@@ -8,11 +8,11 @@ namespace {
 /// The group's best cleaning candidate: highest-scoring AA that is not
 /// already empty, not yet cleaned, free enough to be worth the I/O, and
 /// resident in the heap (not an allocator cursor).
-AaId pick_candidate(const Aggregate& agg, RaidGroupId rg,
+AaId pick_candidate(const RgAllocator& group,
                     const std::unordered_set<AaId>& cleaned,
                     double min_free_fraction) {
-  const AaScoreBoard& board = agg.rg_scoreboard(rg);
-  const AaLayout& layout = agg.rg_layout(rg);
+  const AaScoreBoard& board = group.board();
+  const AaLayout& layout = group.layout();
   AaId best = kInvalidAaId;
   AaScore best_score = 0;
   for (AaId aa = 0; aa < board.aa_count(); ++aa) {
@@ -24,7 +24,7 @@ AaId pick_candidate(const Aggregate& agg, RaidGroupId rg,
         min_free_fraction * static_cast<double>(capacity)) {
       continue;
     }
-    if (!agg.rg_heap(rg).contains(aa)) continue;  // checked out elsewhere
+    if (!group.heap().contains(aa)) continue;  // checked out elsewhere
     if (best == kInvalidAaId || score > best_score) {
       best = aa;
       best_score = score;
@@ -33,9 +33,9 @@ AaId pick_candidate(const Aggregate& agg, RaidGroupId rg,
   return best;
 }
 
-std::uint32_t empty_aa_count(const Aggregate& agg, RaidGroupId rg) {
-  const AaScoreBoard& board = agg.rg_scoreboard(rg);
-  const AaLayout& layout = agg.rg_layout(rg);
+std::uint32_t empty_aa_count(const RgAllocator& group) {
+  const AaScoreBoard& board = group.board();
+  const AaLayout& layout = group.layout();
   std::uint32_t empties = 0;
   for (AaId aa = 0; aa < board.aa_count(); ++aa) {
     if (board.score(aa) == layout.aa_capacity(aa)) ++empties;
@@ -47,7 +47,7 @@ std::uint32_t empty_aa_count(const Aggregate& agg, RaidGroupId rg) {
 
 std::int64_t SegmentCleaner::clean_one(Aggregate& agg, RaidGroupId rg,
                                        AaId aa, CpStats& stats) {
-  const AaLayout& layout = agg.rg_layout(rg);
+  const AaLayout& layout = agg.write_allocator().group(rg).layout();
   const Vbn begin = layout.aa_begin(aa);
   const Vbn end = layout.aa_end(aa);
 
@@ -81,30 +81,34 @@ std::int64_t SegmentCleaner::clean_one(Aggregate& agg, RaidGroupId rg,
 
 CleanerReport SegmentCleaner::run(Aggregate& agg) {
   CleanerReport report;
-  if (cleaned_.size() < agg.raid_group_count()) {
-    cleaned_.resize(agg.raid_group_count());
+  // The cleaner is an allocation-engine client: candidate selection and
+  // AA checkout speak to the WriteAllocator directly; the aggregate is
+  // only consulted for what it still owns (activemap, block ownership,
+  // volumes).
+  WriteAllocator& walloc = agg.write_allocator();
+  if (cleaned_.size() < walloc.group_count()) {
+    cleaned_.resize(walloc.group_count());
   }
 
   agg.begin_cp();
   std::uint64_t budget = cfg_.relocation_budget;
 
-  for (RaidGroupId rg = 0; rg < agg.raid_group_count(); ++rg) {
-    if (agg.rg_is_raid_agnostic(rg)) continue;  // heap-managed groups only
-    while (budget > 0 &&
-           empty_aa_count(agg, rg) < cfg_.empty_pool_target) {
-      const AaId aa = pick_candidate(agg, rg, cleaned_[rg],
-                                     cfg_.min_free_fraction);
+  for (RaidGroupId rg = 0; rg < walloc.group_count(); ++rg) {
+    const RgAllocator& group = walloc.group(rg);
+    if (group.raid_agnostic()) continue;  // heap-managed groups only
+    while (budget > 0 && empty_aa_count(group) < cfg_.empty_pool_target) {
+      const AaId aa =
+          pick_candidate(group, cleaned_[rg], cfg_.min_free_fraction);
       if (aa == kInvalidAaId) break;
 
-      const AaLayout& layout = agg.rg_layout(rg);
       const std::uint64_t live_blocks =
-          layout.aa_capacity(aa) - agg.rg_scoreboard(rg).score(aa);
+          group.layout().aa_capacity(aa) - group.board().score(aa);
       if (live_blocks > budget) break;  // not affordable this pass
       if (live_blocks > agg.free_blocks() / 2) break;  // no headroom
 
-      if (!agg.checkout_aa(rg, aa)) break;
+      if (!walloc.checkout_aa(rg, aa)) break;
       const std::int64_t moved = clean_one(agg, rg, aa, report.cp);
-      agg.checkin_aa(rg, aa);
+      walloc.checkin_aa(rg, aa);
       if (moved < 0) {
         // Unmovable content: remember so we stop retrying it.
         cleaned_[rg].insert(aa);

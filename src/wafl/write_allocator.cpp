@@ -1,0 +1,613 @@
+#include "wafl/write_allocator.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/aa_sizing.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wafl {
+
+// ---------------------------------------------------------------------------
+// RgAllocator
+// ---------------------------------------------------------------------------
+
+RgAllocator::RgAllocator(RaidGroupId id, const RaidGroupConfig& rgc, Vbn base,
+                         AaSelectPolicy policy, double skip_fraction,
+                         Activemap& activemap, BlockStore& topaa_store,
+                         std::uint64_t topaa_base)
+    : policy_(policy),
+      raid_(id, RaidGeometry(rgc.data_devices, rgc.parity_devices,
+                             rgc.device_blocks)),
+      base_(base),
+      aa_stripes_(rgc.aa_stripes.value_or(
+          choose_raid_aa_stripes(media_geometry(rgc.media)))),
+      layout_(AaLayout::raid(base, raid_.geometry(), aa_stripes_)),
+      board_(layout_),
+      activemap_(activemap),
+      topaa_store_(topaa_store),
+      topaa_base_(topaa_base) {
+  WAFL_ASSERT(rgc.device_blocks % kTetrisStripes == 0);
+  WAFL_ASSERT_MSG(raid_.geometry().stripes() % aa_stripes_ == 0,
+                  "device size must be a whole number of AAs");
+  const bool raid_agnostic = rgc.media.type == MediaType::kObjectStore;
+  if (raid_agnostic) {
+    // Native redundancy: no RAID geometry (§3.1) — one logical device,
+    // no parity, flat consecutive-VBN AAs.
+    WAFL_ASSERT_MSG(rgc.data_devices == 1 && rgc.parity_devices == 0,
+                    "object-store pools are 1 device, 0 parity");
+    // Object-store pool (§3.3.2): bounded-memory HBPS over flat AAs.
+    auto h = std::make_unique<Hbps>(Hbps::Config{
+        layout_.aa_blocks(),
+        std::max<std::uint32_t>(1, layout_.aa_blocks() / kHbpsBinCount),
+        kHbpsListCapacity});
+    hbps_ = h.get();
+    cache_ = std::move(h);
+  } else {
+    // RAID group (§3.3.1): exact max-heap over every AA.
+    auto h = std::make_unique<MaxHeapAaCache>(layout_.aa_count());
+    heap_ = h.get();
+    cache_ = std::move(h);
+  }
+  skip_threshold_ = static_cast<AaScore>(
+      skip_fraction * static_cast<double>(layout_.aa_blocks()));
+  device_busy_.assign(raid_.geometry().total_devices(), 0);
+  for (std::uint32_t d = 0; d < rgc.data_devices; ++d) {
+    data_devices_.push_back(make_device(rgc.media, rgc.device_blocks));
+  }
+  for (std::uint32_t p = 0; p < rgc.parity_devices; ++p) {
+    parity_devices_.push_back(make_device(rgc.media, rgc.device_blocks));
+  }
+  if (policy_ == AaSelectPolicy::kCache) {
+    build_cache();
+  }
+  resolve_metrics();
+}
+
+void RgAllocator::resolve_metrics() {
+  WAFL_OBS({
+    obs::Registry& reg = obs::registry();
+    const std::string rg = "rg=\"" + std::to_string(raid_.id()) + "\"";
+    metrics_.checkouts = &reg.counter("wafl.agg.aa_checkouts", rg);
+    metrics_.checkout_free_frac = &reg.linear_histogram(
+        "wafl.agg.aa_checkout_free_frac", 0.0, 1.0, 64, rg);
+    metrics_.putbacks = &reg.counter("wafl.agg.aa_putbacks", rg);
+    metrics_.cp_rekeys = &reg.counter("wafl.heap.cp_rekeys", rg);
+    metrics_.scoreboard_changed =
+        &reg.counter("wafl.scoreboard.cp_changed_aas", rg);
+    metrics_.hbps_replenishes = &reg.counter("wafl.hbps.replenishes", rg);
+    for (std::uint32_t d = 0; d < raid_.geometry().total_devices(); ++d) {
+      metrics_.device_busy.push_back(&reg.counter(
+          "wafl.device.busy_ns", rg + ",dev=\"" + std::to_string(d) + "\""));
+    }
+  });
+}
+
+void RgAllocator::build_cache() {
+  if (hbps_ != nullptr) {
+    hbps_->build(board_);
+  } else {
+    heap_->build(board_);
+  }
+}
+
+const MaxHeapAaCache& RgAllocator::heap() const {
+  WAFL_ASSERT_MSG(heap_ != nullptr, "group has no max-heap (HBPS pool)");
+  return *heap_;
+}
+
+bool RgAllocator::checkout(AaId aa) {
+  if (heap_ == nullptr) return false;  // HBPS pools are not cleaned
+  return heap_->remove(aa);
+}
+
+void RgAllocator::checkin(AaId aa) {
+  cache_->insert(aa, board_.score(aa));
+}
+
+void RgAllocator::begin_cp() {
+  std::fill(device_busy_.begin(), device_busy_.end(), 0);
+}
+
+std::uint64_t RgAllocator::live_aa_free(AaId aa) const {
+  return activemap_.metafile().free_in_range(layout_.aa_begin(aa),
+                                             layout_.aa_end(aa));
+}
+
+bool RgAllocator::ensure_cursor(CpStats& stats, bool force, Rng& rng) {
+  // Candidate selection consults the cache (or random choice), whose
+  // scores are only updated at CP boundaries (§3.3); a candidate may have
+  // been consumed earlier in THIS CP, so each pick is validated against
+  // the live activemap before the cursor commits to it.
+  int random_attempts = 0;
+  for (;;) {
+    if (cursor_aa_ != kInvalidAaId) return true;
+
+    AaId aa = kInvalidAaId;
+    if (policy_ == AaSelectPolicy::kCache) {
+      if (hbps_ != nullptr && hbps_->needs_replenish()) {
+        // §3.3.2's background scan, for HBPS-managed pools.
+        hbps_->build(board_);
+        WAFL_OBS({
+          metrics_.hbps_replenishes->inc();
+          obs::trace().emit(obs::EventType::kHbpsReplenish, raid_.id(),
+                            layout_.aa_count());
+        });
+      }
+      const auto best = cache_->peek_best_score();
+      if (!best.has_value()) return false;
+      if (!force && *best < skip_threshold_) return false;
+      aa = cache_->take_best()->aa;
+      if (live_aa_free(aa) == 0) {
+        // Stale entry (consumed this CP, or empty since last CP): keep it
+        // out of rotation until the boundary re-scores it.
+        retired_.push_back(aa);
+        continue;
+      }
+    } else {
+      if (random_attempts++ < 64) {
+        aa = static_cast<AaId>(rng.below(layout_.aa_count()));
+        if (live_aa_free(aa) == 0) continue;
+      } else {
+        // Random probing keeps missing: linear sweep by live free count.
+        aa = kInvalidAaId;
+        for (AaId i = 0; i < layout_.aa_count(); ++i) {
+          if (live_aa_free(i) > 0) {
+            aa = i;
+            break;
+          }
+        }
+        if (aa == kInvalidAaId) return false;
+      }
+    }
+
+    const double free_frac = static_cast<double>(board_.score(aa)) /
+                             static_cast<double>(layout_.aa_capacity(aa));
+    stats.agg_pick_free_frac.add(free_frac);
+    WAFL_OBS({
+      metrics_.checkouts->inc();
+      metrics_.checkout_free_frac->record(free_frac);
+      obs::trace().emit(obs::EventType::kAaCheckout, raid_.id(), aa,
+                        board_.score(aa), layout_.aa_capacity(aa));
+    });
+    cursor_aa_ = aa;
+    cursor_pos_ = layout_.aa_begin(aa);
+    return true;
+  }
+}
+
+std::uint64_t RgAllocator::fill(std::uint64_t need, std::vector<Vbn>& out,
+                                CpStats& stats, bool force, Rng& rng) {
+  const BitmapMetafile& map = activemap_.metafile();
+  const RaidGeometry& geom = raid_.geometry();
+  const std::uint64_t bpt = geom.blocks_per_tetris();
+
+  for (;;) {
+    if (!ensure_cursor(stats, force, rng)) return 0;
+    const Vbn aa_end = layout_.aa_end(cursor_aa_);
+
+    if (window_writes_.empty()) {
+      // No tetris is open: jump straight to the AA's next free block so a
+      // run of fully-consumed windows costs one bitmap scan, not one turn
+      // per window.
+      const Vbn v = map.find_free(cursor_pos_, aa_end);
+      stats.agg_bits_scanned += (v == aa_end ? aa_end : v + 1) - cursor_pos_;
+      if (v == aa_end) {
+        if (policy_ == AaSelectPolicy::kCache) {
+          retired_.push_back(cursor_aa_);
+        }
+        cursor_aa_ = kInvalidAaId;
+        continue;
+      }
+      cursor_pos_ = v;
+    }
+
+    const std::uint64_t local = cursor_pos_ - base_;
+    const Vbn window_end =
+        std::min<Vbn>(base_ + (local / bpt + 1) * bpt, aa_end);
+
+    std::uint64_t taken = 0;
+    while (taken < need) {
+      const Vbn v = map.find_free(cursor_pos_, window_end);
+      stats.agg_bits_scanned +=
+          (v == window_end ? window_end : v + 1) - cursor_pos_;
+      if (v == window_end) {
+        cursor_pos_ = window_end;
+        break;
+      }
+      cursor_pos_ = v + 1;
+      out.push_back(v);
+      window_writes_.push_back(v);
+      ++taken;
+    }
+
+    if (cursor_pos_ == window_end) {
+      // Window exhausted: write it out and advance (possibly off the AA).
+      flush_window(stats);
+      if (window_end == aa_end) {
+        if (policy_ == AaSelectPolicy::kCache) {
+          retired_.push_back(cursor_aa_);
+        }
+        cursor_aa_ = kInvalidAaId;
+      }
+    }
+    if (taken > 0) return taken;
+    // Otherwise the open window had no free blocks left (a previous turn
+    // drained it): it has been emitted above; try again from a fresh jump.
+  }
+}
+
+void RgAllocator::flush_window(CpStats& stats) {
+  if (window_writes_.empty()) return;
+
+  const RaidGeometry& geom = raid_.geometry();
+  // Convert to group-local VBNs (ascending by construction).
+  std::vector<Vbn> local;
+  local.reserve(window_writes_.size());
+  for (const Vbn v : window_writes_) {
+    local.push_back(v - base_);
+  }
+  const std::uint64_t tetris = geom.tetris_of(local.front());
+  WAFL_ASSERT(geom.tetris_of(local.back()) == tetris);
+
+  const TetrisWrite tw = raid_.builder().build(tetris, local, [&](Vbn lv) {
+    return activemap_.metafile().test(base_ + lv);
+  });
+  raid_.stats().accumulate(tw);
+
+  ++stats.tetrises;
+  stats.full_stripes += tw.full_stripes;
+  stats.partial_stripes += tw.partial_stripes;
+  stats.parity_read_blocks += tw.parity_read_blocks;
+  stats.write_chains += tw.total_chains();
+  stats.blocks_written += tw.data_blocks_written;
+  WAFL_OBS(obs::trace().emit(obs::EventType::kTetris, raid_.id(),
+                             tw.full_stripes + tw.partial_stripes,
+                             tw.data_blocks_written, tw.parity_read_blocks));
+
+  // Submit to the device models.  Parity-computation reads are spread
+  // evenly across the group's devices.
+  const std::uint32_t ndev = geom.total_devices();
+  const std::uint64_t read_share = tw.parity_read_blocks / ndev;
+  std::uint64_t read_extra = tw.parity_read_blocks % ndev;
+  for (std::uint32_t d = 0; d < geom.data_devices(); ++d) {
+    const std::uint64_t reads = read_share + (read_extra > 0 ? 1 : 0);
+    if (read_extra > 0) --read_extra;
+    device_busy_[d] += data_devices_[d]->write_batch(tw.device_runs[d], reads);
+  }
+  for (std::uint32_t p = 0; p < geom.parity_devices(); ++p) {
+    const std::uint64_t reads = read_share + (read_extra > 0 ? 1 : 0);
+    if (read_extra > 0) --read_extra;
+    device_busy_[geom.data_devices() + p] +=
+        parity_devices_[p]->write_batch(tw.parity_runs[p], reads);
+  }
+
+  // Mark the window's blocks allocated only now: the tetris classification
+  // above must see pre-CP occupancy.
+  for (const Vbn v : window_writes_) {
+    activemap_.allocate(v);
+    board_.note_alloc(v);
+  }
+  window_writes_.clear();
+}
+
+void RgAllocator::cp_boundary(std::span<const Vbn> frees) {
+  // Apply this group's share of the CP's deferred frees: clear the bits
+  // (this group's bitmap words are disjoint from every other group's; the
+  // shared free-count summary and dirty set are settled serially by the
+  // caller via account_frees) and tell translation-layer media (TRIM).
+  BitmapMetafile& map = activemap_.metafile();
+  const RaidGeometry& geom = raid_.geometry();
+  for (const Vbn v : frees) {
+    map.clear_unaccounted(v);
+    const BlockLocation loc = geom.to_location(v - base_);
+    data_devices_[loc.device]->invalidate(loc.dbn);
+  }
+
+  // CP-boundary rebalance (§3.3.1) and retired-AA re-admission.
+  const auto changes = board_.apply_cp_deltas();
+  WAFL_OBS(metrics_.scoreboard_changed->add(changes.size()));
+  if (policy_ == AaSelectPolicy::kCache) {
+    cache_->apply_changes(changes);
+    WAFL_OBS({
+      metrics_.cp_rekeys->add(changes.size());
+      obs::trace().emit(obs::EventType::kHeapRebalance, raid_.id(),
+                        changes.size());
+    });
+    for (const AaId aa : retired_) {
+      cache_->insert(aa, board_.score(aa));
+      WAFL_OBS({
+        metrics_.putbacks->inc();
+        obs::trace().emit(obs::EventType::kAaPutback, raid_.id(), aa,
+                          board_.score(aa));
+      });
+    }
+    retired_.clear();
+
+    // Stage (but do not write) this group's TopAA image; the persisted
+    // set must include the allocator cursor's checked-out AA — cursors do
+    // not survive failover (§3.4).
+    if (heap_ != nullptr) {
+      auto best = heap_->top(kTopAaRaidAwareEntries);
+      if (cursor_aa_ != kInvalidAaId) {
+        best.push_back({cursor_aa_, board_.score(cursor_aa_)});
+        std::sort(best.begin(), best.end(),
+                  [](const AaPick& a, const AaPick& b) {
+                    if (a.score != b.score) return a.score > b.score;
+                    return a.aa < b.aa;
+                  });
+        if (best.size() > kTopAaRaidAwareEntries) {
+          best.resize(kTopAaRaidAwareEntries);
+        }
+      }
+      staged_topaa_ = TopAaFile::encode_raid_aware(best);
+    } else {
+      if (cursor_aa_ != kInvalidAaId) {
+        Hbps snapshot = *hbps_;
+        snapshot.insert(cursor_aa_, board_.score(cursor_aa_));
+        staged_topaa_ = TopAaFile::encode_raid_agnostic(snapshot);
+      } else {
+        staged_topaa_ = TopAaFile::encode_raid_agnostic(*hbps_);
+      }
+    }
+    topaa_staged_ = true;
+  }
+}
+
+void RgAllocator::commit_topaa(CpStats& stats) {
+  if (!topaa_staged_) return;
+  TopAaFile topaa(topaa_store_, topaa_base_);
+  topaa.commit(staged_topaa_);
+  stats.meta_flush_blocks += staged_topaa_.nblocks;
+  topaa_staged_ = false;
+}
+
+SimTime RgAllocator::slowest_device_busy() const {
+  SimTime slowest = 0;
+  for (const SimTime t : device_busy_) {
+    slowest = std::max(slowest, t);
+  }
+  return slowest;
+}
+
+void RgAllocator::fold_device_metrics() const {
+  WAFL_OBS({
+    for (std::size_t d = 0; d < device_busy_.size(); ++d) {
+      const SimTime busy = device_busy_[d];
+      if (busy == 0) continue;
+      metrics_.device_busy[d]->add(static_cast<std::uint64_t>(busy));
+      obs::trace().emit(obs::EventType::kDeviceIo, raid_.id(), d,
+                        static_cast<std::uint64_t>(busy));
+    }
+  });
+}
+
+bool RgAllocator::mount_seed() {
+  TopAaFile topaa(topaa_store_, topaa_base_);
+  cursor_aa_ = kInvalidAaId;
+  window_writes_.clear();
+  retired_.clear();
+  bool ok = false;
+  if (heap_ != nullptr) {
+    const auto picks = topaa.load_raid_aware();
+    if (picks.has_value()) {
+      heap_->seed(*picks);
+      ok = true;
+    }
+  } else {
+    auto loaded = topaa.load_raid_agnostic();
+    if (loaded.has_value()) {
+      *hbps_ = std::move(*loaded);
+      ok = true;
+    }
+  }
+  if (!ok) {
+    // Damaged/missing TopAA: rebuild this group the slow way.
+    board_ = AaScoreBoard(layout_, activemap_.metafile());
+    build_cache();
+  }
+  return ok;
+}
+
+void RgAllocator::rebuild_from_scan() {
+  board_ = AaScoreBoard(layout_, activemap_.metafile());
+  cursor_aa_ = kInvalidAaId;
+  window_writes_.clear();
+  retired_.clear();
+  if (policy_ == AaSelectPolicy::kCache) {
+    build_cache();
+  }
+}
+
+void RgAllocator::reseed_board() {
+  WAFL_ASSERT_MSG(window_writes_.empty() && cursor_aa_ == kInvalidAaId,
+                  "reseed_board during a CP");
+  board_ = AaScoreBoard(layout_, activemap_.metafile());
+  if (policy_ == AaSelectPolicy::kCache) {
+    build_cache();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WriteAllocator
+// ---------------------------------------------------------------------------
+
+WriteAllocator::WriteAllocator(AaSelectPolicy policy, double skip_fraction,
+                               Rng& rng, Activemap& activemap,
+                               BlockStore& topaa_store)
+    : policy_(policy),
+      skip_fraction_(skip_fraction),
+      rng_(rng),
+      activemap_(activemap),
+      topaa_store_(topaa_store) {}
+
+WriteAllocator::~WriteAllocator() = default;
+
+RaidGroupId WriteAllocator::add_group(const RaidGroupConfig& rgc, Vbn base) {
+  const auto id = static_cast<RaidGroupId>(groups_.size());
+  WAFL_ASSERT(groups_.empty() || base == groups_.back()->end());
+  groups_.push_back(std::make_unique<RgAllocator>(
+      id, rgc, base, policy_, skip_fraction_, activemap_, topaa_store_,
+      id * TopAaFile::kRaidAgnosticBlocks));
+  // Growth changes the rotation modulus; keep the pointer inside the new
+  // group list so the next CP's rotation starts from a live slot.
+  if (rr_next_ >= groups_.size()) {
+    rr_next_ = 0;
+  }
+  return id;
+}
+
+RaidGroupId WriteAllocator::group_of_pvbn(Vbn v) const {
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (v < groups_[i]->end()) {
+      return static_cast<RaidGroupId>(i);
+    }
+  }
+  WAFL_ASSERT_MSG(false, "pvbn beyond all RAID groups");
+  return 0;
+}
+
+bool WriteAllocator::windows_idle() const {
+  for (const auto& rg : groups_) {
+    if (!rg->window_idle()) return false;
+  }
+  return true;
+}
+
+bool WriteAllocator::checkout_aa(RaidGroupId rg, AaId aa) {
+  WAFL_ASSERT_MSG(policy_ == AaSelectPolicy::kCache,
+                  "checkout_aa requires the cache policy");
+  return groups_.at(rg)->checkout(aa);
+}
+
+void WriteAllocator::checkin_aa(RaidGroupId rg, AaId aa) {
+  groups_.at(rg)->checkin(aa);
+}
+
+void WriteAllocator::begin_cp() {
+  for (const auto& rg : groups_) {
+    rg->begin_cp();
+  }
+}
+
+bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
+                              CpStats& stats) {
+  std::uint64_t remaining = n;
+  bool force = false;
+  while (remaining > 0) {
+    std::uint64_t round_total = 0;
+    for (std::size_t i = 0; i < groups_.size() && remaining > 0; ++i) {
+      RgAllocator& rg = *groups_[rr_next_];
+      rr_next_ = (rr_next_ + 1) % groups_.size();
+      const std::uint64_t got = rg.fill(remaining, out, stats, force, rng_);
+      remaining -= got;
+      round_total += got;
+    }
+    if (round_total == 0) {
+      if (!force) {
+        // Every group declined under the fragmentation threshold; the
+        // allocator must still make progress (§3.3.1's "resume").
+        force = true;
+        continue;
+      }
+      return false;  // genuinely out of space
+    }
+    force = false;
+  }
+  return true;
+}
+
+void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
+  // Serial prologue.  Flush any windows the CP left open (the next CP
+  // reopens them and pays the partial-stripe cost of the blocks written
+  // now), then partition the deferred frees by owning group — in deferral
+  // order, BEFORE any fan-out, so each group's input is identical whatever
+  // the worker count.
+  for (const auto& rg : groups_) {
+    rg->flush_window(stats);
+  }
+  const std::span<const Vbn> frees = activemap_.take_deferred_frees();
+  std::vector<std::vector<Vbn>> frees_by_group(groups_.size());
+  for (const Vbn v : frees) {
+    frees_by_group[group_of_pvbn(v)].push_back(v);
+  }
+  stats.blocks_freed += frees.size();
+
+  // Parallel phase: each group's boundary work touches only that group's
+  // state (see the file comment's disjointness argument).  Dynamic
+  // scheduling: per-group cost tracks its free batch and AA churn, which
+  // can be very uneven across groups.
+  auto boundary_one = [&](std::size_t i) {
+    groups_[i]->cp_boundary(frees_by_group[i]);
+  };
+  if (pool != nullptr && groups_.size() > 1) {
+    pool->parallel_for_dynamic(0, groups_.size(), boundary_one);
+  } else {
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+      boundary_one(i);
+    }
+  }
+
+  // Serial epilogue, in fixed group order: settle the shared free-count
+  // summary and dirty set, flush the metafile, commit the staged TopAA
+  // images (one BlockStore, not thread-safe), and fold stats.
+  for (const auto& group_frees : frees_by_group) {
+    activemap_.metafile().account_frees(group_frees);
+  }
+  stats.agg_meta_blocks += activemap_.metafile().dirty_blocks();
+  stats.meta_flush_blocks += activemap_.metafile().flush();
+
+  for (const auto& rg : groups_) {
+    rg->commit_topaa(stats);
+  }
+
+  // Devices operate in parallel; the CP's storage time is the slowest one.
+  SimTime slowest = 0;
+  for (const auto& rg : groups_) {
+    slowest = std::max(slowest, rg->slowest_device_busy());
+  }
+  stats.storage_time_ns = std::max(stats.storage_time_ns, slowest);
+
+  // Per-device busy-time fold + completion events (devices in a sim CP
+  // "complete" at the boundary).
+  for (const auto& rg : groups_) {
+    rg->fold_device_metrics();
+  }
+}
+
+std::size_t WriteAllocator::mount_from_topaa() {
+  std::size_t seeded = 0;
+  for (const auto& rg : groups_) {
+    if (rg->mount_seed()) {
+      ++seeded;
+    }
+  }
+  return seeded;
+}
+
+void WriteAllocator::scan_rebuild(ThreadPool* pool) {
+  activemap_.metafile().load_all(pool);
+  auto rebuild_one = [this](std::size_t i) { groups_[i]->rebuild_from_scan(); };
+  if (pool != nullptr) {
+    pool->parallel_for(0, groups_.size(), rebuild_one);
+  } else {
+    for (std::size_t i = 0; i < groups_.size(); ++i) rebuild_one(i);
+  }
+}
+
+void WriteAllocator::seed_occupancy(RaidGroupId rg_id, double fraction,
+                                    Rng& rng) {
+  RgAllocator& rg = *groups_.at(rg_id);
+  WAFL_ASSERT(fraction >= 0.0 && fraction <= 1.0);
+  const Vbn begin = rg.base();
+  const Vbn end = rg.end();
+  for (Vbn v = begin; v < end; ++v) {
+    if (!activemap_.is_allocated(v) && rng.chance(fraction)) {
+      activemap_.allocate(v);
+    }
+  }
+  activemap_.metafile().begin_cp();  // discard the artificial dirty set
+  rg.reseed_board();
+}
+
+}  // namespace wafl

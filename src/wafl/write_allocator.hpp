@@ -1,0 +1,321 @@
+// WriteAllocator: the aggregate's physical write-allocation engine.
+//
+// The engine is two layers, mirroring the sharded architecture of the
+// paper's companion work ("Scalable Write Allocation in the WAFL File
+// System" [10]): per-shard allocators over disjoint state, coordinated by
+// a thin layer that only partitions demand.
+//
+//  - RgAllocator: one RAID group's (or object-store pool's) complete
+//    allocation state — geometry and device models, AA layout, scoreboard,
+//    AA cache (max-heap §3.3.1 or HBPS §3.3.2), the allocator cursor and
+//    open tetris window, the retired-AA list, per-CP device-busy
+//    accounting, and this group's TopAA slot (§3.4).  No RgAllocator
+//    method reads or writes another group's state.
+//
+//  - WriteAllocator: owns the group list and the cross-group policy — the
+//    round-robin tetris rotation ("WAFL attempts to write to all RAID
+//    groups available in an aggregate"), §3.3.1's skip/resume
+//    fragmentation bias, and the CP boundary's phase structure.
+//
+// CP-boundary parallelism.  Because groups are disjoint, the per-group
+// halves of finish_cp — applying the group's deferred frees, invalidating
+// translated media, folding score deltas into the cache, re-admitting
+// retired AAs, and building the TopAA block image — run concurrently
+// across groups on a ThreadPool.  Determinism is preserved by
+// construction, not by luck:
+//
+//  1. demand is partitioned before the fan-out (frees are split by owning
+//     group in deferral order, serially);
+//  2. the parallel phase touches only group-disjoint state.  Bitmap bit
+//     clears are group-disjoint at word granularity too: device_blocks is
+//     a multiple of kTetrisStripes (64), so every group's VBN range spans
+//     whole 64-bit bitmap words;
+//  3. everything shared stays serial: the bitmap metafile's free-count
+//     summary and dirty set (metafile blocks can straddle group
+//     boundaries), the metafile flush, the TopAA store writes, and the
+//     CpStats folds — each in fixed group order.
+//
+// The result is bit-identical file-system state and CpStats for any worker
+// count, including none.  Only observability output (trace-event and
+// metric-update interleaving) is outside the contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bitmap/activemap.hpp"
+#include "core/hbps.hpp"
+#include "core/max_heap_cache.hpp"
+#include "core/scoreboard.hpp"
+#include "core/topaa.hpp"
+#include "obs/obs.hpp"
+#include "raid/raid_group.hpp"
+#include "storage/block_store.hpp"
+#include "util/rng.hpp"
+#include "wafl/aa_select.hpp"
+#include "wafl/cp_stats.hpp"
+#include "wafl/media_config.hpp"
+
+namespace wafl {
+
+class ThreadPool;
+
+struct RaidGroupConfig {
+  std::uint32_t data_devices = 4;
+  std::uint32_t parity_devices = 1;
+  /// Data blocks per device (must be a multiple of kTetrisStripes).
+  std::uint64_t device_blocks = 0;
+  MediaConfig media{};
+  /// AA size override in stripes; by default the §3.2 sizing policy runs.
+  std::optional<std::uint32_t> aa_stripes{};
+};
+
+/// One RAID group's allocation engine.  See the file comment for the
+/// disjointness rules that make cp_boundary() safe to run concurrently
+/// across groups.
+class RgAllocator {
+ public:
+  /// Builds the group's full state from its config: geometry, devices,
+  /// layout, scoreboard, and the cache form the media dictates (§3.3).
+  /// The group owns the TopAa slot at `topaa_base` of `topaa_store`.
+  RgAllocator(RaidGroupId id, const RaidGroupConfig& rgc, Vbn base,
+              AaSelectPolicy policy, double skip_fraction,
+              Activemap& activemap, BlockStore& topaa_store,
+              std::uint64_t topaa_base);
+
+  // --- Structure accessors (re-exported by the Aggregate facade) -----------
+  RaidGroupId id() const noexcept { return raid_.id(); }
+  const RaidGroup& raid() const noexcept { return raid_; }
+  RaidGroup& raid() noexcept { return raid_; }
+  Vbn base() const noexcept { return base_; }
+  const AaLayout& layout() const noexcept { return layout_; }
+  const AaScoreBoard& board() const noexcept { return board_; }
+  const AaCache& cache() const noexcept { return *cache_; }
+  /// The group's max-heap; asserts on HBPS pools.
+  const MaxHeapAaCache& heap() const;
+  /// True for object-store pools managed by the HBPS (§3.3.2).
+  bool raid_agnostic() const noexcept { return hbps_ != nullptr; }
+  DeviceModel& data_device(DeviceId d) { return *data_devices_.at(d); }
+  DeviceModel& parity_device(DeviceId d) { return *parity_devices_.at(d); }
+  const DeviceModel& data_device(DeviceId d) const {
+    return *data_devices_.at(d);
+  }
+  const DeviceModel& parity_device(DeviceId d) const {
+    return *parity_devices_.at(d);
+  }
+  /// First VBN past this group's range.
+  Vbn end() const noexcept { return base_ + raid_.geometry().data_blocks(); }
+  /// True when no tetris window is open (quiescence check for growth).
+  bool window_idle() const noexcept { return window_writes_.empty(); }
+
+  // --- Segment-cleaner coordination (§3.3.1) -------------------------------
+  /// Removes `aa` from the heap so the allocator cannot target it while
+  /// the cleaner relocates its blocks.  False when already out (allocator
+  /// cursor or another checkout) or when the group has no heap.
+  bool checkout(AaId aa);
+  /// Returns a checked-out AA to the cache at its current board score.
+  void checkin(AaId aa);
+
+  // --- CP-side allocation --------------------------------------------------
+  /// Starts a CP interval: clears per-CP device-busy accounting.
+  void begin_cp();
+
+  /// Allocates up to `need` pvbns from the group's current tetris window,
+  /// checking out a fresh AA when needed; honors the skip threshold unless
+  /// `force`.  Returns the number taken (0 when the group declines or is
+  /// full).  `rng` drives the kRandom policy.
+  std::uint64_t fill(std::uint64_t need, std::vector<Vbn>& out,
+                     CpStats& stats, bool force, Rng& rng);
+
+  /// Builds and submits the TetrisWrite for the open window, then marks
+  /// the window's blocks allocated.
+  void flush_window(CpStats& stats);
+
+  /// Records a deferred free against the group's scoreboard.
+  void note_free(Vbn v) { board_.note_free(v); }
+
+  /// The group-disjoint half of the CP boundary; safe to run concurrently
+  /// with other groups' cp_boundary calls.  Applies this group's deferred
+  /// frees (bitmap bit clears + media invalidation; the shared free-count
+  /// summary is settled serially by the caller), folds score deltas into
+  /// the cache, re-admits retired AAs, and stages — but does not write —
+  /// the group's TopAA block image.
+  void cp_boundary(std::span<const Vbn> frees);
+
+  /// Serial companion to cp_boundary(): writes the staged TopAA image to
+  /// the group's slot (BlockStore is not thread-safe) and accounts the
+  /// flush.  No-op unless the cache policy staged an image.
+  void commit_topaa(CpStats& stats);
+
+  /// Slowest device's busy time this CP.
+  SimTime slowest_device_busy() const;
+
+  /// Folds per-device busy time into the cached per-device counters and
+  /// emits device trace events.  Serial, at the CP boundary.
+  void fold_device_metrics() const;
+
+  // --- Mount (§3.4) and rebuild --------------------------------------------
+  /// Seeds the cache from the group's TopAA slot; on damage falls back to
+  /// a scoreboard rescan + full cache rebuild.  Returns true when seeded
+  /// from TopAA.
+  bool mount_seed();
+
+  /// Rebuilds scoreboard and cache from the (already loaded) activemap.
+  void rebuild_from_scan();
+
+  /// Re-derives the scoreboard from the activemap and rebuilds the cache
+  /// (aging-seed support).  Asserts the group is quiescent.
+  void reseed_board();
+
+ private:
+  friend class WriteAllocator;
+
+  /// Free blocks an AA has RIGHT NOW (activemap view, which unlike the
+  /// scoreboard reflects this CP's own allocations).
+  std::uint64_t live_aa_free(AaId aa) const;
+
+  /// Ensures an AA is checked out; honors the skip threshold unless
+  /// `force`.  False when the group cannot allocate now.
+  bool ensure_cursor(CpStats& stats, bool force, Rng& rng);
+
+  /// Rebuilds the cache from the scoreboard (heap or HBPS form).
+  void build_cache();
+
+  /// Resolves the per-group labelled metric handles (rg="N").
+  void resolve_metrics();
+
+  AaSelectPolicy policy_;
+  RaidGroup raid_;
+  Vbn base_;
+  std::uint32_t aa_stripes_;
+  AaScore skip_threshold_;  // best-AA score below this => skip the group
+  std::vector<std::unique_ptr<DeviceModel>> data_devices_;
+  std::vector<std::unique_ptr<DeviceModel>> parity_devices_;
+  AaLayout layout_;
+  AaScoreBoard board_;
+  /// Exactly one of these is set: heap for RAID groups, hbps for
+  /// object-store pools (then `cache_` aliases it).
+  MaxHeapAaCache* heap_ = nullptr;
+  Hbps* hbps_ = nullptr;
+  std::unique_ptr<AaCache> cache_;
+
+  Activemap& activemap_;
+  BlockStore& topaa_store_;
+  std::uint64_t topaa_base_;
+
+  AaId cursor_aa_ = kInvalidAaId;
+  Vbn cursor_pos_ = 0;  // absolute pvbn
+  std::vector<Vbn> window_writes_;
+  std::vector<AaId> retired_;
+  std::vector<SimTime> device_busy_;  // data then parity, this CP
+
+  /// TopAA image staged by cp_boundary() for commit_topaa() to write.
+  TopAaImage staged_topaa_;
+  bool topaa_staged_ = false;
+
+  /// Metric handles cached at construction, labelled rg="N" so per-group
+  /// series stay separate (function-local statics merged all groups into
+  /// one).  Null when obs is compiled out.
+  struct Metrics {
+    obs::Counter* checkouts = nullptr;
+    obs::LinearHistogram* checkout_free_frac = nullptr;
+    obs::Counter* putbacks = nullptr;
+    obs::Counter* cp_rekeys = nullptr;
+    obs::Counter* scoreboard_changed = nullptr;
+    obs::Counter* hbps_replenishes = nullptr;
+    std::vector<obs::Counter*> device_busy;  // data then parity
+  };
+  Metrics metrics_{};
+};
+
+/// The thin coordinator: demand partitioning across per-group engines.
+class WriteAllocator {
+ public:
+  /// The engine allocates against `activemap` (shared with ownership and
+  /// volume machinery, which stay in Aggregate) and persists TopAA images
+  /// into `topaa_store`, one slot of TopAaFile::kRaidAgnosticBlocks per
+  /// group.  `rng` drives the kRandom policy.
+  WriteAllocator(AaSelectPolicy policy, double skip_fraction, Rng& rng,
+                 Activemap& activemap, BlockStore& topaa_store);
+  ~WriteAllocator();
+
+  WriteAllocator(const WriteAllocator&) = delete;
+  WriteAllocator& operator=(const WriteAllocator&) = delete;
+  /// Movable so Aggregate stays a return-by-value type (benches build one
+  /// in a helper).  The reference members still bind to the original
+  /// aggregate's activemap/rng/stores, so — exactly like Activemap's
+  /// store pointer before this refactor — a moved-to engine is only valid
+  /// when the move is elided or the source aggregate outlives it.
+  WriteAllocator(WriteAllocator&&) = default;
+
+  /// Registers a group over [base, base + data blocks).  Ranges must be
+  /// appended in ascending VBN order.  The round-robin pointer is clamped
+  /// so mid-run growth cannot leave it referencing a rotation slot that
+  /// only exists in the new, larger modulus (the pre-engine bug: growth
+  /// silently skewed the rotation until the pointer next wrapped).
+  RaidGroupId add_group(const RaidGroupConfig& rgc, Vbn base);
+
+  std::size_t group_count() const noexcept { return groups_.size(); }
+  RgAllocator& group(RaidGroupId rg) { return *groups_.at(rg); }
+  const RgAllocator& group(RaidGroupId rg) const { return *groups_.at(rg); }
+  /// The group whose VBN range holds `v`.
+  RaidGroupId group_of_pvbn(Vbn v) const;
+  AaSelectPolicy policy() const noexcept { return policy_; }
+
+  /// True when no group has an open tetris window (growth quiescence).
+  bool windows_idle() const;
+
+  // --- Segment-cleaner support ---------------------------------------------
+  /// Checks a specific AA out of the group's heap.  Requires the cache
+  /// policy.  False when the AA is already out or the group is HBPS.
+  bool checkout_aa(RaidGroupId rg, AaId aa);
+  /// Returns a checked-out AA at its current scoreboard score.
+  void checkin_aa(RaidGroupId rg, AaId aa);
+
+  // --- CP-side allocation --------------------------------------------------
+  void begin_cp();
+
+  /// Allocates `n` pvbns in write order, appending to `out`: round-robin
+  /// tetris rotation across groups with §3.3.1's skip bias, escalating to
+  /// `force` when every group declines.  False when out of space.
+  bool allocate(std::uint64_t n, std::vector<Vbn>& out, CpStats& stats);
+
+  /// Records a deferred free against the owning group's scoreboard (the
+  /// activemap deferral itself stays with the Aggregate).
+  void note_free(Vbn v) { groups_[group_of_pvbn(v)]->note_free(v); }
+
+  /// The CP boundary.  Serial prologue (flush open windows, partition the
+  /// deferred frees by group), parallel per-group phase (cp_boundary on
+  /// `pool` when supplied), serial epilogue (free-count accounting,
+  /// metafile flush, TopAA commits, stats and metric folds).  Results are
+  /// bit-identical for any worker count.
+  void finish_cp(CpStats& stats, ThreadPool* pool);
+
+  // --- Mount (§3.4) ----------------------------------------------------------
+  /// Seeds every group's cache from its TopAA slot; damaged groups fall
+  /// back to a scoreboard scan.  Returns the number seeded from TopAA.
+  std::size_t mount_from_topaa();
+
+  /// Reloads the bitmap metafile from its store and rebuilds every group's
+  /// scoreboard and cache; per-group rebuilds parallelize on `pool`.
+  void scan_rebuild(ThreadPool* pool);
+
+  /// Aging-seed hook: marks a random `fraction` of the group's blocks
+  /// allocated and re-derives its scoreboard and cache (§4.2).
+  void seed_occupancy(RaidGroupId rg, double fraction, Rng& rng);
+
+ private:
+  AaSelectPolicy policy_;
+  double skip_fraction_;
+  Rng& rng_;
+  Activemap& activemap_;
+  BlockStore& topaa_store_;
+
+  std::vector<std::unique_ptr<RgAllocator>> groups_;
+  /// Round-robin pointer for tetris distribution across groups.
+  std::size_t rr_next_ = 0;
+};
+
+}  // namespace wafl

@@ -149,6 +149,41 @@ TEST(BitmapMetafile, StoreBaseOffset) {
   EXPECT_FALSE(store.is_materialized(0));
 }
 
+TEST(BitmapMetafile, SplitFreeMatchesSetFree) {
+  // The CP boundary's two-phase protocol — clear_unaccounted (bits only,
+  // group-parallel) then account_frees (summary + dirty, serial) — must
+  // land in exactly the state set_free produces.
+  const std::uint64_t n = 2 * kBitsPerBitmapBlock;
+  BitmapMetafile split(n);
+  BitmapMetafile fused(n);
+  std::vector<Vbn> victims;
+  for (Vbn v = 0; v < n; v += 97) victims.push_back(v);
+  for (const Vbn v : victims) {
+    split.set_allocated(v);
+    fused.set_allocated(v);
+  }
+  split.flush();
+  fused.flush();
+
+  for (const Vbn v : victims) split.clear_unaccounted(v);
+  // Bits cleared, but nothing accounted yet: summaries and dirty state
+  // still describe the pre-free world.
+  EXPECT_EQ(split.total_free(), n - victims.size());
+  EXPECT_EQ(split.dirty_blocks(), 0u);
+  split.account_frees(victims);
+
+  for (const Vbn v : victims) fused.set_free(v);
+
+  EXPECT_EQ(split.total_free(), fused.total_free());
+  EXPECT_EQ(split.dirty_blocks(), fused.dirty_blocks());
+  for (std::uint64_t b = 0; b < split.metafile_blocks(); ++b) {
+    EXPECT_EQ(split.block_free_count(b), fused.block_free_count(b));
+  }
+  for (Vbn v = 0; v < n; ++v) {
+    ASSERT_EQ(split.test(v), fused.test(v)) << "bit " << v;
+  }
+}
+
 TEST(BitmapMetafileDeathTest, DoubleAllocationAsserts) {
   BitmapMetafile mf(100);
   mf.set_allocated(1);
@@ -158,6 +193,18 @@ TEST(BitmapMetafileDeathTest, DoubleAllocationAsserts) {
 TEST(BitmapMetafileDeathTest, FreeingFreeBlockAsserts) {
   BitmapMetafile mf(100);
   EXPECT_DEATH(mf.set_free(1), "freeing a free block");
+}
+
+TEST(BitmapMetafileDeathTest, ClearUnaccountedOnFreeBlockAsserts) {
+  BitmapMetafile mf(100);
+  EXPECT_DEATH(mf.clear_unaccounted(1), "freeing a free block");
+}
+
+TEST(BitmapMetafileDeathTest, AccountingUnclearedFreeAsserts) {
+  BitmapMetafile mf(100);
+  mf.set_allocated(1);
+  const std::vector<Vbn> frees = {1};
+  EXPECT_DEATH(mf.account_frees(frees), "accounting an uncleared free");
 }
 
 }  // namespace

@@ -80,6 +80,49 @@ TEST(ThreadPool, SequentialParallelForCalls) {
   EXPECT_EQ(total.load(), 1000);
 }
 
+TEST(ThreadPool, ParallelForDynamicCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.parallel_for_dynamic(0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForDynamicEmptyAndSingle) {
+  ThreadPool pool(2);
+  pool.parallel_for_dynamic(7, 3, [](std::size_t) { FAIL(); });
+  std::atomic<int> hits{0};
+  pool.parallel_for_dynamic(41, 42, [&](std::size_t i) {
+    EXPECT_EQ(i, 41u);
+    hits.fetch_add(1);
+  });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForDynamicUnevenWork) {
+  // Dynamic scheduling exists for skewed per-item cost: one slow item
+  // must not serialize the rest behind a static chunk boundary.
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for_dynamic(0, 200, [&](std::size_t i) {
+    std::uint64_t acc = 0;
+    const std::uint64_t spins = (i == 0) ? 200'000 : 10;
+    for (std::uint64_t k = 0; k < spins; ++k) acc += k % 7;
+    sum.fetch_add(i + (acc & 1));
+  });
+  EXPECT_GE(sum.load(), 200ull * 199 / 2);
+}
+
+TEST(ThreadPool, ParallelForDynamicWithSingleThreadPool) {
+  ThreadPool pool(1);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for_dynamic(0, 100, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
 TEST(ThreadPool, ThreadCountDefaultsPositive) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);

@@ -1,0 +1,176 @@
+// CP determinism contract: WriteAllocator::finish_cp must be bit-identical
+// at every worker count.  The partition (per-group frees in deferral order)
+// is computed serially, the fanned-out work touches only group-disjoint
+// state, and everything shared (bitmap-metafile accounting and flush,
+// TopAA commits, CpStats folds) is serialized in fixed group order — so a
+// serial run, a 1-worker pool, and an 8-worker pool must produce the same
+// stats, the same activemap words, the same scoreboards, and the same
+// persisted TopAA bytes, across both heap-managed RAID groups and
+// HBPS-managed object-store pools.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "wafl/consistency_point.hpp"
+
+namespace wafl {
+namespace {
+
+constexpr std::size_t kVols = 4;
+
+// Heap-managed HDD groups plus an HBPS-managed object-store pool, with the
+// §3.3.1 skip bias enabled so the rotation takes the biased path too.
+std::unique_ptr<Aggregate> make_agg() {
+  RaidGroupConfig hdd;
+  hdd.data_devices = 4;
+  hdd.parity_devices = 1;
+  hdd.device_blocks = 64 * 1024;
+  hdd.media.type = MediaType::kHdd;
+  hdd.aa_stripes = 2048;
+
+  RaidGroupConfig pool;
+  pool.data_devices = 1;
+  pool.parity_devices = 0;
+  pool.device_blocks = 8 * kFlatAaBlocks;
+  pool.media.type = MediaType::kObjectStore;
+
+  AggregateConfig cfg;
+  cfg.raid_groups = {hdd, hdd, pool};
+  cfg.rg_skip_free_fraction = 0.02;
+  auto agg = std::make_unique<Aggregate>(cfg, 20180813);
+  for (std::size_t v = 0; v < kVols; ++v) {
+    FlexVolConfig vol;
+    vol.file_blocks = 30'000;
+    vol.vvbn_blocks = 3ull * kFlatAaBlocks;
+    vol.aa_blocks = 8192;
+    agg->add_volume(vol);
+  }
+  return agg;
+}
+
+std::vector<DirtyBlock> mixed_batch(Rng& rng, std::uint64_t per_vol) {
+  std::vector<DirtyBlock> out;
+  for (VolumeId v = 0; v < kVols; ++v) {
+    for (std::uint64_t i = 0; i < per_vol; ++i) {
+      out.push_back({v, rng.below(25'000)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DirtyBlock& a, const DirtyBlock& b) {
+              return a.vol != b.vol ? a.vol < b.vol : a.logical < b.logical;
+            });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const DirtyBlock& a, const DirtyBlock& b) {
+                          return a.vol == b.vol && a.logical == b.logical;
+                        }),
+            out.end());
+  return out;
+}
+
+// Runs the same 6-CP workload (same seed) and returns the per-CP stats.
+std::vector<CpStats> run_workload(Aggregate& agg, ThreadPool* pool) {
+  std::vector<CpStats> out;
+  Rng rng(4242);
+  for (int cp = 0; cp < 6; ++cp) {
+    out.push_back(ConsistencyPoint::run(agg, mixed_batch(rng, 2'500), pool));
+  }
+  return out;
+}
+
+void expect_same_stats(const CpStats& a, const CpStats& b, int cp) {
+  SCOPED_TRACE("cp " + std::to_string(cp));
+  EXPECT_EQ(a.blocks_written, b.blocks_written);
+  EXPECT_EQ(a.blocks_freed, b.blocks_freed);
+  EXPECT_EQ(a.vol_meta_blocks, b.vol_meta_blocks);
+  EXPECT_EQ(a.agg_meta_blocks, b.agg_meta_blocks);
+  EXPECT_EQ(a.meta_flush_blocks, b.meta_flush_blocks);
+  EXPECT_EQ(a.tetrises, b.tetrises);
+  EXPECT_EQ(a.full_stripes, b.full_stripes);
+  EXPECT_EQ(a.partial_stripes, b.partial_stripes);
+  EXPECT_EQ(a.parity_read_blocks, b.parity_read_blocks);
+  EXPECT_EQ(a.write_chains, b.write_chains);
+  EXPECT_EQ(a.storage_time_ns, b.storage_time_ns);
+  EXPECT_EQ(a.hbps_replenishes, b.hbps_replenishes);
+  EXPECT_EQ(a.vol_bits_scanned, b.vol_bits_scanned);
+  EXPECT_EQ(a.agg_bits_scanned, b.agg_bits_scanned);
+  EXPECT_EQ(a.agg_pick_free_frac.count(), b.agg_pick_free_frac.count());
+  EXPECT_DOUBLE_EQ(a.agg_pick_free_frac.mean(), b.agg_pick_free_frac.mean());
+}
+
+// Bit-identical end state: activemap words, per-group scoreboards, and the
+// persisted TopAA bytes (1 block for heap groups, 2 for HBPS pools; the
+// unwritten tail of a heap group's slot reads as zeroes in both).
+void expect_same_state(Aggregate& a, Aggregate& b) {
+  ASSERT_EQ(a.total_blocks(), b.total_blocks());
+  EXPECT_EQ(a.free_blocks(), b.free_blocks());
+  EXPECT_EQ(a.activemap().metafile().bits().words(),
+            b.activemap().metafile().bits().words());
+  ASSERT_EQ(a.raid_group_count(), b.raid_group_count());
+  for (RaidGroupId rg = 0; rg < a.raid_group_count(); ++rg) {
+    SCOPED_TRACE("rg " + std::to_string(rg));
+    const AaScoreBoard& board_a = a.rg_scoreboard(rg);
+    const AaScoreBoard& board_b = b.rg_scoreboard(rg);
+    ASSERT_EQ(board_a.aa_count(), board_b.aa_count());
+    for (AaId aa = 0; aa < board_a.aa_count(); ++aa) {
+      ASSERT_EQ(board_a.score(aa), board_b.score(aa)) << "aa " << aa;
+    }
+    for (std::uint64_t blk = 0; blk < TopAaFile::kRaidAgnosticBlocks; ++blk) {
+      std::array<std::byte, kBlockSize> buf_a{};
+      std::array<std::byte, kBlockSize> buf_b{};
+      a.topaa_store().read(a.rg_topaa_block(rg) + blk, buf_a);
+      b.topaa_store().read(b.rg_topaa_block(rg) + blk, buf_b);
+      EXPECT_EQ(buf_a, buf_b) << "TopAA block " << blk;
+    }
+  }
+}
+
+TEST(CpDeterminism, WorkerCountInvariant) {
+  auto serial = make_agg();
+  const auto serial_stats = run_workload(*serial, nullptr);
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    SCOPED_TRACE(std::to_string(workers) + " workers");
+    auto parallel = make_agg();
+    ThreadPool pool(workers);
+    const auto parallel_stats = run_workload(*parallel, &pool);
+    ASSERT_EQ(serial_stats.size(), parallel_stats.size());
+    for (std::size_t cp = 0; cp < serial_stats.size(); ++cp) {
+      expect_same_stats(serial_stats[cp], parallel_stats[cp],
+                        static_cast<int>(cp));
+    }
+    expect_same_state(*serial, *parallel);
+  }
+}
+
+TEST(CpDeterminism, RepeatedParallelRunsIdentical) {
+  // Same pool size twice: rules out run-to-run scheduling effects (the
+  // classic symptom of a hidden ordering dependence).
+  auto first = make_agg();
+  auto second = make_agg();
+  ThreadPool pool_a(8);
+  ThreadPool pool_b(8);
+  const auto stats_a = run_workload(*first, &pool_a);
+  const auto stats_b = run_workload(*second, &pool_b);
+  for (std::size_t cp = 0; cp < stats_a.size(); ++cp) {
+    expect_same_stats(stats_a[cp], stats_b[cp], static_cast<int>(cp));
+  }
+  expect_same_state(*first, *second);
+}
+
+TEST(CpDeterminism, MountAfterParallelCpsSeedsFromTopAa) {
+  // The TopAA images built in the fanned-out phase and committed serially
+  // must be valid for mount, for every group kind.
+  auto agg = make_agg();
+  ThreadPool pool(8);
+  run_workload(*agg, &pool);
+  EXPECT_EQ(agg->mount_from_topaa(), agg->raid_group_count());
+}
+
+}  // namespace
+}  // namespace wafl

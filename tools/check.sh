@@ -4,19 +4,25 @@
 #
 #   tools/check.sh               default (obs ON) + obs-OFF builds, ctest both
 #   tools/check.sh --sanitize    also build+test an ASan+UBSan config
+#   tools/check.sh --tsan        also build a ThreadSanitizer config and run
+#                                the concurrency-sensitive suites (parallel
+#                                CP, CP determinism, write-allocator engine,
+#                                thread pool, parallel mount/scoreboard)
 #   tools/check.sh --overhead    also measure the obs ON-vs-OFF throughput
 #                                delta on the fig6-style hot loop
 #                                (acceptance: < 2%)
 #
-# Build trees: build/ (default), build-obs-off/, build-asan/.
+# Build trees: build/ (default), build-obs-off/, build-asan/, build-tsan/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
+TSAN=0
 OVERHEAD=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
+    --tsan) TSAN=1 ;;
     --overhead) OVERHEAD=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -39,6 +45,20 @@ build_and_test build-obs-off -DWAFL_OBS_ENABLED=OFF
 
 if [[ $SANITIZE -eq 1 ]]; then
   build_and_test build-asan -DENABLE_SANITIZERS=ON
+fi
+
+if [[ $TSAN -eq 1 ]]; then
+  echo "=== configure build-tsan (ThreadSanitizer) ==="
+  cmake -B build-tsan -S . -DENABLE_TSAN=ON >/dev/null
+  echo "=== build build-tsan ==="
+  cmake --build build-tsan -j "$JOBS"
+  echo "=== ctest build-tsan (concurrency suites) ==="
+  # Everything that drives a ThreadPool: the parallel CP paths and the
+  # determinism contract, the engine itself, the pool primitives, and the
+  # parallel scans (mount, scoreboard build, metafile load).
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'ParallelCp|CpDeterminism|WriteAllocatorEngine|ThreadPool|Mount|Scoreboard|BitmapMetafile' |
+    tail -3
 fi
 
 if [[ $OVERHEAD -eq 1 ]]; then
