@@ -11,6 +11,35 @@ void BlockStore::write(std::uint64_t block_no,
                        std::span<const std::byte> data) {
   WAFL_ASSERT_MSG(block_no < capacity_, "block write out of range");
   WAFL_ASSERT(data.size() == kBlockSize);
+
+  if (injector_ != nullptr) {
+    const FaultInjector::WriteOutcome out =
+        injector_->on_write(*this, block_no, data);
+    ++stats_.block_writes;  // the write was issued, whatever its fate
+    if (out.drop) {
+      injector_->after_write(*this, block_no);
+      return;
+    }
+    if (out.persist_bytes < kBlockSize) {
+      // Torn write: the first persist_bytes of the new payload land; the
+      // tail keeps the old contents (zeroes for a never-written block).
+      auto it = blocks_.find(block_no);
+      if (it == blocks_.end()) {
+        it = blocks_.emplace(block_no, std::make_unique<Block>()).first;
+      }
+      std::memcpy(it->second->data(), data.data(), out.persist_bytes);
+      injector_->after_write(*this, block_no);
+      return;
+    }
+    auto it = blocks_.find(block_no);
+    if (it == blocks_.end()) {
+      it = blocks_.emplace(block_no, std::make_unique<Block>()).first;
+    }
+    std::memcpy(it->second->data(), data.data(), kBlockSize);
+    injector_->after_write(*this, block_no);
+    return;
+  }
+
   auto it = blocks_.find(block_no);
   if (it == blocks_.end()) {
     it = blocks_.emplace(block_no, std::make_unique<Block>()).first;
@@ -29,6 +58,20 @@ void BlockStore::read(std::uint64_t block_no, std::span<std::byte> out) {
     std::memcpy(out.data(), it->second->data(), kBlockSize);
   }
   ++stats_.block_reads;
+  if (injector_ != nullptr) {
+    injector_->on_read(*this, block_no, out);
+  }
+}
+
+void BlockStore::peek(std::uint64_t block_no, std::span<std::byte> out) const {
+  WAFL_ASSERT_MSG(block_no < capacity_, "block peek out of range");
+  WAFL_ASSERT(out.size() == kBlockSize);
+  const auto it = blocks_.find(block_no);
+  if (it == blocks_.end()) {
+    std::memset(out.data(), 0, kBlockSize);
+  } else {
+    std::memcpy(out.data(), it->second->data(), kBlockSize);
+  }
 }
 
 void BlockStore::corrupt(std::uint64_t block_no, std::size_t bit_index) {
@@ -37,6 +80,15 @@ void BlockStore::corrupt(std::uint64_t block_no, std::size_t bit_index) {
   WAFL_ASSERT_MSG(it != blocks_.end(), "corrupting an unwritten block");
   auto& byte = (*it->second)[bit_index / 8];
   byte ^= static_cast<std::byte>(1u << (bit_index % 8));
+}
+
+void BlockStore::copy_contents_from(const BlockStore& other) {
+  WAFL_ASSERT_MSG(capacity_ == other.capacity_,
+                  "copy_contents_from between differently-sized stores");
+  blocks_.clear();
+  for (const auto& [block_no, block] : other.blocks_) {
+    blocks_.emplace(block_no, std::make_unique<Block>(*block));
+  }
 }
 
 }  // namespace wafl

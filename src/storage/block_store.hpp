@@ -9,6 +9,14 @@
 //
 // BlockStore is a correctness substrate, not a performance model: timing
 // is assigned by the simulation layer from the counters.
+//
+// Fault injection.  A FaultInjector can be attached to any store, giving
+// the crash-consistency harness (src/fault/, tests/support/) a way to
+// inject torn writes, dropped writes, read bit-rot and crash triggers on
+// the embedded stores that the Aggregate and FlexVols own by value — a
+// pure decorator could never see their I/O.  With no injector attached
+// (the default, and all production paths) the hot paths cost one pointer
+// compare.
 #pragma once
 
 #include <array>
@@ -30,6 +38,44 @@ struct IoStats {
   std::uint64_t block_writes = 0;
 
   std::uint64_t total() const noexcept { return block_reads + block_writes; }
+};
+
+class BlockStore;
+
+/// Fault-injection hook consulted by a BlockStore on every read and write.
+/// Implemented by wafl::fault::FaultEngine; the two-phase write protocol
+/// (decide, apply, then after_write) lets an injector simulate a crash
+/// *after* the media absorbed a torn or dropped write: after_write may
+/// throw (e.g. wafl::fault::CrashPoint), and by then the store already
+/// holds exactly the bytes a real power loss would have left behind.
+class FaultInjector {
+ public:
+  /// Disposition of one write, decided by on_write().
+  struct WriteOutcome {
+    /// The write is lost entirely; the block keeps its old contents.
+    bool drop = false;
+    /// Bytes of the new payload that persist (torn write when less than
+    /// kBlockSize; the tail keeps the old contents).  Ignored when `drop`.
+    std::size_t persist_bytes = kBlockSize;
+  };
+
+  virtual ~FaultInjector() = default;
+
+  /// Decides the fate of a write about to be applied.
+  virtual WriteOutcome on_write(const BlockStore& store,
+                                std::uint64_t block_no,
+                                std::span<const std::byte> data) = 0;
+
+  /// Called after the (possibly torn or dropped) write has been applied.
+  /// May throw to simulate a crash at this exact point.
+  virtual void after_write(const BlockStore& store,
+                           std::uint64_t block_no) = 0;
+
+  /// Called after a read filled `data`; may mutate it (read bit-rot).
+  /// The stored bytes are never altered — media rot on our model's reads
+  /// is transient, which is what the checksum/fallback paths care about.
+  virtual void on_read(const BlockStore& store, std::uint64_t block_no,
+                       std::span<std::byte> data) = 0;
 };
 
 class BlockStore {
@@ -57,6 +103,10 @@ class BlockStore {
   /// has never been written reads as zeroes, like a sparse file.
   void read(std::uint64_t block_no, std::span<std::byte> out);
 
+  /// Reads one block without touching the I/O counters or the fault
+  /// injector — the harness's view of what the media really holds.
+  void peek(std::uint64_t block_no, std::span<std::byte> out) const;
+
   /// True if the block has been written at least once.
   bool is_materialized(std::uint64_t block_no) const noexcept {
     return blocks_.contains(block_no);
@@ -65,6 +115,19 @@ class BlockStore {
   /// Deliberately corrupts a stored block by flipping one bit — failure
   /// injection for checksum/fallback paths (TopAA repair, §3.4).
   void corrupt(std::uint64_t block_no, std::size_t bit_index);
+
+  /// Replaces this store's contents with a copy of `other`'s materialized
+  /// blocks — crash-recovery reconstruction: a fresh aggregate is built
+  /// over the bytes that survived on the failed instance's media.  The
+  /// capacities must match; I/O counters are not copied.
+  void copy_contents_from(const BlockStore& other);
+
+  /// Attaches (or, with nullptr, detaches) a fault injector.  The caller
+  /// keeps ownership and must detach before the injector dies.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  FaultInjector* fault_injector() const noexcept { return injector_; }
 
   const IoStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = IoStats{}; }
@@ -76,6 +139,7 @@ class BlockStore {
   std::uint64_t capacity_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Block>> blocks_;
   IoStats stats_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace wafl

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 #include "util/assert.hpp"
 
@@ -53,11 +54,24 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   std::atomic<std::size_t> remaining{parts};
   std::mutex done_mu;
   std::condition_variable done_cv;
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;  // guarded by done_mu
 
   auto run_chunk = [&](std::size_t part) {
     const std::size_t lo = begin + part * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
-    for (std::size_t i = lo; i < hi; ++i) fn(i);
+    try {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (abort.load(std::memory_order_relaxed)) break;
+        fn(i);
+      }
+    } catch (...) {
+      {
+        std::lock_guard lk(done_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+      abort.store(true, std::memory_order_relaxed);
+    }
     if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lk(done_mu);
       done_cv.notify_one();
@@ -71,8 +85,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
   run_chunk(0);
 
-  std::unique_lock lk(done_mu);
-  done_cv.wait(lk, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  {
+    std::unique_lock lk(done_mu);
+    done_cv.wait(
+        lk, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::parallel_for_dynamic(
@@ -86,12 +104,23 @@ void ThreadPool::parallel_for_dynamic(
   std::atomic<std::size_t> remaining{parts};
   std::mutex done_mu;
   std::condition_variable done_cv;
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;  // guarded by done_mu
 
   auto run = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= end) break;
-      fn(i);
+    try {
+      for (;;) {
+        if (abort.load(std::memory_order_relaxed)) break;
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) break;
+        fn(i);
+      }
+    } catch (...) {
+      {
+        std::lock_guard lk(done_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+      abort.store(true, std::memory_order_relaxed);
     }
     if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lk(done_mu);
@@ -106,10 +135,13 @@ void ThreadPool::parallel_for_dynamic(
   }
   run();
 
-  std::unique_lock lk(done_mu);
-  done_cv.wait(lk, [&] {
-    return remaining.load(std::memory_order_acquire) == 0;
-  });
+  {
+    std::unique_lock lk(done_mu);
+    done_cv.wait(lk, [&] {
+      return remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::worker_loop() {

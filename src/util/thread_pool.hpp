@@ -42,6 +42,13 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [begin, end) across the pool, blocking until
   /// all iterations complete.  The calling thread participates.
+  ///
+  /// If fn throws, remaining iterations are abandoned (best effort — ones
+  /// already running finish) and the first exception is rethrown on the
+  /// calling thread once every part has stopped.  This is what lets a
+  /// crash point fired inside the parallel CP-boundary phase unwind like
+  /// a crash instead of terminating the process; persisted state stays
+  /// deterministic because that phase never writes to a store.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
@@ -51,6 +58,7 @@ class ThreadPool {
   /// work (per-RAID-group CP-boundary work varies with each group's free
   /// batch and AA churn); the per-index atomic costs more than static
   /// chunking for fine uniform loops.  The calling thread participates.
+  /// Exceptions propagate as in parallel_for.
   void parallel_for_dynamic(std::size_t begin, std::size_t end,
                             const std::function<void(std::size_t)>& fn);
 

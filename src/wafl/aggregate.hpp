@@ -83,6 +83,10 @@ class Aggregate {
   const MaxHeapAaCache& rg_heap(RaidGroupId rg) const {
     return walloc_.group(rg).heap();
   }
+  /// The group's HBPS, for object-store pools only (asserts otherwise).
+  const Hbps& rg_hbps(RaidGroupId rg) const {
+    return walloc_.group(rg).hbps();
+  }
   /// True when the group is an object-store pool using the HBPS (§3.3.2).
   bool rg_is_raid_agnostic(RaidGroupId rg) const {
     return walloc_.group(rg).raid_agnostic();
@@ -196,6 +200,16 @@ class Aggregate {
   /// is supplied.  This is both the no-TopAA mount path and the background
   /// completion after a TopAA seed.
   void scan_rebuild(ThreadPool* pool = nullptr) { walloc_.scan_rebuild(pool); }
+
+  /// Crash-recovery support: reloads the aggregate's bitmap metafile from
+  /// its backing store without rebuilding any scoreboard or cache.  A
+  /// reconstructed aggregate (fresh object over surviving store bytes —
+  /// see recover_mount in wafl/mount.hpp) needs its bits loaded before
+  /// either mount path runs; volumes reload theirs via
+  /// FlexVol::rebuild_scoreboard().
+  void load_activemap(ThreadPool* pool = nullptr) {
+    activemap_.metafile().load_all(pool);
+  }
 
  private:
   AggregateConfig cfg_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/crash_point.hpp"
 #include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
@@ -181,8 +182,13 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
   // fans the group-disjoint work out across the pool (bit-identical to
   // serial; see write_allocator.hpp).
   for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    // nth selects the gap: a crash here leaves volumes [0, nth) flushed
+    // with their TopAA committed, and the rest — plus the whole aggregate
+    // side — at the previous CP.
+    WAFL_CRASH_POINT("cp.before_volume_finish");
     agg.volume(v).finish_cp(stats);
   }
+  WAFL_CRASH_POINT("cp.before_agg_finish");
   agg.finish_cp(stats, pool);
 
   // Fold this CP's stats into the global registry (one batch of adds per

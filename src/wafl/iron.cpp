@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace wafl {
 namespace {
 
@@ -142,6 +144,17 @@ IronReport iron_check_topaa(Aggregate& agg) {
       ++report.vol_rewritten;
     }
   }
+
+  WAFL_OBS({
+    obs::Registry& reg = obs::registry();
+    reg.counter("wafl.iron.runs").inc();
+    reg.counter("wafl.iron.rg_unreadable").add(report.rg_unreadable);
+    reg.counter("wafl.iron.rg_stale").add(report.rg_stale);
+    reg.counter("wafl.iron.vol_unreadable").add(report.vol_unreadable);
+    reg.counter("wafl.iron.vol_stale").add(report.vol_stale);
+    reg.counter("wafl.iron.rewrites")
+        .add(report.rg_rewritten + report.vol_rewritten);
+  });
   return report;
 }
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "fault/crash_point.hpp"
 #include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,14 +32,17 @@ MountReport mount_all(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
   const std::uint64_t reads0 = total_reads(agg);
   const auto t0 = std::chrono::steady_clock::now();
 
+  WAFL_CRASH_POINT("mount.begin");
   if (use_topaa) {
     report.rgs_seeded = agg.mount_from_topaa();
     for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+      WAFL_CRASH_POINT("mount.before_vol_seed");
       if (agg.volume(v).mount_from_topaa()) {
         ++report.vols_seeded;
       }
     }
   } else {
+    WAFL_CRASH_POINT("mount.before_scan");
     agg.scan_rebuild(pool);
     for (VolumeId v = 0; v < agg.volume_count(); ++v) {
       agg.volume(v).scan_rebuild();
@@ -68,6 +72,18 @@ std::uint64_t complete_background(Aggregate& agg, ThreadPool* pool) {
     agg.volume(v).scan_rebuild();
   }
   return total_reads(agg) - reads0;
+}
+
+MountReport recover_mount(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
+  WAFL_CRASH_POINT("recover.begin");
+  // Ground truth first: a reconstructed aggregate's in-memory bitmaps are
+  // all-free until loaded, and every recovery decision — TopAA fallback
+  // scans, Iron recomputation, the next CP's allocations — reads them.
+  agg.load_activemap(pool);
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    agg.volume(v).rebuild_scoreboard();
+  }
+  return mount_all(agg, use_topaa, pool);
 }
 
 }  // namespace wafl

@@ -50,4 +50,15 @@ MountReport mount_all(Aggregate& agg, bool use_topaa,
 /// client-visible mount gate.  Returns the metafile blocks it read.
 std::uint64_t complete_background(Aggregate& agg, ThreadPool* pool = nullptr);
 
+/// Crash-recovery mount: mount_all for an aggregate *reconstructed over
+/// surviving media* (fresh process, stores copied from the crashed
+/// instance) rather than a live failover within one process.  The bitmap
+/// metafiles — the ground truth everything else is recomputed from — are
+/// reloaded from the stores first, then the requested path brings up the
+/// AA caches.  On the TopAA path the boards seeded groups/volumes carry
+/// are the freshly-loaded-bitmap ones; the caches still come from the
+/// TopAA blocks, so the §3.4 gate cost is unchanged.
+MountReport recover_mount(Aggregate& agg, bool use_topaa,
+                          ThreadPool* pool = nullptr);
+
 }  // namespace wafl

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/aa_sizing.hpp"
+#include "fault/crash_point.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wafl {
@@ -94,6 +95,11 @@ void RgAllocator::build_cache() {
 const MaxHeapAaCache& RgAllocator::heap() const {
   WAFL_ASSERT_MSG(heap_ != nullptr, "group has no max-heap (HBPS pool)");
   return *heap_;
+}
+
+const Hbps& RgAllocator::hbps() const {
+  WAFL_ASSERT_MSG(hbps_ != nullptr, "group has no HBPS (RAID group)");
+  return *hbps_;
 }
 
 bool RgAllocator::checkout(AaId aa) {
@@ -303,6 +309,10 @@ void RgAllocator::cp_boundary(std::span<const Vbn> frees) {
     const BlockLocation loc = geom.to_location(v - base_);
     data_devices_[loc.device]->invalidate(loc.dbn);
   }
+  // Crash here = power loss after the in-memory frees of one group were
+  // applied but before anything of this CP persisted.  May fire on a pool
+  // thread; ThreadPool rethrows on the caller.
+  WAFL_CRASH_POINT("rg.after_frees");
 
   // CP-boundary rebalance (§3.3.1) and retired-AA re-admission.
   const auto changes = board_.apply_cp_deltas();
@@ -352,6 +362,7 @@ void RgAllocator::cp_boundary(std::span<const Vbn> frees) {
     }
     topaa_staged_ = true;
   }
+  WAFL_CRASH_POINT("rg.after_topaa_encode");
 }
 
 void RgAllocator::commit_topaa(CpStats& stats) {
@@ -532,6 +543,7 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
     frees_by_group[group_of_pvbn(v)].push_back(v);
   }
   stats.blocks_freed += frees.size();
+  WAFL_CRASH_POINT("wa.before_boundary");
 
   // Parallel phase: each group's boundary work touches only that group's
   // state (see the file comment's disjointness argument).  Dynamic
@@ -547,6 +559,7 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
       boundary_one(i);
     }
   }
+  WAFL_CRASH_POINT("wa.after_boundary");
 
   // Serial epilogue, in fixed group order: settle the shared free-count
   // summary and dirty set, flush the metafile, commit the staged TopAA
@@ -555,11 +568,18 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
     activemap_.metafile().account_frees(group_frees);
   }
   stats.agg_meta_blocks += activemap_.metafile().dirty_blocks();
+  // The persistence steps below are the crash window the recovery story
+  // is about: a crash in the gap between any two of them leaves bitmaps
+  // and TopAA at different CPs, and mount + Iron must reconcile them.
+  WAFL_CRASH_POINT("wa.before_bitmap_flush");
   stats.meta_flush_blocks += activemap_.metafile().flush();
+  WAFL_CRASH_POINT("wa.after_bitmap_flush");
 
   for (const auto& rg : groups_) {
+    WAFL_CRASH_POINT("wa.before_topaa_commit");
     rg->commit_topaa(stats);
   }
+  WAFL_CRASH_POINT("wa.after_topaa_commits");
 
   // Devices operate in parallel; the CP's storage time is the slowest one.
   SimTime slowest = 0;

@@ -95,6 +95,8 @@ class RgAllocator {
   const AaCache& cache() const noexcept { return *cache_; }
   /// The group's max-heap; asserts on HBPS pools.
   const MaxHeapAaCache& heap() const;
+  /// The group's HBPS; asserts on heap (RAID) groups.
+  const Hbps& hbps() const;
   /// True for object-store pools managed by the HBPS (§3.3.2).
   bool raid_agnostic() const noexcept { return hbps_ != nullptr; }
   DeviceModel& data_device(DeviceId d) { return *data_devices_.at(d); }

@@ -4,6 +4,8 @@
 
 #include <array>
 
+#include "fault/crash_point.hpp"
+#include "fault/fault.hpp"
 #include "util/units.hpp"
 
 namespace wafl {
@@ -86,6 +88,98 @@ TEST(BlockStore, CorruptTwiceRestores) {
   Block out{};
   store.read(0, out);
   EXPECT_EQ(out, make_block(0x3C));
+}
+
+TEST(BlockStore, PeekBypassesCountersAndInjector) {
+  BlockStore store(8);
+  store.write(5, make_block(0x5A));
+  store.reset_stats();
+
+  fault::FaultPlan plan;
+  plan.seed = 1;
+  plan.read_bitrot_prob = 1.0;  // every counted read would rot
+  fault::FaultEngine engine(plan);
+  store.set_fault_injector(&engine);
+  Block out{};
+  store.peek(5, out);
+  store.set_fault_injector(nullptr);
+
+  EXPECT_EQ(out, make_block(0x5A));  // no rot: peek is the harness's view
+  EXPECT_EQ(store.stats().total(), 0u);
+  EXPECT_TRUE(engine.journal().empty());
+}
+
+TEST(BlockStore, CopyContentsFromDeepCopies) {
+  BlockStore src(16);
+  src.write(2, make_block(0x22));
+  src.write(9, make_block(0x99));
+
+  BlockStore dst(16);
+  dst.write(1, make_block(0x11));  // replaced wholesale by the copy
+  dst.copy_contents_from(src);
+
+  // Contents are replaced; counters are the destination's own history.
+  EXPECT_EQ(dst.stats().block_writes, 1u);
+  EXPECT_EQ(dst.materialized_blocks(), 2u);
+  EXPECT_FALSE(dst.is_materialized(1));
+  Block out{};
+  dst.peek(2, out);
+  EXPECT_EQ(out, make_block(0x22));
+  // Deep copy: mutating the source afterwards must not leak through.
+  src.write(2, make_block(0xEE));
+  dst.peek(2, out);
+  EXPECT_EQ(out, make_block(0x22));
+}
+
+TEST(BlockStoreGrowth, GrowRaisesCapacityAndKeepsContents) {
+  BlockStore store(4);
+  store.write(3, make_block(0x33));
+  store.grow(10);
+  EXPECT_EQ(store.capacity_blocks(), 10u);
+  Block out{};
+  store.read(3, out);
+  EXPECT_EQ(out, make_block(0x33));
+  store.write(9, make_block(0x44));  // newly addressable
+  EXPECT_TRUE(store.is_materialized(9));
+}
+
+TEST(BlockStoreGrowth, TornWriteInGrownRange) {
+  // Growth (§3.1) then a torn first write of a newly addressable block:
+  // the persisted prefix lands over the sparse-zero "old contents".
+  BlockStore inner(4);
+  fault::FaultPlan plan;
+  plan.seed = 2;
+  plan.torn_write_prob = 1.0;
+  plan.torn_bytes = 96;
+  plan.only_block = 6;
+  fault::FaultyBlockStore faulty(inner, plan);
+  faulty.grow(8);
+  EXPECT_EQ(faulty.capacity_blocks(), 8u);
+
+  faulty.write(6, make_block(0xC6));
+  Block out{};
+  inner.peek(6, out);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ASSERT_EQ(out[i], i < 96 ? std::byte{0xC6} : std::byte{0x00}) << i;
+  }
+}
+
+TEST(BlockStoreGrowth, WriteCountCrashInGrownRange) {
+  BlockStore inner(2);
+  fault::FaultPlan plan;
+  plan.seed = 3;
+  plan.crash_after_writes = 2;
+  plan.crash_write_fault = fault::CrashWriteFault::kDropped;
+  fault::FaultyBlockStore faulty(inner, plan);
+  faulty.grow(4);
+
+  faulty.write(2, make_block(0xA2));
+  EXPECT_THROW(faulty.write(3, make_block(0xA3)), fault::CrashPoint);
+  // The pre-crash write in the grown range survived; the crashing one
+  // was dropped; capacity survives the "reboot".
+  EXPECT_TRUE(faulty.is_materialized(2));
+  EXPECT_FALSE(faulty.is_materialized(3));
+  EXPECT_EQ(inner.capacity_blocks(), 4u);
 }
 
 TEST(BlockStoreDeathTest, OutOfRangeWriteAsserts) {

@@ -1,0 +1,553 @@
+#include "support/crash_harness.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/topaa.hpp"
+#include "fault/crash_point.hpp"
+#include "wafl/iron.hpp"
+#include "wafl/mount.hpp"
+
+namespace wafl::test {
+namespace {
+
+/// Serializes one bitmap-metafile block image from raw words — the same
+/// layout BitmapMetafile::serialize_block writes, reproduced here so the
+/// I-D check can compute the "expected new" image from the crashed
+/// instance's in-memory words without going through a metafile.
+void serialize_words(const std::vector<std::uint64_t>& words,
+                     std::uint64_t block, std::span<std::byte> out) {
+  constexpr std::uint64_t kWordsPerBlock = kBlockSize / 8;
+  const std::uint64_t first = block * kWordsPerBlock;
+  const std::uint64_t have =
+      first < words.size()
+          ? std::min<std::uint64_t>(kWordsPerBlock, words.size() - first)
+          : 0;
+  if (have > 0) {
+    std::memcpy(out.data(), words.data() + first, have * 8);
+  }
+  if (have < kWordsPerBlock) {
+    std::memset(out.data() + have * 8, 0, (kWordsPerBlock - have) * 8);
+  }
+}
+
+std::vector<std::byte> image_bytes(const TopAaImage& img) {
+  std::vector<std::byte> out;
+  out.reserve(img.nblocks * kBlockSize);
+  for (std::uint64_t b = 0; b < img.nblocks; ++b) {
+    out.insert(out.end(), img.blocks[b].begin(), img.blocks[b].end());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CrashVerdict::message() const {
+  std::string out;
+  for (const std::string& f : failures) {
+    out += f;
+    out += '\n';
+  }
+  return out;
+}
+
+CrashHarness::CrashHarness(const CrashCaseConfig& cfg)
+    : cfg_(cfg), wl_rng_(cfg.seed ^ 0x57AF1ULL) {
+  if (cfg_.workers > 0) {
+    pool_ = std::make_unique<ThreadPool>(cfg_.workers);
+  }
+  agg_ = make_aggregate();
+  snaps_.resize(agg_->volume_count());
+  snapshot_committed();
+  capture_truth();
+}
+
+CrashHarness::~CrashHarness() {
+  fault::crash_hooks().disarm_all();
+  detach_engine();
+}
+
+std::unique_ptr<Aggregate> CrashHarness::make_aggregate() const {
+  AggregateConfig acfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = 8 * 1024;
+  rg.media.type = MediaType::kHdd;
+  rg.aa_stripes = 512;
+  acfg.raid_groups = {rg, rg};
+  if (cfg_.object_store_pool) {
+    RaidGroupConfig pool;
+    pool.data_devices = 1;
+    pool.parity_devices = 0;
+    pool.device_blocks = 2 * kFlatAaBlocks;
+    pool.media.type = MediaType::kObjectStore;
+    acfg.raid_groups.push_back(pool);
+  }
+  auto agg = std::make_unique<Aggregate>(acfg, cfg_.seed);
+  // vvbn sizing bounds worst-case demand: 8 Ki active + 8 Ki held by the
+  // (at most one) live snapshot + 8 Ki pending delayed frees < 32 Ki.
+  FlexVolConfig vcfg;
+  vcfg.vvbn_blocks = 32 * 1024;
+  vcfg.file_blocks = 8 * 1024;
+  vcfg.aa_blocks = 4096;
+  agg->add_volume(vcfg);
+  agg->add_volume(vcfg);
+  return agg;
+}
+
+std::unique_ptr<Aggregate> CrashHarness::rebuild() {
+  // Only store bytes survive a crash: the fresh instance gets the same
+  // configuration (geometry and seeds are "on the boot media") and copies
+  // of the surviving blocks; every in-memory structure starts cold.
+  std::unique_ptr<Aggregate> fresh = make_aggregate();
+  fresh->meta_store().copy_contents_from(agg_->meta_store());
+  fresh->topaa_store().copy_contents_from(agg_->topaa_store());
+  for (VolumeId v = 0; v < agg_->volume_count(); ++v) {
+    fresh->volume(v).store().copy_contents_from(agg_->volume(v).store());
+  }
+  return fresh;
+}
+
+void CrashHarness::attach_engine(FaultInjector* injector) {
+  auto attach = [&](BlockStore& store) {
+    // Skip stores a test already instrumented with its own engine.
+    if (store.fault_injector() != nullptr) return;
+    store.set_fault_injector(injector);
+    attached_.push_back(&store);
+  };
+  attach(agg_->meta_store());
+  attach(agg_->topaa_store());
+  for (VolumeId v = 0; v < agg_->volume_count(); ++v) {
+    attach(agg_->volume(v).store());
+  }
+}
+
+void CrashHarness::detach_engine() {
+  for (BlockStore* store : attached_) {
+    store->set_fault_injector(nullptr);
+  }
+  attached_.clear();
+}
+
+std::vector<DirtyBlock> CrashHarness::next_dirty(double lo, double hi) {
+  std::vector<DirtyBlock> dirty;
+  for (VolumeId v = 0; v < agg_->volume_count(); ++v) {
+    const double p = lo + (hi - lo) * wl_rng_.uniform();
+    for (std::uint64_t l = 0; l < agg_->volume(v).file_blocks(); ++l) {
+      if (wl_rng_.chance(p)) dirty.push_back({v, l});
+    }
+  }
+  if (dirty.empty()) dirty.push_back({0, 0});
+  return dirty;
+}
+
+std::vector<DirtyBlock> CrashHarness::followup_dirty() const {
+  // Independent of workload-rng position so R1/R2/R3 see the same batch.
+  Rng rng(cfg_.seed * 0x9E3779B97F4A7C15ULL + 0xF011);
+  std::vector<DirtyBlock> dirty;
+  for (VolumeId v = 0; v < agg_->volume_count(); ++v) {
+    for (std::uint64_t l = 0; l < agg_->volume(v).file_blocks(); ++l) {
+      if (rng.chance(0.25)) dirty.push_back({v, l});
+    }
+  }
+  return dirty;
+}
+
+void CrashHarness::mutate_snapshots() {
+  for (VolumeId v = 0; v < agg_->volume_count(); ++v) {
+    FlexVol& vol = agg_->volume(v);
+    // At most one live snapshot per volume keeps the vvbn-space demand
+    // bounded (see make_aggregate's sizing comment).
+    if (snaps_[v].empty() && wl_rng_.chance(0.35)) {
+      snaps_[v].push_back(vol.create_snapshot());
+    }
+    if (!snaps_[v].empty() && wl_rng_.chance(0.35)) {
+      const std::size_t i =
+          static_cast<std::size_t>(wl_rng_.below(snaps_[v].size()));
+      vol.delete_snapshot(snaps_[v][i]);
+      snaps_[v].erase(snaps_[v].begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+}
+
+void CrashHarness::audit_live(Aggregate& agg, const std::string& when) {
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    FlexVol& vol = agg.volume(v);
+    for (std::uint64_t l = 0; l < vol.file_blocks(); ++l) {
+      if (failures_.size() > 64) return;  // don't flood on a broken build
+      if (!vol.is_mapped(l)) continue;
+      const Vbn vvbn = vol.vvbn_of(l);
+      const Vbn pvbn = vol.pvbn_of(l);
+      if (pvbn == kInvalidVbn) {
+        fail(when + ": vol " + std::to_string(v) + " logical " +
+             std::to_string(l) + " mapped to vvbn without a pvbn");
+        continue;
+      }
+      if (!vol.activemap().is_allocated(vvbn)) {
+        fail(when + ": vol " + std::to_string(v) + " vvbn " +
+             std::to_string(vvbn) + " is referenced but free in its bitmap");
+      }
+      if (!agg.activemap().is_allocated(pvbn)) {
+        fail(when + ": pvbn " + std::to_string(pvbn) +
+             " is referenced by vol " + std::to_string(v) +
+             " but free in the aggregate bitmap");
+      }
+      const auto owner = agg.owner_of(pvbn);
+      if (!owner.has_value() || owner->vol != v || owner->vvbn != vvbn) {
+        fail(when + ": pvbn " + std::to_string(pvbn) +
+             " ownership disagrees with vol " + std::to_string(v) +
+             " vvbn " + std::to_string(vvbn));
+      }
+    }
+  }
+}
+
+void CrashHarness::snapshot_committed() {
+  committed_meta_ =
+      std::make_unique<BlockStore>(agg_->meta_store().capacity_blocks());
+  committed_meta_->copy_contents_from(agg_->meta_store());
+  committed_topaa_ =
+      std::make_unique<BlockStore>(agg_->topaa_store().capacity_blocks());
+  committed_topaa_->copy_contents_from(agg_->topaa_store());
+  committed_vols_.clear();
+  for (VolumeId v = 0; v < agg_->volume_count(); ++v) {
+    BlockStore& store = agg_->volume(v).store();
+    committed_vols_.push_back(
+        std::make_unique<BlockStore>(store.capacity_blocks()));
+    committed_vols_.back()->copy_contents_from(store);
+  }
+}
+
+void CrashHarness::capture_truth() {
+  truth_agg_words_ = agg_->activemap().metafile().bits().words();
+  truth_vol_words_.clear();
+  for (VolumeId v = 0; v < agg_->volume_count(); ++v) {
+    truth_vol_words_.push_back(
+        agg_->volume(v).activemap().metafile().bits().words());
+  }
+}
+
+void CrashHarness::run_clean_cps() {
+  for (unsigned i = 0; i < cfg_.clean_cps; ++i) {
+    // The first CP populates heavily so later CPs overwrite (and free).
+    const std::vector<DirtyBlock> dirty =
+        i == 0 ? next_dirty(0.80, 0.90) : next_dirty(0.08, 0.35);
+    ConsistencyPoint::run(*agg_, dirty, pool());
+    audit_live(*agg_, "after clean CP " + std::to_string(i));
+    snapshot_committed();
+    capture_truth();
+    if (i + 1 < cfg_.clean_cps) mutate_snapshots();
+  }
+}
+
+std::string CrashHarness::run_crash_cp() {
+  WAFL_ASSERT_MSG(!crash_cp_ran_, "run_crash_cp called twice");
+  crash_cp_ran_ = true;
+
+  fault::FaultPlan plan = cfg_.plan;
+  const bool need_engine =
+      plan.torn_write_prob > 0 || plan.dropped_write_prob > 0 ||
+      plan.read_bitrot_prob > 0 || plan.crash_after_writes > 0;
+  if (need_engine) {
+    if (plan.seed == 0) plan.seed = cfg_.seed ^ 0xFA51;
+    engine_ = std::make_unique<fault::FaultEngine>(plan);
+    attach_engine(engine_.get());
+  }
+  if (!cfg_.crash_hook.empty()) {
+    fault::crash_hooks().arm(cfg_.crash_hook, cfg_.crash_hook_nth);
+  }
+
+  const std::vector<DirtyBlock> dirty = next_dirty(0.08, 0.35);
+  try {
+    ConsistencyPoint::run(*agg_, dirty, pool());
+  } catch (const fault::CrashPoint& cp) {
+    crashed_ = true;
+    crash_point_ = cp.point();
+  }
+
+  fault::crash_hooks().disarm_all();
+  if (engine_) {
+    engine_->disarm();
+    const std::vector<fault::FaultRecord> j = engine_->journal();
+    journal_.insert(journal_.end(), j.begin(), j.end());
+    detach_engine();
+  }
+  capture_truth();
+  // A completed CP (no trigger reached) advances the committed state.
+  if (!crashed_) snapshot_committed();
+  return crash_point_;
+}
+
+void CrashHarness::add_journal(const std::vector<fault::FaultRecord>& extra) {
+  journal_.insert(journal_.end(), extra.begin(), extra.end());
+}
+
+std::unique_ptr<Aggregate> CrashHarness::recover(bool use_topaa) {
+  std::unique_ptr<Aggregate> fresh = rebuild();
+  recover_mount(*fresh, use_topaa, pool());
+  return fresh;
+}
+
+void CrashHarness::check_journal_bounded() {
+  struct Region {
+    const BlockStore* persisted;
+    const BlockStore* committed;
+    const std::vector<std::uint64_t>* truth;
+    std::uint64_t nblocks;
+    std::string tag;
+  };
+  std::vector<Region> regions;
+  regions.push_back({&agg_->meta_store(), committed_meta_.get(),
+                     &truth_agg_words_,
+                     agg_->activemap().metafile().metafile_blocks(),
+                     "agg.meta"});
+  for (VolumeId v = 0; v < agg_->volume_count(); ++v) {
+    regions.push_back(
+        {&agg_->volume(v).store(), committed_vols_[v].get(),
+         &truth_vol_words_[v],
+         agg_->volume(v).activemap().metafile().metafile_blocks(),
+         "vol" + std::to_string(v) + ".meta"});
+  }
+
+  alignas(8) std::byte persisted[kBlockSize];
+  alignas(8) std::byte committed[kBlockSize];
+  alignas(8) std::byte expected[kBlockSize];
+  for (const Region& r : regions) {
+    for (std::uint64_t b = 0; b < r.nblocks; ++b) {
+      // BlockStore::peek bypasses counters and injectors: this is the
+      // harness looking at the raw media.
+      r.persisted->peek(b, persisted);
+      r.committed->peek(b, committed);
+      serialize_words(*r.truth, b, expected);
+      if (std::memcmp(persisted, committed, kBlockSize) == 0) continue;
+      if (std::memcmp(persisted, expected, kBlockSize) == 0) continue;
+      // Divergence must be a journaled torn write: the persisted prefix
+      // of the new image over the committed tail.
+      bool explained = false;
+      for (const fault::FaultRecord& rec : journal_) {
+        if (rec.kind != fault::FaultRecord::Kind::kTorn) continue;
+        if (rec.store != r.persisted || rec.block != b) continue;
+        const std::size_t k = rec.detail;
+        if (k <= kBlockSize &&
+            std::memcmp(persisted, expected, k) == 0 &&
+            std::memcmp(persisted + k, committed + k, kBlockSize - k) == 0) {
+          explained = true;
+          break;
+        }
+      }
+      if (!explained) {
+        fail("I-D: " + r.tag + " block " + std::to_string(b) +
+             " is neither the committed nor the in-memory image and no "
+             "torn-write journal record explains it");
+      }
+    }
+  }
+}
+
+CrashHarness::CacheDigest CrashHarness::digest_of(Aggregate& agg) {
+  CacheDigest d;
+  for (RaidGroupId rg = 0; rg < agg.raid_group_count(); ++rg) {
+    const AaScoreBoard& board = agg.rg_scoreboard(rg);
+    std::vector<AaScore> scores;
+    scores.reserve(board.aa_count());
+    for (AaId aa = 0; aa < board.aa_count(); ++aa) {
+      scores.push_back(board.score(aa));
+    }
+    d.rg_scores.push_back(std::move(scores));
+    if (agg.rg_is_raid_agnostic(rg)) {
+      d.rg_hbps.push_back(
+          image_bytes(TopAaFile::encode_raid_agnostic(agg.rg_hbps(rg))));
+    } else {
+      const MaxHeapAaCache& heap = agg.rg_heap(rg);
+      d.heap_tops.push_back(heap.top(heap.size()));
+    }
+  }
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    const FlexVol& vol = agg.volume(v);
+    std::vector<AaScore> scores;
+    scores.reserve(vol.scoreboard().aa_count());
+    for (AaId aa = 0; aa < vol.scoreboard().aa_count(); ++aa) {
+      scores.push_back(vol.scoreboard().score(aa));
+    }
+    d.vol_scores.push_back(std::move(scores));
+    d.vol_hbps.push_back(
+        image_bytes(TopAaFile::encode_raid_agnostic(vol.cache())));
+  }
+  return d;
+}
+
+void CrashHarness::compare_digests(const CacheDigest& a, const CacheDigest& b,
+                                   const std::string& tag) {
+  if (a.heap_tops != b.heap_tops) fail(tag + ": heap top entries differ");
+  if (a.rg_hbps != b.rg_hbps) fail(tag + ": group HBPS encodings differ");
+  if (a.rg_scores != b.rg_scores) fail(tag + ": group scoreboards differ");
+  if (a.vol_hbps != b.vol_hbps) fail(tag + ": volume HBPS encodings differ");
+  if (a.vol_scores != b.vol_scores) {
+    fail(tag + ": volume scoreboards differ");
+  }
+}
+
+void CrashHarness::compare_store_range(const BlockStore& a,
+                                       const BlockStore& b, std::uint64_t lo,
+                                       std::uint64_t hi,
+                                       const std::string& tag) {
+  alignas(8) std::byte ba[kBlockSize];
+  alignas(8) std::byte bb[kBlockSize];
+  for (std::uint64_t blk = lo; blk < hi; ++blk) {
+    a.peek(blk, ba);
+    b.peek(blk, bb);
+    if (std::memcmp(ba, bb, kBlockSize) != 0) {
+      fail(tag + ": media block " + std::to_string(blk) + " differs");
+      return;
+    }
+  }
+}
+
+void CrashHarness::compare_bitmaps(Aggregate& a, Aggregate& b,
+                                   const std::string& tag) {
+  if (a.activemap().metafile().bits().words() !=
+      b.activemap().metafile().bits().words()) {
+    fail(tag + ": aggregate bitmap words differ");
+  }
+  for (VolumeId v = 0; v < a.volume_count(); ++v) {
+    if (a.volume(v).activemap().metafile().bits().words() !=
+        b.volume(v).activemap().metafile().bits().words()) {
+      fail(tag + ": vol " + std::to_string(v) + " bitmap words differ");
+    }
+  }
+}
+
+CrashVerdict CrashHarness::verify_recovery() {
+  CrashVerdict verdict;
+  verdict.crashed = crashed_;
+  verdict.crash_point = crash_point_;
+  for (const fault::FaultRecord& rec : journal_) {
+    if (rec.kind == fault::FaultRecord::Kind::kTorn) ++verdict.torn_writes;
+    if (rec.kind == fault::FaultRecord::Kind::kDropped) {
+      ++verdict.dropped_writes;
+    }
+  }
+
+  // I-D first: the raw media must be explainable before anything mounts.
+  check_journal_bounded();
+
+  // Two independent recoveries over the same surviving bytes.
+  std::unique_ptr<Aggregate> r1 = rebuild();
+  std::unique_ptr<fault::FaultEngine> rot;
+  if (cfg_.recovery_bitrot_prob > 0) {
+    fault::FaultPlan rp;
+    rp.seed = cfg_.seed ^ 0xB17;
+    rp.read_bitrot_prob = cfg_.recovery_bitrot_prob;
+    rot = std::make_unique<fault::FaultEngine>(rp);
+    r1->topaa_store().set_fault_injector(rot.get());
+  }
+  recover_mount(*r1, /*use_topaa=*/true, pool());
+  if (rot) r1->topaa_store().set_fault_injector(nullptr);
+
+  std::unique_ptr<Aggregate> r2 = recover(/*use_topaa=*/false);
+
+  // I-A: same bytes -> same loaded bitmaps; Iron sees the same damage in
+  // both, and a second pass finds nothing left to repair.
+  compare_bitmaps(*r1, *r2, "I-A post-mount");
+  const IronReport i1 = iron_check_topaa(*r1);
+  const IronReport i2 = iron_check_topaa(*r2);
+  if (i1.rg_unreadable != i2.rg_unreadable || i1.rg_stale != i2.rg_stale ||
+      i1.rg_rewritten != i2.rg_rewritten ||
+      i1.vol_unreadable != i2.vol_unreadable ||
+      i1.vol_stale != i2.vol_stale || i1.vol_rewritten != i2.vol_rewritten) {
+    fail("I-A: Iron reports differ between TopAA and scan recoveries");
+  }
+  verdict.iron_rewrites = i1.rg_rewritten + i1.vol_rewritten;
+  if (!iron_check_topaa(*r1).clean()) {
+    fail("I-A: Iron is not idempotent on the TopAA-path recovery");
+  }
+  if (!iron_check_topaa(*r2).clean()) {
+    fail("I-A: Iron is not idempotent on the scan-path recovery");
+  }
+
+  // I-B: post-Iron the two recoveries' media are bit-identical, and after
+  // background completion so is every cache.
+  compare_store_range(r1->meta_store(), r2->meta_store(), 0,
+                      r1->meta_store().capacity_blocks(), "I-B agg meta");
+  compare_store_range(r1->topaa_store(), r2->topaa_store(), 0,
+                      r1->topaa_store().capacity_blocks(), "I-B agg topaa");
+  for (VolumeId v = 0; v < r1->volume_count(); ++v) {
+    compare_store_range(r1->volume(v).store(), r2->volume(v).store(), 0,
+                        r1->volume(v).store().capacity_blocks(),
+                        "I-B vol" + std::to_string(v) + " store");
+  }
+  complete_background(*r1, pool());
+  complete_background(*r2, pool());
+  const CacheDigest d1 = digest_of(*r1);
+  compare_digests(d1, digest_of(*r2), "I-B topaa-vs-scan");
+
+  // Cache/bitmap agreement on the recovered instance.
+  for (RaidGroupId rg = 0; rg < r1->raid_group_count(); ++rg) {
+    const AaLayout& layout = r1->rg_layout(rg);
+    const Vbn base = r1->rg_base(rg);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(layout.aa_count()) * layout.aa_blocks();
+    if (r1->rg_scoreboard(rg).total_free() !=
+        r1->activemap().metafile().free_in_range(base, base + span)) {
+      fail("I-B: group " + std::to_string(rg) +
+           " scoreboard disagrees with the recovered bitmap");
+    }
+  }
+
+  // I-C: a third recovery replays the first bit-for-bit, and an identical
+  // follow-up CP lands identically on both recovered instances.
+  {
+    std::unique_ptr<Aggregate> r3 = recover(/*use_topaa=*/true);
+    iron_check_topaa(*r3);
+    complete_background(*r3, pool());
+    compare_digests(d1, digest_of(*r3), "I-C replay");
+    compare_store_range(r1->topaa_store(), r3->topaa_store(), 0,
+                        r1->topaa_store().capacity_blocks(), "I-C topaa");
+  }
+  const std::vector<DirtyBlock> followup = followup_dirty();
+  const CpStats s1 = ConsistencyPoint::run(*r1, followup, pool());
+  const CpStats s2 = ConsistencyPoint::run(*r2, followup, pool());
+  const auto cmp_stat = [&](const char* name, std::uint64_t a,
+                            std::uint64_t b) {
+    if (a != b) {
+      fail("I-C: follow-up CP " + std::string(name) + " differs: " +
+           std::to_string(a) + " vs " + std::to_string(b));
+    }
+  };
+  cmp_stat("blocks_written", s1.blocks_written, s2.blocks_written);
+  cmp_stat("blocks_freed", s1.blocks_freed, s2.blocks_freed);
+  cmp_stat("vol_meta_blocks", s1.vol_meta_blocks, s2.vol_meta_blocks);
+  cmp_stat("agg_meta_blocks", s1.agg_meta_blocks, s2.agg_meta_blocks);
+  cmp_stat("meta_flush_blocks", s1.meta_flush_blocks, s2.meta_flush_blocks);
+  cmp_stat("tetrises", s1.tetrises, s2.tetrises);
+  cmp_stat("full_stripes", s1.full_stripes, s2.full_stripes);
+  cmp_stat("partial_stripes", s1.partial_stripes, s2.partial_stripes);
+  cmp_stat("vol_bits_scanned", s1.vol_bits_scanned, s2.vol_bits_scanned);
+  cmp_stat("agg_bits_scanned", s1.agg_bits_scanned, s2.agg_bits_scanned);
+  compare_bitmaps(*r1, *r2, "I-C post-follow-up");
+  for (VolumeId v = 0; v < r1->volume_count(); ++v) {
+    for (std::uint64_t l = 0; l < r1->volume(v).file_blocks(); ++l) {
+      if (r1->volume(v).is_mapped(l) != r2->volume(v).is_mapped(l) ||
+          (r1->volume(v).is_mapped(l) &&
+           r1->volume(v).pvbn_of(l) != r2->volume(v).pvbn_of(l))) {
+        fail("I-C: follow-up CP placed vol " + std::to_string(v) +
+             " logical " + std::to_string(l) + " differently");
+        break;
+      }
+    }
+  }
+  audit_live(*r1, "post-recovery follow-up CP (TopAA path)");
+  audit_live(*r2, "post-recovery follow-up CP (scan path)");
+
+  verdict.failures = failures_;
+  return verdict;
+}
+
+CrashVerdict CrashHarness::run_all() {
+  run_clean_cps();
+  run_crash_cp();
+  return verify_recovery();
+}
+
+}  // namespace wafl::test

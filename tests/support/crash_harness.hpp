@@ -1,0 +1,177 @@
+// CrashHarness: the crash-consistency proof rig (DESIGN.md §9).
+//
+// One harness instance models one machine lifetime:
+//
+//   1. run_clean_cps(): a seeded overwrite/snapshot workload runs N CPs to
+//      completion, auditing live ownership invariants and snapshotting the
+//      committed store bytes after every CP;
+//   2. run_crash_cp(): one more CP runs with the configured crash trigger
+//      armed (a named WAFL_CRASH_POINT, or a FaultEngine write-count
+//      trigger) and the configured media faults (torn/dropped writes)
+//      active.  The CrashPoint unwinds out of ConsistencyPoint::run,
+//      freezing the BlockStores exactly as a power loss would;
+//   3. verify_recovery(): everything in memory is discarded.  Fresh
+//      aggregates are reconstructed over copies of the surviving bytes
+//      and recovered twice — once through the TopAA fast path, once
+//      through the full bitmap scan — then cross-checked:
+//
+//      I-A  both recoveries load identical bitmaps, and WAFL Iron finds
+//           the same damage in both, repairs it, and is idempotent (a
+//           second run is clean);
+//      I-B  after Iron the TopAA bytes on both recoveries' media are
+//           identical, and after background completion every cache
+//           (heap tops, HBPS encodes, scoreboards) is identical between
+//           the TopAA-path and scan-path recoveries — the §3.4 claim
+//           that TopAA is a pure cache of the bitmaps;
+//      I-C  recovery is deterministic: a third recovery from the same
+//           bytes reproduces the first bit-for-bit, and an identical
+//           follow-up CP on both recovered instances produces identical
+//           stats, bitmaps, and block placements;
+//      I-D  journal-bounded divergence: every persisted bitmap block is
+//           either the last committed image, the crashed instance's
+//           in-memory image, or a torn/dropped mix explained by a
+//           FaultEngine journal record — no unexplained media state.
+//
+// The harness never uses gtest macros; failures accumulate as strings in
+// the CrashVerdict so sweep tests can prefix them with a repro seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "util/thread_pool.hpp"
+#include "wafl/aggregate.hpp"
+#include "wafl/consistency_point.hpp"
+
+namespace wafl::test {
+
+struct CrashCaseConfig {
+  /// Seeds the workload, the aggregate, and (by default) the fault plan.
+  std::uint64_t seed = 1;
+  /// Adds a RAID-agnostic object-store pool (HBPS + two-block TopAA) next
+  /// to the two heap-managed HDD groups.
+  bool object_store_pool = false;
+  /// CP/recovery thread-pool workers; 0 runs everything serially.
+  unsigned workers = 0;
+  /// Completed CPs before the crash CP.
+  unsigned clean_cps = 3;
+
+  /// Named crash point to arm for the crash CP (empty: none).
+  std::string crash_hook;
+  std::uint64_t crash_hook_nth = 1;
+
+  /// Media faults active during the crash CP only, shared by every store
+  /// of the aggregate (plan.seed 0 derives one from `seed`).  Its
+  /// crash_after_writes trigger is the alternative to `crash_hook`.
+  fault::FaultPlan plan;
+
+  /// Read bit-rot on the aggregate TopAA store during the first
+  /// recovery's mount (exercises the damaged-TopAA fallback on an
+  /// otherwise honest medium).
+  double recovery_bitrot_prob = 0.0;
+};
+
+struct CrashVerdict {
+  bool crashed = false;
+  std::string crash_point;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t dropped_writes = 0;
+  /// TopAA blocks Iron rewrote on the first recovery.
+  std::size_t iron_rewrites = 0;
+  std::vector<std::string> failures;
+
+  bool ok() const noexcept { return failures.empty(); }
+  std::string message() const;
+};
+
+class CrashHarness {
+ public:
+  explicit CrashHarness(const CrashCaseConfig& cfg);
+  ~CrashHarness();
+
+  CrashHarness(const CrashHarness&) = delete;
+  CrashHarness& operator=(const CrashHarness&) = delete;
+
+  /// Steps 1–3 in sequence; the sweep entry point.
+  CrashVerdict run_all();
+
+  void run_clean_cps();
+  /// Runs the crash CP.  Returns the crash point that fired ("" when the
+  /// CP completed — e.g. no trigger configured, or a write-count trigger
+  /// the CP never reached).
+  std::string run_crash_cp();
+  CrashVerdict verify_recovery();
+
+  /// Reconstructs a fresh aggregate over copies of the surviving store
+  /// bytes and runs the recovery mount.  verify_recovery() does this
+  /// internally; exposed so tests can crash *inside* recovery too.
+  std::unique_ptr<Aggregate> recover(bool use_topaa);
+
+  /// The live (possibly crashed) instance, for tests that attach their
+  /// own FaultEngines to individual stores before run_crash_cp().
+  Aggregate& aggregate() { return *agg_; }
+  ThreadPool* pool() { return pool_ ? pool_.get() : nullptr; }
+
+  /// Folds a test-owned engine's journal into the I-D divergence check
+  /// (records must reference this harness's stores).
+  void add_journal(const std::vector<fault::FaultRecord>& extra);
+
+ private:
+  struct CacheDigest {
+    std::vector<std::vector<AaPick>> heap_tops;
+    std::vector<std::vector<std::byte>> rg_hbps;
+    std::vector<std::vector<AaScore>> rg_scores;
+    std::vector<std::vector<std::byte>> vol_hbps;
+    std::vector<std::vector<AaScore>> vol_scores;
+  };
+
+  std::unique_ptr<Aggregate> make_aggregate() const;
+  std::unique_ptr<Aggregate> rebuild();
+  void attach_engine(FaultInjector* injector);
+  void detach_engine();
+  std::vector<DirtyBlock> next_dirty(double lo, double hi);
+  std::vector<DirtyBlock> followup_dirty() const;
+  void mutate_snapshots();
+  void audit_live(Aggregate& agg, const std::string& when);
+  void snapshot_committed();
+  void capture_truth();
+  void check_journal_bounded();
+  static CacheDigest digest_of(Aggregate& agg);
+  void compare_digests(const CacheDigest& a, const CacheDigest& b,
+                       const std::string& tag);
+  void compare_store_range(const BlockStore& a, const BlockStore& b,
+                           std::uint64_t lo, std::uint64_t hi,
+                           const std::string& tag);
+  void compare_bitmaps(Aggregate& a, Aggregate& b, const std::string& tag);
+  void fail(std::string msg) { failures_.push_back(std::move(msg)); }
+
+  CrashCaseConfig cfg_;
+  Rng wl_rng_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Aggregate> agg_;
+
+  /// Store bytes as of the last *completed* CP.
+  std::unique_ptr<BlockStore> committed_meta_;
+  std::unique_ptr<BlockStore> committed_topaa_;
+  std::vector<std::unique_ptr<BlockStore>> committed_vols_;
+
+  /// In-memory bitmap words of the crashed instance, captured at catch.
+  std::vector<std::uint64_t> truth_agg_words_;
+  std::vector<std::vector<std::uint64_t>> truth_vol_words_;
+
+  std::unique_ptr<fault::FaultEngine> engine_;
+  /// Stores the harness attached engine_ to (and must detach from).
+  std::vector<BlockStore*> attached_;
+  /// Live snapshot ids per volume (workload bookkeeping).
+  std::vector<std::vector<SnapId>> snaps_;
+  std::vector<fault::FaultRecord> journal_;
+  bool crashed_ = false;
+  bool crash_cp_ran_ = false;
+  std::string crash_point_;
+  std::vector<std::string> failures_;
+};
+
+}  // namespace wafl::test

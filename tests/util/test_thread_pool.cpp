@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace wafl {
@@ -121,6 +123,59 @@ TEST(ThreadPool, ParallelForDynamicWithSingleThreadPool) {
   std::atomic<std::uint64_t> sum{0};
   pool.parallel_for_dynamic(0, 100, [&](std::size_t i) { sum.fetch_add(i); });
   EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  // A crash point fired inside the parallel CP boundary must unwind to
+  // the caller as one exception, not std::terminate the process.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(0, 1000, [&](std::size_t i) {
+      ran.fetch_add(1);
+      if (i == 17) throw std::runtime_error("boom at 17");
+    });
+    FAIL() << "expected the worker exception on the calling thread";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "boom at 17");
+  }
+  // Remaining iterations were abandoned best-effort, never re-run.
+  EXPECT_LE(ran.load(), 1000);
+  // The pool survives and is reusable afterwards.
+  std::atomic<int> after{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForDynamicRethrowsFirstException) {
+  ThreadPool pool(3);
+  std::atomic<int> throws{0};
+  EXPECT_THROW(pool.parallel_for_dynamic(0, 500,
+                                         [&](std::size_t i) {
+                                           if (i % 100 == 3) {
+                                             throws.fetch_add(1);
+                                             throw std::runtime_error("x");
+                                           }
+                                         }),
+               std::runtime_error);
+  // Several workers may throw; exactly one exception reaches the caller
+  // and the rest are swallowed after the loop stops.
+  EXPECT_GE(throws.load(), 1);
+  std::atomic<int> after{0};
+  pool.parallel_for_dynamic(0, 100, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPool, ExceptionWithSingleThreadPool) {
+  // With one worker the calling thread still participates; the rethrow
+  // path must work when the throwing iteration runs on the caller.
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i >= 5) throw std::runtime_error("c");
+                                 }),
+               std::runtime_error);
+  pool.wait_idle();  // pool healthy
 }
 
 TEST(ThreadPool, ThreadCountDefaultsPositive) {

@@ -1,0 +1,280 @@
+// Crash-consistency: named crash-point scenarios (DESIGN.md §9).
+//
+// Each test freezes the CP boundary at one specific gap in its persistence
+// sequence — bitmap flushed but no TopAA committed, between per-group
+// TopAA commits, TopAA committed but the bitmap flush lost, mid-parallel
+// boundary, between volume commits — and proves the recovery invariants
+// through CrashHarness: both mount paths converge, Iron repairs exactly
+// what the gap left stale and is idempotent, recovery is deterministic,
+// and a follow-up CP lands identically on either recovery.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "fault/crash_point.hpp"
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "support/crash_harness.hpp"
+#include "wafl/mount.hpp"
+
+namespace wafl {
+namespace {
+
+using test::CrashCaseConfig;
+using test::CrashHarness;
+using test::CrashVerdict;
+
+CrashCaseConfig base_config(std::uint64_t seed) {
+  CrashCaseConfig cfg;
+  cfg.seed = seed;
+  cfg.clean_cps = 3;
+  return cfg;
+}
+
+/// The media of two harnesses must be byte-identical (worker-count
+/// determinism: the parallel CP boundary stages but never writes).
+void expect_same_media(CrashHarness& a, CrashHarness& b) {
+  alignas(8) std::byte ba[kBlockSize];
+  alignas(8) std::byte bb[kBlockSize];
+  const auto cmp = [&](const BlockStore& sa, const BlockStore& sb,
+                       const char* tag) {
+    ASSERT_EQ(sa.capacity_blocks(), sb.capacity_blocks());
+    for (std::uint64_t blk = 0; blk < sa.capacity_blocks(); ++blk) {
+      sa.peek(blk, ba);
+      sb.peek(blk, bb);
+      ASSERT_EQ(std::memcmp(ba, bb, kBlockSize), 0)
+          << tag << " block " << blk << " differs between worker counts";
+    }
+  };
+  cmp(a.aggregate().meta_store(), b.aggregate().meta_store(), "agg meta");
+  cmp(a.aggregate().topaa_store(), b.aggregate().topaa_store(), "agg topaa");
+  for (VolumeId v = 0; v < a.aggregate().volume_count(); ++v) {
+    cmp(a.aggregate().volume(v).store(), b.aggregate().volume(v).store(),
+        "vol store");
+  }
+}
+
+TEST(CrashRecovery, BitmapNewTopAaOld) {
+  // Crash after the bitmap flush, before ANY per-group TopAA commit: the
+  // acceptance case "crash between bitmap flush and TopAA commit".  The
+  // groups' persisted TopAA still describes the previous CP; Iron must
+  // find it stale and rewrite it on both mount paths.
+  CrashCaseConfig cfg = base_config(101);
+  cfg.crash_hook = "wa.before_topaa_commit";
+  cfg.crash_hook_nth = 1;
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_EQ(v.crash_point, "wa.before_topaa_commit");
+  EXPECT_TRUE(v.ok()) << v.message();
+  // A heap group's TopAA holds every AA with exact scores here (16 AAs
+  // fit in the 510-entry block), so any churn makes it stale.
+  EXPECT_GE(v.iron_rewrites, 1u);
+}
+
+TEST(CrashRecovery, BetweenGroupTopAaCommits) {
+  // Group 0 committed its TopAA, group 1 did not: mixed-generation TopAA
+  // across groups, the torn-cache shape §3.4's per-group checksums exist
+  // for.
+  CrashCaseConfig cfg = base_config(202);
+  cfg.crash_hook = "wa.before_topaa_commit";
+  cfg.crash_hook_nth = 2;
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, TopAaNewBitmapOld) {
+  // The reverse acceptance case: every TopAA commit reached the media but
+  // the bitmap flush was lost (volatile-cache drop), then the crash.  The
+  // recovered bitmaps are one CP older than the TopAA, which must read as
+  // "stale cache" — never as truth.
+  CrashCaseConfig cfg = base_config(303);
+  cfg.crash_hook = "wa.after_topaa_commits";
+  CrashHarness h(cfg);
+  h.run_clean_cps();
+
+  fault::FaultPlan drop;
+  drop.seed = 7;
+  drop.dropped_write_prob = 1.0;
+  {
+    fault::FaultEngine drop_engine(drop);
+    h.aggregate().meta_store().set_fault_injector(&drop_engine);
+    const std::string fired = h.run_crash_cp();
+    h.aggregate().meta_store().set_fault_injector(nullptr);
+    EXPECT_EQ(fired, "wa.after_topaa_commits");
+    h.add_journal(drop_engine.journal());
+    EXPECT_GT(drop_engine.journal().size(), 0u);
+  }
+  const CrashVerdict v = h.verify_recovery();
+  EXPECT_TRUE(v.ok()) << v.message();
+  // The aggregate TopAA is newer than the bitmaps: stale, rewritten.
+  EXPECT_GE(v.iron_rewrites, 1u);
+}
+
+TEST(CrashRecovery, CrashInsideParallelBoundary) {
+  // The crash fires on a pool thread inside the group-parallel boundary
+  // phase; the ThreadPool rethrows it on the CP thread.  Nothing was
+  // persisted this CP, so recovery sees the previous committed state.
+  CrashCaseConfig cfg = base_config(404);
+  cfg.workers = 8;
+  cfg.crash_hook = "rg.after_frees";
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_EQ(v.crash_point, "rg.after_frees");
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, BetweenVolumeCommits) {
+  // Volume 0 flushed its bitmap and TopAA, volume 1 (and the aggregate)
+  // did not — the cross-object gap of the CP's serial phase 3.
+  CrashCaseConfig cfg = base_config(505);
+  cfg.crash_hook = "cp.before_volume_finish";
+  cfg.crash_hook_nth = 2;
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, WriteCountTornCrash) {
+  // Engine-triggered crash: the 3rd metafile write of the crash CP is
+  // torn mid-block, then the "machine" dies.  The I-D check must explain
+  // the torn block from the journal.
+  CrashCaseConfig cfg = base_config(606);
+  cfg.plan.crash_after_writes = 3;
+  cfg.plan.crash_write_fault = fault::CrashWriteFault::kTorn;
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_EQ(v.crash_point, "store.write");
+  EXPECT_GE(v.torn_writes, 1u);
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, WriteCountDroppedCrash) {
+  CrashCaseConfig cfg = base_config(707);
+  cfg.plan.crash_after_writes = 5;
+  cfg.plan.crash_write_fault = fault::CrashWriteFault::kDropped;
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_GE(v.dropped_writes, 1u);
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, CrashDuringRecoveryMount) {
+  // The machine dies again during recovery, mid-mount.  Recovery writes
+  // nothing, so a second attempt over the same bytes must succeed and the
+  // full invariant suite must hold.
+  CrashCaseConfig cfg = base_config(808);
+  cfg.crash_hook = "wa.before_bitmap_flush";
+  CrashHarness h(cfg);
+  h.run_clean_cps();
+  ASSERT_EQ(h.run_crash_cp(), "wa.before_bitmap_flush");
+
+  fault::crash_hooks().arm("mount.before_vol_seed", 2);
+  EXPECT_THROW(h.recover(/*use_topaa=*/true), fault::CrashPoint);
+  fault::crash_hooks().disarm_all();
+
+  const CrashVerdict v = h.verify_recovery();
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, HbpsPoolCrash) {
+  // Heap (HDD) and HBPS (object-store pool) groups in one aggregate; the
+  // crash lands before the pool's TopAA commit (third group).
+  CrashCaseConfig cfg = base_config(909);
+  cfg.object_store_pool = true;
+  cfg.workers = 2;
+  cfg.crash_hook = "wa.before_topaa_commit";
+  cfg.crash_hook_nth = 3;
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, RecoveryMountBitRot) {
+  // The TopAA reads of the first recovery's mount hit bit-rot; the
+  // checksum rejects rotted blocks and the per-group fallback covers.
+  // The media itself is honest, so everything still converges.
+  CrashCaseConfig cfg = base_config(1010);
+  cfg.crash_hook = "wa.after_bitmap_flush";
+  cfg.recovery_bitrot_prob = 1.0;  // every TopAA read rots
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, CleanShutdownControl) {
+  // Control: no trigger, the "crash CP" completes.  Recovery of a cleanly
+  // shut-down aggregate finds nothing stale.
+  CrashCaseConfig cfg = base_config(1111);
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_FALSE(v.crashed);
+  EXPECT_TRUE(v.ok()) << v.message();
+  EXPECT_EQ(v.iron_rewrites, 0u);
+}
+
+TEST(CrashRecovery, MediaIdenticalAcrossWorkerCounts) {
+  // Acceptance: the same crash at the same serial point leaves the same
+  // bytes on media at 1, 2 and 8 CP workers (and serially) — so recovery
+  // proofs at one worker count transfer to all.
+  constexpr unsigned kWorkers[] = {0, 1, 2, 8};
+  std::vector<std::unique_ptr<CrashHarness>> runs;
+  for (const unsigned w : kWorkers) {
+    CrashCaseConfig cfg = base_config(1212);
+    cfg.object_store_pool = true;
+    cfg.workers = w;
+    cfg.crash_hook = "wa.before_bitmap_flush";
+    runs.push_back(std::make_unique<CrashHarness>(cfg));
+    runs.back()->run_clean_cps();
+    ASSERT_EQ(runs.back()->run_crash_cp(), "wa.before_bitmap_flush");
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    expect_same_media(*runs[0], *runs[i]);
+  }
+  for (auto& run : runs) {
+    const CrashVerdict v = run->verify_recovery();
+    EXPECT_TRUE(v.ok()) << v.message();
+  }
+}
+
+TEST(CrashRecovery, FaultCountersFlowThroughObs) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out";
+  } else {
+    obs::Registry& reg = obs::registry();
+    const std::uint64_t crashes0 =
+        reg.counter("wafl.fault.crashes_injected").value();
+    const std::uint64_t torn0 = reg.counter("wafl.fault.torn_writes").value();
+    const std::uint64_t iron0 = reg.counter("wafl.iron.rewrites").value();
+    const std::uint64_t runs0 = reg.counter("wafl.iron.runs").value();
+
+    CrashCaseConfig cfg = base_config(1313);
+    cfg.plan.crash_after_writes = 2;
+    cfg.plan.crash_write_fault = fault::CrashWriteFault::kTorn;
+    CrashHarness h(cfg);
+    const CrashVerdict v = h.run_all();
+    EXPECT_TRUE(v.crashed);
+    EXPECT_TRUE(v.ok()) << v.message();
+
+    EXPECT_GE(reg.counter("wafl.fault.crashes_injected").value(),
+              crashes0 + 1);
+    EXPECT_GE(reg.counter("wafl.fault.torn_writes").value(), torn0 + 1);
+    // verify_recovery runs Iron at least 5 times (2 + idempotence + R3).
+    EXPECT_GE(reg.counter("wafl.iron.runs").value(), runs0 + 5);
+    EXPECT_GE(reg.counter("wafl.iron.rewrites").value(),
+              iron0 + v.iron_rewrites);
+  }
+}
+
+}  // namespace
+}  // namespace wafl

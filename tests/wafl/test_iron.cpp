@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "wafl/consistency_point.hpp"
 #include "wafl/mount.hpp"
 
@@ -110,6 +111,76 @@ TEST(Iron, DetectsStaleVolumeContent) {
 
   const IronReport r = iron_check_topaa(rig.agg);
   EXPECT_EQ(r.vol_stale, 1u);
+  EXPECT_TRUE(iron_check_topaa(rig.agg).clean());
+}
+
+// Run one more CP over the rig with a fault engine attached to `store`,
+// churning enough blocks that every group's and the volume's TopAA
+// content must change.
+void churn_cp_with_faults(Rig& rig, BlockStore& store,
+                          const fault::FaultPlan& plan) {
+  fault::FaultEngine engine(plan);
+  store.set_fault_injector(&engine);
+  std::vector<DirtyBlock> dirty;
+  for (std::uint64_t l = 12'000; l < 20'000; ++l) dirty.push_back({0, l});
+  ConsistencyPoint::run(rig.agg, dirty);
+  store.set_fault_injector(nullptr);
+  ASSERT_FALSE(engine.journal().empty()) << "fault never triggered";
+}
+
+TEST(Iron, TornTopAaCommitIsUnreadableAndRepaired) {
+  Rig rig;
+  // Tear RG0's TopAA commit mid-write: only the new 16-byte header (with
+  // its CRC over the new picks) persists over the old entries, so the
+  // checksum cannot verify and Iron sees the block as unreadable.  The
+  // tear must land inside the live payload — these heap files carry only
+  // ~16 picks, so a large prefix would persist the whole logical image.
+  fault::FaultPlan plan;
+  plan.seed = 21;
+  plan.torn_write_prob = 1.0;
+  plan.torn_bytes = 16;
+  plan.only_block = rig.agg.rg_topaa_block(0);
+  churn_cp_with_faults(rig, rig.agg.topaa_store(), plan);
+
+  const IronReport r = iron_check_topaa(rig.agg);
+  EXPECT_EQ(r.rg_unreadable, 1u);
+  EXPECT_EQ(r.rg_rewritten, 1u);
+  EXPECT_TRUE(iron_check_topaa(rig.agg).clean());
+  EXPECT_EQ(mount_all(rig.agg, /*use_topaa=*/true).rgs_seeded, 2u);
+}
+
+TEST(Iron, DroppedTopAaCommitIsStaleAndRepaired) {
+  Rig rig;
+  // Drop RG1's TopAA commit entirely: the previous CP's image survives
+  // with a valid checksum, but its scores no longer match — stale, not
+  // unreadable.
+  fault::FaultPlan plan;
+  plan.seed = 22;
+  plan.dropped_write_prob = 1.0;
+  plan.only_block = rig.agg.rg_topaa_block(1);
+  churn_cp_with_faults(rig, rig.agg.topaa_store(), plan);
+
+  const IronReport r = iron_check_topaa(rig.agg);
+  EXPECT_EQ(r.rg_unreadable, 0u);
+  EXPECT_EQ(r.rg_stale, 1u);
+  EXPECT_EQ(r.rg_rewritten, 1u);
+  EXPECT_TRUE(iron_check_topaa(rig.agg).clean());
+}
+
+TEST(Iron, DroppedVolumeCommitIsStaleAndRepaired) {
+  Rig rig;
+  // Drop every volume-store write for one CP: both raid-agnostic TopAA
+  // pages stay at the previous era, individually checksum-valid but
+  // disagreeing with the recomputed HBPS.
+  fault::FaultPlan plan;
+  plan.seed = 23;
+  plan.dropped_write_prob = 1.0;
+  churn_cp_with_faults(rig, rig.agg.volume(0).store(), plan);
+
+  const IronReport r = iron_check_topaa(rig.agg);
+  EXPECT_EQ(r.vol_unreadable, 0u);
+  EXPECT_EQ(r.vol_stale, 1u);
+  EXPECT_EQ(r.vol_rewritten, 1u);
   EXPECT_TRUE(iron_check_topaa(rig.agg).clean());
 }
 

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.hpp"
 #include "util/thread_pool.hpp"
 #include "wafl/consistency_point.hpp"
+#include "wafl/iron.hpp"
 
 namespace wafl {
 namespace {
@@ -124,6 +126,42 @@ TEST(Mount, CorruptRgTopAaFallsBackPerGroup) {
   // Both groups still operational.
   EXPECT_GT(rig.agg.rg_cache(0).size(), 0u);
   EXPECT_GT(rig.agg.rg_cache(1).size(), 0u);
+}
+
+TEST(Mount, TornTopAaCommitFallsBackPerGroup) {
+  Rig rig;
+  // A realistically torn commit (not a synthetic bit flip): RG1's TopAA
+  // write during the next CP persists only its first 16 bytes — the new
+  // header and CRC over the OLD surviving entries — so the checksum
+  // cannot verify.  (The tear must land inside the ~200-byte payload;
+  // a larger prefix would persist the whole logical image.)
+  fault::FaultPlan plan;
+  plan.seed = 31;
+  plan.torn_write_prob = 1.0;
+  plan.torn_bytes = 16;
+  plan.only_block = rig.agg.rg_topaa_block(1);
+  fault::FaultEngine engine(plan);
+  rig.agg.topaa_store().set_fault_injector(&engine);
+  std::vector<DirtyBlock> dirty;
+  for (std::uint64_t l = 6'000; l < 10'000; ++l) dirty.push_back({0, l});
+  ConsistencyPoint::run(rig.agg, dirty);
+  rig.agg.topaa_store().set_fault_injector(nullptr);
+  ASSERT_FALSE(engine.journal().empty()) << "tear never triggered";
+
+  const MountReport r = mount_all(rig.agg, /*use_topaa=*/true);
+  EXPECT_TRUE(r.used_topaa);
+  EXPECT_EQ(r.rgs_seeded, 1u);  // RG0 from TopAA, RG1 fell back to scan
+  EXPECT_EQ(r.vols_seeded, 2u);
+  EXPECT_GT(rig.agg.rg_cache(0).size(), 0u);
+  EXPECT_GT(rig.agg.rg_cache(1).size(), 0u);
+  // Iron restores the fast path for the next mount (run it before any
+  // further CP — a CP's own TopAA commit would also repair the block)...
+  EXPECT_GE(iron_check_topaa(rig.agg).rg_rewritten, 1u);
+  EXPECT_EQ(mount_all(rig.agg, /*use_topaa=*/true).rgs_seeded, 2u);
+  // ...and the system is fully operational afterwards.
+  dirty.clear();
+  for (std::uint64_t l = 0; l < 2'000; ++l) dirty.push_back({1, l});
+  EXPECT_EQ(ConsistencyPoint::run(rig.agg, dirty).blocks_written, 2000u);
 }
 
 TEST(Mount, ScanPathParallelMatchesSerial) {

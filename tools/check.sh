@@ -11,6 +11,12 @@
 #   tools/check.sh --overhead    also measure the obs ON-vs-OFF throughput
 #                                delta on the fig6-style hot loop
 #                                (acceptance: < 2%)
+#   tools/check.sh --crash       also run the full crash-consistency sweep
+#                                (ctest label "crash": named scenarios + the
+#                                256-case sharded property sweep) in the
+#                                release tree AND under ASan+UBSan.  A
+#                                failing sweep case prints its repro line:
+#                                WAFL_CRASH_SEED=<seed> ./waflfree_crash_tests
 #
 # Build trees: build/ (default), build-obs-off/, build-asan/, build-tsan/.
 set -euo pipefail
@@ -19,11 +25,13 @@ cd "$(dirname "$0")/.."
 SANITIZE=0
 TSAN=0
 OVERHEAD=0
+CRASH=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
     --tsan) TSAN=1 ;;
     --overhead) OVERHEAD=1 ;;
+    --crash) CRASH=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -59,6 +67,21 @@ if [[ $TSAN -eq 1 ]]; then
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R 'ParallelCp|CpDeterminism|WriteAllocatorEngine|ThreadPool|Mount|Scoreboard|BitmapMetafile' |
     tail -3
+fi
+
+if [[ $CRASH -eq 1 ]]; then
+  # The tier-1 runs above already executed the named crash scenarios and a
+  # smoke subset of the sweep; this runs the full 256-case sweep (8 shards)
+  # in release, then repeats it under ASan+UBSan for memory-safety of the
+  # crash/unwind paths themselves.
+  echo "=== crash sweep (build, release) ==="
+  ctest --test-dir build --output-on-failure -j "$JOBS" -L crash | tail -3
+  echo "=== configure build-asan ==="
+  cmake -B build-asan -S . -DENABLE_SANITIZERS=ON >/dev/null
+  echo "=== build build-asan ==="
+  cmake --build build-asan -j "$JOBS"
+  echo "=== crash sweep (build-asan, ASan+UBSan) ==="
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L crash | tail -3
 fi
 
 if [[ $OVERHEAD -eq 1 ]]; then
