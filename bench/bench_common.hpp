@@ -44,6 +44,18 @@ inline double pct_delta(double ours, double base) {
   return base == 0.0 ? 0.0 : (ours - base) / base * 100.0;
 }
 
+/// Path for a BENCH_*.json trajectory file: `$WAFL_BENCH_JSON_DIR/<file>`
+/// when the variable is set, else `<file>` in the working directory.
+/// tools/check.sh --perf points the variable at the repo root so the
+/// trajectory files land next to their committed baselines.
+inline std::string json_path(const char* file) {
+  const char* dir = std::getenv("WAFL_BENCH_JSON_DIR");
+  std::string p = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+  p += '/';
+  p += file;
+  return p;
+}
+
 /// Writes the global obs registry as JSON to `<figure>.metrics.json` in the
 /// working directory, making figure runs comparable run-over-run.  A no-op
 /// (beyond an empty snapshot) when obs is compiled out.

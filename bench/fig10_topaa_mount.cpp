@@ -141,35 +141,66 @@ int main() {
       "grows linearly with capacity (the bitmap walk).");
 
   // (A) fixed volume count, growing volume size.
-  {
-    const std::size_t vols = fast ? 4 : 12;
-    const std::vector<std::uint64_t> sizes =
-        fast ? std::vector<std::uint64_t>{65'536, 262'144}
-             : std::vector<std::uint64_t>{32'768, 65'536, 131'072, 262'144,
-                                          524'288};
-    std::vector<MountTiming> ts;
-    ts.reserve(sizes.size());
-    for (const std::uint64_t s : sizes) {
-      ts.push_back(measure(vols, s));
-    }
-    print_series("(A) scaling FlexVol size (12 volumes)",
-                 "vol blocks", sizes, ts);
+  const std::size_t vols = fast ? 4 : 12;
+  const std::vector<std::uint64_t> sizes =
+      fast ? std::vector<std::uint64_t>{65'536, 262'144}
+           : std::vector<std::uint64_t>{32'768, 65'536, 131'072, 262'144,
+                                        524'288};
+  std::vector<MountTiming> size_ts;
+  size_ts.reserve(sizes.size());
+  for (const std::uint64_t s : sizes) {
+    size_ts.push_back(measure(vols, s));
   }
+  print_series("(A) scaling FlexVol size (12 volumes)",
+               "vol blocks", sizes, size_ts);
 
   // (B) fixed volume size, growing volume count.
-  {
-    const std::uint64_t size = 65'536;
-    const std::vector<std::uint64_t> counts =
-        fast ? std::vector<std::uint64_t>{4, 16}
-             : std::vector<std::uint64_t>{4, 8, 16, 32, 64};
-    std::vector<MountTiming> ts;
-    ts.reserve(counts.size());
-    for (const std::uint64_t c : counts) {
-      ts.push_back(measure(static_cast<std::size_t>(c), size));
-    }
-    print_series("(B) scaling FlexVol count (64 Ki-block volumes)",
-                 "volumes", counts, ts);
+  const std::uint64_t size = 65'536;
+  const std::vector<std::uint64_t> counts =
+      fast ? std::vector<std::uint64_t>{4, 16}
+           : std::vector<std::uint64_t>{4, 8, 16, 32, 64};
+  std::vector<MountTiming> count_ts;
+  count_ts.reserve(counts.size());
+  for (const std::uint64_t c : counts) {
+    count_ts.push_back(measure(static_cast<std::size_t>(c), size));
   }
+  print_series("(B) scaling FlexVol count (64 Ki-block volumes)",
+               "volumes", counts, count_ts);
+
+  // Trajectory record: the largest point of each series — the one the
+  // paper's "constant vs linear" claim separates hardest — diffed against
+  // the committed baseline by tools/check.sh --perf.
+  const MountTiming& big_size = size_ts.back();
+  const MountTiming& big_count = count_ts.back();
+  const std::string path = bench::json_path("BENCH_mount.json");
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"fig10_topaa_mount\",\n"
+        "  \"mode\": \"%s\",\n"
+        "  \"largest_vol_size\": {\"vol_blocks\": %llu, \"vols\": %zu,\n"
+        "    \"topaa_ms\": %.3f, \"scan_ms\": %.3f, \"scan_over_topaa\": "
+        "%.3f},\n"
+        "  \"largest_vol_count\": {\"vol_blocks\": %llu, \"vols\": %llu,\n"
+        "    \"topaa_ms\": %.3f, \"scan_ms\": %.3f, \"scan_over_topaa\": "
+        "%.3f}\n"
+        "}\n",
+        fast ? "fast" : "full",
+        static_cast<unsigned long long>(sizes.back()), vols,
+        big_size.topaa_ms, big_size.scan_ms,
+        big_size.topaa_ms > 0.0 ? big_size.scan_ms / big_size.topaa_ms : 0.0,
+        static_cast<unsigned long long>(size),
+        static_cast<unsigned long long>(counts.back()), big_count.topaa_ms,
+        big_count.scan_ms,
+        big_count.topaa_ms > 0.0 ? big_count.scan_ms / big_count.topaa_ms
+                                 : 0.0);
+    std::fclose(f);
+    std::printf("\n[bench] trajectory written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  }
+
   wafl::bench::dump_metrics("fig10_topaa_mount");
   return 0;
 }

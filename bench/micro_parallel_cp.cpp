@@ -16,12 +16,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "wafl/consistency_point.hpp"
+#include "wafl/write_allocator.hpp"
 
 namespace wafl {
 namespace {
@@ -87,6 +89,7 @@ std::vector<DirtyBlock> batch(const Shape& s, Rng& rng) {
 
 struct RunResult {
   double boundary_ms = 0.0;  // finish_cp wall time, summed over the CPs
+  CpPhaseProfile phases;     // per-phase split over the timed CPs
   CpStats totals;
 };
 
@@ -104,6 +107,9 @@ RunResult run(const Shape& s, std::size_t workers) {
   // are pure overwrites and the boundary's free-side work (the fanned-out
   // half) carries its steady-state weight.
   for (int cp = -1; cp < s.cps; ++cp) {
+    if (cp == 0) {
+      cp_phase_profile().reset();  // drop the prefill CP's laps
+    }
     std::vector<DirtyBlock> dirty;
     if (cp < 0) {
       for (VolumeId v = 0; v < s.vols; ++v) {
@@ -163,6 +169,7 @@ RunResult run(const Shape& s, std::size_t workers) {
       r.totals.merge(stats);
     }
   }
+  r.phases = cp_phase_profile();
   return r;
 }
 
@@ -174,25 +181,50 @@ int main() {
   const auto s = shape();
   bench::print_title("micro_parallel_cp",
                      "finish-CP boundary wall time vs worker count");
+  const unsigned hw = std::thread::hardware_concurrency();
   std::printf(
       "shape: %zu RAID groups x (4+1) x %llu blocks, %zu vols, "
-      "%llu writes/CP, %d CPs%s\n",
+      "%llu writes/CP, %d CPs%s, %u hw threads\n",
       s.raid_groups, static_cast<unsigned long long>(s.device_blocks),
       s.vols, static_cast<unsigned long long>(s.writes_per_cp), s.cps,
-      bench::fast_mode() ? " (fast mode)" : "");
+      bench::fast_mode() ? " (fast mode)" : "", hw);
   bench::print_expectation(
       "boundary time falls with workers while every run stays "
-      "bit-identical; the serial metafile flush bounds the speedup");
+      "bit-identical; the serial partition/merge tail bounds the speedup");
 
   const RunResult serial = run(s, 0);
+  // The serial run's phase split is the Amdahl decomposition: the phases
+  // finish_cp fans out (owner lookup, per-group boundary, metafile flush,
+  // TopAA commits) against the ones it cannot (window flush, partition,
+  // summary merge, stats folds).  On a single-core host the measured
+  // speedup is pinned near 1x whatever the code does, so the split — and
+  // the implied speedup at 4 workers — is the portable scaling headline.
+  const double p_ms = serial.phases.parallel_ms();
+  const double s_ms = serial.phases.serial_ms();
+  const double total = serial.phases.total_ms();
+  const double par_frac = total > 0.0 ? p_ms / total : 0.0;
+  const double amdahl4 = total > 0.0 ? total / (s_ms + p_ms / 4.0) : 1.0;
   std::printf("finish_cp_ms[w=serial]=%.2f  (freed=%llu, flushed=%llu)\n",
               serial.boundary_ms,
               static_cast<unsigned long long>(serial.totals.blocks_freed),
               static_cast<unsigned long long>(
                   serial.totals.meta_flush_blocks));
+  std::printf(
+      "phase_split: windows=%.2f owner=%.2f partition=%.2f boundary=%.2f "
+      "merge=%.2f flush=%.2f topaa=%.2f fold=%.2f\n",
+      serial.phases.windows_ms, serial.phases.owner_ms,
+      serial.phases.partition_ms, serial.phases.boundary_ms,
+      serial.phases.merge_ms, serial.phases.flush_ms, serial.phases.topaa_ms,
+      serial.phases.fold_ms);
+  std::printf("parallel_fraction=%.3f  amdahl_speedup[w=4]=%.2fx\n",
+              par_frac, amdahl4);
 
-  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+  double wall_ms[5] = {serial.boundary_ms, 0, 0, 0, 0};
+  const std::size_t worker_counts[4] = {1, 2, 4, 8};
+  for (std::size_t wi = 0; wi < 4; ++wi) {
+    const std::size_t workers = worker_counts[wi];
     const RunResult r = run(s, workers);
+    wall_ms[wi + 1] = r.boundary_ms;
     const bool identical =
         r.totals.blocks_written == serial.totals.blocks_written &&
         r.totals.blocks_freed == serial.totals.blocks_freed &&
@@ -209,6 +241,35 @@ int main() {
                    workers);
       return 1;
     }
+  }
+
+  // Trajectory record: one JSON file, overwritten each run, diffed against
+  // the committed baseline by tools/check.sh --perf.
+  const std::string path = bench::json_path("BENCH_parallel_cp.json");
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"micro_parallel_cp\",\n"
+                 "  \"mode\": \"%s\",\n"
+                 "  \"hw_threads\": %u,\n"
+                 "  \"serial_total_ms\": %.3f,\n"
+                 "  \"serial_phase_ms\": %.3f,\n"
+                 "  \"parallel_phase_ms\": %.3f,\n"
+                 "  \"parallel_fraction\": %.4f,\n"
+                 "  \"amdahl_speedup_w4\": %.3f,\n"
+                 "  \"measured_speedup_w4\": %.3f,\n"
+                 "  \"wall_ms\": {\"serial\": %.3f, \"w1\": %.3f, "
+                 "\"w2\": %.3f, \"w4\": %.3f, \"w8\": %.3f},\n"
+                 "  \"identical_all_worker_counts\": true\n"
+                 "}\n",
+                 bench::fast_mode() ? "fast" : "full", hw, total, s_ms, p_ms,
+                 par_frac, amdahl4,
+                 wall_ms[3] > 0.0 ? wall_ms[0] / wall_ms[3] : 0.0, wall_ms[0],
+                 wall_ms[1], wall_ms[2], wall_ms[3], wall_ms[4]);
+    std::fclose(f);
+    std::printf("\n[bench] trajectory written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
   }
 
   bench::dump_metrics("micro_parallel_cp");

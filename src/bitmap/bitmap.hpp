@@ -8,6 +8,8 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -67,6 +69,30 @@ class Bitmap {
 
   /// Length of the run of clear bits starting at `begin`, capped at `end`.
   std::uint64_t clear_run_length(std::uint64_t begin, std::uint64_t end) const;
+
+  /// Clears every bit of `mask` in word `w`; asserts each was set (a
+  /// double free is a file-system bug, never a recoverable condition).
+  /// The word-batched CP free path: one RMW per touched word instead of
+  /// one per bit.
+  void clear_word_mask(std::uint64_t w, std::uint64_t mask) noexcept {
+    WAFL_ASSERT(w < words_.size());
+    WAFL_ASSERT_MSG((words_[w] & mask) == mask, "freeing a free block");
+    words_[w] &= ~mask;
+  }
+
+  /// Bulk word overwrite for deserialization (the mount walk): words
+  /// [first_word, first_word + src.size()) take `src`'s values verbatim.
+  /// If the run covers the final word, bits beyond size() are re-cleared,
+  /// so garbage a torn or corrupt medium left past the tracked range
+  /// cannot skew whole-word popcounts.
+  void store_words(std::uint64_t first_word,
+                   std::span<const std::uint64_t> src) noexcept {
+    WAFL_ASSERT(first_word + src.size() <= words_.size());
+    std::memcpy(words_.data() + first_word, src.data(), src.size() * 8);
+    if (first_word + src.size() == words_.size()) {
+      trim_tail();
+    }
+  }
 
   /// Raw word access for serialization (little-endian word layout).
   const std::vector<std::uint64_t>& words() const noexcept { return words_; }

@@ -1,5 +1,7 @@
 #include "bitmap/bitmap_metafile.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "util/thread_pool.hpp"
@@ -56,18 +58,85 @@ void BitmapMetafile::account_frees(std::span<const Vbn> freed) {
   }
 }
 
+BitmapMetafile::FreeDelta BitmapMetafile::clear_frees_batched(
+    std::span<const Vbn> frees) {
+  FreeDelta d;
+  if (frees.empty()) return d;
+
+  // Scatter pass: accumulate one mask per touched word in a dense scratch
+  // spanning [w_lo, w_hi].  A CP's per-group free batch is dense within
+  // the group's VBN range, so the scratch stays proportional to the group
+  // (and zeroing it is a linear memset), not to the whole aggregate.
+  std::uint64_t w_lo = frees.front() >> 6;
+  std::uint64_t w_hi = w_lo;
+  for (const Vbn v : frees) {
+    WAFL_ASSERT(v < bits_.size());
+    const std::uint64_t w = v >> 6;
+    w_lo = std::min(w_lo, w);
+    w_hi = std::max(w_hi, w);
+  }
+  std::vector<std::uint64_t> masks(w_hi - w_lo + 1, 0);
+  for (const Vbn v : frees) {
+    const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+    std::uint64_t& mask = masks[(v >> 6) - w_lo];
+    WAFL_ASSERT_MSG((mask & bit) == 0, "duplicate free in batch");
+    mask |= bit;
+  }
+
+  // Apply pass, ascending: one RMW per touched word, one popcount per
+  // word folded into the owning metafile block's freed count.
+  std::uint64_t cur_block = (w_lo * 64) / kBitsPerBitmapBlock;
+  std::uint32_t freed_in_block = 0;
+  for (std::uint64_t w = w_lo; w <= w_hi; ++w) {
+    const std::uint64_t mask = masks[w - w_lo];
+    if (mask == 0) continue;
+    const std::uint64_t b = (w * 64) / kBitsPerBitmapBlock;
+    if (b != cur_block) {
+      if (freed_in_block != 0) {
+        d.per_block.emplace_back(cur_block, freed_in_block);
+      }
+      cur_block = b;
+      freed_in_block = 0;
+    }
+    bits_.clear_word_mask(w, mask);
+    freed_in_block += static_cast<std::uint32_t>(std::popcount(mask));
+  }
+  if (freed_in_block != 0) {
+    d.per_block.emplace_back(cur_block, freed_in_block);
+  }
+  return d;
+}
+
+void BitmapMetafile::apply_free_deltas(const FreeDelta& d) {
+  for (const auto& [b, n] : d.per_block) {
+    free_per_block_[b] += n;
+    total_free_ += n;
+    mark_dirty(b);
+  }
+}
+
 std::uint64_t BitmapMetafile::free_in_range(Vbn begin, Vbn end) const {
   WAFL_ASSERT(begin <= end && end <= bits_.size());
-  // Fast path: block-aligned range answered from the summary.
-  if (begin % kBitsPerBitmapBlock == 0 && end % kBitsPerBitmapBlock == 0) {
-    std::uint64_t total = 0;
-    for (std::uint64_t b = begin / kBitsPerBitmapBlock;
-         b < end / kBitsPerBitmapBlock; ++b) {
-      total += free_per_block_[b];
-    }
-    return total;
+  // Whole metafile blocks come from the O(1)-per-block summary; only the
+  // partial edge blocks (at most two) pay a popcount.
+  const Vbn lo_block_end =
+      std::min<Vbn>((begin / kBitsPerBitmapBlock + 1) * kBitsPerBitmapBlock,
+                    end);
+  if (begin % kBitsPerBitmapBlock != 0 || lo_block_end == end) {
+    // Range starts mid-block (or lies inside one block entirely).
+    if (lo_block_end == end) return bits_.count_clear(begin, end);
+    std::uint64_t total = bits_.count_clear(begin, lo_block_end);
+    return total + free_in_range(lo_block_end, end);
   }
-  return bits_.count_clear(begin, end);
+  std::uint64_t total = 0;
+  const std::uint64_t end_whole = end / kBitsPerBitmapBlock;
+  for (std::uint64_t b = begin / kBitsPerBitmapBlock; b < end_whole; ++b) {
+    total += free_per_block_[b];
+  }
+  if (end % kBitsPerBitmapBlock != 0) {
+    total += bits_.count_clear(end_whole * kBitsPerBitmapBlock, end);
+  }
+  return total;
 }
 
 void BitmapMetafile::begin_cp() {
@@ -80,65 +149,51 @@ void BitmapMetafile::begin_cp() {
 std::uint64_t BitmapMetafile::flush() {
   const std::uint64_t flushed = dirty_list_.size();
   if (store_ != nullptr) {
-    alignas(8) std::byte buf[kBlockSize];
     for (const std::uint64_t b : dirty_list_) {
-      serialize_block(b, buf);
-      store_->write(store_base_ + b, buf);
+      flush_block(b);
     }
   }
   begin_cp();
   return flushed;
 }
 
+void BitmapMetafile::flush_block(std::uint64_t b) const {
+  WAFL_ASSERT(store_ != nullptr && b < free_per_block_.size());
+  alignas(8) std::byte buf[kBlockSize];
+  serialize_block(b, buf);
+  store_->write(store_base_ + b, buf);
+}
+
 void BitmapMetafile::load_all(ThreadPool* pool) {
-  // Read serialized blocks into the word array, then recompute summaries.
+  WAFL_ASSERT_MSG(store_ != nullptr, "load_all without a backing store");
+  // One metafile block is one read, one word-level copy into the bit
+  // vector, and one popcount for the summary.  Blocks touch disjoint word
+  // ranges (kBitsPerBitmapBlock is a multiple of 64) and the store allows
+  // disjoint-slot concurrent reads, so the whole walk fans out per block.
   auto load_block = [this](std::size_t b) {
-    alignas(8) std::byte buf[kBlockSize];
-    store_->read(store_base_ + b, buf);
+    alignas(8) std::uint64_t words[kWordsPerBlock];
+    store_->read(store_base_ + b,
+                 std::span(reinterpret_cast<std::byte*>(words), kBlockSize));
+    const std::uint64_t first_word = b * kWordsPerBlock;
+    const std::uint64_t have =
+        std::min<std::uint64_t>(kWordsPerBlock,
+                                bits_.words().size() - first_word);
+    bits_.store_words(first_word, std::span(words, have));
     const std::uint64_t lo_bit = b * kBitsPerBitmapBlock;
     const std::uint64_t hi_bit =
         std::min<std::uint64_t>(lo_bit + kBitsPerBitmapBlock, bits_.size());
-    std::uint64_t word[1];
-    for (std::uint64_t i = 0; i < kWordsPerBlock; ++i) {
-      const std::uint64_t bit0 = lo_bit + i * 64;
-      if (bit0 >= hi_bit) break;
-      std::memcpy(word, buf + i * 8, 8);
-      for (std::uint64_t j = 0; j < 64 && bit0 + j < hi_bit; ++j) {
-        const bool want = (word[0] >> j) & 1u;
-        if (want != bits_.test(bit0 + j)) {
-          if (want) {
-            bits_.set(bit0 + j);
-          } else {
-            bits_.clear(bit0 + j);
-          }
-        }
-      }
-    }
     free_per_block_[b] =
         static_cast<std::uint32_t>(bits_.count_clear(lo_bit, hi_bit));
   };
 
-  WAFL_ASSERT_MSG(store_ != nullptr, "load_all without a backing store");
-  // BlockStore reads mutate shared I/O counters, so the store walk itself is
-  // serial; per-block summary recomputation dominates and parallelizes, but
-  // with interleaved reads that is unsafe.  Parallelize only the summary
-  // recount pass.
-  if (pool == nullptr) {
-    for (std::uint64_t b = 0; b < free_per_block_.size(); ++b) {
+  const std::uint64_t nblocks = free_per_block_.size();
+  if (pool == nullptr || nblocks < 2) {
+    for (std::uint64_t b = 0; b < nblocks; ++b) {
       load_block(static_cast<std::size_t>(b));
     }
   } else {
-    for (std::uint64_t b = 0; b < free_per_block_.size(); ++b) {
-      load_block(static_cast<std::size_t>(b));
-    }
-    // Recount summaries in parallel (idempotent over loaded bits).
-    pool->parallel_for(0, free_per_block_.size(), [this](std::size_t b) {
-      const std::uint64_t lo = b * kBitsPerBitmapBlock;
-      const std::uint64_t hi = std::min<std::uint64_t>(
-          lo + kBitsPerBitmapBlock, bits_.size());
-      free_per_block_[b] =
-          static_cast<std::uint32_t>(bits_.count_clear(lo, hi));
-    });
+    pool->parallel_for_dynamic(0, static_cast<std::size_t>(nblocks),
+                               /*chunk=*/8, load_block);
   }
   total_free_ = 0;
   for (const std::uint32_t f : free_per_block_) total_free_ += f;

@@ -64,10 +64,38 @@ class BitmapMetafile {
 
   /// Serial companion to clear_unaccounted(): folds already-cleared VBNs
   /// into the per-block free counts, the total, and the dirty set.
+  /// Per-bit reference path; the CP boundary uses the word-batched pair
+  /// below (the fuzz suite holds the two equivalent).
   void account_frees(std::span<const Vbn> freed);
 
-  /// Free (clear) bits in [begin, end); answered from the summary when the
-  /// range is block-aligned, else by popcount.
+  /// Per-metafile-block freed counts produced by clear_frees_batched(),
+  /// for the serial summary merge in apply_free_deltas().
+  struct FreeDelta {
+    /// (metafile block, freed count), ascending by block.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> per_block;
+  };
+
+  /// Word-batched companion to clear_unaccounted(): clears the bits of
+  /// `frees` (any order, no duplicates, all currently set — asserted)
+  /// one 64-bit mask per touched word, and returns the per-block freed
+  /// counts (ascending by block) for apply_free_deltas().  Internally a
+  /// scatter pass accumulates masks in a dense scratch over the span's
+  /// word range, then one ascending walk applies them — no sort, so a
+  /// CP's deferral-order free list feeds straight in.  Touches only the
+  /// bit words `frees` covers: concurrent calls are safe when the
+  /// callers' VBNs live in disjoint words, which the per-RAID-group CP
+  /// boundary guarantees (group ranges are multiples of kTetrisStripes,
+  /// so they never share a word).
+  FreeDelta clear_frees_batched(std::span<const Vbn> frees);
+
+  /// Serial companion: folds a clear_frees_batched() delta into the
+  /// per-block free counts, the total, and the dirty set.  Equivalent to
+  /// account_frees() over the same VBNs.
+  void apply_free_deltas(const FreeDelta& d);
+
+  /// Free (clear) bits in [begin, end); interior whole metafile blocks
+  /// are answered from the summary, only the two partial edge blocks (if
+  /// any) by popcount — O(blocks) whatever the alignment.
   std::uint64_t free_in_range(Vbn begin, Vbn end) const;
 
   /// Free bits within metafile block `b` — the O(1) summary lookup.
@@ -90,6 +118,14 @@ class BitmapMetafile {
   /// Distinct metafile blocks modified since the last begin_cp().
   std::uint64_t dirty_blocks() const noexcept { return dirty_list_.size(); }
 
+  /// The dirty set itself (distinct blocks, dirtying order), for a
+  /// caller-partitioned parallel flush: partition this list, flush_block()
+  /// each entry exactly once, then begin_cp().  Invalidated by any
+  /// mutation of the metafile.
+  std::span<const std::uint64_t> dirty_list() const noexcept {
+    return dirty_list_;
+  }
+
   /// Starts a fresh CP interval: clears the dirty set (without flushing).
   void begin_cp();
 
@@ -97,11 +133,19 @@ class BitmapMetafile {
   /// clears the dirty set.  Returns the number of blocks written.
   std::uint64_t flush();
 
+  /// Serializes and writes one metafile block to the backing store
+  /// without touching the dirty set.  Reads only immutable-during-flush
+  /// state, so distinct blocks may flush concurrently (each store block
+  /// has exactly one writer — the single-writer-per-slot contract).
+  void flush_block(std::uint64_t b) const;
+
   // --- Mount-time load ----------------------------------------------------
 
   /// Reads every metafile block from the backing store, rebuilding bits and
   /// summary.  This is the "linear walk of the bitmap metafiles" mount path
-  /// (§3.4).  If `pool` is non-null the popcount rebuild is parallelized.
+  /// (§3.4).  Each block is one word-level copy plus a popcount; with a
+  /// pool the whole walk (read + copy + recount) fans out per block, which
+  /// the concurrent-safe BlockStore makes sound.
   void load_all(ThreadPool* pool = nullptr);
 
   /// Extends the tracked VBN space (RAID-group growth, §3.1).  New bits

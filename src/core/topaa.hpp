@@ -34,8 +34,9 @@ namespace wafl {
 /// A staged TopAA write: the fully-encoded (checksummed) block bytes of a
 /// save, built without touching the store.  Encoding is a pure function of
 /// the cache state, so per-RAID-group images can be built concurrently at
-/// the CP boundary; TopAaFile::commit serializes the store writes (the
-/// BlockStore is not thread-safe).
+/// the CP boundary, and since per-group slots never share a store block,
+/// the commits themselves also run concurrently across groups (the
+/// BlockStore allows disjoint-slot concurrent writes).
 struct TopAaImage {
   /// kRaidAwareBlocks or kRaidAgnosticBlocks worth of valid blocks.
   std::uint64_t nblocks = 0;

@@ -17,11 +17,17 @@
 //
 // Hook catalogue (see DESIGN.md §9): rg.after_frees and
 // rg.after_topaa_encode (per group, inside the possibly-parallel boundary
-// phase); wa.before_boundary, wa.after_boundary, wa.before_bitmap_flush,
-// wa.after_bitmap_flush, wa.before_topaa_commit (per group — nth selects
-// the gap between commits), wa.after_topaa_commits (CP epilogue);
-// cp.before_volume_finish (per volume), cp.before_agg_finish;
+// phase); wa.before_boundary, wa.after_boundary, wa.before_bitmap_flush
+// (serial points); wa.in_bitmap_flush (per dirty metafile block, inside
+// the possibly-parallel flush — nth selects how many blocks may have
+// flushed first); wa.after_bitmap_flush; wa.before_topaa_commit (per
+// group, inside the possibly-parallel commit phase — nth selects how
+// many commits may have landed first); wa.after_topaa_commits (CP
+// epilogue); cp.before_volume_finish (per volume), cp.before_agg_finish;
 // mount.begin, mount.before_vol_seed, mount.before_scan, recover.begin.
+// With workers=0 every point fires at a fixed serial position; with
+// workers>0 the per-item points are interleaving-dependent and tests
+// assert the interleaving-agnostic invariants only.
 #pragma once
 
 #include <atomic>

@@ -30,9 +30,14 @@ FaultInjector::WriteOutcome FaultEngine::on_write(
   ++writes_;
 
   WriteOutcome out;
+  // !crash_pending_: with parallel writers another write can be issued
+  // between the triggering write's on_write and its after_write throw —
+  // it proceeds uninjected, like a write racing a real power loss.
   if (plan_.crash_after_writes != 0 && writes_ >= plan_.crash_after_writes &&
-      !crashed_) {
+      !crashed_ && !crash_pending_) {
     crash_pending_ = true;
+    crash_store_ = &store;
+    crash_block_ = block_no;
     switch (plan_.crash_write_fault) {
       case CrashWriteFault::kPersisted:
         break;
@@ -77,12 +82,14 @@ FaultInjector::WriteOutcome FaultEngine::on_write(
 
 void FaultEngine::after_write(const BlockStore& store,
                               std::uint64_t block_no) {
-  (void)store;
-  (void)block_no;
   std::uint64_t ordinal = 0;
   {
     std::lock_guard lock(mu_);
-    if (!crash_pending_) return;
+    // Fire only for the write whose on_write tripped the trigger; an
+    // interleaved write on another store passes through.
+    if (!crash_pending_ || crash_store_ != &store || crash_block_ != block_no) {
+      return;
+    }
     crash_pending_ = false;
     crashed_ = true;
     armed_ = false;  // whatever follows the crash reads honest media

@@ -23,10 +23,17 @@
 // (wafl.fault.torn_writes / dropped_writes / read_bitrot /
 // crashes_injected).
 //
-// Determinism: all BlockStore I/O in the system is serial (the parallel
-// CP-boundary phase stages images but never writes; see
-// write_allocator.hpp), so one engine attached to several stores sees a
-// deterministic interleaving and its seeded Rng replays exactly.
+// Concurrency.  Since the CP tail went parallel (metafile flush and
+// TopAA commits fan out across pool workers; see write_allocator.hpp),
+// an engine can see concurrent I/O.  The engine's own state is mutex-
+// protected, each store holds its fault mutex across the whole two-phase
+// write triple, and the pending crash is keyed by (store, block) so only
+// the write whose on_write tripped the trigger throws — another store's
+// interleaved after_write cannot consume it.  With serial I/O (every
+// named-hook scenario at workers=0) the seeded Rng replays exactly; with
+// parallel workers the injected-fault *sequence* tracks the thread
+// interleaving, while the harness invariants (DESIGN.md §9) stay
+// interleaving-agnostic.
 #pragma once
 
 #include <cstdint>
@@ -114,6 +121,11 @@ class FaultEngine final : public FaultInjector {
   Rng rng_;
   bool armed_ = true;
   bool crash_pending_ = false;
+  /// The write whose on_write set crash_pending_; after_write fires only
+  /// on the matching (store, block) so a concurrent write on another
+  /// store cannot consume the crash decision.
+  const BlockStore* crash_store_ = nullptr;
+  std::uint64_t crash_block_ = 0;
   bool crashed_ = false;
   std::uint64_t writes_ = 0;
   std::vector<FaultRecord> journal_;
@@ -162,7 +174,7 @@ class FaultyBlockStore {
   std::size_t materialized_blocks() const noexcept {
     return inner_.materialized_blocks();
   }
-  const IoStats& stats() const noexcept { return inner_.stats(); }
+  IoStats stats() const noexcept { return inner_.stats(); }
 
   FaultEngine& engine() noexcept { return engine_; }
   BlockStore& inner() noexcept { return inner_; }

@@ -7,57 +7,88 @@
 
 namespace wafl {
 
+BlockStore::BlockStore(std::uint64_t capacity_blocks)
+    : capacity_(capacity_blocks),
+      shards_(std::make_unique<Shard[]>(kShards)),
+      fault_mu_(std::make_unique<std::mutex>()) {}
+
+BlockStore::Slot& BlockStore::materialize_slot(std::uint64_t block_no) {
+  Shard& sh = shard_of(block_no);
+  std::lock_guard lock(sh.mu);
+  auto it = sh.slots.find(block_no);
+  if (it == sh.slots.end()) {
+    it = sh.slots.emplace(block_no, std::make_unique<Slot>()).first;
+  }
+  return *it->second;
+}
+
+BlockStore::Slot* BlockStore::find_slot(std::uint64_t block_no) const {
+  Shard& sh = shard_of(block_no);
+  std::lock_guard lock(sh.mu);
+  const auto it = sh.slots.find(block_no);
+  return it == sh.slots.end() ? nullptr : it->second.get();
+}
+
+void BlockStore::apply_write(std::uint64_t block_no,
+                             std::span<const std::byte> data,
+                             std::size_t persist_bytes) {
+  Slot& slot = materialize_slot(block_no);
+  // The payload copy runs outside the shard lock; the writer flag is the
+  // single-writer-per-slot contract's release-build detector.
+  WAFL_ASSERT_MSG(slot.writer.exchange(1, std::memory_order_acquire) == 0,
+                  "two concurrent writers on one block");
+  std::memcpy(slot.data.data(), data.data(), persist_bytes);
+  slot.writer.store(0, std::memory_order_release);
+}
+
 void BlockStore::write(std::uint64_t block_no,
                        std::span<const std::byte> data) {
   WAFL_ASSERT_MSG(block_no < capacity_, "block write out of range");
   WAFL_ASSERT(data.size() == kBlockSize);
 
   if (injector_ != nullptr) {
-    const FaultInjector::WriteOutcome out =
-        injector_->on_write(*this, block_no, data);
-    ++stats_.block_writes;  // the write was issued, whatever its fate
-    if (out.drop) {
-      injector_->after_write(*this, block_no);
-      return;
-    }
-    if (out.persist_bytes < kBlockSize) {
-      // Torn write: the first persist_bytes of the new payload land; the
-      // tail keeps the old contents (zeroes for a never-written block).
-      auto it = blocks_.find(block_no);
-      if (it == blocks_.end()) {
-        it = blocks_.emplace(block_no, std::make_unique<Block>()).first;
-      }
-      std::memcpy(it->second->data(), data.data(), out.persist_bytes);
-      injector_->after_write(*this, block_no);
-      return;
-    }
-    auto it = blocks_.find(block_no);
-    if (it == blocks_.end()) {
-      it = blocks_.emplace(block_no, std::make_unique<Block>()).first;
-    }
-    std::memcpy(it->second->data(), data.data(), kBlockSize);
-    injector_->after_write(*this, block_no);
+    write_with_injector(block_no, data);
     return;
   }
+  shard_of(block_no).writes.fetch_add(1, std::memory_order_relaxed);
+  apply_write(block_no, data, kBlockSize);
+}
 
-  auto it = blocks_.find(block_no);
-  if (it == blocks_.end()) {
-    it = blocks_.emplace(block_no, std::make_unique<Block>()).first;
+void BlockStore::write_with_injector(std::uint64_t block_no,
+                                     std::span<const std::byte> data) {
+  // The whole two-phase triple under the store's fault mutex: after_write
+  // must observe the exact crash decision this write's on_write made, so
+  // two writers on one store may not interleave their phases.
+  std::lock_guard fault_lock(*fault_mu_);
+  const FaultInjector::WriteOutcome out =
+      injector_->on_write(*this, block_no, data);
+  // The write was issued, whatever its fate.
+  shard_of(block_no).writes.fetch_add(1, std::memory_order_relaxed);
+  if (!out.drop) {
+    // A torn write persists the first persist_bytes of the new payload;
+    // the tail keeps the old contents (zeroes for a never-written block).
+    apply_write(block_no, data,
+                std::min<std::size_t>(out.persist_bytes, kBlockSize));
   }
-  std::memcpy(it->second->data(), data.data(), kBlockSize);
-  ++stats_.block_writes;
+  injector_->after_write(*this, block_no);
 }
 
 void BlockStore::read(std::uint64_t block_no, std::span<std::byte> out) {
   WAFL_ASSERT_MSG(block_no < capacity_, "block read out of range");
   WAFL_ASSERT(out.size() == kBlockSize);
-  const auto it = blocks_.find(block_no);
-  if (it == blocks_.end()) {
+  const Slot* slot = find_slot(block_no);
+  shard_of(block_no).reads.fetch_add(1, std::memory_order_relaxed);
+  if (slot == nullptr) {
     std::memset(out.data(), 0, kBlockSize);
   } else {
-    std::memcpy(out.data(), it->second->data(), kBlockSize);
+    // Bracketing loads catch a writer that was active when the copy
+    // started or began during it (best effort; TSan sees the race itself).
+    WAFL_ASSERT_MSG(slot->writer.load(std::memory_order_acquire) == 0,
+                    "read raced a writer on the same block");
+    std::memcpy(out.data(), slot->data.data(), kBlockSize);
+    WAFL_ASSERT_MSG(slot->writer.load(std::memory_order_acquire) == 0,
+                    "read raced a writer on the same block");
   }
-  ++stats_.block_reads;
   if (injector_ != nullptr) {
     injector_->on_read(*this, block_no, out);
   }
@@ -66,29 +97,64 @@ void BlockStore::read(std::uint64_t block_no, std::span<std::byte> out) {
 void BlockStore::peek(std::uint64_t block_no, std::span<std::byte> out) const {
   WAFL_ASSERT_MSG(block_no < capacity_, "block peek out of range");
   WAFL_ASSERT(out.size() == kBlockSize);
-  const auto it = blocks_.find(block_no);
-  if (it == blocks_.end()) {
+  const Slot* slot = find_slot(block_no);
+  if (slot == nullptr) {
     std::memset(out.data(), 0, kBlockSize);
   } else {
-    std::memcpy(out.data(), it->second->data(), kBlockSize);
+    std::memcpy(out.data(), slot->data.data(), kBlockSize);
   }
+}
+
+bool BlockStore::is_materialized(std::uint64_t block_no) const {
+  Shard& sh = shard_of(block_no);
+  std::lock_guard lock(sh.mu);
+  return sh.slots.contains(block_no);
 }
 
 void BlockStore::corrupt(std::uint64_t block_no, std::size_t bit_index) {
   WAFL_ASSERT(bit_index < kBlockSize * 8);
-  const auto it = blocks_.find(block_no);
-  WAFL_ASSERT_MSG(it != blocks_.end(), "corrupting an unwritten block");
-  auto& byte = (*it->second)[bit_index / 8];
+  Slot* slot = find_slot(block_no);
+  WAFL_ASSERT_MSG(slot != nullptr, "corrupting an unwritten block");
+  auto& byte = slot->data[bit_index / 8];
   byte ^= static_cast<std::byte>(1u << (bit_index % 8));
 }
 
 void BlockStore::copy_contents_from(const BlockStore& other) {
   WAFL_ASSERT_MSG(capacity_ == other.capacity_,
                   "copy_contents_from between differently-sized stores");
-  blocks_.clear();
-  for (const auto& [block_no, block] : other.blocks_) {
-    blocks_.emplace(block_no, std::make_unique<Block>(*block));
+  for (std::size_t s = 0; s < kShards; ++s) {
+    shards_[s].slots.clear();
+    for (const auto& [block_no, slot] : other.shards_[s].slots) {
+      auto copy = std::make_unique<Slot>();
+      copy->data = slot->data;
+      shards_[s].slots.emplace(block_no, std::move(copy));
+    }
   }
+}
+
+IoStats BlockStore::stats() const noexcept {
+  IoStats total;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    total.block_reads += shards_[s].reads.load(std::memory_order_relaxed);
+    total.block_writes += shards_[s].writes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void BlockStore::reset_stats() noexcept {
+  for (std::size_t s = 0; s < kShards; ++s) {
+    shards_[s].reads.store(0, std::memory_order_relaxed);
+    shards_[s].writes.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t BlockStore::materialized_blocks() const {
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard lock(shards_[s].mu);
+    n += shards_[s].slots.size();
+  }
+  return n;
 }
 
 }  // namespace wafl

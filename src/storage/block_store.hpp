@@ -1,4 +1,5 @@
-// A 4 KiB-block store with I/O accounting.
+// A 4 KiB-block store with I/O accounting, safe for concurrent
+// disjoint-slot access.
 //
 // Metafiles (bitmap metafiles, the TopAA metafile) are persisted as arrays
 // of 4 KiB blocks.  BlockStore models that persistence layer: it stores
@@ -10,19 +11,41 @@
 // BlockStore is a correctness substrate, not a performance model: timing
 // is assigned by the simulation layer from the counters.
 //
+// Threading contract (the parallel CP tail and mount walk depend on it):
+//
+//  - Reads and writes of DISTINCT blocks may run concurrently from any
+//    number of threads.  The slot table is sharded (block_no mod kShards,
+//    each shard a mutex + map of pointer-stable slots) and the I/O
+//    counters are per-shard relaxed atomics, so disjoint-slot I/O shares
+//    no unsynchronized state.
+//  - Each block has AT MOST ONE writer at a time, and no reader while a
+//    writer is copying — the single-writer-per-slot contract.  The CP
+//    boundary satisfies it structurally: dirty metafile blocks are
+//    partitioned so no block is flushed twice, and TopAA slots are
+//    per-group.  A per-slot atomic writer flag asserts violations (a
+//    best-effort detector in release; TSan sees the payload race itself).
+//  - grow(), set_fault_injector(), reset_stats(), copy_contents_from()
+//    and move construction require the store to be quiescent (no
+//    concurrent I/O).
+//
 // Fault injection.  A FaultInjector can be attached to any store, giving
 // the crash-consistency harness (src/fault/, tests/support/) a way to
 // inject torn writes, dropped writes, read bit-rot and crash triggers on
 // the embedded stores that the Aggregate and FlexVols own by value — a
-// pure decorator could never see their I/O.  With no injector attached
+// pure decorator could never see their I/O.  With an injector attached,
+// writes additionally serialize on a per-store mutex for the whole
+// on_write → apply → after_write triple, so the two-phase crash protocol
+// never interleaves two writers on one store.  With no injector attached
 // (the default, and all production paths) the hot paths cost one pointer
-// compare.
+// compare and skip that mutex entirely.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 
@@ -32,7 +55,7 @@
 
 namespace wafl {
 
-/// Running I/O counters for one BlockStore.
+/// I/O counter snapshot for one BlockStore (see stats()).
 struct IoStats {
   std::uint64_t block_reads = 0;
   std::uint64_t block_writes = 0;
@@ -48,6 +71,10 @@ class BlockStore;
 /// *after* the media absorbed a torn or dropped write: after_write may
 /// throw (e.g. wafl::fault::CrashPoint), and by then the store already
 /// holds exactly the bytes a real power loss would have left behind.
+/// The store holds its fault mutex across the whole triple, so on any one
+/// store the three calls of one write never interleave with another
+/// write's; an engine shared by several stores must pair the two phases
+/// itself (FaultEngine keys its pending crash by store and block).
 class FaultInjector {
  public:
   /// Disposition of one write, decided by on_write().
@@ -84,23 +111,29 @@ class BlockStore {
 
   /// Creates a store addressing `capacity_blocks` blocks.  No memory is
   /// consumed until blocks are written.
-  explicit BlockStore(std::uint64_t capacity_blocks)
-      : capacity_(capacity_blocks) {}
+  explicit BlockStore(std::uint64_t capacity_blocks);
+
+  /// Quiescent-only, like every structural operation (see file comment).
+  BlockStore(BlockStore&&) = default;
+  BlockStore& operator=(BlockStore&&) = default;
 
   std::uint64_t capacity_blocks() const noexcept { return capacity_; }
 
   /// Raises the addressable capacity (storage growth); existing contents
-  /// are untouched.
+  /// are untouched.  Requires quiescence.
   void grow(std::uint64_t new_capacity_blocks) {
     WAFL_ASSERT(new_capacity_blocks >= capacity_);
     capacity_ = new_capacity_blocks;
   }
 
-  /// Writes one block.  `data` must be exactly kBlockSize bytes.
+  /// Writes one block.  `data` must be exactly kBlockSize bytes.  Safe
+  /// concurrently with I/O on other blocks; asserts a second concurrent
+  /// writer (or reader) of the same block.
   void write(std::uint64_t block_no, std::span<const std::byte> data);
 
   /// Reads one block into `out` (exactly kBlockSize bytes).  A block that
-  /// has never been written reads as zeroes, like a sparse file.
+  /// has never been written reads as zeroes, like a sparse file.  Safe
+  /// concurrently with I/O on other blocks.
   void read(std::uint64_t block_no, std::span<std::byte> out);
 
   /// Reads one block without touching the I/O counters or the fault
@@ -108,9 +141,7 @@ class BlockStore {
   void peek(std::uint64_t block_no, std::span<std::byte> out) const;
 
   /// True if the block has been written at least once.
-  bool is_materialized(std::uint64_t block_no) const noexcept {
-    return blocks_.contains(block_no);
-  }
+  bool is_materialized(std::uint64_t block_no) const;
 
   /// Deliberately corrupts a stored block by flipping one bit — failure
   /// injection for checksum/fallback paths (TopAA repair, §3.4).
@@ -119,26 +150,68 @@ class BlockStore {
   /// Replaces this store's contents with a copy of `other`'s materialized
   /// blocks — crash-recovery reconstruction: a fresh aggregate is built
   /// over the bytes that survived on the failed instance's media.  The
-  /// capacities must match; I/O counters are not copied.
+  /// capacities must match; I/O counters are not copied.  Requires both
+  /// stores quiescent.
   void copy_contents_from(const BlockStore& other);
 
   /// Attaches (or, with nullptr, detaches) a fault injector.  The caller
-  /// keeps ownership and must detach before the injector dies.
+  /// keeps ownership and must detach before the injector dies.  Requires
+  /// quiescence.
   void set_fault_injector(FaultInjector* injector) noexcept {
     injector_ = injector;
   }
   FaultInjector* fault_injector() const noexcept { return injector_; }
 
-  const IoStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = IoStats{}; }
+  /// Counter snapshot (by value: the live counters are sharded atomics).
+  /// Exact whenever no I/O is in flight; concurrent calls see some
+  /// consistent interleaving.
+  IoStats stats() const noexcept;
+  /// Zeroes the counters.  Requires quiescence.
+  void reset_stats() noexcept;
 
   /// Number of materialized (written-at-least-once) blocks.
-  std::size_t materialized_blocks() const noexcept { return blocks_.size(); }
+  std::size_t materialized_blocks() const;
 
  private:
+  /// One stored block plus its concurrent-writer detector.  Slots are
+  /// heap-allocated and never move once created, so payload copies can
+  /// run outside the shard lock.
+  struct Slot {
+    std::atomic<std::uint32_t> writer{0};
+    Block data{};  // zero = the sparse-file "never written" contents
+  };
+
+  /// Slot shards: block_no mod kShards.  Adjacent metafile blocks land in
+  /// different shards, so a partitioned flush never convoys on one lock.
+  /// Counters live with the shard to keep disjoint-slot I/O off shared
+  /// cache lines.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Slot>> slots;
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> writes{0};
+  };
+  static constexpr std::size_t kShards = 64;
+
+  Shard& shard_of(std::uint64_t block_no) const noexcept {
+    return shards_[block_no % kShards];
+  }
+  /// Finds the block's slot, creating it (zeroed) if absent.
+  Slot& materialize_slot(std::uint64_t block_no);
+  /// Finds the block's slot, or nullptr if never written.
+  Slot* find_slot(std::uint64_t block_no) const;
+  /// Copies `persist_bytes` of `data` into the slot under the
+  /// single-writer flag; the tail keeps the old contents.
+  void apply_write(std::uint64_t block_no, std::span<const std::byte> data,
+                   std::size_t persist_bytes);
+  void write_with_injector(std::uint64_t block_no,
+                           std::span<const std::byte> data);
+
   std::uint64_t capacity_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Block>> blocks_;
-  IoStats stats_;
+  std::unique_ptr<Shard[]> shards_;
+  /// Serializes the two-phase injector protocol per store; untouched on
+  /// the injector-free hot path.
+  std::unique_ptr<std::mutex> fault_mu_;
   FaultInjector* injector_ = nullptr;
 };
 

@@ -96,9 +96,17 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 void ThreadPool::parallel_for_dynamic(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t)>& fn) {
+  parallel_for_dynamic(begin, end, 1, fn);
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t)>& fn) {
+  WAFL_ASSERT(chunk > 0);
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t parts = std::min(n, workers_.size() + 1);
+  const std::size_t nchunks = (n + chunk - 1) / chunk;
+  const std::size_t parts = std::min(nchunks, workers_.size() + 1);
 
   std::atomic<std::size_t> next{begin};
   std::atomic<std::size_t> remaining{parts};
@@ -111,9 +119,14 @@ void ThreadPool::parallel_for_dynamic(
     try {
       for (;;) {
         if (abort.load(std::memory_order_relaxed)) break;
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= end) break;
-        fn(i);
+        const std::size_t lo =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= end) break;
+        const std::size_t hi = std::min(end, lo + chunk);
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (abort.load(std::memory_order_relaxed)) break;
+          fn(i);
+        }
       }
     } catch (...) {
       {

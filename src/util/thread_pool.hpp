@@ -46,9 +46,11 @@ class ThreadPool {
   /// If fn throws, remaining iterations are abandoned (best effort — ones
   /// already running finish) and the first exception is rethrown on the
   /// calling thread once every part has stopped.  This is what lets a
-  /// crash point fired inside the parallel CP-boundary phase unwind like
-  /// a crash instead of terminating the process; persisted state stays
-  /// deterministic because that phase never writes to a store.
+  /// crash point fired inside a parallel CP phase unwind like a crash
+  /// instead of terminating the process; phases that do write to a store
+  /// (the metafile flush, the TopAA commits) keep persisted state sound
+  /// because every store block has exactly one writer and the crash
+  /// harness invariants are interleaving-agnostic (DESIGN.md §9-§10).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
@@ -60,6 +62,16 @@ class ThreadPool {
   /// chunking for fine uniform loops.  The calling thread participates.
   /// Exceptions propagate as in parallel_for.
   void parallel_for_dynamic(std::size_t begin, std::size_t end,
+                            const std::function<void(std::size_t)>& fn);
+
+  /// Dynamically scheduled with run-of-`chunk` pulls: each grab of the
+  /// shared counter claims [i, i+chunk) indices.  The middle ground for
+  /// loops that are fine-grained but mildly uneven (per-metafile-block
+  /// flush and mount-walk work): one atomic per chunk instead of per
+  /// index, while tail imbalance stays bounded by chunk-1 iterations.
+  /// Exceptions propagate as in parallel_for.
+  void parallel_for_dynamic(std::size_t begin, std::size_t end,
+                            std::size_t chunk,
                             const std::function<void(std::size_t)>& fn);
 
   std::size_t thread_count() const noexcept { return workers_.size(); }

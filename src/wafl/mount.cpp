@@ -23,6 +23,24 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(dt).count();
 }
 
+// Volumes own disjoint state and stores, so per-volume mount work fans
+// out; the concurrent-safe BlockStore keeps each volume's store walk
+// sound next to the others.  Serial with no pool (or one volume), which
+// is also the replay-exact path for the named mount crash hooks.
+void for_each_volume(Aggregate& agg, ThreadPool* pool,
+                     const std::function<void(VolumeId)>& fn) {
+  const std::size_t n = agg.volume_count();
+  if (pool != nullptr && n > 1) {
+    pool->parallel_for_dynamic(0, n, [&](std::size_t v) {
+      fn(static_cast<VolumeId>(v));
+    });
+  } else {
+    for (VolumeId v = 0; v < n; ++v) {
+      fn(v);
+    }
+  }
+}
+
 }  // namespace
 
 MountReport mount_all(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
@@ -44,9 +62,8 @@ MountReport mount_all(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
   } else {
     WAFL_CRASH_POINT("mount.before_scan");
     agg.scan_rebuild(pool);
-    for (VolumeId v = 0; v < agg.volume_count(); ++v) {
-      agg.volume(v).scan_rebuild();
-    }
+    for_each_volume(agg, pool,
+                    [&](VolumeId v) { agg.volume(v).scan_rebuild(); });
   }
 
   report.gate_cpu_seconds = seconds_since(t0);
@@ -68,9 +85,8 @@ MountReport mount_all(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
 std::uint64_t complete_background(Aggregate& agg, ThreadPool* pool) {
   const std::uint64_t reads0 = total_reads(agg);
   agg.scan_rebuild(pool);
-  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
-    agg.volume(v).scan_rebuild();
-  }
+  for_each_volume(agg, pool,
+                  [&](VolumeId v) { agg.volume(v).scan_rebuild(); });
   return total_reads(agg) - reads0;
 }
 
@@ -80,9 +96,8 @@ MountReport recover_mount(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
   // all-free until loaded, and every recovery decision — TopAA fallback
   // scans, Iron recomputation, the next CP's allocations — reads them.
   agg.load_activemap(pool);
-  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
-    agg.volume(v).rebuild_scoreboard();
-  }
+  for_each_volume(agg, pool,
+                  [&](VolumeId v) { agg.volume(v).rebuild_scoreboard(); });
   return mount_all(agg, use_topaa, pool);
 }
 

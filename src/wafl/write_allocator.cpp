@@ -1,6 +1,7 @@
 #include "wafl/write_allocator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "core/aa_sizing.hpp"
@@ -297,15 +298,18 @@ void RgAllocator::flush_window(CpStats& stats) {
   window_writes_.clear();
 }
 
-void RgAllocator::cp_boundary(std::span<const Vbn> frees) {
+BitmapMetafile::FreeDelta RgAllocator::cp_boundary(
+    std::span<const Vbn> frees) {
   // Apply this group's share of the CP's deferred frees: clear the bits
-  // (this group's bitmap words are disjoint from every other group's; the
-  // shared free-count summary and dirty set are settled serially by the
-  // caller via account_frees) and tell translation-layer media (TRIM).
+  // word-batched (this group's bitmap words are disjoint from every other
+  // group's; the shared free-count summary and dirty set are settled
+  // serially by the caller via apply_free_deltas) and tell
+  // translation-layer media (TRIM) in deferral order, as the per-bit
+  // path did.
   BitmapMetafile& map = activemap_.metafile();
   const RaidGeometry& geom = raid_.geometry();
+  BitmapMetafile::FreeDelta delta = map.clear_frees_batched(frees);
   for (const Vbn v : frees) {
-    map.clear_unaccounted(v);
     const BlockLocation loc = geom.to_location(v - base_);
     data_devices_[loc.device]->invalidate(loc.dbn);
   }
@@ -363,14 +367,15 @@ void RgAllocator::cp_boundary(std::span<const Vbn> frees) {
     topaa_staged_ = true;
   }
   WAFL_CRASH_POINT("rg.after_topaa_encode");
+  return delta;
 }
 
-void RgAllocator::commit_topaa(CpStats& stats) {
-  if (!topaa_staged_) return;
+std::uint64_t RgAllocator::commit_topaa() {
+  if (!topaa_staged_) return 0;
   TopAaFile topaa(topaa_store_, topaa_base_);
   topaa.commit(staged_topaa_);
-  stats.meta_flush_blocks += staged_topaa_.nblocks;
   topaa_staged_ = false;
+  return staged_topaa_.nblocks;
 }
 
 SimTime RgAllocator::slowest_device_busy() const {
@@ -528,57 +533,154 @@ bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
   return true;
 }
 
+CpPhaseProfile& cp_phase_profile() {
+  static CpPhaseProfile profile;
+  return profile;
+}
+
 void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
-  // Serial prologue.  Flush any windows the CP left open (the next CP
-  // reopens them and pays the partial-stripe cost of the blocks written
-  // now), then partition the deferred frees by owning group — in deferral
-  // order, BEFORE any fan-out, so each group's input is identical whatever
-  // the worker count.
+  CpPhaseProfile& prof = cp_phase_profile();
+  auto mark = std::chrono::steady_clock::now();
+  auto lap = [&mark](double& bucket) {
+    const auto now = std::chrono::steady_clock::now();
+    bucket += std::chrono::duration<double, std::milli>(now - mark).count();
+    mark = now;
+  };
+  const bool fan_out = pool != nullptr && groups_.size() > 1;
+
+  // Serial: flush any windows the CP left open (the next CP reopens them
+  // and pays the partial-stripe cost of the blocks written now), then
+  // collect the deferred frees.
   for (const auto& rg : groups_) {
     rg->flush_window(stats);
   }
   const std::span<const Vbn> frees = activemap_.take_deferred_frees();
-  std::vector<std::vector<Vbn>> frees_by_group(groups_.size());
-  for (const Vbn v : frees) {
-    frees_by_group[group_of_pvbn(v)].push_back(v);
-  }
   stats.blocks_freed += frees.size();
+  lap(prof.windows_ms);
+
+  // Owner lookup (parallel): owner[k] is a pure function of frees[k]
+  // alone, so the pass fans out over the free list without affecting the
+  // partition it feeds.  The linear scan over group ends is fine — group
+  // counts are small; the per-free cost is the cache misses, not the scan.
+  std::vector<std::uint32_t> owner(frees.size());
+  std::vector<Vbn> ends(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    ends[g] = groups_[g]->end();
+  }
+  auto owner_of = [&](std::size_t k) {
+    const Vbn v = frees[k];
+    for (std::size_t g = 0; g < ends.size(); ++g) {
+      if (v < ends[g]) {
+        owner[k] = static_cast<std::uint32_t>(g);
+        return;
+      }
+    }
+    WAFL_ASSERT_MSG(false, "freed pvbn beyond all RAID groups");
+  };
+  constexpr std::size_t kOwnerChunk = 8192;
+  if (fan_out && frees.size() >= 2 * kOwnerChunk) {
+    pool->parallel_for_dynamic(0, frees.size(), kOwnerChunk, owner_of);
+  } else {
+    for (std::size_t k = 0; k < frees.size(); ++k) {
+      owner_of(k);
+    }
+  }
+  lap(prof.owner_ms);
+
+  // Partition (serial): counting scatter into one flat buffer.  Each
+  // group's run preserves deferral order, so cp_boundary sees exactly the
+  // batch the serial path would hand it whatever the worker count.
+  std::vector<std::size_t> count(groups_.size(), 0);
+  for (const std::uint32_t g : owner) {
+    ++count[g];
+  }
+  std::vector<std::size_t> offset(groups_.size(), 0);
+  std::size_t acc = 0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    offset[g] = acc;
+    acc += count[g];
+  }
+  std::vector<Vbn> parted(frees.size());
+  std::vector<std::size_t> cursor = offset;
+  for (std::size_t k = 0; k < frees.size(); ++k) {
+    parted[cursor[owner[k]]++] = frees[k];
+  }
+  lap(prof.partition_ms);
   WAFL_CRASH_POINT("wa.before_boundary");
 
-  // Parallel phase: each group's boundary work touches only that group's
-  // state (see the file comment's disjointness argument).  Dynamic
-  // scheduling: per-group cost tracks its free batch and AA churn, which
-  // can be very uneven across groups.
+  // Phase A (parallel): each group's boundary work touches only that
+  // group's state plus its own disjoint bitmap words (see the file
+  // comment's disjointness argument).  Dynamic scheduling: per-group cost
+  // tracks its free batch and AA churn, which can be very uneven.
+  std::vector<BitmapMetafile::FreeDelta> deltas(groups_.size());
   auto boundary_one = [&](std::size_t i) {
-    groups_[i]->cp_boundary(frees_by_group[i]);
+    deltas[i] = groups_[i]->cp_boundary(
+        std::span<const Vbn>(parted.data() + offset[i], count[i]));
   };
-  if (pool != nullptr && groups_.size() > 1) {
+  if (fan_out) {
     pool->parallel_for_dynamic(0, groups_.size(), boundary_one);
   } else {
     for (std::size_t i = 0; i < groups_.size(); ++i) {
       boundary_one(i);
     }
   }
+  lap(prof.boundary_ms);
   WAFL_CRASH_POINT("wa.after_boundary");
 
-  // Serial epilogue, in fixed group order: settle the shared free-count
-  // summary and dirty set, flush the metafile, commit the staged TopAA
-  // images (one BlockStore, not thread-safe), and fold stats.
-  for (const auto& group_frees : frees_by_group) {
-    activemap_.metafile().account_frees(group_frees);
+  // Serial merge, in fixed group order: the free-count summary and dirty
+  // set are shared (metafile blocks can straddle group boundaries).
+  BitmapMetafile& map = activemap_.metafile();
+  for (const auto& delta : deltas) {
+    map.apply_free_deltas(delta);
   }
-  stats.agg_meta_blocks += activemap_.metafile().dirty_blocks();
+  stats.agg_meta_blocks += map.dirty_blocks();
   // The persistence steps below are the crash window the recovery story
   // is about: a crash in the gap between any two of them leaves bitmaps
   // and TopAA at different CPs, and mount + Iron must reconcile them.
+  lap(prof.merge_ms);
   WAFL_CRASH_POINT("wa.before_bitmap_flush");
-  stats.meta_flush_blocks += activemap_.metafile().flush();
+
+  // Phase B1 (parallel): flush the dirty metafile blocks.  The dirty list
+  // is partitioned, so each store block has exactly one writer; chunked
+  // dynamic scheduling amortizes the shared counter over the fine,
+  // near-uniform per-block work.  On an exception (a crash point or an
+  // injected crash mid-flush) begin_cp() is skipped, leaving the dirty
+  // set intact — same as a serial crash partway down the list.
+  const std::span<const std::uint64_t> dirty = map.dirty_list();
+  auto flush_one = [&](std::size_t k) {
+    WAFL_CRASH_POINT("wa.in_bitmap_flush");
+    map.flush_block(dirty[k]);
+  };
+  if (fan_out && dirty.size() > 1) {
+    pool->parallel_for_dynamic(0, dirty.size(), /*chunk=*/8, flush_one);
+  } else {
+    for (std::size_t k = 0; k < dirty.size(); ++k) {
+      flush_one(k);
+    }
+  }
+  stats.meta_flush_blocks += dirty.size();
+  map.begin_cp();
+  lap(prof.flush_ms);
   WAFL_CRASH_POINT("wa.after_bitmap_flush");
 
-  for (const auto& rg : groups_) {
+  // Phase B2 (parallel): commit the staged TopAA images — per-group slots
+  // never share a store block.  The block counts fold serially below.
+  std::vector<std::uint64_t> topaa_blocks(groups_.size(), 0);
+  auto commit_one = [&](std::size_t i) {
     WAFL_CRASH_POINT("wa.before_topaa_commit");
-    rg->commit_topaa(stats);
+    topaa_blocks[i] = groups_[i]->commit_topaa();
+  };
+  if (fan_out) {
+    pool->parallel_for_dynamic(0, groups_.size(), commit_one);
+  } else {
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+      commit_one(i);
+    }
   }
+  for (const std::uint64_t n : topaa_blocks) {
+    stats.meta_flush_blocks += n;
+  }
+  lap(prof.topaa_ms);
   WAFL_CRASH_POINT("wa.after_topaa_commits");
 
   // Devices operate in parallel; the CP's storage time is the slowest one.
@@ -593,6 +695,7 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   for (const auto& rg : groups_) {
     rg->fold_device_metrics();
   }
+  lap(prof.fold_ms);
 }
 
 std::size_t WriteAllocator::mount_from_topaa() {

@@ -17,27 +17,39 @@
 //    groups available in an aggregate"), §3.3.1's skip/resume
 //    fragmentation bias, and the CP boundary's phase structure.
 //
-// CP-boundary parallelism.  Because groups are disjoint, the per-group
-// halves of finish_cp — applying the group's deferred frees, invalidating
-// translated media, folding score deltas into the cache, re-admitting
-// retired AAs, and building the TopAA block image — run concurrently
-// across groups on a ThreadPool.  Determinism is preserved by
-// construction, not by luck:
+// CP-boundary parallelism.  Because groups are disjoint, most of
+// finish_cp fans out across groups on a ThreadPool — not just the
+// in-memory boundary work (applying the group's deferred frees,
+// invalidating translated media, folding score deltas into the cache,
+// re-admitting retired AAs, staging the TopAA block image) but the
+// persistence tail too: the metafile flush fans out per dirty block and
+// the TopAA commits per group, which the concurrent-safe BlockStore
+// (single writer per slot, disjoint-slot I/O unlocked) makes sound.
+// Determinism is preserved by construction, not by luck:
 //
-//  1. demand is partitioned before the fan-out (frees are split by owning
-//     group in deferral order, serially);
-//  2. the parallel phase touches only group-disjoint state.  Bitmap bit
-//     clears are group-disjoint at word granularity too: device_blocks is
-//     a multiple of kTetrisStripes (64), so every group's VBN range spans
-//     whole 64-bit bitmap words;
-//  3. everything shared stays serial: the bitmap metafile's free-count
-//     summary and dirty set (metafile blocks can straddle group
-//     boundaries), the metafile flush, the TopAA store writes, and the
-//     CpStats folds — each in fixed group order.
+//  1. demand is partitioned before any fan-out (frees are split by owning
+//     group in deferral order; the owner-lookup pass itself fans out, but
+//     each owner[i] is a pure function of frees[i], so the partition is
+//     identical whatever the worker count);
+//  2. each parallel phase touches only disjoint state.  Phase A
+//     (cp_boundary) is group-disjoint; bitmap bit clears are
+//     group-disjoint at word granularity too, because device_blocks is a
+//     multiple of kTetrisStripes (64), so every group's VBN range spans
+//     whole 64-bit bitmap words.  Phase B1 (metafile flush) partitions
+//     the dirty list, so every metafile store block has exactly one
+//     writer; phase B2 (TopAA commits) writes per-group slots that never
+//     share a store block;
+//  3. everything genuinely shared stays serial, in fixed group order: the
+//     metafile's free-count summary and dirty set (metafile blocks can
+//     straddle group boundaries, so the FreeDelta merge is serial) and
+//     every CpStats fold.
 //
 // The result is bit-identical file-system state and CpStats for any worker
 // count, including none.  Only observability output (trace-event and
-// metric-update interleaving) is outside the contract.
+// metric-update interleaving) and the order store writes land within one
+// phase are outside the contract — which is also why write-count crash
+// triggers under workers>0 are interleaving-dependent; named crash hooks
+// at workers=0 replay exactly (DESIGN.md §9-§10).
 #pragma once
 
 #include <cstdint>
@@ -139,17 +151,22 @@ class RgAllocator {
   void note_free(Vbn v) { board_.note_free(v); }
 
   /// The group-disjoint half of the CP boundary; safe to run concurrently
-  /// with other groups' cp_boundary calls.  Applies this group's deferred
-  /// frees (bitmap bit clears + media invalidation; the shared free-count
-  /// summary is settled serially by the caller), folds score deltas into
-  /// the cache, re-admits retired AAs, and stages — but does not write —
-  /// the group's TopAA block image.
-  void cp_boundary(std::span<const Vbn> frees);
+  /// with other groups' cp_boundary calls.  Clears this group's deferred
+  /// frees word-batched (this group's bitmap words are disjoint from
+  /// every other group's), invalidates translated media in deferral
+  /// order, folds score deltas into the cache, re-admits retired AAs, and
+  /// stages — but does not write — the group's TopAA block image.
+  /// Returns the per-metafile-block freed counts; the caller folds them
+  /// into the shared free-count summary serially, in group order
+  /// (apply_free_deltas — metafile blocks can straddle group boundaries).
+  BitmapMetafile::FreeDelta cp_boundary(std::span<const Vbn> frees);
 
-  /// Serial companion to cp_boundary(): writes the staged TopAA image to
-  /// the group's slot (BlockStore is not thread-safe) and accounts the
-  /// flush.  No-op unless the cache policy staged an image.
-  void commit_topaa(CpStats& stats);
+  /// Companion to cp_boundary(): writes the staged TopAA image to the
+  /// group's slot and returns the number of blocks written (0 unless the
+  /// cache policy staged an image).  Groups write disjoint slots, so
+  /// commits run concurrently across groups; the caller folds the counts
+  /// into CpStats serially.
+  std::uint64_t commit_topaa();
 
   /// Slowest device's busy time this CP.
   SimTime slowest_device_busy() const;
@@ -232,6 +249,35 @@ class RgAllocator {
   Metrics metrics_{};
 };
 
+/// Wall-clock time finish_cp() spent in each of its phases, accumulated
+/// across calls until reset().  A diagnostic aid for benches and tools —
+/// the parallel-CP bench derives its serial-fraction and Amdahl-implied
+/// speedup numbers from it; the engine itself never reads it.  Written by
+/// the finish_cp caller thread only, so it is meaningful per-process for
+/// one aggregate running CPs at a time (which is every bench and test).
+struct CpPhaseProfile {
+  double windows_ms = 0.0;    // serial: flush open tetris windows
+  double owner_ms = 0.0;      // parallel: per-free owner lookup
+  double partition_ms = 0.0;  // serial: scatter frees into group runs
+  double boundary_ms = 0.0;   // parallel: per-group cp_boundary
+  double merge_ms = 0.0;      // serial: FreeDelta summary folds
+  double flush_ms = 0.0;      // parallel: metafile dirty-block flush
+  double topaa_ms = 0.0;      // parallel: per-group TopAA commits
+  double fold_ms = 0.0;       // serial: stats and metric folds
+
+  double serial_ms() const noexcept {
+    return windows_ms + partition_ms + merge_ms + fold_ms;
+  }
+  double parallel_ms() const noexcept {
+    return owner_ms + boundary_ms + flush_ms + topaa_ms;
+  }
+  double total_ms() const noexcept { return serial_ms() + parallel_ms(); }
+  void reset() noexcept { *this = CpPhaseProfile{}; }
+};
+
+/// Process-global phase profile (like obs::registry()).
+CpPhaseProfile& cp_phase_profile();
+
 /// The thin coordinator: demand partitioning across per-group engines.
 class WriteAllocator {
  public:
@@ -289,10 +335,12 @@ class WriteAllocator {
   void note_free(Vbn v) { groups_[group_of_pvbn(v)]->note_free(v); }
 
   /// The CP boundary.  Serial prologue (flush open windows, partition the
-  /// deferred frees by group), parallel per-group phase (cp_boundary on
-  /// `pool` when supplied), serial epilogue (free-count accounting,
-  /// metafile flush, TopAA commits, stats and metric folds).  Results are
-  /// bit-identical for any worker count.
+  /// deferred frees by group); parallel phase A (per-group cp_boundary);
+  /// serial merge (fold each group's FreeDelta into the shared summary,
+  /// in group order); parallel phase B1 (metafile flush, partitioned by
+  /// dirty block) and B2 (per-group TopAA commits); serial stats and
+  /// metric folds.  With `pool` null every phase runs strictly serially
+  /// in the same order.  Results are bit-identical for any worker count.
   void finish_cp(CpStats& stats, ThreadPool* pool);
 
   // --- Mount (§3.4) ----------------------------------------------------------

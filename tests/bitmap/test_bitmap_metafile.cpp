@@ -184,6 +184,122 @@ TEST(BitmapMetafile, SplitFreeMatchesSetFree) {
   }
 }
 
+TEST(BitmapMetafile, BatchedFreesMatchPerBitFuzz) {
+  // clear_frees_batched + apply_free_deltas must land bit-for-bit and
+  // count-for-count where the per-bit reference path (clear_unaccounted +
+  // account_frees) lands, for random allocation densities and an
+  // explicitly unsorted free order — the CP hands it deferral order.
+  Rng rng(20180813);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint64_t n = kBitsPerBitmapBlock + rng.below(kTwoBlocks);
+    BitmapMetafile batched(n);
+    BitmapMetafile per_bit(n);
+    std::vector<Vbn> victims;
+    for (Vbn v = 0; v < n; ++v) {
+      if (rng.chance(0.2)) {
+        batched.set_allocated(v);
+        per_bit.set_allocated(v);
+        if (rng.chance(0.5)) victims.push_back(v);
+      }
+    }
+    batched.flush();
+    per_bit.flush();
+    // Shuffle: deferral order is allocation-history order, not VBN order.
+    for (std::size_t i = victims.size(); i > 1; --i) {
+      std::swap(victims[i - 1], victims[rng.below(i)]);
+    }
+
+    const BitmapMetafile::FreeDelta d = batched.clear_frees_batched(victims);
+    // Bits cleared, nothing accounted yet.
+    EXPECT_EQ(batched.dirty_blocks(), 0u);
+    batched.apply_free_deltas(d);
+
+    for (const Vbn v : victims) per_bit.clear_unaccounted(v);
+    per_bit.account_frees(victims);
+
+    ASSERT_EQ(batched.total_free(), per_bit.total_free()) << "round " << round;
+    ASSERT_EQ(batched.dirty_blocks(), per_bit.dirty_blocks());
+    for (std::uint64_t b = 0; b < batched.metafile_blocks(); ++b) {
+      ASSERT_EQ(batched.block_free_count(b), per_bit.block_free_count(b))
+          << "round " << round << " block " << b;
+    }
+    for (Vbn v = 0; v < n; ++v) {
+      ASSERT_EQ(batched.test(v), per_bit.test(v)) << "bit " << v;
+    }
+    // Delta blocks come out ascending (the merge relies on it for
+    // deterministic dirty order).
+    for (std::size_t i = 1; i < d.per_block.size(); ++i) {
+      ASSERT_LT(d.per_block[i - 1].first, d.per_block[i].first);
+    }
+  }
+}
+
+TEST(BitmapMetafile, BatchedFreesEmptyAndSingle) {
+  BitmapMetafile mf(kTwoBlocks);
+  EXPECT_TRUE(mf.clear_frees_batched({}).per_block.empty());
+  mf.set_allocated(kBitsPerBitmapBlock + 3);
+  const std::vector<Vbn> one = {kBitsPerBitmapBlock + 3};
+  const BitmapMetafile::FreeDelta d = mf.clear_frees_batched(one);
+  ASSERT_EQ(d.per_block.size(), 1u);
+  EXPECT_EQ(d.per_block[0].first, 1u);
+  EXPECT_EQ(d.per_block[0].second, 1u);
+  mf.apply_free_deltas(d);
+  EXPECT_EQ(mf.total_free(), kTwoBlocks);
+}
+
+TEST(BitmapMetafile, FreeInRangeUnalignedMatchesBruteForce) {
+  // Interior whole blocks must come from the summary whatever the edge
+  // alignment; the brute-force popcount over the same range is the oracle.
+  Rng rng(99);
+  const std::uint64_t n = 3 * kBitsPerBitmapBlock + 777;
+  BitmapMetafile mf(n);
+  for (Vbn v = 0; v < n; ++v) {
+    if (rng.chance(0.3)) mf.set_allocated(v);
+  }
+  auto brute = [&](Vbn lo, Vbn hi) {
+    std::uint64_t c = 0;
+    for (Vbn v = lo; v < hi; ++v) c += mf.test(v) ? 0u : 1u;
+    return c;
+  };
+  const std::pair<Vbn, Vbn> ranges[] = {
+      {0, n},                                        // everything
+      {5, kBitsPerBitmapBlock - 3},                  // inside one block
+      {7, 2 * kBitsPerBitmapBlock + 11},             // both edges partial
+      {kBitsPerBitmapBlock, 3 * kBitsPerBitmapBlock},          // aligned
+      {kBitsPerBitmapBlock, 2 * kBitsPerBitmapBlock + 900},    // tail partial
+      {123, 3 * kBitsPerBitmapBlock},                // head partial
+      {n - 1, n},                                    // single trailing bit
+      {42, 42},                                      // empty
+  };
+  for (const auto& [lo, hi] : ranges) {
+    ASSERT_EQ(mf.free_in_range(lo, hi), brute(lo, hi))
+        << "range [" << lo << ", " << hi << ")";
+  }
+}
+
+TEST(BitmapMetafile, LoadAllMasksFinalBlockTail) {
+  // The last metafile block's on-media image covers more bits than the
+  // tracked space; load_all's word-level copy must not let that tail leak
+  // into the bit vector or the free counts.
+  BlockStore store(4);
+  const std::uint64_t n = kBitsPerBitmapBlock + 100;  // block 1 is partial
+  BitmapMetafile mf(n, &store, 0);
+  mf.set_allocated(kBitsPerBitmapBlock + 99);
+  mf.flush();
+  // Poison the unused tail of the last on-media block.
+  for (std::size_t bit = 100; bit < 200; ++bit) {
+    store.corrupt(1, bit);
+  }
+  BitmapMetafile reloaded(n, &store, 0);
+  reloaded.load_all();
+  EXPECT_EQ(reloaded.total_free(), n - 1);
+  EXPECT_EQ(reloaded.block_free_count(1), 99u);
+  EXPECT_TRUE(reloaded.test(kBitsPerBitmapBlock + 99));
+  // The poisoned bits are beyond size(); growth must hand them out clean.
+  reloaded.grow(n + 100);
+  EXPECT_EQ(reloaded.free_in_range(n, n + 100), 100u);
+}
+
 TEST(BitmapMetafileDeathTest, DoubleAllocationAsserts) {
   BitmapMetafile mf(100);
   mf.set_allocated(1);

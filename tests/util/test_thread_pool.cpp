@@ -118,6 +118,50 @@ TEST(ThreadPool, ParallelForDynamicUnevenWork) {
   EXPECT_GE(sum.load(), 200ull * 199 / 2);
 }
 
+TEST(ThreadPool, ParallelForDynamicChunkedCoversEveryIndexOnce) {
+  // The chunked variant amortizes the shared counter over `chunk` items;
+  // coverage must stay exactly-once for ranges that are not a multiple of
+  // the chunk size (the last chunk is partial).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10'037);  // prime, not a chunk multiple
+  pool.parallel_for_dynamic(0, hits.size(), /*chunk=*/64, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForDynamicChunkedEdgeShapes) {
+  ThreadPool pool(2);
+  // Empty, chunk larger than the range, and chunk == range.
+  pool.parallel_for_dynamic(9, 2, /*chunk=*/16, [](std::size_t) { FAIL(); });
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for_dynamic(0, 5, /*chunk=*/100,
+                            [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 10u);
+  sum.store(0);
+  pool.parallel_for_dynamic(0, 8, /*chunk=*/8,
+                            [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 28u);
+}
+
+TEST(ThreadPool, ParallelForDynamicChunkedRethrows) {
+  // An exception thrown mid-chunk abandons the remaining chunks.
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for_dynamic(0, 1000, /*chunk=*/32,
+                                         [](std::size_t i) {
+                                           if (i == 321) {
+                                             throw std::runtime_error("c");
+                                           }
+                                         }),
+               std::runtime_error);
+  std::atomic<int> after{0};
+  pool.parallel_for_dynamic(0, 64, /*chunk=*/7,
+                            [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 64);
+}
+
 TEST(ThreadPool, ParallelForDynamicWithSingleThreadPool) {
   ThreadPool pool(1);
   std::atomic<std::uint64_t> sum{0};

@@ -34,7 +34,10 @@ CrashCaseConfig base_config(std::uint64_t seed) {
 }
 
 /// The media of two harnesses must be byte-identical (worker-count
-/// determinism: the parallel CP boundary stages but never writes).
+/// determinism: the boundary phase stages but never writes, and the
+/// parallel flush/commit phases write deterministic bytes to
+/// deterministic blocks — only the write ORDER varies with workers, so a
+/// crash at a serial point leaves identical bytes at every worker count).
 void expect_same_media(CrashHarness& a, CrashHarness& b) {
   alignas(8) std::byte ba[kBlockSize];
   alignas(8) std::byte bb[kBlockSize];
@@ -181,6 +184,39 @@ TEST(CrashRecovery, CrashDuringRecoveryMount) {
   EXPECT_THROW(h.recover(/*use_topaa=*/true), fault::CrashPoint);
   fault::crash_hooks().disarm_all();
 
+  const CrashVerdict v = h.verify_recovery();
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, MidParallelBitmapFlush) {
+  // Crash INSIDE the parallel metafile flush: some dirty bitmap blocks
+  // reached the media, others did not, and with 2 workers which ones is
+  // an interleaving accident.  Recovery must converge from any such
+  // prefix — each flushed block is individually sound, and Iron
+  // reconciles the TopAA (never committed here) against whatever mix of
+  // old and new bitmap blocks survived.
+  CrashCaseConfig cfg = base_config(1414);
+  cfg.workers = 2;
+  cfg.crash_hook = "wa.in_bitmap_flush";
+  cfg.crash_hook_nth = 2;
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_EQ(v.crash_point, "wa.in_bitmap_flush");
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, MidFlushSerialReplayExact) {
+  // The same hook with workers=0 fires at a fixed serial position (after
+  // exactly one block flushed, dirty order) — the replay-exact anchor the
+  // parallel case's interleaving-agnostic invariants are measured against.
+  CrashCaseConfig cfg = base_config(1515);
+  cfg.object_store_pool = true;
+  cfg.crash_hook = "wa.in_bitmap_flush";
+  cfg.crash_hook_nth = 2;
+  CrashHarness h(cfg);
+  h.run_clean_cps();
+  ASSERT_EQ(h.run_crash_cp(), "wa.in_bitmap_flush");
   const CrashVerdict v = h.verify_recovery();
   EXPECT_TRUE(v.ok()) << v.message();
 }

@@ -46,6 +46,11 @@ constexpr HookChoice kHooks[] = {
     {"wa.before_boundary", 1, 1},
     {"wa.after_boundary", 1, 1},
     {"wa.before_bitmap_flush", 1, 1},
+    // Fires per dirty aggregate-metafile block inside the (possibly
+    // parallel) flush.  The heap-only aggregate has 3 metafile blocks and
+    // the pool config 5; every sweep CP dirties at least the bound below
+    // (allocations and frees land in both heap groups each CP).
+    {"wa.in_bitmap_flush", 2, 3},
     {"wa.after_bitmap_flush", 1, 1},
     {"wa.before_topaa_commit", 2, 3},
     {"wa.after_topaa_commits", 1, 1},

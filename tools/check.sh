@@ -17,6 +17,13 @@
 #                                release tree AND under ASan+UBSan.  A
 #                                failing sweep case prints its repro line:
 #                                WAFL_CRASH_SEED=<seed> ./waflfree_crash_tests
+#   tools/check.sh --perf        also run the parallel-CP and TopAA-mount
+#                                benches (fast mode), refresh the repo-root
+#                                BENCH_*.json trajectory files, and fail if
+#                                the run regresses the committed baseline
+#                                (parallel fraction, Amdahl-implied speedup,
+#                                mount scan/TopAA ratio; measured wall-clock
+#                                speedup is gated only on >= 4-core hosts)
 #
 # Build trees: build/ (default), build-obs-off/, build-asan/, build-tsan/.
 set -euo pipefail
@@ -26,12 +33,14 @@ SANITIZE=0
 TSAN=0
 OVERHEAD=0
 CRASH=0
+PERF=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
     --tsan) TSAN=1 ;;
     --overhead) OVERHEAD=1 ;;
     --crash) CRASH=1 ;;
+    --perf) PERF=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -65,7 +74,7 @@ if [[ $TSAN -eq 1 ]]; then
   # determinism contract, the engine itself, the pool primitives, and the
   # parallel scans (mount, scoreboard build, metafile load).
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'ParallelCp|CpDeterminism|WriteAllocatorEngine|ThreadPool|Mount|Scoreboard|BitmapMetafile' |
+    -R 'ParallelCp|CpDeterminism|WriteAllocatorEngine|ThreadPool|Mount|Scoreboard|BitmapMetafile|BlockStoreConcurrent' |
     tail -3
 fi
 
@@ -106,6 +115,45 @@ if [[ $OVERHEAD -eq 1 ]]; then
   echo "delta   : ${delta}% (positive = ON slower; acceptance < 2%)"
   awk -v d="$delta" 'BEGIN { exit (d < 2.0) ? 0 : 1 }' ||
     { echo "FAIL: obs overhead >= 2%"; exit 1; }
+fi
+
+if [[ $PERF -eq 1 ]]; then
+  echo "=== perf trajectory (fast-mode benches) ==="
+  # Both benches rewrite the repo-root BENCH_*.json files; the gates below
+  # compare the fresh run against the committed baseline.  The scaling
+  # gates are core-count-independent (phase split and Amdahl-implied
+  # speedup, not wall clock) so they hold on 1-core CI; the measured
+  # wall-clock speedup is additionally gated on hosts with >= 4 cores.
+  WAFL_BENCH_FAST=1 WAFL_BENCH_JSON_DIR="$PWD" \
+    ./build/bench/micro_parallel_cp >/dev/null
+  WAFL_BENCH_FAST=1 WAFL_BENCH_JSON_DIR="$PWD" \
+    ./build/bench/fig10_topaa_mount >/dev/null
+
+  gate() {  # gate <label> <value> <floor>
+    echo "  $1 = $2 (floor $3)"
+    awk -v v="$2" -v f="$3" 'BEGIN { exit (v >= f) ? 0 : 1 }' ||
+      { echo "FAIL: $1 below baseline floor $3"; exit 1; }
+  }
+
+  pf=$(jq -r '.parallel_fraction' BENCH_parallel_cp.json)
+  a4=$(jq -r '.amdahl_speedup_w4' BENCH_parallel_cp.json)
+  hw=$(jq -r '.hw_threads' BENCH_parallel_cp.json)
+  ident=$(jq -r '.identical_all_worker_counts' BENCH_parallel_cp.json)
+  gate "parallel_fraction" "$pf" 0.60
+  gate "amdahl_speedup_w4" "$a4" 1.50
+  [[ "$ident" == "true" ]] ||
+    { echo "FAIL: parallel CP diverged from serial"; exit 1; }
+  if [[ "$hw" -ge 4 ]]; then
+    m4=$(jq -r '.measured_speedup_w4' BENCH_parallel_cp.json)
+    gate "measured_speedup_w4" "$m4" 1.50
+  else
+    echo "  measured_speedup_w4 gate skipped ($hw hw threads < 4)"
+  fi
+
+  r_size=$(jq -r '.largest_vol_size.scan_over_topaa' BENCH_mount.json)
+  r_count=$(jq -r '.largest_vol_count.scan_over_topaa' BENCH_mount.json)
+  gate "mount scan/topaa (largest vol size)" "$r_size" 1.50
+  gate "mount scan/topaa (largest vol count)" "$r_count" 1.50
 fi
 
 echo "=== all checks passed ==="
