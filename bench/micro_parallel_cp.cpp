@@ -1,16 +1,19 @@
-// Scaling of the parallelized physical CP boundary.
+// Scaling of the parallelized physical CP: allocation plus boundary.
 //
-// WriteAllocator::finish_cp partitions the CP's deferred frees per RAID
-// group serially, fans the group-disjoint half of the boundary (free
-// application + device invalidation, score-delta folds, cache re-admits,
-// TopAA image builds) across a thread pool, and keeps the shared half
-// (bitmap-metafile accounting and flush, TopAA commits, stats folds)
-// serial.  This bench measures finish-CP wall time over a many-group
-// aggregate at worker counts {serial, 1, 2, 4, 8}: the parallel runs must
-// stay bit-identical (checked against the serial run's CpStats) while the
-// boundary time drops with workers until the serial tail dominates
-// (Amdahl).  The headline `finish_cp_ms[w=N]=` lines are
-// machine-parseable.
+// Both halves of the CP's physical work now fan out.  Allocation
+// (WriteAllocator::allocate) runs a serial plan that partitions demand
+// across RAID groups, executes the group-disjoint tetris fills on the
+// pool, and merges the staged deltas serially.  The boundary
+// (WriteAllocator::finish_cp) partitions the CP's deferred frees per group
+// serially, fans the group-disjoint half out (free application + device
+// invalidation, score-delta folds, cache re-admits, TopAA image builds),
+// and keeps the shared half (bitmap-metafile accounting and flush, TopAA
+// commits, stats folds) serial.  This bench measures both slices' wall
+// time over a many-group aggregate at worker counts {serial, 1, 2, 4, 8}:
+// the parallel runs must stay bit-identical (checked against the serial
+// run's CpStats) while the time drops with workers until the serial tail
+// dominates (Amdahl).  The headline `finish_cp_ms[w=N]=` and
+// `alloc_ms[w=N]=` lines are machine-parseable.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -39,7 +42,11 @@ struct Shape {
 
 Shape shape() {
   if (bench::fast_mode()) {
-    return {4, 32 * 1024, 4, 10'000, 8'000, 3};
+    // CPs sized so the per-CP group-disjoint work (execute + boundary)
+    // dwarfs the fixed serial costs (plan, window flush, stats folds):
+    // the phase split then reflects the design's Amdahl tail, not
+    // fast-mode constant overheads.
+    return {4, 32 * 1024, 4, 16'000, 24'000, 3};
   }
   return {8, 128 * 1024, 8, 60'000, 100'000, 6};
 }
@@ -89,14 +96,16 @@ std::vector<DirtyBlock> batch(const Shape& s, Rng& rng) {
 
 struct RunResult {
   double boundary_ms = 0.0;  // finish_cp wall time, summed over the CPs
+  double alloc_ms = 0.0;     // allocate_pvbns wall time, summed
   CpPhaseProfile phases;     // per-phase split over the timed CPs
   CpStats totals;
 };
 
 /// Runs the workload with `workers` pool threads (0 = fully serial CP),
-/// timing only the aggregate finish-CP slice of each CP.  The volume phase
-/// runs serially in every configuration so the measured delta is the
-/// boundary's own scaling, not [10]-style per-volume sharding.
+/// timing the physical-allocation and aggregate finish-CP slices of each
+/// CP separately.  The volume phase runs serially in every configuration
+/// so the measured deltas are the aggregate side's own scaling, not
+/// [10]-style per-volume sharding.
 RunResult run(const Shape& s, std::size_t workers) {
   auto agg = make_agg(s);
   std::unique_ptr<ThreadPool> pool;
@@ -138,7 +147,13 @@ RunResult run(const Shape& s, std::size_t workers) {
       for (std::size_t i = at; i < end; ++i) {
         vvbns.push_back(fv.allocate_vvbn(stats));
       }
-      const bool ok = agg->allocate_pvbns(end - at, pvbns, stats);
+      const auto a0 = std::chrono::steady_clock::now();
+      const bool ok = agg->allocate_pvbns(end - at, pvbns, stats, pool.get());
+      if (cp >= 0) {
+        r.alloc_ms += std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - a0)
+                          .count();
+      }
       if (!ok) {
         std::fprintf(stderr, "aggregate out of space\n");
         std::exit(1);
@@ -180,7 +195,7 @@ int main() {
   using namespace wafl;
   const auto s = shape();
   bench::print_title("micro_parallel_cp",
-                     "finish-CP boundary wall time vs worker count");
+                     "CP allocation + boundary wall time vs worker count");
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf(
       "shape: %zu RAID groups x (4+1) x %llu blocks, %zu vols, "
@@ -189,8 +204,9 @@ int main() {
       s.vols, static_cast<unsigned long long>(s.writes_per_cp), s.cps,
       bench::fast_mode() ? " (fast mode)" : "", hw);
   bench::print_expectation(
-      "boundary time falls with workers while every run stays "
-      "bit-identical; the serial partition/merge tail bounds the speedup");
+      "allocation and boundary time fall with workers while every run "
+      "stays bit-identical; the serial plan/partition/merge tail bounds "
+      "the speedup");
 
   const RunResult serial = run(s, 0);
   // The serial run's phase split is the Amdahl decomposition: the phases
@@ -210,30 +226,44 @@ int main() {
               static_cast<unsigned long long>(
                   serial.totals.meta_flush_blocks));
   std::printf(
-      "phase_split: windows=%.2f owner=%.2f partition=%.2f boundary=%.2f "
-      "merge=%.2f flush=%.2f topaa=%.2f fold=%.2f\n",
-      serial.phases.windows_ms, serial.phases.owner_ms,
-      serial.phases.partition_ms, serial.phases.boundary_ms,
-      serial.phases.merge_ms, serial.phases.flush_ms, serial.phases.topaa_ms,
-      serial.phases.fold_ms);
+      "phase_split: plan=%.2f execute=%.2f alloc_merge=%.2f windows=%.2f "
+      "owner=%.2f partition=%.2f boundary=%.2f merge=%.2f flush=%.2f "
+      "topaa=%.2f fold=%.2f\n",
+      serial.phases.plan_ms, serial.phases.execute_ms,
+      serial.phases.alloc_merge_ms, serial.phases.windows_ms,
+      serial.phases.owner_ms, serial.phases.partition_ms,
+      serial.phases.boundary_ms, serial.phases.merge_ms,
+      serial.phases.flush_ms, serial.phases.topaa_ms, serial.phases.fold_ms);
+  // The allocation slice's own Amdahl split: the execute phase fans out,
+  // the plan and the delta/stats merge cannot.
+  const double alloc_total = serial.phases.plan_ms + serial.phases.execute_ms +
+                             serial.phases.alloc_merge_ms;
+  const double alloc_par_frac =
+      alloc_total > 0.0 ? serial.phases.execute_ms / alloc_total : 0.0;
+  std::printf("alloc_ms[w=serial]=%.2f  alloc_parallel_fraction=%.3f\n",
+              serial.alloc_ms, alloc_par_frac);
   std::printf("parallel_fraction=%.3f  amdahl_speedup[w=4]=%.2fx\n",
               par_frac, amdahl4);
 
   double wall_ms[5] = {serial.boundary_ms, 0, 0, 0, 0};
+  double alloc_wall_ms[5] = {serial.alloc_ms, 0, 0, 0, 0};
   const std::size_t worker_counts[4] = {1, 2, 4, 8};
   for (std::size_t wi = 0; wi < 4; ++wi) {
     const std::size_t workers = worker_counts[wi];
     const RunResult r = run(s, workers);
     wall_ms[wi + 1] = r.boundary_ms;
+    alloc_wall_ms[wi + 1] = r.alloc_ms;
     const bool identical =
         r.totals.blocks_written == serial.totals.blocks_written &&
         r.totals.blocks_freed == serial.totals.blocks_freed &&
         r.totals.agg_meta_blocks == serial.totals.agg_meta_blocks &&
         r.totals.meta_flush_blocks == serial.totals.meta_flush_blocks &&
         r.totals.storage_time_ns == serial.totals.storage_time_ns;
-    std::printf("finish_cp_ms[w=%zu]=%.2f  speedup=%.2fx  identical=%s\n",
-                workers, r.boundary_ms, serial.boundary_ms / r.boundary_ms,
-                identical ? "yes" : "NO");
+    std::printf(
+        "finish_cp_ms[w=%zu]=%.2f  speedup=%.2fx  alloc_ms[w=%zu]=%.2f  "
+        "identical=%s\n",
+        workers, r.boundary_ms, serial.boundary_ms / r.boundary_ms, workers,
+        r.alloc_ms, identical ? "yes" : "NO");
     if (!identical) {
       std::fprintf(stderr,
                    "determinism violation at %zu workers — parallel CP "
@@ -260,12 +290,22 @@ int main() {
                  "  \"measured_speedup_w4\": %.3f,\n"
                  "  \"wall_ms\": {\"serial\": %.3f, \"w1\": %.3f, "
                  "\"w2\": %.3f, \"w4\": %.3f, \"w8\": %.3f},\n"
+                 "  \"alloc_plan_ms\": %.3f,\n"
+                 "  \"alloc_execute_ms\": %.3f,\n"
+                 "  \"alloc_merge_ms\": %.3f,\n"
+                 "  \"alloc_parallel_fraction\": %.4f,\n"
+                 "  \"alloc_wall_ms\": {\"serial\": %.3f, \"w1\": %.3f, "
+                 "\"w2\": %.3f, \"w4\": %.3f, \"w8\": %.3f},\n"
                  "  \"identical_all_worker_counts\": true\n"
                  "}\n",
                  bench::fast_mode() ? "fast" : "full", hw, total, s_ms, p_ms,
                  par_frac, amdahl4,
                  wall_ms[3] > 0.0 ? wall_ms[0] / wall_ms[3] : 0.0, wall_ms[0],
-                 wall_ms[1], wall_ms[2], wall_ms[3], wall_ms[4]);
+                 wall_ms[1], wall_ms[2], wall_ms[3], wall_ms[4],
+                 serial.phases.plan_ms, serial.phases.execute_ms,
+                 serial.phases.alloc_merge_ms, alloc_par_frac,
+                 alloc_wall_ms[0], alloc_wall_ms[1], alloc_wall_ms[2],
+                 alloc_wall_ms[3], alloc_wall_ms[4]);
     std::fclose(f);
     std::printf("\n[bench] trajectory written to %s\n", path.c_str());
   } else {

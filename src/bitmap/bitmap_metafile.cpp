@@ -115,6 +115,15 @@ void BitmapMetafile::apply_free_deltas(const FreeDelta& d) {
   }
 }
 
+void BitmapMetafile::apply_alloc_deltas(const AllocDelta& d) {
+  for (const auto& [b, n] : d.per_block) {
+    WAFL_ASSERT(free_per_block_[b] >= n);
+    free_per_block_[b] -= n;
+    total_free_ -= n;
+    mark_dirty(b);
+  }
+}
+
 std::uint64_t BitmapMetafile::free_in_range(Vbn begin, Vbn end) const {
   WAFL_ASSERT(begin <= end && end <= bits_.size());
   // Whole metafile blocks come from the O(1)-per-block summary; only the
@@ -132,6 +141,39 @@ std::uint64_t BitmapMetafile::free_in_range(Vbn begin, Vbn end) const {
   const std::uint64_t end_whole = end / kBitsPerBitmapBlock;
   for (std::uint64_t b = begin / kBitsPerBitmapBlock; b < end_whole; ++b) {
     total += free_per_block_[b];
+  }
+  if (end % kBitsPerBitmapBlock != 0) {
+    total += bits_.count_clear(end_whole * kBitsPerBitmapBlock, end);
+  }
+  return total;
+}
+
+std::uint64_t BitmapMetafile::free_in_range_staged(
+    Vbn begin, Vbn end, std::span<const std::uint32_t> staged,
+    std::uint64_t staged_base) const {
+  WAFL_ASSERT(begin <= end && end <= bits_.size());
+  // Same shape as free_in_range(): popcount the (at most two) partial edge
+  // blocks — the live bits already include staged allocations, so those
+  // are exact — and adjust the summary of interior whole blocks by the
+  // staged overlay.
+  const Vbn lo_block_end =
+      std::min<Vbn>((begin / kBitsPerBitmapBlock + 1) * kBitsPerBitmapBlock,
+                    end);
+  if (begin % kBitsPerBitmapBlock != 0 || lo_block_end == end) {
+    if (lo_block_end == end) return bits_.count_clear(begin, end);
+    std::uint64_t total = bits_.count_clear(begin, lo_block_end);
+    return total + free_in_range_staged(lo_block_end, end, staged,
+                                        staged_base);
+  }
+  std::uint64_t total = 0;
+  const std::uint64_t end_whole = end / kBitsPerBitmapBlock;
+  for (std::uint64_t b = begin / kBitsPerBitmapBlock; b < end_whole; ++b) {
+    std::uint32_t free = free_per_block_[b];
+    if (b >= staged_base && b - staged_base < staged.size()) {
+      WAFL_ASSERT(free >= staged[b - staged_base]);
+      free -= staged[b - staged_base];
+    }
+    total += free;
   }
   if (end % kBitsPerBitmapBlock != 0) {
     total += bits_.count_clear(end_whole * kBitsPerBitmapBlock, end);

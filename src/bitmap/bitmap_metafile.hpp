@@ -68,6 +68,31 @@ class BitmapMetafile {
   /// below (the fuzz suite holds the two equivalent).
   void account_frees(std::span<const Vbn> freed);
 
+  /// Allocation mirror of clear_unaccounted(): sets the bit for `v`
+  /// WITHOUT updating the free-count summary or the dirty set; the caller
+  /// must fold the same VBNs in via apply_alloc_deltas() before the next
+  /// summary query or flush.  Same word-disjointness contract as the free
+  /// side: concurrent callers are safe when their VBNs never share a
+  /// 64-bit word, which per-RAID-group ownership guarantees.  Asserts the
+  /// bit was free.
+  void set_allocated_unaccounted(Vbn v) {
+    WAFL_ASSERT_MSG(!bits_.test(v), "allocating an allocated block");
+    bits_.set(v);
+  }
+
+  /// Per-metafile-block allocated counts staged by a set_allocated_
+  /// unaccounted() caller, for the serial summary merge in
+  /// apply_alloc_deltas().
+  struct AllocDelta {
+    /// (metafile block, allocated count), ascending by block.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> per_block;
+  };
+
+  /// Serial companion to set_allocated_unaccounted(): folds a staged
+  /// allocation delta into the per-block free counts, the total, and the
+  /// dirty set.  Equivalent to having called set_allocated() per VBN.
+  void apply_alloc_deltas(const AllocDelta& d);
+
   /// Per-metafile-block freed counts produced by clear_frees_batched(),
   /// for the serial summary merge in apply_free_deltas().
   struct FreeDelta {
@@ -97,6 +122,17 @@ class BitmapMetafile {
   /// are answered from the summary, only the two partial edge blocks (if
   /// any) by popcount — O(blocks) whatever the alignment.
   std::uint64_t free_in_range(Vbn begin, Vbn end) const;
+
+  /// free_in_range() while set_allocated_unaccounted() allocations are
+  /// staged: the live bits already reflect them but the summary does not,
+  /// so partial edge blocks (answered by popcount) are correct as-is and
+  /// interior whole blocks subtract the caller's staged-count overlay.
+  /// `staged[b - staged_base]` is the number of staged (bit-set,
+  /// unaccounted) allocations in metafile block `b`; blocks outside the
+  /// overlay are assumed to have none.
+  std::uint64_t free_in_range_staged(Vbn begin, Vbn end,
+                                     std::span<const std::uint32_t> staged,
+                                     std::uint64_t staged_base) const;
 
   /// Free bits within metafile block `b` — the O(1) summary lookup.
   std::uint32_t block_free_count(std::uint64_t b) const {

@@ -58,7 +58,12 @@ class AaCache {
   virtual bool validate() const = 0;
 
   /// Applies a CP boundary's batch of score changes (§3.3's rebalance).
-  void apply_changes(std::span<const ScoreChange> changes) {
+  /// The default walks the batch per change; implementations may override
+  /// with a batched equivalent (Hbps does: one segmented-array shuffle per
+  /// bin instead of per-change list maintenance).  A CP batch carries at
+  /// most one change per AA (AaScoreBoard::apply_cp_deltas coalesces), and
+  /// overrides may rely on that.
+  virtual void apply_changes(std::span<const ScoreChange> changes) {
     for (const ScoreChange& c : changes) {
       update_score(c.aa, c.old_score, c.new_score);
     }

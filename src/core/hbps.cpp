@@ -151,6 +151,92 @@ void Hbps::update_score(AaId aa, AaScore old_score, AaScore new_score) {
   }
 }
 
+void Hbps::apply_changes(std::span<const ScoreChange> changes) {
+  // Tiny batches: per-change list maintenance is cheaper than a rebuild.
+  if (changes.size() < 2) {
+    AaCache::apply_changes(changes);
+    return;
+  }
+
+  // Pass 1: histogram moves — O(1) per change, exactly as update_score()
+  // would do them, including the rebin observability.  Checked-out AAs
+  // re-key on insert() and same-bin moves change nothing (partial sort),
+  // so neither contributes a rebin.  CP batches carry one change per AA
+  // (AaScoreBoard::apply_cp_deltas coalesces), so first-wins is exact.
+  std::unordered_map<AaId, std::uint32_t> dest;
+  dest.reserve(changes.size());
+  std::vector<AaId> order;  // effective rebins, batch order
+  order.reserve(changes.size());
+  for (const ScoreChange& c : changes) {
+    if (checked_out_.contains(c.aa)) continue;
+    const std::uint32_t b0 = bin_of(c.old_score);
+    const std::uint32_t b1 = bin_of(c.new_score);
+    if (b0 == b1) continue;
+    WAFL_OBS({
+      static obs::Counter& rebins = obs::registry().counter("wafl.hbps.rebins");
+      rebins.inc();
+      obs::trace().emit(obs::EventType::kHbpsRebin, 0, c.aa, b0, b1);
+    });
+    WAFL_ASSERT(hist_[b0] > 0);
+    --hist_[b0];
+    ++hist_[b1];
+    dest.emplace(c.aa, b1);
+    order.push_back(c.aa);
+  }
+  if (order.empty()) return;
+
+  // Pass 2: one segmented-array shuffle for the whole batch.  Bucket the
+  // old list's entries by destination bin — survivors stay put, listed
+  // movers follow their new bin — and append unlisted movers (now resident
+  // in a possibly-listable bin) in batch order, exactly the candidates the
+  // per-change path would have offered maybe_list().
+  const std::uint32_t nb = bin_count();
+  std::vector<std::vector<AaId>> surv(nb), moved(nb), fresh(nb);
+  for (std::uint32_t b = 0; b < nb; ++b) {
+    if (list_count_[b] == 0) continue;
+    const auto first = static_cast<std::uint32_t>(list_first_[b]);
+    for (std::uint32_t i = 0; i < list_count_[b]; ++i) {
+      const AaId aa = list_[first + i];
+      const auto it = dest.find(aa);
+      if (it == dest.end()) {
+        surv[b].push_back(aa);
+      } else {
+        moved[it->second].push_back(aa);
+      }
+    }
+  }
+  for (const AaId aa : order) {
+    if (!slot_of_.contains(aa)) fresh[dest[aa]].push_back(aa);
+  }
+
+  // Rebuild the segments best bin first until the list page is full:
+  // within a bin, survivors (old relative order), then listed movers, then
+  // fresh candidates.
+  std::vector<AaId> nlist;
+  nlist.reserve(cfg_.list_capacity);
+  slot_of_.clear();
+  std::fill(list_first_.begin(), list_first_.end(), kNoSegment);
+  std::fill(list_count_.begin(), list_count_.end(), 0);
+  for (std::uint32_t b = 0; b < nb; ++b) {
+    if (nlist.size() >= cfg_.list_capacity) break;
+    auto take = [&](const std::vector<AaId>& v) {
+      for (const AaId aa : v) {
+        if (nlist.size() >= cfg_.list_capacity) return;
+        if (list_count_[b] == 0) {
+          list_first_[b] = static_cast<std::int32_t>(nlist.size());
+        }
+        slot_of_[aa] = static_cast<std::uint32_t>(nlist.size());
+        nlist.push_back(aa);
+        ++list_count_[b];
+      }
+    };
+    take(surv[b]);
+    take(moved[b]);
+    take(fresh[b]);
+  }
+  list_ = std::move(nlist);
+}
+
 void Hbps::maybe_list(AaId aa, std::uint32_t b) {
   if (list_.size() >= cfg_.list_capacity) {
     const std::int32_t w = worst_listed_bin();

@@ -81,6 +81,17 @@ class Hbps final : public AaCache {
   std::optional<AaScore> peek_best_score() const override;
   void insert(AaId aa, AaScore score) override;
   void update_score(AaId aa, AaScore old_score, AaScore new_score) override;
+  /// Batched CP-boundary rebalance: applies every histogram move first,
+  /// then rebuilds the list segments with ONE shuffle for the whole batch
+  /// instead of per-change list maintenance (each per-change rebin moves
+  /// one entry per listed bin, so a B-change batch over L listed bins costs
+  /// O(B·L) moves; the batched form costs O(B + list size)).  Equivalent to
+  /// the per-change path — identical histogram, identical per-bin listed
+  /// sets whenever the list never hits capacity during the replay — which
+  /// the fuzz suite holds; under capacity pressure both keep the structural
+  /// invariants and the histogram equal but may retain different same-bin
+  /// entries (the partial sort never promised an order within a bin).
+  void apply_changes(std::span<const ScoreChange> changes) override;
   /// Resident AAs (histogram total), listed or not.
   std::size_t size() const noexcept override { return tracked_; }
 

@@ -167,9 +167,12 @@ class Aggregate {
   void begin_cp() { walloc_.begin_cp(); }
 
   /// Allocates `n` physical VBNs in write order, appending to `out`.
+  /// With `pool`, the engine's execute phase fans out per RAID group;
+  /// results are bit-identical at any worker count (see write_allocator).
   /// Returns false when the aggregate cannot supply them (out of space).
-  bool allocate_pvbns(std::uint64_t n, std::vector<Vbn>& out, CpStats& stats) {
-    return walloc_.allocate(n, out, stats);
+  bool allocate_pvbns(std::uint64_t n, std::vector<Vbn>& out, CpStats& stats,
+                      ThreadPool* pool = nullptr) {
+    return walloc_.allocate(n, out, stats, pool);
   }
 
   /// Defers the free of a physical VBN to the CP boundary.

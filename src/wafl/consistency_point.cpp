@@ -123,11 +123,12 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
   WAFL_OBS(cp_metrics().phase_sort_ns.record(
       static_cast<double>(phase_timer.lap())));
 
-  // Phase 1: physical allocation in write order — the allocator walks
-  // tetris windows round-robin across RAID groups.
+  // Phase 1: physical allocation in write order — a serial plan assigns
+  // demand to RAID groups (round-robin rotation + skip bias), then the
+  // per-group tetris fills execute in parallel on the pool.
   std::vector<Vbn> pvbns;
   pvbns.reserve(sorted.size());
-  const bool ok = agg.allocate_pvbns(sorted.size(), pvbns, stats);
+  const bool ok = agg.allocate_pvbns(sorted.size(), pvbns, stats, pool);
   WAFL_ASSERT_MSG(ok, "aggregate out of space during CP");
   WAFL_OBS(cp_metrics().phase_alloc_ns.record(
       static_cast<double>(phase_timer.lap())));

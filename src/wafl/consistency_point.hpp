@@ -42,17 +42,21 @@ class ConsistencyPoint {
   /// the caller to fill (the CP does not know how blocks group into client
   /// operations).
   ///
-  /// With a thread pool, the per-volume phase (virtual VBN allocation and
-  /// remapping) runs in parallel across volumes — the direction of the
-  /// paper's companion work, "Scalable Write Allocation in the WAFL File
-  /// System" [10]: volumes own disjoint state, so a multi-volume CP
-  /// shards naturally.  Physical allocation stays serialized on the
-  /// shared aggregate structures, but the CP boundary's per-RAID-group
-  /// half (free application, device invalidation, score folds, cache
-  /// re-admission, TopAA image builds) fans out across groups via
-  /// WriteAllocator::finish_cp; bitmap-metafile accounting and flush and
-  /// the TopAA commits remain serial.  The result is bit-identical to
-  /// the serial path at any worker count.
+  /// With a thread pool, every substantial CP phase now shards — the
+  /// direction of the paper's companion work, "Scalable Write Allocation
+  /// in the WAFL File System" [10].  The per-volume phase (virtual VBN
+  /// allocation and remapping) runs in parallel across volumes, which own
+  /// disjoint state.  Physical allocation runs as a plan/execute split: a
+  /// cheap serial plan partitions demand across RAID groups (round-robin
+  /// rotation + §3.3.1 skip bias, from CP-start information only), the
+  /// group-disjoint tetris fills execute in parallel, and a serial merge
+  /// folds the staged summary deltas and stats.  The CP boundary's
+  /// per-RAID-group half (free application, device invalidation, score
+  /// folds, cache re-admission, TopAA image builds), the metafile flush
+  /// (per dirty block) and the TopAA commits (per group slot) fan out via
+  /// WriteAllocator::finish_cp; only the shared summary merges and stats
+  /// folds remain serial.  The result is bit-identical to the serial path
+  /// at any worker count.
   static CpStats run(Aggregate& agg, std::span<const DirtyBlock> dirty,
                      ThreadPool* pool = nullptr);
 };

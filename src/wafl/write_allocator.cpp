@@ -117,8 +117,69 @@ void RgAllocator::begin_cp() {
 }
 
 std::uint64_t RgAllocator::live_aa_free(AaId aa) const {
-  return activemap_.metafile().free_in_range(layout_.aa_begin(aa),
-                                             layout_.aa_end(aa));
+  const BitmapMetafile& map = activemap_.metafile();
+  if (staged_) {
+    // Staged allocations are bit-set but not yet in the summary: edge
+    // blocks (popcount) are exact already; interior blocks subtract the
+    // overlay.  An AA's interior blocks never straddle groups, so the
+    // group-local overlay covers every block the query consults.
+    return map.free_in_range_staged(layout_.aa_begin(aa), layout_.aa_end(aa),
+                                    staged_allocs_, staged_base_);
+  }
+  return map.free_in_range(layout_.aa_begin(aa), layout_.aa_end(aa));
+}
+
+bool RgAllocator::plan_eligible() {
+  if (policy_ != AaSelectPolicy::kCache) return true;
+  if (hbps_ != nullptr && hbps_->needs_replenish()) {
+    // §3.3.2's background scan — run it at plan time so a drained list
+    // does not read as fragmentation.  Deterministic: the plan is serial
+    // and the scan is a pure function of the group's scoreboard.
+    hbps_->build(board_);
+    WAFL_OBS({
+      metrics_.hbps_replenishes->inc();
+      obs::trace().emit(obs::EventType::kHbpsReplenish, raid_.id(),
+                        layout_.aa_count());
+    });
+  }
+  const auto best = cache_->peek_best_score();
+  return best.has_value() && *best >= skip_threshold_;
+}
+
+std::uint64_t RgAllocator::plan_capacity() const {
+  // Frees are deferred to the CP boundary, so the bitmap's free count is
+  // an exact bound for the whole CP; subtract blocks the open tetris
+  // window has claimed but not yet bit-set.
+  const std::uint64_t free = activemap_.metafile().free_in_range(base_, end());
+  WAFL_ASSERT(free >= window_writes_.size());
+  return free - window_writes_.size();
+}
+
+std::uint64_t RgAllocator::plan_cursor_free() const {
+  if (cursor_aa_ == kInvalidAaId) return 0;
+  return activemap_.metafile().free_in_range(cursor_pos_,
+                                             layout_.aa_end(cursor_aa_));
+}
+
+void RgAllocator::begin_staged_alloc() {
+  WAFL_ASSERT(!staged_);
+  staged_ = true;
+  staged_base_ = base_ / kBitsPerBitmapBlock;
+  const std::uint64_t last = (end() - 1) / kBitsPerBitmapBlock;
+  staged_allocs_.assign(last - staged_base_ + 1, 0);
+}
+
+BitmapMetafile::AllocDelta RgAllocator::end_staged_alloc() {
+  WAFL_ASSERT(staged_);
+  BitmapMetafile::AllocDelta d;
+  for (std::size_t i = 0; i < staged_allocs_.size(); ++i) {
+    if (staged_allocs_[i] != 0) {
+      d.per_block.emplace_back(staged_base_ + i, staged_allocs_[i]);
+    }
+  }
+  staged_ = false;
+  staged_allocs_.clear();
+  return d;
 }
 
 bool RgAllocator::ensure_cursor(CpStats& stats, bool force, Rng& rng) {
@@ -290,9 +351,17 @@ void RgAllocator::flush_window(CpStats& stats) {
   }
 
   // Mark the window's blocks allocated only now: the tetris classification
-  // above must see pre-CP occupancy.
+  // above must see pre-CP occupancy.  In staged mode (the parallel execute
+  // phase) only the bits are set — they are word-disjoint across groups —
+  // and the shared summary/dirty accounting waits in the overlay for the
+  // serial merge.
   for (const Vbn v : window_writes_) {
-    activemap_.allocate(v);
+    if (staged_) {
+      activemap_.allocate_unaccounted(v);
+      ++staged_allocs_[v / kBitsPerBitmapBlock - staged_base_];
+    } else {
+      activemap_.allocate(v);
+    }
     board_.note_alloc(v);
   }
   window_writes_.clear();
@@ -506,8 +575,8 @@ void WriteAllocator::begin_cp() {
   }
 }
 
-bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
-                              CpStats& stats) {
+bool WriteAllocator::allocate_serial(std::uint64_t n, std::vector<Vbn>& out,
+                                     CpStats& stats) {
   std::uint64_t remaining = n;
   bool force = false;
   while (remaining > 0) {
@@ -531,6 +600,186 @@ bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
     force = false;
   }
   return true;
+}
+
+bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
+                              CpStats& stats, ThreadPool* pool) {
+  if (n == 0) return true;
+  if (policy_ != AaSelectPolicy::kCache || groups_.empty()) {
+    // The kRandom policy draws from the shared rng per probe; its demand
+    // cannot be partitioned up front, so it keeps the serial rotation.
+    return allocate_serial(n, out, stats);
+  }
+  CpPhaseProfile& prof = cp_phase_profile();
+  auto mark = std::chrono::steady_clock::now();
+  auto lap = [&mark](double& bucket) {
+    const auto now = std::chrono::steady_clock::now();
+    bucket += std::chrono::duration<double, std::milli>(now - mark).count();
+    mark = now;
+  };
+
+  // --- Plan (serial).  Assign every output position to a group using only
+  // CP-start information: the same rotation the serial loop ran, with
+  // §3.3.1's skip bias answered by peek_best_score instead of a checkout.
+  // Chunks are one tetris window (blocks_per_tetris), matching the serial
+  // loop's per-turn granularity; a bias-ineligible group with an open
+  // cursor may still drain that cursor (the serial loop's ensure_cursor
+  // only re-tests the threshold on the NEXT checkout), so its quota is
+  // capped at the cursor's remaining free blocks.  Capacity caps make the
+  // plan exactly executable: frees are deferred, so the free-bit count
+  // cannot shrink under execute's feet.
+  const std::size_t ngroups = groups_.size();
+  struct GroupPlan {
+    std::vector<std::pair<std::size_t, std::uint64_t>> runs;  // (pos, count)
+    std::uint64_t planned = 0;
+  };
+  std::vector<GroupPlan> plan(ngroups);
+  std::vector<std::uint64_t> capacity(ngroups), cursor_free(ngroups);
+  std::vector<bool> eligible(ngroups);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    capacity[g] = groups_[g]->plan_capacity();
+    cursor_free[g] = groups_[g]->plan_cursor_free();
+    eligible[g] = groups_[g]->plan_eligible();
+  }
+  std::uint64_t remaining = n;
+  std::size_t pos = 0;
+  bool force = false;
+  while (remaining > 0) {
+    std::uint64_t round_total = 0;
+    for (std::size_t i = 0; i < ngroups && remaining > 0; ++i) {
+      const std::size_t g = rr_next_;
+      rr_next_ = (rr_next_ + 1) % ngroups;
+      const std::uint64_t bpt =
+          groups_[g]->raid().geometry().blocks_per_tetris();
+      const std::uint64_t avail = capacity[g] - plan[g].planned;
+      std::uint64_t chunk = 0;
+      if (avail > 0) {
+        if (force || eligible[g]) {
+          chunk = std::min({remaining, avail, bpt});
+        } else if (plan[g].planned < cursor_free[g]) {
+          chunk = std::min(
+              {remaining, avail, bpt, cursor_free[g] - plan[g].planned});
+        }
+      }
+      if (chunk > 0) {
+        plan[g].runs.emplace_back(pos, chunk);
+        plan[g].planned += chunk;
+        pos += chunk;
+        remaining -= chunk;
+        round_total += chunk;
+      }
+    }
+    if (round_total == 0) {
+      if (!force) {
+        // Every group declined under the fragmentation threshold; the
+        // allocator must still make progress (§3.3.1's "resume").
+        force = true;
+        continue;
+      }
+      break;  // total capacity assigned; the spill below reports the rest
+    }
+    force = false;
+  }
+  // Crash here = power loss after demand was partitioned but before any
+  // block was taken; nothing has been mutated yet.
+  WAFL_CRASH_POINT("wa.in_alloc_plan");
+  lap(prof.plan_ms);
+
+  // --- Execute (parallel).  Group work lists are disjoint by construction
+  // and every fill touches only group-owned state: its own cache, cursor,
+  // window, devices, and bitmap words (staged mode defers the shared
+  // summary).  Per-group CpStats keep the folds out of the hot loop.
+  const std::uint64_t planned_total = n - remaining;
+  const std::size_t out_base = out.size();
+  out.resize(out_base + static_cast<std::size_t>(planned_total));
+  std::vector<std::vector<Vbn>> got(ngroups);
+  std::vector<CpStats> gstats(ngroups);
+  std::vector<BitmapMetafile::AllocDelta> deltas(ngroups);
+  std::size_t active_groups = 0;
+  for (const GroupPlan& gp : plan) {
+    if (gp.planned > 0) ++active_groups;
+  }
+  auto execute_one = [&](std::size_t g) {
+    if (plan[g].planned == 0) return;
+    // Crash here = power loss mid-parallel-allocation: bits of some groups
+    // staged, nothing persisted (device models are simulation state).  May
+    // fire on a pool thread; ThreadPool rethrows on the caller.
+    WAFL_CRASH_POINT("wa.in_alloc_execute");
+    RgAllocator& rg = *groups_[g];
+    rg.begin_staged_alloc();
+    Rng unused(0);  // the cache policy never consults it
+    std::vector<Vbn>& mine = got[g];
+    mine.reserve(static_cast<std::size_t>(plan[g].planned));
+    while (mine.size() < plan[g].planned) {
+      if (rg.fill(plan[g].planned - mine.size(), mine, gstats[g],
+                  /*force=*/true, unused) == 0) {
+        break;  // group cannot meet its quota; the spill recovers
+      }
+    }
+    deltas[g] = rg.end_staged_alloc();
+  };
+  if (pool != nullptr && active_groups > 1) {
+    pool->parallel_for_dynamic(0, ngroups, execute_one);
+  } else {
+    for (std::size_t g = 0; g < ngroups; ++g) {
+      execute_one(g);
+    }
+  }
+  lap(prof.execute_ms);
+
+  // --- Merge (serial, fixed group order): staged summary deltas, stats
+  // folds, and the scatter of each group's blocks into its planned output
+  // positions.
+  BitmapMetafile& map = activemap_.metafile();
+  std::vector<std::size_t> missing;  // unfilled positions in `out`
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    map.apply_alloc_deltas(deltas[g]);
+    stats.merge(gstats[g]);
+    std::size_t k = 0;
+    for (const auto& [p, count] : plan[g].runs) {
+      for (std::uint64_t i = 0; i < count; ++i) {
+        if (k < got[g].size()) {
+          out[out_base + p + i] = got[g][k++];
+        } else {
+          missing.push_back(out_base + p + i);
+        }
+      }
+    }
+  }
+
+  // --- Spill (serial safety net).  A group that could not meet its quota
+  // (execute shortfall) or demand beyond total capacity falls back to the
+  // serial rotation; on genuine exhaustion the unfilled positions are
+  // compacted out so `out` carries exactly the allocated pvbns.
+  bool ok = true;
+  if (!missing.empty() || remaining > 0) {
+    std::sort(missing.begin(), missing.end());
+    std::vector<Vbn> extra;
+    ok = allocate_serial(missing.size() + remaining, extra, stats);
+    std::size_t k = 0;
+    for (; k < missing.size() && k < extra.size(); ++k) {
+      out[missing[k]] = extra[k];
+    }
+    if (k < missing.size()) {
+      std::vector<Vbn> compact;
+      compact.reserve(out.size());
+      std::size_t mi = k;
+      for (std::size_t p = 0; p < out.size(); ++p) {
+        if (mi < missing.size() && p == missing[mi]) {
+          ++mi;
+          continue;
+        }
+        compact.push_back(out[p]);
+      }
+      out.swap(compact);
+      ok = false;
+    }
+    for (; k < extra.size(); ++k) {
+      out.push_back(extra[k]);
+    }
+  }
+  lap(prof.alloc_merge_ms);
+  return ok;
 }
 
 CpPhaseProfile& cp_phase_profile() {

@@ -17,6 +17,19 @@
 //    groups available in an aggregate"), §3.3.1's skip/resume
 //    fragmentation bias, and the CP boundary's phase structure.
 //
+// Plan/execute allocation.  Physical allocation itself is a two-stage
+// pipeline.  A cheap serial PLAN walks the CP's demand and assigns each
+// pvbn-to-be to a RAID group using only CP-start information: the
+// round-robin rotation, §3.3.1's skip bias driven by peek_best_score, and
+// per-group capacity read from the free-count summary.  The plan is a
+// per-group list of contiguous output runs — group-disjoint by
+// construction.  EXECUTE then fans the groups over the ThreadPool: each
+// RgAllocator checks AAs out of its own cache, fills tetris windows,
+// issues writes to its group-owned devices, and stages its activemap bits
+// (set_allocated_unaccounted — bit set now, summary delta folded later).
+// A serial MERGE applies the per-group AllocDeltas to the shared summary
+// and folds per-group CpStats, both in fixed group order.
+//
 // CP-boundary parallelism.  Because groups are disjoint, most of
 // finish_cp fans out across groups on a ThreadPool — not just the
 // in-memory boundary work (applying the group's deferred frees,
@@ -27,22 +40,23 @@
 // (single writer per slot, disjoint-slot I/O unlocked) makes sound.
 // Determinism is preserved by construction, not by luck:
 //
-//  1. demand is partitioned before any fan-out (frees are split by owning
-//     group in deferral order; the owner-lookup pass itself fans out, but
-//     each owner[i] is a pure function of frees[i], so the partition is
-//     identical whatever the worker count);
-//  2. each parallel phase touches only disjoint state.  Phase A
-//     (cp_boundary) is group-disjoint; bitmap bit clears are
+//  1. demand is partitioned before any fan-out.  On the allocation side
+//     the serial plan fixes every group's quota and output positions
+//     before a single block is taken; on the free side the deferred frees
+//     are split by owning group in deferral order (the owner-lookup pass
+//     itself fans out, but each owner[i] is a pure function of frees[i],
+//     so the partition is identical whatever the worker count);
+//  2. each parallel phase touches only disjoint state.  Execute and
+//     cp_boundary are group-disjoint; bitmap bit sets and clears are
 //     group-disjoint at word granularity too, because device_blocks is a
 //     multiple of kTetrisStripes (64), so every group's VBN range spans
-//     whole 64-bit bitmap words.  Phase B1 (metafile flush) partitions
-//     the dirty list, so every metafile store block has exactly one
-//     writer; phase B2 (TopAA commits) writes per-group slots that never
-//     share a store block;
+//     whole 64-bit bitmap words.  The metafile flush partitions the dirty
+//     list, so every metafile store block has exactly one writer; the
+//     TopAA commits write per-group slots that never share a store block;
 //  3. everything genuinely shared stays serial, in fixed group order: the
 //     metafile's free-count summary and dirty set (metafile blocks can
-//     straddle group boundaries, so the FreeDelta merge is serial) and
-//     every CpStats fold.
+//     straddle group boundaries, so the AllocDelta/FreeDelta merges are
+//     serial) and every CpStats fold.
 //
 // The result is bit-identical file-system state and CpStats for any worker
 // count, including none.  Only observability output (trace-event and
@@ -191,8 +205,32 @@ class RgAllocator {
  private:
   friend class WriteAllocator;
 
+  // --- Plan/execute support (driven by WriteAllocator::allocate) ----------
+  /// Plan-time eligibility under §3.3.1's skip bias: true when the group's
+  /// best cached AA scores at or above the skip threshold.  Runs the
+  /// deterministic HBPS replenish first if the list is dry, so a drained
+  /// list never masquerades as fragmentation.
+  bool plan_eligible();
+  /// Exact upper bound on what execute can deliver: free bits in the
+  /// group's range minus blocks already claimed by the open tetris window
+  /// (claimed blocks stay bit-clear until the window flushes).  Exact
+  /// because frees are deferred to the CP boundary.
+  std::uint64_t plan_capacity() const;
+  /// Free blocks remaining in the checked-out cursor AA (0 without one):
+  /// what the group can deliver without another checkout — the cursor-
+  /// drain allowance a bias-ineligible group still gets.
+  std::uint64_t plan_cursor_free() const;
+  /// Enters staged-allocation mode: flush_window() sets activemap bits
+  /// only (word-disjoint across groups) and counts them in a per-metafile-
+  /// block overlay instead of touching the shared summary/dirty set.
+  void begin_staged_alloc();
+  /// Leaves staged mode, returning the overlay as an AllocDelta for the
+  /// serial summary merge.
+  BitmapMetafile::AllocDelta end_staged_alloc();
+
   /// Free blocks an AA has RIGHT NOW (activemap view, which unlike the
-  /// scoreboard reflects this CP's own allocations).
+  /// scoreboard reflects this CP's own allocations — including staged
+  /// ones, via the overlay, while in staged mode).
   std::uint64_t live_aa_free(AaId aa) const;
 
   /// Ensures an AA is checked out; honors the skip threshold unless
@@ -230,6 +268,13 @@ class RgAllocator {
   std::vector<AaId> retired_;
   std::vector<SimTime> device_busy_;  // data then parity, this CP
 
+  /// Staged-allocation mode (execute phase): per-metafile-block count of
+  /// bits set via set_allocated_unaccounted(), pending the serial summary
+  /// merge.  `staged_base_` is the group's first metafile block.
+  bool staged_ = false;
+  std::vector<std::uint32_t> staged_allocs_;
+  std::uint64_t staged_base_ = 0;
+
   /// TopAA image staged by cp_boundary() for commit_topaa() to write.
   TopAaImage staged_topaa_;
   bool topaa_staged_ = false;
@@ -249,13 +294,19 @@ class RgAllocator {
   Metrics metrics_{};
 };
 
-/// Wall-clock time finish_cp() spent in each of its phases, accumulated
-/// across calls until reset().  A diagnostic aid for benches and tools —
-/// the parallel-CP bench derives its serial-fraction and Amdahl-implied
-/// speedup numbers from it; the engine itself never reads it.  Written by
-/// the finish_cp caller thread only, so it is meaningful per-process for
-/// one aggregate running CPs at a time (which is every bench and test).
+/// Wall-clock time allocate()/finish_cp() spent in each of their phases,
+/// accumulated across calls until reset().  A diagnostic aid for benches
+/// and tools — the parallel-CP bench derives its serial-fraction and
+/// Amdahl-implied speedup numbers from it; the engine itself never reads
+/// it.  Written by the allocate/finish_cp caller thread only, so it is
+/// meaningful per-process for one aggregate running CPs at a time (which
+/// is every bench and test).
 struct CpPhaseProfile {
+  // allocate() — the plan/execute pipeline.
+  double plan_ms = 0.0;         // serial: per-group quota/run assignment
+  double execute_ms = 0.0;      // parallel: per-group tetris fill
+  double alloc_merge_ms = 0.0;  // serial: AllocDelta + stats folds, spill
+  // finish_cp().
   double windows_ms = 0.0;    // serial: flush open tetris windows
   double owner_ms = 0.0;      // parallel: per-free owner lookup
   double partition_ms = 0.0;  // serial: scatter frees into group runs
@@ -266,10 +317,11 @@ struct CpPhaseProfile {
   double fold_ms = 0.0;       // serial: stats and metric folds
 
   double serial_ms() const noexcept {
-    return windows_ms + partition_ms + merge_ms + fold_ms;
+    return plan_ms + alloc_merge_ms + windows_ms + partition_ms + merge_ms +
+           fold_ms;
   }
   double parallel_ms() const noexcept {
-    return owner_ms + boundary_ms + flush_ms + topaa_ms;
+    return execute_ms + owner_ms + boundary_ms + flush_ms + topaa_ms;
   }
   double total_ms() const noexcept { return serial_ms() + parallel_ms(); }
   void reset() noexcept { *this = CpPhaseProfile{}; }
@@ -325,10 +377,18 @@ class WriteAllocator {
   // --- CP-side allocation --------------------------------------------------
   void begin_cp();
 
-  /// Allocates `n` pvbns in write order, appending to `out`: round-robin
-  /// tetris rotation across groups with §3.3.1's skip bias, escalating to
-  /// `force` when every group declines.  False when out of space.
-  bool allocate(std::uint64_t n, std::vector<Vbn>& out, CpStats& stats);
+  /// Allocates `n` pvbns in write order, appending to `out`.  Under the
+  /// cache policy this is the plan/execute pipeline: a serial plan fixes
+  /// every group's quota and output positions (round-robin rotation with
+  /// §3.3.1's skip bias, escalating to force when every group declines),
+  /// execute fans the group-disjoint fills over `pool` (serially, in
+  /// group order, when `pool` is null — the same code path, so results
+  /// are bit-identical at any worker count), and a serial merge folds the
+  /// staged summary deltas and per-group stats in group order.  The
+  /// kRandom policy keeps the serial rotation loop.  False when out of
+  /// space; `out` then carries exactly the pvbns actually allocated.
+  bool allocate(std::uint64_t n, std::vector<Vbn>& out, CpStats& stats,
+                ThreadPool* pool = nullptr);
 
   /// Records a deferred free against the owning group's scoreboard (the
   /// activemap deferral itself stays with the Aggregate).
@@ -357,6 +417,13 @@ class WriteAllocator {
   void seed_occupancy(RaidGroupId rg, double fraction, Rng& rng);
 
  private:
+  /// The pre-split serial rotation loop: fill whichever group the rotation
+  /// points at until demand is met or a forced round yields nothing.
+  /// Remains the whole story for the kRandom policy and serves as the
+  /// safety-net spill path when an executed plan comes up short.
+  bool allocate_serial(std::uint64_t n, std::vector<Vbn>& out,
+                       CpStats& stats);
+
   AaSelectPolicy policy_;
   double skip_fraction_;
   Rng& rng_;

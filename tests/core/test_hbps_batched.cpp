@@ -1,0 +1,173 @@
+// Batched Hbps::apply_changes vs the per-change reference path.
+//
+// The CP boundary hands the cache one ScoreChange batch per group; the
+// batched override applies the histogram moves first and then rebuilds
+// the list segments with a single shuffle.  Equivalence contract (see
+// hbps.hpp): identical histogram and tracked count always; identical
+// per-bin LISTED SETS whenever the list never hits capacity during the
+// per-change replay (no order promise — the partial sort never made one
+// within a bin); under capacity pressure both paths keep the structural
+// invariants and the histogram, but may retain different same-quality
+// entries.  The reference path stays reachable as AaCache::apply_changes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/hbps.hpp"
+#include "util/rng.hpp"
+
+namespace wafl {
+namespace {
+
+/// Seeded random Hbps over `naa` AAs plus the true score vector; a
+/// fraction of AAs is checked out (via take_best, so the best-first
+/// checkout pattern matches what a mid-CP allocator leaves behind).
+struct Fixture {
+  Hbps hbps;
+  std::vector<AaScore> scores;
+};
+
+Fixture make_fixture(Rng& rng, Hbps::Config cfg, std::uint32_t naa,
+                     double checkout_frac) {
+  Fixture f{Hbps(cfg), {}};
+  f.scores.resize(naa);
+  for (AaId aa = 0; aa < naa; ++aa) {
+    f.scores[aa] = static_cast<AaScore>(rng.below(cfg.max_score + 1));
+    f.hbps.insert(aa, f.scores[aa]);
+  }
+  for (AaId aa = 0; aa < naa; ++aa) {
+    if (rng.chance(checkout_frac)) (void)f.hbps.take_best();
+  }
+  return f;
+}
+
+/// One CP-shaped batch: at most one change per AA, old_score == the true
+/// current score (the scoreboard's contract).  Checked-out AAs may appear
+/// too — update_score must ignore them.
+std::vector<ScoreChange> make_batch(Rng& rng, Fixture& f,
+                                    double change_frac) {
+  std::vector<ScoreChange> batch;
+  const AaScore max = f.hbps.config().max_score;
+  for (AaId aa = 0; aa < f.scores.size(); ++aa) {
+    if (!rng.chance(change_frac)) continue;
+    const AaScore ns = static_cast<AaScore>(rng.below(max + 1));
+    batch.push_back({aa, f.scores[aa], ns});
+    if (!f.hbps.is_checked_out(aa)) f.scores[aa] = ns;
+  }
+  return batch;
+}
+
+void expect_equivalent(const Hbps& batched, const Hbps& ref,
+                       std::span<const AaScore> scores,
+                       bool expect_same_sets) {
+  ASSERT_TRUE(batched.validate());
+  ASSERT_TRUE(ref.validate());
+  EXPECT_EQ(batched.size(), ref.size());
+  for (std::uint32_t b = 0; b < batched.bin_count(); ++b) {
+    EXPECT_EQ(batched.histogram_count(b), ref.histogram_count(b))
+        << "histogram bin " << b;
+    if (expect_same_sets) {
+      EXPECT_EQ(batched.listed_count(b), ref.listed_count(b))
+          << "listed count bin " << b;
+    }
+  }
+  if (!expect_same_sets) return;
+  // Per-bin listed sets: with equal listed_count per bin, per-AA
+  // membership equality pins the sets (each AA's bin is fixed by its true
+  // score, identical on both sides).
+  for (AaId aa = 0; aa < scores.size(); ++aa) {
+    EXPECT_EQ(batched.is_listed(aa), ref.is_listed(aa)) << "AA " << aa;
+  }
+}
+
+void run_trial(std::uint64_t seed, Hbps::Config cfg, std::uint32_t naa,
+               double checkout_frac, double change_frac,
+               bool expect_same_sets) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  Rng rng(seed);
+  Fixture f = make_fixture(rng, cfg, naa, checkout_frac);
+  Hbps ref = f.hbps;  // copy: identical starting structure
+  const std::vector<ScoreChange> batch = make_batch(rng, f, change_frac);
+
+  f.hbps.apply_changes(batch);            // virtual: batched override
+  ref.AaCache::apply_changes(batch);      // explicit: per-change default
+  expect_equivalent(f.hbps, ref, f.scores, expect_same_sets);
+}
+
+TEST(HbpsBatched, TinyBatchesDelegateToPerChange) {
+  Rng rng(11);
+  Fixture f = make_fixture(rng, Hbps::Config{1024, 64, 20}, 40, 0.0);
+  Hbps ref = f.hbps;
+  std::vector<ScoreChange> one;
+  one.push_back({0, f.scores[0], static_cast<AaScore>(
+                                     (f.scores[0] + 512) % 1025)});
+  f.hbps.apply_changes(one);
+  ref.AaCache::apply_changes(one);
+  ASSERT_TRUE(f.hbps.validate());
+  for (std::uint32_t b = 0; b < f.hbps.bin_count(); ++b) {
+    EXPECT_EQ(f.hbps.histogram_count(b), ref.histogram_count(b));
+    EXPECT_EQ(f.hbps.listed_count(b), ref.listed_count(b));
+  }
+}
+
+TEST(HbpsBatched, FuzzEquivalenceNoCapacityPressure) {
+  // Capacity >= AA count: the list can never fill, so the per-change and
+  // batched paths must produce identical per-bin listed sets.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    run_trial(0xB47C0000 + seed, Hbps::Config{1024, 64, 128}, 96,
+              /*checkout_frac=*/0.15, /*change_frac=*/0.4,
+              /*expect_same_sets=*/true);
+  }
+}
+
+TEST(HbpsBatched, FuzzEquivalenceWideBins) {
+  // Few bins -> many same-bin changes (no-ops) mixed into the batch.
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    run_trial(0xB47C1000 + seed, Hbps::Config{1024, 256, 64}, 48,
+              /*checkout_frac=*/0.25, /*change_frac=*/0.6,
+              /*expect_same_sets=*/true);
+  }
+}
+
+TEST(HbpsBatched, FuzzStructuralUnderCapacityPressure) {
+  // Tight list: drops are path-dependent, so only the histogram and the
+  // structural invariants are comparable.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    run_trial(0xB47C2000 + seed, Hbps::Config{1024, 64, 12}, 96,
+              /*checkout_frac=*/0.15, /*change_frac=*/0.5,
+              /*expect_same_sets=*/false);
+  }
+}
+
+TEST(HbpsBatched, FuzzDefaultGeometryChurn) {
+  // Paper geometry (32 Ki score space, 32 bins, 1000-entry list) with a
+  // CP-sized batch; capacity never binds with 256 AAs.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    run_trial(0xB47C3000 + seed, Hbps::Config{}, 256,
+              /*checkout_frac=*/0.1, /*change_frac=*/0.5,
+              /*expect_same_sets=*/true);
+  }
+}
+
+TEST(HbpsBatched, AllCheckedOutIsANoOp) {
+  Rng rng(99);
+  Fixture f = make_fixture(rng, Hbps::Config{1024, 64, 20}, 16, 0.0);
+  // Check every AA out.
+  while (f.hbps.take_best().has_value()) {
+  }
+  Hbps ref = f.hbps;
+  std::vector<ScoreChange> batch;
+  for (AaId aa = 0; aa < 16; ++aa) {
+    batch.push_back({aa, f.scores[aa], static_cast<AaScore>(
+                                           (f.scores[aa] + 100) % 1025)});
+  }
+  f.hbps.apply_changes(batch);
+  ASSERT_TRUE(f.hbps.validate());
+  EXPECT_EQ(f.hbps.size(), 0u);
+  EXPECT_EQ(f.hbps.list_size(), ref.list_size());
+}
+
+}  // namespace
+}  // namespace wafl

@@ -1,17 +1,20 @@
-// CP determinism contract: WriteAllocator::finish_cp must be bit-identical
-// at every worker count.  The partition (per-group frees in deferral order)
-// is computed serially, the fanned-out work touches only group-disjoint
-// state, and everything shared (bitmap-metafile accounting and flush,
-// TopAA commits, CpStats folds) is serialized in fixed group order — so a
-// serial run, a 1-worker pool, and an 8-worker pool must produce the same
-// stats, the same activemap words, the same scoreboards, and the same
-// persisted TopAA bytes, across both heap-managed RAID groups and
-// HBPS-managed object-store pools.
+// CP determinism contract: both halves of the parallel CP — the
+// plan/execute physical allocation (WriteAllocator::allocate) and the CP
+// boundary (WriteAllocator::finish_cp) — must be bit-identical at every
+// worker count.  Demand is partitioned serially (allocation plan; per-group
+// frees in deferral order), the fanned-out work touches only group-disjoint
+// state, and everything shared (staged allocation deltas, bitmap-metafile
+// accounting and flush, TopAA commits, CpStats folds) is serialized in
+// fixed group order — so a serial run, a 1-worker pool, and an 8-worker
+// pool must produce the same stats, the same media bytes, the same
+// scoreboards, and the same persisted TopAA bytes, across heap-managed
+// RAID groups and HBPS-managed object-store pools in multiple geometries.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -23,25 +26,54 @@ namespace wafl {
 namespace {
 
 constexpr std::size_t kVols = 4;
+constexpr int kGeometries = 2;
 
-// Heap-managed HDD groups plus an HBPS-managed object-store pool, with the
-// §3.3.1 skip bias enabled so the rotation takes the biased path too.
-std::unique_ptr<Aggregate> make_agg() {
-  RaidGroupConfig hdd;
-  hdd.data_devices = 4;
-  hdd.parity_devices = 1;
-  hdd.device_blocks = 64 * 1024;
-  hdd.media.type = MediaType::kHdd;
-  hdd.aa_stripes = 2048;
-
-  RaidGroupConfig pool;
-  pool.data_devices = 1;
-  pool.parity_devices = 0;
-  pool.device_blocks = 8 * kFlatAaBlocks;
-  pool.media.type = MediaType::kObjectStore;
-
+// Geometry 0: symmetric heap-managed HDD groups plus an HBPS-managed
+// object-store pool, with the §3.3.1 skip bias enabled so the rotation
+// takes the biased path too.  Geometry 1: asymmetric widths and media — a
+// narrow SSD group, a wide HDD group and a smaller pool — so the plan's
+// per-group capacities, tetris widths and device timings all differ.
+std::unique_ptr<Aggregate> make_agg(int geometry) {
   AggregateConfig cfg;
-  cfg.raid_groups = {hdd, hdd, pool};
+  if (geometry == 0) {
+    RaidGroupConfig hdd;
+    hdd.data_devices = 4;
+    hdd.parity_devices = 1;
+    hdd.device_blocks = 64 * 1024;
+    hdd.media.type = MediaType::kHdd;
+    hdd.aa_stripes = 2048;
+
+    RaidGroupConfig pool;
+    pool.data_devices = 1;
+    pool.parity_devices = 0;
+    pool.device_blocks = 8 * kFlatAaBlocks;
+    pool.media.type = MediaType::kObjectStore;
+
+    cfg.raid_groups = {hdd, hdd, pool};
+  } else {
+    RaidGroupConfig ssd;
+    ssd.data_devices = 3;
+    ssd.parity_devices = 1;
+    ssd.device_blocks = 32 * 1024;
+    ssd.media.type = MediaType::kSsd;
+    ssd.media.ssd.pages_per_erase_block = 1024;
+    ssd.aa_stripes = 1024;
+
+    RaidGroupConfig hdd;
+    hdd.data_devices = 8;
+    hdd.parity_devices = 1;
+    hdd.device_blocks = 64 * 1024;
+    hdd.media.type = MediaType::kHdd;
+    hdd.aa_stripes = 2048;
+
+    RaidGroupConfig pool;
+    pool.data_devices = 1;
+    pool.parity_devices = 0;
+    pool.device_blocks = 4 * kFlatAaBlocks;
+    pool.media.type = MediaType::kObjectStore;
+
+    cfg.raid_groups = {ssd, hdd, pool};
+  }
   cfg.rg_skip_free_fraction = 0.02;
   auto agg = std::make_unique<Aggregate>(cfg, 20180813);
   for (std::size_t v = 0; v < kVols; ++v) {
@@ -103,6 +135,30 @@ void expect_same_stats(const CpStats& a, const CpStats& b, int cp) {
   EXPECT_DOUBLE_EQ(a.agg_pick_free_frac.mean(), b.agg_pick_free_frac.mean());
 }
 
+// Every persisted byte: aggregate bitmap metafile, TopAA slots and the
+// per-volume metafile stores, compared block by block via peek (bypassing
+// any in-memory caches — this is the media a crash would leave behind).
+void expect_same_media(Aggregate& a, Aggregate& b) {
+  alignas(8) std::byte ba[kBlockSize];
+  alignas(8) std::byte bb[kBlockSize];
+  const auto cmp = [&](const BlockStore& sa, const BlockStore& sb,
+                       const char* tag) {
+    ASSERT_EQ(sa.capacity_blocks(), sb.capacity_blocks());
+    for (std::uint64_t blk = 0; blk < sa.capacity_blocks(); ++blk) {
+      sa.peek(blk, ba);
+      sb.peek(blk, bb);
+      ASSERT_EQ(std::memcmp(ba, bb, kBlockSize), 0)
+          << tag << " block " << blk << " differs between worker counts";
+    }
+  };
+  cmp(a.meta_store(), b.meta_store(), "agg meta");
+  cmp(a.topaa_store(), b.topaa_store(), "agg topaa");
+  ASSERT_EQ(a.volume_count(), b.volume_count());
+  for (VolumeId v = 0; v < a.volume_count(); ++v) {
+    cmp(a.volume(v).store(), b.volume(v).store(), "vol store");
+  }
+}
+
 // Bit-identical end state: activemap words, per-group scoreboards, and the
 // persisted TopAA bytes (1 block for heap groups, 2 for HBPS pools; the
 // unwritten tail of a heap group's slot reads as zeroes in both).
@@ -128,31 +184,39 @@ void expect_same_state(Aggregate& a, Aggregate& b) {
       EXPECT_EQ(buf_a, buf_b) << "TopAA block " << blk;
     }
   }
+  expect_same_media(a, b);
 }
 
+// The oracle: a serial run (workers = 0, no pool) of the seeded multi-CP
+// workload, against which every pooled run — including a 1-worker pool,
+// which exercises the parallel code path without concurrency — must be
+// bit-identical, in both geometries.
 TEST(CpDeterminism, WorkerCountInvariant) {
-  auto serial = make_agg();
-  const auto serial_stats = run_workload(*serial, nullptr);
+  for (int geo = 0; geo < kGeometries; ++geo) {
+    SCOPED_TRACE("geometry " + std::to_string(geo));
+    auto serial = make_agg(geo);
+    const auto serial_stats = run_workload(*serial, nullptr);
 
-  for (const std::size_t workers : {1u, 2u, 8u}) {
-    SCOPED_TRACE(std::to_string(workers) + " workers");
-    auto parallel = make_agg();
-    ThreadPool pool(workers);
-    const auto parallel_stats = run_workload(*parallel, &pool);
-    ASSERT_EQ(serial_stats.size(), parallel_stats.size());
-    for (std::size_t cp = 0; cp < serial_stats.size(); ++cp) {
-      expect_same_stats(serial_stats[cp], parallel_stats[cp],
-                        static_cast<int>(cp));
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+      SCOPED_TRACE(std::to_string(workers) + " workers");
+      auto parallel = make_agg(geo);
+      ThreadPool pool(workers);
+      const auto parallel_stats = run_workload(*parallel, &pool);
+      ASSERT_EQ(serial_stats.size(), parallel_stats.size());
+      for (std::size_t cp = 0; cp < serial_stats.size(); ++cp) {
+        expect_same_stats(serial_stats[cp], parallel_stats[cp],
+                          static_cast<int>(cp));
+      }
+      expect_same_state(*serial, *parallel);
     }
-    expect_same_state(*serial, *parallel);
   }
 }
 
 TEST(CpDeterminism, RepeatedParallelRunsIdentical) {
   // Same pool size twice: rules out run-to-run scheduling effects (the
   // classic symptom of a hidden ordering dependence).
-  auto first = make_agg();
-  auto second = make_agg();
+  auto first = make_agg(0);
+  auto second = make_agg(0);
   ThreadPool pool_a(8);
   ThreadPool pool_b(8);
   const auto stats_a = run_workload(*first, &pool_a);
@@ -165,11 +229,14 @@ TEST(CpDeterminism, RepeatedParallelRunsIdentical) {
 
 TEST(CpDeterminism, MountAfterParallelCpsSeedsFromTopAa) {
   // The TopAA images built in the fanned-out phase and committed serially
-  // must be valid for mount, for every group kind.
-  auto agg = make_agg();
-  ThreadPool pool(8);
-  run_workload(*agg, &pool);
-  EXPECT_EQ(agg->mount_from_topaa(), agg->raid_group_count());
+  // must be valid for mount, for every group kind and geometry.
+  for (int geo = 0; geo < kGeometries; ++geo) {
+    SCOPED_TRACE("geometry " + std::to_string(geo));
+    auto agg = make_agg(geo);
+    ThreadPool pool(8);
+    run_workload(*agg, &pool);
+    EXPECT_EQ(agg->mount_from_topaa(), agg->raid_group_count());
+  }
 }
 
 }  // namespace

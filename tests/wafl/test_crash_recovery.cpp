@@ -132,6 +132,25 @@ TEST(CrashRecovery, CrashInsideParallelBoundary) {
   EXPECT_TRUE(v.ok()) << v.message();
 }
 
+TEST(CrashRecovery, MidParallelAllocation) {
+  // The crash fires on a pool thread inside the execute phase of the
+  // plan/execute allocator: some groups have filled tetris windows and
+  // staged activemap bits, others have not started, and with 8 workers
+  // which is which is an interleaving accident.  Nothing of this CP is
+  // persisted during allocation (device models are simulation state), so
+  // the surviving media is exactly the previous committed CP and the full
+  // invariant suite must hold over it.
+  CrashCaseConfig cfg = base_config(1717);
+  cfg.workers = 8;
+  cfg.crash_hook = "wa.in_alloc_execute";
+  cfg.crash_hook_nth = 2;
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_EQ(v.crash_point, "wa.in_alloc_execute");
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
 TEST(CrashRecovery, BetweenVolumeCommits) {
   // Volume 0 flushed its bitmap and TopAA, volume 1 (and the aggregate)
   // did not — the cross-object gap of the CP's serial phase 3.

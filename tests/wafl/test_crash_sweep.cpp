@@ -43,6 +43,13 @@ struct HookChoice {
   std::uint64_t max_nth_with_pool;  // + object-store pool
 };
 constexpr HookChoice kHooks[] = {
+    // Fires once per CP, after the serial allocation plan fixed every
+    // group's quota but before any block was taken.
+    {"wa.in_alloc_plan", 1, 1},
+    // Fires per RAID group with planned work inside the (possibly
+    // parallel) execute phase; every sweep CP's demand spans more than one
+    // rotation round, so all groups draw work.
+    {"wa.in_alloc_execute", 2, 3},
     {"wa.before_boundary", 1, 1},
     {"wa.after_boundary", 1, 1},
     {"wa.before_bitmap_flush", 1, 1},

@@ -54,7 +54,9 @@ build_and_test() {
   echo "=== build $dir ==="
   cmake --build "$dir" -j "$JOBS"
   echo "=== ctest $dir ==="
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" | tail -3
+  # -LE slow: the full sharded crash sweep (label "slow") is excluded from
+  # the default tier-1 pass; --crash runs it via -L crash.
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -LE slow | tail -3
 }
 
 build_and_test build
@@ -136,10 +138,15 @@ if [[ $PERF -eq 1 ]]; then
   }
 
   pf=$(jq -r '.parallel_fraction' BENCH_parallel_cp.json)
+  apf=$(jq -r '.alloc_parallel_fraction' BENCH_parallel_cp.json)
   a4=$(jq -r '.amdahl_speedup_w4' BENCH_parallel_cp.json)
   hw=$(jq -r '.hw_threads' BENCH_parallel_cp.json)
   ident=$(jq -r '.identical_all_worker_counts' BENCH_parallel_cp.json)
-  gate "parallel_fraction" "$pf" 0.60
+  # 0.85 reflects the plan/execute allocation split: with the tetris fills
+  # fanned out, only the plan, the window flush, the free partition and the
+  # delta/stats merges remain serial.
+  gate "parallel_fraction" "$pf" 0.85
+  gate "alloc_parallel_fraction" "$apf" 0.85
   gate "amdahl_speedup_w4" "$a4" 1.50
   [[ "$ident" == "true" ]] ||
     { echo "FAIL: parallel CP diverged from serial"; exit 1; }
