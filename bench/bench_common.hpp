@@ -7,10 +7,13 @@
 // figure plots.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "obs/export.hpp"
 #include "obs/obs.hpp"
 
 namespace wafl::bench {
@@ -57,9 +60,13 @@ inline std::string json_path(const char* file) {
 }
 
 /// Writes the global obs registry as JSON to `<figure>.metrics.json` in the
-/// working directory, making figure runs comparable run-over-run.  A no-op
-/// (beyond an empty snapshot) when obs is compiled out.
-inline void dump_metrics(const char* figure) {
+/// working directory, making figure runs comparable run-over-run.  Benches
+/// that ran with span capture enabled get a "span_summary" section
+/// (per-phase wall/self times, per-thread occupancy, critical path)
+/// appended.  A no-op (beyond an empty snapshot) when obs is compiled out.
+inline void dump_metrics_with_spans(const char* figure,
+                                    const std::vector<obs::SpanRecord>& spans,
+                                    std::uint64_t dropped) {
   if constexpr (!obs::kEnabled) {
     return;
   }
@@ -69,10 +76,23 @@ inline void dump_metrics(const char* figure) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return;
   }
-  const std::string json = obs::to_json(obs::registry());
+  const std::string json =
+      spans.empty() ? obs::to_json(obs::registry())
+                    : obs::to_json_with_spans(obs::registry(), spans,
+                                              dropped);
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("\n[obs] metrics snapshot written to %s\n", path.c_str());
+}
+
+inline void dump_metrics(const char* figure) {
+  if constexpr (!obs::kEnabled) {
+    return;
+  }
+  // Benches that ran with span capture on and left records in the global
+  // collector get a "span_summary" section for free.
+  dump_metrics_with_spans(figure, obs::spans().snapshot(),
+                          obs::spans().dropped());
 }
 
 }  // namespace wafl::bench

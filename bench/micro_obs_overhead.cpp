@@ -70,11 +70,37 @@ void bench_primitives() {
   }
   const double trace_ns = seconds_since(t0) * 1e9 / kTraceIters;
 
+  // Span sites have two costs: the dormant one every instrumented phase
+  // pays whether or not anyone is tracing (one relaxed load of the
+  // capture gate — this is the cost the <2% hot-loop gate bounds), and
+  // the armed open+close+ring-push cost paid only while capturing.
+  constexpr std::uint64_t kSpanIters = 2'000'000;
+  obs::set_span_capture(false);
+  t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kSpanIters; ++i) {
+    obs::TraceSpan s(obs::SpanKind::kRgFill, i);
+    (void)s;
+  }
+  const double span_off_ns = seconds_since(t0) * 1e9 / kSpanIters;
+
+  constexpr std::uint64_t kSpanOnIters = 200'000;
+  obs::set_span_capture(true);
+  t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kSpanOnIters; ++i) {
+    obs::TraceSpan s(obs::SpanKind::kRgFill, i);
+    (void)s;
+  }
+  const double span_on_ns = seconds_since(t0) * 1e9 / kSpanOnIters;
+  obs::set_span_capture(false);
+  obs::spans().clear();
+
   std::printf("primitive costs (single thread):\n");
   std::printf("  counter add       %8.1f ns/op\n", counter_ns);
   std::printf("  log hist record   %8.1f ns/op\n", hist_ns);
   std::printf("  linear hist record%8.1f ns/op\n", linear_ns);
   std::printf("  trace emit        %8.1f ns/op\n", trace_ns);
+  std::printf("  span (capture off)%8.1f ns/op\n", span_off_ns);
+  std::printf("  span (capture on) %8.1f ns/op\n", span_on_ns);
   obs::reset_all();
 }
 

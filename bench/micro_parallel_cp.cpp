@@ -16,6 +16,7 @@
 // `alloc_ms[w=N]=` lines are machine-parseable.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -99,6 +100,8 @@ struct RunResult {
   double alloc_ms = 0.0;     // allocate_pvbns wall time, summed
   CpPhaseProfile phases;     // per-phase split over the timed CPs
   CpStats totals;
+  std::vector<obs::SpanRecord> spans;  // all timed CPs, capture enabled
+  std::uint64_t spans_dropped = 0;
 };
 
 /// Runs the workload with `workers` pool threads (0 = fully serial CP),
@@ -112,12 +115,18 @@ RunResult run(const Shape& s, std::size_t workers) {
   if (workers > 0) pool = std::make_unique<ThreadPool>(workers);
   Rng rng(4242);
   RunResult r;
+  // Capture spans for the whole run: the serial run's spans reconcile
+  // against CpPhaseProfile below, and a parallel run's become the Chrome
+  // trace artifact.  (The capture sites cost nanoseconds; the timed
+  // phases are milliseconds.)
+  WAFL_OBS(obs::set_span_capture(true));
   // CP -1 is an untimed prefill of every logical block, so the timed CPs
   // are pure overwrites and the boundary's free-side work (the fanned-out
   // half) carries its steady-state weight.
   for (int cp = -1; cp < s.cps; ++cp) {
     if (cp == 0) {
       cp_phase_profile().reset();  // drop the prefill CP's laps
+      WAFL_OBS(obs::spans().clear());
     }
     std::vector<DirtyBlock> dirty;
     if (cp < 0) {
@@ -183,9 +192,71 @@ RunResult run(const Shape& s, std::size_t workers) {
               .count();
       r.totals.merge(stats);
     }
+    // Drain the span rings every CP so one CP's spans can never wrap a
+    // ring over an earlier CP's (the per-thread rings hold 8 Ki spans).
+    WAFL_OBS({
+      if (cp >= 0) {
+        const auto batch_spans = obs::spans().snapshot();
+        r.spans.insert(r.spans.end(), batch_spans.begin(),
+                       batch_spans.end());
+        r.spans_dropped += obs::spans().dropped();
+      }
+      obs::spans().clear();
+    });
   }
+  WAFL_OBS(obs::set_span_capture(false));
   r.phases = cp_phase_profile();
   return r;
+}
+
+/// Sums the wall time of every span of `kind`, in milliseconds.
+double span_wall_ms(const std::vector<obs::SpanRecord>& spans,
+                    obs::SpanKind kind) {
+  std::uint64_t ns = 0;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.kind == kind) ns += s.t1_ns - s.t0_ns;
+  }
+  return static_cast<double>(ns) / 1e6;
+}
+
+/// The trace-vs-profile reconciliation (acceptance check): each profile
+/// bucket's spans bracket exactly the code region the corresponding
+/// lap() timed, so the summed span wall time must land within 5% of the
+/// profile bucket (plus a small absolute epsilon for sub-millisecond
+/// buckets, where scheduler noise outweighs the phase itself).
+bool reconcile(const RunResult& serial) {
+  struct Pair {
+    const char* name;
+    obs::SpanKind kind;
+    double profile_ms;
+  };
+  const CpPhaseProfile& p = serial.phases;
+  const Pair pairs[] = {
+      {"plan", obs::SpanKind::kWaPlan, p.plan_ms},
+      {"execute", obs::SpanKind::kWaExecute, p.execute_ms},
+      {"alloc_merge", obs::SpanKind::kWaMerge, p.alloc_merge_ms},
+      {"windows", obs::SpanKind::kFcWindows, p.windows_ms},
+      {"owner", obs::SpanKind::kFcOwner, p.owner_ms},
+      {"partition", obs::SpanKind::kFcPartition, p.partition_ms},
+      {"boundary", obs::SpanKind::kFcBoundary, p.boundary_ms},
+      {"merge", obs::SpanKind::kFcMerge, p.merge_ms},
+      {"flush", obs::SpanKind::kFcFlush, p.flush_ms},
+      {"topaa", obs::SpanKind::kFcTopaa, p.topaa_ms},
+      {"fold", obs::SpanKind::kFcFold, p.fold_ms},
+  };
+  bool ok = true;
+  std::printf("trace_reconciliation (span wall vs profile, serial run):\n");
+  for (const Pair& pr : pairs) {
+    const double span_ms = span_wall_ms(serial.spans, pr.kind);
+    const double diff = std::abs(span_ms - pr.profile_ms);
+    const double tol = std::max(0.05 * pr.profile_ms, 0.5);
+    const bool pass = diff <= tol;
+    std::printf("  %-12s span=%9.3fms profile=%9.3fms diff=%7.3fms %s\n",
+                pr.name, span_ms, pr.profile_ms, diff,
+                pass ? "ok" : "MISMATCH");
+    if (!pass) ok = false;
+  }
+  return ok;
 }
 
 }  // namespace
@@ -245,14 +316,30 @@ int main() {
   std::printf("parallel_fraction=%.3f  amdahl_speedup[w=4]=%.2fx\n",
               par_frac, amdahl4);
 
+  // Acceptance check: the serial run's spans must reconcile with the
+  // CpPhaseProfile laps (the spans bracket the same code regions).
+  if (obs::kEnabled && !serial.spans.empty()) {
+    if (serial.spans_dropped != 0) {
+      std::fprintf(stderr, "warning: %llu spans dropped in serial run\n",
+                   static_cast<unsigned long long>(serial.spans_dropped));
+    }
+    if (!reconcile(serial)) {
+      std::fprintf(stderr,
+                   "trace does not reconcile with CpPhaseProfile\n");
+      return 1;
+    }
+  }
+
   double wall_ms[5] = {serial.boundary_ms, 0, 0, 0, 0};
   double alloc_wall_ms[5] = {serial.alloc_ms, 0, 0, 0, 0};
+  std::vector<obs::SpanRecord> trace_spans;
   const std::size_t worker_counts[4] = {1, 2, 4, 8};
   for (std::size_t wi = 0; wi < 4; ++wi) {
     const std::size_t workers = worker_counts[wi];
     const RunResult r = run(s, workers);
     wall_ms[wi + 1] = r.boundary_ms;
     alloc_wall_ms[wi + 1] = r.alloc_ms;
+    if (workers == 4) trace_spans = r.spans;  // the exported timeline
     const bool identical =
         r.totals.blocks_written == serial.totals.blocks_written &&
         r.totals.blocks_freed == serial.totals.blocks_freed &&
@@ -312,6 +399,24 @@ int main() {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
   }
 
-  bench::dump_metrics("micro_parallel_cp");
+  // Chrome trace_event timeline of the 4-worker run — load the file in
+  // Perfetto (ui.perfetto.dev) or chrome://tracing.
+  if (obs::kEnabled && !trace_spans.empty()) {
+    const std::string trace_path =
+        bench::json_path("micro_parallel_cp.trace.json");
+    if (std::FILE* f = std::fopen(trace_path.c_str(), "w")) {
+      const std::string json = obs::spans_to_chrome_json(trace_spans);
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("[obs] Chrome trace (w=4 run, %zu spans) written to %s\n",
+                  trace_spans.size(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", trace_path.c_str());
+    }
+  }
+
+  // Metrics snapshot carries the 4-worker run's timeline summary
+  // (per-phase wall/self, per-thread occupancy, critical path).
+  bench::dump_metrics_with_spans("micro_parallel_cp", trace_spans, 0);
   return 0;
 }

@@ -44,7 +44,12 @@ void CrashHooks::hit_slow(const char* name) {
     armed_.erase(it);  // one crash per arm
     armed_count_.store(armed_.size(), std::memory_order_relaxed);
   }
-  WAFL_OBS(obs::registry().counter("wafl.fault.crashes_injected").inc());
+  WAFL_OBS({
+    obs::registry().counter("wafl.fault.crashes_injected").inc();
+    // Black-box note: the dump ties the failure/repro back to the exact
+    // hook (and firing ordinal) that cut the CP short.
+    obs::flight_recorder().note("crash", name, fired_count);
+  });
   throw CrashPoint(name, fired_count);
 }
 

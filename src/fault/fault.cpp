@@ -95,7 +95,10 @@ void FaultEngine::after_write(const BlockStore& store,
     armed_ = false;  // whatever follows the crash reads honest media
     ordinal = writes_;
   }
-  WAFL_OBS(metrics_.crashes->inc());
+  WAFL_OBS({
+    metrics_.crashes->inc();
+    obs::flight_recorder().note("crash", "store.write", ordinal);
+  });
   throw CrashPoint("store.write", ordinal);
 }
 

@@ -5,8 +5,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace wafl::obs {
@@ -24,5 +26,26 @@ std::string to_json(const Registry& reg);
 
 /// JSON array of the ring's current events, oldest first.
 std::string trace_to_json(const TraceRing& ring);
+
+/// Chrome trace_event JSON (Perfetto / chrome://tracing loadable): one
+/// complete event (ph "X") per span, ts/dur in microseconds relative to
+/// the earliest span, tid = the emitting buffer's registration index,
+/// span/parent ids and the a/b payloads in args.
+std::string spans_to_chrome_json(const std::vector<SpanRecord>& spans);
+
+/// Timeline summary JSON object: per-kind count / wall / self time (self
+/// = wall minus the union of child intervals), per-RAID-group breakdown
+/// for the rg-labelled kinds, per-thread busy time and occupancy over the
+/// snapshot window, and a critical-path estimate (longest self-time chain
+/// through the span forest, overlapping siblings counted once).
+/// `dropped` is SpanCollector::dropped() at snapshot time.
+std::string span_summary_json(const std::vector<SpanRecord>& spans,
+                              std::uint64_t dropped = 0);
+
+/// to_json() with a "span_summary" section appended — the shape benches
+/// write into their *.metrics.json dumps.
+std::string to_json_with_spans(const Registry& reg,
+                               const std::vector<SpanRecord>& spans,
+                               std::uint64_t dropped = 0);
 
 }  // namespace wafl::obs

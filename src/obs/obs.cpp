@@ -15,6 +15,8 @@ TraceRing& trace() {
 void reset_all() {
   registry().reset();
   trace().clear();
+  spans().clear();
+  flight_recorder().clear();
 }
 
 }  // namespace wafl::obs

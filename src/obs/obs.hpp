@@ -10,8 +10,10 @@
 #pragma once
 
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 #ifndef WAFL_OBS_ENABLED
@@ -29,7 +31,10 @@ Registry& registry();
 /// Process-global event trace ring.
 TraceRing& trace();
 
-/// Zeroes the global registry and clears the trace — test/bench isolation.
+/// Zeroes the global registry and clears the trace, the span buffers and
+/// the flight recorder — test/bench isolation.  (The span collector and
+/// flight recorder singletons live in span.hpp / flight_recorder.hpp:
+/// obs::spans(), obs::flight_recorder().)
 void reset_all();
 
 }  // namespace wafl::obs

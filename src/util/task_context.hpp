@@ -1,0 +1,48 @@
+// Per-task opaque context word, propagated by ThreadPool into workers.
+//
+// The observability span layer (src/obs/span.hpp) needs to know "which
+// span was open on the thread that *scheduled* this task" to stitch
+// parent/child causality across parallel_for fan-outs.  But wafl_obs
+// links *against* wafl_util, not the other way around, so the pool
+// cannot name span types.  The compromise: util owns one thread-local
+// opaque uint64 (the current span id, 0 = none); the pool captures it at
+// submission time and restores it around task execution; obs interprets
+// it.  No obs header is included here and the word means nothing to util.
+#pragma once
+
+#include <cstdint>
+
+namespace wafl {
+
+namespace detail {
+inline thread_local std::uint64_t g_task_context = 0;
+}  // namespace detail
+
+/// The calling thread's current task context (0 = none).
+inline std::uint64_t current_task_context() noexcept {
+  return detail::g_task_context;
+}
+
+inline void set_task_context(std::uint64_t ctx) noexcept {
+  detail::g_task_context = ctx;
+}
+
+/// RAII save/override/restore of the thread's context word.  ThreadPool
+/// wraps every queued task in one of these so a task observes the
+/// submitter's context, and whatever the task leaves behind never bleeds
+/// into the next (unrelated) task on the same worker.
+class TaskContextScope {
+ public:
+  explicit TaskContextScope(std::uint64_t ctx) noexcept
+      : saved_(current_task_context()) {
+    set_task_context(ctx);
+  }
+  TaskContextScope(const TaskContextScope&) = delete;
+  TaskContextScope& operator=(const TaskContextScope&) = delete;
+  ~TaskContextScope() { set_task_context(saved_); }
+
+ private:
+  std::uint64_t saved_;
+};
+
+}  // namespace wafl

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "util/assert.hpp"
+#include "util/task_context.hpp"
 
 namespace wafl {
 
@@ -31,10 +32,19 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   WAFL_ASSERT(task != nullptr);
+  // Capture the submitter's task context so the task runs as a child of
+  // whatever span (or other context) was open at submission time.  Every
+  // parallel_for / parallel_for_dynamic part funnels through here, which
+  // is what lets obs spans nest across the fan-out.  The scope restores
+  // the worker's previous word even if the task throws.
+  auto wrapped = [ctx = current_task_context(), t = std::move(task)] {
+    TaskContextScope scope(ctx);
+    t();
+  };
   {
     std::lock_guard lock(mu_);
     WAFL_ASSERT_MSG(!stop_, "submit after shutdown");
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(wrapped));
   }
   cv_task_.notify_one();
 }

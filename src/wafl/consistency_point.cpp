@@ -84,6 +84,10 @@ struct VolumeSlice {
 
 void run_slice(Aggregate& agg, std::span<const DirtyBlock> dirty,
                std::span<const Vbn> pvbns, VolumeSlice& slice) {
+  // Parent: the cp.volumes span on the scheduling thread — the pool
+  // carried its id here through the task-context word.
+  obs::TraceSpan span(obs::SpanKind::kCpVolSlice, slice.vol,
+                      slice.end - slice.begin);
   FlexVol& vol = agg.volume(slice.vol);
   for (std::size_t i = slice.begin; i < slice.end; ++i) {
     const DirtyBlock& db = dirty[i];
@@ -111,30 +115,37 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
     cp_no = static_cast<std::uint32_t>(cp_metrics().count.value());
     obs::trace().emit(obs::EventType::kCpBegin, cp_no, dirty.size());
   });
+  obs::TraceSpan cp_span(obs::SpanKind::kCp, cp_no, dirty.size());
   agg.begin_cp();
 
   // Group the dirty list by volume (stable, preserving per-volume order)
   // so each volume's work is one contiguous slice.
+  obs::TraceSpan sort_span(obs::SpanKind::kCpSort, 0, dirty.size());
   std::vector<DirtyBlock> sorted(dirty.begin(), dirty.end());
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const DirtyBlock& a, const DirtyBlock& b) {
                      return a.vol < b.vol;
                    });
+  sort_span.end();
   WAFL_OBS(cp_metrics().phase_sort_ns.record(
       static_cast<double>(phase_timer.lap())));
 
   // Phase 1: physical allocation in write order — a serial plan assigns
   // demand to RAID groups (round-robin rotation + skip bias), then the
   // per-group tetris fills execute in parallel on the pool.
+  obs::TraceSpan alloc_span(obs::SpanKind::kCpAlloc, 0, sorted.size());
   std::vector<Vbn> pvbns;
   pvbns.reserve(sorted.size());
   const bool ok = agg.allocate_pvbns(sorted.size(), pvbns, stats, pool);
   WAFL_ASSERT_MSG(ok, "aggregate out of space during CP");
+  alloc_span.set_b(pvbns.size());
+  alloc_span.end();
   WAFL_OBS(cp_metrics().phase_alloc_ns.record(
       static_cast<double>(phase_timer.lap())));
 
   // Phase 2: per-volume virtual allocation and remapping — parallel
   // across volumes when a pool is supplied [10].
+  obs::TraceSpan volumes_span(obs::SpanKind::kCpVolumes);
   std::vector<VolumeSlice> slices;
   for (std::size_t i = 0; i < sorted.size();) {
     VolumeSlice slice;
@@ -160,12 +171,15 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
       agg.defer_free_pvbn(freed_pvbn);
     }
   }
+  volumes_span.set_b(slices.size());
+  volumes_span.end();
   WAFL_OBS(cp_metrics().phase_volumes_ns.record(
       static_cast<double>(phase_timer.lap())));
 
   // Phase 2b: reclaim a bounded slice of any pending delayed frees
   // (snapshot-deletion debt) — richest regions first, a few regions per
   // CP, so bulk deletions amortize across CPs instead of stalling one.
+  obs::TraceSpan delayed_span(obs::SpanKind::kCpDelayedFree);
   std::vector<Vbn> reclaimed_pvbns;
   for (VolumeId v = 0; v < agg.volume_count(); ++v) {
     agg.volume(v).process_delayed_frees(kDelayedFreeRegionsPerCp,
@@ -175,6 +189,8 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
     agg.clear_owner(pvbn);
     agg.defer_free_pvbn(pvbn);
   }
+  delayed_span.set_b(reclaimed_pvbns.size());
+  delayed_span.end();
   WAFL_OBS(cp_metrics().phase_delayed_free_ns.record(
       static_cast<double>(phase_timer.lap())));
 
@@ -187,10 +203,13 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
     // with their TopAA committed, and the rest — plus the whole aggregate
     // side — at the previous CP.
     WAFL_CRASH_POINT("cp.before_volume_finish");
+    obs::TraceSpan vol_finish_span(obs::SpanKind::kCpVolFinish, v);
     agg.volume(v).finish_cp(stats);
   }
   WAFL_CRASH_POINT("cp.before_agg_finish");
+  obs::TraceSpan agg_finish_span(obs::SpanKind::kCpAggFinish);
   agg.finish_cp(stats, pool);
+  agg_finish_span.end();
 
   // Fold this CP's stats into the global registry (one batch of adds per
   // CP) and close out the trace.

@@ -72,6 +72,7 @@ bool raid_agnostic_content_ok(const Hbps& persisted,
 
 IronReport iron_check_topaa(Aggregate& agg) {
   IronReport report;
+  obs::TraceSpan span(obs::SpanKind::kIronCheck);
 
   // --- RAID groups / pools ---------------------------------------------------
   for (RaidGroupId rg = 0; rg < agg.raid_group_count(); ++rg) {
@@ -155,6 +156,7 @@ IronReport iron_check_topaa(Aggregate& agg) {
     reg.counter("wafl.iron.rewrites")
         .add(report.rg_rewritten + report.vol_rewritten);
   });
+  span.set_b(report.rg_rewritten + report.vol_rewritten);
   return report;
 }
 

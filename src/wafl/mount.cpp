@@ -46,6 +46,7 @@ void for_each_volume(Aggregate& agg, ThreadPool* pool,
 MountReport mount_all(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
   MountReport report;
   report.used_topaa = use_topaa;
+  obs::TraceSpan mount_span(obs::SpanKind::kMount, use_topaa ? 1 : 0);
 
   const std::uint64_t reads0 = total_reads(agg);
   const auto t0 = std::chrono::steady_clock::now();
@@ -55,6 +56,7 @@ MountReport mount_all(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
     report.rgs_seeded = agg.mount_from_topaa();
     for (VolumeId v = 0; v < agg.volume_count(); ++v) {
       WAFL_CRASH_POINT("mount.before_vol_seed");
+      obs::TraceSpan seed_span(obs::SpanKind::kMountVolSeed, v);
       if (agg.volume(v).mount_from_topaa()) {
         ++report.vols_seeded;
       }
@@ -95,9 +97,11 @@ MountReport recover_mount(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
   // Ground truth first: a reconstructed aggregate's in-memory bitmaps are
   // all-free until loaded, and every recovery decision — TopAA fallback
   // scans, Iron recomputation, the next CP's allocations — reads them.
+  obs::TraceSpan load_span(obs::SpanKind::kRecoverLoad);
   agg.load_activemap(pool);
   for_each_volume(agg, pool,
                   [&](VolumeId v) { agg.volume(v).rebuild_scoreboard(); });
+  load_span.end();
   return mount_all(agg, use_topaa, pool);
 }
 

@@ -47,6 +47,7 @@ std::uint32_t empty_aa_count(const RgAllocator& group) {
 
 std::int64_t SegmentCleaner::clean_one(Aggregate& agg, RaidGroupId rg,
                                        AaId aa, CpStats& stats) {
+  obs::TraceSpan span(obs::SpanKind::kCleanerCleanOne, rg);
   const AaLayout& layout = agg.write_allocator().group(rg).layout();
   const Vbn begin = layout.aa_begin(aa);
   const Vbn end = layout.aa_end(aa);
@@ -76,11 +77,13 @@ std::int64_t SegmentCleaner::clean_one(Aggregate& agg, RaidGroupId rg,
     agg.clear_owner(live[i]);
     agg.defer_free_pvbn(live[i]);
   }
+  span.set_b(live.size());
   return static_cast<std::int64_t>(live.size());
 }
 
 CleanerReport SegmentCleaner::run(Aggregate& agg) {
   CleanerReport report;
+  obs::TraceSpan pass_span(obs::SpanKind::kCleanerPass);
   // The cleaner is an allocation-engine client: candidate selection and
   // AA checkout speak to the WriteAllocator directly; the aggregate is
   // only consulted for what it still owns (activemap, block ownership,
@@ -140,6 +143,7 @@ CleanerReport SegmentCleaner::run(Aggregate& agg) {
         static_cast<std::uint32_t>(reg.counter("wafl.cleaner.passes").value()),
         report.aas_cleaned, report.blocks_relocated);
   });
+  pass_span.set_b(report.blocks_relocated);
   return report;
 }
 

@@ -246,6 +246,7 @@ bool RgAllocator::ensure_cursor(CpStats& stats, bool force, Rng& rng) {
 
 std::uint64_t RgAllocator::fill(std::uint64_t need, std::vector<Vbn>& out,
                                 CpStats& stats, bool force, Rng& rng) {
+  obs::TraceSpan span(obs::SpanKind::kRgFill, raid_.id());
   const BitmapMetafile& map = activemap_.metafile();
   const RaidGeometry& geom = raid_.geometry();
   const std::uint64_t bpt = geom.blocks_per_tetris();
@@ -299,7 +300,10 @@ std::uint64_t RgAllocator::fill(std::uint64_t need, std::vector<Vbn>& out,
         cursor_aa_ = kInvalidAaId;
       }
     }
-    if (taken > 0) return taken;
+    if (taken > 0) {
+      span.set_b(taken);
+      return taken;
+    }
     // Otherwise the open window had no free blocks left (a previous turn
     // drained it): it has been emitted above; try again from a fresh jump.
   }
@@ -307,6 +311,8 @@ std::uint64_t RgAllocator::fill(std::uint64_t need, std::vector<Vbn>& out,
 
 void RgAllocator::flush_window(CpStats& stats) {
   if (window_writes_.empty()) return;
+  obs::TraceSpan span(obs::SpanKind::kRgTetrisFlush, raid_.id(),
+                      window_writes_.size());
 
   const RaidGeometry& geom = raid_.geometry();
   // Convert to group-local VBNs (ascending by construction).
@@ -369,6 +375,7 @@ void RgAllocator::flush_window(CpStats& stats) {
 
 BitmapMetafile::FreeDelta RgAllocator::cp_boundary(
     std::span<const Vbn> frees) {
+  obs::TraceSpan span(obs::SpanKind::kFcRgBoundary, raid_.id(), frees.size());
   // Apply this group's share of the CP's deferred frees: clear the bits
   // word-batched (this group's bitmap words are disjoint from every other
   // group's; the shared free-count summary and dirty set are settled
@@ -441,6 +448,8 @@ BitmapMetafile::FreeDelta RgAllocator::cp_boundary(
 
 std::uint64_t RgAllocator::commit_topaa() {
   if (!topaa_staged_) return 0;
+  obs::TraceSpan span(obs::SpanKind::kFcRgTopaa, raid_.id(),
+                      staged_topaa_.nblocks);
   TopAaFile topaa(topaa_store_, topaa_base_);
   topaa.commit(staged_topaa_);
   topaa_staged_ = false;
@@ -628,7 +637,11 @@ bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
   // capped at the cursor's remaining free blocks.  Capacity caps make the
   // plan exactly executable: frees are deferred, so the free-bit count
   // cannot shrink under execute's feet.
+  //
+  // The wa.* spans open/close at the same marks the lap() calls use, so a
+  // trace's per-phase times reconcile with CpPhaseProfile.
   const std::size_t ngroups = groups_.size();
+  obs::TraceSpan plan_span(obs::SpanKind::kWaPlan, ngroups, n);
   struct GroupPlan {
     std::vector<std::pair<std::size_t, std::uint64_t>> runs;  // (pos, count)
     std::uint64_t planned = 0;
@@ -683,7 +696,9 @@ bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
   // Crash here = power loss after demand was partitioned but before any
   // block was taken; nothing has been mutated yet.
   WAFL_CRASH_POINT("wa.in_alloc_plan");
+  plan_span.end();
   lap(prof.plan_ms);
+  obs::TraceSpan execute_span(obs::SpanKind::kWaExecute, 0, n - remaining);
 
   // --- Execute (parallel).  Group work lists are disjoint by construction
   // and every fill touches only group-owned state: its own cache, cursor,
@@ -701,6 +716,7 @@ bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
   }
   auto execute_one = [&](std::size_t g) {
     if (plan[g].planned == 0) return;
+    obs::TraceSpan rg_span(obs::SpanKind::kWaRgExecute, g, plan[g].planned);
     // Crash here = power loss mid-parallel-allocation: bits of some groups
     // staged, nothing persisted (device models are simulation state).  May
     // fire on a pool thread; ThreadPool rethrows on the caller.
@@ -725,7 +741,9 @@ bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
       execute_one(g);
     }
   }
+  execute_span.end();
   lap(prof.execute_ms);
+  obs::TraceSpan merge_span(obs::SpanKind::kWaMerge, 0, planned_total);
 
   // --- Merge (serial, fixed group order): staged summary deltas, stats
   // folds, and the scatter of each group's blocks into its planned output
@@ -778,6 +796,7 @@ bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
       out.push_back(extra[k]);
     }
   }
+  merge_span.end();
   lap(prof.alloc_merge_ms);
   return ok;
 }
@@ -799,13 +818,19 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
 
   // Serial: flush any windows the CP left open (the next CP reopens them
   // and pays the partial-stripe cost of the blocks written now), then
-  // collect the deferred frees.
+  // collect the deferred frees.  Each fc.* span opens right after the
+  // previous lap() mark and ends right before its own, so trace times
+  // reconcile with the CpPhaseProfile buckets.
+  obs::TraceSpan windows_span(obs::SpanKind::kFcWindows);
   for (const auto& rg : groups_) {
     rg->flush_window(stats);
   }
   const std::span<const Vbn> frees = activemap_.take_deferred_frees();
   stats.blocks_freed += frees.size();
+  windows_span.set_b(frees.size());
+  windows_span.end();
   lap(prof.windows_ms);
+  obs::TraceSpan owner_span(obs::SpanKind::kFcOwner, 0, frees.size());
 
   // Owner lookup (parallel): owner[k] is a pure function of frees[k]
   // alone, so the pass fans out over the free list without affecting the
@@ -834,7 +859,9 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
       owner_of(k);
     }
   }
+  owner_span.end();
   lap(prof.owner_ms);
+  obs::TraceSpan partition_span(obs::SpanKind::kFcPartition, 0, frees.size());
 
   // Partition (serial): counting scatter into one flat buffer.  Each
   // group's run preserves deferral order, so cp_boundary sees exactly the
@@ -854,7 +881,9 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   for (std::size_t k = 0; k < frees.size(); ++k) {
     parted[cursor[owner[k]]++] = frees[k];
   }
+  partition_span.end();
   lap(prof.partition_ms);
+  obs::TraceSpan boundary_span(obs::SpanKind::kFcBoundary, 0, frees.size());
   WAFL_CRASH_POINT("wa.before_boundary");
 
   // Phase A (parallel): each group's boundary work touches only that
@@ -873,8 +902,10 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
       boundary_one(i);
     }
   }
+  boundary_span.end();
   lap(prof.boundary_ms);
   WAFL_CRASH_POINT("wa.after_boundary");
+  obs::TraceSpan fc_merge_span(obs::SpanKind::kFcMerge);
 
   // Serial merge, in fixed group order: the free-count summary and dirty
   // set are shared (metafile blocks can straddle group boundaries).
@@ -886,7 +917,9 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   // The persistence steps below are the crash window the recovery story
   // is about: a crash in the gap between any two of them leaves bitmaps
   // and TopAA at different CPs, and mount + Iron must reconcile them.
+  fc_merge_span.end();
   lap(prof.merge_ms);
+  obs::TraceSpan flush_span(obs::SpanKind::kFcFlush);
   WAFL_CRASH_POINT("wa.before_bitmap_flush");
 
   // Phase B1 (parallel): flush the dirty metafile blocks.  The dirty list
@@ -897,6 +930,7 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   // set intact — same as a serial crash partway down the list.
   const std::span<const std::uint64_t> dirty = map.dirty_list();
   auto flush_one = [&](std::size_t k) {
+    obs::TraceSpan block_span(obs::SpanKind::kFcFlushBlock, dirty[k]);
     WAFL_CRASH_POINT("wa.in_bitmap_flush");
     map.flush_block(dirty[k]);
   };
@@ -909,7 +943,10 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   }
   stats.meta_flush_blocks += dirty.size();
   map.begin_cp();
+  flush_span.set_b(dirty.size());
+  flush_span.end();
   lap(prof.flush_ms);
+  obs::TraceSpan topaa_span(obs::SpanKind::kFcTopaa);
   WAFL_CRASH_POINT("wa.after_bitmap_flush");
 
   // Phase B2 (parallel): commit the staged TopAA images — per-group slots
@@ -929,7 +966,9 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   for (const std::uint64_t n : topaa_blocks) {
     stats.meta_flush_blocks += n;
   }
+  topaa_span.end();
   lap(prof.topaa_ms);
+  obs::TraceSpan fold_span(obs::SpanKind::kFcFold);
   WAFL_CRASH_POINT("wa.after_topaa_commits");
 
   // Devices operate in parallel; the CP's storage time is the slowest one.
@@ -944,6 +983,7 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   for (const auto& rg : groups_) {
     rg->fold_device_metrics();
   }
+  fold_span.end();
   lap(prof.fold_ms);
 }
 
@@ -958,6 +998,7 @@ std::size_t WriteAllocator::mount_from_topaa() {
 }
 
 void WriteAllocator::scan_rebuild(ThreadPool* pool) {
+  obs::TraceSpan span(obs::SpanKind::kMountScan, 0, groups_.size());
   activemap_.metafile().load_all(pool);
   auto rebuild_one = [this](std::size_t i) { groups_[i]->rebuild_from_scan(); };
   if (pool != nullptr) {

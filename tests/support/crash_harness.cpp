@@ -5,6 +5,7 @@
 
 #include "core/topaa.hpp"
 #include "fault/crash_point.hpp"
+#include "obs/obs.hpp"
 #include "wafl/iron.hpp"
 #include "wafl/mount.hpp"
 
@@ -65,6 +66,7 @@ CrashHarness::CrashHarness(const CrashCaseConfig& cfg)
 CrashHarness::~CrashHarness() {
   fault::crash_hooks().disarm_all();
   detach_engine();
+  WAFL_OBS(obs::set_span_capture(false));
 }
 
 std::unique_ptr<Aggregate> CrashHarness::make_aggregate() const {
@@ -258,12 +260,22 @@ std::string CrashHarness::run_crash_cp() {
     fault::crash_hooks().arm(cfg_.crash_hook, cfg_.crash_hook_nth);
   }
 
+  // Arm the black box: spans recorded from here on land in the flight
+  // recorder's window, and counter deltas are taken against this mark.
+  WAFL_OBS({
+    obs::set_span_capture(true);
+    obs::flight_recorder().mark();
+  });
+
   const std::vector<DirtyBlock> dirty = next_dirty(0.08, 0.35);
   try {
     ConsistencyPoint::run(*agg_, dirty, pool());
   } catch (const fault::CrashPoint& cp) {
     crashed_ = true;
     crash_point_ = cp.point();
+    // The CrashPoint unwound every open TraceSpan on its way here, so the
+    // dump shows the crashed CP's partial span tree plus the crash note.
+    WAFL_OBS(flight_dump_ = obs::flight_recorder().dump());
   }
 
   fault::crash_hooks().disarm_all();
@@ -541,6 +553,14 @@ CrashVerdict CrashHarness::verify_recovery() {
   audit_live(*r2, "post-recovery follow-up CP (scan path)");
 
   verdict.failures = failures_;
+  verdict.flight_dump = flight_dump_;
+  // A failing verdict with no crash-time dump (e.g. an invariant broke
+  // without any injected crash) still gets the current black-box window.
+  WAFL_OBS({
+    if (!verdict.ok() && verdict.flight_dump.empty()) {
+      verdict.flight_dump = obs::flight_recorder().dump();
+    }
+  });
   return verdict;
 }
 

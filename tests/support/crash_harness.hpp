@@ -82,6 +82,10 @@ struct CrashVerdict {
   /// TopAA blocks Iron rewrote on the first recovery.
   std::size_t iron_rewrites = 0;
   std::vector<std::string> failures;
+  /// Flight-recorder dump captured when the crash CP unwound (or, for a
+  /// failed verdict with no crash, at verification time).  Empty when the
+  /// obs layer is compiled out.
+  std::string flight_dump;
 
   bool ok() const noexcept { return failures.empty(); }
   std::string message() const;
@@ -171,6 +175,7 @@ class CrashHarness {
   bool crashed_ = false;
   bool crash_cp_ran_ = false;
   std::string crash_point_;
+  std::string flight_dump_;
   std::vector<std::string> failures_;
 };
 

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/task_context.hpp"
+
 namespace wafl {
 namespace {
 
@@ -225,6 +227,76 @@ TEST(ThreadPool, ExceptionWithSingleThreadPool) {
 TEST(ThreadPool, ThreadCountDefaultsPositive) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, TaskContextPropagatesToSubmittedTasks) {
+  // submit() snapshots the submitter's context word; every task runs under
+  // it and worker threads are restored to their own afterwards.
+  ThreadPool pool(4);
+  std::atomic<int> wrong{0};
+  {
+    TaskContextScope scope(0xC0FFEE);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&wrong] {
+        if (current_task_context() != 0xC0FFEE) wrong.fetch_add(1);
+      });
+    }
+  }
+  pool.wait_idle();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(current_task_context(), 0u);
+}
+
+TEST(ThreadPool, TaskContextNestingSurvivesChunkedOverload) {
+  // The chunked dynamic variant runs many items per pool task; every item
+  // of every chunk must see the submitter's context, and a nested
+  // parallel_for inside an item must propagate the *item's* context, not
+  // the worker thread's previous one.
+  ThreadPool pool(4);
+  std::atomic<int> wrong_outer{0};
+  std::atomic<int> wrong_inner{0};
+  TaskContextScope scope(7001);
+  pool.parallel_for_dynamic(0, 1000, /*chunk=*/64, [&](std::size_t i) {
+    if (current_task_context() != 7001) wrong_outer.fetch_add(1);
+    if (i == 500) {
+      // Nest: re-label the context for an inner fan-out from a worker.
+      TaskContextScope inner_scope(8002);
+      pool.parallel_for(0, 64, [&](std::size_t) {
+        if (current_task_context() != 8002) wrong_inner.fetch_add(1);
+      });
+      // The inner scope's end restores the outer context on this thread.
+    }
+    if (current_task_context() != 7001) wrong_outer.fetch_add(1);
+  });
+  EXPECT_EQ(wrong_outer.load(), 0);
+  EXPECT_EQ(wrong_inner.load(), 0);
+}
+
+TEST(ThreadPool, TaskContextRestoredAcrossExceptionRethrow) {
+  // A worker's context restoration is scope-based, so a throwing task must
+  // not leak its context into the next task the worker picks up — and the
+  // caller's own context survives the rethrow.
+  ThreadPool pool(3);
+  TaskContextScope scope(4242);
+  EXPECT_THROW(pool.parallel_for(0, 300,
+                                 [](std::size_t i) {
+                                   if (i == 50) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(current_task_context(), 4242u);
+
+  // Tasks submitted after the failed loop see the fresh context, never a
+  // stale word left behind by the aborted tasks.
+  std::atomic<int> wrong{0};
+  {
+    TaskContextScope next(5151);
+    pool.parallel_for_dynamic(0, 200, [&](std::size_t) {
+      if (current_task_context() != 5151) wrong.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(wrong.load(), 0);
 }
 
 TEST(ThreadPool, DestructorDrainsOutstandingWork) {

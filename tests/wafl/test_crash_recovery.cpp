@@ -331,5 +331,52 @@ TEST(CrashRecovery, FaultCountersFlowThroughObs) {
   }
 }
 
+TEST(CrashRecovery, FlightRecorderDumpNamesTheHook) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out";
+  } else {
+    // The black box must tie an injected crash back to the exact hook:
+    // the dump carries the crash note (hook name + ordinal), the partial
+    // span tree of the crashed CP, and counter deltas since the mark.
+    CrashCaseConfig cfg = base_config(1717);
+    cfg.workers = 2;
+    cfg.crash_hook = "wa.before_bitmap_flush";
+    CrashHarness h(cfg);
+    const CrashVerdict v = h.run_all();
+    EXPECT_TRUE(v.crashed);
+    EXPECT_TRUE(v.ok()) << v.message();
+    ASSERT_FALSE(v.flight_dump.empty());
+    EXPECT_NE(v.flight_dump.find("wa.before_bitmap_flush"),
+              std::string::npos)
+        << v.flight_dump;
+    // The crashed CP's spans unwound into the recorder: the CP root and
+    // the phases that completed before the hook fired are all present.
+    EXPECT_NE(v.flight_dump.find("cp"), std::string::npos);
+    EXPECT_NE(v.flight_dump.find("fc.boundary"), std::string::npos)
+        << v.flight_dump;
+    EXPECT_NE(v.flight_dump.find("wafl.fault.crashes_injected"),
+              std::string::npos)
+        << v.flight_dump;
+  }
+}
+
+TEST(CrashRecovery, WriteCountCrashDumpNamesStoreWrite) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out";
+  } else {
+    // The FaultEngine's write-count trigger notes through the same path
+    // as named hooks, so count-triggered crashes localize too.
+    CrashCaseConfig cfg = base_config(1818);
+    cfg.plan.crash_after_writes = 2;
+    CrashHarness h(cfg);
+    const CrashVerdict v = h.run_all();
+    EXPECT_TRUE(v.crashed);
+    EXPECT_TRUE(v.ok()) << v.message();
+    ASSERT_FALSE(v.flight_dump.empty());
+    EXPECT_NE(v.flight_dump.find("store.write"), std::string::npos)
+        << v.flight_dump;
+  }
+}
+
 }  // namespace
 }  // namespace wafl

@@ -114,15 +114,23 @@ void run_case(int index, std::uint64_t seed) {
   const bool hook_mode = !cfg.crash_hook.empty();
   const bool crash_expected = hook_mode;  // write-count may not be reached
   if (!v.ok() || (crash_expected && !v.crashed)) {
+    // Failure UX: the exact repro line and the black-box dump travel
+    // together, so a CI log alone localizes the failing CP phase.
     ADD_FAILURE() << "crash-sweep case failed; reproduce with:\n  "
                   << "WAFL_CRASH_SEED=" << seed
                   << " ./waflfree_crash_tests --gtest_filter='CrashSweep.*'"
+                  << (hook_mode ? "   (hook " + cfg.crash_hook + " nth=" +
+                                      std::to_string(cfg.crash_hook_nth) + ")"
+                                : "")
                   << "\n"
                   << (crash_expected && !v.crashed
                           ? "armed hook '" + cfg.crash_hook +
                                 "' never fired\n"
                           : "")
-                  << v.message();
+                  << v.message()
+                  << (v.flight_dump.empty()
+                          ? ""
+                          : "\n--- flight recorder ---\n" + v.flight_dump);
   }
 }
 

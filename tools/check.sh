@@ -23,7 +23,20 @@
 #                                the run regresses the committed baseline
 #                                (parallel fraction, Amdahl-implied speedup,
 #                                mount scan/TopAA ratio; measured wall-clock
-#                                speedup is gated only on >= 4-core hosts)
+#                                speedup is gated only on >= 4-core hosts).
+#                                Each run also appends one JSONL record
+#                                (git sha, core count, per-phase times) to
+#                                the append-only BENCH_trajectory.json and
+#                                gates the fresh run against the previous
+#                                record, so gradual drift trips even while
+#                                the absolute floors still pass.
+#   tools/check.sh --trace       also export a per-CP span timeline from
+#                                micro_parallel_cp (Chrome trace_event
+#                                JSON, load in chrome://tracing or
+#                                ui.perfetto.dev), validate its schema,
+#                                and run the `trace`-labelled ctest suite
+#                                (whole-CP span timeline checks, excluded
+#                                from the default -LE slow pass)
 #
 # Build trees: build/ (default), build-obs-off/, build-asan/, build-tsan/.
 set -euo pipefail
@@ -34,6 +47,7 @@ TSAN=0
 OVERHEAD=0
 CRASH=0
 PERF=0
+TRACE=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
@@ -41,6 +55,7 @@ for arg in "$@"; do
     --overhead) OVERHEAD=1 ;;
     --crash) CRASH=1 ;;
     --perf) PERF=1 ;;
+    --trace) TRACE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -73,10 +88,11 @@ if [[ $TSAN -eq 1 ]]; then
   cmake --build build-tsan -j "$JOBS"
   echo "=== ctest build-tsan (concurrency suites) ==="
   # Everything that drives a ThreadPool: the parallel CP paths and the
-  # determinism contract, the engine itself, the pool primitives, and the
-  # parallel scans (mount, scoreboard build, metafile load).
+  # determinism contract, the engine itself, the pool primitives, the
+  # parallel scans (mount, scoreboard build, metafile load), and the span
+  # layer's concurrent emit-while-snapshot stress.
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'ParallelCp|CpDeterminism|WriteAllocatorEngine|ThreadPool|Mount|Scoreboard|BitmapMetafile|BlockStoreConcurrent' |
+    -R 'ParallelCp|CpDeterminism|WriteAllocatorEngine|ThreadPool|Mount|Scoreboard|BitmapMetafile|BlockStoreConcurrent|SpanTrace' |
     tail -3
 fi
 
@@ -161,6 +177,67 @@ if [[ $PERF -eq 1 ]]; then
   r_count=$(jq -r '.largest_vol_count.scan_over_topaa' BENCH_mount.json)
   gate "mount scan/topaa (largest vol size)" "$r_size" 1.50
   gate "mount scan/topaa (largest vol count)" "$r_count" 1.50
+
+  # Perf trajectory: one JSONL record per --perf run, append-only so the
+  # history of (sha, machine, phase times) accretes in git.  The relative
+  # gates compare this run against the previous record — they catch slow
+  # drift (e.g. a few points of parallel fraction per PR) that the
+  # absolute floors above would only trip after several regressions
+  # stack up.  Wall-clock fields are recorded but not gated: they are
+  # machine-dependent.
+  traj=BENCH_trajectory.json
+  prev_pf="" prev_apf="" prev_a4=""
+  if [[ -s $traj ]]; then
+    prev_pf=$(tail -1 "$traj" | jq -r '.parallel_fraction')
+    prev_apf=$(tail -1 "$traj" | jq -r '.alloc_parallel_fraction')
+    prev_a4=$(tail -1 "$traj" | jq -r '.amdahl_speedup_w4')
+  fi
+  jq -c \
+    --arg ts "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg sha "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    --argjson cores "$(nproc 2>/dev/null || echo 0)" \
+    '{ts: $ts, git: $sha, cores: $cores, hw_threads,
+      parallel_fraction, alloc_parallel_fraction,
+      amdahl_speedup_w4, measured_speedup_w4,
+      serial_phase_ms, parallel_phase_ms,
+      alloc_plan_ms, alloc_execute_ms, alloc_merge_ms,
+      wall_ms, alloc_wall_ms,
+      identical: .identical_all_worker_counts}' \
+    BENCH_parallel_cp.json >> "$traj"
+  echo "  trajectory: appended $(wc -l < "$traj")th record to $traj"
+
+  rel_gate() {  # rel_gate <label> <fresh> <previous> <tolerance>
+    [[ -n "$3" && "$3" != "null" ]] || return 0
+    echo "  $1 = $2 (previous $3, tolerance -$4)"
+    awk -v v="$2" -v p="$3" -v t="$4" 'BEGIN { exit (v >= p - t) ? 0 : 1 }' ||
+      { echo "FAIL: $1 regressed more than $4 vs previous trajectory record"; exit 1; }
+  }
+  rel_gate "parallel_fraction (vs trajectory)" "$pf" "$prev_pf" 0.05
+  rel_gate "alloc_parallel_fraction (vs trajectory)" "$apf" "$prev_apf" 0.05
+  rel_gate "amdahl_speedup_w4 (vs trajectory)" "$a4" "$prev_a4" 0.30
+fi
+
+if [[ $TRACE -eq 1 ]]; then
+  echo "=== CP trace export (micro_parallel_cp, fast mode) ==="
+  # The bench captures spans for the 4-worker run and writes a Chrome
+  # trace_event file next to the BENCH_*.json outputs; validate that the
+  # file parses and every event carries the complete-event shape the
+  # viewers require.
+  WAFL_BENCH_FAST=1 WAFL_BENCH_JSON_DIR="$PWD" \
+    ./build/bench/micro_parallel_cp >/dev/null
+  trace=micro_parallel_cp.trace.json
+  [[ -s $trace ]] || { echo "FAIL: $trace not written"; exit 1; }
+  n=$(jq '.traceEvents | length' "$trace") ||
+    { echo "FAIL: $trace is not valid JSON"; exit 1; }
+  [[ "$n" -gt 0 ]] || { echo "FAIL: $trace has no traceEvents"; exit 1; }
+  jq -e '[.traceEvents[] |
+          select((.ph == "X") and (.dur >= 0) and (.ts >= 0) and
+                 has("name") and has("pid") and has("tid"))] | length == ('"$n"')' \
+    "$trace" >/dev/null ||
+    { echo "FAIL: $trace has events missing the complete-event shape"; exit 1; }
+  echo "  $trace: $n complete events, schema OK"
+  echo "=== ctest build (trace label) ==="
+  ctest --test-dir build --output-on-failure -j "$JOBS" -L trace | tail -3
 fi
 
 echo "=== all checks passed ==="
