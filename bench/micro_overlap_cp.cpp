@@ -1,0 +1,265 @@
+// Overlapped back-to-back CPs: how much of the drain wall admits intake.
+//
+// The stop-the-world ConsistencyPoint::run() blocks every incoming write
+// for the whole CP; the OverlappedCpDriver (DESIGN.md §13) freezes the
+// active generation in O(dirty) and drains it on a dedicated thread while
+// submit() keeps admitting into the next generation, stalling only at the
+// backpressure watermark.  This bench:
+//
+//   1. streams a chunked write workload through the driver (auto-trigger
+//      CPs, back to back) and reports the headline `overlap_fraction=`:
+//      the fraction of total drain wall during which intake was
+//      admissible (1 - stall/drain; stop-the-world would score 0) — plus
+//      the freeze/drain wall split that parameterizes the latency
+//      simulator's overlapped model (SimConfig::cp_freeze_cpu_fraction)
+//      and the drain-to-drain gap that shows the CPs really run back to
+//      back;
+//   2. replays a scripted submit/freeze schedule through both the driver
+//      (with intake landing mid-drain) and the stop-the-world path and
+//      exits 1 unless the end states are identical — the determinism
+//      contract, enforced at bench time on every --perf run.
+//
+// tools/check.sh --perf gates overlap_fraction >= 0.5 from the JSON.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "wafl/consistency_point.hpp"
+#include "wafl/overlapped_cp.hpp"
+
+namespace wafl {
+namespace {
+
+struct Shape {
+  std::size_t vols;
+  std::uint64_t file_blocks;
+  std::uint64_t chunk;        // blocks per submit() call
+  std::uint64_t total_blocks; // streamed through the driver
+  std::uint64_t cp_trigger;
+  int det_rounds;             // scripted rounds in the determinism replay
+  std::uint64_t det_batch;
+};
+
+Shape shape() {
+  if (bench::fast_mode()) {
+    return {4, 24'000, 512, 96'000, 8'192, 3, 4'000};
+  }
+  return {8, 60'000, 1'024, 480'000, 24'576, 6, 12'000};
+}
+
+std::unique_ptr<Aggregate> make_agg(const Shape& s) {
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = 96 * 1024;
+  rg.media.type = MediaType::kSsd;
+  rg.media.ssd.pages_per_erase_block = 1024;
+  rg.aa_stripes = 2048;
+  AggregateConfig cfg;
+  cfg.raid_groups = {rg, rg};
+  auto agg = std::make_unique<Aggregate>(cfg, 20180813);
+  for (std::size_t v = 0; v < s.vols; ++v) {
+    FlexVolConfig vol;
+    vol.file_blocks = s.file_blocks;
+    vol.vvbn_blocks = 8ull * kFlatAaBlocks;
+    vol.aa_blocks = 8192;
+    agg->add_volume(vol);
+  }
+  return agg;
+}
+
+std::vector<DirtyBlock> chunk_batch(const Shape& s, Rng& rng) {
+  std::vector<DirtyBlock> out;
+  out.reserve(s.chunk);
+  for (std::uint64_t i = 0; i < s.chunk; ++i) {
+    out.push_back({static_cast<VolumeId>(rng.below(s.vols)),
+                   rng.below(s.file_blocks)});
+  }
+  return out;
+}
+
+/// Part 1: the streaming run.  Chunked submits, CPs auto-triggered by the
+/// driver, everything measured by the driver's own counters.
+OverlapStats stream_run(const Shape& s, ThreadPool* pool,
+                        std::uint64_t* admitted_during_drain) {
+  auto agg = make_agg(s);
+  OverlappedCpConfig cfg;
+  cfg.auto_cp_trigger = s.cp_trigger;
+  cfg.dirty_high_watermark = 4 * s.cp_trigger;
+  OverlappedCpDriver driver(*agg, pool, cfg);
+  Rng rng(4242);
+  *admitted_during_drain = 0;
+  for (std::uint64_t done = 0; done < s.total_blocks; done += s.chunk) {
+    if (driver.drain_in_flight()) {
+      *admitted_during_drain += s.chunk;
+    }
+    driver.submit(chunk_batch(s, rng));
+  }
+  driver.start_cp();  // sweep the tail generation
+  driver.wait_idle();
+  return driver.stats();
+}
+
+/// Part 2: the determinism replay.  A scripted schedule — freeze the
+/// first half of each round's batch, submit the second half while that
+/// drain is in flight, freeze it next — against the stop-the-world path
+/// over the same halves.  Any divergence is a correctness bug.
+bool determinism_check(const Shape& s, ThreadPool* pool) {
+  auto ov_agg = make_agg(s);
+  auto stw_agg = make_agg(s);
+  CpStats stw_total;
+  OverlapStats ov;
+  {
+    OverlappedCpDriver driver(*ov_agg, pool);
+    Rng rng(7);
+    for (int round = 0; round < s.det_rounds; ++round) {
+      std::vector<DirtyBlock> batch;
+      for (std::uint64_t i = 0; i < s.det_batch; ++i) {
+        batch.push_back({static_cast<VolumeId>(rng.below(s.vols)),
+                         rng.below(s.file_blocks)});
+      }
+      // Dedup: the driver coalesces re-dirtied blocks within a
+      // generation; the stop-the-world comparator must see the same set.
+      std::sort(batch.begin(), batch.end(),
+                [](const DirtyBlock& a, const DirtyBlock& b) {
+                  return a.vol != b.vol ? a.vol < b.vol
+                                        : a.logical < b.logical;
+                });
+      batch.erase(std::unique(batch.begin(), batch.end(),
+                              [](const DirtyBlock& a, const DirtyBlock& b) {
+                                return a.vol == b.vol &&
+                                       a.logical == b.logical;
+                              }),
+                  batch.end());
+      const std::span<const DirtyBlock> all(batch);
+      const std::size_t half = all.size() / 2;
+      driver.submit(all.subspan(0, half));
+      driver.start_cp();
+      driver.submit(all.subspan(half));  // intake while the drain runs
+      driver.start_cp();
+      driver.wait_idle();
+
+      stw_total.merge(
+          ConsistencyPoint::run(*stw_agg, all.subspan(0, half), nullptr));
+      stw_total.merge(
+          ConsistencyPoint::run(*stw_agg, all.subspan(half), nullptr));
+    }
+    ov = driver.stats();
+  }
+  const bool stats_ok =
+      ov.cp.blocks_written == stw_total.blocks_written &&
+      ov.cp.blocks_freed == stw_total.blocks_freed &&
+      ov.cp.vol_meta_blocks == stw_total.vol_meta_blocks &&
+      ov.cp.agg_meta_blocks == stw_total.agg_meta_blocks &&
+      ov.cp.meta_flush_blocks == stw_total.meta_flush_blocks &&
+      ov.cp.storage_time_ns == stw_total.storage_time_ns;
+  const bool state_ok =
+      ov_agg->free_blocks() == stw_agg->free_blocks() &&
+      ov_agg->activemap().metafile().bits().words() ==
+          stw_agg->activemap().metafile().bits().words();
+  if (!stats_ok || !state_ok) {
+    std::fprintf(stderr,
+                 "determinism violation: overlapped diverged from "
+                 "stop-the-world (stats %s, state %s)\n",
+                 stats_ok ? "ok" : "DIFFER", state_ok ? "ok" : "DIFFER");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace wafl
+
+int main() {
+  using namespace wafl;
+  const Shape s = shape();
+  bench::print_title("micro_overlap_cp",
+                     "intake admissibility during overlapped CP drains");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "shape: 2 RAID groups x (4+1) SSD, %zu vols x %llu blocks, "
+      "%llu-block chunks, %llu total, trigger=%llu%s, %u hw threads\n",
+      s.vols, static_cast<unsigned long long>(s.file_blocks),
+      static_cast<unsigned long long>(s.chunk),
+      static_cast<unsigned long long>(s.total_blocks),
+      static_cast<unsigned long long>(s.cp_trigger),
+      bench::fast_mode() ? " (fast mode)" : "", hw);
+  bench::print_expectation(
+      "intake stays admissible for most of the drain wall "
+      "(overlap_fraction >= 0.5; stop-the-world scores 0) and the "
+      "overlapped end state is bit-identical to stop-the-world");
+
+  ThreadPool pool(2);
+  std::uint64_t admitted_during_drain = 0;
+  const OverlapStats st = stream_run(s, &pool, &admitted_during_drain);
+
+  const double drain_ms = static_cast<double>(st.drain_ns) / 1e6;
+  const double freeze_ms = static_cast<double>(st.freeze_ns) / 1e6;
+  const double stall_ms = static_cast<double>(st.stall_ns) / 1e6;
+  const double gap_ms = static_cast<double>(st.gap_ns) / 1e6;
+  const double gap_per_cp_ms =
+      st.cps_completed > 1
+          ? gap_ms / static_cast<double>(st.cps_completed - 1)
+          : 0.0;
+  const double freeze_fraction =
+      freeze_ms + drain_ms > 0.0 ? freeze_ms / (freeze_ms + drain_ms) : 0.0;
+  const double overlap = st.overlap_fraction();
+  const double admit_during_drain_frac =
+      static_cast<double>(admitted_during_drain) /
+      static_cast<double>(st.blocks_admitted);
+
+  std::printf("cps=%llu  blocks_admitted=%llu  stalls=%llu\n",
+              static_cast<unsigned long long>(st.cps_completed),
+              static_cast<unsigned long long>(st.blocks_admitted),
+              static_cast<unsigned long long>(st.submit_stalls));
+  std::printf("drain_ms=%.2f  freeze_ms=%.3f  freeze_fraction=%.4f\n",
+              drain_ms, freeze_ms, freeze_fraction);
+  std::printf("intake_stall_ms=%.2f  cp_gap_ms_per_cp=%.3f\n", stall_ms,
+              gap_per_cp_ms);
+  std::printf("blocks_admitted_during_drain_fraction=%.3f\n",
+              admit_during_drain_frac);
+  std::printf("overlap_fraction=%.3f\n", overlap);
+
+  const bool det_ok = determinism_check(s, &pool);
+  std::printf("determinism: %s\n", det_ok ? "identical" : "DIVERGED");
+  if (!det_ok) return 1;
+
+  const std::string path = bench::json_path("BENCH_overlap.json");
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"micro_overlap_cp\",\n"
+                 "  \"mode\": \"%s\",\n"
+                 "  \"hw_threads\": %u,\n"
+                 "  \"cps\": %llu,\n"
+                 "  \"blocks_admitted\": %llu,\n"
+                 "  \"overlap_fraction\": %.4f,\n"
+                 "  \"admitted_during_drain_fraction\": %.4f,\n"
+                 "  \"intake_stall_ms\": %.3f,\n"
+                 "  \"drain_ms\": %.3f,\n"
+                 "  \"freeze_ms\": %.3f,\n"
+                 "  \"freeze_fraction\": %.4f,\n"
+                 "  \"cp_gap_ms_per_cp\": %.4f,\n"
+                 "  \"determinism_ok\": true\n"
+                 "}\n",
+                 bench::fast_mode() ? "fast" : "full", hw,
+                 static_cast<unsigned long long>(st.cps_completed),
+                 static_cast<unsigned long long>(st.blocks_admitted),
+                 overlap, admit_during_drain_frac, stall_ms, drain_ms,
+                 freeze_ms, freeze_fraction, gap_per_cp_ms);
+    std::fclose(f);
+    std::printf("\n[bench] trajectory written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  }
+
+  bench::dump_metrics("micro_overlap_cp");
+  return 0;
+}

@@ -165,6 +165,25 @@ class BitmapMetafile {
   /// Starts a fresh CP interval: clears the dirty set (without flushing).
   void begin_cp();
 
+  // --- Generation split (overlapped CPs, DESIGN.md §13) -------------------
+
+  /// Records that `block` was modified by *intake* — the active
+  /// generation — without entering it into the main (frozen) dirty set
+  /// an in-flight CP may be partitioning for flush.  Idempotent per
+  /// generation.
+  void mark_dirty_intake(std::uint64_t block);
+
+  /// Blocks dirtied by intake and not yet folded by
+  /// freeze_dirty_generation().
+  std::uint64_t intake_dirty_blocks() const noexcept {
+    return intake_list_.size();
+  }
+
+  /// Generation swap at CP freeze: folds the intake dirty set into the
+  /// main dirty set (dirtying order preserved, duplicates collapse) and
+  /// leaves the intake set empty.  Returns the number of blocks folded.
+  std::uint64_t freeze_dirty_generation();
+
   /// Writes every dirty metafile block to the backing store (if any) and
   /// clears the dirty set.  Returns the number of blocks written.
   std::uint64_t flush();
@@ -199,6 +218,8 @@ class BitmapMetafile {
 
   std::vector<bool> dirty_flag_;
   std::vector<std::uint64_t> dirty_list_;
+  std::vector<bool> intake_flag_;
+  std::vector<std::uint64_t> intake_list_;
 
   BlockStore* store_;
   std::uint64_t store_base_;

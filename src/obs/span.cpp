@@ -29,6 +29,10 @@ std::string_view span_kind_name(SpanKind k) noexcept {
     case SpanKind::kCpDelayedFree: return "cp.delayed_free";
     case SpanKind::kCpVolFinish: return "cp.vol_finish";
     case SpanKind::kCpAggFinish: return "cp.agg_finish";
+    case SpanKind::kCpFreeze: return "cp.freeze";
+    case SpanKind::kCpDrain: return "cp.drain";
+    case SpanKind::kCpIntake: return "cp.intake";
+    case SpanKind::kCpStall: return "cp.stall";
     case SpanKind::kWaPlan: return "wa.plan";
     case SpanKind::kWaExecute: return "wa.execute";
     case SpanKind::kWaRgExecute: return "wa.rg_execute";

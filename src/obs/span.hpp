@@ -48,6 +48,15 @@ enum class SpanKind : std::uint8_t {
   kCpDelayedFree,  // b=frees applied
   kCpVolFinish,    // a=volume
   kCpAggFinish,
+  // Overlapped-CP generation split (consistency_point.cpp,
+  // overlapped_cp.cpp).  Freeze and drain are the two halves of every CP;
+  // intake and stall are emitted by the OverlappedCpDriver on the intake
+  // thread, so a trace of an overlapped run shows the two lanes —
+  // cp.intake on the caller, cp.drain on the drain thread — concurrently.
+  kCpFreeze,  // a=cp ordinal   b=dirty blocks
+  kCpDrain,   // a=cp ordinal   b=dirty blocks
+  kCpIntake,  // a=cp ordinal (generation being filled)   b=blocks admitted
+  kCpStall,   // a=cp ordinal draining   b=blocks waiting
   // WriteAllocator::allocate — the plan/execute/merge split.
   kWaPlan,      // a=groups   b=blocks requested
   kWaExecute,   // b=blocks requested
@@ -207,6 +216,9 @@ class TraceSpan {
     }
   }
 
+  /// Updates the a payload before close (e.g. a CP number assigned after
+  /// the span opened).
+  void set_a(std::uint64_t a) noexcept { a_ = a; }
   /// Updates the b payload before close (e.g. blocks moved, rewrites).
   void set_b(std::uint64_t b) noexcept { b_ = b; }
 

@@ -57,6 +57,18 @@ struct SimConfig {
   /// the paper's clients talk Fibre Channel to the server.  Affects
   /// closed-loop pacing and reported latencies.
   SimTime client_rtt_ns = 150'000;
+  /// Models the overlapped (back-to-back) CP driver: only the freeze
+  /// share of the CP's CPU work blocks op admission, the drain share
+  /// runs concurrently and bounds CP completion instead.  When false the
+  /// whole CP CPU cost serializes with admission — the old stop-the-world
+  /// blocking-window model.
+  bool overlapped_cp = false;
+  /// Fraction of CP CPU spent in freeze() (the generation swap), the
+  /// part that still blocks admission under overlapped_cp.  Default from
+  /// micro_overlap_cp's measured freeze/drain split (EXPERIMENTS.md):
+  /// freeze_fraction ~= 0.125 on the single-core reference box, where
+  /// the freeze-side stable sort is not amortized by drain parallelism.
+  double cp_freeze_cpu_fraction = 0.125;
   std::uint64_t seed = 7;
 };
 

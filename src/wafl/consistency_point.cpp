@@ -103,32 +103,47 @@ void run_slice(Aggregate& agg, std::span<const DirtyBlock> dirty,
 
 }  // namespace
 
-CpStats ConsistencyPoint::run(Aggregate& agg,
-                              std::span<const DirtyBlock> dirty,
-                              ThreadPool* pool) {
-  CpStats stats;
+ConsistencyPoint::Frozen ConsistencyPoint::freeze(
+    Aggregate& agg, std::span<const DirtyBlock> dirty) {
+  Frozen frozen;
   obs::PhaseTimer phase_timer;
-  const std::uint64_t cp_start_ns = obs::monotonic_ns();
-  std::uint32_t cp_no = 0;
+  frozen.start_ns = obs::monotonic_ns();
   WAFL_OBS({
     cp_metrics().count.inc();
-    cp_no = static_cast<std::uint32_t>(cp_metrics().count.value());
-    obs::trace().emit(obs::EventType::kCpBegin, cp_no, dirty.size());
+    frozen.cp_no = static_cast<std::uint32_t>(cp_metrics().count.value());
+    obs::trace().emit(obs::EventType::kCpBegin, frozen.cp_no, dirty.size());
   });
-  obs::TraceSpan cp_span(obs::SpanKind::kCp, cp_no, dirty.size());
+  obs::TraceSpan freeze_span(obs::SpanKind::kCpFreeze, frozen.cp_no,
+                             dirty.size());
   agg.begin_cp();
+  // The generation swap: every intake-staged mutation (active-ledger
+  // delayed frees, intake dirty sets) folds into the generation this CP
+  // drains.  `cp.in_gen_swap` fires inside, mid-swap.
+  agg.freeze_cp_generation();
 
   // Group the dirty list by volume (stable, preserving per-volume order)
   // so each volume's work is one contiguous slice.
   obs::TraceSpan sort_span(obs::SpanKind::kCpSort, 0, dirty.size());
-  std::vector<DirtyBlock> sorted(dirty.begin(), dirty.end());
-  std::stable_sort(sorted.begin(), sorted.end(),
+  frozen.dirty.assign(dirty.begin(), dirty.end());
+  std::stable_sort(frozen.dirty.begin(), frozen.dirty.end(),
                    [](const DirtyBlock& a, const DirtyBlock& b) {
                      return a.vol < b.vol;
                    });
   sort_span.end();
   WAFL_OBS(cp_metrics().phase_sort_ns.record(
       static_cast<double>(phase_timer.lap())));
+  return frozen;
+}
+
+CpStats ConsistencyPoint::drain(Aggregate& agg, Frozen&& frozen,
+                                ThreadPool* pool) {
+  CpStats stats;
+  obs::PhaseTimer phase_timer;
+  const std::uint64_t cp_start_ns = frozen.start_ns;
+  const std::uint32_t cp_no = frozen.cp_no;
+  obs::TraceSpan drain_span(obs::SpanKind::kCpDrain, cp_no,
+                            frozen.dirty.size());
+  const std::vector<DirtyBlock>& sorted = frozen.dirty;
 
   // Phase 1: physical allocation in write order — a serial plan assigns
   // demand to RAID groups (round-robin rotation + skip bias), then the
@@ -236,6 +251,15 @@ CpStats ConsistencyPoint::run(Aggregate& agg,
                       stats.blocks_freed, dur_ns);
   });
   return stats;
+}
+
+CpStats ConsistencyPoint::run(Aggregate& agg,
+                              std::span<const DirtyBlock> dirty,
+                              ThreadPool* pool) {
+  obs::TraceSpan cp_span(obs::SpanKind::kCp, 0, dirty.size());
+  Frozen frozen = freeze(agg, dirty);
+  cp_span.set_a(frozen.cp_no);
+  return drain(agg, std::move(frozen), pool);
 }
 
 }  // namespace wafl

@@ -37,10 +37,37 @@ class ConsistencyPoint {
   /// metafile-block traffic a snapshot deletion adds to any one CP).
   static constexpr std::size_t kDelayedFreeRegionsPerCp = 4;
 
-  /// Runs one CP over `dirty` (already coalesced: at most one entry per
-  /// (vol, logical) pair).  Returns the CP's counters; `ops` is left 0 for
-  /// the caller to fill (the CP does not know how blocks group into client
-  /// operations).
+  /// The frozen generation: the CP's input, captured by freeze() and
+  /// consumed by drain().  Holds the dirty list grouped by volume
+  /// (stable sort — per-volume submission order preserved, which is what
+  /// makes the overlapped driver byte-identical to stop-the-world).
+  struct Frozen {
+    std::vector<DirtyBlock> dirty;
+    std::uint32_t cp_no = 0;
+    std::uint64_t start_ns = 0;
+  };
+
+  /// CP start (DESIGN.md §13): swaps the active generation of every piece
+  /// of CP-mutable dirty state into the frozen generation — Aggregate::
+  /// freeze_cp_generation() — and captures/sorts the dirty list.  Cheap
+  /// (no media I/O, O(dirty + staged entries)); the returned snapshot is
+  /// bit-identical to what the pre-split run() operated on, which the
+  /// determinism oracle checks.  Crash hook `cp.in_gen_swap` fires
+  /// mid-swap (aggregate frozen, volumes still staging).
+  static Frozen freeze(Aggregate& agg, std::span<const DirtyBlock> dirty);
+
+  /// The phased CP work over a frozen generation: physical allocation,
+  /// per-volume remap, delayed-free reclaim, and the boundary.  Under the
+  /// OverlappedCpDriver this runs on a drain thread while intake fills
+  /// the next active generation; it is the ONLY mutator of the aggregate
+  /// while in flight.
+  static CpStats drain(Aggregate& agg, Frozen&& frozen,
+                       ThreadPool* pool = nullptr);
+
+  /// Runs one stop-the-world CP over `dirty` (already coalesced: at most
+  /// one entry per (vol, logical) pair): freeze() + drain() back to back.
+  /// Returns the CP's counters; `ops` is left 0 for the caller to fill
+  /// (the CP does not know how blocks group into client operations).
   ///
   /// With a thread pool, every substantial CP phase now shards — the
   /// direction of the paper's companion work, "Scalable Write Allocation

@@ -39,6 +39,20 @@ void DelayedFreeLog::log_free(Vbn v) {
   hbps_.update_score(r, region.count - 1, region.count);
 }
 
+void DelayedFreeLog::log_free_active(Vbn v) {
+  WAFL_ASSERT(region_of(v) < pending_.size());
+  active_.push_back(v);
+}
+
+std::uint64_t DelayedFreeLog::freeze_generation() {
+  const std::uint64_t folded = active_.size();
+  for (const Vbn v : active_) {
+    log_free(v);
+  }
+  active_.clear();
+  return folded;
+}
+
 std::optional<DelayedFreeLog::Drain> DelayedFreeLog::drain_richest() {
   if (pending_total_ == 0) return std::nullopt;
 
@@ -84,6 +98,9 @@ bool DelayedFreeLog::validate() const {
   for (const Region& region : pending_) {
     if (region.count != region.vbns.size()) return false;
     total += region.count;
+  }
+  for (const Vbn v : active_) {
+    if (region_of(v) >= pending_.size()) return false;
   }
   return total == pending_total_ && hbps_.validate();
 }

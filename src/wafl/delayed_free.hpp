@@ -39,11 +39,29 @@ class DelayedFreeLog {
     return static_cast<std::uint32_t>(v / region_blocks_);
   }
 
-  /// Logs a delayed free of `v`.
+  /// Logs a delayed free of `v` directly into the frozen (drainable)
+  /// generation.  Only safe while no CP is draining this log.
   void log_free(Vbn v);
 
-  /// Total frees logged but not yet drained.
-  std::uint64_t pending_total() const noexcept { return pending_total_; }
+  /// Stages a delayed free of `v` in the *active* generation ledger.
+  /// Region scores and drain order are untouched until the next
+  /// freeze_generation() folds the ledger in, so an in-flight CP
+  /// draining the frozen generation never observes it.
+  void log_free_active(Vbn v);
+
+  /// Generation swap at CP freeze: folds the active ledger into the
+  /// drainable log in staging order.  Returns the number folded.
+  std::uint64_t freeze_generation();
+
+  /// Frees staged in the active generation, not yet visible to drains.
+  std::uint64_t active_total() const noexcept { return active_.size(); }
+
+  /// Total frees logged but not yet drained, across both generations.
+  std::uint64_t pending_total() const noexcept {
+    return pending_total_ + active_.size();
+  }
+  /// Frees drainable right now (frozen generation only).
+  std::uint64_t drainable_total() const noexcept { return pending_total_; }
   std::uint32_t pending_in_region(std::uint32_t region) const {
     return pending_[region].count;
   }
@@ -70,6 +88,7 @@ class DelayedFreeLog {
   std::uint32_t region_blocks_;
   std::vector<Region> pending_;
   std::uint64_t pending_total_ = 0;
+  std::vector<Vbn> active_;
   Hbps hbps_;
 };
 

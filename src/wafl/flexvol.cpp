@@ -245,9 +245,17 @@ void FlexVol::delete_snapshot(SnapId id) {
     if (still_held.test(v)) continue;
     snap_held_.clear(v);
     if (!active.test(v)) {
-      delayed_.log_free(v);
+      // Staged in the active generation: the in-flight (frozen) CP's
+      // richest-first drain order is already fixed; these enter the
+      // drainable log at the next freeze_cp_generation().
+      delayed_.log_free_active(v);
     }
   }
+}
+
+std::uint64_t FlexVol::freeze_cp_generation() {
+  return delayed_.freeze_generation() +
+         activemap_.metafile().freeze_dirty_generation();
 }
 
 std::uint64_t FlexVol::process_delayed_frees(std::size_t max_regions,

@@ -117,6 +117,12 @@ class FlexVol {
     return delayed_.pending_total();
   }
 
+  /// Generation swap at CP freeze (DESIGN.md §13): folds intake-staged
+  /// state — active-ledger delayed frees and intake-dirtied metafile
+  /// blocks — into the frozen generation the starting CP will drain.
+  /// Cheap (O(staged entries)), touches no media.  Returns entries folded.
+  std::uint64_t freeze_cp_generation();
+
   /// Reclaims up to `max_regions` richest regions of delayed frees:
   /// defers the vvbn frees to this CP and appends the matching physical
   /// blocks to `freed_pvbns` for the aggregate to free.  Returns blocks

@@ -1,0 +1,174 @@
+#include "wafl/overlapped_cp.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wafl {
+
+OverlappedCpDriver::OverlappedCpDriver(Aggregate& agg, ThreadPool* pool,
+                                       OverlappedCpConfig cfg)
+    : agg_(agg), pool_(pool), cfg_(cfg) {
+  WAFL_ASSERT(cfg_.dirty_high_watermark > 0);
+  seen_.resize(agg_.volume_count());
+  for (VolumeId v = 0; v < agg_.volume_count(); ++v) {
+    seen_[v].assign(agg_.volume(v).file_blocks(), false);
+  }
+}
+
+OverlappedCpDriver::~OverlappedCpDriver() {
+  if (drain_thread_.joinable()) {
+    drain_thread_.join();
+  }
+  // A pending drain_error_ dies with us — see the header contract.
+}
+
+void OverlappedCpDriver::submit(std::span<const DirtyBlock> blocks) {
+  std::unique_lock<std::mutex> lk(mu_);
+  obs::TraceSpan intake_span(obs::SpanKind::kCpIntake, stats_.cps_started,
+                             blocks.size());
+  if (drain_in_flight_ && dirty_.size() >= cfg_.dirty_high_watermark) {
+    // Backpressure: the active generation is full and can only shrink
+    // when the frozen drain completes and a freeze swaps us out.
+    ++stats_.submit_stalls;
+    obs::TraceSpan stall_span(obs::SpanKind::kCpStall, stats_.cps_started,
+                              dirty_.size());
+    const std::uint64_t t0 = obs::monotonic_ns();
+    cv_.wait(lk, [this] {
+      return !drain_in_flight_ || dirty_.size() < cfg_.dirty_high_watermark;
+    });
+    stats_.stall_ns += obs::monotonic_ns() - t0;
+  }
+  for (const DirtyBlock& b : blocks) {
+    WAFL_ASSERT(b.vol < seen_.size());
+    WAFL_ASSERT(b.logical < seen_[b.vol].size());
+    if (seen_[b.vol][b.logical]) continue;  // coalesce re-dirty
+    seen_[b.vol][b.logical] = true;
+    dirty_.push_back(b);
+  }
+  stats_.blocks_admitted += blocks.size();
+  if (cfg_.auto_cp_trigger != 0 && !drain_in_flight_ &&
+      dirty_.size() >= cfg_.auto_cp_trigger) {
+    launch_cp_locked(lk);
+  }
+}
+
+void OverlappedCpDriver::quiesce_locked(std::unique_lock<std::mutex>& lk) {
+  cv_.wait(lk, [this] { return !drain_in_flight_; });
+  if (drain_error_ != nullptr) {
+    std::exception_ptr err = std::exchange(drain_error_, nullptr);
+    if (drain_thread_.joinable()) drain_thread_.join();
+    std::rethrow_exception(err);
+  }
+}
+
+void OverlappedCpDriver::start_cp() {
+  std::unique_lock<std::mutex> lk(mu_);
+  quiesce_locked(lk);
+  launch_cp_locked(lk);
+}
+
+void OverlappedCpDriver::launch_cp_locked(std::unique_lock<std::mutex>& lk) {
+  WAFL_ASSERT(!drain_in_flight_);
+  // Reap the previous drain thread before starting the next.
+  if (drain_thread_.joinable()) drain_thread_.join();
+
+  // Swap the active generation out under the lock (concurrent submits
+  // now build the next one); the aggregate-side swap below runs unlocked
+  // — no drain is in flight and intake never touches the aggregate.
+  std::vector<DirtyBlock> batch;
+  batch.swap(dirty_);
+  for (const DirtyBlock& b : batch) {
+    seen_[b.vol][b.logical] = false;
+  }
+  ++stats_.cps_started;
+  drain_in_flight_ = true;
+  lk.unlock();
+
+  const std::uint64_t freeze_t0 = obs::monotonic_ns();
+  ConsistencyPoint::Frozen frozen;
+  try {
+    frozen = ConsistencyPoint::freeze(agg_, batch);
+  } catch (...) {
+    std::unique_lock<std::mutex> relk(mu_);
+    drain_in_flight_ = false;
+    --stats_.cps_started;
+    cv_.notify_all();
+    throw;
+  }
+  {
+    std::unique_lock<std::mutex> relk(mu_);
+    stats_.freeze_ns += obs::monotonic_ns() - freeze_t0;
+  }
+  drain_thread_ = std::thread(
+      [this, f = std::move(frozen)]() mutable { drain_main(std::move(f)); });
+  lk.lock();
+}
+
+void OverlappedCpDriver::drain_main(ConsistencyPoint::Frozen frozen) {
+  const std::uint64_t t0 = obs::monotonic_ns();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (last_drain_end_ns_ != 0) {
+      stats_.gap_ns += t0 - last_drain_end_ns_;
+    }
+  }
+  CpStats cp;
+  std::exception_ptr err;
+  try {
+    cp = ConsistencyPoint::drain(agg_, std::move(frozen), pool_);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  const std::uint64_t t1 = obs::monotonic_ns();
+  std::unique_lock<std::mutex> lk(mu_);
+  stats_.drain_ns += t1 - t0;
+  last_drain_end_ns_ = t1;
+  if (err != nullptr) {
+    drain_error_ = err;
+  } else {
+    ++stats_.cps_completed;
+    stats_.cp.merge(cp);
+  }
+  drain_in_flight_ = false;
+  cv_.notify_all();
+}
+
+void OverlappedCpDriver::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  quiesce_locked(lk);
+  if (drain_thread_.joinable()) drain_thread_.join();
+}
+
+bool OverlappedCpDriver::drain_in_flight() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return drain_in_flight_;
+}
+
+SnapId OverlappedCpDriver::create_snapshot(VolumeId vol) {
+  std::unique_lock<std::mutex> lk(mu_);
+  quiesce_locked(lk);
+  return agg_.volume(vol).create_snapshot();
+}
+
+void OverlappedCpDriver::delete_snapshot(VolumeId vol, SnapId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  quiesce_locked(lk);
+  // Stages active-ledger frees; they fold at the next freeze, exactly
+  // where a stop-the-world workload's deletion would fold.
+  agg_.volume(vol).delete_snapshot(id);
+}
+
+std::uint64_t OverlappedCpDriver::active_dirty() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return dirty_.size();
+}
+
+OverlapStats OverlappedCpDriver::stats() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace wafl

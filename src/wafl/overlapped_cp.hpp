@@ -1,0 +1,169 @@
+// Overlapped back-to-back consistency points (DESIGN.md §13).
+//
+// Real WAFL never stops the world: it admits the next CP's writes while
+// the previous CP drains to media, which is what keeps client latency
+// flat as load approaches the knee (§2).  This driver supplies that
+// behaviour over the generation split:
+//
+//   - intake (submit) fills the ACTIVE generation: driver-owned dirty
+//     lists coalesced per (volume, logical), plus active-ledger delayed
+//     frees staged by snapshot deletion;
+//   - start_cp() freezes: ConsistencyPoint::freeze() swaps the active
+//     generation into the FROZEN one (cheap, no media I/O) and the
+//     phased drain is launched on a dedicated thread, parallelizing its
+//     interior on the ThreadPool exactly as the stop-the-world path does;
+//   - submit keeps admitting into the new active generation while the
+//     frozen one drains, blocking only when the active generation
+//     reaches the high watermark before the drain completes (the
+//     backpressure rule).
+//
+// The drain is the ONLY mutator of the aggregate while in flight; intake
+// touches driver-owned buffers only.  Control operations (start_cp,
+// wait_idle, snapshot ops) quiesce the drain first and must come from
+// one thread; submit() is thread-safe and may be called from many.
+//
+// Determinism: freeze captures exactly the blocks submitted so far, in
+// submission order, so a scripted workload produces byte-identical media
+// and stats to running ConsistencyPoint::run() over the same batches —
+// the oracle in tests/wafl/test_cp_determinism.cpp checks this at
+// several worker counts.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "wafl/consistency_point.hpp"
+
+namespace wafl {
+
+class ThreadPool;
+
+struct OverlappedCpConfig {
+  /// Backpressure: submit() blocks once the active generation holds this
+  /// many dirty blocks while a drain is in flight.  With no drain in
+  /// flight intake is never blocked (the caller decides when to CP).
+  std::uint64_t dirty_high_watermark = 128 * 1024;
+  /// When non-zero, submit() starts a CP itself once the active
+  /// generation reaches this many blocks and no drain is in flight.
+  std::uint64_t auto_cp_trigger = 0;
+};
+
+/// Cumulative driver counters (monotonic; snapshot via stats()).
+struct OverlapStats {
+  std::uint64_t cps_started = 0;
+  std::uint64_t cps_completed = 0;
+  std::uint64_t blocks_admitted = 0;
+  /// submit() calls that hit the backpressure rule.
+  std::uint64_t submit_stalls = 0;
+  /// Wall time submit() spent blocked on backpressure (always during a
+  /// drain — that is the only time the rule applies).
+  std::uint64_t stall_ns = 0;
+  /// Total frozen-generation drain wall time.
+  std::uint64_t drain_ns = 0;
+  /// Total generation-swap (freeze) wall time.
+  std::uint64_t freeze_ns = 0;
+  /// Sum of gaps from one drain's completion to the next drain's launch
+  /// (back-to-back CPs make this the freeze cost plus scheduling).
+  std::uint64_t gap_ns = 0;
+  /// CpStats accumulated over every completed CP.
+  CpStats cp;
+
+  /// Fraction of drain wall time during which intake was admissible
+  /// (not blocked by backpressure): 1 - stall/drain.  Stop-the-world
+  /// intake would score 0; full overlap scores 1.
+  double overlap_fraction() const noexcept {
+    if (drain_ns == 0) return 1.0;
+    const double stalled =
+        stall_ns > drain_ns ? 1.0
+                            : static_cast<double>(stall_ns) /
+                                  static_cast<double>(drain_ns);
+    return 1.0 - stalled;
+  }
+};
+
+class OverlappedCpDriver {
+ public:
+  OverlappedCpDriver(Aggregate& agg, ThreadPool* pool = nullptr,
+                     OverlappedCpConfig cfg = {});
+  /// Joins any in-flight drain.  A drain error nobody collected via
+  /// wait_idle()/start_cp() is dropped here (destructors cannot throw);
+  /// call wait_idle() first when the error matters.
+  ~OverlappedCpDriver();
+
+  OverlappedCpDriver(const OverlappedCpDriver&) = delete;
+  OverlappedCpDriver& operator=(const OverlappedCpDriver&) = delete;
+
+  // --- Intake (thread-safe) -------------------------------------------------
+
+  /// Admits one dirty block into the active generation, coalescing with
+  /// any unfrozen earlier write to the same (vol, logical).  Blocks on
+  /// the backpressure rule.
+  void submit(VolumeId vol, std::uint64_t logical) {
+    const DirtyBlock b{vol, logical};
+    submit(std::span<const DirtyBlock>(&b, 1));
+  }
+  /// Batch intake; one cp.intake span per call.
+  void submit(std::span<const DirtyBlock> blocks);
+
+  // --- Control (single-threaded, quiesce the drain) -------------------------
+
+  /// Freezes the active generation and launches its drain asynchronously.
+  /// Waits for any prior drain first (back-to-back CPs: at most one in
+  /// flight), rethrowing its error if it failed.  No-op dirty lists are
+  /// allowed (an empty CP still runs — snapshot debt may be pending).
+  void start_cp();
+
+  /// Waits for the in-flight drain (if any) and rethrows its error.
+  void wait_idle();
+
+  bool drain_in_flight() const;
+
+  /// Snapshot ops route through the driver so they order against the
+  /// generation swap: they quiesce the drain, apply, and the staged
+  /// frees fold at the NEXT freeze (identical to the stop-the-world
+  /// ordering).
+  SnapId create_snapshot(VolumeId vol);
+  void delete_snapshot(VolumeId vol, SnapId id);
+
+  // --- Introspection --------------------------------------------------------
+
+  /// Dirty blocks currently in the active generation.
+  std::uint64_t active_dirty() const;
+  OverlapStats stats() const;
+  const OverlappedCpConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// Waits for the drain under `lk` and rethrows a pending drain error.
+  void quiesce_locked(std::unique_lock<std::mutex>& lk);
+  /// Freezes + launches the drain; requires no drain in flight.
+  void launch_cp_locked(std::unique_lock<std::mutex>& lk);
+  void drain_main(ConsistencyPoint::Frozen frozen);
+
+  Aggregate& agg_;
+  ThreadPool* pool_;
+  OverlappedCpConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+
+  /// Active generation: submission-ordered dirty list plus a per-volume
+  /// seen-flag vector that coalesces re-dirtied blocks.  Swapped out at
+  /// freeze; flags are cleared by walking the list (O(dirty), not
+  /// O(volume size)).
+  std::vector<DirtyBlock> dirty_;
+  std::vector<std::vector<bool>> seen_;
+
+  bool drain_in_flight_ = false;
+  std::thread drain_thread_;
+  std::exception_ptr drain_error_;
+  std::uint64_t last_drain_end_ns_ = 0;
+
+  OverlapStats stats_;
+};
+
+}  // namespace wafl

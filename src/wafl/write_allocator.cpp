@@ -816,6 +816,11 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   };
   const bool fan_out = pool != nullptr && groups_.size() > 1;
 
+  // Fires once on every CP's boundary drain; under the overlapped driver
+  // this is the window where intake is concurrently filling the active
+  // generation (DESIGN.md §13).
+  WAFL_CRASH_POINT("wa.in_overlap_drain");
+
   // Serial: flush any windows the CP left open (the next CP reopens them
   // and pays the partial-stripe cost of the blocks written now), then
   // collect the deferred frees.  Each fc.* span opens right after the

@@ -59,6 +59,29 @@ TEST(BitmapMetafile, DirtyTrackingPerBlock) {
   EXPECT_EQ(mf.dirty_blocks(), 1u);
 }
 
+TEST(BitmapMetafile, IntakeGenerationFoldsAtFreeze) {
+  // Generation split (DESIGN.md §13): mark_dirty_intake stages into the
+  // active set without touching the CP-visible dirty set; the freeze
+  // folds and resets it.
+  BitmapMetafile mf(kTwoBlocks);
+  EXPECT_EQ(mf.freeze_dirty_generation(), 0u);  // empty freeze is a no-op
+  mf.mark_dirty_intake(0);
+  mf.mark_dirty_intake(1);
+  mf.mark_dirty_intake(0);  // coalesced within the generation
+  EXPECT_EQ(mf.intake_dirty_blocks(), 2u);
+  EXPECT_EQ(mf.dirty_blocks(), 0u);
+
+  EXPECT_EQ(mf.freeze_dirty_generation(), 2u);
+  EXPECT_EQ(mf.intake_dirty_blocks(), 0u);
+  EXPECT_EQ(mf.dirty_blocks(), 2u);
+
+  // Re-staging a block that is already CP-dirty folds into the same dirty
+  // entry — no double counting.
+  mf.mark_dirty_intake(1);
+  EXPECT_EQ(mf.freeze_dirty_generation(), 1u);
+  EXPECT_EQ(mf.dirty_blocks(), 2u);
+}
+
 TEST(BitmapMetafile, FlushWritesOnlyDirtyBlocks) {
   BlockStore store(4);
   BitmapMetafile mf(kTwoBlocks, &store, 0);

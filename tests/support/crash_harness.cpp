@@ -8,6 +8,7 @@
 #include "obs/obs.hpp"
 #include "wafl/iron.hpp"
 #include "wafl/mount.hpp"
+#include "wafl/overlapped_cp.hpp"
 
 namespace wafl::test {
 namespace {
@@ -269,7 +270,25 @@ std::string CrashHarness::run_crash_cp() {
 
   const std::vector<DirtyBlock> dirty = next_dirty(0.08, 0.35);
   try {
-    ConsistencyPoint::run(*agg_, dirty, pool());
+    if (cfg_.overlapped) {
+      OverlappedCpDriver driver(*agg_, pool());
+      const std::span<const DirtyBlock> all(dirty);
+      const std::size_t half = all.size() / 2;
+      driver.submit(all.subspan(0, half));
+      driver.start_cp();  // freeze here: cp.in_gen_swap fires on this thread
+      driver.submit(all.subspan(half));  // intake while the drain runs
+      driver.wait_idle();  // a drain-side CrashPoint rethrows here
+      // CP 1 committed: with back-to-back CPs every completed drain is a
+      // commit point, so a crash in CP 2 must be judged against CP 1's
+      // flushed media, not the pre-sequence snapshot.
+      snapshot_committed();
+      // Trigger never fired: drain the still-active second half too so a
+      // completed overlapped crash CP commits the whole batch.
+      driver.start_cp();
+      driver.wait_idle();
+    } else {
+      ConsistencyPoint::run(*agg_, dirty, pool());
+    }
   } catch (const fault::CrashPoint& cp) {
     crashed_ = true;
     crash_point_ = cp.point();

@@ -58,6 +58,13 @@ struct CrashCaseConfig {
   unsigned workers = 0;
   /// Completed CPs before the crash CP.
   unsigned clean_cps = 3;
+  /// Runs the crash CP through the OverlappedCpDriver: half the dirty
+  /// batch is submitted before start_cp(), the rest as intake while the
+  /// frozen generation drains.  The crash then lands inside freeze
+  /// (start_cp throws) or inside the concurrent drain (rethrown at
+  /// wait_idle); intake admitted after the freeze is lost, exactly the
+  /// §13 crash semantics.
+  bool overlapped = false;
 
   /// Named crash point to arm for the crash CP (empty: none).
   std::string crash_hook;

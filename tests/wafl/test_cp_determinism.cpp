@@ -16,11 +16,14 @@
 #include <cstddef>
 #include <cstring>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "wafl/consistency_point.hpp"
+#include "wafl/overlapped_cp.hpp"
 
 namespace wafl {
 namespace {
@@ -225,6 +228,57 @@ TEST(CpDeterminism, RepeatedParallelRunsIdentical) {
     expect_same_stats(stats_a[cp], stats_b[cp], static_cast<int>(cp));
   }
   expect_same_state(*first, *second);
+}
+
+// The overlapped-driver oracle (DESIGN.md §13): freeze() captures exactly
+// the blocks submitted so far, in submission order, so a run that admits
+// intake *while a drain is in flight* must leave bit-identical media and
+// stats to a stop-the-world run of the same batches — at every worker
+// count, in both geometries.  The STW comparator runs each seeded batch as
+// two half-CPs, because the overlapped side freezes the first half, takes
+// the second half as intake during the drain, and freezes it as the next
+// CP.
+TEST(CpDeterminism, OverlappedMatchesStopTheWorld) {
+  for (int geo = 0; geo < kGeometries; ++geo) {
+    SCOPED_TRACE("geometry " + std::to_string(geo));
+    auto stw = make_agg(geo);
+    CpStats stw_total;
+    {
+      Rng rng(4242);
+      for (int cp = 0; cp < 6; ++cp) {
+        const auto batch = mixed_batch(rng, 2'500);
+        const std::span<const DirtyBlock> all(batch);
+        const std::size_t half = all.size() / 2;
+        stw_total.merge(
+            ConsistencyPoint::run(*stw, all.subspan(0, half), nullptr));
+        stw_total.merge(
+            ConsistencyPoint::run(*stw, all.subspan(half), nullptr));
+      }
+    }
+
+    for (const std::size_t workers : {0u, 1u, 2u, 8u}) {
+      SCOPED_TRACE(std::to_string(workers) + " workers");
+      auto ov = make_agg(geo);
+      std::optional<ThreadPool> pool;
+      if (workers > 0) pool.emplace(workers);
+      OverlappedCpDriver driver(*ov, pool ? &*pool : nullptr);
+      Rng rng(4242);
+      for (int cp = 0; cp < 6; ++cp) {
+        const auto batch = mixed_batch(rng, 2'500);
+        const std::span<const DirtyBlock> all(batch);
+        const std::size_t half = all.size() / 2;
+        driver.submit(all.subspan(0, half));
+        driver.start_cp();  // freeze the first half; drain it in background
+        // Intake while that drain runs: lands in the active generation.
+        driver.submit(all.subspan(half));
+        driver.start_cp();  // quiesce, then freeze the second half
+        driver.wait_idle();
+      }
+      EXPECT_EQ(driver.stats().cps_completed, 12u);
+      expect_same_stats(stw_total, driver.stats().cp, -1);
+      expect_same_state(*stw, *ov);
+    }
+  }
 }
 
 TEST(CpDeterminism, MountAfterParallelCpsSeedsFromTopAa) {

@@ -151,6 +151,40 @@ TEST(CrashRecovery, MidParallelAllocation) {
   EXPECT_TRUE(v.ok()) << v.message();
 }
 
+TEST(CrashRecovery, CrashDuringOverlap) {
+  // The crash fires on the drain thread at the top of the frozen
+  // generation's boundary drain while the intake thread is concurrently
+  // admitting the next generation's blocks through the OverlappedCpDriver.
+  // The admitted-but-unfrozen intake is in-memory only, so recovery must
+  // see exactly the previous committed CP (DESIGN.md §13 crash
+  // semantics: a lost active generation is indistinguishable from a
+  // crash between CPs).
+  CrashCaseConfig cfg = base_config(2020);
+  cfg.workers = 8;
+  cfg.overlapped = true;
+  cfg.crash_hook = "wa.in_overlap_drain";
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_EQ(v.crash_point, "wa.in_overlap_drain");
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, CrashInGenerationSwap) {
+  // The crash fires inside Aggregate::freeze_cp_generation(), after the
+  // aggregate-side fold but before the volumes folded — a genuinely
+  // half-swapped generation.  The swap touches no media, so recovery
+  // still converges on the last committed CP.
+  CrashCaseConfig cfg = base_config(2121);
+  cfg.overlapped = true;
+  cfg.crash_hook = "cp.in_gen_swap";
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_EQ(v.crash_point, "cp.in_gen_swap");
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
 TEST(CrashRecovery, BetweenVolumeCommits) {
   // Volume 0 flushed its bitmap and TopAA, volume 1 (and the aggregate)
   // did not — the cross-object gap of the CP's serial phase 3.

@@ -65,6 +65,12 @@ constexpr HookChoice kHooks[] = {
     {"rg.after_topaa_encode", 2, 3},
     {"cp.before_volume_finish", 2, 2},
     {"cp.before_agg_finish", 1, 1},
+    // Fires once per CP inside the generation swap — aggregate side
+    // frozen, volumes still staging (DESIGN.md §13).
+    {"cp.in_gen_swap", 1, 1},
+    // Fires once per CP at the top of the boundary drain; under an
+    // overlapped case this is while intake is concurrently admitted.
+    {"wa.in_overlap_drain", 1, 1},
 };
 
 CrashCaseConfig config_for(std::uint64_t seed) {
@@ -75,6 +81,10 @@ CrashCaseConfig config_for(std::uint64_t seed) {
   cfg.workers = kWorkerChoices[rng.below(4)];
   cfg.object_store_pool = rng.chance(0.5);
   cfg.clean_cps = static_cast<unsigned>(rng.between(2, 4));
+  // Half the cases run the crash CP through the overlapped driver, so
+  // every hook below also gets exercised with intake concurrently
+  // admitted into the active generation.
+  cfg.overlapped = rng.chance(0.5);
 
   const std::uint64_t mode = rng.below(3);
   if (mode == 0) {

@@ -118,6 +118,60 @@ TEST(DelayedFreeLog, ManyRegionsChurn) {
   EXPECT_EQ(log.pending_total(), 0u);
 }
 
+TEST(DelayedFreeLog, ActiveGenerationFoldsAtFreeze) {
+  // Generation split (DESIGN.md §13): log_free_active stages into the
+  // active ledger — invisible to drain_richest, visible in the combined
+  // pending_total() — and freeze_generation folds it into the drainable
+  // frozen state.
+  DelayedFreeLog log(4096, 1024);
+  EXPECT_EQ(log.freeze_generation(), 0u);  // empty freeze is a no-op
+  log.log_free_active(100);
+  log.log_free_active(200);
+  log.log_free_active(1500);
+  EXPECT_EQ(log.active_total(), 3u);
+  EXPECT_EQ(log.pending_total(), 3u);
+  EXPECT_EQ(log.drainable_total(), 0u);
+  EXPECT_EQ(log.pending_in_region(0), 0u);
+  EXPECT_TRUE(log.validate());
+
+  EXPECT_EQ(log.freeze_generation(), 3u);
+  EXPECT_EQ(log.active_total(), 0u);
+  EXPECT_EQ(log.pending_total(), 3u);
+  EXPECT_EQ(log.drainable_total(), 3u);
+  EXPECT_EQ(log.pending_in_region(0), 2u);
+  EXPECT_EQ(log.pending_in_region(1), 1u);
+
+  const auto drain = log.drain_richest();
+  ASSERT_TRUE(drain.has_value());
+  EXPECT_EQ(drain->region, 0u);
+  EXPECT_EQ(drain->vbns, (std::vector<Vbn>{100, 200}));
+  EXPECT_TRUE(log.validate());
+}
+
+TEST(DelayedFreeLog, FreezeReproducesDirectLogOrder) {
+  // Determinism requirement: folding at freeze must walk the active
+  // ledger in staging order, producing the exact per-region state (and
+  // HBPS update sequence) that direct log_free calls would have built.
+  DelayedFreeLog via_active(8192, 1024);
+  DelayedFreeLog direct(8192, 1024);
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const Vbn v = rng.below(8192);
+    via_active.log_free_active(v);
+    direct.log_free(v);
+  }
+  EXPECT_EQ(via_active.freeze_generation(), 500u);
+  EXPECT_EQ(via_active.pending_total(), direct.pending_total());
+  while (true) {
+    const auto a = via_active.drain_richest();
+    const auto b = direct.drain_richest();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    EXPECT_EQ(a->region, b->region);
+    EXPECT_EQ(a->vbns, b->vbns);
+  }
+}
+
 TEST(DelayedFreeLogDeathTest, OverfillingRegionAsserts) {
   DelayedFreeLog log(1024, 1024);
   for (Vbn v = 0; v < 1024; ++v) {

@@ -6,7 +6,8 @@
 #   tools/check.sh --sanitize    also build+test an ASan+UBSan config
 #   tools/check.sh --tsan        also build a ThreadSanitizer config and run
 #                                the concurrency-sensitive suites (parallel
-#                                CP, CP determinism, write-allocator engine,
+#                                CP, CP determinism, overlapped-CP driver
+#                                intake-while-drain, write-allocator engine,
 #                                thread pool, parallel mount/scoreboard)
 #   tools/check.sh --overhead    also measure the obs ON-vs-OFF throughput
 #                                delta on the fig6-style hot loop
@@ -92,7 +93,7 @@ if [[ $TSAN -eq 1 ]]; then
   # parallel scans (mount, scoreboard build, metafile load), and the span
   # layer's concurrent emit-while-snapshot stress.
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'ParallelCp|CpDeterminism|WriteAllocatorEngine|ThreadPool|Mount|Scoreboard|BitmapMetafile|BlockStoreConcurrent|SpanTrace' |
+    -R 'ParallelCp|CpDeterminism|OverlappedCp|WriteAllocatorEngine|ThreadPool|Mount|Scoreboard|BitmapMetafile|BlockStoreConcurrent|SpanTrace' |
     tail -3
 fi
 
@@ -146,6 +147,8 @@ if [[ $PERF -eq 1 ]]; then
     ./build/bench/micro_parallel_cp >/dev/null
   WAFL_BENCH_FAST=1 WAFL_BENCH_JSON_DIR="$PWD" \
     ./build/bench/fig10_topaa_mount >/dev/null
+  WAFL_BENCH_FAST=1 WAFL_BENCH_JSON_DIR="$PWD" \
+    ./build/bench/micro_overlap_cp >/dev/null
 
   gate() {  # gate <label> <value> <floor>
     echo "  $1 = $2 (floor $3)"
@@ -178,6 +181,16 @@ if [[ $PERF -eq 1 ]]; then
   gate "mount scan/topaa (largest vol size)" "$r_size" 1.50
   gate "mount scan/topaa (largest vol count)" "$r_count" 1.50
 
+  # Overlapped CP: intake must stay admissible for at least half of the
+  # total drain wall (stop-the-world scores 0), and the overlapped driver
+  # must remain bit-identical to the stop-the-world path (checked inside
+  # the bench itself — it exits nonzero on divergence).
+  ov=$(jq -r '.overlap_fraction' BENCH_overlap.json)
+  ov_det=$(jq -r '.determinism_ok' BENCH_overlap.json)
+  gate "overlap_fraction" "$ov" 0.50
+  [[ "$ov_det" == "true" ]] ||
+    { echo "FAIL: overlapped CP diverged from stop-the-world"; exit 1; }
+
   # Perf trajectory: one JSONL record per --perf run, append-only so the
   # history of (sha, machine, phase times) accretes in git.  The relative
   # gates compare this run against the previous record — they catch slow
@@ -186,22 +199,29 @@ if [[ $PERF -eq 1 ]]; then
   # stack up.  Wall-clock fields are recorded but not gated: they are
   # machine-dependent.
   traj=BENCH_trajectory.json
-  prev_pf="" prev_apf="" prev_a4=""
+  prev_pf="" prev_apf="" prev_a4="" prev_ov=""
   if [[ -s $traj ]]; then
     prev_pf=$(tail -1 "$traj" | jq -r '.parallel_fraction')
     prev_apf=$(tail -1 "$traj" | jq -r '.alloc_parallel_fraction')
     prev_a4=$(tail -1 "$traj" | jq -r '.amdahl_speedup_w4')
+    prev_ov=$(tail -1 "$traj" | jq -r '.overlap_fraction')
   fi
   jq -c \
     --arg ts "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     --arg sha "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     --argjson cores "$(nproc 2>/dev/null || echo 0)" \
+    --argjson ov "$ov" \
+    --argjson ov_freeze "$(jq '.freeze_fraction' BENCH_overlap.json)" \
+    --argjson ov_stall "$(jq '.intake_stall_ms' BENCH_overlap.json)" \
+    --argjson ov_gap "$(jq '.cp_gap_ms_per_cp' BENCH_overlap.json)" \
     '{ts: $ts, git: $sha, cores: $cores, hw_threads,
       parallel_fraction, alloc_parallel_fraction,
       amdahl_speedup_w4, measured_speedup_w4,
       serial_phase_ms, parallel_phase_ms,
       alloc_plan_ms, alloc_execute_ms, alloc_merge_ms,
       wall_ms, alloc_wall_ms,
+      overlap_fraction: $ov, overlap_freeze_fraction: $ov_freeze,
+      overlap_stall_ms: $ov_stall, overlap_gap_ms_per_cp: $ov_gap,
       identical: .identical_all_worker_counts}' \
     BENCH_parallel_cp.json >> "$traj"
   echo "  trajectory: appended $(wc -l < "$traj")th record to $traj"
@@ -215,6 +235,7 @@ if [[ $PERF -eq 1 ]]; then
   rel_gate "parallel_fraction (vs trajectory)" "$pf" "$prev_pf" 0.05
   rel_gate "alloc_parallel_fraction (vs trajectory)" "$apf" "$prev_apf" 0.05
   rel_gate "amdahl_speedup_w4 (vs trajectory)" "$a4" "$prev_a4" 0.30
+  rel_gate "overlap_fraction (vs trajectory)" "$ov" "$prev_ov" 0.10
 fi
 
 if [[ $TRACE -eq 1 ]]; then
