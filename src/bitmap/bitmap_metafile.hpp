@@ -22,6 +22,8 @@
 
 #include "bitmap/bitmap.hpp"
 #include "storage/block_store.hpp"
+#include "util/atomic_bitmap.hpp"
+#include "util/mpsc_log.hpp"
 #include "util/types.hpp"
 #include "util/units.hpp"
 
@@ -170,7 +172,9 @@ class BitmapMetafile {
   /// Records that `block` was modified by *intake* — the active
   /// generation — without entering it into the main (frozen) dirty set
   /// an in-flight CP may be partitioning for flush.  Idempotent per
-  /// generation.
+  /// generation, and thread-safe: concurrent intake threads race a CAS
+  /// word claim and exactly one appends the block to the staging list
+  /// (DESIGN.md §14).
   void mark_dirty_intake(std::uint64_t block);
 
   /// Blocks dirtied by intake and not yet folded by
@@ -182,6 +186,7 @@ class BitmapMetafile {
   /// Generation swap at CP freeze: folds the intake dirty set into the
   /// main dirty set (dirtying order preserved, duplicates collapse) and
   /// leaves the intake set empty.  Returns the number of blocks folded.
+  /// Requires intake quiesced (same contract as the rest of the freeze).
   std::uint64_t freeze_dirty_generation();
 
   /// Writes every dirty metafile block to the backing store (if any) and
@@ -218,8 +223,11 @@ class BitmapMetafile {
 
   std::vector<bool> dirty_flag_;
   std::vector<std::uint64_t> dirty_list_;
-  std::vector<bool> intake_flag_;
-  std::vector<std::uint64_t> intake_list_;
+  /// Intake staging: one claim bit per metafile block (CAS-claimed, so
+  /// racing intake threads dedupe without a lock) plus the claim winners
+  /// in claim order.
+  AtomicClaimBitmap intake_claims_;
+  MpscLog<std::uint64_t> intake_list_;
 
   BlockStore* store_;
   std::uint64_t store_base_;

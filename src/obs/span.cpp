@@ -33,6 +33,7 @@ std::string_view span_kind_name(SpanKind k) noexcept {
     case SpanKind::kCpDrain: return "cp.drain";
     case SpanKind::kCpIntake: return "cp.intake";
     case SpanKind::kCpStall: return "cp.stall";
+    case SpanKind::kCpLeaseDrain: return "cp.lease_drain";
     case SpanKind::kWaPlan: return "wa.plan";
     case SpanKind::kWaExecute: return "wa.execute";
     case SpanKind::kWaRgExecute: return "wa.rg_execute";

@@ -57,6 +57,7 @@ enum class SpanKind : std::uint8_t {
   kCpDrain,   // a=cp ordinal   b=dirty blocks
   kCpIntake,  // a=cp ordinal (generation being filled)   b=blocks admitted
   kCpStall,   // a=cp ordinal draining   b=blocks waiting
+  kCpLeaseDrain,  // a=cp ordinal   b=lease blocks used this generation
   // WriteAllocator::allocate — the plan/execute/merge split.
   kWaPlan,      // a=groups   b=blocks requested
   kWaExecute,   // b=blocks requested

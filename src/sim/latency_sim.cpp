@@ -13,6 +13,7 @@ constexpr double kNsPerSec = 1e9;
 LatencySimulator::LatencySimulator(Aggregate& agg, Workload& workload,
                                    SimConfig cfg)
     : agg_(agg), workload_(workload), cfg_(cfg), rng_(cfg.seed) {
+  intake_free_.assign(std::max<std::uint32_t>(1, cfg_.intake_threads), 0);
   dirty_flags_.resize(agg.volume_count());
   for (VolumeId v = 0; v < agg.volume_count(); ++v) {
     dirty_flags_[v].assign(agg.volume(v).file_blocks(), 0);
@@ -74,26 +75,34 @@ SimTime LatencySimulator::jittered_rtt() {
   return rtt / 2 + rng_.below(rtt + 1);
 }
 
-void LatencySimulator::admit_write(SimTime now, SimTime arrival) {
-  const SimTime start = std::max(now, cpu_free_);
+SimTime& LatencySimulator::next_intake_server() {
+  return *std::min_element(intake_free_.begin(), intake_free_.end());
+}
+
+SimTime LatencySimulator::admit_write(SimTime now, SimTime arrival) {
+  SimTime& server = next_intake_server();
+  const SimTime start = std::max(now, server);
   const auto service = static_cast<SimTime>(
       static_cast<double>(cfg_.cost.op_admission_ns) / cfg_.cost.cpu_cores);
-  cpu_free_ = start + service;
+  server = start + service;
   cpu_spent_ += cfg_.cost.op_admission_ns;
   latencies_ns_.record(
-      static_cast<double>(cpu_free_ - arrival + cfg_.client_rtt_ns));
+      static_cast<double>(server - arrival + cfg_.client_rtt_ns));
   ++completed_;
   mark_dirty(workload_.next_write(rng_));
+  return server;
 }
 
 void LatencySimulator::do_read(SimTime now) {
-  const SimTime start = std::max(now, cpu_free_);
+  SimTime& server = next_intake_server();
+  const SimTime start = std::max(now, server);
   const auto service = static_cast<SimTime>(
       static_cast<double>(cfg_.cost.op_admission_ns) / cfg_.cost.cpu_cores);
-  cpu_free_ = start + service;
+  server = start + service;
+  const SimTime cpu_done = server;
   cpu_spent_ += cfg_.cost.op_admission_ns;
   const SimTime device_ns = read_device_ns(now);
-  latencies_ns_.record(static_cast<double>((cpu_free_ - now) + device_ns +
+  latencies_ns_.record(static_cast<double>((cpu_done - now) + device_ns +
                                            cfg_.client_rtt_ns));
   ++completed_;
 }
@@ -126,12 +135,21 @@ void LatencySimulator::maybe_start_cp(SimTime now) {
     // foreground path (the paper's §2 motivation).
     const auto freeze_cpu = static_cast<SimTime>(
         static_cast<double>(cp_cpu) * cfg_.cp_freeze_cpu_fraction);
-    cpu_free_ = std::max(cpu_free_, now) + freeze_cpu;
+    // The freeze holds every intake shard lock, so it stalls ALL
+    // admission servers, not just one.
+    for (SimTime& server : intake_free_) {
+      server = std::max(server, now) + freeze_cpu;
+    }
     cp_done_ = std::max(now + storage, now + cp_cpu);
   } else {
-    // Stop-the-world: the whole CP CPU serializes with op admission.
-    cpu_free_ = std::max(cpu_free_, now) + cp_cpu;
-    cp_done_ = std::max(now + storage, cpu_free_);
+    // Stop-the-world: the whole CP CPU serializes with op admission on
+    // every server.
+    for (SimTime& server : intake_free_) {
+      server = std::max(server, now) + cp_cpu;
+    }
+    cp_done_ = std::max(now + storage,
+                        *std::max_element(intake_free_.begin(),
+                                          intake_free_.end()));
   }
   cp_inflight_ = true;
   ++cps_;
@@ -148,10 +166,10 @@ void LatencySimulator::complete_cp(SimTime now) {
              cfg_.dirty_high_watermark) {
     const BlockedOp op = blocked_.front();
     blocked_.pop_front();
-    admit_write(now, op.arrival);
+    const SimTime done = admit_write(now, op.arrival);
     if (op.client != kNoClient) {
       // The client's op just completed; it issues again after the RTT.
-      ready_heap_.push_back({cpu_free_ + jittered_rtt(), op.client});
+      ready_heap_.push_back({done + jittered_rtt(), op.client});
       std::push_heap(ready_heap_.begin(), ready_heap_.end(),
                      std::greater<>());
     }
@@ -171,7 +189,7 @@ void LatencySimulator::reset_run_accumulators() {
   // new clock; throttled writes from the previous measurement are dropped
   // so they cannot pollute this point's completions or latencies.
   cp_done_ = cp_inflight_ ? 0 : kNever;
-  cpu_free_ = 0;
+  std::fill(intake_free_.begin(), intake_free_.end(), 0);
   blocked_.clear();
   ready_heap_.clear();
 }
@@ -274,13 +292,14 @@ LoadPoint LatencySimulator::run_closed(std::size_t clients,
     ready_heap_.pop_back();
 
     if (cfg_.read_fraction > 0.0 && rng_.chance(cfg_.read_fraction)) {
-      const SimTime start = std::max(now, cpu_free_);
+      SimTime& server = next_intake_server();
+      const SimTime start = std::max(now, server);
       const auto service = static_cast<SimTime>(
           static_cast<double>(cfg_.cost.op_admission_ns) /
           cfg_.cost.cpu_cores);
-      cpu_free_ = start + service;
+      server = start + service;
       cpu_spent_ += cfg_.cost.op_admission_ns;
-      const SimTime done = cpu_free_ + read_device_ns(now) + jittered_rtt();
+      const SimTime done = server + read_device_ns(now) + jittered_rtt();
       latencies_ns_.record(static_cast<double>(done - now));
       ++completed_;
       schedule(done, client);
@@ -288,8 +307,8 @@ LoadPoint LatencySimulator::run_closed(std::size_t clients,
                cfg_.dirty_high_watermark) {
       blocked_.push_back({now, client});  // reissues when the CP drains it
     } else {
-      admit_write(now, now);
-      schedule(cpu_free_ + jittered_rtt(), client);
+      const SimTime done = admit_write(now, now);
+      schedule(done + jittered_rtt(), client);
     }
     maybe_start_cp(now);
   }

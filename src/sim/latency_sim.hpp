@@ -69,6 +69,14 @@ struct SimConfig {
   /// freeze_fraction ~= 0.125 on the single-core reference box, where
   /// the freeze-side stable sort is not amortized by drain parallelism.
   double cp_freeze_cpu_fraction = 0.125;
+  /// Concurrent intake (admission) servers, modeling the sharded
+  /// front end (DESIGN.md §14): ops admit through whichever server frees
+  /// first.  Per-server service time stays op_admission_ns/cpu_cores, so
+  /// 1 reproduces the single-front-end model exactly and larger T shifts
+  /// the admission knee right.  CP CPU (freeze under overlapped_cp, the
+  /// whole CP otherwise) still blocks EVERY server — the freeze holds
+  /// all intake shard locks.
+  std::uint32_t intake_threads = 1;
   std::uint64_t seed = 7;
 };
 
@@ -123,7 +131,11 @@ class LatencySimulator {
   SimTime jittered_rtt();
   void reset_run_accumulators();
   LoadPoint finish_point(double offered, double sim_seconds);
-  void admit_write(SimTime now, SimTime arrival);
+  /// The admission server that frees first (ties to the lowest index, so
+  /// the pick is deterministic).
+  SimTime& next_intake_server();
+  /// Admits one write; returns its CPU completion time.
+  SimTime admit_write(SimTime now, SimTime arrival);
   void do_read(SimTime now);
   void maybe_start_cp(SimTime now);
   void complete_cp(SimTime now);
@@ -137,7 +149,8 @@ class LatencySimulator {
   std::vector<std::vector<std::uint8_t>> dirty_flags_;
   std::vector<DirtyBlock> dirty_list_;
 
-  SimTime cpu_free_ = 0;
+  /// Per-intake-server next-free times (size = max(1, intake_threads)).
+  std::vector<SimTime> intake_free_;
   bool cp_inflight_ = false;
   SimTime cp_done_ = 0;
   std::uint64_t cp_inflight_blocks_ = 0;

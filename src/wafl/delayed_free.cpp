@@ -41,16 +41,11 @@ void DelayedFreeLog::log_free(Vbn v) {
 
 void DelayedFreeLog::log_free_active(Vbn v) {
   WAFL_ASSERT(region_of(v) < pending_.size());
-  active_.push_back(v);
+  active_.push(v);
 }
 
 std::uint64_t DelayedFreeLog::freeze_generation() {
-  const std::uint64_t folded = active_.size();
-  for (const Vbn v : active_) {
-    log_free(v);
-  }
-  active_.clear();
-  return folded;
+  return active_.consume_ordered([this](Vbn v) { log_free(v); });
 }
 
 std::optional<DelayedFreeLog::Drain> DelayedFreeLog::drain_richest() {
@@ -99,10 +94,11 @@ bool DelayedFreeLog::validate() const {
     if (region.count != region.vbns.size()) return false;
     total += region.count;
   }
-  for (const Vbn v : active_) {
-    if (region_of(v) >= pending_.size()) return false;
-  }
-  return total == pending_total_ && hbps_.validate();
+  bool staged_ok = true;
+  active_.for_each([&](Vbn v) {
+    if (region_of(v) >= pending_.size()) staged_ok = false;
+  });
+  return staged_ok && total == pending_total_ && hbps_.validate();
 }
 
 }  // namespace wafl

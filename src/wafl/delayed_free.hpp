@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/hbps.hpp"
+#include "util/mpsc_log.hpp"
 #include "util/types.hpp"
 
 namespace wafl {
@@ -46,11 +47,16 @@ class DelayedFreeLog {
   /// Stages a delayed free of `v` in the *active* generation ledger.
   /// Region scores and drain order are untouched until the next
   /// freeze_generation() folds the ledger in, so an in-flight CP
-  /// draining the frozen generation never observes it.
+  /// draining the frozen generation never observes it.  MPSC: any number
+  /// of intake threads may stage concurrently (DESIGN.md §14); the fold
+  /// consumes reservation-index order, which equals staging order for a
+  /// single producer.
   void log_free_active(Vbn v);
 
   /// Generation swap at CP freeze: folds the active ledger into the
   /// drainable log in staging order.  Returns the number folded.
+  /// Requires stagers quiesced (the driver holds every intake shard
+  /// lock, or the workload is single-threaded).
   std::uint64_t freeze_generation();
 
   /// Frees staged in the active generation, not yet visible to drains.
@@ -88,7 +94,7 @@ class DelayedFreeLog {
   std::uint32_t region_blocks_;
   std::vector<Region> pending_;
   std::uint64_t pending_total_ = 0;
-  std::vector<Vbn> active_;
+  MpscLog<Vbn> active_;
   Hbps hbps_;
 };
 

@@ -247,7 +247,9 @@ void FlexVol::delete_snapshot(SnapId id) {
     if (!active.test(v)) {
       // Staged in the active generation: the in-flight (frozen) CP's
       // richest-first drain order is already fixed; these enter the
-      // drainable log at the next freeze_cp_generation().
+      // drainable log at the next freeze_cp_generation().  The ledger is
+      // an MPSC log (DESIGN.md §14), so deletions staged from intake
+      // threads need no volume-wide lock.
       delayed_.log_free_active(v);
     }
   }

@@ -1,0 +1,48 @@
+#include "wafl/intake.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wafl {
+
+IntakeLeases::IntakeLeases(std::size_t shards)
+    : nshards_(shards), slots_(std::make_unique<Slot[]>(shards)) {
+  WAFL_ASSERT(shards > 0);
+}
+
+LeaseGrant IntakeLeases::reserve(std::size_t shard, std::uint64_t n) noexcept {
+  WAFL_ASSERT(shard < nshards_);
+  Slot& s = slots_[shard];
+  if (s.len == 0) return {};  // unarmed
+  // Bump-pointer reservation (Blelloch & Wei): the fetch_add is the whole
+  // critical section.  Overshoot past len just means misses until rearm.
+  const std::uint64_t at = s.used.fetch_add(n, std::memory_order_relaxed);
+  if (at >= s.len) return {};
+  return {true, s.base + at, std::min(n, s.len - at)};
+}
+
+std::vector<LeaseDrain> IntakeLeases::drain_and_rearm(
+    std::span<const LeaseRegion> regions) {
+  std::vector<LeaseDrain> drained;
+  drained.reserve(nshards_);
+  for (std::size_t i = 0; i < nshards_; ++i) {
+    Slot& s = slots_[i];
+    const std::uint64_t raw = s.used.load(std::memory_order_relaxed);
+    drained.push_back({s.rg, std::min(raw, s.len), s.len});
+    if (regions.empty()) {
+      s.base = 0;
+      s.len = 0;
+      s.rg = 0;
+    } else {
+      const LeaseRegion& r = regions[i % regions.size()];
+      s.base = r.base;
+      s.len = r.len;
+      s.rg = r.rg;
+    }
+    s.used.store(0, std::memory_order_relaxed);
+  }
+  return drained;
+}
+
+}  // namespace wafl

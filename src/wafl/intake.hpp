@@ -1,0 +1,98 @@
+// Intake leases: per-shard reservations of contiguous block runs for the
+// concurrent allocation front end (DESIGN.md §14).
+//
+// Blelloch & Wei's concurrent fixed-size allocator reserves from a shared
+// pool in constant time with one fetch_add per grab; WAFL's front end
+// wants the same shape so N intake threads can claim contiguous runs out
+// of the best allocation areas without a lock.  Each intake shard holds a
+// lease on one AA-sized region (chosen from the AA caches' current top
+// picks); reserve() is a bump-pointer fetch_add against the shard's slot,
+// so a hit costs one atomic op and hands back a contiguous [base, base+n)
+// run.  A miss (lease exhausted, or no lease armed) falls through to the
+// normal CP-time allocation path.
+//
+// Leases are ADVISORY and score-neutral by design: the CP's physical
+// write allocation never reads them, so they cannot perturb the plan/
+// execute pipeline's deterministic output, and a lease lost in a crash is
+// indistinguishable from blocks that were never allocated (crash
+// invariants I-A..I-D hold trivially; the sweep checks this with the
+// cp.in_lease_drain hook).  What they buy is the front-end contract —
+// contiguous-run placement hints plus hit/miss/contention accounting that
+// the obs layer exports per shard — while the deterministic allocator
+// remains the single source of truth for media state.
+//
+// Concurrency contract: reserve(shard, n) races only with itself on one
+// slot (the driver calls it under that shard's intake lock, but the slot
+// is atomic so even lock-free callers stay safe).  drain_and_rearm()
+// requires ALL shards quiesced — the driver holds every shard lock during
+// the CP freeze — and folds shard slots in shard-id order, which is what
+// keeps the canonical fold order fixed under contention.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wafl {
+
+/// One leasable run of physical blocks: an AA (or AA prefix) of RAID
+/// group `rg` starting at absolute VBN `base`.
+struct LeaseRegion {
+  RaidGroupId rg = 0;
+  Vbn base = 0;
+  std::uint64_t len = 0;
+};
+
+/// Result of one reserve(): a contiguous run [base, base + len) when hit,
+/// len possibly short of the request at lease exhaustion.
+struct LeaseGrant {
+  bool hit = false;
+  Vbn base = 0;
+  std::uint64_t len = 0;
+};
+
+/// Per-shard drain record, reported at every generation swap.
+struct LeaseDrain {
+  RaidGroupId rg = 0;
+  /// Blocks reserved out of the lease this generation (clamped to len).
+  std::uint64_t used = 0;
+  /// The lease's full capacity this generation (0 = shard was unarmed).
+  std::uint64_t len = 0;
+};
+
+class IntakeLeases {
+ public:
+  explicit IntakeLeases(std::size_t shards);
+
+  IntakeLeases(const IntakeLeases&) = delete;
+  IntakeLeases& operator=(const IntakeLeases&) = delete;
+
+  std::size_t shard_count() const noexcept { return nshards_; }
+
+  /// Reserves up to `n` contiguous blocks from `shard`'s lease.  One
+  /// fetch_add; never blocks, never touches another shard.
+  LeaseGrant reserve(std::size_t shard, std::uint64_t n) noexcept;
+
+  /// Generation swap: reads every shard's usage (shard-id order), then
+  /// re-arms shard i with regions[i % regions.size()] (unarmed when
+  /// `regions` is empty).  Requires all reservers quiesced.
+  std::vector<LeaseDrain> drain_and_rearm(std::span<const LeaseRegion> regions);
+
+ private:
+  /// Cache-line isolated so shard slots never false-share.
+  struct alignas(64) Slot {
+    Vbn base = 0;
+    std::uint64_t len = 0;
+    RaidGroupId rg = 0;
+    std::atomic<std::uint64_t> used{0};
+  };
+
+  std::size_t nshards_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace wafl

@@ -1,7 +1,10 @@
 #include "wafl/overlapped_cp.hpp"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
+#include "fault/crash_point.hpp"
 #include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
@@ -10,11 +13,28 @@ namespace wafl {
 
 OverlappedCpDriver::OverlappedCpDriver(Aggregate& agg, ThreadPool* pool,
                                        OverlappedCpConfig cfg)
-    : agg_(agg), pool_(pool), cfg_(cfg) {
+    : agg_(agg),
+      pool_(pool),
+      cfg_(cfg),
+      leases_(std::max<std::size_t>(1, cfg.intake_shards)) {
   WAFL_ASSERT(cfg_.dirty_high_watermark > 0);
-  seen_.resize(agg_.volume_count());
+  WAFL_ASSERT(cfg_.intake_shards > 0);
+  shards_.reserve(cfg_.intake_shards);
+  for (std::size_t s = 0; s < cfg_.intake_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    WAFL_OBS({
+      obs::Registry& reg = obs::registry();
+      const std::string label = "shard=\"" + std::to_string(s) + "\"";
+      Shard& sh = *shards_.back();
+      sh.admitted_metric = &reg.counter("wafl.cp.intake_admitted", label);
+      sh.coalesced_metric = &reg.counter("wafl.cp.intake_coalesced", label);
+      sh.lease_hit_metric = &reg.counter("wafl.cp.lease_hits", label);
+      sh.lease_miss_metric = &reg.counter("wafl.cp.lease_misses", label);
+    });
+  }
+  claims_.reserve(agg_.volume_count());
   for (VolumeId v = 0; v < agg_.volume_count(); ++v) {
-    seen_[v].assign(agg_.volume(v).file_blocks(), false);
+    claims_.emplace_back(agg_.volume(v).file_blocks());
   }
 }
 
@@ -25,38 +45,120 @@ OverlappedCpDriver::~OverlappedCpDriver() {
   // A pending drain_error_ dies with us — see the header contract.
 }
 
-void OverlappedCpDriver::submit(std::span<const DirtyBlock> blocks) {
+std::size_t OverlappedCpDriver::home_shard() {
+  // Round-robin thread->shard assignment, sticky per (thread, driver).
+  static std::atomic<std::size_t> rr{0};
+  thread_local const OverlappedCpDriver* cached_driver = nullptr;
+  thread_local std::size_t cached_shard = 0;
+  if (cached_driver != this) {
+    cached_driver = this;
+    cached_shard = rr.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  }
+  return cached_shard;
+}
+
+void OverlappedCpDriver::backpressure_wait() {
+  // Fast path: two relaxed-ish loads.  The rule only applies while a
+  // drain is in flight, so overshoot past the watermark by concurrent
+  // racers is bounded by one batch per writer — the watermark is a
+  // throttle, not a hard capacity.
+  if (!drain_in_flight_.load(std::memory_order_acquire) ||
+      active_count_.load(std::memory_order_relaxed) <
+          cfg_.dirty_high_watermark) {
+    return;
+  }
   std::unique_lock<std::mutex> lk(mu_);
-  obs::TraceSpan intake_span(obs::SpanKind::kCpIntake, stats_.cps_started,
+  if (!drain_in_flight_.load(std::memory_order_relaxed) ||
+      active_count_.load(std::memory_order_relaxed) <
+          cfg_.dirty_high_watermark) {
+    return;
+  }
+  ++stats_.submit_stalls;
+  obs::TraceSpan stall_span(obs::SpanKind::kCpStall,
+                            generation_.load(std::memory_order_relaxed),
+                            active_count_.load(std::memory_order_relaxed));
+  const std::uint64_t t0 = obs::monotonic_ns();
+  cv_.wait(lk, [this] {
+    return !drain_in_flight_.load(std::memory_order_relaxed) ||
+           active_count_.load(std::memory_order_relaxed) <
+               cfg_.dirty_high_watermark;
+  });
+  stats_.stall_ns += obs::monotonic_ns() - t0;
+}
+
+void OverlappedCpDriver::submit(std::span<const DirtyBlock> blocks) {
+  submit_to_shard(home_shard(), blocks);
+}
+
+void OverlappedCpDriver::submit_to_shard(std::size_t shard,
+                                         std::span<const DirtyBlock> blocks) {
+  WAFL_ASSERT(shard < shards_.size());
+  obs::TraceSpan intake_span(obs::SpanKind::kCpIntake,
+                             generation_.load(std::memory_order_relaxed),
                              blocks.size());
-  if (drain_in_flight_ && dirty_.size() >= cfg_.dirty_high_watermark) {
-    // Backpressure: the active generation is full and can only shrink
-    // when the frozen drain completes and a freeze swaps us out.
-    ++stats_.submit_stalls;
-    obs::TraceSpan stall_span(obs::SpanKind::kCpStall, stats_.cps_started,
-                              dirty_.size());
-    const std::uint64_t t0 = obs::monotonic_ns();
-    cv_.wait(lk, [this] {
-      return !drain_in_flight_ || dirty_.size() < cfg_.dirty_high_watermark;
+  // Backpressure BEFORE the shard lock: a stalled writer holding its
+  // shard's lock would deadlock the freeze (which takes every shard lock
+  // while the stall can only clear after the NEXT freeze).
+  backpressure_wait();
+  Shard& sh = *shards_[shard];
+  std::uint64_t added = 0;
+  {
+    std::lock_guard<std::mutex> sl(sh.mu);
+    for (const DirtyBlock& b : blocks) {
+      WAFL_ASSERT(b.vol < claims_.size());
+      WAFL_ASSERT(b.logical < claims_[b.vol].size_bits());
+      if (!claims_[b.vol].try_claim(b.logical)) {
+        ++sh.coalesced;  // re-dirty: some shard already holds it
+        continue;
+      }
+      sh.dirty.push_back(b);
+      ++added;
+    }
+    if (added != 0 && cfg_.lease_aas_per_group != 0) {
+      // Advisory contiguous-run reservation (one fetch_add; see
+      // intake.hpp).  Inside the shard lock so the freeze's all-locks
+      // window never races a reserve.
+      const LeaseGrant g = leases_.reserve(shard, added);
+      if (g.hit) {
+        ++sh.lease_hits;
+        sh.lease_blocks += g.len;
+      } else {
+        ++sh.lease_misses;
+      }
+      WAFL_OBS({
+        if (sh.lease_hit_metric != nullptr) {
+          (g.hit ? sh.lease_hit_metric : sh.lease_miss_metric)->inc();
+        }
+      });
+    }
+    WAFL_OBS({
+      if (sh.admitted_metric != nullptr) {
+        sh.admitted_metric->add(added);
+        sh.coalesced_metric->add(blocks.size() - added);
+      }
     });
-    stats_.stall_ns += obs::monotonic_ns() - t0;
   }
-  for (const DirtyBlock& b : blocks) {
-    WAFL_ASSERT(b.vol < seen_.size());
-    WAFL_ASSERT(b.logical < seen_[b.vol].size());
-    if (seen_[b.vol][b.logical]) continue;  // coalesce re-dirty
-    seen_[b.vol][b.logical] = true;
-    dirty_.push_back(b);
+  if (added != 0) {
+    active_count_.fetch_add(added, std::memory_order_relaxed);
   }
-  stats_.blocks_admitted += blocks.size();
-  if (cfg_.auto_cp_trigger != 0 && !drain_in_flight_ &&
-      dirty_.size() >= cfg_.auto_cp_trigger) {
-    launch_cp_locked(lk);
+  admitted_total_.fetch_add(blocks.size(), std::memory_order_relaxed);
+
+  if (cfg_.auto_cp_trigger != 0 &&
+      !drain_in_flight_.load(std::memory_order_acquire) &&
+      active_count_.load(std::memory_order_relaxed) >= cfg_.auto_cp_trigger) {
+    std::unique_lock<std::mutex> lk(mu_);
+    // Re-check under mu_: a racing submitter may have launched already.
+    if (!drain_in_flight_.load(std::memory_order_relaxed) &&
+        active_count_.load(std::memory_order_relaxed) >=
+            cfg_.auto_cp_trigger) {
+      launch_cp_locked(lk);
+    }
   }
 }
 
 void OverlappedCpDriver::quiesce_locked(std::unique_lock<std::mutex>& lk) {
-  cv_.wait(lk, [this] { return !drain_in_flight_; });
+  cv_.wait(lk,
+           [this] { return !drain_in_flight_.load(std::memory_order_relaxed); });
   if (drain_error_ != nullptr) {
     std::exception_ptr err = std::exchange(drain_error_, nullptr);
     if (drain_thread_.joinable()) drain_thread_.join();
@@ -71,20 +173,63 @@ void OverlappedCpDriver::start_cp() {
 }
 
 void OverlappedCpDriver::launch_cp_locked(std::unique_lock<std::mutex>& lk) {
-  WAFL_ASSERT(!drain_in_flight_);
+  WAFL_ASSERT(!drain_in_flight_.load(std::memory_order_relaxed));
   // Reap the previous drain thread before starting the next.
   if (drain_thread_.joinable()) drain_thread_.join();
 
-  // Swap the active generation out under the lock (concurrent submits
-  // now build the next one); the aggregate-side swap below runs unlocked
-  // — no drain is in flight and intake never touches the aggregate.
   std::vector<DirtyBlock> batch;
-  batch.swap(dirty_);
-  for (const DirtyBlock& b : batch) {
-    seen_[b.vol][b.logical] = false;
+  {
+    // The freeze window: every shard lock in shard-id order (after mu_ —
+    // the one place both levels are held).  No writer is mid-claim, so
+    // the claim bits and the shard lists agree exactly.
+    std::vector<std::unique_lock<std::mutex>> shard_locks;
+    shard_locks.reserve(shards_.size());
+    for (auto& sh : shards_) shard_locks.emplace_back(sh->mu);
+
+    WAFL_CRASH_POINT("cp.in_lease_drain");
+
+    // Drain + re-arm the advisory leases from the AA caches' current top
+    // picks (const heap reads — no drain is in flight).  A crash past
+    // this point loses only leases and unfrozen intake: blocks that were
+    // never allocated.
+    {
+      obs::TraceSpan lease_span(obs::SpanKind::kCpLeaseDrain,
+                                stats_.cps_started, 0);
+      std::vector<LeaseRegion> regions;
+      if (cfg_.lease_aas_per_group != 0) {
+        regions = agg_.lease_regions(cfg_.lease_aas_per_group);
+      }
+      std::uint64_t lease_used = 0;
+      for (const LeaseDrain& d : leases_.drain_and_rearm(regions)) {
+        lease_used += d.used;
+      }
+      lease_span.set_b(lease_used);
+    }
+
+    // Fold shards 0..S-1 — the canonical order — into one batch,
+    // releasing each entry's coalescing claim.  O(dirty) total, however
+    // many writers raced: claims clear entry-by-entry, never by scan.
+    std::uint64_t total = 0;
+    for (const auto& sh : shards_) total += sh->dirty.size();
+    batch.reserve(total);
+    for (auto& shp : shards_) {
+      Shard& sh = *shp;
+      for (const DirtyBlock& b : sh.dirty) {
+        claims_[b.vol].clear(b.logical);
+        batch.push_back(b);
+      }
+      sh.dirty.clear();
+      stats_.blocks_coalesced += std::exchange(sh.coalesced, 0);
+      stats_.lease_hits += std::exchange(sh.lease_hits, 0);
+      stats_.lease_misses += std::exchange(sh.lease_misses, 0);
+      stats_.lease_blocks_reserved += std::exchange(sh.lease_blocks, 0);
+    }
+    active_count_.store(0, std::memory_order_relaxed);
   }
+
   ++stats_.cps_started;
-  drain_in_flight_ = true;
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  drain_in_flight_.store(true, std::memory_order_release);
   lk.unlock();
 
   const std::uint64_t freeze_t0 = obs::monotonic_ns();
@@ -93,8 +238,9 @@ void OverlappedCpDriver::launch_cp_locked(std::unique_lock<std::mutex>& lk) {
     frozen = ConsistencyPoint::freeze(agg_, batch);
   } catch (...) {
     std::unique_lock<std::mutex> relk(mu_);
-    drain_in_flight_ = false;
+    drain_in_flight_.store(false, std::memory_order_release);
     --stats_.cps_started;
+    generation_.fetch_sub(1, std::memory_order_relaxed);
     cv_.notify_all();
     throw;
   }
@@ -132,7 +278,7 @@ void OverlappedCpDriver::drain_main(ConsistencyPoint::Frozen frozen) {
     ++stats_.cps_completed;
     stats_.cp.merge(cp);
   }
-  drain_in_flight_ = false;
+  drain_in_flight_.store(false, std::memory_order_release);
   cv_.notify_all();
 }
 
@@ -143,8 +289,7 @@ void OverlappedCpDriver::wait_idle() {
 }
 
 bool OverlappedCpDriver::drain_in_flight() const {
-  std::unique_lock<std::mutex> lk(mu_);
-  return drain_in_flight_;
+  return drain_in_flight_.load(std::memory_order_acquire);
 }
 
 SnapId OverlappedCpDriver::create_snapshot(VolumeId vol) {
@@ -162,13 +307,23 @@ void OverlappedCpDriver::delete_snapshot(VolumeId vol, SnapId id) {
 }
 
 std::uint64_t OverlappedCpDriver::active_dirty() const {
-  std::unique_lock<std::mutex> lk(mu_);
-  return dirty_.size();
+  return active_count_.load(std::memory_order_acquire);
 }
 
 OverlapStats OverlappedCpDriver::stats() const {
   std::unique_lock<std::mutex> lk(mu_);
-  return stats_;
+  OverlapStats out = stats_;
+  out.blocks_admitted = admitted_total_.load(std::memory_order_relaxed);
+  // Live (not-yet-folded) shard counters; mu_ is held, so the shard-lock
+  // acquisition order matches the freeze path's.
+  for (const auto& shp : shards_) {
+    std::lock_guard<std::mutex> sl(shp->mu);
+    out.blocks_coalesced += shp->coalesced;
+    out.lease_hits += shp->lease_hits;
+    out.lease_misses += shp->lease_misses;
+    out.lease_blocks_reserved += shp->lease_blocks;
+  }
+  return out;
 }
 
 }  // namespace wafl

@@ -1,43 +1,64 @@
-// Overlapped back-to-back consistency points (DESIGN.md §13).
+// Overlapped back-to-back consistency points (DESIGN.md §13) with a
+// sharded concurrent intake front end (DESIGN.md §14).
 //
 // Real WAFL never stops the world: it admits the next CP's writes while
 // the previous CP drains to media, which is what keeps client latency
 // flat as load approaches the knee (§2).  This driver supplies that
-// behaviour over the generation split:
+// behaviour over the generation split, and — since the front-end rework —
+// lets N client threads admit writes simultaneously:
 //
-//   - intake (submit) fills the ACTIVE generation: driver-owned dirty
-//     lists coalesced per (volume, logical), plus active-ledger delayed
-//     frees staged by snapshot deletion;
-//   - start_cp() freezes: ConsistencyPoint::freeze() swaps the active
+//   - intake (submit) fills the ACTIVE generation across `intake_shards`
+//     independent shards.  A submitting thread takes only its shard's
+//     lock; cross-shard coalescing of re-dirtied (vol, logical) blocks
+//     goes through a per-volume AtomicClaimBitmap — racing writers CAS
+//     for the claim and exactly one appends the block to its shard's
+//     dirty list.  Each shard also holds an advisory lease on a
+//     contiguous AA run (IntakeLeases) reserved bump-pointer style, the
+//     Blelloch & Wei constant-time shape;
+//   - start_cp() freezes: with every shard lock held (shard-id order),
+//     leases are drained and re-armed from the AA caches' top picks and
+//     the shards fold into one batch in shard-id order — the canonical
+//     fold order.  ConsistencyPoint::freeze() then swaps the active
 //     generation into the FROZEN one (cheap, no media I/O) and the
-//     phased drain is launched on a dedicated thread, parallelizing its
-//     interior on the ThreadPool exactly as the stop-the-world path does;
+//     phased drain is launched on a dedicated thread;
 //   - submit keeps admitting into the new active generation while the
 //     frozen one drains, blocking only when the active generation
 //     reaches the high watermark before the drain completes (the
-//     backpressure rule).
+//     backpressure rule, checked BEFORE the shard lock so a stalled
+//     writer never blocks the freeze).
 //
-// The drain is the ONLY mutator of the aggregate while in flight; intake
-// touches driver-owned buffers only.  Control operations (start_cp,
-// wait_idle, snapshot ops) quiesce the drain first and must come from
-// one thread; submit() is thread-safe and may be called from many.
+// Lock order: mu_ (control) before shard locks; shard locks in shard-id
+// order; never mu_ while holding a shard lock.  The drain is the ONLY
+// mutator of the aggregate while in flight; intake touches driver-owned
+// buffers only.  Control operations (start_cp, wait_idle, snapshot ops)
+// quiesce the drain first and must come from one thread; submit() /
+// submit_to_shard() are thread-safe and may be called from many.
 //
-// Determinism: freeze captures exactly the blocks submitted so far, in
-// submission order, so a scripted workload produces byte-identical media
-// and stats to running ConsistencyPoint::run() over the same batches —
-// the oracle in tests/wafl/test_cp_determinism.cpp checks this at
-// several worker counts.
+// Determinism under contention: a shard's dirty list is in claim-winner
+// program order, the freeze folds shards 0..S-1, and the CP's stable
+// sort by volume runs on that canonical sequence.  Routing is the only
+// interleaving-dependent input — so a workload that fixes its routing
+// (submit_to_shard with a content-keyed shard) produces byte-identical
+// media and stats at ANY writer count, which
+// CpDeterminism.ConcurrentIntakeMatchesSerial checks at T=1/2/4/8.
+// Leases never feed the CP (advisory, score-neutral), so they cannot
+// perturb this; a lease lost to a crash is blocks never allocated.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "util/atomic_bitmap.hpp"
 #include "wafl/consistency_point.hpp"
+#include "wafl/intake.hpp"
 
 namespace wafl {
 
@@ -51,13 +72,24 @@ struct OverlappedCpConfig {
   /// When non-zero, submit() starts a CP itself once the active
   /// generation reaches this many blocks and no drain is in flight.
   std::uint64_t auto_cp_trigger = 0;
+  /// Intake shards.  Submitting threads spread round-robin across shards
+  /// and contend only within one; the freeze folds all shards in id
+  /// order.  1 reproduces the single-list driver exactly.
+  std::size_t intake_shards = 8;
+  /// AA runs per RAID group offered to the lease re-arm at each freeze
+  /// (const top-k heap reads; 0 disables leasing).
+  std::size_t lease_aas_per_group = 2;
 };
 
 /// Cumulative driver counters (monotonic; snapshot via stats()).
 struct OverlapStats {
   std::uint64_t cps_started = 0;
   std::uint64_t cps_completed = 0;
+  /// Raw submitted blocks, including ones coalesced away.
   std::uint64_t blocks_admitted = 0;
+  /// Submitted blocks dropped as re-dirties of an active-generation block
+  /// (claim lost — some shard already holds the (vol, logical)).
+  std::uint64_t blocks_coalesced = 0;
   /// submit() calls that hit the backpressure rule.
   std::uint64_t submit_stalls = 0;
   /// Wall time submit() spent blocked on backpressure (always during a
@@ -70,6 +102,11 @@ struct OverlapStats {
   /// Sum of gaps from one drain's completion to the next drain's launch
   /// (back-to-back CPs make this the freeze cost plus scheduling).
   std::uint64_t gap_ns = 0;
+  /// Advisory-lease accounting (DESIGN.md §14): batches served from a
+  /// shard's leased run vs. falling through, and blocks granted.
+  std::uint64_t lease_hits = 0;
+  std::uint64_t lease_misses = 0;
+  std::uint64_t lease_blocks_reserved = 0;
   /// CpStats accumulated over every completed CP.
   CpStats cp;
 
@@ -98,7 +135,7 @@ class OverlappedCpDriver {
   OverlappedCpDriver(const OverlappedCpDriver&) = delete;
   OverlappedCpDriver& operator=(const OverlappedCpDriver&) = delete;
 
-  // --- Intake (thread-safe) -------------------------------------------------
+  // --- Intake (thread-safe, any number of threads) --------------------------
 
   /// Admits one dirty block into the active generation, coalescing with
   /// any unfrozen earlier write to the same (vol, logical).  Blocks on
@@ -107,8 +144,13 @@ class OverlappedCpDriver {
     const DirtyBlock b{vol, logical};
     submit(std::span<const DirtyBlock>(&b, 1));
   }
-  /// Batch intake; one cp.intake span per call.
+  /// Batch intake into the calling thread's home shard (threads spread
+  /// round-robin); one cp.intake span per call.
   void submit(std::span<const DirtyBlock> blocks);
+  /// Batch intake into an explicit shard — for callers that key routing
+  /// by content so the per-shard sequences (and hence the CP) are
+  /// invariant across writer counts.
+  void submit_to_shard(std::size_t shard, std::span<const DirtyBlock> blocks);
 
   // --- Control (single-threaded, quiesce the drain) -------------------------
 
@@ -132,12 +174,38 @@ class OverlappedCpDriver {
 
   // --- Introspection --------------------------------------------------------
 
-  /// Dirty blocks currently in the active generation.
+  /// Dirty blocks currently in the active generation (all shards).
   std::uint64_t active_dirty() const;
   OverlapStats stats() const;
   const OverlappedCpConfig& config() const noexcept { return cfg_; }
+  std::size_t intake_shards() const noexcept { return shards_.size(); }
 
  private:
+  /// One intake shard: its lock, its slice of the active generation in
+  /// claim-winner order, and its counters (folded into stats_ at freeze
+  /// for the cumulative ones, summed live by stats()).  Cache-line
+  /// isolated so shard locks never false-share.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::vector<DirtyBlock> dirty;
+    std::uint64_t coalesced = 0;
+    std::uint64_t lease_hits = 0;
+    std::uint64_t lease_misses = 0;
+    std::uint64_t lease_blocks = 0;
+    obs::Counter* admitted_metric = nullptr;
+    obs::Counter* coalesced_metric = nullptr;
+    obs::Counter* lease_hit_metric = nullptr;
+    obs::Counter* lease_miss_metric = nullptr;
+  };
+
+  /// The calling thread's home shard for this driver (round-robin
+  /// assigned on first submit).
+  std::size_t home_shard();
+
+  /// Blocks until the backpressure rule admits intake.  Called before
+  /// taking any shard lock (a stalled writer must not block the freeze).
+  void backpressure_wait();
+
   /// Waits for the drain under `lk` and rethrows a pending drain error.
   void quiesce_locked(std::unique_lock<std::mutex>& lk);
   /// Freezes + launches the drain; requires no drain in flight.
@@ -151,14 +219,24 @@ class OverlappedCpDriver {
   mutable std::mutex mu_;
   std::condition_variable cv_;
 
-  /// Active generation: submission-ordered dirty list plus a per-volume
-  /// seen-flag vector that coalesces re-dirtied blocks.  Swapped out at
-  /// freeze; flags are cleared by walking the list (O(dirty), not
-  /// O(volume size)).
-  std::vector<DirtyBlock> dirty_;
-  std::vector<std::vector<bool>> seen_;
+  /// Intake shards plus the cross-shard coalescing claims: one claim bit
+  /// per (volume, logical).  A claim is set by the winning submitter and
+  /// cleared entry-by-entry during the freeze fold (O(dirty), with every
+  /// shard lock held).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<AtomicClaimBitmap> claims_;
+  IntakeLeases leases_;
 
-  bool drain_in_flight_ = false;
+  /// Dirty blocks across all shards (claim winners only) — the
+  /// backpressure/auto-trigger gauge, updated outside the shard locks.
+  std::atomic<std::uint64_t> active_count_{0};
+  /// Raw submitted blocks (OverlapStats::blocks_admitted).
+  std::atomic<std::uint64_t> admitted_total_{0};
+  /// Generation ordinal for intake-side spans (OverlapStats::cps_started
+  /// is authoritative, under mu_; this mirror is read lock-free).
+  std::atomic<std::uint64_t> generation_{0};
+
+  std::atomic<bool> drain_in_flight_{false};
   std::thread drain_thread_;
   std::exception_ptr drain_error_;
   std::uint64_t last_drain_end_ns_ = 0;

@@ -94,9 +94,15 @@ INSTANTIATE_TEST_SUITE_P(
                       Shape{14, 2, 64},    // wide production-like group
                       Shape{5, 3, 128}),   // triple parity
     [](const ::testing::TestParamInfo<Shape>& param_info) {
-      return "d" + std::to_string(std::get<0>(param_info.param)) + "_p" +
-             std::to_string(std::get<1>(param_info.param)) + "_b" +
-             std::to_string(std::get<2>(param_info.param));
+      // Built with append rather than chained operator+ (GCC 12's
+      // -Werror=restrict false-positives on the rvalue-string chain).
+      std::string name = "d";
+      name += std::to_string(std::get<0>(param_info.param));
+      name += "_p";
+      name += std::to_string(std::get<1>(param_info.param));
+      name += "_b";
+      name += std::to_string(std::get<2>(param_info.param));
+      return name;
     });
 
 }  // namespace

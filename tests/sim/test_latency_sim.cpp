@@ -150,6 +150,41 @@ TEST(LatencySimulator, OverlappedCpDeterministic) {
   EXPECT_EQ(a.cps, b.cps);
 }
 
+TEST(LatencySimulator, IntakeThreadsShiftTheKnee) {
+  // DESIGN.md §14: intake_threads models the sharded front end as N
+  // admission servers, each at the single-front-end service rate
+  // (op_admission_ns / cpu_cores = 6 µs/op here, so one server knees near
+  // 166k ops/s).  Offered load past that knee: four servers push the
+  // admission bottleneck out, so achieved throughput rises and latency
+  // falls.  CP CPU still blocks every server (the freeze holds all shard
+  // locks), so this is a knee shift, not a free 4x.
+  Rig one_rig, four_rig;
+  SimConfig four = sim_cfg();
+  four.intake_threads = 4;
+  LatencySimulator one(one_rig.agg, *one_rig.workload, sim_cfg());
+  LatencySimulator quad(four_rig.agg, *four_rig.workload, four);
+  const LoadPoint a = one.run(300'000, 1.5);
+  const LoadPoint b = quad.run(300'000, 1.5);
+  EXPECT_GT(b.achieved_ops_per_sec, a.achieved_ops_per_sec * 1.2);
+  EXPECT_LT(b.mean_latency_ms, a.mean_latency_ms);
+}
+
+TEST(LatencySimulator, IntakeThreadsDeterministic) {
+  // The multi-server pick (earliest-free, lowest index on ties) keeps the
+  // sharded-intake model as reproducible as the single-server one.
+  Rig rig1, rig2;
+  SimConfig cfg = sim_cfg();
+  cfg.intake_threads = 4;
+  cfg.overlapped_cp = true;
+  LatencySimulator sim1(rig1.agg, *rig1.workload, cfg);
+  LatencySimulator sim2(rig2.agg, *rig2.workload, cfg);
+  const LoadPoint a = sim1.run(5000, 1.0);
+  const LoadPoint b = sim2.run(5000, 1.0);
+  EXPECT_EQ(a.ops_completed, b.ops_completed);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.cps, b.cps);
+}
+
 TEST(LatencySimulator, DeterministicGivenSeedAndState) {
   Rig rig1, rig2;
   LatencySimulator sim1(rig1.agg, *rig1.workload, sim_cfg());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "core/topaa.hpp"
 #include "fault/crash_point.hpp"
@@ -272,11 +273,40 @@ std::string CrashHarness::run_crash_cp() {
   try {
     if (cfg_.overlapped) {
       OverlappedCpDriver driver(*agg_, pool());
+      // Concurrent-intake cases admit each half from two writer threads
+      // with content-keyed shard routing (every shard sees the same
+      // subsequence regardless of interleaving, so the crashed in-memory
+      // truth stays seed-deterministic).  Writers are joined before the
+      // control thread proceeds: crash points fire on the control or
+      // drain side only, never under a writer.
+      const auto admit = [&](std::span<const DirtyBlock> part) {
+        if (!cfg_.concurrent_intake) {
+          driver.submit(part);
+          return;
+        }
+        const std::size_t shards = driver.intake_shards();
+        std::vector<std::vector<DirtyBlock>> slices(shards);
+        for (const DirtyBlock& b : part) {
+          std::uint64_t h =
+              (static_cast<std::uint64_t>(b.vol) << 32) ^ b.logical;
+          h *= 0x9E3779B97F4A7C15ULL;
+          slices[(h ^ (h >> 29)) % shards].push_back(b);
+        }
+        std::thread writers[2];
+        for (std::size_t t = 0; t < 2; ++t) {
+          writers[t] = std::thread([&driver, &slices, shards, t] {
+            for (std::size_t j = t; j < shards; j += 2) {
+              driver.submit_to_shard(j, slices[j]);
+            }
+          });
+        }
+        for (auto& w : writers) w.join();
+      };
       const std::span<const DirtyBlock> all(dirty);
       const std::size_t half = all.size() / 2;
-      driver.submit(all.subspan(0, half));
+      admit(all.subspan(0, half));
       driver.start_cp();  // freeze here: cp.in_gen_swap fires on this thread
-      driver.submit(all.subspan(half));  // intake while the drain runs
+      admit(all.subspan(half));  // intake while the drain runs
       driver.wait_idle();  // a drain-side CrashPoint rethrows here
       // CP 1 committed: with back-to-back CPs every completed drain is a
       // commit point, so a crash in CP 2 must be judged against CP 1's

@@ -65,6 +65,12 @@ struct CrashCaseConfig {
   /// wait_idle); intake admitted after the freeze is lost, exactly the
   /// §13 crash semantics.
   bool overlapped = false;
+  /// With `overlapped`: the crash CP's intake is admitted from two writer
+  /// threads through submit_to_shard with content-keyed routing (the
+  /// DESIGN.md §14 determinism-preserving mode), joined before each
+  /// control call — so a crash unwinding out of start_cp()/wait_idle()
+  /// lands with no live writers, and the case stays seed-reproducible.
+  bool concurrent_intake = false;
 
   /// Named crash point to arm for the crash CP (empty: none).
   std::string crash_hook;

@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -277,6 +278,76 @@ TEST(CpDeterminism, OverlappedMatchesStopTheWorld) {
       EXPECT_EQ(driver.stats().cps_completed, 12u);
       expect_same_stats(stw_total, driver.stats().cp, -1);
       expect_same_state(*stw, *ov);
+    }
+  }
+}
+
+// The sharded-intake oracle (DESIGN.md §14): determinism by construction.
+// A shard's dirty list is in claim-winner program order and the freeze
+// folds shards 0..S-1, so the only interleaving-dependent input is the
+// ROUTING of blocks to shards.  Fix the routing by content (a hash of
+// (vol, logical)) and hand writer t of T the shard subset {j : j % T == t}
+// via submit_to_shard: every shard then sees the same subsequence of the
+// batch in the same order at ANY writer count, and the fold — hence the
+// CP, the media, and even the per-shard lease accounting — must be
+// byte-identical to the single-writer run.
+std::size_t shard_of(const DirtyBlock& b, std::size_t shards) {
+  std::uint64_t h =
+      (static_cast<std::uint64_t>(b.vol) << 32) ^ b.logical;
+  h *= 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 29;
+  return static_cast<std::size_t>(h % shards);
+}
+
+OverlapStats run_sharded_intake(Aggregate& agg, unsigned writers) {
+  OverlappedCpDriver driver(agg);
+  const std::size_t shards = driver.intake_shards();
+  Rng rng(4242);
+  for (int cp = 0; cp < 6; ++cp) {
+    const auto batch = mixed_batch(rng, 2'500);
+    // Content-keyed split: slice j is the batch subsequence routed to
+    // shard j, the same sequence no matter how many writers deliver it.
+    std::vector<std::vector<DirtyBlock>> slices(shards);
+    for (const DirtyBlock& b : batch) {
+      slices[shard_of(b, shards)].push_back(b);
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(writers);
+    for (unsigned t = 0; t < writers; ++t) {
+      threads.emplace_back([&driver, &slices, shards, writers, t] {
+        for (std::size_t j = t; j < shards; j += writers) {
+          driver.submit_to_shard(j, slices[j]);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    driver.start_cp();  // next batch's intake overlaps this drain
+  }
+  driver.wait_idle();
+  return driver.stats();
+}
+
+TEST(CpDeterminism, ConcurrentIntakeMatchesSerial) {
+  for (int geo = 0; geo < kGeometries; ++geo) {
+    SCOPED_TRACE("geometry " + std::to_string(geo));
+    auto serial = make_agg(geo);
+    const OverlapStats base = run_sharded_intake(*serial, 1);
+    EXPECT_EQ(base.cps_completed, 6u);
+
+    for (const unsigned writers : {2u, 4u, 8u}) {
+      SCOPED_TRACE(std::to_string(writers) + " writers");
+      auto conc = make_agg(geo);
+      const OverlapStats s = run_sharded_intake(*conc, writers);
+      EXPECT_EQ(s.cps_completed, base.cps_completed);
+      EXPECT_EQ(s.blocks_admitted, base.blocks_admitted);
+      EXPECT_EQ(s.blocks_coalesced, base.blocks_coalesced);
+      // Leases are per-shard bump pointers fed one batch per shard per
+      // generation: their accounting is routing-determined too.
+      EXPECT_EQ(s.lease_hits, base.lease_hits);
+      EXPECT_EQ(s.lease_misses, base.lease_misses);
+      EXPECT_EQ(s.lease_blocks_reserved, base.lease_blocks_reserved);
+      expect_same_stats(base.cp, s.cp, -1);
+      expect_same_state(*serial, *conc);
     }
   }
 }

@@ -71,6 +71,11 @@ constexpr HookChoice kHooks[] = {
     // Fires once per CP at the top of the boundary drain; under an
     // overlapped case this is while intake is concurrently admitted.
     {"wa.in_overlap_drain", 1, 1},
+    // Fires inside the overlapped driver's freeze with every shard lock
+    // held, before leases drain or shards fold (DESIGN.md §14) — so the
+    // crash loses leases and unfrozen intake and nothing else.  Overlapped
+    // driver only; config_for forces `overlapped` for it.
+    {"cp.in_lease_drain", 1, 1},
 };
 
 CrashCaseConfig config_for(std::uint64_t seed) {
@@ -94,6 +99,7 @@ CrashCaseConfig config_for(std::uint64_t seed) {
     cfg.crash_hook_nth = rng.between(
         1, cfg.object_store_pool ? hook.max_nth_with_pool
                                  : hook.max_nth_heap_only);
+    if (cfg.crash_hook == "cp.in_lease_drain") cfg.overlapped = true;
   } else if (mode == 1) {
     // Write-count crash (a CP issues ~10–25 metafile writes here).
     cfg.plan.crash_after_writes = rng.between(1, 18);
@@ -112,6 +118,10 @@ CrashCaseConfig config_for(std::uint64_t seed) {
   if (rng.chance(0.3)) {
     cfg.recovery_bitrot_prob = 0.5;
   }
+  // Half the overlapped cases admit the crash CP's intake from two writer
+  // threads (content-keyed shard routing keeps the case seed-
+  // deterministic).  Drawn last so pre-existing case configs are intact.
+  cfg.concurrent_intake = cfg.overlapped && rng.chance(0.5);
   return cfg;
 }
 
