@@ -12,12 +12,17 @@
 // Reported time = modeled metafile read I/O (counted blocks x per-read
 // latency) + measured CPU seconds of the gate + the first CP itself.
 // Normalized columns reproduce the paper's presentation.
+#include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/scan_pipeline.hpp"
+#include "core/topaa.hpp"
 #include "util/thread_pool.hpp"
 #include "wafl/consistency_point.hpp"
+#include "wafl/iron.hpp"
 #include "wafl/mount.hpp"
 
 namespace wafl {
@@ -110,6 +115,156 @@ MountTiming measure(std::size_t vol_count, std::uint64_t vol_blocks) {
   return timing;
 }
 
+// --- Recovery-path parallelism (PR 9): scan + Iron speedups --------------
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// FNV-1a over every cache score — divergence between worker counts is a
+/// determinism bug the bench must not report a speedup over.
+std::uint64_t cache_digest(Aggregate& agg) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (RaidGroupId rg = 0; rg < agg.raid_group_count(); ++rg) {
+    const AaScoreBoard& board = agg.rg_scoreboard(rg);
+    for (AaId aa = 0; aa < board.aa_count(); ++aa) mix(board.score(aa));
+  }
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    const FlexVol& vol = agg.volume(v);
+    for (AaId aa = 0; aa < vol.scoreboard().aa_count(); ++aa) {
+      mix(vol.scoreboard().score(aa));
+    }
+    mix(vol.scoreboard().total_free());
+  }
+  return h;
+}
+
+struct RecoveryBench {
+  double scan_serial_ms = 0.0;
+  double scan_parallel_ms = 0.0;
+  double scan_speedup = 0.0;         // measured, 4-worker pool
+  double scan_amdahl_w4 = 0.0;       // projected from serial phase split
+  double scan_setup_ms = 0.0, scan_read_ms = 0.0, scan_seed_ms = 0.0;
+  double scan_build_ms = 0.0, scan_fold_ms = 0.0;
+  bool scan_determinism_ok = false;
+  double iron_serial_ms = 0.0;
+  double iron_parallel_ms = 0.0;
+  double iron_speedup = 0.0;
+  double iron_amdahl_w4 = 0.0;
+  double iron_verify_ms = 0.0, iron_apply_ms = 0.0;
+  bool iron_determinism_ok = false;
+};
+
+/// Corrupts every TopAA slot (groups and volumes) so Iron's verify finds
+/// real damage everywhere and the apply phase performs real writes.
+void damage_all_topaa(Aggregate& agg) {
+  for (RaidGroupId rg = 0; rg < agg.raid_group_count(); ++rg) {
+    agg.topaa_store().corrupt(agg.rg_topaa_block(rg), 1000 + rg);
+  }
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    BlockStore& store = agg.volume(v).store();
+    store.corrupt(store.capacity_blocks() - TopAaFile::kRaidAgnosticBlocks,
+                  2000 + v);
+  }
+}
+
+/// Scan + Iron, serial then with a 4-worker pool, on the largest
+/// vol-size geometry.  The Amdahl projections come from the serial run's
+/// phase split, so they are meaningful on any host; the measured
+/// speedups need real cores (check.sh gates them only when
+/// hw_threads >= 4).
+RecoveryBench measure_recovery(std::size_t vol_count,
+                               std::uint64_t vol_blocks) {
+  Aggregate agg = make_aggregate(vol_count, vol_blocks);
+  for (std::size_t v = 0; v < vol_count; ++v) {
+    FlexVolConfig vol;
+    vol.file_blocks = vol_blocks;
+    vol.vvbn_blocks =
+        (vol_blocks + kFlatAaBlocks - 1) / kFlatAaBlocks * kFlatAaBlocks +
+        kFlatAaBlocks;
+    agg.add_volume(vol);
+  }
+  std::vector<DirtyBlock> dirty;
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    const std::uint64_t fill = vol_blocks * 4 / 10;
+    for (std::uint64_t l = 0; l < fill; ++l) {
+      dirty.push_back({v, l});
+      if (dirty.size() == 49'152) {
+        ConsistencyPoint::run(agg, dirty);
+        dirty.clear();
+      }
+    }
+  }
+  if (!dirty.empty()) ConsistencyPoint::run(agg, dirty);
+
+  RecoveryBench r;
+  ThreadPool pool(4);
+
+  // Scan path, serial: the phase split feeds the Amdahl projection.
+  scan_profile().reset();
+  auto t0 = std::chrono::steady_clock::now();
+  mount_all(agg, /*use_topaa=*/false, nullptr);
+  r.scan_serial_ms = wall_ms_since(t0);
+  const std::uint64_t digest_serial = cache_digest(agg);
+  ScanProfile& prof = scan_profile();
+  r.scan_setup_ms = static_cast<double>(prof.setup_ns.load()) / 1e6;
+  r.scan_read_ms = static_cast<double>(prof.read_ns.load()) / 1e6;
+  r.scan_seed_ms = static_cast<double>(prof.seed_ns.load()) / 1e6;
+  r.scan_build_ms = static_cast<double>(prof.build_ns.load()) / 1e6;
+  r.scan_fold_ms = static_cast<double>(prof.fold_ns.load()) / 1e6;
+  const double serial_part = r.scan_setup_ms + r.scan_fold_ms;
+  const double parallel_part = r.scan_read_ms + r.scan_seed_ms +
+                               r.scan_build_ms;
+  const double total = serial_part + parallel_part;
+  r.scan_amdahl_w4 =
+      total > 0.0 ? total / (serial_part + parallel_part / 4.0) : 0.0;
+
+  // Scan path, 4-worker pipelined: same bytes, must be the same digest.
+  t0 = std::chrono::steady_clock::now();
+  mount_all(agg, /*use_topaa=*/false, &pool);
+  r.scan_parallel_ms = wall_ms_since(t0);
+  r.scan_determinism_ok = cache_digest(agg) == digest_serial;
+  r.scan_speedup = r.scan_parallel_ms > 0.0
+                       ? r.scan_serial_ms / r.scan_parallel_ms
+                       : 0.0;
+
+  // Iron, serial repair of fully damaged TopAA metafiles.
+  damage_all_topaa(agg);
+  t0 = std::chrono::steady_clock::now();
+  const IronReport serial_rep = iron_check_topaa(agg, nullptr);
+  r.iron_serial_ms = wall_ms_since(t0);
+  r.iron_verify_ms = serial_rep.verify_ms;
+  r.iron_apply_ms = serial_rep.apply_ms;
+  const double va = serial_rep.verify_ms + serial_rep.apply_ms;
+  r.iron_amdahl_w4 =
+      va > 0.0 ? va / (serial_rep.apply_ms + serial_rep.verify_ms / 4.0)
+               : 0.0;
+  const std::uint64_t repaired_digest = cache_digest(agg);
+
+  // Identical damage again, repaired through the 4-worker verify fan-out:
+  // the staged apply must land the same bytes (checked via a clean
+  // follow-up pass plus the digest).
+  damage_all_topaa(agg);
+  t0 = std::chrono::steady_clock::now();
+  const IronReport par_rep = iron_check_topaa(agg, &pool);
+  r.iron_parallel_ms = wall_ms_since(t0);
+  r.iron_determinism_ok =
+      cache_digest(agg) == repaired_digest &&
+      par_rep.rg_rewritten == serial_rep.rg_rewritten &&
+      par_rep.vol_rewritten == serial_rep.vol_rewritten &&
+      iron_check_topaa(agg, &pool).clean();
+  r.iron_speedup = r.iron_parallel_ms > 0.0
+                       ? r.iron_serial_ms / r.iron_parallel_ms
+                       : 0.0;
+  return r;
+}
+
 void print_series(const char* title, const char* xlabel,
                   const std::vector<std::uint64_t>& xs,
                   const std::vector<MountTiming>& ts) {
@@ -167,6 +322,33 @@ int main() {
   print_series("(B) scaling FlexVol count (64 Ki-block volumes)",
                "volumes", counts, count_ts);
 
+  // (C) recovery-path parallelism at the largest vol-size point.
+  const RecoveryBench rb = measure_recovery(vols, sizes.back());
+  bench::print_section("(C) parallel recovery (pFSCK-style scan + Iron)");
+  std::printf(
+      "  scan : serial %.2f ms, 4-worker %.2f ms, speedup %.2fx, "
+      "Amdahl(w4) %.2fx, determinism %s\n",
+      rb.scan_serial_ms, rb.scan_parallel_ms, rb.scan_speedup,
+      rb.scan_amdahl_w4, rb.scan_determinism_ok ? "ok" : "DIVERGED");
+  std::printf(
+      "         phases: setup %.2f read %.2f seed %.2f build %.2f "
+      "fold %.2f ms\n",
+      rb.scan_setup_ms, rb.scan_read_ms, rb.scan_seed_ms, rb.scan_build_ms,
+      rb.scan_fold_ms);
+  std::printf(
+      "  iron : serial %.2f ms (verify %.2f + apply %.2f), 4-worker "
+      "%.2f ms, speedup %.2fx, Amdahl(w4) %.2fx, determinism %s\n",
+      rb.iron_serial_ms, rb.iron_verify_ms, rb.iron_apply_ms,
+      rb.iron_parallel_ms, rb.iron_speedup, rb.iron_amdahl_w4,
+      rb.iron_determinism_ok ? "ok" : "DIVERGED");
+  if (!rb.scan_determinism_ok || !rb.iron_determinism_ok) {
+    std::fprintf(stderr,
+                 "FAIL: parallel recovery diverged from serial "
+                 "(scan %d, iron %d)\n",
+                 rb.scan_determinism_ok, rb.iron_determinism_ok);
+    return 1;
+  }
+
   // Trajectory record: the largest point of each series — the one the
   // paper's "constant vs linear" claim separates hardest — diffed against
   // the committed baseline by tools/check.sh --perf.
@@ -179,14 +361,26 @@ int main() {
         "{\n"
         "  \"bench\": \"fig10_topaa_mount\",\n"
         "  \"mode\": \"%s\",\n"
+        "  \"hw_threads\": %u,\n"
         "  \"largest_vol_size\": {\"vol_blocks\": %llu, \"vols\": %zu,\n"
         "    \"topaa_ms\": %.3f, \"scan_ms\": %.3f, \"scan_over_topaa\": "
         "%.3f},\n"
         "  \"largest_vol_count\": {\"vol_blocks\": %llu, \"vols\": %llu,\n"
         "    \"topaa_ms\": %.3f, \"scan_ms\": %.3f, \"scan_over_topaa\": "
-        "%.3f}\n"
+        "%.3f},\n"
+        "  \"scan\": {\"serial_ms\": %.3f, \"parallel_ms_w4\": %.3f,\n"
+        "    \"scan_parallel_speedup\": %.3f, \"scan_amdahl_speedup_w4\": "
+        "%.3f,\n"
+        "    \"setup_ms\": %.3f, \"read_ms\": %.3f, \"seed_ms\": %.3f, "
+        "\"build_ms\": %.3f, \"fold_ms\": %.3f,\n"
+        "    \"determinism_ok\": %s},\n"
+        "  \"iron\": {\"serial_ms\": %.3f, \"parallel_ms_w4\": %.3f,\n"
+        "    \"iron_repair_speedup\": %.3f, \"iron_amdahl_speedup_w4\": "
+        "%.3f,\n"
+        "    \"verify_ms\": %.3f, \"apply_ms\": %.3f, "
+        "\"determinism_ok\": %s}\n"
         "}\n",
-        fast ? "fast" : "full",
+        fast ? "fast" : "full", std::thread::hardware_concurrency(),
         static_cast<unsigned long long>(sizes.back()), vols,
         big_size.topaa_ms, big_size.scan_ms,
         big_size.topaa_ms > 0.0 ? big_size.scan_ms / big_size.topaa_ms : 0.0,
@@ -194,7 +388,14 @@ int main() {
         static_cast<unsigned long long>(counts.back()), big_count.topaa_ms,
         big_count.scan_ms,
         big_count.topaa_ms > 0.0 ? big_count.scan_ms / big_count.topaa_ms
-                                 : 0.0);
+                                 : 0.0,
+        rb.scan_serial_ms, rb.scan_parallel_ms, rb.scan_speedup,
+        rb.scan_amdahl_w4, rb.scan_setup_ms, rb.scan_read_ms,
+        rb.scan_seed_ms, rb.scan_build_ms, rb.scan_fold_ms,
+        rb.scan_determinism_ok ? "true" : "false",
+        rb.iron_serial_ms, rb.iron_parallel_ms, rb.iron_speedup,
+        rb.iron_amdahl_w4, rb.iron_verify_ms, rb.iron_apply_ms,
+        rb.iron_determinism_ok ? "true" : "false");
     std::fclose(f);
     std::printf("\n[bench] trajectory written to %s\n", path.c_str());
   } else {

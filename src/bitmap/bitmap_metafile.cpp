@@ -207,40 +207,46 @@ void BitmapMetafile::flush_block(std::uint64_t b) const {
   store_->write(store_base_ + b, buf);
 }
 
+void BitmapMetafile::load_block(std::uint64_t b) {
+  WAFL_ASSERT_MSG(store_ != nullptr, "load_block without a backing store");
+  WAFL_ASSERT(b < free_per_block_.size());
+  alignas(8) std::uint64_t words[kWordsPerBlock];
+  store_->read(store_base_ + b,
+               std::span(reinterpret_cast<std::byte*>(words), kBlockSize));
+  const std::uint64_t first_word = b * kWordsPerBlock;
+  const std::uint64_t have = std::min<std::uint64_t>(
+      kWordsPerBlock, bits_.words().size() - first_word);
+  bits_.store_words(first_word, std::span(words, have));
+  const std::uint64_t lo_bit = b * kBitsPerBitmapBlock;
+  const std::uint64_t hi_bit =
+      std::min<std::uint64_t>(lo_bit + kBitsPerBitmapBlock, bits_.size());
+  free_per_block_[b] =
+      static_cast<std::uint32_t>(bits_.count_clear(lo_bit, hi_bit));
+}
+
+void BitmapMetafile::finish_load() {
+  total_free_ = 0;
+  for (const std::uint32_t f : free_per_block_) total_free_ += f;
+  begin_cp();
+}
+
 void BitmapMetafile::load_all(ThreadPool* pool) {
   WAFL_ASSERT_MSG(store_ != nullptr, "load_all without a backing store");
   // One metafile block is one read, one word-level copy into the bit
   // vector, and one popcount for the summary.  Blocks touch disjoint word
-  // ranges (kBitsPerBitmapBlock is a multiple of 64) and the store allows
-  // disjoint-slot concurrent reads, so the whole walk fans out per block.
-  auto load_block = [this](std::size_t b) {
-    alignas(8) std::uint64_t words[kWordsPerBlock];
-    store_->read(store_base_ + b,
-                 std::span(reinterpret_cast<std::byte*>(words), kBlockSize));
-    const std::uint64_t first_word = b * kWordsPerBlock;
-    const std::uint64_t have =
-        std::min<std::uint64_t>(kWordsPerBlock,
-                                bits_.words().size() - first_word);
-    bits_.store_words(first_word, std::span(words, have));
-    const std::uint64_t lo_bit = b * kBitsPerBitmapBlock;
-    const std::uint64_t hi_bit =
-        std::min<std::uint64_t>(lo_bit + kBitsPerBitmapBlock, bits_.size());
-    free_per_block_[b] =
-        static_cast<std::uint32_t>(bits_.count_clear(lo_bit, hi_bit));
-  };
-
+  // ranges and the store allows disjoint-slot concurrent reads, so the
+  // whole walk fans out per block (see load_block()).
   const std::uint64_t nblocks = free_per_block_.size();
   if (pool == nullptr || nblocks < 2) {
     for (std::uint64_t b = 0; b < nblocks; ++b) {
-      load_block(static_cast<std::size_t>(b));
+      load_block(b);
     }
   } else {
-    pool->parallel_for_dynamic(0, static_cast<std::size_t>(nblocks),
-                               /*chunk=*/8, load_block);
+    pool->parallel_for_dynamic(
+        0, static_cast<std::size_t>(nblocks), /*chunk=*/8,
+        [this](std::size_t b) { load_block(b); });
   }
-  total_free_ = 0;
-  for (const std::uint32_t f : free_per_block_) total_free_ += f;
-  begin_cp();
+  finish_load();
 }
 
 void BitmapMetafile::grow(std::uint64_t new_nbits) {

@@ -1,0 +1,247 @@
+#include "core/scan_pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "bitmap/bitmap_metafile.hpp"
+#include "util/assert.hpp"
+#include "util/mpsc_log.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace wafl {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+/// Metafile blocks a reader claims per cursor grab: one atomic per a few
+/// reads, tail imbalance bounded by kReadBatch-1 blocks.
+constexpr std::uint64_t kReadBatch = 4;
+
+/// Target metafile-block span of one seed chunk.  A chunk is the unit of
+/// the read->seed handoff; spanning a few blocks amortizes the ready-log
+/// push without delaying seeding behind too many reads.
+constexpr std::uint64_t kChunkTargetBlocks = 4;
+
+/// A contiguous AA run of one unit, seedable once its covering metafile
+/// blocks are all loaded.
+struct SeedChunk {
+  std::uint32_t unit;
+  AaId aa_lo;
+  AaId aa_hi;  // [aa_lo, aa_hi)
+};
+
+/// Everything a reader task touches, held by shared_ptr so the scan can
+/// return while submitted-but-never-scheduled reader tasks are still
+/// queued.  On a shared pool the caller may itself be a pool task
+/// (mount's per-volume fan-out) with its readers queued behind other
+/// blocked scans; the scan must therefore never wait for its reader
+/// *tasks* to execute — only for in-flight *loads* — and the tasks must
+/// stay safe to run arbitrarily late, when they find the cursor
+/// exhausted and die without touching the metafile.
+struct PipelineState {
+  BitmapMetafile* mf = nullptr;
+  std::uint64_t nblocks = 0;
+  // covers[b] = chunk ids whose AA span intersects metafile block b.
+  std::vector<std::vector<std::uint32_t>> covers;
+  // Per-chunk count of covering blocks not yet loaded.  The acq_rel
+  // decrement chain is what makes every covering reader's non-atomic
+  // word/summary writes visible to the seeder: the last decrementer's
+  // release publishes through every earlier decrementer's release.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> pending;
+  MpscLog<std::uint32_t> ready;
+  std::atomic<std::uint64_t> next_block{0};
+  std::atomic<std::uint64_t> loads_in_flight{0};
+  std::atomic<bool> abort{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;  // under error_mu
+};
+
+void note_error(PipelineState& st) {
+  std::lock_guard<std::mutex> lk(st.error_mu);
+  if (!st.first_error) st.first_error = std::current_exception();
+  st.abort.store(true);
+}
+
+/// Claims one batch from the shared block cursor and loads it; false once
+/// the cursor is exhausted or the scan aborted.  Runs on readers AND on
+/// the seeder when it finds nothing ready (work stealing).  The
+/// loads_in_flight pre-increment — seq_cst like the cursor and abort
+/// flag — is the invariant the final rendezvous rests on: any thread
+/// that may still touch the metafile is visible to the seeder's
+/// loads_in_flight==0 wait, and its decrement publishes the loaded words
+/// for the serial fold.
+bool claim_and_load(PipelineState& st, ScanProfile& prof) {
+  st.loads_in_flight.fetch_add(1);
+  const std::uint64_t lo = st.next_block.fetch_add(kReadBatch);
+  if (lo >= st.nblocks || st.abort.load()) {
+    st.loads_in_flight.fetch_sub(1);
+    return false;
+  }
+  const Clock::time_point t0 = Clock::now();
+  const std::uint64_t hi = std::min(st.nblocks, lo + kReadBatch);
+  try {
+    for (std::uint64_t b = lo; b < hi; ++b) {
+      st.mf->load_block(b);
+      for (const std::uint32_t c : st.covers[b]) {
+        if (st.pending[c].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          st.ready.push(c);
+        }
+      }
+    }
+  } catch (...) {
+    st.loads_in_flight.fetch_sub(1);
+    throw;
+  }
+  prof.read_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
+  st.loads_in_flight.fetch_sub(1);
+  return true;
+}
+
+void score_range(const ScanUnit& u, const BitmapMetafile& mf, AaId aa_lo,
+                 AaId aa_hi) {
+  const AaLayout& ly = *u.layout;
+  for (AaId aa = aa_lo; aa < aa_hi; ++aa) {
+    // Identical expression to AaScoreBoard's metafile constructor, so an
+    // adopted scan is byte-equal to a direct scoreboard scan.
+    (*u.scores)[aa] =
+        static_cast<AaScore>(mf.free_in_range(ly.aa_begin(aa), ly.aa_end(aa)));
+  }
+}
+
+void serial_scan(BitmapMetafile& mf, std::span<const ScanUnit> units,
+                 ScanProfile& prof) {
+  Clock::time_point t0 = Clock::now();
+  mf.load_all(nullptr);
+  prof.read_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
+  t0 = Clock::now();
+  for (const ScanUnit& u : units) {
+    u.scores->assign(u.layout->aa_count(), 0);
+    score_range(u, mf, 0, u.layout->aa_count());
+  }
+  prof.seed_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ScanProfile& scan_profile() {
+  static ScanProfile profile;
+  return profile;
+}
+
+void pipelined_bitmap_scan(BitmapMetafile& mf,
+                           std::span<const ScanUnit> units,
+                           ThreadPool* pool) {
+  ScanProfile& prof = scan_profile();
+  prof.runs.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t nblocks = mf.metafile_blocks();
+  if (pool == nullptr || pool->thread_count() == 0 ||
+      nblocks < kParallelScanMinBlocks) {
+    serial_scan(mf, units, prof);
+    return;
+  }
+  prof.pipelined_runs.fetch_add(1, std::memory_order_relaxed);
+
+  // --- Serial prologue: chunk and cover tables ---------------------------
+  Clock::time_point t_setup = Clock::now();
+  auto st = std::make_shared<PipelineState>();
+  st->mf = &mf;
+  st->nblocks = nblocks;
+  st->covers.resize(nblocks);
+  std::vector<SeedChunk> chunks;
+  for (std::uint32_t ui = 0; ui < units.size(); ++ui) {
+    const AaLayout& ly = *units[ui].layout;
+    WAFL_ASSERT(ly.base() + ly.total_blocks() <= mf.size_bits());
+    units[ui].scores->assign(ly.aa_count(), 0);
+    const std::uint64_t aas_per_chunk = std::max<std::uint64_t>(
+        1, kChunkTargetBlocks * kBitsPerBitmapBlock / ly.aa_blocks());
+    for (AaId lo = 0; lo < ly.aa_count();
+         lo = static_cast<AaId>(lo + aas_per_chunk)) {
+      const AaId hi = static_cast<AaId>(
+          std::min<std::uint64_t>(lo + aas_per_chunk, ly.aa_count()));
+      const auto id = static_cast<std::uint32_t>(chunks.size());
+      chunks.push_back({ui, lo, hi});
+      const std::uint64_t b_lo = ly.aa_begin(lo) / kBitsPerBitmapBlock;
+      const std::uint64_t b_hi = (ly.aa_end(hi - 1) - 1) / kBitsPerBitmapBlock;
+      for (std::uint64_t b = b_lo; b <= b_hi; ++b) st->covers[b].push_back(id);
+    }
+  }
+  const std::size_t nchunks = chunks.size();
+  st->pending = std::make_unique<std::atomic<std::uint32_t>[]>(nchunks);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    st->pending[c].store(0, std::memory_order_relaxed);
+  }
+  for (std::uint64_t b = 0; b < nblocks; ++b) {
+    for (const std::uint32_t c : st->covers[b]) {
+      st->pending[c].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  prof.setup_ns.fetch_add(ns_since(t_setup), std::memory_order_relaxed);
+
+  const std::size_t nreaders = std::min<std::size_t>(
+      pool->thread_count(), (nblocks + kReadBatch - 1) / kReadBatch);
+  for (std::size_t r = 0; r < nreaders; ++r) {
+    pool->submit([st] {
+      try {
+        while (claim_and_load(*st, scan_profile())) {
+        }
+      } catch (...) {
+        note_error(*st);
+      }
+    });
+  }
+
+  // --- Seeder: the calling thread ----------------------------------------
+  std::uint64_t cursor = 0;
+  std::size_t seeded = 0;
+  try {
+    while (seeded < nchunks && !st->abort.load(std::memory_order_relaxed)) {
+      const std::uint64_t got =
+          st->ready.drain_from(&cursor, [&](std::uint32_t c) {
+            const Clock::time_point t0 = Clock::now();
+            const SeedChunk& ch = chunks[c];
+            score_range(units[ch.unit], mf, ch.aa_lo, ch.aa_hi);
+            prof.seed_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
+          });
+      seeded += got;
+      if (got == 0 && !claim_and_load(*st, prof)) {
+        // Every block is claimed and in flight; readiness is imminent.
+        std::this_thread::yield();
+      }
+    }
+    // All chunks are seeded; drain any tail blocks no chunk covers so
+    // the fold below sees a fully loaded metafile.
+    while (claim_and_load(*st, prof)) {
+    }
+  } catch (...) {
+    note_error(*st);
+  }
+  // Rendezvous on in-flight *loads*, never on reader *task* execution:
+  // stragglers still queued on the pool find the cursor exhausted (or
+  // the abort flag set) and exit without touching the metafile, so the
+  // scan may return underneath them.  The seq_cst in_flight/cursor/abort
+  // protocol in claim_and_load guarantees any load we could race with is
+  // counted here before we fold or unwind.
+  while (st->loads_in_flight.load() != 0) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lk(st->error_mu);
+    if (st->first_error) std::rethrow_exception(st->first_error);
+  }
+  WAFL_ASSERT_MSG(seeded == nchunks, "scan pipeline lost a seed chunk");
+
+  const Clock::time_point t_fold = Clock::now();
+  mf.finish_load();
+  prof.fold_ns.fetch_add(ns_since(t_fold), std::memory_order_relaxed);
+}
+
+}  // namespace wafl

@@ -1,0 +1,96 @@
+// Pipelined parallel bitmap scan for the mount/recovery path (§3.4).
+//
+// The full-bitmap-scan mount path — taken whenever the TopAA metafile is
+// damaged or stale — is a linear walk of the bitmap metafile followed by
+// per-AA scoring.  Done serially it is the ~10x-slower fallback the paper
+// motivates TopAA against; done naively in parallel (load everything,
+// barrier, then score everything) the cache warm-up is still a serial
+// tail behind the slowest read.  Following pFSCK's split of fsck into
+// data parallelism plus pipeline parallelism, this module overlaps the
+// two stages:
+//
+//   readers   N pool tasks claim metafile-block batches from a shared
+//             cursor and load them (BitmapMetafile::load_block — disjoint
+//             word ranges, concurrent-safe);
+//   handoff   each loaded block decrements the pending-block count of
+//             every AA seed chunk it covers; the last block of a chunk
+//             publishes the chunk id through an MpscLog (the acq_rel
+//             decrement chain plus the log's release/acquire ready flag
+//             make all covering word/summary writes visible);
+//   seeder    the calling thread drains the ready log live and scores
+//             each chunk's AAs — so scoring runs while later blocks are
+//             still being read.  When nothing is ready it STEALS a read
+//             batch itself, which both keeps it busy and guarantees
+//             progress even if every pool worker is occupied elsewhere
+//             (the nested per-volume fan-out case) — no deadlock, no
+//             idle spin.
+//
+// Determinism by construction: each AA score is a pure function of its
+// covering metafile blocks and is written exactly once, by the seeder,
+// into a caller-owned dense array.  Scheduling only permutes WHEN a
+// score is computed, never its value or slot, so the result is
+// byte-identical to the serial walk at any worker count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/aa_layout.hpp"
+#include "util/types.hpp"
+
+namespace wafl {
+
+class BitmapMetafile;
+class ThreadPool;
+
+/// One scoring demand: fill `scores` (resized to layout->aa_count()) with
+/// the free count of every AA of `layout`, read from the scanned
+/// metafile.  Several units may share one metafile (per-RAID-group
+/// layouts over the aggregate activemap).
+struct ScanUnit {
+  const AaLayout* layout = nullptr;
+  std::vector<AaScore>* scores = nullptr;
+};
+
+/// Accumulated scan-phase timings (nanoseconds, fetch_add relaxed — safe
+/// from any thread).  In a serial run the buckets partition wall time,
+/// which is what the Amdahl-projected speedup gate in tools/check.sh
+/// consumes; in a pipelined run read/seed overlap, so the buckets are
+/// per-thread CPU attributions, not wall.
+struct ScanProfile {
+  std::atomic<std::uint64_t> setup_ns{0};  // serial: chunk/cover tables
+  std::atomic<std::uint64_t> read_ns{0};   // parallel: metafile block loads
+  std::atomic<std::uint64_t> seed_ns{0};   // parallel: per-AA scoring
+  std::atomic<std::uint64_t> build_ns{0};  // parallel: heap/HBPS builds
+  std::atomic<std::uint64_t> fold_ns{0};   // serial: free-total fold
+  std::atomic<std::uint64_t> runs{0};
+  std::atomic<std::uint64_t> pipelined_runs{0};
+
+  void reset() {
+    setup_ns = read_ns = seed_ns = build_ns = fold_ns = 0;
+    runs = pipelined_runs = 0;
+  }
+};
+
+/// Process-global profile (same pattern as CpPhaseProfile): benches reset
+/// it, run a scan, and read the buckets back.
+ScanProfile& scan_profile();
+
+/// Adaptive cutover: below this many metafile blocks the scan runs
+/// serially even with a pool — task spawn plus the handoff tables cost
+/// more than the walk itself ("small CPs never lose", applied to mount).
+/// 4 blocks = 128 Ki tracked VBNs; the crash-harness geometries (1–5
+/// blocks per metafile) stay serial, the bench geometries go parallel.
+inline constexpr std::uint64_t kParallelScanMinBlocks = 4;
+
+/// Scans `mf` (a full load_block walk + finish_load) and fills every
+/// unit's scores.  Serial when `pool` is null, empty, or the metafile is
+/// below the cutover; pipelined as described above otherwise.  Result is
+/// bit-identical either way.  Unit layouts must lie within the metafile.
+void pipelined_bitmap_scan(BitmapMetafile& mf,
+                           std::span<const ScanUnit> units,
+                           ThreadPool* pool);
+
+}  // namespace wafl

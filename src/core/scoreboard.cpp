@@ -33,6 +33,16 @@ AaScoreBoard::AaScoreBoard(const AaLayout& layout,
   }
 }
 
+AaScoreBoard::AaScoreBoard(const AaLayout& layout,
+                           std::vector<AaScore> scores)
+    : layout_(layout),
+      scores_(std::move(scores)),
+      deltas_(layout.aa_count(), 0),
+      dirty_flag_(layout.aa_count(), false) {
+  WAFL_ASSERT_MSG(scores_.size() == layout.aa_count(),
+                  "adopted scores must cover every AA");
+}
+
 void AaScoreBoard::note_delta(AaId aa, std::int32_t d) {
   deltas_[aa] += d;
   if (!dirty_flag_[aa]) {

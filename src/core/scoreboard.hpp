@@ -45,6 +45,11 @@ class AaScoreBoard {
   AaScoreBoard(const AaLayout& layout, const BitmapMetafile& metafile,
                ThreadPool* pool = nullptr);
 
+  /// Adopts already-computed scores (one per AA, in AA order) — the
+  /// pipelined mount scan produces the same values the metafile
+  /// constructor would and hands them over without a second walk.
+  AaScoreBoard(const AaLayout& layout, std::vector<AaScore> scores);
+
   const AaLayout& layout() const noexcept { return layout_; }
 
   AaScore score(AaId aa) const {

@@ -1,7 +1,9 @@
 #include "wafl/flexvol.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "core/scan_pipeline.hpp"
 #include "obs/obs.hpp"
 
 namespace wafl {
@@ -334,11 +336,11 @@ void FlexVol::finish_cp(CpStats& stats) {
   }
 }
 
-bool FlexVol::mount_from_topaa() {
+bool FlexVol::mount_from_topaa(ThreadPool* pool) {
   TopAaFile topaa(store_, topaa_base_);
   auto loaded = topaa.load_raid_agnostic();
   if (!loaded.has_value()) {
-    scan_rebuild();
+    scan_rebuild(pool);
     return false;
   }
   cache_ = std::move(*loaded);
@@ -347,20 +349,31 @@ bool FlexVol::mount_from_topaa() {
   return true;
 }
 
-void FlexVol::rebuild_scoreboard() {
+void FlexVol::rebuild_scoreboard(ThreadPool* pool) {
   // Linear walk of the bitmap metafile (§3.4): read every block back from
-  // the store, then recompute per-AA scores.
-  activemap_.metafile().load_all();
-  board_ = AaScoreBoard(layout_, activemap_.metafile());
+  // the store, then recompute per-AA scores — as one pipelined pass that
+  // overlaps the block reads with the scoring (serial below the cutover
+  // or without a pool; identical scores either way).
+  std::vector<AaScore> scores;
+  const ScanUnit unit{&layout_, &scores};
+  pipelined_bitmap_scan(activemap_.metafile(), std::span(&unit, 1), pool);
+  board_ = AaScoreBoard(layout_, std::move(scores));
 }
 
-void FlexVol::scan_rebuild() {
-  rebuild_scoreboard();
+void FlexVol::scan_rebuild(ThreadPool* pool) {
+  rebuild_scoreboard(pool);
   cursor_aa_ = kInvalidAaId;
   retired_.clear();
   if (cfg_.policy == AaSelectPolicy::kCache) {
+    const auto t0 = std::chrono::steady_clock::now();
     cache_ = Hbps(cache_.config());
     cache_.build(board_);
+    scan_profile().build_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()),
+        std::memory_order_relaxed);
   }
 }
 

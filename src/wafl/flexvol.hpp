@@ -140,17 +140,20 @@ class FlexVol {
   /// Seeds the cache from the TopAA metafile — the fast path that gates
   /// the first CP after mount.  Reads only the two TopAA blocks.  Returns
   /// false (after falling back to scan_rebuild) when the metafile is
-  /// missing or damaged.
-  bool mount_from_topaa();
+  /// missing or damaged.  A damaged-TopAA fallback scan fans out per AA
+  /// on `pool` (pipelined metafile walk); results are pool-independent.
+  bool mount_from_topaa(ThreadPool* pool = nullptr);
 
   /// Restores the scoreboard by reading the bitmap metafile back from the
   /// store.  After a TopAA mount this runs in the background while the
-  /// seeded cache already serves the allocator (§3.4).
-  void rebuild_scoreboard();
+  /// seeded cache already serves the allocator (§3.4).  With `pool` the
+  /// walk + scoring run as the pipelined per-AA scan; byte-identical to
+  /// the serial path at any worker count.
+  void rebuild_scoreboard(ThreadPool* pool = nullptr);
 
   /// Full (slow) rebuild: rebuild_scoreboard() plus a from-scratch cache
   /// build — the path taken when no TopAA metafile is usable.
-  void scan_rebuild();
+  void scan_rebuild(ThreadPool* pool = nullptr);
 
   // --- Introspection ---------------------------------------------------------
   const Activemap& activemap() const noexcept { return activemap_; }

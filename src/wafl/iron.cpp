@@ -1,10 +1,15 @@
 #include "wafl/iron.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "fault/crash_point.hpp"
 #include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wafl {
 namespace {
@@ -68,83 +73,154 @@ bool raid_agnostic_content_ok(const Hbps& persisted,
   return true;
 }
 
+Hbps rebuilt_hbps(const AaLayout& layout, const AaScoreBoard& fresh) {
+  Hbps rebuilt(Hbps::Config{
+      layout.aa_blocks(),
+      std::max<std::uint32_t>(1, layout.aa_blocks() / kHbpsBinCount),
+      kHbpsListCapacity});
+  rebuilt.build(fresh);
+  return rebuilt;
+}
+
+/// One checkable unit (RAID group or volume) with its verdict and, when
+/// repair is needed, the staged replacement image.  Filled by the
+/// (possibly parallel) verify fan-out, consumed by the serial apply —
+/// verdicts and images are pure functions of the media, so the unit
+/// array's content is worker-count-independent.
+struct RepairUnit {
+  bool is_vol = false;
+  RaidGroupId rg = 0;
+  VolumeId vol = 0;
+  bool unreadable = false;
+  bool stale = false;
+  bool rewrite = false;
+  bool raid_agnostic = false;
+  std::vector<AaPick> picks;   // staged heap-form image
+  std::optional<Hbps> hbps;    // staged HBPS-form image
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
-IronReport iron_check_topaa(Aggregate& agg) {
+IronReport iron_check_topaa(Aggregate& agg, ThreadPool* pool) {
   IronReport report;
   obs::TraceSpan span(obs::SpanKind::kIronCheck);
 
-  // --- RAID groups / pools ---------------------------------------------------
+  // Units in fixed id order: groups, then volumes.  This order is the
+  // serial apply order (and so the media write order) whatever the
+  // verify scheduling was.
+  std::vector<RepairUnit> units;
+  units.reserve(agg.raid_group_count() + agg.volume_count());
   for (RaidGroupId rg = 0; rg < agg.raid_group_count(); ++rg) {
-    ++report.rg_checked;
-    const AaLayout& layout = agg.rg_layout(rg);
-    const AaScoreBoard fresh(layout, agg.activemap().metafile());
-    TopAaFile file(agg.topaa_store(), agg.rg_topaa_block(rg));
+    RepairUnit u;
+    u.rg = rg;
+    u.raid_agnostic = agg.rg_is_raid_agnostic(rg);
+    units.push_back(std::move(u));
+  }
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    RepairUnit u;
+    u.is_vol = true;
+    u.vol = v;
+    u.raid_agnostic = true;
+    units.push_back(std::move(u));
+  }
 
-    bool rewrite = false;
-    if (agg.rg_is_raid_agnostic(rg)) {
-      auto loaded = file.load_raid_agnostic();
-      if (!loaded.has_value()) {
-        ++report.rg_unreadable;
-        rewrite = true;
-      } else if (!raid_agnostic_content_ok(*loaded, fresh)) {
-        ++report.rg_stale;
-        rewrite = true;
-      }
-      if (rewrite) {
-        Hbps rebuilt(Hbps::Config{
-            layout.aa_blocks(),
-            std::max<std::uint32_t>(1, layout.aa_blocks() / kHbpsBinCount),
-            kHbpsListCapacity});
-        rebuilt.build(fresh);
-        file.save_raid_agnostic(rebuilt);
+  // --- Verify fan-out: read, cross-check, stage — never write ------------
+  const auto t_verify = std::chrono::steady_clock::now();
+  auto verify_one = [&](std::size_t i) {
+    RepairUnit& u = units[i];
+    if (!u.is_vol) {
+      const AaLayout& layout = agg.rg_layout(u.rg);
+      const AaScoreBoard fresh(layout, agg.activemap().metafile());
+      TopAaFile file(agg.topaa_store(), agg.rg_topaa_block(u.rg));
+      if (u.raid_agnostic) {
+        const auto loaded = file.load_raid_agnostic();
+        if (!loaded.has_value()) {
+          u.unreadable = true;
+        } else if (!raid_agnostic_content_ok(*loaded, fresh)) {
+          u.stale = true;
+        }
+        u.rewrite = u.unreadable || u.stale;
+        if (u.rewrite) u.hbps = rebuilt_hbps(layout, fresh);
+      } else {
+        const auto loaded = file.load_raid_aware();
+        if (!loaded.has_value()) {
+          u.unreadable = true;
+        } else if (!raid_aware_content_ok(*loaded, fresh)) {
+          u.stale = true;
+        }
+        u.rewrite = u.unreadable || u.stale;
+        if (u.rewrite) u.picks = recompute_top(fresh, kTopAaRaidAwareEntries);
       }
     } else {
-      const auto loaded = file.load_raid_aware();
+      FlexVol& vol = agg.volume(u.vol);
+      const AaScoreBoard fresh(vol.layout(), vol.activemap().metafile());
+      const std::uint64_t base =
+          vol.store().capacity_blocks() - TopAaFile::kRaidAgnosticBlocks;
+      TopAaFile file(vol.store(), base);
+      const auto loaded = file.load_raid_agnostic();
       if (!loaded.has_value()) {
-        ++report.rg_unreadable;
-        rewrite = true;
-      } else if (!raid_aware_content_ok(*loaded, fresh)) {
-        ++report.rg_stale;
-        rewrite = true;
+        u.unreadable = true;
+      } else if (!raid_agnostic_content_ok(*loaded, fresh)) {
+        u.stale = true;
       }
-      if (rewrite) {
-        file.save_raid_aware(
-            recompute_top(fresh, kTopAaRaidAwareEntries));
-      }
+      u.rewrite = u.unreadable || u.stale;
+      if (u.rewrite) u.hbps = rebuilt_hbps(vol.layout(), fresh);
     }
-    if (rewrite) ++report.rg_rewritten;
+    // Fires whatever the verdict: a crash here loses only staged,
+    // never-written state, at any point of the fan-out.
+    WAFL_CRASH_POINT("iron.in_parallel_verify");
+  };
+  if (pool != nullptr && pool->thread_count() > 0 && units.size() > 1) {
+    pool->parallel_for_dynamic(0, units.size(), verify_one);
+  } else {
+    for (std::size_t i = 0; i < units.size(); ++i) verify_one(i);
+  }
+  report.verify_ms = ms_since(t_verify);
+
+  // --- Serial counter fold ----------------------------------------------
+  for (const RepairUnit& u : units) {
+    if (!u.is_vol) {
+      ++report.rg_checked;
+      if (u.unreadable) ++report.rg_unreadable;
+      if (u.stale) ++report.rg_stale;
+      if (u.rewrite) ++report.rg_rewritten;
+    } else {
+      ++report.vol_checked;
+      if (u.unreadable) ++report.vol_unreadable;
+      if (u.stale) ++report.vol_stale;
+      if (u.rewrite) ++report.vol_rewritten;
+    }
   }
 
-  // --- Volumes -----------------------------------------------------------------
-  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
-    ++report.vol_checked;
-    FlexVol& vol = agg.volume(v);
-    const AaScoreBoard fresh(vol.layout(), vol.activemap().metafile());
-    const std::uint64_t base =
-        vol.store().capacity_blocks() - TopAaFile::kRaidAgnosticBlocks;
-    TopAaFile file(vol.store(), base);
-
-    bool rewrite = false;
-    auto loaded = file.load_raid_agnostic();
-    if (!loaded.has_value()) {
-      ++report.vol_unreadable;
-      rewrite = true;
-    } else if (!raid_agnostic_content_ok(*loaded, fresh)) {
-      ++report.vol_stale;
-      rewrite = true;
-    }
-    if (rewrite) {
-      Hbps rebuilt(Hbps::Config{
-          vol.layout().aa_blocks(),
-          std::max<std::uint32_t>(1,
-                                  vol.layout().aa_blocks() / kHbpsBinCount),
-          kHbpsListCapacity});
-      rebuilt.build(fresh);
-      file.save_raid_agnostic(rebuilt);
-      ++report.vol_rewritten;
+  // --- Serial apply: staged images land in fixed unit order --------------
+  const auto t_apply = std::chrono::steady_clock::now();
+  for (RepairUnit& u : units) {
+    // Fires per unit even when clean, so a crash can land between any
+    // two applies — including before the first and after the last.
+    WAFL_CRASH_POINT("iron.in_repair_apply");
+    if (!u.rewrite) continue;
+    if (!u.is_vol) {
+      TopAaFile file(agg.topaa_store(), agg.rg_topaa_block(u.rg));
+      if (u.raid_agnostic) {
+        file.save_raid_agnostic(*u.hbps);
+      } else {
+        file.save_raid_aware(u.picks);
+      }
+    } else {
+      FlexVol& vol = agg.volume(u.vol);
+      TopAaFile file(vol.store(),
+                     vol.store().capacity_blocks() -
+                         TopAaFile::kRaidAgnosticBlocks);
+      file.save_raid_agnostic(*u.hbps);
     }
   }
+  report.apply_ms = ms_since(t_apply);
 
   WAFL_OBS({
     obs::Registry& reg = obs::registry();

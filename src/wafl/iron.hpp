@@ -19,6 +19,8 @@
 
 namespace wafl {
 
+class ThreadPool;
+
 struct IronReport {
   std::size_t rg_checked = 0;
   /// Groups whose TopAA block failed its checksum / structure check.
@@ -32,6 +34,13 @@ struct IronReport {
   std::size_t vol_stale = 0;
   std::size_t vol_rewritten = 0;
 
+  /// Wall time of the (possibly parallel) read/verify fan-out and of the
+  /// serial repair apply — the two phases of the pFSCK-style split.  The
+  /// Amdahl-projected repair speedup gate in tools/check.sh reads these
+  /// off a serial run.
+  double verify_ms = 0.0;
+  double apply_ms = 0.0;
+
   bool clean() const noexcept {
     return rg_rewritten == 0 && vol_rewritten == 0;
   }
@@ -40,6 +49,19 @@ struct IronReport {
 /// Verifies every TopAA metafile against scores recomputed from the bitmap
 /// metafiles, rewriting damaged or stale blocks.  Returns what it found.
 /// Read-only when everything checks out.
-IronReport iron_check_topaa(Aggregate& agg);
+///
+/// Structured as plan/execute/merge (the PR-5 allocator discipline,
+/// applied to repair): a per-unit (RAID group / volume) read+verify
+/// fan-out on `pool` that STAGES repair images without writing, a serial
+/// counter fold, then a serial apply that writes the staged images in
+/// fixed unit order.  Verdicts and staged images are pure functions of
+/// the media, every store slot keeps exactly one writer, and the writes
+/// happen in one deterministic order — so reports and repaired media are
+/// byte-identical at any worker count, and a crash inside the verify
+/// fan-out loses nothing while a crash mid-apply leaves a prefix of
+/// repairs that a re-run completes idempotently (TopAA is a pure cache).
+/// Crash hooks: "iron.in_parallel_verify" (once per unit, inside the
+/// fan-out), "iron.in_repair_apply" (once per unit, serial apply order).
+IronReport iron_check_topaa(Aggregate& agg, ThreadPool* pool = nullptr);
 
 }  // namespace wafl

@@ -57,15 +57,24 @@ MountReport mount_all(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
     for (VolumeId v = 0; v < agg.volume_count(); ++v) {
       WAFL_CRASH_POINT("mount.before_vol_seed");
       obs::TraceSpan seed_span(obs::SpanKind::kMountVolSeed, v);
-      if (agg.volume(v).mount_from_topaa()) {
+      // The damaged-volume fallback scan inside mount_from_topaa fans
+      // out per AA on the pool (results are pool-independent); the
+      // volume loop itself stays serial so the per-volume crash hook
+      // keeps its replay-exact firing order.
+      if (agg.volume(v).mount_from_topaa(pool)) {
         ++report.vols_seeded;
       }
     }
   } else {
     WAFL_CRASH_POINT("mount.before_scan");
     agg.scan_rebuild(pool);
+    // Two levels of fan-out: volumes in parallel, and each volume's scan
+    // fans out per AA on the same pool.  The nested submission is safe
+    // because each volume's seeder (the task running the volume) steals
+    // read work when no pool worker picks up its readers — see
+    // core/scan_pipeline.hpp.
     for_each_volume(agg, pool,
-                    [&](VolumeId v) { agg.volume(v).scan_rebuild(); });
+                    [&](VolumeId v) { agg.volume(v).scan_rebuild(pool); });
   }
 
   report.gate_cpu_seconds = seconds_since(t0);
@@ -88,7 +97,7 @@ std::uint64_t complete_background(Aggregate& agg, ThreadPool* pool) {
   const std::uint64_t reads0 = total_reads(agg);
   agg.scan_rebuild(pool);
   for_each_volume(agg, pool,
-                  [&](VolumeId v) { agg.volume(v).scan_rebuild(); });
+                  [&](VolumeId v) { agg.volume(v).scan_rebuild(pool); });
   return total_reads(agg) - reads0;
 }
 
@@ -100,7 +109,7 @@ MountReport recover_mount(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
   obs::TraceSpan load_span(obs::SpanKind::kRecoverLoad);
   agg.load_activemap(pool);
   for_each_volume(agg, pool,
-                  [&](VolumeId v) { agg.volume(v).rebuild_scoreboard(); });
+                  [&](VolumeId v) { agg.volume(v).rebuild_scoreboard(pool); });
   load_span.end();
   return mount_all(agg, use_topaa, pool);
 }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/aa_sizing.hpp"
+#include "core/scan_pipeline.hpp"
 #include "fault/crash_point.hpp"
 #include "util/thread_pool.hpp"
 
@@ -522,6 +523,16 @@ void RgAllocator::rebuild_from_scan() {
   }
 }
 
+void RgAllocator::adopt_scan(std::vector<AaScore> scores) {
+  board_ = AaScoreBoard(layout_, std::move(scores));
+  cursor_aa_ = kInvalidAaId;
+  window_writes_.clear();
+  retired_.clear();
+  if (policy_ == AaSelectPolicy::kCache) {
+    build_cache();
+  }
+}
+
 void RgAllocator::reseed_board() {
   WAFL_ASSERT_MSG(window_writes_.empty() && cursor_aa_ == kInvalidAaId,
                   "reseed_board during a CP");
@@ -1024,13 +1035,32 @@ std::size_t WriteAllocator::mount_from_topaa() {
 
 void WriteAllocator::scan_rebuild(ThreadPool* pool) {
   obs::TraceSpan span(obs::SpanKind::kMountScan, 0, groups_.size());
-  activemap_.metafile().load_all(pool);
-  auto rebuild_one = [this](std::size_t i) { groups_[i]->rebuild_from_scan(); };
-  if (pool != nullptr) {
-    pool->parallel_for(0, groups_.size(), rebuild_one);
-  } else {
-    for (std::size_t i = 0; i < groups_.size(); ++i) rebuild_one(i);
+  // One pipelined walk of the shared aggregate metafile scores every
+  // group's AAs (the groups are the scan units); the per-group adoption
+  // then only resets allocator state and rebuilds the cache.  The
+  // geometry here has 2-3 groups, so the intra-metafile per-AA fan-out
+  // is where the parallelism lives, not the group loop.
+  std::vector<std::vector<AaScore>> scores(groups_.size());
+  std::vector<ScanUnit> units(groups_.size());
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    units[i] = {&groups_[i]->layout(), &scores[i]};
   }
+  pipelined_bitmap_scan(activemap_.metafile(), units, pool);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto adopt_one = [&](std::size_t i) {
+    groups_[i]->adopt_scan(std::move(scores[i]));
+  };
+  if (pool != nullptr && groups_.size() > 1) {
+    pool->parallel_for_dynamic(0, groups_.size(), adopt_one);
+  } else {
+    for (std::size_t i = 0; i < groups_.size(); ++i) adopt_one(i);
+  }
+  scan_profile().build_ns.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()),
+      std::memory_order_relaxed);
 }
 
 void WriteAllocator::seed_occupancy(RaidGroupId rg_id, double fraction,

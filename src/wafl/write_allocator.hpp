@@ -206,6 +206,13 @@ class RgAllocator {
   /// Rebuilds scoreboard and cache from the (already loaded) activemap.
   void rebuild_from_scan();
 
+  /// rebuild_from_scan() with the per-AA scores already computed by the
+  /// pipelined mount scan (identical values by construction — the
+  /// pipeline uses the scoreboard's own scoring expression), so adoption
+  /// skips the second metafile walk and just resets allocator state and
+  /// rebuilds the cache.
+  void adopt_scan(std::vector<AaScore> scores);
+
   /// Re-derives the scoreboard from the activemap and rebuilds the cache
   /// (aging-seed support).  Asserts the group is quiescent.
   void reseed_board();

@@ -258,7 +258,10 @@ std::string CrashHarness::run_crash_cp() {
     engine_ = std::make_unique<fault::FaultEngine>(plan);
     attach_engine(engine_.get());
   }
-  if (!cfg_.crash_hook.empty()) {
+  // "iron." hooks fire inside repair, which runs after recovery, not
+  // inside the crash CP — arming one here would leave it unfired (a
+  // sweep failure).  maybe_crash_during_repair() arms them instead.
+  if (!cfg_.crash_hook.empty() && cfg_.crash_hook.rfind("iron.", 0) != 0) {
     fault::crash_hooks().arm(cfg_.crash_hook, cfg_.crash_hook_nth);
   }
 
@@ -348,6 +351,51 @@ std::unique_ptr<Aggregate> CrashHarness::recover(bool use_topaa) {
   std::unique_ptr<Aggregate> fresh = rebuild();
   recover_mount(*fresh, use_topaa, pool());
   return fresh;
+}
+
+void CrashHarness::maybe_crash_during_repair() {
+  if (cfg_.crash_hook.rfind("iron.", 0) != 0) return;
+
+  // Give Iron real damage to stage and apply: scribble one group TopAA
+  // slot and one volume TopAA slot (seed-deterministic bytes).  TopAA
+  // blocks are outside every I-D region, so the surviving bytes stay
+  // journal-explainable.
+  {
+    Rng rng(cfg_.seed ^ 0x1A09);
+    alignas(8) std::byte junk[kBlockSize];
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      junk[i] = static_cast<std::byte>(rng.below(256));
+    }
+    agg_->topaa_store().write(agg_->rg_topaa_block(0), junk);
+    BlockStore& vstore = agg_->volume(0).store();
+    vstore.write(vstore.capacity_blocks() - TopAaFile::kRaidAgnosticBlocks,
+                 junk);
+  }
+
+  // Recover a fresh instance over the damaged bytes, then crash inside
+  // the armed Iron phase.  The verify fan-out stages without writing, so
+  // a crash there loses nothing; a crash mid-apply leaves a prefix of
+  // repairs in fixed unit order.
+  std::unique_ptr<Aggregate> inst = recover(/*use_topaa=*/true);
+  fault::crash_hooks().arm(cfg_.crash_hook, cfg_.crash_hook_nth);
+  WAFL_OBS(obs::flight_recorder().mark());
+  try {
+    iron_check_topaa(*inst, pool());
+  } catch (const fault::CrashPoint& cp) {
+    crashed_ = true;
+    crash_point_ = cp.point();
+    WAFL_OBS(flight_dump_ = obs::flight_recorder().dump());
+  }
+  fault::crash_hooks().disarm_all();
+
+  // Fold the (possibly partially) repaired media back into the surviving
+  // bytes: recovery itself wrote nothing, Iron wrote only TopAA slots,
+  // so only those differ — verify_recovery() now proves recovery from a
+  // crashed repair.
+  agg_->topaa_store().copy_contents_from(inst->topaa_store());
+  for (VolumeId v = 0; v < agg_->volume_count(); ++v) {
+    agg_->volume(v).store().copy_contents_from(inst->volume(v).store());
+  }
 }
 
 void CrashHarness::check_journal_bounded() {
@@ -511,8 +559,8 @@ CrashVerdict CrashHarness::verify_recovery() {
   // I-A: same bytes -> same loaded bitmaps; Iron sees the same damage in
   // both, and a second pass finds nothing left to repair.
   compare_bitmaps(*r1, *r2, "I-A post-mount");
-  const IronReport i1 = iron_check_topaa(*r1);
-  const IronReport i2 = iron_check_topaa(*r2);
+  const IronReport i1 = iron_check_topaa(*r1, pool());
+  const IronReport i2 = iron_check_topaa(*r2, pool());
   if (i1.rg_unreadable != i2.rg_unreadable || i1.rg_stale != i2.rg_stale ||
       i1.rg_rewritten != i2.rg_rewritten ||
       i1.vol_unreadable != i2.vol_unreadable ||
@@ -520,10 +568,10 @@ CrashVerdict CrashHarness::verify_recovery() {
     fail("I-A: Iron reports differ between TopAA and scan recoveries");
   }
   verdict.iron_rewrites = i1.rg_rewritten + i1.vol_rewritten;
-  if (!iron_check_topaa(*r1).clean()) {
+  if (!iron_check_topaa(*r1, pool()).clean()) {
     fail("I-A: Iron is not idempotent on the TopAA-path recovery");
   }
-  if (!iron_check_topaa(*r2).clean()) {
+  if (!iron_check_topaa(*r2, pool()).clean()) {
     fail("I-A: Iron is not idempotent on the scan-path recovery");
   }
 
@@ -560,7 +608,7 @@ CrashVerdict CrashHarness::verify_recovery() {
   // follow-up CP lands identically on both recovered instances.
   {
     std::unique_ptr<Aggregate> r3 = recover(/*use_topaa=*/true);
-    iron_check_topaa(*r3);
+    iron_check_topaa(*r3, pool());
     complete_background(*r3, pool());
     compare_digests(d1, digest_of(*r3), "I-C replay");
     compare_store_range(r1->topaa_store(), r3->topaa_store(), 0,
@@ -616,6 +664,7 @@ CrashVerdict CrashHarness::verify_recovery() {
 CrashVerdict CrashHarness::run_all() {
   run_clean_cps();
   run_crash_cp();
+  maybe_crash_during_repair();
   return verify_recovery();
 }
 

@@ -118,8 +118,18 @@ class CrashHarness {
   void run_clean_cps();
   /// Runs the crash CP.  Returns the crash point that fired ("" when the
   /// CP completed — e.g. no trigger configured, or a write-count trigger
-  /// the CP never reached).
+  /// the CP never reached).  "iron."-prefixed hooks are NOT armed here —
+  /// they fire inside repair, not inside a CP; see
+  /// maybe_crash_during_repair().
   std::string run_crash_cp();
+  /// The mid-repair leg of the sweep: when cfg_.crash_hook names an
+  /// "iron." point, deterministically corrupts one group and one volume
+  /// TopAA slot, recovers a fresh instance, and runs Iron with the hook
+  /// armed.  The partially-repaired media (staged verify state is lost;
+  /// a crash mid-apply leaves a prefix of repairs) is folded back into
+  /// the surviving bytes, so verify_recovery() then proves recovery from
+  /// a crashed repair.  No-op for other hooks.
+  void maybe_crash_during_repair();
   CrashVerdict verify_recovery();
 
   /// Reconstructs a fresh aggregate over copies of the surviving store

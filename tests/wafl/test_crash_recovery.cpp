@@ -435,5 +435,65 @@ TEST(CrashRecovery, WriteCountCrashDumpNamesStoreWrite) {
   }
 }
 
+TEST(CrashRecovery, CrashInParallelIronVerify) {
+  // The machine dies inside Iron's parallel verify fan-out, mid-repair of
+  // two corrupted TopAA slots.  The fan-out stages images without
+  // writing, so the crash loses only staged state: the surviving media
+  // still carries the corruption, and the subsequent verify_recovery()
+  // recoveries must find, repair, and converge exactly as if the first
+  // repair had never started.
+  CrashCaseConfig cfg = base_config(909);
+  cfg.workers = 8;
+  cfg.crash_hook = "iron.in_parallel_verify";
+  cfg.crash_hook_nth = 2;
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_EQ(v.crash_point, "iron.in_parallel_verify");
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, CrashMidIronRepairApply) {
+  // The crash lands inside the serial apply, after some staged repairs
+  // reached media and before others — the partially-repaired prefix.
+  // TopAA is a pure cache (outside invariant I-D), so any prefix is
+  // idempotently completable: verify_recovery()'s own Iron run must
+  // finish the job and both mount paths converge.
+  CrashCaseConfig cfg = base_config(910);
+  cfg.workers = 2;
+  cfg.crash_hook = "iron.in_repair_apply";
+  cfg.crash_hook_nth = 3;
+  CrashHarness h(cfg);
+  const CrashVerdict v = h.run_all();
+  EXPECT_TRUE(v.crashed);
+  EXPECT_EQ(v.crash_point, "iron.in_repair_apply");
+  EXPECT_TRUE(v.ok()) << v.message();
+}
+
+TEST(CrashRecovery, IronCrashSerialAndParallelLeaveSameMedia) {
+  // A crash at the same apply-point must freeze byte-identical media at
+  // every worker count: verify staging is write-free and the apply order
+  // is fixed, so the nth apply hook fires with the same prefix of
+  // repairs landed whatever the verify scheduling was.
+  auto run = [](unsigned workers) {
+    CrashCaseConfig cfg = base_config(911);
+    cfg.workers = workers;
+    cfg.crash_hook = "iron.in_repair_apply";
+    cfg.crash_hook_nth = 2;
+    auto h = std::make_unique<CrashHarness>(cfg);
+    h->run_clean_cps();
+    h->run_crash_cp();
+    h->maybe_crash_during_repair();
+    return h;
+  };
+  auto serial = run(0);
+  auto parallel = run(8);
+  expect_same_media(*serial, *parallel);
+  const CrashVerdict vs = serial->verify_recovery();
+  EXPECT_TRUE(vs.ok()) << vs.message();
+  const CrashVerdict vp = parallel->verify_recovery();
+  EXPECT_TRUE(vp.ok()) << vp.message();
+}
+
 }  // namespace
 }  // namespace wafl

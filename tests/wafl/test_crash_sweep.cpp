@@ -76,6 +76,15 @@ constexpr HookChoice kHooks[] = {
     // crash loses leases and unfrozen intake and nothing else.  Overlapped
     // driver only; config_for forces `overlapped` for it.
     {"cp.in_lease_drain", 1, 1},
+    // Mid-repair hooks: fire inside WAFL Iron, not inside the crash CP.
+    // run_crash_cp() skips arming these; maybe_crash_during_repair()
+    // corrupts two TopAA slots, recovers, and crashes inside the armed
+    // repair instead — the verify fan-out stages without writing, the
+    // serial apply lands repairs in fixed unit order, so any nth leaves
+    // idempotently completable media.  Both fire once per unit: 2 groups
+    // + 2 volumes (4), +1 with the object-store pool (5).
+    {"iron.in_parallel_verify", 4, 5},
+    {"iron.in_repair_apply", 4, 5},
 };
 
 CrashCaseConfig config_for(std::uint64_t seed) {

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "util/thread_pool.hpp"
 #include "wafl/consistency_point.hpp"
 #include "wafl/mount.hpp"
 
@@ -207,6 +210,116 @@ TEST(Iron, ObjectStorePoolCoverage) {
   EXPECT_EQ(r.rg_unreadable, 1u);
   EXPECT_EQ(r.rg_rewritten, 1u);
   EXPECT_TRUE(iron_check_topaa(agg).clean());
+}
+
+// --- Parallel Iron (pFSCK-style verify fan-out + serial apply) ------------
+
+/// Bytes of every TopAA slot: the aggregate TopAA store plus each
+/// volume's two trailing TopAA blocks.
+std::vector<std::byte> topaa_bytes(Aggregate& agg) {
+  std::vector<std::byte> out;
+  alignas(8) std::byte buf[kBlockSize];
+  for (std::uint64_t b = 0; b < agg.topaa_store().capacity_blocks(); ++b) {
+    agg.topaa_store().peek(b, buf);
+    out.insert(out.end(), buf, buf + kBlockSize);
+  }
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    BlockStore& store = agg.volume(v).store();
+    const std::uint64_t base =
+        store.capacity_blocks() - TopAaFile::kRaidAgnosticBlocks;
+    for (std::uint64_t b = base; b < store.capacity_blocks(); ++b) {
+      store.peek(b, buf);
+      out.insert(out.end(), buf, buf + kBlockSize);
+    }
+  }
+  return out;
+}
+
+/// Same seeded damage on every instance: one unreadable group slot, one
+/// stale group (bitmap mutated behind the TopAA), one unreadable volume
+/// slot.
+void damage(Rig& rig) {
+  rig.agg.topaa_store().corrupt(rig.agg.rg_topaa_block(1), 99);
+  rig.agg.volume(0).store().corrupt(
+      rig.agg.volume(0).store().capacity_blocks() -
+          TopAaFile::kRaidAgnosticBlocks,
+      77);
+}
+
+TEST(Iron, ParallelRepairMatchesSerialAtEveryWorkerCount) {
+  // Serial reference: repaired media bytes and the report.
+  Rig ref;
+  damage(ref);
+  const IronReport serial = iron_check_topaa(ref.agg);
+  EXPECT_EQ(serial.rg_rewritten, 1u);
+  EXPECT_EQ(serial.vol_rewritten, 1u);
+  EXPECT_GE(serial.verify_ms, 0.0);
+  EXPECT_GE(serial.apply_ms, 0.0);
+  const std::vector<std::byte> want = topaa_bytes(ref.agg);
+
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    Rig rig;
+    damage(rig);
+    ThreadPool pool(workers);
+    const IronReport r = iron_check_topaa(rig.agg, &pool);
+    EXPECT_EQ(r.rg_checked, serial.rg_checked);
+    EXPECT_EQ(r.rg_unreadable, serial.rg_unreadable);
+    EXPECT_EQ(r.rg_stale, serial.rg_stale);
+    EXPECT_EQ(r.rg_rewritten, serial.rg_rewritten);
+    EXPECT_EQ(r.vol_unreadable, serial.vol_unreadable);
+    EXPECT_EQ(r.vol_stale, serial.vol_stale);
+    EXPECT_EQ(r.vol_rewritten, serial.vol_rewritten);
+    // Staged verify + fixed-order serial apply: repaired media are
+    // byte-identical to the serial run.
+    EXPECT_EQ(topaa_bytes(rig.agg), want);
+    EXPECT_TRUE(iron_check_topaa(rig.agg, &pool).clean());
+  }
+}
+
+TEST(Iron, ParallelCleanPassWritesNothing) {
+  Rig rig;
+  ThreadPool pool(4);
+  const std::uint64_t writes0 = rig.agg.topaa_store().stats().block_writes;
+  const IronReport r = iron_check_topaa(rig.agg, &pool);
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(rig.agg.topaa_store().stats().block_writes, writes0);
+}
+
+TEST(Iron, ParallelRepairMatchesSerialOnObjectStorePool) {
+  auto make = [] {
+    AggregateConfig cfg;
+    RaidGroupConfig pool;
+    pool.data_devices = 1;
+    pool.parity_devices = 0;
+    pool.device_blocks = 4 * kFlatAaBlocks;
+    pool.media.type = MediaType::kObjectStore;
+    cfg.raid_groups = {pool};
+    auto agg = std::make_unique<Aggregate>(cfg, 3);
+    FlexVolConfig vol;
+    vol.file_blocks = 50'000;
+    vol.vvbn_blocks = 2ull * kFlatAaBlocks;
+    agg->add_volume(vol);
+    std::vector<DirtyBlock> dirty;
+    for (std::uint64_t l = 0; l < 40'000; ++l) dirty.push_back({0, l});
+    ConsistencyPoint::run(*agg, dirty);
+    agg->topaa_store().corrupt(agg->rg_topaa_block(0), 4242);
+    return agg;
+  };
+  auto ref = make();
+  const IronReport serial = iron_check_topaa(*ref);
+  EXPECT_EQ(serial.rg_rewritten, 1u);
+  const std::vector<std::byte> want = topaa_bytes(*ref);
+  for (const unsigned workers : {1u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    auto agg = make();
+    ThreadPool pool(workers);
+    const IronReport r = iron_check_topaa(*agg, &pool);
+    EXPECT_EQ(r.rg_rewritten, serial.rg_rewritten);
+    EXPECT_EQ(r.vol_rewritten, serial.vol_rewritten);
+    EXPECT_EQ(topaa_bytes(*agg), want);
+    EXPECT_TRUE(iron_check_topaa(*agg, &pool).clean());
+  }
 }
 
 }  // namespace

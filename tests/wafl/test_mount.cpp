@@ -2,7 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/max_heap_cache.hpp"
+#include "core/topaa.hpp"
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 #include "wafl/consistency_point.hpp"
 #include "wafl/iron.hpp"
@@ -175,6 +184,188 @@ TEST(Mount, ScanPathParallelMatchesSerial) {
     EXPECT_EQ(serial_rig.agg.rg_scoreboard(rg).total_free(),
               parallel_rig.agg.rg_scoreboard(rg).total_free());
   }
+}
+
+
+// --- Parallel scan determinism oracle (PR 9) -------------------------------
+//
+// The pipelined scan (core/scan_pipeline.hpp) claims byte-identical
+// results at any worker count.  These tests prove it over full cache
+// digests — every scoreboard score, every heap entry, every HBPS
+// encoding — not just best-AA spot checks, on rigs whose volumes are big
+// enough (5 bitmap-metafile blocks) that the per-volume scans cross
+// kParallelScanMinBlocks and actually run pipelined.
+
+std::vector<std::byte> image_bytes(const TopAaImage& img) {
+  std::vector<std::byte> out;
+  for (std::uint64_t b = 0; b < img.nblocks; ++b) {
+    out.insert(out.end(), img.blocks[b].begin(), img.blocks[b].end());
+  }
+  return out;
+}
+
+struct CacheDigest {
+  std::vector<std::vector<AaPick>> heap_tops;
+  std::vector<std::vector<std::byte>> rg_hbps;
+  std::vector<std::vector<AaScore>> rg_scores;
+  std::vector<std::vector<std::byte>> vol_hbps;
+  std::vector<std::vector<AaScore>> vol_scores;
+
+  bool operator==(const CacheDigest&) const = default;
+};
+
+CacheDigest digest_of(Aggregate& agg) {
+  CacheDigest d;
+  for (RaidGroupId rg = 0; rg < agg.raid_group_count(); ++rg) {
+    const AaScoreBoard& board = agg.rg_scoreboard(rg);
+    std::vector<AaScore> scores;
+    for (AaId aa = 0; aa < board.aa_count(); ++aa) {
+      scores.push_back(board.score(aa));
+    }
+    d.rg_scores.push_back(std::move(scores));
+    if (agg.rg_is_raid_agnostic(rg)) {
+      d.rg_hbps.push_back(
+          image_bytes(TopAaFile::encode_raid_agnostic(agg.rg_hbps(rg))));
+    } else {
+      const MaxHeapAaCache& heap = agg.rg_heap(rg);
+      d.heap_tops.push_back(heap.top(heap.size()));
+    }
+  }
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    const FlexVol& vol = agg.volume(v);
+    std::vector<AaScore> scores;
+    for (AaId aa = 0; aa < vol.scoreboard().aa_count(); ++aa) {
+      scores.push_back(vol.scoreboard().score(aa));
+    }
+    d.vol_scores.push_back(std::move(scores));
+    d.vol_hbps.push_back(
+        image_bytes(TopAaFile::encode_raid_agnostic(vol.cache())));
+  }
+  return d;
+}
+
+/// Seeded aggregate whose volume bitmaps span 5 metafile blocks each;
+/// optionally adds a RAID-agnostic object-store pool as a third group.
+std::unique_ptr<Aggregate> make_big(bool object_store_pool) {
+  AggregateConfig cfg;
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = 32 * 1024;
+  rg.media.type = MediaType::kHdd;
+  rg.aa_stripes = 2048;
+  cfg.raid_groups = {rg, rg};
+  if (object_store_pool) {
+    RaidGroupConfig pool;
+    pool.data_devices = 1;
+    pool.parity_devices = 0;
+    pool.device_blocks = 4 * kFlatAaBlocks;
+    pool.media.type = MediaType::kObjectStore;
+    cfg.raid_groups.push_back(pool);
+  }
+  auto agg = std::make_unique<Aggregate>(cfg, 7);
+  FlexVolConfig vcfg;
+  vcfg.vvbn_blocks = 160 * 1024;  // 5 bitmap-metafile blocks: pipelined
+  vcfg.file_blocks = 64 * 1024;
+  vcfg.aa_blocks = 4096;
+  agg->add_volume(vcfg);
+  agg->add_volume(vcfg);
+  std::vector<DirtyBlock> dirty;
+  for (VolumeId v = 0; v < 2; ++v) {
+    dirty.clear();
+    for (std::uint64_t l = 0; l < 20'000; ++l) dirty.push_back({v, l});
+    ConsistencyPoint::run(*agg, dirty);
+    dirty.clear();
+    for (std::uint64_t l = 4'000; l < 11'000; ++l) dirty.push_back({v, l});
+    ConsistencyPoint::run(*agg, dirty);
+  }
+  return agg;
+}
+
+std::uint64_t total_block_writes(Aggregate& agg) {
+  std::uint64_t n = agg.meta_store().stats().block_writes +
+                    agg.topaa_store().stats().block_writes;
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    n += agg.volume(v).store().stats().block_writes;
+  }
+  return n;
+}
+
+void check_scan_determinism(bool object_store_pool) {
+  auto ref = make_big(object_store_pool);
+  const std::uint64_t writes0 = total_block_writes(*ref);
+  mount_all(*ref, /*use_topaa=*/false);
+  // The scan is read-only: recomputation never touches media.
+  EXPECT_EQ(total_block_writes(*ref), writes0);
+  const CacheDigest want = digest_of(*ref);
+
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    auto agg = make_big(object_store_pool);
+    ThreadPool pool(workers);
+    mount_all(*agg, /*use_topaa=*/false, &pool);
+    EXPECT_TRUE(digest_of(*agg) == want)
+        << "parallel scan diverged from serial";
+  }
+}
+
+TEST(MountParallel, ScanDeterministicAcrossWorkerCounts) {
+  check_scan_determinism(/*object_store_pool=*/false);
+}
+
+TEST(MountParallel, ScanDeterministicWithObjectStorePool) {
+  check_scan_determinism(/*object_store_pool=*/true);
+}
+
+TEST(MountParallel, RecoverMountSerialAndOneWorkerAgree) {
+  // recover_mount's for_each_volume serial-fallback branch: pool == nullptr
+  // and a 1-thread pool must walk the same path to the same caches.
+  auto a = make_big(false);
+  auto b = make_big(false);
+  const MountReport ra = recover_mount(*a, /*use_topaa=*/false, nullptr);
+  ThreadPool one(1);
+  const MountReport rb = recover_mount(*b, /*use_topaa=*/false, &one);
+  EXPECT_EQ(ra.gate_block_reads, rb.gate_block_reads);
+  EXPECT_FALSE(ra.used_topaa);
+  EXPECT_TRUE(digest_of(*a) == digest_of(*b));
+}
+
+TEST(MountParallel, CompleteBackgroundSerialAndOneWorkerAgree) {
+  auto a = make_big(false);
+  auto b = make_big(false);
+  mount_all(*a, /*use_topaa=*/true);
+  mount_all(*b, /*use_topaa=*/true);
+  ThreadPool one(1);
+  const std::uint64_t reads_a = complete_background(*a, nullptr);
+  const std::uint64_t reads_b = complete_background(*b, &one);
+  EXPECT_EQ(reads_a, reads_b);
+  EXPECT_TRUE(digest_of(*a) == digest_of(*b));
+}
+
+TEST(MountParallel, EmitWhileScanStress) {
+  // TSAN target (tools/check.sh --tsan): a 4-worker pipelined scan emits
+  // spans from pool workers while a reader thread concurrently snapshots
+  // the collector.  Proves the scan's handoff machinery and the obs layer
+  // race-free under load.
+  obs::spans().clear();
+  obs::set_span_capture(true);
+  auto agg = make_big(false);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)obs::spans().snapshot();
+    }
+  });
+  ThreadPool pool(4);
+  mount_all(*agg, /*use_topaa=*/false, &pool);
+  complete_background(*agg, &pool);
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  obs::set_span_capture(false);
+  obs::spans().clear();
+  // The scan still produced the right answer under observation.
+  const FlexVol& vol = agg->volume(0);
+  EXPECT_EQ(vol.scoreboard().total_free(), vol.free_blocks());
 }
 
 }  // namespace

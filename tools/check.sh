@@ -23,9 +23,10 @@
 #                                BENCH_*.json trajectory files, and fail if
 #                                the run regresses the committed baseline
 #                                (parallel fraction, Amdahl-implied speedup,
-#                                mount scan/TopAA ratio; measured wall-clock
-#                                speedup and multi-writer intake scaling are
-#                                gated only on >= 4-core hosts).
+#                                mount scan/TopAA ratio, recovery scan/Iron
+#                                Amdahl speedups + determinism; measured
+#                                wall-clock speedups and multi-writer intake
+#                                scaling are gated only on >= 4-core hosts).
 #                                Each run also appends one JSONL record
 #                                (git sha, core count, per-phase times) to
 #                                the append-only BENCH_trajectory.json and
@@ -92,11 +93,14 @@ if [[ $TSAN -eq 1 ]]; then
   # Everything that drives a ThreadPool or races writer threads: the
   # parallel CP paths and the determinism contract, the engine itself, the
   # pool primitives, the parallel scans (mount, scoreboard build, metafile
-  # load), the span layer's concurrent emit-while-snapshot stress, and the
-  # sharded-intake battery (writer matrix, emit-while-freeze race, CAS
-  # claim fuzz, MPSC delayed-free staging).
+  # load), the pipelined recovery scan and its MpscLog live drain, the
+  # parallel Iron verify fan-out, the 4-worker emit-while-scan stress
+  # (MountParallel.EmitWhileScanStress), the span layer's concurrent
+  # emit-while-snapshot stress, and the sharded-intake battery (writer
+  # matrix, emit-while-freeze race, CAS claim fuzz, MPSC delayed-free
+  # staging).
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'ParallelCp|CpDeterminism|OverlappedCp|ConcurrentIntake|AtomicClaimFuzz|DelayedFreeLog|WriteAllocatorEngine|ThreadPool|Mount|Scoreboard|BitmapMetafile|BlockStoreConcurrent|SpanTrace' |
+    -R 'ParallelCp|CpDeterminism|OverlappedCp|ConcurrentIntake|AtomicClaimFuzz|DelayedFreeLog|WriteAllocatorEngine|ThreadPool|Mount|Scoreboard|BitmapMetafile|BlockStoreConcurrent|SpanTrace|Iron|ScanPipeline|MpscLogDrain' |
     tail -3
 fi
 
@@ -184,6 +188,29 @@ if [[ $PERF -eq 1 ]]; then
   gate "mount scan/topaa (largest vol size)" "$r_size" 1.50
   gate "mount scan/topaa (largest vol count)" "$r_count" 1.50
 
+  # Recovery-path parallelism (pFSCK-style scan + Iron).  The Amdahl
+  # projections come from the serial run's phase split, so they gate on
+  # any host; the measured wall-clock speedups need real cores.  Both
+  # parallel paths must also have produced bit-identical caches/media.
+  s_amdahl=$(jq -r '.scan.scan_amdahl_speedup_w4' BENCH_mount.json)
+  i_amdahl=$(jq -r '.iron.iron_amdahl_speedup_w4' BENCH_mount.json)
+  s_meas=$(jq -r '.scan.scan_parallel_speedup' BENCH_mount.json)
+  i_meas=$(jq -r '.iron.iron_repair_speedup' BENCH_mount.json)
+  s_det=$(jq -r '.scan.determinism_ok' BENCH_mount.json)
+  i_det=$(jq -r '.iron.determinism_ok' BENCH_mount.json)
+  gate "scan_amdahl_speedup_w4" "$s_amdahl" 1.50
+  gate "iron_amdahl_speedup_w4" "$i_amdahl" 1.50
+  [[ "$s_det" == "true" ]] ||
+    { echo "FAIL: parallel recovery scan diverged from serial"; exit 1; }
+  [[ "$i_det" == "true" ]] ||
+    { echo "FAIL: parallel Iron repair diverged from serial"; exit 1; }
+  if [[ "$hw" -ge 4 ]]; then
+    gate "scan_parallel_speedup" "$s_meas" 1.20
+    gate "iron_repair_speedup" "$i_meas" 1.20
+  else
+    echo "  scan/iron measured-speedup gates skipped ($hw hw threads < 4)"
+  fi
+
   # Overlapped CP: intake must stay admissible for at least half of the
   # total drain wall (stop-the-world scores 0), and the overlapped driver
   # must remain bit-identical to the stop-the-world path (checked inside
@@ -214,12 +241,14 @@ if [[ $PERF -eq 1 ]]; then
   # stack up.  Wall-clock fields are recorded but not gated: they are
   # machine-dependent.
   traj=BENCH_trajectory.json
-  prev_pf="" prev_apf="" prev_a4="" prev_ov=""
+  prev_pf="" prev_apf="" prev_a4="" prev_ov="" prev_sa="" prev_ia=""
   if [[ -s $traj ]]; then
     prev_pf=$(tail -1 "$traj" | jq -r '.parallel_fraction')
     prev_apf=$(tail -1 "$traj" | jq -r '.alloc_parallel_fraction')
     prev_a4=$(tail -1 "$traj" | jq -r '.amdahl_speedup_w4')
     prev_ov=$(tail -1 "$traj" | jq -r '.overlap_fraction')
+    prev_sa=$(tail -1 "$traj" | jq -r '.scan_amdahl_speedup_w4')
+    prev_ia=$(tail -1 "$traj" | jq -r '.iron_amdahl_speedup_w4')
   fi
   jq -c \
     --arg ts "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -232,6 +261,10 @@ if [[ $PERF -eq 1 ]]; then
     --argjson in_t "$in_t" \
     --argjson in_scale "$in_scale" \
     --argjson in_mblk "$(jq '.intake_mblk_s' BENCH_overlap.json)" \
+    --argjson s_amdahl "$s_amdahl" \
+    --argjson s_meas "$s_meas" \
+    --argjson i_amdahl "$i_amdahl" \
+    --argjson i_meas "$i_meas" \
     '{ts: $ts, git: $sha, cores: $cores, hw_threads,
       parallel_fraction, alloc_parallel_fraction,
       amdahl_speedup_w4, measured_speedup_w4,
@@ -242,6 +275,8 @@ if [[ $PERF -eq 1 ]]; then
       overlap_stall_ms: $ov_stall, overlap_gap_ms_per_cp: $ov_gap,
       intake_threads: $in_t, intake_scaling: $in_scale,
       intake_mblk_s: $in_mblk,
+      scan_amdahl_speedup_w4: $s_amdahl, scan_parallel_speedup: $s_meas,
+      iron_amdahl_speedup_w4: $i_amdahl, iron_repair_speedup: $i_meas,
       identical: .identical_all_worker_counts}' \
     BENCH_parallel_cp.json >> "$traj"
   echo "  trajectory: appended $(wc -l < "$traj")th record to $traj"
@@ -255,6 +290,8 @@ if [[ $PERF -eq 1 ]]; then
   rel_gate "parallel_fraction (vs trajectory)" "$pf" "$prev_pf" 0.05
   rel_gate "alloc_parallel_fraction (vs trajectory)" "$apf" "$prev_apf" 0.05
   rel_gate "amdahl_speedup_w4 (vs trajectory)" "$a4" "$prev_a4" 0.30
+  rel_gate "scan_amdahl_speedup_w4 (vs trajectory)" "$s_amdahl" "$prev_sa" 0.30
+  rel_gate "iron_amdahl_speedup_w4 (vs trajectory)" "$i_amdahl" "$prev_ia" 0.30
   # overlap_fraction is wall-clock-derived (stall ns over drain ns), so
   # like measured_speedup_w4 its drift gate only runs where the clock is
   # trustworthy; the absolute 0.50 floor above still holds everywhere.
