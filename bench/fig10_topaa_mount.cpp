@@ -37,7 +37,8 @@ struct MountTiming {
   double scan_ms = 0.0;
 };
 
-Aggregate make_aggregate(std::size_t vol_count, std::uint64_t vol_blocks) {
+Aggregate make_aggregate(std::size_t vol_count, std::uint64_t vol_blocks,
+                         ThreadPool* pool) {
   AggregateConfig cfg;
   RaidGroupConfig rg;
   rg.data_devices = 4;
@@ -50,14 +51,11 @@ Aggregate make_aggregate(std::size_t vol_count, std::uint64_t vol_blocks) {
   rg.media.type = MediaType::kHdd;
   rg.aa_stripes = 4096;
   cfg.raid_groups = {rg, rg};
-  return Aggregate(cfg, /*rng_seed=*/12);
+  return Aggregate(cfg, /*rng_seed=*/12, Runtime{}.with_pool(pool));
 }
 
-/// Builds a file system with `vol_count` volumes of `vol_blocks` logical
-/// blocks, writes data through real CPs (so bitmaps and TopAA exist on
-/// media), then measures both mount paths.
-MountTiming measure(std::size_t vol_count, std::uint64_t vol_blocks) {
-  Aggregate agg = make_aggregate(vol_count, vol_blocks);
+void add_volumes(Aggregate& agg, std::size_t vol_count,
+                 std::uint64_t vol_blocks) {
   for (std::size_t v = 0; v < vol_count; ++v) {
     FlexVolConfig vol;
     vol.file_blocks = vol_blocks;
@@ -66,6 +64,26 @@ MountTiming measure(std::size_t vol_count, std::uint64_t vol_blocks) {
         kFlatAaBlocks;
     agg.add_volume(vol);
   }
+}
+
+/// Copies every persistent store byte-for-byte: the receiving aggregate
+/// sees exactly the media the donor wrote, with its own (cold) in-memory
+/// state — the rebuild pattern the crash harness uses.
+void clone_media(Aggregate& src, Aggregate& dst) {
+  dst.meta_store().copy_contents_from(src.meta_store());
+  dst.topaa_store().copy_contents_from(src.topaa_store());
+  for (VolumeId v = 0; v < src.volume_count(); ++v) {
+    dst.volume(v).store().copy_contents_from(src.volume(v).store());
+  }
+}
+
+/// Builds a file system with `vol_count` volumes of `vol_blocks` logical
+/// blocks, writes data through real CPs (so bitmaps and TopAA exist on
+/// media), then measures both mount paths.
+MountTiming measure(std::size_t vol_count, std::uint64_t vol_blocks) {
+  ThreadPool pool(2);
+  Aggregate agg = make_aggregate(vol_count, vol_blocks, &pool);
+  add_volumes(agg, vol_count, vol_blocks);
 
   // Populate each volume to ~40% through normal CPs.
   std::vector<DirtyBlock> dirty;
@@ -84,12 +102,11 @@ MountTiming measure(std::size_t vol_count, std::uint64_t vol_blocks) {
     dirty.clear();
   }
 
-  ThreadPool pool(2);
   MountTiming timing;
 
   // "Failover": mount via TopAA, then run the first CP.
   {
-    const MountReport r = mount_all(agg, /*use_topaa=*/true, &pool);
+    const MountReport r = mount_all(agg, /*use_topaa=*/true);
     for (std::uint64_t l = 0; l < 1000; ++l) {
       dirty.push_back({0, l});
     }
@@ -98,12 +115,12 @@ MountTiming measure(std::size_t vol_count, std::uint64_t vol_blocks) {
     timing.topaa_ms = static_cast<double>(r.gate_block_reads) * kMetaReadMs +
                       r.gate_cpu_seconds * 1e3;
     // Background completion happens after the first CP; not charged.
-    complete_background(agg, &pool);
+    complete_background(agg);
   }
 
   // Same system, scan path.
   {
-    const MountReport r = mount_all(agg, /*use_topaa=*/false, &pool);
+    const MountReport r = mount_all(agg, /*use_topaa=*/false);
     for (std::uint64_t l = 0; l < 1000; ++l) {
       dirty.push_back({0, l});
     }
@@ -181,15 +198,14 @@ void damage_all_topaa(Aggregate& agg) {
 /// hw_threads >= 4).
 RecoveryBench measure_recovery(std::size_t vol_count,
                                std::uint64_t vol_blocks) {
-  Aggregate agg = make_aggregate(vol_count, vol_blocks);
-  for (std::size_t v = 0; v < vol_count; ++v) {
-    FlexVolConfig vol;
-    vol.file_blocks = vol_blocks;
-    vol.vvbn_blocks =
-        (vol_blocks + kFlatAaBlocks - 1) / kFlatAaBlocks * kFlatAaBlocks +
-        kFlatAaBlocks;
-    agg.add_volume(vol);
-  }
+  // Serial and 4-worker instances over byte-identical media: with the
+  // pool carried by each aggregate's Runtime, the comparison runs one
+  // instance per worker count instead of re-pooling a single instance.
+  ThreadPool pool(4);
+  Aggregate agg = make_aggregate(vol_count, vol_blocks, nullptr);
+  Aggregate par_agg = make_aggregate(vol_count, vol_blocks, &pool);
+  add_volumes(agg, vol_count, vol_blocks);
+  add_volumes(par_agg, vol_count, vol_blocks);
   std::vector<DirtyBlock> dirty;
   for (VolumeId v = 0; v < agg.volume_count(); ++v) {
     const std::uint64_t fill = vol_blocks * 4 / 10;
@@ -202,14 +218,14 @@ RecoveryBench measure_recovery(std::size_t vol_count,
     }
   }
   if (!dirty.empty()) ConsistencyPoint::run(agg, dirty);
+  clone_media(agg, par_agg);
 
   RecoveryBench r;
-  ThreadPool pool(4);
 
   // Scan path, serial: the phase split feeds the Amdahl projection.
   scan_profile().reset();
   auto t0 = std::chrono::steady_clock::now();
-  mount_all(agg, /*use_topaa=*/false, nullptr);
+  mount_all(agg, /*use_topaa=*/false);
   r.scan_serial_ms = wall_ms_since(t0);
   const std::uint64_t digest_serial = cache_digest(agg);
   ScanProfile& prof = scan_profile();
@@ -227,9 +243,9 @@ RecoveryBench measure_recovery(std::size_t vol_count,
 
   // Scan path, 4-worker pipelined: same bytes, must be the same digest.
   t0 = std::chrono::steady_clock::now();
-  mount_all(agg, /*use_topaa=*/false, &pool);
+  mount_all(par_agg, /*use_topaa=*/false);
   r.scan_parallel_ms = wall_ms_since(t0);
-  r.scan_determinism_ok = cache_digest(agg) == digest_serial;
+  r.scan_determinism_ok = cache_digest(par_agg) == digest_serial;
   r.scan_speedup = r.scan_parallel_ms > 0.0
                        ? r.scan_serial_ms / r.scan_parallel_ms
                        : 0.0;
@@ -237,7 +253,7 @@ RecoveryBench measure_recovery(std::size_t vol_count,
   // Iron, serial repair of fully damaged TopAA metafiles.
   damage_all_topaa(agg);
   t0 = std::chrono::steady_clock::now();
-  const IronReport serial_rep = iron_check_topaa(agg, nullptr);
+  const IronReport serial_rep = iron_check_topaa(agg);
   r.iron_serial_ms = wall_ms_since(t0);
   r.iron_verify_ms = serial_rep.verify_ms;
   r.iron_apply_ms = serial_rep.apply_ms;
@@ -247,18 +263,18 @@ RecoveryBench measure_recovery(std::size_t vol_count,
                : 0.0;
   const std::uint64_t repaired_digest = cache_digest(agg);
 
-  // Identical damage again, repaired through the 4-worker verify fan-out:
-  // the staged apply must land the same bytes (checked via a clean
-  // follow-up pass plus the digest).
-  damage_all_topaa(agg);
+  // Identical damage on the pooled instance, repaired through the
+  // 4-worker verify fan-out: the staged apply must land the same bytes
+  // (checked via a clean follow-up pass plus the digest).
+  damage_all_topaa(par_agg);
   t0 = std::chrono::steady_clock::now();
-  const IronReport par_rep = iron_check_topaa(agg, &pool);
+  const IronReport par_rep = iron_check_topaa(par_agg);
   r.iron_parallel_ms = wall_ms_since(t0);
   r.iron_determinism_ok =
-      cache_digest(agg) == repaired_digest &&
+      cache_digest(par_agg) == repaired_digest &&
       par_rep.rg_rewritten == serial_rep.rg_rewritten &&
       par_rep.vol_rewritten == serial_rep.vol_rewritten &&
-      iron_check_topaa(agg, &pool).clean();
+      iron_check_topaa(par_agg).clean();
   r.iron_speedup = r.iron_parallel_ms > 0.0
                        ? r.iron_serial_ms / r.iron_parallel_ms
                        : 0.0;

@@ -1,0 +1,239 @@
+// Fleet driver: N aggregates with mixed media geometries running
+// concurrent overlapped-CP workloads in one process, sharing a single
+// ThreadPool for CP fan-out and a capped DrainExecutor for drains — the
+// multi-aggregate deployment shape §4 evaluates (one node serves many
+// aggregates; the allocator work of each must not perturb the others).
+//
+// Reports per-member and fleet-wide throughput, per-CP gap, and drain
+// contention (fraction of drain wall time intake spent stalled), then
+// runs the determinism oracle: every member's media digest after the
+// concurrent fleet run must equal the same member run alone.  A
+// divergence is an exit-code failure, not a statistic.
+//
+//   ./build/bench/fleet_driver [n_aggregates]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+#include "wafl/fleet.hpp"
+
+namespace {
+
+using namespace wafl;
+
+struct Shape {
+  std::uint64_t device_blocks;
+  std::uint64_t vol_file_blocks;
+  std::uint64_t cps;
+  std::uint64_t blocks_per_cp;
+};
+
+Shape shape() {
+  if (bench::fast_mode()) {
+    return {16 * 1024, 16'000, 3, 4096};
+  }
+  return {64 * 1024, 48'000, 6, 24'576};
+}
+
+FleetMemberConfig make_member(std::string id, MediaType media,
+                              std::uint64_t seed, const Shape& s) {
+  FleetMemberConfig cfg;
+  cfg.id = std::move(id);
+  RaidGroupConfig rg;
+  switch (media) {
+    case MediaType::kSsd:
+      rg = fleet_ssd_group(s.device_blocks);
+      break;
+    case MediaType::kSmr:
+      rg = fleet_smr_group(4 * s.device_blocks);
+      break;
+    default:
+      rg = fleet_hdd_group(s.device_blocks);
+      break;
+  }
+  cfg.agg.raid_groups = {rg, rg};
+  FlexVolConfig vol;
+  vol.file_blocks = s.vol_file_blocks;
+  vol.vvbn_blocks =
+      (s.vol_file_blocks / kFlatAaBlocks + 2) * kFlatAaBlocks;
+  vol.aa_blocks = 4096;
+  cfg.volumes = {vol, vol};
+  cfg.rng_seed = seed;
+  cfg.workload_seed = seed * 97 + 1;
+  cfg.cps = s.cps;
+  cfg.blocks_per_cp = s.blocks_per_cp;
+  return cfg;
+}
+
+const char* media_name(std::size_t i) {
+  switch (i % 3) {
+    case 1:
+      return "ssd";
+    case 2:
+      return "smr";
+    default:
+      return "hdd";
+  }
+}
+
+MediaType media_type(std::size_t i) {
+  switch (i % 3) {
+    case 1:
+      return MediaType::kSsd;
+    case 2:
+      return MediaType::kSmr;
+    default:
+      return MediaType::kHdd;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wafl;
+
+  std::size_t n = 4;
+  if (argc > 1) {
+    const long v = std::atol(argv[1]);
+    if (v >= 1) n = static_cast<std::size_t>(v);
+  }
+  const Shape s = shape();
+
+  bench::print_title(
+      "fleet_driver",
+      "N aggregates, mixed media, one shared pool + drain executor");
+  bench::print_expectation(
+      "per-aggregate throughput holds under co-location and every "
+      "member's media is byte-identical to its solo run");
+
+  std::vector<FleetMemberConfig> cfgs;
+  cfgs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string id =
+        std::string(media_name(i)) + std::to_string(i);
+    cfgs.push_back(make_member(id, media_type(i), 11 + 13 * i, s));
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned pool_threads = std::max(2u, std::min(8u, hw != 0 ? hw : 4u));
+  ThreadPool pool(pool_threads);
+
+  bench::print_section("concurrent fleet run");
+  std::printf("aggregates=%zu  pool_threads=%u  drain_threads=2  "
+              "cps/agg=%llu  blocks/cp=%llu\n",
+              n, pool_threads, static_cast<unsigned long long>(s.cps),
+              static_cast<unsigned long long>(s.blocks_per_cp));
+
+  const FleetResult fleet = run_fleet(cfgs, &pool, /*drain_threads=*/2);
+
+  std::uint64_t total_admitted = 0, total_stall = 0, total_drain = 0,
+                total_gap = 0, total_cps = 0;
+  for (const FleetMemberResult& m : fleet.members) {
+    const double mblk_s =
+        m.wall_seconds > 0.0
+            ? static_cast<double>(m.stats.blocks_admitted) /
+                  m.wall_seconds / 1e6
+            : 0.0;
+    const double stall_frac =
+        m.stats.drain_ns > 0
+            ? static_cast<double>(m.stats.stall_ns) /
+                  static_cast<double>(m.stats.drain_ns)
+            : 0.0;
+    const double gap_ms_per_cp =
+        m.stats.cps_completed > 0
+            ? static_cast<double>(m.stats.gap_ns) / 1e6 /
+                  static_cast<double>(m.stats.cps_completed)
+            : 0.0;
+    std::printf("  %-6s cps=%llu admitted=%llu mblk_s=%.3f "
+                "stall_fraction=%.3f gap_ms/cp=%.3f\n",
+                m.id.c_str(),
+                static_cast<unsigned long long>(m.stats.cps_completed),
+                static_cast<unsigned long long>(m.stats.blocks_admitted),
+                mblk_s, stall_frac, gap_ms_per_cp);
+    total_admitted += m.stats.blocks_admitted;
+    total_stall += m.stats.stall_ns;
+    total_drain += m.stats.drain_ns;
+    total_gap += m.stats.gap_ns;
+    total_cps += m.stats.cps_completed;
+
+    // Per-member metrics snapshot — each member's own registry scope,
+    // never the process-global one.
+    if (!m.metrics_json.empty()) {
+      const std::string mpath = "fleet_" + m.id + ".metrics.json";
+      if (std::FILE* f = std::fopen(mpath.c_str(), "w")) {
+        std::fwrite(m.metrics_json.data(), 1, m.metrics_json.size(), f);
+        std::fclose(f);
+      }
+    }
+  }
+
+  const double agg_mblk_s =
+      fleet.wall_seconds > 0.0
+          ? static_cast<double>(total_admitted) / fleet.wall_seconds / 1e6
+          : 0.0;
+  const double drain_stall_fraction =
+      total_drain > 0 ? static_cast<double>(total_stall) /
+                            static_cast<double>(total_drain)
+                      : 0.0;
+  const double gap_ms_per_cp =
+      total_cps > 0 ? static_cast<double>(total_gap) / 1e6 /
+                          static_cast<double>(total_cps)
+                    : 0.0;
+  std::printf("fleet: wall_s=%.3f  agg_mblk_s=%.3f  "
+              "drain_stall_fraction=%.3f  gap_ms/cp=%.3f\n",
+              fleet.wall_seconds, agg_mblk_s, drain_stall_fraction,
+              gap_ms_per_cp);
+
+  bench::print_section("determinism oracle (fleet vs solo)");
+  bool det_ok = true;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const FleetMemberResult solo = run_solo(cfgs[i], nullptr);
+    const bool same = solo.media_digest == fleet.members[i].media_digest;
+    std::printf("  %-6s fleet=%016llx solo=%016llx %s\n",
+                cfgs[i].id.c_str(),
+                static_cast<unsigned long long>(
+                    fleet.members[i].media_digest),
+                static_cast<unsigned long long>(solo.media_digest),
+                same ? "identical" : "DIVERGED");
+    det_ok = det_ok && same;
+  }
+
+  const std::string path = bench::json_path("BENCH_fleet.json");
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"fleet_driver\",\n"
+                 "  \"mode\": \"%s\",\n"
+                 "  \"hw_threads\": %u,\n"
+                 "  \"n_aggregates\": %zu,\n"
+                 "  \"pool_threads\": %u,\n"
+                 "  \"cps_completed\": %llu,\n"
+                 "  \"blocks_admitted\": %llu,\n"
+                 "  \"wall_s\": %.4f,\n"
+                 "  \"agg_mblk_s\": %.4f,\n"
+                 "  \"drain_stall_fraction\": %.4f,\n"
+                 "  \"cp_gap_ms_per_cp\": %.4f,\n"
+                 "  \"determinism_ok\": %s\n"
+                 "}\n",
+                 bench::fast_mode() ? "fast" : "full", hw, n, pool_threads,
+                 static_cast<unsigned long long>(total_cps),
+                 static_cast<unsigned long long>(total_admitted),
+                 fleet.wall_seconds, agg_mblk_s, drain_stall_fraction,
+                 gap_ms_per_cp, det_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("\n[bench] trajectory written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  }
+
+  if (!det_ok) {
+    std::fprintf(stderr, "FLEET DETERMINISM ORACLE FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -63,7 +63,7 @@ Shape shape() {
   return {8, 60'000, 1'024, 480'000, 24'576, 6, 12'000};
 }
 
-std::unique_ptr<Aggregate> make_agg(const Shape& s) {
+std::unique_ptr<Aggregate> make_agg(const Shape& s, ThreadPool* pool) {
   RaidGroupConfig rg;
   rg.data_devices = 4;
   rg.parity_devices = 1;
@@ -73,7 +73,8 @@ std::unique_ptr<Aggregate> make_agg(const Shape& s) {
   rg.aa_stripes = 2048;
   AggregateConfig cfg;
   cfg.raid_groups = {rg, rg};
-  auto agg = std::make_unique<Aggregate>(cfg, 20180813);
+  auto agg =
+      std::make_unique<Aggregate>(cfg, 20180813, Runtime{}.with_pool(pool));
   for (std::size_t v = 0; v < s.vols; ++v) {
     FlexVolConfig vol;
     vol.file_blocks = s.file_blocks;
@@ -98,11 +99,11 @@ std::vector<DirtyBlock> chunk_batch(const Shape& s, Rng& rng) {
 /// driver, everything measured by the driver's own counters.
 OverlapStats stream_run(const Shape& s, ThreadPool* pool,
                         std::uint64_t* admitted_during_drain) {
-  auto agg = make_agg(s);
+  auto agg = make_agg(s, pool);
   OverlappedCpConfig cfg;
   cfg.auto_cp_trigger = s.cp_trigger;
   cfg.dirty_high_watermark = 4 * s.cp_trigger;
-  OverlappedCpDriver driver(*agg, pool, cfg);
+  OverlappedCpDriver driver(*agg, cfg);
   Rng rng(4242);
   *admitted_during_drain = 0;
   for (std::uint64_t done = 0; done < s.total_blocks; done += s.chunk) {
@@ -121,11 +122,11 @@ OverlapStats stream_run(const Shape& s, ThreadPool* pool,
 /// on its own intake shard), CPs auto-triggered as in part 1.  Returns
 /// the admitted-block rate in Mblk/s of wall time.
 double timed_stream_run(const Shape& s, ThreadPool* pool, unsigned writers) {
-  auto agg = make_agg(s);
+  auto agg = make_agg(s, pool);
   OverlappedCpConfig cfg;
   cfg.auto_cp_trigger = s.cp_trigger;
   cfg.dirty_high_watermark = 4 * s.cp_trigger;
-  OverlappedCpDriver driver(*agg, pool, cfg);
+  OverlappedCpDriver driver(*agg, cfg);
   const std::uint64_t per_thread = s.total_blocks / writers;
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -155,12 +156,12 @@ double timed_stream_run(const Shape& s, ThreadPool* pool, unsigned writers) {
 /// drain is in flight, freeze it next — against the stop-the-world path
 /// over the same halves.  Any divergence is a correctness bug.
 bool determinism_check(const Shape& s, ThreadPool* pool) {
-  auto ov_agg = make_agg(s);
-  auto stw_agg = make_agg(s);
+  auto ov_agg = make_agg(s, pool);
+  auto stw_agg = make_agg(s, pool);
   CpStats stw_total;
   OverlapStats ov;
   {
-    OverlappedCpDriver driver(*ov_agg, pool);
+    OverlappedCpDriver driver(*ov_agg);
     Rng rng(7);
     for (int round = 0; round < s.det_rounds; ++round) {
       std::vector<DirtyBlock> batch;
@@ -189,10 +190,8 @@ bool determinism_check(const Shape& s, ThreadPool* pool) {
       driver.start_cp();
       driver.wait_idle();
 
-      stw_total.merge(
-          ConsistencyPoint::run(*stw_agg, all.subspan(0, half), nullptr));
-      stw_total.merge(
-          ConsistencyPoint::run(*stw_agg, all.subspan(half), nullptr));
+      stw_total.merge(ConsistencyPoint::run(*stw_agg, all.subspan(0, half)));
+      stw_total.merge(ConsistencyPoint::run(*stw_agg, all.subspan(half)));
     }
     ov = driver.stats();
   }

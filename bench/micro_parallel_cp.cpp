@@ -52,7 +52,7 @@ Shape shape() {
   return {8, 128 * 1024, 8, 60'000, 100'000, 6};
 }
 
-std::unique_ptr<Aggregate> make_agg(const Shape& s) {
+std::unique_ptr<Aggregate> make_agg(const Shape& s, ThreadPool* pool) {
   RaidGroupConfig rg;
   rg.data_devices = 4;
   rg.parity_devices = 1;
@@ -65,7 +65,8 @@ std::unique_ptr<Aggregate> make_agg(const Shape& s) {
   rg.aa_stripes = 2048;
   AggregateConfig cfg;
   cfg.raid_groups.assign(s.raid_groups, rg);
-  auto agg = std::make_unique<Aggregate>(cfg, 20180813);
+  auto agg =
+      std::make_unique<Aggregate>(cfg, 20180813, Runtime{}.with_pool(pool));
   for (std::size_t v = 0; v < s.vols; ++v) {
     FlexVolConfig vol;
     vol.file_blocks = s.file_blocks;
@@ -110,9 +111,9 @@ struct RunResult {
 /// so the measured deltas are the aggregate side's own scaling, not
 /// [10]-style per-volume sharding.
 RunResult run(const Shape& s, std::size_t workers) {
-  auto agg = make_agg(s);
   std::unique_ptr<ThreadPool> pool;
   if (workers > 0) pool = std::make_unique<ThreadPool>(workers);
+  auto agg = make_agg(s, pool.get());
   Rng rng(4242);
   RunResult r;
   // Capture spans for the whole run: the serial run's spans reconcile
@@ -157,7 +158,7 @@ RunResult run(const Shape& s, std::size_t workers) {
         vvbns.push_back(fv.allocate_vvbn(stats));
       }
       const auto a0 = std::chrono::steady_clock::now();
-      const bool ok = agg->allocate_pvbns(end - at, pvbns, stats, pool.get());
+      const bool ok = agg->allocate_pvbns(end - at, pvbns, stats);
       if (cp >= 0) {
         r.alloc_ms += std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - a0)
@@ -184,7 +185,7 @@ RunResult run(const Shape& s, std::size_t workers) {
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    agg->finish_cp(stats, pool.get());
+    agg->finish_cp(stats);
     if (cp >= 0) {
       r.boundary_ms +=
           std::chrono::duration<double, std::milli>(

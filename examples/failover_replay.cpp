@@ -21,7 +21,8 @@ int main() {
   rg.device_blocks = 128 * 1024;
   rg.media.type = MediaType::kHdd;
   cfg.raid_groups = {rg, rg};
-  Aggregate agg(cfg, 11);
+  ThreadPool pool(2);
+  Aggregate agg(cfg, 11, Runtime{}.with_pool(&pool));
 
   FlexVolConfig vol;
   vol.file_blocks = 256 * 1024;
@@ -36,10 +37,8 @@ int main() {
   aging.overwrite_passes = 0.5;
   age_filesystem(agg, std::array{VolumeId{0}, VolumeId{1}}, aging);
 
-  ThreadPool pool(2);
-
   // --- Takeover with TopAA -------------------------------------------------
-  const MountReport fast = mount_all(agg, /*use_topaa=*/true, &pool);
+  const MountReport fast = mount_all(agg, /*use_topaa=*/true);
   std::printf("\n[takeover with TopAA]\n");
   std::printf("  metafile blocks read to gate the first CP: %llu "
               "(constant: 1/RAID group + 2/volume)\n",
@@ -53,13 +52,13 @@ int main() {
   const CpStats first = ConsistencyPoint::run(agg, dirty);
   std::printf("  first CP: %llu blocks written from seeded caches\n",
               static_cast<unsigned long long>(first.blocks_written));
-  const std::uint64_t bg = complete_background(agg, &pool);
+  const std::uint64_t bg = complete_background(agg);
   std::printf("  background rebuild read %llu metafile blocks off the "
               "client-visible path\n",
               static_cast<unsigned long long>(bg));
 
   // --- Takeover without TopAA ---------------------------------------------
-  const MountReport slow = mount_all(agg, /*use_topaa=*/false, &pool);
+  const MountReport slow = mount_all(agg, /*use_topaa=*/false);
   std::printf("\n[takeover without TopAA]\n");
   std::printf("  metafile blocks read to gate the first CP: %llu "
               "(the full bitmap walk)\n",
@@ -78,7 +77,7 @@ int main() {
       TopAaFile::kRaidAgnosticBlocks;
   agg.volume(1).store().corrupt(vol1_topaa, /*bit_index=*/12345);
 
-  const MountReport mixed = mount_all(agg, /*use_topaa=*/true, &pool);
+  const MountReport mixed = mount_all(agg, /*use_topaa=*/true);
   std::printf("\n[takeover with one damaged TopAA block]\n");
   std::printf("  volumes seeded from TopAA: %zu of %zu — the damaged one "
               "failed its checksum and fell back to the bitmap scan\n",

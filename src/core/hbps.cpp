@@ -133,8 +133,7 @@ void Hbps::update_score(AaId aa, AaScore old_score, AaScore new_score) {
   const std::uint32_t b1 = bin_of(new_score);
   if (b0 == b1) return;  // same bin: nothing moves (partial sort)
   WAFL_OBS({
-    static obs::Counter& rebins = obs::registry().counter("wafl.hbps.rebins");
-    rebins.inc();
+    if (rebin_counter_ != nullptr) rebin_counter_->inc();
     obs::trace().emit(obs::EventType::kHbpsRebin, 0, aa, b0, b1);
   });
   WAFL_ASSERT(hist_[b0] > 0);
@@ -173,8 +172,7 @@ void Hbps::apply_changes(std::span<const ScoreChange> changes) {
     const std::uint32_t b1 = bin_of(c.new_score);
     if (b0 == b1) continue;
     WAFL_OBS({
-      static obs::Counter& rebins = obs::registry().counter("wafl.hbps.rebins");
-      rebins.inc();
+      if (rebin_counter_ != nullptr) rebin_counter_->inc();
       obs::trace().emit(obs::EventType::kHbpsRebin, 0, c.aa, b0, b1);
     });
     WAFL_ASSERT(hist_[b0] > 0);

@@ -44,6 +44,10 @@
 #include "util/types.hpp"
 #include "util/units.hpp"
 
+namespace wafl::obs {
+class Counter;
+}  // namespace wafl::obs
+
 namespace wafl {
 
 class Hbps final : public AaCache {
@@ -56,6 +60,12 @@ class Hbps final : public AaCache {
 
   Hbps() : Hbps(Config{}) {}
   explicit Hbps(Config cfg);
+
+  /// Routes rebin counting to an owner-resolved counter (null: rebins go
+  /// uncounted).  The owner binds its runtime-scoped
+  /// "wafl.hbps.rebins" handle here; the core layer itself never touches
+  /// the process-global registry.  Copies share the binding.
+  void bind_rebin_counter(obs::Counter* c) noexcept { rebin_counter_ = c; }
 
   const Config& config() const noexcept { return cfg_; }
   std::uint32_t bin_count() const noexcept {
@@ -171,6 +181,7 @@ class Hbps final : public AaCache {
   std::unordered_map<AaId, std::uint32_t> slot_of_;  // transient index
   std::unordered_set<AaId> checked_out_;
   std::size_t tracked_ = 0;  // resident AAs (sum of hist_)
+  obs::Counter* rebin_counter_ = nullptr;
 };
 
 }  // namespace wafl

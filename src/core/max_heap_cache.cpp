@@ -69,8 +69,7 @@ void MaxHeapAaCache::update_score(AaId aa, AaScore old_score,
   if (i == kAbsent) return;  // checked out; will re-key on insert
   WAFL_ASSERT(heap_[i].score == old_score);
   WAFL_OBS({
-    static obs::Counter& rekeys = obs::registry().counter("wafl.heap.rekeys");
-    rekeys.inc();
+    if (rekey_counter_ != nullptr) rekey_counter_->inc();
   });
   heap_[i].score = new_score;
   if (new_score > old_score) {

@@ -23,12 +23,21 @@
 #include "core/scoreboard.hpp"
 #include "util/assert.hpp"
 
+namespace wafl::obs {
+class Counter;
+}  // namespace wafl::obs
+
 namespace wafl {
 
 class MaxHeapAaCache final : public AaCache {
  public:
   /// Creates an empty cache able to track AAs with ids below `aa_universe`.
   explicit MaxHeapAaCache(AaId aa_universe);
+
+  /// Routes re-key counting to an owner-resolved counter (null: re-keys go
+  /// uncounted).  The owner binds its runtime-scoped "wafl.heap.rekeys"
+  /// handle here; the core layer never touches the process-global registry.
+  void bind_rekey_counter(obs::Counter* c) noexcept { rekey_counter_ = c; }
 
   /// Builds the full heap from a scoreboard in O(n).
   void build(const AaScoreBoard& board);
@@ -83,6 +92,7 @@ class MaxHeapAaCache final : public AaCache {
 
   std::vector<Entry> heap_;
   std::vector<std::uint32_t> pos_;  // aa -> heap index, kAbsent if not held
+  obs::Counter* rekey_counter_ = nullptr;
 };
 
 }  // namespace wafl

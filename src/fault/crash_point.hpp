@@ -37,6 +37,11 @@
 #include <string>
 #include <unordered_map>
 
+namespace wafl::obs {
+class FlightRecorder;
+class Registry;
+}  // namespace wafl::obs
+
 namespace wafl::fault {
 
 /// Thrown by an armed crash point (or by a FaultEngine write-count
@@ -57,11 +62,22 @@ class CrashPoint : public std::runtime_error {
   std::uint64_t hit_count_;
 };
 
-/// Global registry of armed crash points.  Thread-safe: crash points in
-/// the parallel CP-boundary phase are hit concurrently (the ThreadPool
-/// rethrows the first CrashPoint on the calling thread).
+/// Registry of armed crash points.  One instance is process-global
+/// (crash_hooks(), reached by WAFL_CRASH_POINT); per-aggregate runtimes
+/// own their own, so arming a hook in one aggregate's scope never fires
+/// in another's.  Thread-safe: crash points in the parallel CP-boundary
+/// phase are hit concurrently (the ThreadPool rethrows the first
+/// CrashPoint on the calling thread).
 class CrashHooks {
  public:
+  /// Routes the fired-crash counter and flight-recorder note into a
+  /// specific obs scope (null: the process globals).  Set before
+  /// concurrent use; the binding itself is not synchronized.
+  void bind_obs(obs::Registry* reg, obs::FlightRecorder* flight) noexcept {
+    reg_ = reg;
+    flight_ = flight;
+  }
+
   /// Arms `name`: its `nth` execution after this call throws CrashPoint.
   /// Re-arming an armed name replaces its trigger.  A fired point disarms
   /// itself (one crash per arm).
@@ -94,6 +110,8 @@ class CrashHooks {
   mutable std::mutex mu_;
   std::unordered_map<std::string, Armed> armed_;
   std::atomic<std::size_t> armed_count_{0};
+  obs::Registry* reg_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 /// Process-global hook registry (one per process, like obs::registry()).

@@ -92,7 +92,11 @@ struct FaultRecord {
 
 class FaultEngine final : public FaultInjector {
  public:
-  explicit FaultEngine(const FaultPlan& plan);
+  /// `reg`/`flight` scope the engine's fault counters and crash note to a
+  /// specific runtime (a fleet member's RuntimeBundle); null uses the
+  /// process globals, as before.
+  explicit FaultEngine(const FaultPlan& plan, obs::Registry* reg = nullptr,
+                       obs::FlightRecorder* flight = nullptr);
 
   WriteOutcome on_write(const BlockStore& store, std::uint64_t block_no,
                         std::span<const std::byte> data) override;
@@ -137,6 +141,7 @@ class FaultEngine final : public FaultInjector {
     obs::Counter* crashes = nullptr;
   };
   Metrics metrics_{};
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 /// Decorator form: wraps a caller-owned BlockStore by attaching a private

@@ -22,6 +22,7 @@
 namespace wafl::obs {
 
 class FlightRecorder;
+class Registry;
 
 /// Process-global recorder.
 FlightRecorder& flight_recorder();
@@ -31,6 +32,12 @@ class FlightRecorder {
   FlightRecorder() = default;
   FlightRecorder(const FlightRecorder&) = delete;
   FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Points mark()/dump() counter snapshots at `reg` instead of the
+  /// process-global registry (per-aggregate runtimes — wafl::RuntimeBundle
+  /// binds its recorder to its own registry).  Null reverts to the global.
+  /// Set before concurrent use; the binding itself is not synchronized.
+  void bind_registry(Registry* reg) noexcept { reg_ = reg; }
 
   /// Starts (or restarts) an observation window: snapshots every counter
   /// in the global registry and timestamps the mark.  dump() reports
@@ -51,6 +58,9 @@ class FlightRecorder {
   void clear();
 
  private:
+  /// The bound registry, or the process-global one.
+  Registry& source() const;
+
   struct Note {
     std::uint64_t t_ns;
     std::string tag;
@@ -58,6 +68,7 @@ class FlightRecorder {
     std::uint64_t detail;
   };
 
+  Registry* reg_ = nullptr;
   mutable std::mutex mu_;
   std::vector<Note> notes_;
   std::vector<std::pair<std::string, std::uint64_t>> baseline_;  // name{labels}

@@ -20,15 +20,17 @@ std::uint64_t sum_data_blocks(const AggregateConfig& cfg) {
 
 }  // namespace
 
-Aggregate::Aggregate(const AggregateConfig& cfg, std::uint64_t rng_seed)
+Aggregate::Aggregate(const AggregateConfig& cfg, std::uint64_t rng_seed,
+                     Runtime rt)
     : cfg_(cfg),
       rng_(rng_seed),
+      runtime_(std::move(rt)),
       total_blocks_(sum_data_blocks(cfg)),
       meta_store_(bitmap_blocks_for(sum_data_blocks(cfg))),
       topaa_store_(cfg.raid_groups.size() * TopAaFile::kRaidAgnosticBlocks),
       activemap_(sum_data_blocks(cfg), &meta_store_, 0),
       walloc_(cfg.policy, cfg.rg_skip_free_fraction, rng_, activemap_,
-              topaa_store_),
+              topaa_store_, &runtime_),
       owner_(sum_data_blocks(cfg), kNoOwner) {
   WAFL_ASSERT(!cfg.raid_groups.empty());
   Vbn base = 0;
@@ -61,7 +63,7 @@ std::uint64_t Aggregate::freeze_cp_generation() {
   // touches media, so recovery sees exactly the last completed CP.
   std::uint64_t folded = activemap_.metafile().freeze_dirty_generation();
   walloc_.freeze_generation();
-  WAFL_CRASH_POINT("cp.in_gen_swap");
+  WAFL_CRASH_POINT_RT(runtime_, "cp.in_gen_swap");
   for (const auto& vol : volumes_) {
     folded += vol->freeze_cp_generation();
   }
@@ -70,7 +72,8 @@ std::uint64_t Aggregate::freeze_cp_generation() {
 
 FlexVol& Aggregate::add_volume(const FlexVolConfig& vcfg) {
   const auto id = static_cast<VolumeId>(volumes_.size());
-  volumes_.push_back(std::make_unique<FlexVol>(id, vcfg, rng_.next()));
+  volumes_.push_back(
+      std::make_unique<FlexVol>(id, vcfg, rng_.next(), &runtime_));
   return *volumes_.back();
 }
 

@@ -45,7 +45,16 @@ struct AggregateConfig {
 
 class Aggregate {
  public:
-  Aggregate(const AggregateConfig& cfg, std::uint64_t rng_seed);
+  /// `rt` scopes everything the aggregate observes or executes on: its
+  /// metric registry (with the agg="<id>" label dimension), flight
+  /// recorder, crash hooks, phase profile, and worker pool.  The default
+  /// Runtime routes to the process-global singletons with no pool —
+  /// exactly the pre-Runtime behaviour.
+  Aggregate(const AggregateConfig& cfg, std::uint64_t rng_seed,
+            Runtime rt = {});
+
+  /// The runtime every layer under this aggregate routes through.
+  const Runtime& runtime() const noexcept { return runtime_; }
 
   // --- Volumes ---------------------------------------------------------------
   FlexVol& add_volume(const FlexVolConfig& cfg);
@@ -185,12 +194,12 @@ class Aggregate {
   }
 
   /// Allocates `n` physical VBNs in write order, appending to `out`.
-  /// With `pool`, the engine's execute phase fans out per RAID group;
-  /// results are bit-identical at any worker count (see write_allocator).
-  /// Returns false when the aggregate cannot supply them (out of space).
-  bool allocate_pvbns(std::uint64_t n, std::vector<Vbn>& out, CpStats& stats,
-                      ThreadPool* pool = nullptr) {
-    return walloc_.allocate(n, out, stats, pool);
+  /// With a pool in the runtime, the engine's execute phase fans out per
+  /// RAID group; results are bit-identical at any worker count (see
+  /// write_allocator).  Returns false when the aggregate cannot supply
+  /// them (out of space).
+  bool allocate_pvbns(std::uint64_t n, std::vector<Vbn>& out, CpStats& stats) {
+    return walloc_.allocate(n, out, stats);
   }
 
   /// Defers the free of a physical VBN to the CP boundary.
@@ -202,12 +211,11 @@ class Aggregate {
   /// The CP boundary: flushes open tetris windows, applies deferred frees
   /// (with device invalidation), folds score deltas into the caches,
   /// re-admits retired AAs, flushes the bitmap metafile, and persists
-  /// per-group TopAA blocks.  With a pool, the group-disjoint work fans
-  /// out across groups; results are bit-identical to the serial path (see
-  /// write_allocator.hpp for the determinism argument).
-  void finish_cp(CpStats& stats, ThreadPool* pool = nullptr) {
-    walloc_.finish_cp(stats, pool);
-  }
+  /// per-group TopAA blocks.  With a pool in the runtime, the
+  /// group-disjoint work fans out across groups; results are bit-identical
+  /// to the serial path (see write_allocator.hpp for the determinism
+  /// argument).
+  void finish_cp(CpStats& stats) { walloc_.finish_cp(stats); }
 
   // --- Mount (§3.4) --------------------------------------------------------------
 
@@ -217,10 +225,10 @@ class Aggregate {
   std::size_t mount_from_topaa() { return walloc_.mount_from_topaa(); }
 
   /// Reads the bitmap metafile back from the store and rebuilds all
-  /// scoreboards (and full heaps); parallelized across groups when a pool
-  /// is supplied.  This is both the no-TopAA mount path and the background
-  /// completion after a TopAA seed.
-  void scan_rebuild(ThreadPool* pool = nullptr) { walloc_.scan_rebuild(pool); }
+  /// scoreboards (and full heaps); parallelized across groups on the
+  /// runtime's pool.  This is both the no-TopAA mount path and the
+  /// background completion after a TopAA seed.
+  void scan_rebuild() { walloc_.scan_rebuild(); }
 
   /// Crash-recovery support: reloads the aggregate's bitmap metafile from
   /// its backing store without rebuilding any scoreboard or cache.  A
@@ -228,13 +236,13 @@ class Aggregate {
   /// see recover_mount in wafl/mount.hpp) needs its bits loaded before
   /// either mount path runs; volumes reload theirs via
   /// FlexVol::rebuild_scoreboard().
-  void load_activemap(ThreadPool* pool = nullptr) {
-    activemap_.metafile().load_all(pool);
-  }
+  void load_activemap() { activemap_.metafile().load_all(runtime_.pool()); }
 
  private:
   AggregateConfig cfg_;
   Rng rng_;
+  /// Declared before walloc_ and the volumes: they keep pointers into it.
+  Runtime runtime_;
   std::uint64_t total_blocks_ = 0;
 
   BlockStore meta_store_;

@@ -9,10 +9,11 @@
 namespace wafl {
 namespace {
 
-/// Handles for the CP-boundary metric fold, resolved once.  The hot
-/// allocation loop never touches the registry: per-block accounting rides
-/// on CpStats exactly as before, and this fold turns one CP's stats into
-/// one batch of counter adds.
+/// Handles for the CP-boundary metric fold, resolved per call against the
+/// aggregate runtime's registry (a CP is far too coarse for ~20 hash
+/// lookups to matter).  The hot allocation loop never touches the
+/// registry: per-block accounting rides on CpStats exactly as before, and
+/// this fold turns one CP's stats into one batch of counter adds.
 struct CpMetrics {
   obs::Counter& count;
   obs::Counter& ops;
@@ -41,33 +42,33 @@ struct CpMetrics {
   obs::LogHistogram& total_ns;
 };
 
-CpMetrics& cp_metrics() {
-  obs::Registry& r = obs::registry();
-  static CpMetrics m{
-      r.counter("wafl.cp.count"),
-      r.counter("wafl.cp.ops"),
-      r.counter("wafl.cp.blocks_written"),
-      r.counter("wafl.cp.blocks_freed"),
-      r.counter("wafl.cp.vol_meta_blocks"),
-      r.counter("wafl.cp.agg_meta_blocks"),
-      r.counter("wafl.cp.meta_flush_blocks"),
-      r.counter("wafl.cp.tetrises"),
-      r.counter("wafl.cp.full_stripes"),
-      r.counter("wafl.cp.partial_stripes"),
-      r.counter("wafl.cp.parity_read_blocks"),
-      r.counter("wafl.cp.write_chains"),
-      r.counter("wafl.vol.bits_scanned"),
-      r.counter("wafl.agg.bits_scanned"),
-      r.counter("wafl.hbps.replenishes"),
-      r.histogram("wafl.cp.storage_time_ns"),
-      r.histogram("wafl.cp.phase.sort_ns"),
-      r.histogram("wafl.cp.phase.alloc_ns"),
-      r.histogram("wafl.cp.phase.volumes_ns"),
-      r.histogram("wafl.cp.phase.delayed_free_ns"),
-      r.histogram("wafl.cp.phase.boundary_ns"),
-      r.histogram("wafl.cp.phase.total_ns"),
+CpMetrics cp_metrics(const Runtime& rt) {
+  obs::Registry& r = rt.registry();
+  const std::string l = rt.labels();
+  return CpMetrics{
+      r.counter("wafl.cp.count", l),
+      r.counter("wafl.cp.ops", l),
+      r.counter("wafl.cp.blocks_written", l),
+      r.counter("wafl.cp.blocks_freed", l),
+      r.counter("wafl.cp.vol_meta_blocks", l),
+      r.counter("wafl.cp.agg_meta_blocks", l),
+      r.counter("wafl.cp.meta_flush_blocks", l),
+      r.counter("wafl.cp.tetrises", l),
+      r.counter("wafl.cp.full_stripes", l),
+      r.counter("wafl.cp.partial_stripes", l),
+      r.counter("wafl.cp.parity_read_blocks", l),
+      r.counter("wafl.cp.write_chains", l),
+      r.counter("wafl.vol.bits_scanned", l),
+      r.counter("wafl.agg.bits_scanned", l),
+      r.counter("wafl.hbps.replenishes", l),
+      r.histogram("wafl.cp.storage_time_ns", l),
+      r.histogram("wafl.cp.phase.sort_ns", l),
+      r.histogram("wafl.cp.phase.alloc_ns", l),
+      r.histogram("wafl.cp.phase.volumes_ns", l),
+      r.histogram("wafl.cp.phase.delayed_free_ns", l),
+      r.histogram("wafl.cp.phase.boundary_ns", l),
+      r.histogram("wafl.cp.phase.total_ns", l),
   };
-  return m;
 }
 
 /// One volume's slice of the CP: vvbn allocation + remapping over a
@@ -109,8 +110,9 @@ ConsistencyPoint::Frozen ConsistencyPoint::freeze(
   obs::PhaseTimer phase_timer;
   frozen.start_ns = obs::monotonic_ns();
   WAFL_OBS({
-    cp_metrics().count.inc();
-    frozen.cp_no = static_cast<std::uint32_t>(cp_metrics().count.value());
+    obs::Counter& count = cp_metrics(agg.runtime()).count;
+    count.inc();
+    frozen.cp_no = static_cast<std::uint32_t>(count.value());
     obs::trace().emit(obs::EventType::kCpBegin, frozen.cp_no, dirty.size());
   });
   obs::TraceSpan freeze_span(obs::SpanKind::kCpFreeze, frozen.cp_no,
@@ -130,13 +132,13 @@ ConsistencyPoint::Frozen ConsistencyPoint::freeze(
                      return a.vol < b.vol;
                    });
   sort_span.end();
-  WAFL_OBS(cp_metrics().phase_sort_ns.record(
-      static_cast<double>(phase_timer.lap())));
+  WAFL_OBS(cp_metrics(agg.runtime())
+               .phase_sort_ns.record(static_cast<double>(phase_timer.lap())));
   return frozen;
 }
 
-CpStats ConsistencyPoint::drain(Aggregate& agg, Frozen&& frozen,
-                                ThreadPool* pool) {
+CpStats ConsistencyPoint::drain(Aggregate& agg, Frozen&& frozen) {
+  ThreadPool* pool = agg.runtime().pool();
   CpStats stats;
   obs::PhaseTimer phase_timer;
   const std::uint64_t cp_start_ns = frozen.start_ns;
@@ -151,12 +153,12 @@ CpStats ConsistencyPoint::drain(Aggregate& agg, Frozen&& frozen,
   obs::TraceSpan alloc_span(obs::SpanKind::kCpAlloc, 0, sorted.size());
   std::vector<Vbn> pvbns;
   pvbns.reserve(sorted.size());
-  const bool ok = agg.allocate_pvbns(sorted.size(), pvbns, stats, pool);
+  const bool ok = agg.allocate_pvbns(sorted.size(), pvbns, stats);
   WAFL_ASSERT_MSG(ok, "aggregate out of space during CP");
   alloc_span.set_b(pvbns.size());
   alloc_span.end();
-  WAFL_OBS(cp_metrics().phase_alloc_ns.record(
-      static_cast<double>(phase_timer.lap())));
+  WAFL_OBS(cp_metrics(agg.runtime())
+               .phase_alloc_ns.record(static_cast<double>(phase_timer.lap())));
 
   // Phase 2: per-volume virtual allocation and remapping — parallel
   // across volumes when a pool is supplied [10].
@@ -188,8 +190,9 @@ CpStats ConsistencyPoint::drain(Aggregate& agg, Frozen&& frozen,
   }
   volumes_span.set_b(slices.size());
   volumes_span.end();
-  WAFL_OBS(cp_metrics().phase_volumes_ns.record(
-      static_cast<double>(phase_timer.lap())));
+  WAFL_OBS(cp_metrics(agg.runtime())
+               .phase_volumes_ns.record(
+                   static_cast<double>(phase_timer.lap())));
 
   // Phase 2b: reclaim a bounded slice of any pending delayed frees
   // (snapshot-deletion debt) — richest regions first, a few regions per
@@ -206,8 +209,9 @@ CpStats ConsistencyPoint::drain(Aggregate& agg, Frozen&& frozen,
   }
   delayed_span.set_b(reclaimed_pvbns.size());
   delayed_span.end();
-  WAFL_OBS(cp_metrics().phase_delayed_free_ns.record(
-      static_cast<double>(phase_timer.lap())));
+  WAFL_OBS(cp_metrics(agg.runtime())
+               .phase_delayed_free_ns.record(
+                   static_cast<double>(phase_timer.lap())));
 
   // Phase 3: the CP boundary — apply frees, rebalance caches, flush
   // metafiles, persist TopAA, account device time.  The aggregate side
@@ -217,19 +221,19 @@ CpStats ConsistencyPoint::drain(Aggregate& agg, Frozen&& frozen,
     // nth selects the gap: a crash here leaves volumes [0, nth) flushed
     // with their TopAA committed, and the rest — plus the whole aggregate
     // side — at the previous CP.
-    WAFL_CRASH_POINT("cp.before_volume_finish");
+    WAFL_CRASH_POINT_RT(agg.runtime(), "cp.before_volume_finish");
     obs::TraceSpan vol_finish_span(obs::SpanKind::kCpVolFinish, v);
     agg.volume(v).finish_cp(stats);
   }
-  WAFL_CRASH_POINT("cp.before_agg_finish");
+  WAFL_CRASH_POINT_RT(agg.runtime(), "cp.before_agg_finish");
   obs::TraceSpan agg_finish_span(obs::SpanKind::kCpAggFinish);
-  agg.finish_cp(stats, pool);
+  agg.finish_cp(stats);
   agg_finish_span.end();
 
   // Fold this CP's stats into the global registry (one batch of adds per
   // CP) and close out the trace.
   WAFL_OBS({
-    CpMetrics& m = cp_metrics();
+    CpMetrics m = cp_metrics(agg.runtime());
     m.phase_boundary_ns.record(static_cast<double>(phase_timer.lap()));
     const std::uint64_t dur_ns = obs::monotonic_ns() - cp_start_ns;
     m.total_ns.record(static_cast<double>(dur_ns));
@@ -254,12 +258,11 @@ CpStats ConsistencyPoint::drain(Aggregate& agg, Frozen&& frozen,
 }
 
 CpStats ConsistencyPoint::run(Aggregate& agg,
-                              std::span<const DirtyBlock> dirty,
-                              ThreadPool* pool) {
+                              std::span<const DirtyBlock> dirty) {
   obs::TraceSpan cp_span(obs::SpanKind::kCp, 0, dirty.size());
   Frozen frozen = freeze(agg, dirty);
   cp_span.set_a(frozen.cp_no);
-  return drain(agg, std::move(frozen), pool);
+  return drain(agg, std::move(frozen));
 }
 
 }  // namespace wafl

@@ -58,18 +58,18 @@ class ConsistencyPoint {
 
   /// The phased CP work over a frozen generation: physical allocation,
   /// per-volume remap, delayed-free reclaim, and the boundary.  Under the
-  /// OverlappedCpDriver this runs on a drain thread while intake fills
+  /// OverlappedCpDriver this runs on a drain executor while intake fills
   /// the next active generation; it is the ONLY mutator of the aggregate
-  /// while in flight.
-  static CpStats drain(Aggregate& agg, Frozen&& frozen,
-                       ThreadPool* pool = nullptr);
+  /// while in flight.  Fan-out rides the aggregate runtime's pool.
+  static CpStats drain(Aggregate& agg, Frozen&& frozen);
 
   /// Runs one stop-the-world CP over `dirty` (already coalesced: at most
   /// one entry per (vol, logical) pair): freeze() + drain() back to back.
   /// Returns the CP's counters; `ops` is left 0 for the caller to fill
   /// (the CP does not know how blocks group into client operations).
   ///
-  /// With a thread pool, every substantial CP phase now shards — the
+  /// With a thread pool in the aggregate's runtime, every substantial CP
+  /// phase now shards — the
   /// direction of the paper's companion work, "Scalable Write Allocation
   /// in the WAFL File System" [10].  The per-volume phase (virtual VBN
   /// allocation and remapping) runs in parallel across volumes, which own
@@ -84,8 +84,7 @@ class ConsistencyPoint {
   /// WriteAllocator::finish_cp; only the shared summary merges and stats
   /// folds remain serial.  The result is bit-identical to the serial path
   /// at any worker count.
-  static CpStats run(Aggregate& agg, std::span<const DirtyBlock> dirty,
-                     ThreadPool* pool = nullptr);
+  static CpStats run(Aggregate& agg, std::span<const DirtyBlock> dirty);
 };
 
 }  // namespace wafl

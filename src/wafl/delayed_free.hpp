@@ -33,6 +33,12 @@ class DelayedFreeLog {
   explicit DelayedFreeLog(std::uint64_t total_blocks,
                           std::uint32_t region_blocks = kBitsPerBitmapBlock);
 
+  /// Pass-through to the internal HBPS: routes its rebin counting to the
+  /// owner's runtime-scoped "wafl.hbps.rebins" handle (null: uncounted).
+  void bind_rebin_counter(obs::Counter* c) noexcept {
+    hbps_.bind_rebin_counter(c);
+  }
+
   std::uint32_t region_count() const noexcept {
     return static_cast<std::uint32_t>(pending_.size());
   }

@@ -1,0 +1,186 @@
+#include "wafl/fleet.hpp"
+
+#include <chrono>
+#include <span>
+#include <thread>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wafl {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_store(std::uint64_t& h, const BlockStore& store) {
+  BlockStore::Block block;
+  for (std::uint64_t b = 0; b < store.capacity_blocks(); ++b) {
+    if (!store.is_materialized(b)) continue;
+    store.peek(b, block);
+    fnv_bytes(h, &b, sizeof(b));
+    fnv_bytes(h, block.data(), block.size());
+  }
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+/// Content-keyed shard for a dirty block: a fixed hash of (vol, logical),
+/// so the per-shard intake sequences — and therefore the frozen batch —
+/// are invariant across writer scheduling, shard counts aside.
+std::size_t shard_of(VolumeId vol, std::uint64_t logical,
+                     std::size_t shards) {
+  std::uint64_t h = kFnvOffset;
+  fnv_bytes(h, &vol, sizeof(vol));
+  fnv_bytes(h, &logical, sizeof(logical));
+  return static_cast<std::size_t>(h % shards);
+}
+
+}  // namespace
+
+std::uint64_t media_digest(Aggregate& agg) {
+  std::uint64_t h = kFnvOffset;
+  fnv_store(h, agg.meta_store());
+  fnv_store(h, agg.topaa_store());
+  for (VolumeId v = 0; v < agg.volume_count(); ++v) {
+    fnv_store(h, agg.volume(v).store());
+  }
+  return h;
+}
+
+FleetMember::FleetMember(FleetMemberConfig cfg, ThreadPool* pool,
+                         DrainExecutor* exec)
+    : cfg_(std::move(cfg)),
+      bundle_(std::make_unique<RuntimeBundle>(cfg_.id)) {
+  agg_ = std::make_unique<Aggregate>(cfg_.agg, cfg_.rng_seed,
+                                     bundle_->runtime(pool, exec));
+  for (const FlexVolConfig& vol : cfg_.volumes) {
+    agg_->add_volume(vol);
+  }
+}
+
+OverlapStats FleetMember::run_workload() {
+  OverlappedCpDriver driver(*agg_, cfg_.overlap);
+  const std::size_t shards = driver.intake_shards();
+  const std::size_t vols = agg_->volume_count();
+  Rng rng(cfg_.workload_seed);
+  std::vector<std::vector<DirtyBlock>> batches(shards);
+  for (std::uint64_t cp = 0; cp < cfg_.cps; ++cp) {
+    for (auto& b : batches) b.clear();
+    for (std::uint64_t i = 0; i < cfg_.blocks_per_cp; ++i) {
+      const auto vol = static_cast<VolumeId>(rng.below(vols));
+      const std::uint64_t logical =
+          rng.below(agg_->volume(vol).file_blocks());
+      batches[shard_of(vol, logical, shards)].push_back({vol, logical});
+    }
+    // Shard-id submission order; with one submitter per member this also
+    // fixes each shard's internal sequence, so the freeze fold sees one
+    // canonical batch however the neighbours were scheduled.
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (batches[s].empty()) continue;
+      driver.submit_to_shard(s, std::span<const DirtyBlock>(batches[s]));
+    }
+    driver.start_cp();
+  }
+  driver.wait_idle();
+  return driver.stats();
+}
+
+FleetMemberResult FleetMember::result(const OverlapStats& stats,
+                                      double wall_seconds) const {
+  FleetMemberResult r;
+  r.id = cfg_.id;
+  r.stats = stats;
+  r.media_digest = ::wafl::media_digest(*agg_);
+  if constexpr (obs::kEnabled) {
+    r.metrics_json = obs::to_json(bundle_->registry);
+  }
+  r.wall_seconds = wall_seconds;
+  return r;
+}
+
+FleetResult run_fleet(const std::vector<FleetMemberConfig>& configs,
+                      ThreadPool* pool, std::size_t drain_threads) {
+  FleetResult result;
+  DrainExecutor exec(drain_threads == 0 ? 1 : drain_threads);
+  std::vector<std::unique_ptr<FleetMember>> members;
+  members.reserve(configs.size());
+  for (const FleetMemberConfig& cfg : configs) {
+    members.push_back(std::make_unique<FleetMember>(cfg, pool, &exec));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<OverlapStats> stats(members.size());
+  std::vector<double> walls(members.size(), 0.0);
+  std::vector<std::thread> submitters;
+  submitters.reserve(members.size());
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    submitters.emplace_back([&, m] {
+      const auto m0 = std::chrono::steady_clock::now();
+      stats[m] = members[m]->run_workload();
+      walls[m] = seconds_since(m0);
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  result.wall_seconds = seconds_since(t0);
+
+  result.members.reserve(members.size());
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    result.members.push_back(members[m]->result(stats[m], walls[m]));
+  }
+  return result;
+}
+
+FleetMemberResult run_solo(const FleetMemberConfig& cfg, ThreadPool* pool) {
+  FleetMember member(cfg, pool, nullptr);
+  const auto t0 = std::chrono::steady_clock::now();
+  const OverlapStats stats = member.run_workload();
+  return member.result(stats, seconds_since(t0));
+}
+
+RaidGroupConfig fleet_hdd_group(std::uint64_t device_blocks) {
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = device_blocks;
+  rg.media.type = MediaType::kHdd;
+  rg.aa_stripes = 4096;
+  return rg;
+}
+
+RaidGroupConfig fleet_ssd_group(std::uint64_t device_blocks) {
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = device_blocks;
+  rg.media.type = MediaType::kSsd;
+  rg.media.ssd.pages_per_erase_block = 1024;
+  rg.aa_stripes = 2048;
+  return rg;
+}
+
+RaidGroupConfig fleet_smr_group(std::uint64_t device_blocks) {
+  RaidGroupConfig rg;
+  rg.data_devices = 4;
+  rg.parity_devices = 1;
+  rg.device_blocks = device_blocks;
+  rg.media.type = MediaType::kSmr;
+  rg.media.azcs = true;
+  rg.aa_stripes = 2048;
+  return rg;
+}
+
+}  // namespace wafl

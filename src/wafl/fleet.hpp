@@ -1,0 +1,121 @@
+// Multi-aggregate fleet driver (DESIGN.md §16).
+//
+// One process, N aggregates: each fleet member owns a RuntimeBundle (its
+// own metric registry scope, flight recorder, crash hooks and phase
+// profile) and an Aggregate wired to it, while ALL members share one
+// ThreadPool for CP fan-out and one capped DrainExecutor for overlapped
+// drains.  A member's workload is a scripted, seeded stream pushed
+// through an OverlappedCpDriver with content-keyed shard routing — so the
+// dirty sequence each CP freezes is a pure function of the member's
+// config, never of scheduling.  That gives the fleet its determinism
+// oracle: a member's media after a fleet run is byte-identical to the
+// same member run alone (run_solo), at any pool size, with any
+// neighbours.  tests/wafl/test_fleet.cpp enforces it; bench/fleet_driver
+// reports fleet throughput, per-CP gap and drain contention.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wafl/aggregate.hpp"
+#include "wafl/overlapped_cp.hpp"
+#include "wafl/runtime.hpp"
+
+namespace wafl {
+
+/// One member: its aggregate shape plus its scripted workload.
+struct FleetMemberConfig {
+  /// Becomes the runtime's agg_id — the `agg="<id>"` label dimension and
+  /// the key of the per-member metrics snapshot.
+  std::string id;
+  AggregateConfig agg;
+  std::vector<FlexVolConfig> volumes;
+  /// Aggregate construction seed (volume seeds derive from it).
+  std::uint64_t rng_seed = 1;
+
+  /// Scripted workload: `cps` rounds of `blocks_per_cp` seeded dirty
+  /// blocks, each round frozen and drained through the overlapped driver.
+  std::uint64_t cps = 4;
+  std::uint64_t blocks_per_cp = 8192;
+  std::uint64_t workload_seed = 1;
+  OverlappedCpConfig overlap{};
+};
+
+/// What one member's run produced.
+struct FleetMemberResult {
+  std::string id;
+  OverlapStats stats;
+  /// FNV-1a over every materialized block of every store the aggregate
+  /// owns (media_digest below) — the determinism oracle's operand.
+  std::uint64_t media_digest = 0;
+  /// JSON snapshot of the member's own registry (empty with obs off).
+  std::string metrics_json;
+  double wall_seconds = 0.0;
+};
+
+struct FleetResult {
+  std::vector<FleetMemberResult> members;
+  double wall_seconds = 0.0;
+};
+
+/// FNV-1a (64-bit) over (block_no, payload) of every materialized block,
+/// stores in fixed order: bitmap metafile, TopAA, then each volume's
+/// store.  Uses peek — counter-free, injector-free: the bytes the media
+/// really holds.
+std::uint64_t media_digest(Aggregate& agg);
+
+/// One aggregate + its owned runtime services, runnable standalone.  The
+/// shared handles (`pool`, `exec`) may be null: null pool runs CP fan-out
+/// serially, null exec gives the driver a lazily owned single-thread
+/// executor — both are the bit-identical fallbacks the determinism oracle
+/// relies on.
+class FleetMember {
+ public:
+  FleetMember(FleetMemberConfig cfg, ThreadPool* pool, DrainExecutor* exec);
+
+  Aggregate& aggregate() { return *agg_; }
+  RuntimeBundle& bundle() { return *bundle_; }
+  const FleetMemberConfig& config() const noexcept { return cfg_; }
+
+  /// Runs the scripted workload to completion on the calling thread:
+  /// `cps` rounds of seeded intake (content-keyed submit_to_shard
+  /// routing, invariant across shard scheduling) each followed by
+  /// start_cp(); drains overlap the next round's intake.  Returns the
+  /// driver's stats.
+  OverlapStats run_workload();
+
+  /// Result snapshot (digest + per-member registry JSON) after a run.
+  FleetMemberResult result(const OverlapStats& stats,
+                           double wall_seconds) const;
+
+ private:
+  FleetMemberConfig cfg_;
+  /// Declared before agg_: the aggregate's Runtime points into it.
+  std::unique_ptr<RuntimeBundle> bundle_;
+  std::unique_ptr<Aggregate> agg_;
+};
+
+/// Runs every member's workload concurrently — one submitter thread per
+/// member — over one shared pool and one capped drain executor
+/// (`drain_threads` dedicated threads for the whole fleet).  Members are
+/// fully isolated (own registry, hooks, media); only execution is shared.
+FleetResult run_fleet(const std::vector<FleetMemberConfig>& configs,
+                      ThreadPool* pool, std::size_t drain_threads = 2);
+
+/// Runs one member's workload alone: no shared pool (serial fan-out), a
+/// lazily owned drain executor.  The oracle baseline — a fleet run of the
+/// same config must produce a byte-identical media digest.
+FleetMemberResult run_solo(const FleetMemberConfig& cfg,
+                           ThreadPool* pool);
+
+// --- Geometry presets (the mixed-media fleet shapes §4 evaluates) --------
+/// 4+1 HDD group, the historical 4096-stripe AA default (§3.2.1).
+RaidGroupConfig fleet_hdd_group(std::uint64_t device_blocks);
+/// 4+1 SSD group (block-mapped FTL), erase-block-aligned AAs (§3.2.2).
+RaidGroupConfig fleet_ssd_group(std::uint64_t device_blocks);
+/// 4+1 SMR group under AZCS zone checksums (§3.2.4).
+RaidGroupConfig fleet_smr_group(std::uint64_t device_blocks);
+
+}  // namespace wafl

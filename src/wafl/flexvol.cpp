@@ -33,8 +33,10 @@ AaId pick_random_nonempty_aa(const AaScoreBoard& board, Rng& rng,
   return kInvalidAaId;
 }
 
-FlexVol::FlexVol(VolumeId id, const FlexVolConfig& cfg, std::uint64_t rng_seed)
-    : id_(id),
+FlexVol::FlexVol(VolumeId id, const FlexVolConfig& cfg, std::uint64_t rng_seed,
+                 const Runtime* rt)
+    : rt_(rt != nullptr ? rt : &process_runtime()),
+      id_(id),
       cfg_(cfg),
       rng_(rng_seed),
       store_(bitmap_blocks_for(cfg.vvbn_blocks) +
@@ -57,12 +59,14 @@ FlexVol::FlexVol(VolumeId id, const FlexVolConfig& cfg, std::uint64_t rng_seed)
     cache_.build(board_);
   }
   resolve_metrics();
+  bind_cache_counters();
 }
 
 void FlexVol::resolve_metrics() {
   WAFL_OBS({
-    obs::Registry& reg = obs::registry();
-    const std::string vol = "vol=\"" + std::to_string(id_) + "\"";
+    obs::Registry& reg = rt_->registry();
+    const std::string vol =
+        rt_->labels("vol=\"" + std::to_string(id_) + "\"");
     metrics_.checkouts = &reg.counter("wafl.vol.aa_checkouts", vol);
     metrics_.checkout_free_frac = &reg.linear_histogram(
         "wafl.vol.aa_checkout_free_frac", 0.0, 1.0, 64, vol);
@@ -70,7 +74,15 @@ void FlexVol::resolve_metrics() {
     metrics_.scoreboard_changed =
         &reg.counter("wafl.scoreboard.cp_changed_aas", vol);
     metrics_.hbps_replenishes = &reg.counter("wafl.hbps.replenishes", vol);
+    // Aggregate-wide (vol-unlabelled): the cache structures tick this
+    // directly; every volume in a runtime shares the handle.
+    metrics_.hbps_rebins = &reg.counter("wafl.hbps.rebins", rt_->labels());
   });
+}
+
+void FlexVol::bind_cache_counters() {
+  cache_.bind_rebin_counter(metrics_.hbps_rebins);
+  delayed_.bind_rebin_counter(metrics_.hbps_rebins);
 }
 
 bool FlexVol::ensure_cursor(CpStats& stats) {
@@ -336,20 +348,23 @@ void FlexVol::finish_cp(CpStats& stats) {
   }
 }
 
-bool FlexVol::mount_from_topaa(ThreadPool* pool) {
+bool FlexVol::mount_from_topaa() {
   TopAaFile topaa(store_, topaa_base_);
   auto loaded = topaa.load_raid_agnostic();
   if (!loaded.has_value()) {
-    scan_rebuild(pool);
+    scan_rebuild();
     return false;
   }
+  // The loaded image arrives with no counter binding; restore ours.
   cache_ = std::move(*loaded);
+  bind_cache_counters();
   cursor_aa_ = kInvalidAaId;
   retired_.clear();
   return true;
 }
 
-void FlexVol::rebuild_scoreboard(ThreadPool* pool) {
+void FlexVol::rebuild_scoreboard() {
+  ThreadPool* pool = rt_->pool();
   // Linear walk of the bitmap metafile (§3.4): read every block back from
   // the store, then recompute per-AA scores — as one pipelined pass that
   // overlaps the block reads with the scoring (serial below the cutover
@@ -360,13 +375,14 @@ void FlexVol::rebuild_scoreboard(ThreadPool* pool) {
   board_ = AaScoreBoard(layout_, std::move(scores));
 }
 
-void FlexVol::scan_rebuild(ThreadPool* pool) {
-  rebuild_scoreboard(pool);
+void FlexVol::scan_rebuild() {
+  rebuild_scoreboard();
   cursor_aa_ = kInvalidAaId;
   retired_.clear();
   if (cfg_.policy == AaSelectPolicy::kCache) {
     const auto t0 = std::chrono::steady_clock::now();
     cache_ = Hbps(cache_.config());
+    bind_cache_counters();
     cache_.build(board_);
     scan_profile().build_ns.fetch_add(
         static_cast<std::uint64_t>(

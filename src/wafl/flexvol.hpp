@@ -30,6 +30,7 @@
 #include "wafl/aa_select.hpp"
 #include "wafl/cp_stats.hpp"
 #include "wafl/delayed_free.hpp"
+#include "wafl/runtime.hpp"
 
 namespace wafl {
 
@@ -48,7 +49,10 @@ struct FlexVolConfig {
 
 class FlexVol {
  public:
-  FlexVol(VolumeId id, const FlexVolConfig& cfg, std::uint64_t rng_seed);
+  /// `rt` scopes the volume's metric handles and mount-scan pool; the
+  /// owning Aggregate passes its own runtime (null: process default).
+  FlexVol(VolumeId id, const FlexVolConfig& cfg, std::uint64_t rng_seed,
+          const Runtime* rt = nullptr);
 
   VolumeId id() const noexcept { return id_; }
   const FlexVolConfig& config() const noexcept { return cfg_; }
@@ -141,19 +145,20 @@ class FlexVol {
   /// the first CP after mount.  Reads only the two TopAA blocks.  Returns
   /// false (after falling back to scan_rebuild) when the metafile is
   /// missing or damaged.  A damaged-TopAA fallback scan fans out per AA
-  /// on `pool` (pipelined metafile walk); results are pool-independent.
-  bool mount_from_topaa(ThreadPool* pool = nullptr);
+  /// on the runtime's pool (pipelined metafile walk); results are
+  /// pool-independent.
+  bool mount_from_topaa();
 
   /// Restores the scoreboard by reading the bitmap metafile back from the
   /// store.  After a TopAA mount this runs in the background while the
-  /// seeded cache already serves the allocator (§3.4).  With `pool` the
-  /// walk + scoring run as the pipelined per-AA scan; byte-identical to
-  /// the serial path at any worker count.
-  void rebuild_scoreboard(ThreadPool* pool = nullptr);
+  /// seeded cache already serves the allocator (§3.4).  With a pool in
+  /// the runtime the walk + scoring run as the pipelined per-AA scan;
+  /// byte-identical to the serial path at any worker count.
+  void rebuild_scoreboard();
 
   /// Full (slow) rebuild: rebuild_scoreboard() plus a from-scratch cache
   /// build — the path taken when no TopAA metafile is usable.
-  void scan_rebuild(ThreadPool* pool = nullptr);
+  void scan_rebuild();
 
   // --- Introspection ---------------------------------------------------------
   const Activemap& activemap() const noexcept { return activemap_; }
@@ -176,6 +181,7 @@ class FlexVol {
   bool ensure_cursor(CpStats& stats);
   void retire_cursor();
 
+  const Runtime* rt_;
   VolumeId id_;
   FlexVolConfig cfg_;
   Rng rng_;
@@ -216,8 +222,13 @@ class FlexVol {
     obs::Counter* putbacks = nullptr;
     obs::Counter* scoreboard_changed = nullptr;
     obs::Counter* hbps_replenishes = nullptr;
+    /// Bound into cache_ and delayed_ (core never sees the registry).
+    obs::Counter* hbps_rebins = nullptr;
   };
   void resolve_metrics();
+  /// (Re)binds the HBPS rebin counters — after construction and whenever
+  /// cache_ is replaced wholesale (TopAA load, scan rebuild).
+  void bind_cache_counters();
   Metrics metrics_{};
 };
 

@@ -107,8 +107,10 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-IronReport iron_check_topaa(Aggregate& agg, ThreadPool* pool) {
+IronReport iron_check_topaa(Aggregate& agg) {
   IronReport report;
+  const Runtime& rt = agg.runtime();
+  ThreadPool* pool = rt.pool();
   obs::TraceSpan span(obs::SpanKind::kIronCheck);
 
   // Units in fixed id order: groups, then volumes.  This order is the
@@ -174,7 +176,7 @@ IronReport iron_check_topaa(Aggregate& agg, ThreadPool* pool) {
     }
     // Fires whatever the verdict: a crash here loses only staged,
     // never-written state, at any point of the fan-out.
-    WAFL_CRASH_POINT("iron.in_parallel_verify");
+    WAFL_CRASH_POINT_RT(rt, "iron.in_parallel_verify");
   };
   if (pool != nullptr && pool->thread_count() > 0 && units.size() > 1) {
     pool->parallel_for_dynamic(0, units.size(), verify_one);
@@ -203,7 +205,7 @@ IronReport iron_check_topaa(Aggregate& agg, ThreadPool* pool) {
   for (RepairUnit& u : units) {
     // Fires per unit even when clean, so a crash can land between any
     // two applies — including before the first and after the last.
-    WAFL_CRASH_POINT("iron.in_repair_apply");
+    WAFL_CRASH_POINT_RT(rt, "iron.in_repair_apply");
     if (!u.rewrite) continue;
     if (!u.is_vol) {
       TopAaFile file(agg.topaa_store(), agg.rg_topaa_block(u.rg));
@@ -223,13 +225,14 @@ IronReport iron_check_topaa(Aggregate& agg, ThreadPool* pool) {
   report.apply_ms = ms_since(t_apply);
 
   WAFL_OBS({
-    obs::Registry& reg = obs::registry();
-    reg.counter("wafl.iron.runs").inc();
-    reg.counter("wafl.iron.rg_unreadable").add(report.rg_unreadable);
-    reg.counter("wafl.iron.rg_stale").add(report.rg_stale);
-    reg.counter("wafl.iron.vol_unreadable").add(report.vol_unreadable);
-    reg.counter("wafl.iron.vol_stale").add(report.vol_stale);
-    reg.counter("wafl.iron.rewrites")
+    obs::Registry& reg = rt.registry();
+    const std::string l = rt.labels();
+    reg.counter("wafl.iron.runs", l).inc();
+    reg.counter("wafl.iron.rg_unreadable", l).add(report.rg_unreadable);
+    reg.counter("wafl.iron.rg_stale", l).add(report.rg_stale);
+    reg.counter("wafl.iron.vol_unreadable", l).add(report.vol_unreadable);
+    reg.counter("wafl.iron.vol_stale", l).add(report.vol_stale);
+    reg.counter("wafl.iron.rewrites", l)
         .add(report.rg_rewritten + report.vol_rewritten);
   });
   span.set_b(report.rg_rewritten + report.vol_rewritten);

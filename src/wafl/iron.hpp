@@ -52,7 +52,8 @@ struct IronReport {
 ///
 /// Structured as plan/execute/merge (the PR-5 allocator discipline,
 /// applied to repair): a per-unit (RAID group / volume) read+verify
-/// fan-out on `pool` that STAGES repair images without writing, a serial
+/// fan-out on the aggregate runtime's pool that STAGES repair images
+/// without writing, a serial
 /// counter fold, then a serial apply that writes the staged images in
 /// fixed unit order.  Verdicts and staged images are pure functions of
 /// the media, every store slot keeps exactly one writer, and the writes
@@ -62,6 +63,6 @@ struct IronReport {
 /// repairs that a re-run completes idempotently (TopAA is a pure cache).
 /// Crash hooks: "iron.in_parallel_verify" (once per unit, inside the
 /// fan-out), "iron.in_repair_apply" (once per unit, serial apply order).
-IronReport iron_check_topaa(Aggregate& agg, ThreadPool* pool = nullptr);
+IronReport iron_check_topaa(Aggregate& agg);
 
 }  // namespace wafl

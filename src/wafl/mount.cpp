@@ -43,49 +43,53 @@ void for_each_volume(Aggregate& agg, ThreadPool* pool,
 
 }  // namespace
 
-MountReport mount_all(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
+MountReport mount_all(Aggregate& agg, bool use_topaa) {
   MountReport report;
   report.used_topaa = use_topaa;
+  const Runtime& rt = agg.runtime();
+  ThreadPool* pool = rt.pool();
   obs::TraceSpan mount_span(obs::SpanKind::kMount, use_topaa ? 1 : 0);
 
   const std::uint64_t reads0 = total_reads(agg);
   const auto t0 = std::chrono::steady_clock::now();
 
-  WAFL_CRASH_POINT("mount.begin");
+  WAFL_CRASH_POINT_RT(rt, "mount.begin");
   if (use_topaa) {
     report.rgs_seeded = agg.mount_from_topaa();
     for (VolumeId v = 0; v < agg.volume_count(); ++v) {
-      WAFL_CRASH_POINT("mount.before_vol_seed");
+      WAFL_CRASH_POINT_RT(rt, "mount.before_vol_seed");
       obs::TraceSpan seed_span(obs::SpanKind::kMountVolSeed, v);
       // The damaged-volume fallback scan inside mount_from_topaa fans
-      // out per AA on the pool (results are pool-independent); the
-      // volume loop itself stays serial so the per-volume crash hook
+      // out per AA on the runtime's pool (results are pool-independent);
+      // the volume loop itself stays serial so the per-volume crash hook
       // keeps its replay-exact firing order.
-      if (agg.volume(v).mount_from_topaa(pool)) {
+      if (agg.volume(v).mount_from_topaa()) {
         ++report.vols_seeded;
       }
     }
   } else {
-    WAFL_CRASH_POINT("mount.before_scan");
-    agg.scan_rebuild(pool);
+    WAFL_CRASH_POINT_RT(rt, "mount.before_scan");
+    agg.scan_rebuild();
     // Two levels of fan-out: volumes in parallel, and each volume's scan
     // fans out per AA on the same pool.  The nested submission is safe
     // because each volume's seeder (the task running the volume) steals
     // read work when no pool worker picks up its readers — see
     // core/scan_pipeline.hpp.
     for_each_volume(agg, pool,
-                    [&](VolumeId v) { agg.volume(v).scan_rebuild(pool); });
+                    [&](VolumeId v) { agg.volume(v).scan_rebuild(); });
   }
 
   report.gate_cpu_seconds = seconds_since(t0);
   report.gate_block_reads = total_reads(agg) - reads0;
 
   WAFL_OBS({
-    obs::Registry& reg = obs::registry();
-    reg.counter("wafl.mount.count").inc();
-    reg.counter("wafl.mount.rgs_seeded").add(report.rgs_seeded);
-    reg.counter("wafl.mount.vols_seeded").add(report.vols_seeded);
-    reg.counter("wafl.mount.gate_block_reads").add(report.gate_block_reads);
+    obs::Registry& reg = rt.registry();
+    const std::string l = rt.labels();
+    reg.counter("wafl.mount.count", l).inc();
+    reg.counter("wafl.mount.rgs_seeded", l).add(report.rgs_seeded);
+    reg.counter("wafl.mount.vols_seeded", l).add(report.vols_seeded);
+    reg.counter("wafl.mount.gate_block_reads", l)
+        .add(report.gate_block_reads);
     obs::trace().emit(obs::EventType::kTopAaMount,
                       report.used_topaa ? 1u : 0u, report.rgs_seeded,
                       report.vols_seeded, report.gate_block_reads);
@@ -93,25 +97,25 @@ MountReport mount_all(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
   return report;
 }
 
-std::uint64_t complete_background(Aggregate& agg, ThreadPool* pool) {
+std::uint64_t complete_background(Aggregate& agg) {
   const std::uint64_t reads0 = total_reads(agg);
-  agg.scan_rebuild(pool);
-  for_each_volume(agg, pool,
-                  [&](VolumeId v) { agg.volume(v).scan_rebuild(pool); });
+  agg.scan_rebuild();
+  for_each_volume(agg, agg.runtime().pool(),
+                  [&](VolumeId v) { agg.volume(v).scan_rebuild(); });
   return total_reads(agg) - reads0;
 }
 
-MountReport recover_mount(Aggregate& agg, bool use_topaa, ThreadPool* pool) {
-  WAFL_CRASH_POINT("recover.begin");
+MountReport recover_mount(Aggregate& agg, bool use_topaa) {
+  WAFL_CRASH_POINT_RT(agg.runtime(), "recover.begin");
   // Ground truth first: a reconstructed aggregate's in-memory bitmaps are
   // all-free until loaded, and every recovery decision — TopAA fallback
   // scans, Iron recomputation, the next CP's allocations — reads them.
   obs::TraceSpan load_span(obs::SpanKind::kRecoverLoad);
-  agg.load_activemap(pool);
-  for_each_volume(agg, pool,
-                  [&](VolumeId v) { agg.volume(v).rebuild_scoreboard(pool); });
+  agg.load_activemap();
+  for_each_volume(agg, agg.runtime().pool(),
+                  [&](VolumeId v) { agg.volume(v).rebuild_scoreboard(); });
   load_span.end();
-  return mount_all(agg, use_topaa, pool);
+  return mount_all(agg, use_topaa);
 }
 
 }  // namespace wafl

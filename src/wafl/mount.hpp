@@ -40,15 +40,14 @@ struct MountReport {
 };
 
 /// Brings every AA cache in the aggregate (and its FlexVols) to an
-/// operational state via the requested path.  The pool, when given,
-/// parallelizes the scan path's bitmap walks.
-MountReport mount_all(Aggregate& agg, bool use_topaa,
-                      ThreadPool* pool = nullptr);
+/// operational state via the requested path.  A pool in the aggregate's
+/// runtime parallelizes the scan path's bitmap walks.
+MountReport mount_all(Aggregate& agg, bool use_topaa);
 
 /// After a TopAA mount: completes the caches in the background (full
 /// bitmap walk + cache rebuild) — the work the TopAA path deferred off the
 /// client-visible mount gate.  Returns the metafile blocks it read.
-std::uint64_t complete_background(Aggregate& agg, ThreadPool* pool = nullptr);
+std::uint64_t complete_background(Aggregate& agg);
 
 /// Crash-recovery mount: mount_all for an aggregate *reconstructed over
 /// surviving media* (fresh process, stores copied from the crashed
@@ -58,7 +57,6 @@ std::uint64_t complete_background(Aggregate& agg, ThreadPool* pool = nullptr);
 /// AA caches.  On the TopAA path the boards seeded groups/volumes carry
 /// are the freshly-loaded-bitmap ones; the caches still come from the
 /// TopAA blocks, so the §3.4 gate cost is unchanged.
-MountReport recover_mount(Aggregate& agg, bool use_topaa,
-                          ThreadPool* pool = nullptr);
+MountReport recover_mount(Aggregate& agg, bool use_topaa);
 
 }  // namespace wafl

@@ -11,20 +11,27 @@
 
 namespace wafl {
 
-OverlappedCpDriver::OverlappedCpDriver(Aggregate& agg, ThreadPool* pool,
-                                       OverlappedCpConfig cfg)
+OverlappedCpDriver::OverlappedCpDriver(Aggregate& agg, OverlappedCpConfig cfg)
     : agg_(agg),
-      pool_(pool),
       cfg_(cfg),
+      drain_exec_(agg.runtime().drain_executor()),
       leases_(std::max<std::size_t>(1, cfg.intake_shards)) {
   WAFL_ASSERT(cfg_.dirty_high_watermark > 0);
   WAFL_ASSERT(cfg_.intake_shards > 0);
+  if (drain_exec_ == nullptr) {
+    // No shared executor in the runtime: own a single drain thread — the
+    // old dedicated-thread behaviour, one driver at a time.
+    owned_exec_ = std::make_unique<DrainExecutor>(1);
+    drain_exec_ = owned_exec_.get();
+  }
+  const Runtime& rt = agg.runtime();
   shards_.reserve(cfg_.intake_shards);
   for (std::size_t s = 0; s < cfg_.intake_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
     WAFL_OBS({
-      obs::Registry& reg = obs::registry();
-      const std::string label = "shard=\"" + std::to_string(s) + "\"";
+      obs::Registry& reg = rt.registry();
+      const std::string label =
+          rt.labels("shard=\"" + std::to_string(s) + "\"");
       Shard& sh = *shards_.back();
       sh.admitted_metric = &reg.counter("wafl.cp.intake_admitted", label);
       sh.coalesced_metric = &reg.counter("wafl.cp.intake_coalesced", label);
@@ -39,9 +46,14 @@ OverlappedCpDriver::OverlappedCpDriver(Aggregate& agg, ThreadPool* pool,
 }
 
 OverlappedCpDriver::~OverlappedCpDriver() {
-  if (drain_thread_.joinable()) {
-    drain_thread_.join();
-  }
+  // Wait out any in-flight drain: its job captured `this`, and on a
+  // shared executor we cannot join a thread to make it finish — the wait
+  // on drain_in_flight_ is the ownership boundary.  drain_main touches no
+  // member after clearing the flag (it notifies under mu_ first).
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] {
+    return !drain_in_flight_.load(std::memory_order_relaxed);
+  });
   // A pending drain_error_ dies with us — see the header contract.
 }
 
@@ -161,7 +173,6 @@ void OverlappedCpDriver::quiesce_locked(std::unique_lock<std::mutex>& lk) {
            [this] { return !drain_in_flight_.load(std::memory_order_relaxed); });
   if (drain_error_ != nullptr) {
     std::exception_ptr err = std::exchange(drain_error_, nullptr);
-    if (drain_thread_.joinable()) drain_thread_.join();
     std::rethrow_exception(err);
   }
 }
@@ -174,8 +185,6 @@ void OverlappedCpDriver::start_cp() {
 
 void OverlappedCpDriver::launch_cp_locked(std::unique_lock<std::mutex>& lk) {
   WAFL_ASSERT(!drain_in_flight_.load(std::memory_order_relaxed));
-  // Reap the previous drain thread before starting the next.
-  if (drain_thread_.joinable()) drain_thread_.join();
 
   std::vector<DirtyBlock> batch;
   {
@@ -186,7 +195,7 @@ void OverlappedCpDriver::launch_cp_locked(std::unique_lock<std::mutex>& lk) {
     shard_locks.reserve(shards_.size());
     for (auto& sh : shards_) shard_locks.emplace_back(sh->mu);
 
-    WAFL_CRASH_POINT("cp.in_lease_drain");
+    WAFL_CRASH_POINT_RT(agg_.runtime(), "cp.in_lease_drain");
 
     // Drain + re-arm the advisory leases from the AA caches' current top
     // picks (const heap reads — no drain is in flight).  A crash past
@@ -248,7 +257,7 @@ void OverlappedCpDriver::launch_cp_locked(std::unique_lock<std::mutex>& lk) {
     std::unique_lock<std::mutex> relk(mu_);
     stats_.freeze_ns += obs::monotonic_ns() - freeze_t0;
   }
-  drain_thread_ = std::thread(
+  drain_exec_->submit(
       [this, f = std::move(frozen)]() mutable { drain_main(std::move(f)); });
   lk.lock();
 }
@@ -264,11 +273,13 @@ void OverlappedCpDriver::drain_main(ConsistencyPoint::Frozen frozen) {
   CpStats cp;
   std::exception_ptr err;
   try {
-    cp = ConsistencyPoint::drain(agg_, std::move(frozen), pool_);
+    cp = ConsistencyPoint::drain(agg_, std::move(frozen));
   } catch (...) {
     err = std::current_exception();
   }
   const std::uint64_t t1 = obs::monotonic_ns();
+  // Last act: publish results, clear the flag, notify — all under mu_,
+  // touching no member afterwards (the destructor may be waiting).
   std::unique_lock<std::mutex> lk(mu_);
   stats_.drain_ns += t1 - t0;
   last_drain_end_ns_ = t1;
@@ -285,7 +296,6 @@ void OverlappedCpDriver::drain_main(ConsistencyPoint::Frozen frozen) {
 void OverlappedCpDriver::wait_idle() {
   std::unique_lock<std::mutex> lk(mu_);
   quiesce_locked(lk);
-  if (drain_thread_.joinable()) drain_thread_.join();
 }
 
 bool OverlappedCpDriver::drain_in_flight() const {

@@ -20,7 +20,8 @@
 //     the shards fold into one batch in shard-id order — the canonical
 //     fold order.  ConsistencyPoint::freeze() then swaps the active
 //     generation into the FROZEN one (cheap, no media I/O) and the
-//     phased drain is launched on a dedicated thread;
+//     phased drain is launched on a drain executor (the runtime's shared
+//     one, or a lazily owned single-thread executor);
 //   - submit keeps admitting into the new active generation while the
 //     frozen one drains, blocking only when the active generation
 //     reaches the high watermark before the drain completes (the
@@ -52,13 +53,13 @@
 #include <memory>
 #include <mutex>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "util/atomic_bitmap.hpp"
 #include "wafl/consistency_point.hpp"
 #include "wafl/intake.hpp"
+#include "wafl/runtime.hpp"
 
 namespace wafl {
 
@@ -125,9 +126,14 @@ struct OverlapStats {
 
 class OverlappedCpDriver {
  public:
-  OverlappedCpDriver(Aggregate& agg, ThreadPool* pool = nullptr,
-                     OverlappedCpConfig cfg = {});
-  /// Joins any in-flight drain.  A drain error nobody collected via
+  /// Drains run on the aggregate runtime's DrainExecutor; a runtime
+  /// without one gets a lazily owned single-thread executor, which
+  /// reproduces the old dedicated-drain-thread behaviour.  Drains must
+  /// NOT run as ThreadPool tasks: a drain occupying a pool worker would
+  /// deadlock waiting for its own parallel_for parts (the drain-executor
+  /// rule, DESIGN.md §16).  CP fan-out rides the runtime's pool.
+  explicit OverlappedCpDriver(Aggregate& agg, OverlappedCpConfig cfg = {});
+  /// Waits for any in-flight drain.  A drain error nobody collected via
   /// wait_idle()/start_cp() is dropped here (destructors cannot throw);
   /// call wait_idle() first when the error matters.
   ~OverlappedCpDriver();
@@ -213,8 +219,11 @@ class OverlappedCpDriver {
   void drain_main(ConsistencyPoint::Frozen frozen);
 
   Aggregate& agg_;
-  ThreadPool* pool_;
   OverlappedCpConfig cfg_;
+  /// Where drain_main runs.  Points at the runtime's executor, or at
+  /// owned_exec_ when the runtime has none.
+  DrainExecutor* drain_exec_;
+  std::unique_ptr<DrainExecutor> owned_exec_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -236,8 +245,10 @@ class OverlappedCpDriver {
   /// is authoritative, under mu_; this mirror is read lock-free).
   std::atomic<std::uint64_t> generation_{0};
 
+  /// True from launch until drain_main's last act (clear + notify under
+  /// mu_); the destructor and quiesce wait on it, so a drain job never
+  /// touches a destroyed driver.
   std::atomic<bool> drain_in_flight_{false};
-  std::thread drain_thread_;
   std::exception_ptr drain_error_;
   std::uint64_t last_drain_end_ns_ = 0;
 

@@ -133,15 +133,17 @@ CleanerReport SegmentCleaner::run(Aggregate& agg) {
   agg.finish_cp(report.cp);
 
   WAFL_OBS({
-    obs::Registry& reg = obs::registry();
-    reg.counter("wafl.cleaner.passes").inc();
-    reg.counter("wafl.cleaner.aas_cleaned").add(report.aas_cleaned);
-    reg.counter("wafl.cleaner.blocks_relocated")
+    const Runtime& rt = agg.runtime();
+    obs::Registry& reg = rt.registry();
+    const std::string l = rt.labels();
+    reg.counter("wafl.cleaner.passes", l).inc();
+    reg.counter("wafl.cleaner.aas_cleaned", l).add(report.aas_cleaned);
+    reg.counter("wafl.cleaner.blocks_relocated", l)
         .add(report.blocks_relocated);
-    obs::trace().emit(
-        obs::EventType::kCleanerPass,
-        static_cast<std::uint32_t>(reg.counter("wafl.cleaner.passes").value()),
-        report.aas_cleaned, report.blocks_relocated);
+    obs::trace().emit(obs::EventType::kCleanerPass,
+                      static_cast<std::uint32_t>(
+                          reg.counter("wafl.cleaner.passes", l).value()),
+                      report.aas_cleaned, report.blocks_relocated);
   });
   pass_span.set_b(report.blocks_relocated);
   return report;

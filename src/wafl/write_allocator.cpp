@@ -18,8 +18,9 @@ namespace wafl {
 RgAllocator::RgAllocator(RaidGroupId id, const RaidGroupConfig& rgc, Vbn base,
                          AaSelectPolicy policy, double skip_fraction,
                          Activemap& activemap, BlockStore& topaa_store,
-                         std::uint64_t topaa_base)
-    : policy_(policy),
+                         std::uint64_t topaa_base, const Runtime* rt)
+    : rt_(rt != nullptr ? rt : &process_runtime()),
+      policy_(policy),
       raid_(id, RaidGeometry(rgc.data_devices, rgc.parity_devices,
                              rgc.device_blocks)),
       base_(base),
@@ -65,12 +66,14 @@ RgAllocator::RgAllocator(RaidGroupId id, const RaidGroupConfig& rgc, Vbn base,
     build_cache();
   }
   resolve_metrics();
+  bind_cache_counters();
 }
 
 void RgAllocator::resolve_metrics() {
   WAFL_OBS({
-    obs::Registry& reg = obs::registry();
-    const std::string rg = "rg=\"" + std::to_string(raid_.id()) + "\"";
+    obs::Registry& reg = rt_->registry();
+    const std::string rg =
+        rt_->labels("rg=\"" + std::to_string(raid_.id()) + "\"");
     metrics_.checkouts = &reg.counter("wafl.agg.aa_checkouts", rg);
     metrics_.checkout_free_frac = &reg.linear_histogram(
         "wafl.agg.aa_checkout_free_frac", 0.0, 1.0, 64, rg);
@@ -79,11 +82,24 @@ void RgAllocator::resolve_metrics() {
     metrics_.scoreboard_changed =
         &reg.counter("wafl.scoreboard.cp_changed_aas", rg);
     metrics_.hbps_replenishes = &reg.counter("wafl.hbps.replenishes", rg);
+    // Aggregate-wide (rg-unlabelled) counters the cache structures tick
+    // directly; every group in a runtime shares the same handles.
+    metrics_.heap_rekeys = &reg.counter("wafl.heap.rekeys", rt_->labels());
+    metrics_.hbps_rebins = &reg.counter("wafl.hbps.rebins", rt_->labels());
     for (std::uint32_t d = 0; d < raid_.geometry().total_devices(); ++d) {
       metrics_.device_busy.push_back(&reg.counter(
           "wafl.device.busy_ns", rg + ",dev=\"" + std::to_string(d) + "\""));
     }
   });
+}
+
+void RgAllocator::bind_cache_counters() {
+  if (heap_ != nullptr) {
+    heap_->bind_rekey_counter(metrics_.heap_rekeys);
+  }
+  if (hbps_ != nullptr) {
+    hbps_->bind_rebin_counter(metrics_.hbps_rebins);
+  }
 }
 
 void RgAllocator::build_cache() {
@@ -402,7 +418,7 @@ BitmapMetafile::FreeDelta RgAllocator::cp_boundary(
   // Crash here = power loss after the in-memory frees of one group were
   // applied but before anything of this CP persisted.  May fire on a pool
   // thread; ThreadPool rethrows on the caller.
-  WAFL_CRASH_POINT("rg.after_frees");
+  WAFL_CRASH_POINT_RT(*rt_, "rg.after_frees");
 
   // CP-boundary rebalance (§3.3.1) and retired-AA re-admission.
   const auto changes = board_.apply_cp_deltas();
@@ -452,7 +468,7 @@ BitmapMetafile::FreeDelta RgAllocator::cp_boundary(
     }
     topaa_staged_ = true;
   }
-  WAFL_CRASH_POINT("rg.after_topaa_encode");
+  WAFL_CRASH_POINT_RT(*rt_, "rg.after_topaa_encode");
   return delta;
 }
 
@@ -501,7 +517,9 @@ bool RgAllocator::mount_seed() {
   } else {
     auto loaded = topaa.load_raid_agnostic();
     if (loaded.has_value()) {
+      // The loaded image arrives with no counter binding; restore ours.
       *hbps_ = std::move(*loaded);
+      bind_cache_counters();
       ok = true;
     }
   }
@@ -548,8 +566,9 @@ void RgAllocator::reseed_board() {
 
 WriteAllocator::WriteAllocator(AaSelectPolicy policy, double skip_fraction,
                                Rng& rng, Activemap& activemap,
-                               BlockStore& topaa_store)
-    : policy_(policy),
+                               BlockStore& topaa_store, const Runtime* rt)
+    : rt_(rt != nullptr ? rt : &process_runtime()),
+      policy_(policy),
       skip_fraction_(skip_fraction),
       rng_(rng),
       activemap_(activemap),
@@ -562,7 +581,7 @@ RaidGroupId WriteAllocator::add_group(const RaidGroupConfig& rgc, Vbn base) {
   WAFL_ASSERT(groups_.empty() || base == groups_.back()->end());
   groups_.push_back(std::make_unique<RgAllocator>(
       id, rgc, base, policy_, skip_fraction_, activemap_, topaa_store_,
-      id * TopAaFile::kRaidAgnosticBlocks));
+      id * TopAaFile::kRaidAgnosticBlocks, rt_));
   // Growth changes the rotation modulus; keep the pointer inside the new
   // group list so the next CP's rotation starts from a live slot.
   if (rr_next_ >= groups_.size()) {
@@ -643,14 +662,15 @@ bool WriteAllocator::allocate_serial(std::uint64_t n, std::vector<Vbn>& out,
 }
 
 bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
-                              CpStats& stats, ThreadPool* pool) {
+                              CpStats& stats) {
   if (n == 0) return true;
   if (policy_ != AaSelectPolicy::kCache || groups_.empty()) {
     // The kRandom policy draws from the shared rng per probe; its demand
     // cannot be partitioned up front, so it keeps the serial rotation.
     return allocate_serial(n, out, stats);
   }
-  CpPhaseProfile& prof = cp_phase_profile();
+  ThreadPool* pool = rt_->pool();
+  CpPhaseProfile& prof = rt_->cp_phase_profile();
   auto mark = std::chrono::steady_clock::now();
   auto lap = [&mark](double& bucket) {
     const auto now = std::chrono::steady_clock::now();
@@ -726,7 +746,7 @@ bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
   }
   // Crash here = power loss after demand was partitioned but before any
   // block was taken; nothing has been mutated yet.
-  WAFL_CRASH_POINT("wa.in_alloc_plan");
+  WAFL_CRASH_POINT_RT(*rt_, "wa.in_alloc_plan");
   plan_span.end();
   lap(prof.plan_ms);
   obs::TraceSpan execute_span(obs::SpanKind::kWaExecute, 0, n - remaining);
@@ -751,7 +771,7 @@ bool WriteAllocator::allocate(std::uint64_t n, std::vector<Vbn>& out,
     // Crash here = power loss mid-parallel-allocation: bits of some groups
     // staged, nothing persisted (device models are simulation state).  May
     // fire on a pool thread; ThreadPool rethrows on the caller.
-    WAFL_CRASH_POINT("wa.in_alloc_execute");
+    WAFL_CRASH_POINT_RT(*rt_, "wa.in_alloc_execute");
     RgAllocator& rg = *groups_[g];
     rg.begin_staged_alloc();
     Rng unused(0);  // the cache policy never consults it
@@ -837,8 +857,9 @@ CpPhaseProfile& cp_phase_profile() {
   return profile;
 }
 
-void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
-  CpPhaseProfile& prof = cp_phase_profile();
+void WriteAllocator::finish_cp(CpStats& stats) {
+  ThreadPool* pool = rt_->pool();
+  CpPhaseProfile& prof = rt_->cp_phase_profile();
   auto mark = std::chrono::steady_clock::now();
   auto lap = [&mark](double& bucket) {
     const auto now = std::chrono::steady_clock::now();
@@ -850,7 +871,7 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   // Fires once on every CP's boundary drain; under the overlapped driver
   // this is the window where intake is concurrently filling the active
   // generation (DESIGN.md §13).
-  WAFL_CRASH_POINT("wa.in_overlap_drain");
+  WAFL_CRASH_POINT_RT(*rt_, "wa.in_overlap_drain");
 
   // Serial: flush any windows the CP left open (the next CP reopens them
   // and pays the partial-stripe cost of the blocks written now), then
@@ -920,7 +941,7 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   partition_span.end();
   lap(prof.partition_ms);
   obs::TraceSpan boundary_span(obs::SpanKind::kFcBoundary, 0, frees.size());
-  WAFL_CRASH_POINT("wa.before_boundary");
+  WAFL_CRASH_POINT_RT(*rt_, "wa.before_boundary");
 
   // Phase A (parallel): each group's boundary work touches only that
   // group's state plus its own disjoint bitmap words (see the file
@@ -940,7 +961,7 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   }
   boundary_span.end();
   lap(prof.boundary_ms);
-  WAFL_CRASH_POINT("wa.after_boundary");
+  WAFL_CRASH_POINT_RT(*rt_, "wa.after_boundary");
   obs::TraceSpan fc_merge_span(obs::SpanKind::kFcMerge);
 
   // Serial merge, in fixed group order: the free-count summary and dirty
@@ -956,7 +977,7 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   fc_merge_span.end();
   lap(prof.merge_ms);
   obs::TraceSpan flush_span(obs::SpanKind::kFcFlush);
-  WAFL_CRASH_POINT("wa.before_bitmap_flush");
+  WAFL_CRASH_POINT_RT(*rt_, "wa.before_bitmap_flush");
 
   // Phase B1 (parallel): flush the dirty metafile blocks.  The dirty list
   // is partitioned, so each store block has exactly one writer; chunked
@@ -967,7 +988,7 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   const std::span<const std::uint64_t> dirty = map.dirty_list();
   auto flush_one = [&](std::size_t k) {
     obs::TraceSpan block_span(obs::SpanKind::kFcFlushBlock, dirty[k]);
-    WAFL_CRASH_POINT("wa.in_bitmap_flush");
+    WAFL_CRASH_POINT_RT(*rt_, "wa.in_bitmap_flush");
     map.flush_block(dirty[k]);
   };
   if (fan_out && dirty.size() > 1) {
@@ -983,13 +1004,13 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   flush_span.end();
   lap(prof.flush_ms);
   obs::TraceSpan topaa_span(obs::SpanKind::kFcTopaa);
-  WAFL_CRASH_POINT("wa.after_bitmap_flush");
+  WAFL_CRASH_POINT_RT(*rt_, "wa.after_bitmap_flush");
 
   // Phase B2 (parallel): commit the staged TopAA images — per-group slots
   // never share a store block.  The block counts fold serially below.
   std::vector<std::uint64_t> topaa_blocks(groups_.size(), 0);
   auto commit_one = [&](std::size_t i) {
-    WAFL_CRASH_POINT("wa.before_topaa_commit");
+    WAFL_CRASH_POINT_RT(*rt_, "wa.before_topaa_commit");
     topaa_blocks[i] = groups_[i]->commit_topaa();
   };
   if (fan_out) {
@@ -1005,7 +1026,7 @@ void WriteAllocator::finish_cp(CpStats& stats, ThreadPool* pool) {
   topaa_span.end();
   lap(prof.topaa_ms);
   obs::TraceSpan fold_span(obs::SpanKind::kFcFold);
-  WAFL_CRASH_POINT("wa.after_topaa_commits");
+  WAFL_CRASH_POINT_RT(*rt_, "wa.after_topaa_commits");
 
   // Devices operate in parallel; the CP's storage time is the slowest one.
   SimTime slowest = 0;
@@ -1033,7 +1054,8 @@ std::size_t WriteAllocator::mount_from_topaa() {
   return seeded;
 }
 
-void WriteAllocator::scan_rebuild(ThreadPool* pool) {
+void WriteAllocator::scan_rebuild() {
+  ThreadPool* pool = rt_->pool();
   obs::TraceSpan span(obs::SpanKind::kMountScan, 0, groups_.size());
   // One pipelined walk of the shared aggregate metafile scores every
   // group's AAs (the groups are the scan units); the per-group adoption

@@ -84,6 +84,7 @@
 #include "wafl/cp_stats.hpp"
 #include "wafl/intake.hpp"
 #include "wafl/media_config.hpp"
+#include "wafl/runtime.hpp"
 
 namespace wafl {
 
@@ -107,10 +108,12 @@ class RgAllocator {
   /// Builds the group's full state from its config: geometry, devices,
   /// layout, scoreboard, and the cache form the media dictates (§3.3).
   /// The group owns the TopAa slot at `topaa_base` of `topaa_store`.
+  /// Metrics, phase profiles and crash points route through `rt` (null:
+  /// the process-default runtime).
   RgAllocator(RaidGroupId id, const RaidGroupConfig& rgc, Vbn base,
               AaSelectPolicy policy, double skip_fraction,
               Activemap& activemap, BlockStore& topaa_store,
-              std::uint64_t topaa_base);
+              std::uint64_t topaa_base, const Runtime* rt = nullptr);
 
   // --- Structure accessors (re-exported by the Aggregate facade) -----------
   RaidGroupId id() const noexcept { return raid_.id(); }
@@ -255,9 +258,15 @@ class RgAllocator {
   /// Rebuilds the cache from the scoreboard (heap or HBPS form).
   void build_cache();
 
-  /// Resolves the per-group labelled metric handles (rg="N").
+  /// Resolves the per-group labelled metric handles (rg="N", plus the
+  /// runtime's agg="<id>" dimension when set).
   void resolve_metrics();
+  /// (Re)binds the cache's internal counters — after construction and
+  /// after mount_seed() replaces the HBPS image (the loaded copy arrives
+  /// unbound).
+  void bind_cache_counters();
 
+  const Runtime* rt_;
   AaSelectPolicy policy_;
   RaidGroup raid_;
   Vbn base_;
@@ -304,6 +313,9 @@ class RgAllocator {
     obs::Counter* cp_rekeys = nullptr;
     obs::Counter* scoreboard_changed = nullptr;
     obs::Counter* hbps_replenishes = nullptr;
+    /// Bound into the cache structures (core never reaches the registry).
+    obs::Counter* heap_rekeys = nullptr;
+    obs::Counter* hbps_rebins = nullptr;
     std::vector<obs::Counter*> device_busy;  // data then parity
   };
   Metrics metrics_{};
@@ -351,9 +363,12 @@ class WriteAllocator {
   /// The engine allocates against `activemap` (shared with ownership and
   /// volume machinery, which stay in Aggregate) and persists TopAA images
   /// into `topaa_store`, one slot of TopAaFile::kRaidAgnosticBlocks per
-  /// group.  `rng` drives the kRandom policy.
+  /// group.  `rng` drives the kRandom policy.  `rt` supplies the worker
+  /// pool, metric scope and crash-hook registry (null: the process-default
+  /// runtime — global singletons, serial execution).
   WriteAllocator(AaSelectPolicy policy, double skip_fraction, Rng& rng,
-                 Activemap& activemap, BlockStore& topaa_store);
+                 Activemap& activemap, BlockStore& topaa_store,
+                 const Runtime* rt = nullptr);
   ~WriteAllocator();
 
   WriteAllocator(const WriteAllocator&) = delete;
@@ -412,14 +427,14 @@ class WriteAllocator {
   /// cache policy this is the plan/execute pipeline: a serial plan fixes
   /// every group's quota and output positions (round-robin rotation with
   /// §3.3.1's skip bias, escalating to force when every group declines),
-  /// execute fans the group-disjoint fills over `pool` (serially, in
-  /// group order, when `pool` is null — the same code path, so results
-  /// are bit-identical at any worker count), and a serial merge folds the
-  /// staged summary deltas and per-group stats in group order.  The
-  /// kRandom policy keeps the serial rotation loop.  False when out of
-  /// space; `out` then carries exactly the pvbns actually allocated.
-  bool allocate(std::uint64_t n, std::vector<Vbn>& out, CpStats& stats,
-                ThreadPool* pool = nullptr);
+  /// execute fans the group-disjoint fills over the runtime's pool
+  /// (serially, in group order, when the runtime has none — the same code
+  /// path, so results are bit-identical at any worker count), and a
+  /// serial merge folds the staged summary deltas and per-group stats in
+  /// group order.  The kRandom policy keeps the serial rotation loop.
+  /// False when out of space; `out` then carries exactly the pvbns
+  /// actually allocated.
+  bool allocate(std::uint64_t n, std::vector<Vbn>& out, CpStats& stats);
 
   /// Records a deferred free against the owning group's scoreboard (the
   /// activemap deferral itself stays with the Aggregate).
@@ -430,9 +445,10 @@ class WriteAllocator {
   /// serial merge (fold each group's FreeDelta into the shared summary,
   /// in group order); parallel phase B1 (metafile flush, partitioned by
   /// dirty block) and B2 (per-group TopAA commits); serial stats and
-  /// metric folds.  With `pool` null every phase runs strictly serially
-  /// in the same order.  Results are bit-identical for any worker count.
-  void finish_cp(CpStats& stats, ThreadPool* pool);
+  /// metric folds.  With no pool in the runtime every phase runs strictly
+  /// serially in the same order.  Results are bit-identical for any
+  /// worker count.
+  void finish_cp(CpStats& stats);
 
   // --- Mount (§3.4) ----------------------------------------------------------
   /// Seeds every group's cache from its TopAA slot; damaged groups fall
@@ -440,8 +456,9 @@ class WriteAllocator {
   std::size_t mount_from_topaa();
 
   /// Reloads the bitmap metafile from its store and rebuilds every group's
-  /// scoreboard and cache; per-group rebuilds parallelize on `pool`.
-  void scan_rebuild(ThreadPool* pool);
+  /// scoreboard and cache; per-group rebuilds parallelize on the
+  /// runtime's pool.
+  void scan_rebuild();
 
   /// Aging-seed hook: marks a random `fraction` of the group's blocks
   /// allocated and re-derives its scoreboard and cache (§4.2).
@@ -455,6 +472,7 @@ class WriteAllocator {
   bool allocate_serial(std::uint64_t n, std::vector<Vbn>& out,
                        CpStats& stats);
 
+  const Runtime* rt_;
   AaSelectPolicy policy_;
   double skip_fraction_;
   Rng& rng_;

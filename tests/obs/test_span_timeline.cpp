@@ -23,7 +23,7 @@ namespace {
 
 constexpr VolumeId kVols = 2;
 
-std::unique_ptr<Aggregate> make_agg() {
+std::unique_ptr<Aggregate> make_agg(ThreadPool* pool = nullptr) {
   AggregateConfig cfg;
   RaidGroupConfig rg;
   rg.data_devices = 4;
@@ -32,7 +32,8 @@ std::unique_ptr<Aggregate> make_agg() {
   rg.media.type = MediaType::kHdd;
   rg.aa_stripes = 512;
   cfg.raid_groups = {rg, rg};
-  auto agg = std::make_unique<Aggregate>(cfg, 7);
+  auto agg =
+      std::make_unique<Aggregate>(cfg, 7, Runtime{}.with_pool(pool));
   for (std::size_t v = 0; v < kVols; ++v) {
     FlexVolConfig vol;
     vol.file_blocks = 4'000;
@@ -90,11 +91,10 @@ TEST(SpanTimeline, BalancedMonotonicAcrossWorkerCounts) {
       pool = std::make_unique<ThreadPool>(workers);
     }
 
-    auto agg = make_agg();
+    auto agg = make_agg(pool ? pool.get() : nullptr);
     Rng rng(workers + 1);
     const std::uint64_t before_ns = monotonic_ns();
-    ConsistencyPoint::run(*agg, dirty_batch(rng, 600),
-                          pool ? pool.get() : nullptr);
+    ConsistencyPoint::run(*agg, dirty_batch(rng, 600));
     const std::uint64_t after_ns = monotonic_ns();
 
     const std::vector<SpanRecord> snap = spans().snapshot();

@@ -88,7 +88,8 @@ std::unique_ptr<Aggregate> CrashHarness::make_aggregate() const {
     pool.media.type = MediaType::kObjectStore;
     acfg.raid_groups.push_back(pool);
   }
-  auto agg = std::make_unique<Aggregate>(acfg, cfg_.seed);
+  auto agg = std::make_unique<Aggregate>(
+      acfg, cfg_.seed, Runtime{}.with_pool(pool_ ? pool_.get() : nullptr));
   // vvbn sizing bounds worst-case demand: 8 Ki active + 8 Ki held by the
   // (at most one) live snapshot + 8 Ki pending delayed frees < 32 Ki.
   FlexVolConfig vcfg;
@@ -237,7 +238,7 @@ void CrashHarness::run_clean_cps() {
     // The first CP populates heavily so later CPs overwrite (and free).
     const std::vector<DirtyBlock> dirty =
         i == 0 ? next_dirty(0.80, 0.90) : next_dirty(0.08, 0.35);
-    ConsistencyPoint::run(*agg_, dirty, pool());
+    ConsistencyPoint::run(*agg_, dirty);
     audit_live(*agg_, "after clean CP " + std::to_string(i));
     snapshot_committed();
     capture_truth();
@@ -275,7 +276,7 @@ std::string CrashHarness::run_crash_cp() {
   const std::vector<DirtyBlock> dirty = next_dirty(0.08, 0.35);
   try {
     if (cfg_.overlapped) {
-      OverlappedCpDriver driver(*agg_, pool());
+      OverlappedCpDriver driver(*agg_);
       // Concurrent-intake cases admit each half from two writer threads
       // with content-keyed shard routing (every shard sees the same
       // subsequence regardless of interleaving, so the crashed in-memory
@@ -320,7 +321,7 @@ std::string CrashHarness::run_crash_cp() {
       driver.start_cp();
       driver.wait_idle();
     } else {
-      ConsistencyPoint::run(*agg_, dirty, pool());
+      ConsistencyPoint::run(*agg_, dirty);
     }
   } catch (const fault::CrashPoint& cp) {
     crashed_ = true;
@@ -349,7 +350,7 @@ void CrashHarness::add_journal(const std::vector<fault::FaultRecord>& extra) {
 
 std::unique_ptr<Aggregate> CrashHarness::recover(bool use_topaa) {
   std::unique_ptr<Aggregate> fresh = rebuild();
-  recover_mount(*fresh, use_topaa, pool());
+  recover_mount(*fresh, use_topaa);
   return fresh;
 }
 
@@ -380,7 +381,7 @@ void CrashHarness::maybe_crash_during_repair() {
   fault::crash_hooks().arm(cfg_.crash_hook, cfg_.crash_hook_nth);
   WAFL_OBS(obs::flight_recorder().mark());
   try {
-    iron_check_topaa(*inst, pool());
+    iron_check_topaa(*inst);
   } catch (const fault::CrashPoint& cp) {
     crashed_ = true;
     crash_point_ = cp.point();
@@ -551,7 +552,7 @@ CrashVerdict CrashHarness::verify_recovery() {
     rot = std::make_unique<fault::FaultEngine>(rp);
     r1->topaa_store().set_fault_injector(rot.get());
   }
-  recover_mount(*r1, /*use_topaa=*/true, pool());
+  recover_mount(*r1, /*use_topaa=*/true);
   if (rot) r1->topaa_store().set_fault_injector(nullptr);
 
   std::unique_ptr<Aggregate> r2 = recover(/*use_topaa=*/false);
@@ -559,8 +560,8 @@ CrashVerdict CrashHarness::verify_recovery() {
   // I-A: same bytes -> same loaded bitmaps; Iron sees the same damage in
   // both, and a second pass finds nothing left to repair.
   compare_bitmaps(*r1, *r2, "I-A post-mount");
-  const IronReport i1 = iron_check_topaa(*r1, pool());
-  const IronReport i2 = iron_check_topaa(*r2, pool());
+  const IronReport i1 = iron_check_topaa(*r1);
+  const IronReport i2 = iron_check_topaa(*r2);
   if (i1.rg_unreadable != i2.rg_unreadable || i1.rg_stale != i2.rg_stale ||
       i1.rg_rewritten != i2.rg_rewritten ||
       i1.vol_unreadable != i2.vol_unreadable ||
@@ -568,10 +569,10 @@ CrashVerdict CrashHarness::verify_recovery() {
     fail("I-A: Iron reports differ between TopAA and scan recoveries");
   }
   verdict.iron_rewrites = i1.rg_rewritten + i1.vol_rewritten;
-  if (!iron_check_topaa(*r1, pool()).clean()) {
+  if (!iron_check_topaa(*r1).clean()) {
     fail("I-A: Iron is not idempotent on the TopAA-path recovery");
   }
-  if (!iron_check_topaa(*r2, pool()).clean()) {
+  if (!iron_check_topaa(*r2).clean()) {
     fail("I-A: Iron is not idempotent on the scan-path recovery");
   }
 
@@ -586,8 +587,8 @@ CrashVerdict CrashHarness::verify_recovery() {
                         r1->volume(v).store().capacity_blocks(),
                         "I-B vol" + std::to_string(v) + " store");
   }
-  complete_background(*r1, pool());
-  complete_background(*r2, pool());
+  complete_background(*r1);
+  complete_background(*r2);
   const CacheDigest d1 = digest_of(*r1);
   compare_digests(d1, digest_of(*r2), "I-B topaa-vs-scan");
 
@@ -608,15 +609,15 @@ CrashVerdict CrashHarness::verify_recovery() {
   // follow-up CP lands identically on both recovered instances.
   {
     std::unique_ptr<Aggregate> r3 = recover(/*use_topaa=*/true);
-    iron_check_topaa(*r3, pool());
-    complete_background(*r3, pool());
+    iron_check_topaa(*r3);
+    complete_background(*r3);
     compare_digests(d1, digest_of(*r3), "I-C replay");
     compare_store_range(r1->topaa_store(), r3->topaa_store(), 0,
                         r1->topaa_store().capacity_blocks(), "I-C topaa");
   }
   const std::vector<DirtyBlock> followup = followup_dirty();
-  const CpStats s1 = ConsistencyPoint::run(*r1, followup, pool());
-  const CpStats s2 = ConsistencyPoint::run(*r2, followup, pool());
+  const CpStats s1 = ConsistencyPoint::run(*r1, followup);
+  const CpStats s2 = ConsistencyPoint::run(*r2, followup);
   const auto cmp_stat = [&](const char* name, std::uint64_t a,
                             std::uint64_t b) {
     if (a != b) {

@@ -29,7 +29,7 @@ namespace {
 
 constexpr std::size_t kVols = 2;
 
-std::unique_ptr<Aggregate> make_agg() {
+std::unique_ptr<Aggregate> make_agg(ThreadPool* pool = nullptr) {
   AggregateConfig cfg;
   RaidGroupConfig hdd;
   hdd.data_devices = 4;
@@ -38,7 +38,7 @@ std::unique_ptr<Aggregate> make_agg() {
   hdd.media.type = MediaType::kHdd;
   hdd.aa_stripes = 2048;
   cfg.raid_groups = {hdd, hdd};
-  auto agg = std::make_unique<Aggregate>(cfg, 77);
+  auto agg = std::make_unique<Aggregate>(cfg, 77, Runtime{}.with_pool(pool));
   for (std::size_t v = 0; v < kVols; ++v) {
     FlexVolConfig vol;
     vol.file_blocks = 30'000;
@@ -76,9 +76,9 @@ void expect_conserved(const OverlapStats& s, std::uint64_t raw_submitted) {
 /// the picture; that regime gets its own cell below.
 void run_drain_in_flight_cell(unsigned writers) {
   SCOPED_TRACE("writers=" + std::to_string(writers));
-  auto agg = make_agg();
   ThreadPool pool(4);
-  OverlappedCpDriver driver(*agg, &pool);
+  auto agg = make_agg(&pool);
+  OverlappedCpDriver driver(*agg);
   constexpr int kBatches = 30;
   constexpr std::uint64_t kBatch = 64;
   std::atomic<unsigned> live{writers};
@@ -129,11 +129,11 @@ TEST(ConcurrentIntake, DrainInFlightWriters8) { run_drain_in_flight_cell(8); }
 /// conservation is tracked across however many rounds run.
 void run_backpressure_cell(unsigned writers) {
   SCOPED_TRACE("writers=" + std::to_string(writers));
-  auto agg = make_agg();
   ThreadPool pool(4);
+  auto agg = make_agg(&pool);
   OverlappedCpConfig cfg;
   cfg.dirty_high_watermark = 8;
-  OverlappedCpDriver driver(*agg, &pool, cfg);
+  OverlappedCpDriver driver(*agg, cfg);
   Rng preload_rng(9);
   std::uint64_t raw = 0;
   for (int round = 0; round < 16 && driver.stats().submit_stalls == 0;
@@ -175,9 +175,9 @@ TEST(ConcurrentIntake, BackpressureWriters8) { run_backpressure_cell(8); }
 // submit/freeze boundary crossings; each submit lands wholly in one
 // generation or the next, never torn across the fold.
 TEST(ConcurrentIntake, EmitWhileFreezeRace) {
-  auto agg = make_agg();
   ThreadPool pool(4);
-  OverlappedCpDriver driver(*agg, &pool);
+  auto agg = make_agg(&pool);
+  OverlappedCpDriver driver(*agg);
   constexpr unsigned kWriters = 4;
   constexpr int kSubmits = 1500;
   std::atomic<unsigned> live{kWriters};
@@ -218,9 +218,9 @@ TEST(ConcurrentIntake, EmitWhileFreezeRace) {
 // contention: every thread owns a disjoint shard subset, so no two
 // threads ever contend on a shard lock — only on the claim bitmap.
 TEST(ConcurrentIntake, SubmitToShardDisjointOwners) {
-  auto agg = make_agg();
   ThreadPool pool(4);
-  OverlappedCpDriver driver(*agg, &pool);
+  auto agg = make_agg(&pool);
+  OverlappedCpDriver driver(*agg);
   const std::size_t shards = driver.intake_shards();
   ASSERT_GE(shards, 4u);
   constexpr unsigned kWriters = 4;

@@ -37,7 +37,8 @@ constexpr int kGeometries = 2;
 // takes the biased path too.  Geometry 1: asymmetric widths and media — a
 // narrow SSD group, a wide HDD group and a smaller pool — so the plan's
 // per-group capacities, tetris widths and device timings all differ.
-std::unique_ptr<Aggregate> make_agg(int geometry) {
+std::unique_ptr<Aggregate> make_agg(int geometry,
+                                    ThreadPool* pool = nullptr) {
   AggregateConfig cfg;
   if (geometry == 0) {
     RaidGroupConfig hdd;
@@ -47,13 +48,13 @@ std::unique_ptr<Aggregate> make_agg(int geometry) {
     hdd.media.type = MediaType::kHdd;
     hdd.aa_stripes = 2048;
 
-    RaidGroupConfig pool;
-    pool.data_devices = 1;
-    pool.parity_devices = 0;
-    pool.device_blocks = 8 * kFlatAaBlocks;
-    pool.media.type = MediaType::kObjectStore;
+    RaidGroupConfig os;
+    os.data_devices = 1;
+    os.parity_devices = 0;
+    os.device_blocks = 8 * kFlatAaBlocks;
+    os.media.type = MediaType::kObjectStore;
 
-    cfg.raid_groups = {hdd, hdd, pool};
+    cfg.raid_groups = {hdd, hdd, os};
   } else {
     RaidGroupConfig ssd;
     ssd.data_devices = 3;
@@ -70,16 +71,17 @@ std::unique_ptr<Aggregate> make_agg(int geometry) {
     hdd.media.type = MediaType::kHdd;
     hdd.aa_stripes = 2048;
 
-    RaidGroupConfig pool;
-    pool.data_devices = 1;
-    pool.parity_devices = 0;
-    pool.device_blocks = 4 * kFlatAaBlocks;
-    pool.media.type = MediaType::kObjectStore;
+    RaidGroupConfig os;
+    os.data_devices = 1;
+    os.parity_devices = 0;
+    os.device_blocks = 4 * kFlatAaBlocks;
+    os.media.type = MediaType::kObjectStore;
 
-    cfg.raid_groups = {ssd, hdd, pool};
+    cfg.raid_groups = {ssd, hdd, os};
   }
   cfg.rg_skip_free_fraction = 0.02;
-  auto agg = std::make_unique<Aggregate>(cfg, 20180813);
+  auto agg = std::make_unique<Aggregate>(cfg, 20180813,
+                                         Runtime{}.with_pool(pool));
   for (std::size_t v = 0; v < kVols; ++v) {
     FlexVolConfig vol;
     vol.file_blocks = 30'000;
@@ -110,11 +112,11 @@ std::vector<DirtyBlock> mixed_batch(Rng& rng, std::uint64_t per_vol) {
 }
 
 // Runs the same 6-CP workload (same seed) and returns the per-CP stats.
-std::vector<CpStats> run_workload(Aggregate& agg, ThreadPool* pool) {
+std::vector<CpStats> run_workload(Aggregate& agg) {
   std::vector<CpStats> out;
   Rng rng(4242);
   for (int cp = 0; cp < 6; ++cp) {
-    out.push_back(ConsistencyPoint::run(agg, mixed_batch(rng, 2'500), pool));
+    out.push_back(ConsistencyPoint::run(agg, mixed_batch(rng, 2'500)));
   }
   return out;
 }
@@ -199,13 +201,13 @@ TEST(CpDeterminism, WorkerCountInvariant) {
   for (int geo = 0; geo < kGeometries; ++geo) {
     SCOPED_TRACE("geometry " + std::to_string(geo));
     auto serial = make_agg(geo);
-    const auto serial_stats = run_workload(*serial, nullptr);
+    const auto serial_stats = run_workload(*serial);
 
     for (const std::size_t workers : {1u, 2u, 8u}) {
       SCOPED_TRACE(std::to_string(workers) + " workers");
-      auto parallel = make_agg(geo);
       ThreadPool pool(workers);
-      const auto parallel_stats = run_workload(*parallel, &pool);
+      auto parallel = make_agg(geo, &pool);
+      const auto parallel_stats = run_workload(*parallel);
       ASSERT_EQ(serial_stats.size(), parallel_stats.size());
       for (std::size_t cp = 0; cp < serial_stats.size(); ++cp) {
         expect_same_stats(serial_stats[cp], parallel_stats[cp],
@@ -219,12 +221,12 @@ TEST(CpDeterminism, WorkerCountInvariant) {
 TEST(CpDeterminism, RepeatedParallelRunsIdentical) {
   // Same pool size twice: rules out run-to-run scheduling effects (the
   // classic symptom of a hidden ordering dependence).
-  auto first = make_agg(0);
-  auto second = make_agg(0);
   ThreadPool pool_a(8);
   ThreadPool pool_b(8);
-  const auto stats_a = run_workload(*first, &pool_a);
-  const auto stats_b = run_workload(*second, &pool_b);
+  auto first = make_agg(0, &pool_a);
+  auto second = make_agg(0, &pool_b);
+  const auto stats_a = run_workload(*first);
+  const auto stats_b = run_workload(*second);
   for (std::size_t cp = 0; cp < stats_a.size(); ++cp) {
     expect_same_stats(stats_a[cp], stats_b[cp], static_cast<int>(cp));
   }
@@ -250,19 +252,17 @@ TEST(CpDeterminism, OverlappedMatchesStopTheWorld) {
         const auto batch = mixed_batch(rng, 2'500);
         const std::span<const DirtyBlock> all(batch);
         const std::size_t half = all.size() / 2;
-        stw_total.merge(
-            ConsistencyPoint::run(*stw, all.subspan(0, half), nullptr));
-        stw_total.merge(
-            ConsistencyPoint::run(*stw, all.subspan(half), nullptr));
+        stw_total.merge(ConsistencyPoint::run(*stw, all.subspan(0, half)));
+        stw_total.merge(ConsistencyPoint::run(*stw, all.subspan(half)));
       }
     }
 
     for (const std::size_t workers : {0u, 1u, 2u, 8u}) {
       SCOPED_TRACE(std::to_string(workers) + " workers");
-      auto ov = make_agg(geo);
       std::optional<ThreadPool> pool;
       if (workers > 0) pool.emplace(workers);
-      OverlappedCpDriver driver(*ov, pool ? &*pool : nullptr);
+      auto ov = make_agg(geo, pool ? &*pool : nullptr);
+      OverlappedCpDriver driver(*ov);
       Rng rng(4242);
       for (int cp = 0; cp < 6; ++cp) {
         const auto batch = mixed_batch(rng, 2'500);
@@ -357,9 +357,9 @@ TEST(CpDeterminism, MountAfterParallelCpsSeedsFromTopAa) {
   // must be valid for mount, for every group kind and geometry.
   for (int geo = 0; geo < kGeometries; ++geo) {
     SCOPED_TRACE("geometry " + std::to_string(geo));
-    auto agg = make_agg(geo);
     ThreadPool pool(8);
-    run_workload(*agg, &pool);
+    auto agg = make_agg(geo, &pool);
+    run_workload(*agg);
     EXPECT_EQ(agg->mount_from_topaa(), agg->raid_group_count());
   }
 }

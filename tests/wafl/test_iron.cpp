@@ -15,7 +15,8 @@ namespace wafl {
 namespace {
 
 struct Rig {
-  Rig() : agg(make_config(), 13) {
+  explicit Rig(ThreadPool* pool = nullptr)
+      : agg(make_config(), 13, Runtime{}.with_pool(pool)) {
     FlexVolConfig vcfg;
     vcfg.vvbn_blocks = 64 * 1024;
     vcfg.file_blocks = 48 * 1024;
@@ -259,10 +260,10 @@ TEST(Iron, ParallelRepairMatchesSerialAtEveryWorkerCount) {
 
   for (const unsigned workers : {1u, 2u, 8u}) {
     SCOPED_TRACE("workers=" + std::to_string(workers));
-    Rig rig;
-    damage(rig);
     ThreadPool pool(workers);
-    const IronReport r = iron_check_topaa(rig.agg, &pool);
+    Rig rig(&pool);
+    damage(rig);
+    const IronReport r = iron_check_topaa(rig.agg);
     EXPECT_EQ(r.rg_checked, serial.rg_checked);
     EXPECT_EQ(r.rg_unreadable, serial.rg_unreadable);
     EXPECT_EQ(r.rg_stale, serial.rg_stale);
@@ -273,21 +274,21 @@ TEST(Iron, ParallelRepairMatchesSerialAtEveryWorkerCount) {
     // Staged verify + fixed-order serial apply: repaired media are
     // byte-identical to the serial run.
     EXPECT_EQ(topaa_bytes(rig.agg), want);
-    EXPECT_TRUE(iron_check_topaa(rig.agg, &pool).clean());
+    EXPECT_TRUE(iron_check_topaa(rig.agg).clean());
   }
 }
 
 TEST(Iron, ParallelCleanPassWritesNothing) {
-  Rig rig;
   ThreadPool pool(4);
+  Rig rig(&pool);
   const std::uint64_t writes0 = rig.agg.topaa_store().stats().block_writes;
-  const IronReport r = iron_check_topaa(rig.agg, &pool);
+  const IronReport r = iron_check_topaa(rig.agg);
   EXPECT_TRUE(r.clean());
   EXPECT_EQ(rig.agg.topaa_store().stats().block_writes, writes0);
 }
 
 TEST(Iron, ParallelRepairMatchesSerialOnObjectStorePool) {
-  auto make = [] {
+  auto make = [](ThreadPool* workers = nullptr) {
     AggregateConfig cfg;
     RaidGroupConfig pool;
     pool.data_devices = 1;
@@ -295,7 +296,8 @@ TEST(Iron, ParallelRepairMatchesSerialOnObjectStorePool) {
     pool.device_blocks = 4 * kFlatAaBlocks;
     pool.media.type = MediaType::kObjectStore;
     cfg.raid_groups = {pool};
-    auto agg = std::make_unique<Aggregate>(cfg, 3);
+    auto agg =
+        std::make_unique<Aggregate>(cfg, 3, Runtime{}.with_pool(workers));
     FlexVolConfig vol;
     vol.file_blocks = 50'000;
     vol.vvbn_blocks = 2ull * kFlatAaBlocks;
@@ -312,13 +314,13 @@ TEST(Iron, ParallelRepairMatchesSerialOnObjectStorePool) {
   const std::vector<std::byte> want = topaa_bytes(*ref);
   for (const unsigned workers : {1u, 8u}) {
     SCOPED_TRACE("workers=" + std::to_string(workers));
-    auto agg = make();
     ThreadPool pool(workers);
-    const IronReport r = iron_check_topaa(*agg, &pool);
+    auto agg = make(&pool);
+    const IronReport r = iron_check_topaa(*agg);
     EXPECT_EQ(r.rg_rewritten, serial.rg_rewritten);
     EXPECT_EQ(r.vol_rewritten, serial.vol_rewritten);
     EXPECT_EQ(topaa_bytes(*agg), want);
-    EXPECT_TRUE(iron_check_topaa(*agg, &pool).clean());
+    EXPECT_TRUE(iron_check_topaa(*agg).clean());
   }
 }
 

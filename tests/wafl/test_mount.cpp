@@ -20,7 +20,8 @@ namespace wafl {
 namespace {
 
 struct Rig {
-  Rig() : agg(make_config(), 3) {
+  explicit Rig(ThreadPool* pool = nullptr)
+      : agg(make_config(), 3, Runtime{}.with_pool(pool)) {
     FlexVolConfig vcfg;
     vcfg.vvbn_blocks = 64 * 1024;
     vcfg.file_blocks = 32 * 1024;
@@ -105,8 +106,7 @@ TEST(Mount, BackgroundCompletionRestoresFullCaches) {
   // Seeded heap holds at most kTopAaRaidAwareEntries per group.
   EXPECT_LE(rig.agg.rg_cache(0).size(),
             static_cast<std::size_t>(kTopAaRaidAwareEntries));
-  ThreadPool pool(2);
-  complete_background(rig.agg, &pool);
+  complete_background(rig.agg);
   // Full heap again: every AA of the group.
   EXPECT_EQ(rig.agg.rg_cache(0).size(), rig.agg.rg_layout(0).aa_count());
   EXPECT_TRUE(rig.agg.rg_cache(0).validate());
@@ -174,10 +174,10 @@ TEST(Mount, TornTopAaCommitFallsBackPerGroup) {
 }
 
 TEST(Mount, ScanPathParallelMatchesSerial) {
-  Rig serial_rig, parallel_rig;
-  mount_all(serial_rig.agg, false);
   ThreadPool pool(3);
-  mount_all(parallel_rig.agg, false, &pool);
+  Rig serial_rig, parallel_rig(&pool);
+  mount_all(serial_rig.agg, false);
+  mount_all(parallel_rig.agg, false);
   for (RaidGroupId rg = 0; rg < 2; ++rg) {
     EXPECT_EQ(serial_rig.agg.rg_cache(rg).peek_best_score(),
               parallel_rig.agg.rg_cache(rg).peek_best_score());
@@ -246,7 +246,8 @@ CacheDigest digest_of(Aggregate& agg) {
 
 /// Seeded aggregate whose volume bitmaps span 5 metafile blocks each;
 /// optionally adds a RAID-agnostic object-store pool as a third group.
-std::unique_ptr<Aggregate> make_big(bool object_store_pool) {
+std::unique_ptr<Aggregate> make_big(bool object_store_pool,
+                                    ThreadPool* pool = nullptr) {
   AggregateConfig cfg;
   RaidGroupConfig rg;
   rg.data_devices = 4;
@@ -256,14 +257,15 @@ std::unique_ptr<Aggregate> make_big(bool object_store_pool) {
   rg.aa_stripes = 2048;
   cfg.raid_groups = {rg, rg};
   if (object_store_pool) {
-    RaidGroupConfig pool;
-    pool.data_devices = 1;
-    pool.parity_devices = 0;
-    pool.device_blocks = 4 * kFlatAaBlocks;
-    pool.media.type = MediaType::kObjectStore;
-    cfg.raid_groups.push_back(pool);
+    RaidGroupConfig os;
+    os.data_devices = 1;
+    os.parity_devices = 0;
+    os.device_blocks = 4 * kFlatAaBlocks;
+    os.media.type = MediaType::kObjectStore;
+    cfg.raid_groups.push_back(os);
   }
-  auto agg = std::make_unique<Aggregate>(cfg, 7);
+  auto agg =
+      std::make_unique<Aggregate>(cfg, 7, Runtime{}.with_pool(pool));
   FlexVolConfig vcfg;
   vcfg.vvbn_blocks = 160 * 1024;  // 5 bitmap-metafile blocks: pipelined
   vcfg.file_blocks = 64 * 1024;
@@ -301,9 +303,9 @@ void check_scan_determinism(bool object_store_pool) {
 
   for (const unsigned workers : {1u, 2u, 8u}) {
     SCOPED_TRACE("workers=" + std::to_string(workers));
-    auto agg = make_big(object_store_pool);
     ThreadPool pool(workers);
-    mount_all(*agg, /*use_topaa=*/false, &pool);
+    auto agg = make_big(object_store_pool, &pool);
+    mount_all(*agg, /*use_topaa=*/false);
     EXPECT_TRUE(digest_of(*agg) == want)
         << "parallel scan diverged from serial";
   }
@@ -320,24 +322,24 @@ TEST(MountParallel, ScanDeterministicWithObjectStorePool) {
 TEST(MountParallel, RecoverMountSerialAndOneWorkerAgree) {
   // recover_mount's for_each_volume serial-fallback branch: pool == nullptr
   // and a 1-thread pool must walk the same path to the same caches.
-  auto a = make_big(false);
-  auto b = make_big(false);
-  const MountReport ra = recover_mount(*a, /*use_topaa=*/false, nullptr);
   ThreadPool one(1);
-  const MountReport rb = recover_mount(*b, /*use_topaa=*/false, &one);
+  auto a = make_big(false);
+  auto b = make_big(false, &one);
+  const MountReport ra = recover_mount(*a, /*use_topaa=*/false);
+  const MountReport rb = recover_mount(*b, /*use_topaa=*/false);
   EXPECT_EQ(ra.gate_block_reads, rb.gate_block_reads);
   EXPECT_FALSE(ra.used_topaa);
   EXPECT_TRUE(digest_of(*a) == digest_of(*b));
 }
 
 TEST(MountParallel, CompleteBackgroundSerialAndOneWorkerAgree) {
+  ThreadPool one(1);
   auto a = make_big(false);
-  auto b = make_big(false);
+  auto b = make_big(false, &one);
   mount_all(*a, /*use_topaa=*/true);
   mount_all(*b, /*use_topaa=*/true);
-  ThreadPool one(1);
-  const std::uint64_t reads_a = complete_background(*a, nullptr);
-  const std::uint64_t reads_b = complete_background(*b, &one);
+  const std::uint64_t reads_a = complete_background(*a);
+  const std::uint64_t reads_b = complete_background(*b);
   EXPECT_EQ(reads_a, reads_b);
   EXPECT_TRUE(digest_of(*a) == digest_of(*b));
 }
@@ -349,16 +351,16 @@ TEST(MountParallel, EmitWhileScanStress) {
   // race-free under load.
   obs::spans().clear();
   obs::set_span_capture(true);
-  auto agg = make_big(false);
+  ThreadPool pool(4);
+  auto agg = make_big(false, &pool);
   std::atomic<bool> stop{false};
   std::thread reader([&] {
     while (!stop.load(std::memory_order_relaxed)) {
       (void)obs::spans().snapshot();
     }
   });
-  ThreadPool pool(4);
-  mount_all(*agg, /*use_topaa=*/false, &pool);
-  complete_background(*agg, &pool);
+  mount_all(*agg, /*use_topaa=*/false);
+  complete_background(*agg);
   stop.store(true, std::memory_order_relaxed);
   reader.join();
   obs::set_span_capture(false);

@@ -18,13 +18,15 @@
 #include "fault/crash_point.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "wafl/runtime.hpp"
 
 namespace wafl {
 namespace {
 
 constexpr std::size_t kVols = 2;
 
-std::unique_ptr<Aggregate> make_agg() {
+std::unique_ptr<Aggregate> make_agg(ThreadPool* pool = nullptr,
+                                    DrainExecutor* exec = nullptr) {
   AggregateConfig cfg;
   RaidGroupConfig hdd;
   hdd.data_devices = 4;
@@ -33,7 +35,8 @@ std::unique_ptr<Aggregate> make_agg() {
   hdd.media.type = MediaType::kHdd;
   hdd.aa_stripes = 2048;
   cfg.raid_groups = {hdd, hdd};
-  auto agg = std::make_unique<Aggregate>(cfg, 77);
+  auto agg = std::make_unique<Aggregate>(
+      cfg, 77, Runtime{}.with_pool(pool).with_drain_executor(exec));
   for (std::size_t v = 0; v < kVols; ++v) {
     FlexVolConfig vol;
     vol.file_blocks = 30'000;
@@ -93,7 +96,7 @@ TEST(OverlappedCp, NoBackpressureWithoutDrainInFlight) {
   auto agg = make_agg();
   OverlappedCpConfig cfg;
   cfg.dirty_high_watermark = 8;
-  OverlappedCpDriver driver(*agg, nullptr, cfg);
+  OverlappedCpDriver driver(*agg, cfg);
   Rng rng(2);
   // Far past the watermark with no drain in flight: the rule must not
   // apply (it would deadlock — nothing can shrink the active generation).
@@ -107,7 +110,7 @@ TEST(OverlappedCp, BackpressureStallsUntilDrainCompletes) {
   auto agg = make_agg();
   OverlappedCpConfig cfg;
   cfg.dirty_high_watermark = 4;
-  OverlappedCpDriver driver(*agg, nullptr, cfg);
+  OverlappedCpDriver driver(*agg, cfg);
   Rng rng(3);
   // The first submit at the watermark while a drain is in flight must
   // stall until the drain completes (the only event that can end the
@@ -139,7 +142,7 @@ TEST(OverlappedCp, AutoTriggerStartsCpFromSubmit) {
   auto agg = make_agg();
   OverlappedCpConfig cfg;
   cfg.auto_cp_trigger = 512;
-  OverlappedCpDriver driver(*agg, nullptr, cfg);
+  OverlappedCpDriver driver(*agg, cfg);
   Rng rng(4);
   for (int i = 0; i < 8; ++i) {
     driver.submit(batch(rng, 256));
@@ -157,9 +160,9 @@ TEST(OverlappedCp, AutoTriggerStartsCpFromSubmit) {
 // plus conservation": every admitted block is either drained or still in
 // the active generation at the end.
 TEST(OverlappedCp, ConcurrentIntakeDuringDrainStress) {
-  auto agg = make_agg();
   ThreadPool pool(4);
-  OverlappedCpDriver driver(*agg, &pool);
+  auto agg = make_agg(&pool);
+  OverlappedCpDriver driver(*agg);
   constexpr int kThreads = 4;
   constexpr int kBatches = 40;
   std::atomic<int> live{kThreads};
@@ -266,6 +269,66 @@ TEST(OverlappedCp, DestructorJoinsInFlightDrain) {
     // Scope exit with the drain still running: the destructor joins it.
   }
   EXPECT_GT(agg->free_blocks(), 0u);
+}
+
+// Runtime-supplied DrainExecutor (DESIGN.md §16): the driver schedules
+// drains on the shared executor instead of owning a thread, but every
+// protocol guarantee — destructor-join, parked-exception rethrow at
+// wait_idle — must hold unchanged.
+TEST(OverlappedCp, SharedExecutorDestructorStillJoins) {
+  DrainExecutor exec(2);
+  auto agg = make_agg(nullptr, &exec);
+  {
+    OverlappedCpDriver driver(*agg);
+    Rng rng(9);
+    driver.submit(batch(rng, 6000));
+    driver.start_cp();
+    // Scope exit with the drain in flight on the SHARED executor: the
+    // destructor waits for completion without tearing the executor down
+    // (it does not own it — the executor outlives the driver).
+  }
+  EXPECT_GT(agg->free_blocks(), 0u);
+}
+
+TEST(OverlappedCp, SharedExecutorParkedExceptionRethrown) {
+  DrainExecutor exec(1);
+  auto agg = make_agg(nullptr, &exec);
+  OverlappedCpDriver driver(*agg);
+  Rng rng(10);
+  driver.submit(batch(rng, 800));
+  fault::crash_hooks().arm("wa.in_overlap_drain", 1);
+  driver.start_cp();
+  EXPECT_THROW(driver.wait_idle(), fault::CrashPoint);
+  fault::crash_hooks().disarm_all();
+  EXPECT_FALSE(driver.drain_in_flight());
+  // The executor survives the parked exception: a fresh drain scheduled
+  // on the same executor thread completes normally.
+  driver.submit(batch(rng, 800));
+  driver.start_cp();
+  driver.wait_idle();
+  EXPECT_EQ(driver.stats().cps_started, 2u);
+  EXPECT_EQ(driver.stats().cps_completed, 1u);
+}
+
+TEST(OverlappedCp, TwoDriversShareOneExecutor) {
+  // One executor thread: the two drivers' drains serialize through it,
+  // and each driver's wait_idle sees only its own completion.
+  DrainExecutor exec(1);
+  auto a = make_agg(nullptr, &exec);
+  auto b = make_agg(nullptr, &exec);
+  OverlappedCpDriver da(*a);
+  OverlappedCpDriver db(*b);
+  Rng rng(11);
+  da.submit(batch(rng, 4000));
+  db.submit(batch(rng, 4000));
+  da.start_cp();
+  db.start_cp();
+  da.wait_idle();
+  db.wait_idle();
+  EXPECT_EQ(da.stats().cps_completed, 1u);
+  EXPECT_EQ(db.stats().cps_completed, 1u);
+  EXPECT_GT(a->free_blocks(), 0u);
+  EXPECT_GT(b->free_blocks(), 0u);
 }
 
 }  // namespace

@@ -14,7 +14,7 @@ namespace {
 
 constexpr std::size_t kVols = 6;
 
-std::unique_ptr<Aggregate> make_agg() {
+std::unique_ptr<Aggregate> make_agg(ThreadPool* pool = nullptr) {
   AggregateConfig cfg;
   RaidGroupConfig rg;
   rg.data_devices = 4;
@@ -23,7 +23,8 @@ std::unique_ptr<Aggregate> make_agg() {
   rg.media.type = MediaType::kHdd;
   rg.aa_stripes = 2048;
   cfg.raid_groups = {rg, rg};
-  auto agg = std::make_unique<Aggregate>(cfg, 9);
+  auto agg =
+      std::make_unique<Aggregate>(cfg, 9, Runtime{}.with_pool(pool));
   for (std::size_t v = 0; v < kVols; ++v) {
     FlexVolConfig vol;
     vol.file_blocks = 40'000;
@@ -56,9 +57,9 @@ std::vector<DirtyBlock> mixed_batch(Rng& rng, std::uint64_t per_vol) {
 }
 
 TEST(ParallelCp, MatchesSerialExactly) {
-  auto serial = make_agg();
-  auto parallel = make_agg();
   ThreadPool pool(4);
+  auto serial = make_agg();
+  auto parallel = make_agg(&pool);
   Rng rng_a(55), rng_b(55);
 
   for (int cp = 0; cp < 8; ++cp) {
@@ -66,7 +67,7 @@ TEST(ParallelCp, MatchesSerialExactly) {
     const auto batch_b = mixed_batch(rng_b, 3'000);
     ASSERT_EQ(batch_a.size(), batch_b.size());
     const CpStats s = ConsistencyPoint::run(*serial, batch_a);
-    const CpStats p = ConsistencyPoint::run(*parallel, batch_b, &pool);
+    const CpStats p = ConsistencyPoint::run(*parallel, batch_b);
     ASSERT_EQ(s.blocks_written, p.blocks_written);
     ASSERT_EQ(s.blocks_freed, p.blocks_freed);
     ASSERT_EQ(s.vol_meta_blocks, p.vol_meta_blocks);
@@ -91,11 +92,11 @@ TEST(ParallelCp, MatchesSerialExactly) {
 }
 
 TEST(ParallelCp, InvariantsUnderChurn) {
-  auto agg = make_agg();
   ThreadPool pool(4);
+  auto agg = make_agg(&pool);
   Rng rng(77);
   for (int cp = 0; cp < 12; ++cp) {
-    ConsistencyPoint::run(*agg, mixed_batch(rng, 2'000), &pool);
+    ConsistencyPoint::run(*agg, mixed_batch(rng, 2'000));
     for (VolumeId v = 0; v < kVols; ++v) {
       const FlexVol& vol = agg->volume(v);
       ASSERT_EQ(vol.scoreboard().total_free(), vol.free_blocks());
@@ -126,15 +127,15 @@ TEST(ParallelCp, SingleVolumeFallsBackToSerialPath) {
   rg.media.type = MediaType::kHdd;
   rg.aa_stripes = 1024;
   cfg.raid_groups = {rg};
-  Aggregate agg(cfg, 2);
+  ThreadPool pool(2);
+  Aggregate agg(cfg, 2, Runtime{}.with_pool(&pool));
   FlexVolConfig vol;
   vol.file_blocks = 20'000;
   vol.vvbn_blocks = kFlatAaBlocks;
   agg.add_volume(vol);
-  ThreadPool pool(2);
   std::vector<DirtyBlock> dirty;
   for (std::uint64_t l = 0; l < 10'000; ++l) dirty.push_back({0, l});
-  const CpStats stats = ConsistencyPoint::run(agg, dirty, &pool);
+  const CpStats stats = ConsistencyPoint::run(agg, dirty);
   EXPECT_EQ(stats.blocks_written, 10'000u);
 }
 

@@ -106,17 +106,17 @@ TEST(WriteAllocatorEngine, RoundRobinStaysFairAfterGrowth) {
 TEST(WriteAllocatorEngine, GrowthThenParallelCp) {
   AggregateConfig cfg;
   cfg.raid_groups = {hdd_group(16 * 1024)};
-  Aggregate agg(cfg, 3);
+  ThreadPool pool(4);
+  Aggregate agg(cfg, 3, Runtime{}.with_pool(&pool));
   FlexVolConfig vol;
   vol.file_blocks = 60'000;
   vol.vvbn_blocks = 4ull * kFlatAaBlocks;
   agg.add_volume(vol);
-  ThreadPool pool(4);
-  ConsistencyPoint::run(agg, range(0, 20'000), &pool);
+  ConsistencyPoint::run(agg, range(0, 20'000));
 
   agg.add_raid_group(hdd_group(16 * 1024));
   // Overwrites: the boundary now partitions frees across both groups.
-  ConsistencyPoint::run(agg, range(10'000, 40'000), &pool);
+  ConsistencyPoint::run(agg, range(10'000, 40'000));
 
   EXPECT_GT(agg.raid_group(1).stats().data_blocks_written, 0u);
   EXPECT_EQ(agg.free_blocks(),

@@ -8,7 +8,8 @@
 #                                the concurrency-sensitive suites (parallel
 #                                CP, CP determinism, overlapped-CP driver
 #                                intake-while-drain, write-allocator engine,
-#                                thread pool, parallel mount/scoreboard)
+#                                thread pool, parallel mount/scoreboard,
+#                                multi-aggregate fleet)
 #   tools/check.sh --overhead    also measure the obs ON-vs-OFF throughput
 #                                delta on the fig6-style hot loop
 #                                (acceptance: < 2%)
@@ -18,7 +19,8 @@
 #                                release tree AND under ASan+UBSan.  A
 #                                failing sweep case prints its repro line:
 #                                WAFL_CRASH_SEED=<seed> ./waflfree_crash_tests
-#   tools/check.sh --perf        also run the parallel-CP and TopAA-mount
+#   tools/check.sh --perf        also run the parallel-CP, TopAA-mount,
+#                                overlapped-CP and fleet-driver
 #                                benches (fast mode), refresh the repo-root
 #                                BENCH_*.json trajectory files, and fail if
 #                                the run regresses the committed baseline
@@ -100,7 +102,7 @@ if [[ $TSAN -eq 1 ]]; then
   # matrix, emit-while-freeze race, CAS claim fuzz, MPSC delayed-free
   # staging).
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'ParallelCp|CpDeterminism|OverlappedCp|ConcurrentIntake|AtomicClaimFuzz|DelayedFreeLog|WriteAllocatorEngine|ThreadPool|Mount|Scoreboard|BitmapMetafile|BlockStoreConcurrent|SpanTrace|Iron|ScanPipeline|MpscLogDrain' |
+    -R 'ParallelCp|CpDeterminism|OverlappedCp|ConcurrentIntake|AtomicClaimFuzz|DelayedFreeLog|WriteAllocatorEngine|ThreadPool|Mount|Scoreboard|BitmapMetafile|BlockStoreConcurrent|SpanTrace|Iron|ScanPipeline|MpscLogDrain|Fleet' |
     tail -3
 fi
 
@@ -156,6 +158,11 @@ if [[ $PERF -eq 1 ]]; then
     ./build/bench/fig10_topaa_mount >/dev/null
   WAFL_BENCH_FAST=1 WAFL_BENCH_JSON_DIR="$PWD" \
     ./build/bench/micro_overlap_cp >/dev/null
+  # The fleet smoke runs its own determinism oracle (every member's media
+  # vs its solo run) and exits nonzero on divergence.
+  WAFL_BENCH_FAST=1 WAFL_BENCH_JSON_DIR="$PWD" \
+    ./build/bench/fleet_driver >/dev/null ||
+    { echo "FAIL: fleet driver (determinism oracle or run)"; exit 1; }
 
   gate() {  # gate <label> <value> <floor>
     echo "  $1 = $2 (floor $3)"
@@ -233,6 +240,21 @@ if [[ $PERF -eq 1 ]]; then
     echo "  intake_scaling gate skipped ($hw hw threads < 4)"
   fi
 
+  # Fleet (DESIGN.md §16): the bench already enforced per-member media
+  # determinism; here we gate shape and contention.  drain_stall_fraction
+  # is lower-is-better: intake across the fleet must stay admissible for
+  # at least half of the shared executor's drain wall.
+  fleet_n=$(jq -r '.n_aggregates' BENCH_fleet.json)
+  fleet_mblk=$(jq -r '.agg_mblk_s' BENCH_fleet.json)
+  fleet_stall=$(jq -r '.drain_stall_fraction' BENCH_fleet.json)
+  fleet_det=$(jq -r '.determinism_ok' BENCH_fleet.json)
+  gate "fleet n_aggregates" "$fleet_n" 4
+  [[ "$fleet_det" == "true" ]] ||
+    { echo "FAIL: fleet member diverged from its solo run"; exit 1; }
+  echo "  fleet drain_stall_fraction = $fleet_stall (ceiling 0.50)"
+  awk -v v="$fleet_stall" 'BEGIN { exit (v <= 0.50) ? 0 : 1 }' ||
+    { echo "FAIL: fleet drain stall fraction above 0.50"; exit 1; }
+
   # Perf trajectory: one JSONL record per --perf run, append-only so the
   # history of (sha, machine, phase times) accretes in git.  The relative
   # gates compare this run against the previous record — they catch slow
@@ -242,6 +264,7 @@ if [[ $PERF -eq 1 ]]; then
   # machine-dependent.
   traj=BENCH_trajectory.json
   prev_pf="" prev_apf="" prev_a4="" prev_ov="" prev_sa="" prev_ia=""
+  prev_fleet_mblk="" prev_fleet_stall=""
   if [[ -s $traj ]]; then
     prev_pf=$(tail -1 "$traj" | jq -r '.parallel_fraction')
     prev_apf=$(tail -1 "$traj" | jq -r '.alloc_parallel_fraction')
@@ -249,6 +272,8 @@ if [[ $PERF -eq 1 ]]; then
     prev_ov=$(tail -1 "$traj" | jq -r '.overlap_fraction')
     prev_sa=$(tail -1 "$traj" | jq -r '.scan_amdahl_speedup_w4')
     prev_ia=$(tail -1 "$traj" | jq -r '.iron_amdahl_speedup_w4')
+    prev_fleet_mblk=$(tail -1 "$traj" | jq -r '.agg_mblk_s // empty')
+    prev_fleet_stall=$(tail -1 "$traj" | jq -r '.drain_stall_fraction // empty')
   fi
   jq -c \
     --arg ts "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -265,6 +290,9 @@ if [[ $PERF -eq 1 ]]; then
     --argjson s_meas "$s_meas" \
     --argjson i_amdahl "$i_amdahl" \
     --argjson i_meas "$i_meas" \
+    --argjson fleet_n "$fleet_n" \
+    --argjson fleet_mblk "$fleet_mblk" \
+    --argjson fleet_stall "$fleet_stall" \
     '{ts: $ts, git: $sha, cores: $cores, hw_threads,
       parallel_fraction, alloc_parallel_fraction,
       amdahl_speedup_w4, measured_speedup_w4,
@@ -277,6 +305,8 @@ if [[ $PERF -eq 1 ]]; then
       intake_mblk_s: $in_mblk,
       scan_amdahl_speedup_w4: $s_amdahl, scan_parallel_speedup: $s_meas,
       iron_amdahl_speedup_w4: $i_amdahl, iron_repair_speedup: $i_meas,
+      n_aggregates: $fleet_n, agg_mblk_s: $fleet_mblk,
+      drain_stall_fraction: $fleet_stall,
       identical: .identical_all_worker_counts}' \
     BENCH_parallel_cp.json >> "$traj"
   echo "  trajectory: appended $(wc -l < "$traj")th record to $traj"
@@ -299,6 +329,22 @@ if [[ $PERF -eq 1 ]]; then
     rel_gate "overlap_fraction (vs trajectory)" "$ov" "$prev_ov" 0.10
   else
     echo "  overlap_fraction trajectory gate skipped ($hw hw threads < 4)"
+  fi
+  # Fleet drift: throughput is wall-clock-derived, so its relative gate —
+  # like measured_speedup_w4 — only runs where the clock is trustworthy.
+  # The stall fraction is lower-is-better, so the drift check inverts:
+  # fresh must not exceed previous by more than the tolerance.
+  if [[ "$hw" -ge 4 ]]; then
+    rel_gate "agg_mblk_s (vs trajectory)" "$fleet_mblk" "$prev_fleet_mblk" \
+      "$(awk -v p="${prev_fleet_mblk:-0}" 'BEGIN { printf "%.4f", p * 0.5 }')"
+    if [[ -n "$prev_fleet_stall" && "$prev_fleet_stall" != "null" ]]; then
+      echo "  drain_stall_fraction = $fleet_stall (previous $prev_fleet_stall, tolerance +0.10)"
+      awk -v v="$fleet_stall" -v p="$prev_fleet_stall" \
+        'BEGIN { exit (v <= p + 0.10) ? 0 : 1 }' ||
+        { echo "FAIL: drain_stall_fraction rose more than 0.10 vs previous record"; exit 1; }
+    fi
+  else
+    echo "  fleet trajectory gates skipped ($hw hw threads < 4)"
   fi
 fi
 
